@@ -1,0 +1,43 @@
+// Ablation: single-point vs pairwise detour semantics (DESIGN.md).
+// The pairwise (leave at v_k, rejoin at v_l, along-path baseline) distance
+// is never larger, so it covers at least as many trajectories and yields
+// at least the utility of the single-point round trip — at ~l x the
+// covering-set construction cost.
+#include "bench_common.h"
+
+int main() {
+  using namespace netclus;
+  bench::PrintHeader(
+      "Ablation", "Detour semantics: single-point vs pairwise",
+      "pairwise covers >= single-point at higher build cost; selections "
+      "mostly agree");
+
+  data::Dataset d = bench::MakeDataset("beijing-lite", 0.12);
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  const uint32_t k = 5;
+
+  util::Table table({"tau_km", "mode", "cover_entries", "build_s",
+                     "utility_%"});
+  for (const double tau : {400.0, 800.0, 1200.0}) {
+    for (const auto mode :
+         {tops::DetourMode::kSinglePoint, tops::DetourMode::kPairwise}) {
+      tops::CoverageConfig cc;
+      cc.tau_m = tau;
+      cc.detour = mode;
+      const tops::CoverageIndex coverage =
+          tops::CoverageIndex::Build(*d.store, d.sites, cc);
+      tops::GreedyConfig gc;
+      gc.k = k;
+      const tops::Selection sel = IncGreedy(coverage, psi, gc);
+      table.Row()
+          .Cell(tau / 1000.0, 1)
+          .Cell(mode == tops::DetourMode::kSinglePoint ? "single-point"
+                                                       : "pairwise")
+          .Cell(coverage.stats().cover_entries)
+          .Cell(coverage.stats().build_seconds, 2)
+          .Cell(bench::Percent(sel.utility, d.num_trajectories()), 2);
+    }
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Shared machinery for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// Section 8 on a scaled synthetic dataset (see DESIGN.md for the
+// substitution rationale). Conventions:
+//  * knobs come from NETCLUS_* env vars with paper defaults;
+//  * NETCLUS_SCALE multiplies dataset sizes (default 1.0; each bench also
+//    applies its own base scale so the full suite stays laptop-fast);
+//  * every bench prints a `paper_shape:` line stating what qualitative
+//    result of the paper it is expected to reproduce, then the table rows.
+#ifndef NETCLUS_BENCH_BENCH_COMMON_H_
+#define NETCLUS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "data/datasets.h"
+#include "netclus/multi_index.h"
+#include "netclus/query.h"
+#include "tops/coverage.h"
+#include "tops/fm_greedy.h"
+#include "tops/inc_greedy.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/memory.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace netclus::bench {
+
+inline void PrintHeader(const std::string& id, const std::string& title,
+                        const std::string& paper_shape) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("paper_shape: %s\n", paper_shape.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Dataset with the bench's base scale times NETCLUS_SCALE.
+inline data::Dataset MakeDataset(const std::string& name, double base_scale) {
+  const double scale = base_scale * util::DatasetScale();
+  return data::MakeByName(name, scale);
+}
+
+/// Builds a multi-resolution index with bench-appropriate τ range.
+inline index::MultiIndex BuildIndex(const data::Dataset& dataset,
+                                    double gamma = 0.75,
+                                    double tau_min_m = 400.0,
+                                    double tau_max_m = 6000.0) {
+  index::MultiIndexConfig config;
+  config.gamma = gamma;
+  config.tau_min_m = tau_min_m;
+  config.tau_max_m = tau_max_m;
+  return index::MultiIndex::Build(*dataset.store, dataset.sites, config);
+}
+
+/// One Inc-Greedy (or FM-greedy) run on freshly built covering sets — the
+/// paper's INCG / FMG baselines. Reports end-to-end time (covering-set
+/// construction dominates, as in Sec. 8.6) and the covering-set footprint.
+struct ExactRun {
+  bool oom = false;
+  double utility = 0.0;
+  double total_seconds = 0.0;       ///< covering sets + solve
+  double solve_seconds = 0.0;       ///< iterative phase only
+  uint64_t memory_bytes = 0;        ///< covering sets (+ sketches for FMG)
+  std::vector<tops::SiteId> sites;
+};
+
+inline ExactRun RunExactGreedy(const data::Dataset& dataset, uint32_t k,
+                               double tau_m, const tops::PreferenceFunction& psi,
+                               bool use_fm, uint32_t fm_copies = 30,
+                               uint64_t memory_budget_bytes = 0) {
+  ExactRun run;
+  util::WallTimer timer;
+  tops::CoverageConfig config;
+  config.tau_m = tau_m;
+  config.memory_budget_bytes = memory_budget_bytes;
+  const tops::CoverageIndex coverage =
+      tops::CoverageIndex::Build(*dataset.store, dataset.sites, config);
+  if (coverage.oom()) {
+    run.oom = true;
+    run.total_seconds = timer.Seconds();
+    return run;
+  }
+  run.memory_bytes = coverage.MemoryBytes();
+  if (use_fm) {
+    tops::FmGreedyConfig fm;
+    fm.k = k;
+    fm.num_sketches = fm_copies;
+    const tops::FmGreedyResult result = FmGreedy(coverage, fm);
+    run.utility = result.selection.utility;
+    run.solve_seconds = result.selection.solve_seconds;
+    run.sites = result.selection.sites;
+    run.memory_bytes +=
+        dataset.sites.size() * fm_copies * sizeof(uint32_t);  // sketches
+  } else {
+    tops::GreedyConfig greedy;
+    greedy.k = k;
+    const tops::Selection result = IncGreedy(coverage, psi, greedy);
+    run.utility = result.utility;
+    run.solve_seconds = result.solve_seconds;
+    run.sites = result.sites;
+  }
+  run.total_seconds = timer.Seconds();
+  return run;
+}
+
+/// One NetClus (or FM-NetClus) query; utility is re-evaluated exactly so
+/// that quality comparisons against INCG are apples-to-apples.
+struct NetClusRun {
+  double utility = 0.0;          ///< exact re-evaluation of the k sites
+  double total_seconds = 0.0;
+  double solve_seconds = 0.0;
+  uint64_t transient_bytes = 0;
+  size_t instance_used = 0;
+  std::vector<tops::SiteId> sites;
+};
+
+inline NetClusRun RunNetClus(const data::Dataset& dataset,
+                             const index::MultiIndex& index, uint32_t k,
+                             double tau_m, const tops::PreferenceFunction& psi,
+                             bool use_fm, uint32_t fm_copies = 30) {
+  const index::QueryEngine engine(&index, dataset.store.get(), &dataset.sites);
+  index::QueryConfig config;
+  config.k = k;
+  config.tau_m = tau_m;
+  config.use_fm_sketch = use_fm;
+  config.fm_copies = fm_copies;
+  const index::QueryResult result = engine.Tops(psi, config);
+  NetClusRun run;
+  run.total_seconds = result.total_seconds;
+  run.solve_seconds = result.selection.solve_seconds;
+  run.transient_bytes = result.transient_bytes;
+  run.instance_used = result.instance_used;
+  run.sites = result.selection.sites;
+  run.utility = tops::CoverageIndex::EvaluateSelection(
+      *dataset.store, dataset.sites, result.selection.sites, tau_m, psi);
+  return run;
+}
+
+inline double Percent(double utility, size_t live_count) {
+  return live_count == 0 ? 0.0 : 100.0 * utility / static_cast<double>(live_count);
+}
+
+}  // namespace netclus::bench
+
+#endif  // NETCLUS_BENCH_BENCH_COMMON_H_

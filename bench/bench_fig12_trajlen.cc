@@ -1,0 +1,55 @@
+// Fig. 12: effect of trajectory length (k = 5, τ = 0.8 km).
+// Paper: longer trajectories pass more candidate sites, so they are easier
+// to cover (higher utility %) and cost more marginal-utility updates
+// (higher runtime). Length classes are expressed as fractions of the
+// network diameter because the synthetic city is smaller than Beijing.
+#include "bench_common.h"
+
+int main() {
+  using namespace netclus;
+  bench::PrintHeader(
+      "Fig. 12", "Effect of trajectory length (per-length-class corpora)",
+      "longer trajectories -> higher utility % and higher runtime");
+
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  const double tau = util::GetEnvDouble("NETCLUS_TAU_M", 800.0);
+  const uint32_t k = static_cast<uint32_t>(util::GetEnvInt("NETCLUS_K", 5));
+  const uint32_t per_class = static_cast<uint32_t>(
+      util::GetEnvInt("NETCLUS_FIG12_TRAJS", 2000));
+
+  // Base dataset provides the network; each class gets a fresh corpus.
+  data::Dataset base = bench::MakeDataset("beijing-lite", 0.20);
+  const geo::BBox bounds = base.network->Bounds();
+  const double diameter = std::max(bounds.Width(), bounds.Height());
+
+  util::Table table({"length_class_km", "trajectories", "INCG_%", "NetClus_%",
+                     "INCG_s", "NetClus_ms"});
+  const double class_fracs[][2] = {{0.30, 0.40}, {0.45, 0.55},
+                                   {0.60, 0.70}, {0.75, 0.90}};
+  for (const auto& frac : class_fracs) {
+    data::Dataset d;
+    d.name = base.name;
+    d.network = std::make_unique<graph::RoadNetwork>(*base.network);
+    d.store = std::make_unique<traj::TrajectoryStore>(d.network.get());
+    d.sites = base.sites;
+    const double lo = frac[0] * diameter;
+    const double hi = frac[1] * diameter;
+    data::AddTrajectoriesWithLength(&d, per_class, lo, hi,
+                                    static_cast<uint64_t>(lo));
+    if (d.store->live_count() == 0) continue;
+    const index::MultiIndex index = bench::BuildIndex(d);
+    const bench::ExactRun incg = bench::RunExactGreedy(d, k, tau, psi, false);
+    const bench::NetClusRun netclus =
+        bench::RunNetClus(d, index, k, tau, psi, false);
+    const size_t m = d.num_trajectories();
+    table.Row()
+        .Cell(util::StrFormat("%.1f-%.1f", lo / 1000.0, hi / 1000.0))
+        .Cell(static_cast<uint64_t>(m))
+        .Cell(bench::Percent(incg.utility, m), 1)
+        .Cell(bench::Percent(netclus.utility, m), 1)
+        .Cell(incg.total_seconds, 2)
+        .Cell(netclus.total_seconds * 1e3, 1);
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

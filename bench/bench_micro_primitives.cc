@@ -1,0 +1,150 @@
+// Google-benchmark micro benchmarks for the hot primitives underneath
+// NetClus: bounded Dijkstra, round-trip enumeration, FM sketch operations,
+// covering-set construction, and clustered-space queries.
+#include <benchmark/benchmark.h>
+
+#include "data/datasets.h"
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "netclus/multi_index.h"
+#include "netclus/query.h"
+#include "sketch/fm_sketch.h"
+#include "tops/coverage.h"
+#include "tops/inc_greedy.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace netclus;
+
+const graph::RoadNetwork& SharedNetwork() {
+  static const graph::RoadNetwork* net = [] {
+    graph::GridCityConfig config;
+    config.rows = 60;
+    config.cols = 60;
+    config.block_m = 150.0;
+    return new graph::RoadNetwork(GenerateGridCity(config));
+  }();
+  return *net;
+}
+
+const data::Dataset& SharedDataset() {
+  static const data::Dataset* dataset =
+      new data::Dataset(data::MakeBeijingLite(0.08));
+  return *dataset;
+}
+
+void BM_DijkstraBounded(benchmark::State& state) {
+  const graph::RoadNetwork& net = SharedNetwork();
+  graph::DijkstraEngine engine(&net);
+  const double radius = static_cast<double>(state.range(0));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const auto src =
+        static_cast<graph::NodeId>(rng.UniformInt(net.num_nodes()));
+    benchmark::DoNotOptimize(
+        engine.BoundedSearch(src, radius, graph::Direction::kForward));
+  }
+  state.counters["settled"] = static_cast<double>(engine.last_settled_count());
+}
+BENCHMARK(BM_DijkstraBounded)->Arg(400)->Arg(800)->Arg(1600)->Arg(3200);
+
+void BM_DijkstraRoundTrip(benchmark::State& state) {
+  const graph::RoadNetwork& net = SharedNetwork();
+  graph::DijkstraEngine engine(&net);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    const auto src =
+        static_cast<graph::NodeId>(rng.UniformInt(net.num_nodes()));
+    benchmark::DoNotOptimize(
+        engine.BoundedRoundTrip(src, static_cast<double>(state.range(0))));
+  }
+}
+BENCHMARK(BM_DijkstraRoundTrip)->Arg(800)->Arg(1600);
+
+void BM_DijkstraPointToPoint(benchmark::State& state) {
+  const graph::RoadNetwork& net = SharedNetwork();
+  graph::DijkstraEngine engine(&net);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto s = static_cast<graph::NodeId>(rng.UniformInt(net.num_nodes()));
+    const auto t = static_cast<graph::NodeId>(rng.UniformInt(net.num_nodes()));
+    benchmark::DoNotOptimize(engine.PointToPoint(s, t));
+  }
+}
+BENCHMARK(BM_DijkstraPointToPoint);
+
+void BM_FmSketchAdd(benchmark::State& state) {
+  sketch::FmSketch sk(static_cast<uint32_t>(state.range(0)));
+  uint64_t x = 0;
+  for (auto _ : state) {
+    sk.Add(++x);
+  }
+}
+BENCHMARK(BM_FmSketchAdd)->Arg(1)->Arg(30)->Arg(100);
+
+void BM_FmSketchUnionEstimate(benchmark::State& state) {
+  sketch::FmSketch a(static_cast<uint32_t>(state.range(0)));
+  sketch::FmSketch b(static_cast<uint32_t>(state.range(0)));
+  for (uint64_t x = 0; x < 10000; ++x) {
+    a.Add(x);
+    b.Add(x + 5000);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.UnionEstimate(b));
+  }
+}
+BENCHMARK(BM_FmSketchUnionEstimate)->Arg(30)->Arg(100);
+
+void BM_CoverageBuild(benchmark::State& state) {
+  const data::Dataset& d = SharedDataset();
+  tops::CoverageConfig config;
+  config.tau_m = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tops::CoverageIndex::Build(*d.store, d.sites, config));
+  }
+}
+BENCHMARK(BM_CoverageBuild)->Arg(400)->Arg(800)->Unit(benchmark::kMillisecond);
+
+void BM_IncGreedySolve(benchmark::State& state) {
+  const data::Dataset& d = SharedDataset();
+  tops::CoverageConfig config;
+  config.tau_m = 800.0;
+  const tops::CoverageIndex coverage =
+      tops::CoverageIndex::Build(*d.store, d.sites, config);
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  tops::GreedyConfig greedy;
+  greedy.k = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IncGreedy(coverage, psi, greedy));
+  }
+}
+BENCHMARK(BM_IncGreedySolve)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_NetClusQuery(benchmark::State& state) {
+  const data::Dataset& d = SharedDataset();
+  static const index::MultiIndex* index = [] {
+    index::MultiIndexConfig config;
+    config.gamma = 0.75;
+    config.tau_min_m = 400.0;
+    config.tau_max_m = 6000.0;
+    return new index::MultiIndex(
+        index::MultiIndex::Build(*SharedDataset().store, SharedDataset().sites,
+                                 config));
+  }();
+  const index::QueryEngine engine(index, d.store.get(), &d.sites);
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  index::QueryConfig config;
+  config.k = 5;
+  config.tau_m = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Tops(psi, config));
+  }
+}
+BENCHMARK(BM_NetClusQuery)->Arg(800)->Arg(1600)->Arg(3200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

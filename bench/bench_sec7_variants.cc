@@ -1,0 +1,107 @@
+// Sec. 7.4/7.5 variants the paper defines but does not plot:
+//  * TOPS3 — minimize user inconvenience (normalized negative-distance ψ,
+//    effectively τ = ∞): every trajectory gets served, the objective
+//    minimizes total deviation;
+//  * TOPS4 — smallest site set capturing a β market share (set-cover
+//    greedy, bound 1 + ln n);
+//  * Sec. 7.5 — the combined cost+capacity extension.
+#include "bench_common.h"
+
+#include "tops/variants.h"
+
+int main() {
+  using namespace netclus;
+  bench::PrintHeader(
+      "Sec. 7 variants", "TOPS3, TOPS4, and the combined cost+capacity TOPS",
+      "TOPS3 deviation falls as k grows; TOPS4 site count grows "
+      "superlinearly with beta; combined extension respects both limits");
+
+  data::Dataset d = bench::MakeDataset("beijing-lite", 0.15);
+  const size_t m = d.num_trajectories();
+  const geo::BBox bounds = d.network->Bounds();
+  const double dmax = 2.0 * (bounds.Width() + bounds.Height());
+
+  std::printf("\nTOPS3: minimize expected deviation (k sweep)\n");
+  {
+    // tau = "infinity": anything reachable counts; the normalized score
+    // (dmax - d)/dmax makes maximization equivalent to minimizing total
+    // deviation (see preference.h).
+    tops::CoverageConfig cc;
+    cc.tau_m = dmax;
+    const tops::CoverageIndex cov =
+        tops::CoverageIndex::Build(*d.store, d.sites, cc);
+    const tops::PreferenceFunction psi =
+        tops::PreferenceFunction::NegativeDistance(dmax);
+    util::Table table({"k", "mean_deviation_m", "served_%"});
+    for (const uint32_t k : {1u, 2u, 5u, 10u, 20u}) {
+      tops::GreedyConfig gc;
+      gc.k = k;
+      const tops::Selection sel = IncGreedy(cov, psi, gc);
+      // Score s = (dmax - dev)/dmax  =>  dev = dmax (1 - s). Trajectories
+      // with score 0 are unreachable/maximal-deviation.
+      double total_dev = 0.0;
+      size_t served = 0;
+      std::vector<double> best(cov.num_trajectories(), 0.0);
+      for (tops::SiteId s : sel.sites) {
+        for (const tops::CoverEntry& e : cov.TC(s)) {
+          best[e.id] = std::max(best[e.id], psi.Score(e.dr_m, cc.tau_m));
+        }
+      }
+      for (double b : best) {
+        if (b > 0.0) {
+          ++served;
+          total_dev += dmax * (1.0 - b);
+        }
+      }
+      table.Row()
+          .Cell(static_cast<uint64_t>(k))
+          .Cell(served == 0 ? 0.0 : total_dev / served, 0)
+          .Cell(100.0 * served / m, 1);
+    }
+    table.PrintText(std::cout);
+  }
+
+  std::printf("\nTOPS4: minimum sites for a beta market share (tau = 0.8)\n");
+  {
+    tops::CoverageConfig cc;
+    cc.tau_m = 800.0;
+    const tops::CoverageIndex cov =
+        tops::CoverageIndex::Build(*d.store, d.sites, cc);
+    util::Table table({"beta", "sites_needed", "covered_%", "reached"});
+    for (const double beta : {0.2, 0.4, 0.6, 0.8, 0.95}) {
+      tops::MarketShareConfig config;
+      config.beta = beta;
+      const tops::MarketShareResult got = MarketShareGreedy(cov, config);
+      table.Row()
+          .Cell(beta, 2)
+          .Cell(static_cast<uint64_t>(got.selection.sites.size()))
+          .Cell(100.0 * got.covered_fraction, 1)
+          .Cell(got.reached_target ? "yes" : "no");
+    }
+    table.PrintText(std::cout);
+  }
+
+  std::printf("\nSec. 7.5: combined cost + capacity (budget sweep, cap = 3%% of m)\n");
+  {
+    tops::CoverageConfig cc;
+    cc.tau_m = 800.0;
+    const tops::CoverageIndex cov =
+        tops::CoverageIndex::Build(*d.store, d.sites, cc);
+    const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+    tops::CostCapacityConfig config;
+    config.site_costs = tops::DrawNormalCosts(d.sites.size(), 1.0, 0.4, 0.1, 11);
+    config.site_capacities.assign(d.sites.size(), 0.03 * static_cast<double>(m));
+    util::Table table({"budget", "sites", "spent", "served_%"});
+    for (const double budget : {2.0, 4.0, 8.0, 16.0}) {
+      config.budget = budget;
+      const tops::CostResult got = CostCapacityGreedy(cov, psi, config);
+      table.Row()
+          .Cell(budget, 1)
+          .Cell(static_cast<uint64_t>(got.selection.sites.size()))
+          .Cell(got.total_cost, 2)
+          .Cell(bench::Percent(got.selection.utility, m), 1);
+    }
+    table.PrintText(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Table 10: dynamic-update cost (Sec. 6).
+// Paper: adding trajectories costs more than adding candidate sites (a
+// trajectory touches many clusters across all instances; a site touches
+// one cluster per instance); both scale roughly linearly with batch size.
+#include "bench_common.h"
+
+#include "traj/trip_generator.h"
+
+int main() {
+  using namespace netclus;
+  bench::PrintHeader(
+      "Table 10", "Index update cost (batched additions)",
+      "trajectory additions cost more than site additions; both roughly "
+      "linear in the batch size");
+
+  data::Dataset d = bench::MakeDataset("beijing-lite", 0.20);
+  index::MultiIndex index = bench::BuildIndex(d);
+
+  // Pre-generate the update stream (generation excluded from timings).
+  const uint32_t unit = static_cast<uint32_t>(
+      util::GetEnvInt("NETCLUS_UPDATE_UNIT", 1000));
+  traj::TripGeneratorConfig trips;
+  trips.num_trajectories = unit * 15;  // batches consume 1+2+3+4+5 units
+  trips.num_hotspots = 12;
+  trips.seed = 4242;
+  const std::vector<traj::TrajId> new_trajs = GenerateTrips(trips, d.store.get());
+
+  util::Rng rng(4343);
+  util::Table table({"batch", "add_trajectories_s", "add_sites_s",
+                     "remove_trajectories_s"});
+  size_t consumed = 0;
+  for (uint32_t batch = 1; batch <= 5; ++batch) {
+    const uint32_t count = unit * batch;
+    // Trajectory additions.
+    std::vector<traj::TrajId> ids;
+    util::WallTimer add_traj_timer;
+    for (uint32_t i = 0; i < count && consumed + i < new_trajs.size(); ++i) {
+      index.AddTrajectory(*d.store, new_trajs[consumed + i]);
+      ids.push_back(new_trajs[consumed + i]);
+    }
+    const double add_traj_s = add_traj_timer.Seconds();
+
+    // Site additions (at random nodes; duplicates collapse in the set).
+    util::WallTimer add_site_timer;
+    for (uint32_t i = 0; i < count; ++i) {
+      const auto node = static_cast<graph::NodeId>(
+          rng.UniformInt(d.network->num_nodes()));
+      const tops::SiteId s = d.sites.Add(node);
+      index.AddSite(*d.store, d.sites, s);
+    }
+    const double add_site_s = add_site_timer.Seconds();
+
+    // Trajectory removals (undo this batch, keeping the index consistent
+    // for the next round).
+    util::WallTimer remove_timer;
+    for (traj::TrajId t : ids) {
+      index.RemoveTrajectory(t);
+      d.store->Remove(t);
+    }
+    const double remove_s = remove_timer.Seconds();
+    // Note: `consumed` stays, so each batch uses fresh trajectories.
+    consumed += ids.size();
+
+    table.Row()
+        .Cell(static_cast<uint64_t>(count))
+        .Cell(add_traj_s, 3)
+        .Cell(add_site_s, 3)
+        .Cell(remove_s, 3);
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

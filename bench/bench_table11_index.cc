@@ -1,0 +1,42 @@
+// Table 11: per-radius indexing details on the main network.
+// Paper: as R_p grows, cluster count η falls (roughly geometrically), mean
+// dominating-set size |Λ| and mean trajectory-list size |TL| grow, mean
+// neighbor-list size |CL| first rises then falls, and build times stay
+// practical with a U-shape at the extremes.
+#include "bench_common.h"
+
+#include "netclus/cluster_index.h"
+
+int main() {
+  using namespace netclus;
+  bench::PrintHeader(
+      "Table 11", "Indexing details per cluster radius (gamma = 0.75)",
+      "eta falls ~geometrically with R; |Lambda| and |TL| grow; |CL| rises "
+      "then falls; build times practical");
+
+  data::Dataset d = bench::MakeDataset("beijing-lite", 0.20);
+  std::printf("network: %zu nodes, %zu trajectories\n\n", d.num_nodes(),
+              d.num_trajectories());
+
+  util::Table table({"R_km", "eta_clusters", "mean_Lambda", "mean_TL",
+                     "mean_CL", "build_s", "memory"});
+  double radius = util::GetEnvDouble("NETCLUS_T11_R0_M", 60.0);
+  const int steps = static_cast<int>(util::GetEnvInt("NETCLUS_T11_STEPS", 9));
+  for (int i = 0; i < steps; ++i, radius *= 1.75) {
+    index::ClusterIndexConfig config;
+    config.radius_m = radius;
+    config.gamma = 0.75;
+    const index::ClusterIndex instance =
+        index::ClusterIndex::Build(*d.store, d.sites, config);
+    table.Row()
+        .Cell(radius / 1000.0, 4)
+        .Cell(static_cast<uint64_t>(instance.num_clusters()))
+        .Cell(instance.stats().mean_dominating_set_size, 2)
+        .Cell(instance.stats().mean_tl_size, 2)
+        .Cell(instance.stats().mean_cl_size, 2)
+        .Cell(instance.stats().build_seconds, 2)
+        .Cell(util::HumanBytes(instance.MemoryBytes()));
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

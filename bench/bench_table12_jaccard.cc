@@ -1,0 +1,54 @@
+// Table 12: the rejected alternative — Jaccard-similarity clustering of
+// sites by their trajectory covers (Appendix B.1).
+// Paper: time and memory grow steeply with τ and the method runs out of
+// memory at τ = 2.4 km, which motivates NetClus's distance-based GDSP
+// clustering (whose cost is τ-independent per instance).
+#include "bench_common.h"
+
+#include "netclus/jaccard.h"
+
+int main() {
+  using namespace netclus;
+  bench::PrintHeader(
+      "Table 12", "Jaccard-similarity clustering cost vs tau (alpha = 0.8)",
+      "time and memory blow up with tau, ending in OOM — the reason "
+      "NetClus clusters by network distance instead");
+
+  data::Dataset d = bench::MakeDataset("beijing-lite", 0.20);
+  const double alpha = util::GetEnvDouble("NETCLUS_JACCARD_ALPHA", 0.8);
+  const uint64_t budget_bytes = static_cast<uint64_t>(
+      util::GetEnvInt("NETCLUS_MEM_BUDGET_MB", 32)) << 20;
+
+  util::Table table({"tau_km", "clusters", "time_s", "memory", "status"});
+  for (const double tau : {200.0, 400.0, 800.0, 1200.0, 1600.0, 2400.0,
+                           4000.0}) {
+    tops::CoverageConfig cc;
+    cc.tau_m = tau;
+    cc.memory_budget_bytes = budget_bytes;
+    util::WallTimer timer;
+    const tops::CoverageIndex coverage =
+        tops::CoverageIndex::Build(*d.store, d.sites, cc);
+    if (coverage.oom()) {
+      table.Row()
+          .Cell(tau / 1000.0, 1)
+          .Cell("-")
+          .Cell("-")
+          .Cell("-")
+          .Cell("Out of memory (covering sets)");
+      continue;
+    }
+    index::JaccardConfig config;
+    config.alpha = alpha;
+    config.memory_budget_bytes = budget_bytes;
+    const index::JaccardResult result = JaccardCluster(coverage, config);
+    table.Row()
+        .Cell(tau / 1000.0, 1)
+        .Cell(result.oom ? std::string("-")
+                         : util::StrFormat("%zu", result.num_clusters))
+        .Cell(timer.Seconds(), 2)
+        .Cell(util::HumanBytes(result.memory_bytes))
+        .Cell(result.oom ? "Out of memory" : "ok");
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

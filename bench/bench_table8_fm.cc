@@ -1,0 +1,43 @@
+// Table 8: variation across the number of FM sketch copies, f.
+// Paper: small f ⇒ large utility error but big solver speed-up; error
+// falls and speed-up shrinks as f grows; around f≈100 the sketches stop
+// paying off. f = 30 (error < 5%, speed-up > 5x) is the paper's choice.
+#include "bench_common.h"
+
+int main() {
+  using namespace netclus;
+  bench::PrintHeader(
+      "Table 8", "Variation across the number of FM sketches, f",
+      "relative error vs exact NetClus decreases with f while the solver "
+      "speed-up decreases; very large f is slower than exact");
+
+  data::Dataset d = bench::MakeDataset("beijing-lite", 0.20);
+  const uint32_t k = static_cast<uint32_t>(util::GetEnvInt("NETCLUS_K", 5));
+  const double tau = util::GetEnvDouble("NETCLUS_TAU_M", 800.0);
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  const index::MultiIndex index = bench::BuildIndex(d);
+
+  const bench::NetClusRun exact =
+      bench::RunNetClus(d, index, k, tau, psi, /*use_fm=*/false);
+
+  util::Table table({"f", "NetClus_utility", "FM_utility", "rel_error_%",
+                     "NetClus_solve_ms", "FM_solve_ms", "speedup"});
+  for (const uint32_t f : {1u, 2u, 4u, 10u, 20u, 30u, 40u, 50u, 100u}) {
+    const bench::NetClusRun fm =
+        bench::RunNetClus(d, index, k, tau, psi, /*use_fm=*/true, f);
+    const double rel_error =
+        exact.utility <= 0.0 ? 0.0
+                             : 100.0 * (exact.utility - fm.utility) / exact.utility;
+    table.Row()
+        .Cell(static_cast<uint64_t>(f))
+        .Cell(exact.utility, 1)
+        .Cell(fm.utility, 1)
+        .Cell(rel_error, 2)
+        .Cell(exact.solve_seconds * 1e3, 2)
+        .Cell(fm.solve_seconds * 1e3, 2)
+        .Cell(fm.solve_seconds > 0 ? exact.solve_seconds / fm.solve_seconds : 0.0,
+              2);
+  }
+  table.PrintText(std::cout);
+  return 0;
+}

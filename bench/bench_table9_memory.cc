@@ -1,0 +1,52 @@
+// Table 9: memory footprint of the four algorithms vs τ.
+// Paper: INCG/FMG footprints (covering sets) grow sharply with τ and blow
+// past the budget beyond τ = 1.2 km; NetClus/FMNetClus footprints stay
+// small and *shrink* for large τ because coarser instances compress more.
+#include "bench_common.h"
+
+int main() {
+  using namespace netclus;
+  bench::PrintHeader(
+      "Table 9", "Memory footprint of different algorithms vs tau",
+      "covering-set footprint grows with tau and hits OOM; NetClus stays "
+      "flat/shrinking (coarser instances)");
+
+  data::Dataset d = bench::MakeDataset("beijing-lite", 0.20);
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  const index::MultiIndex index = bench::BuildIndex(d);
+  const uint64_t budget_bytes = static_cast<uint64_t>(
+      util::GetEnvInt("NETCLUS_MEM_BUDGET_MB", 16)) << 20;
+  const uint32_t k = 5;
+
+  std::printf("memory budget (paper: 32 GB testbed): %s\n",
+              util::HumanBytes(budget_bytes).c_str());
+  util::Table table({"tau_km", "INCG", "FMG", "NetClus", "FMNetClus",
+                     "NetClus_instance"});
+  for (const double tau : {100.0, 200.0, 400.0, 800.0, 1200.0, 1600.0, 2400.0,
+                           4000.0, 8000.0}) {
+    const bench::ExactRun incg =
+        bench::RunExactGreedy(d, k, tau, psi, false, 30, budget_bytes);
+    const bench::ExactRun fmg =
+        bench::RunExactGreedy(d, k, tau, psi, true, 30, budget_bytes);
+    const bench::NetClusRun netclus =
+        bench::RunNetClus(d, index, k, tau, psi, false);
+    const bench::NetClusRun fm_netclus =
+        bench::RunNetClus(d, index, k, tau, psi, true);
+    // NetClus per-query memory: the resolved instance + transient covers.
+    const uint64_t instance_bytes =
+        index.instance(netclus.instance_used).MemoryBytes();
+    table.Row()
+        .Cell(tau / 1000.0, 1)
+        .Cell(incg.oom ? std::string("Out of memory")
+                       : util::HumanBytes(incg.memory_bytes))
+        .Cell(fmg.oom ? std::string("Out of memory")
+                      : util::HumanBytes(fmg.memory_bytes))
+        .Cell(util::HumanBytes(netclus.transient_bytes + instance_bytes))
+        .Cell(util::HumanBytes(fm_netclus.transient_bytes + instance_bytes))
+        .Cell(static_cast<uint64_t>(netclus.instance_used));
+  }
+  table.PrintText(std::cout);
+  std::printf("whole-process VmRSS at exit: %s\n",
+              util::HumanBytes(util::ReadVmRssBytes()).c_str());
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Billboard placement with distance-decaying attention (TOPS2) and an
+// incumbent competitor (existing services, Sec. 7.3).
+//
+// An advertiser buys k billboard sites. A driver's attention to a board
+// decays with the detour distance — the paper's TOPS2 variant models this
+// with a convex decreasing probability ψ(T, s) = (1 - d_r/τ)². The
+// incumbent already operates boards at the busiest sites; the entrant
+// maximizes *additional* reach, which the warm-started greedy handles with
+// the same (1 - 1/e) guarantee.
+//
+// Demonstrates: non-binary preference functions, existing services, and
+// the quality/runtime contrast between NetClus and exact Inc-Greedy.
+//
+// Run: ./build/examples/billboard_reach
+#include <cstdio>
+#include <iostream>
+
+#include "data/datasets.h"
+#include "netclus/multi_index.h"
+#include "netclus/query.h"
+#include "tops/inc_greedy.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace netclus;
+
+  data::Dataset city = data::MakeAtlanta(0.3);
+  std::printf("mesh city: %zu intersections, %zu trajectories\n",
+              city.num_nodes(), city.num_trajectories());
+
+  const double tau = 900.0;
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::ConvexProbability(2.0);
+
+  // The incumbent: Inc-Greedy's unconstrained top-3 (the "obvious" spots).
+  tops::CoverageConfig cc;
+  cc.tau_m = tau;
+  util::WallTimer exact_timer;
+  const tops::CoverageIndex coverage =
+      tops::CoverageIndex::Build(*city.store, city.sites, cc);
+  tops::GreedyConfig greedy_config;
+  greedy_config.k = 3;
+  const tops::Selection incumbent = IncGreedy(coverage, psi, greedy_config);
+  std::printf("incumbent boards (exact greedy, %.1f s incl. covering sets): ",
+              exact_timer.Seconds());
+  for (tops::SiteId s : incumbent.sites) std::printf("%u ", city.sites.node(s));
+  std::printf("reach %.0f\n\n", incumbent.utility);
+
+  // The entrant uses NetClus: build once, query interactively.
+  index::MultiIndexConfig config;
+  config.gamma = 0.75;
+  config.tau_min_m = 400.0;
+  config.tau_max_m = 5000.0;
+  const index::MultiIndex index =
+      index::MultiIndex::Build(*city.store, city.sites, config);
+  const index::QueryEngine engine(&index, city.store.get(), &city.sites);
+
+  util::Table table({"k", "entrant_reach", "total_reach", "query_ms"});
+  for (const uint32_t k : {1u, 2u, 4u, 8u}) {
+    index::QueryConfig query;
+    query.k = k;
+    query.tau_m = tau;
+    query.existing_services = incumbent.sites;
+    util::WallTimer timer;
+    const index::QueryResult result = engine.Tops(psi, query);
+    const double ms = timer.Millis();
+    // Evaluate the entrant's true incremental reach.
+    std::vector<tops::SiteId> combined = incumbent.sites;
+    combined.insert(combined.end(), result.selection.sites.begin(),
+                    result.selection.sites.end());
+    const double total = tops::CoverageIndex::EvaluateSelection(
+        *city.store, city.sites, combined, tau, psi);
+    const double incumbent_only = tops::CoverageIndex::EvaluateSelection(
+        *city.store, city.sites, incumbent.sites, tau, psi);
+    table.Row()
+        .Cell(static_cast<uint64_t>(k))
+        .Cell(total - incumbent_only, 1)
+        .Cell(total, 1)
+        .Cell(ms, 1);
+  }
+  table.PrintText(std::cout);
+  std::printf(
+      "\nNote: entrant avoids the incumbent's catchments; reach is expected\n"
+      "attention (sum of (1 - d/tau)^2 over trajectories), not a count.\n");
+  return 0;
+}

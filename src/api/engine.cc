@@ -1,0 +1,140 @@
+#include "api/engine.h"
+
+#include "netclus/index_io.h"
+#include "util/logging.h"
+
+namespace netclus {
+
+Engine::Engine(graph::RoadNetwork network, tops::SiteSet sites)
+    : Engine(std::move(network), std::move(sites), Options()) {}
+
+Engine::Engine(graph::RoadNetwork network, tops::SiteSet sites, Options options)
+    : options_(options),
+      network_(std::make_unique<graph::RoadNetwork>(std::move(network))),
+      store_(std::make_unique<traj::TrajectoryStore>(network_.get())),
+      sites_(std::move(sites)) {}
+
+traj::TrajId Engine::AddTrajectory(std::vector<graph::NodeId> nodes) {
+  const traj::TrajId id = store_->Add(std::move(nodes));
+  if (index_ != nullptr) index_->AddTrajectory(*store_, id);
+  return id;
+}
+
+std::optional<traj::TrajId> Engine::AddGpsTrace(const traj::GpsTrace& trace) {
+  if (matcher_ == nullptr) {
+    matcher_ = std::make_unique<traj::MapMatcher>(network_.get(),
+                                                  options_.map_matcher);
+  }
+  traj::MatchResult match = matcher_->Match(trace);
+  if (match.path.empty()) return std::nullopt;
+  return AddTrajectory(std::move(match.path));
+}
+
+void Engine::RemoveTrajectory(traj::TrajId id) {
+  store_->Remove(id);
+  if (index_ != nullptr) index_->RemoveTrajectory(id);
+}
+
+tops::SiteId Engine::AddSite(graph::NodeId node) {
+  NC_CHECK_LT(node, network_->num_nodes());
+  const tops::SiteId id = sites_.Add(node);
+  if (index_ != nullptr) index_->AddSite(*store_, sites_, id);
+  return id;
+}
+
+void Engine::RemoveSite(tops::SiteId site) {
+  NC_CHECK_LT(site, sites_.size());
+  if (index_ != nullptr) index_->RemoveSite(*store_, sites_, site);
+}
+
+void Engine::BuildIndex() {
+  index_ = std::make_unique<index::MultiIndex>(
+      index::MultiIndex::Build(*store_, sites_, options_.index));
+  query_ = std::make_unique<index::QueryEngine>(index_.get(), store_.get(),
+                                                &sites_);
+}
+
+bool Engine::SaveIndexToFile(const std::string& path, std::string* error) const {
+  NC_CHECK(index_ != nullptr) << "call BuildIndex() first";
+  return index::SaveIndex(*index_, path, error);
+}
+
+bool Engine::LoadIndexFromFile(const std::string& path, std::string* error) {
+  auto loaded = std::make_unique<index::MultiIndex>();
+  if (!index::LoadIndex(path, network_->num_nodes(), store_->total_count(),
+                        loaded.get(), error)) {
+    return false;
+  }
+  index_ = std::move(loaded);
+  query_ = std::make_unique<index::QueryEngine>(index_.get(), store_.get(),
+                                                &sites_);
+  return true;
+}
+
+index::QueryResult Engine::TopK(uint32_t k, double tau_m,
+                                const tops::PreferenceFunction& psi,
+                                bool use_fm,
+                                const std::vector<tops::SiteId>& existing) const {
+  NC_CHECK(index_ != nullptr) << "call BuildIndex() first";
+  index::QueryConfig config;
+  config.k = k;
+  config.tau_m = tau_m;
+  config.use_fm_sketch = use_fm;
+  config.existing_services = existing;
+  return query_->Tops(psi, config);
+}
+
+index::QueryResult Engine::TopKWithBudget(
+    double budget, double tau_m, const tops::PreferenceFunction& psi,
+    const std::vector<double>& site_costs) const {
+  NC_CHECK(index_ != nullptr) << "call BuildIndex() first";
+  index::QueryConfig config;
+  config.tau_m = tau_m;
+  return query_->TopsCost(psi, config, site_costs, budget);
+}
+
+index::QueryResult Engine::TopKWithCapacity(
+    uint32_t k, double tau_m, const tops::PreferenceFunction& psi,
+    const std::vector<double>& site_capacities) const {
+  NC_CHECK(index_ != nullptr) << "call BuildIndex() first";
+  index::QueryConfig config;
+  config.k = k;
+  config.tau_m = tau_m;
+  return query_->TopsCapacity(psi, config, site_capacities);
+}
+
+tops::CoverageIndex Engine::BuildCoverage(double tau_m,
+                                          uint64_t memory_budget_bytes) const {
+  tops::CoverageConfig config;
+  config.tau_m = tau_m;
+  config.detour = options_.detour;
+  config.memory_budget_bytes = memory_budget_bytes;
+  return tops::CoverageIndex::Build(*store_, sites_, config);
+}
+
+tops::Selection Engine::ExactGreedy(uint32_t k, double tau_m,
+                                    const tops::PreferenceFunction& psi) const {
+  const tops::CoverageIndex coverage = BuildCoverage(tau_m);
+  tops::GreedyConfig config;
+  config.k = k;
+  return IncGreedy(coverage, psi, config);
+}
+
+tops::OptimalResult Engine::ExactOptimal(uint32_t k, double tau_m,
+                                         const tops::PreferenceFunction& psi,
+                                         double time_limit_s) const {
+  const tops::CoverageIndex coverage = BuildCoverage(tau_m);
+  tops::OptimalConfig config;
+  config.k = k;
+  config.time_limit_s = time_limit_s;
+  return SolveOptimal(coverage, psi, config);
+}
+
+double Engine::EvaluateExact(const std::vector<tops::SiteId>& selection,
+                             double tau_m,
+                             const tops::PreferenceFunction& psi) const {
+  return tops::CoverageIndex::EvaluateSelection(*store_, sites_, selection,
+                                                tau_m, psi, options_.detour);
+}
+
+}  // namespace netclus

@@ -1,0 +1,143 @@
+// netclus::Engine — the one-stop public API.
+//
+// Owns the road network, the trajectory corpus, the candidate sites, and
+// (after BuildIndex) the multi-resolution NetClus index, and exposes the
+// paper's full query surface:
+//
+//   Engine engine(std::move(network), std::move(sites));
+//   engine.AddTrajectory({n1, n2, ...});        // map-matched input
+//   engine.AddGpsTrace(trace);                  // raw GPS input
+//   engine.BuildIndex();                        // offline phase
+//   auto result = engine.TopK(k, tau_m, psi);   // online TOPS query
+//   engine.AddTrajectory(...);                  // dynamic updates keep
+//                                               // the index current
+//
+// Exact baselines (Inc-Greedy / FM-greedy / branch-and-bound optimum on the
+// full covering sets) are available through the same object for
+// benchmarking and verification.
+#ifndef NETCLUS_API_ENGINE_H_
+#define NETCLUS_API_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "netclus/multi_index.h"
+#include "netclus/query.h"
+#include "tops/coverage.h"
+#include "tops/fm_greedy.h"
+#include "tops/inc_greedy.h"
+#include "tops/optimal.h"
+#include "tops/preference.h"
+#include "tops/site_set.h"
+#include "tops/variants.h"
+#include "traj/map_matcher.h"
+#include "traj/trajectory_store.h"
+
+namespace netclus {
+
+class Engine {
+ public:
+  struct Options {
+    index::MultiIndexConfig index;
+    tops::DetourMode detour = tops::DetourMode::kSinglePoint;
+    traj::MapMatcherConfig map_matcher;
+  };
+
+  /// Takes ownership of the network and candidate sites.
+  Engine(graph::RoadNetwork network, tops::SiteSet sites);
+  Engine(graph::RoadNetwork network, tops::SiteSet sites, Options options);
+
+  // --- corpus management ---------------------------------------------------
+
+  /// Adds a map-matched trajectory (node sequence). If the index is built,
+  /// it absorbs the update (Sec. 6).
+  traj::TrajId AddTrajectory(std::vector<graph::NodeId> nodes);
+
+  /// Map-matches a raw GPS trace and adds the result; returns the id or
+  /// nullopt when matching fails.
+  std::optional<traj::TrajId> AddGpsTrace(const traj::GpsTrace& trace);
+
+  /// Removes a trajectory from the corpus (and the index, if built).
+  void RemoveTrajectory(traj::TrajId id);
+
+  /// Registers a new candidate site at an existing node.
+  tops::SiteId AddSite(graph::NodeId node);
+
+  /// Untags a candidate site (the index elects new representatives).
+  void RemoveSite(tops::SiteId site);
+
+  // --- offline phase --------------------------------------------------------
+
+  /// Builds the multi-resolution NetClus index over the current corpus.
+  void BuildIndex();
+  bool index_built() const { return index_ != nullptr; }
+
+  /// Persists the built index (the expensive offline artifact) to `path`.
+  bool SaveIndexToFile(const std::string& path, std::string* error) const;
+
+  /// Loads a previously saved index instead of rebuilding; validates that
+  /// it matches the current network/corpus sizes.
+  bool LoadIndexFromFile(const std::string& path, std::string* error);
+
+  // --- online queries (NetClus) ---------------------------------------------
+
+  /// TOPS(k, τ, ψ) via NetClus. `use_fm` selects FMNETCLUS (binary ψ only).
+  index::QueryResult TopK(uint32_t k, double tau_m,
+                          const tops::PreferenceFunction& psi,
+                          bool use_fm = false,
+                          const std::vector<tops::SiteId>& existing = {}) const;
+
+  /// TOPS-COST via NetClus.
+  index::QueryResult TopKWithBudget(double budget, double tau_m,
+                                    const tops::PreferenceFunction& psi,
+                                    const std::vector<double>& site_costs) const;
+
+  /// TOPS-CAPACITY via NetClus.
+  index::QueryResult TopKWithCapacity(
+      uint32_t k, double tau_m, const tops::PreferenceFunction& psi,
+      const std::vector<double>& site_capacities) const;
+
+  // --- exact baselines (no index; build covering sets on demand) ------------
+
+  /// Full covering sets at τ (the expensive structure; Sec. 3.2).
+  tops::CoverageIndex BuildCoverage(double tau_m,
+                                    uint64_t memory_budget_bytes = 0) const;
+
+  /// Inc-Greedy on freshly built covering sets.
+  tops::Selection ExactGreedy(uint32_t k, double tau_m,
+                              const tops::PreferenceFunction& psi) const;
+
+  /// Branch-and-bound optimum (small instances only).
+  tops::OptimalResult ExactOptimal(uint32_t k, double tau_m,
+                                   const tops::PreferenceFunction& psi,
+                                   double time_limit_s = 120.0) const;
+
+  /// Exact utility of a selection under (τ, ψ), evaluated with k bounded
+  /// searches (no covering sets).
+  double EvaluateExact(const std::vector<tops::SiteId>& selection, double tau_m,
+                       const tops::PreferenceFunction& psi) const;
+
+  // --- accessors -------------------------------------------------------------
+
+  const graph::RoadNetwork& network() const { return *network_; }
+  const traj::TrajectoryStore& store() const { return *store_; }
+  const tops::SiteSet& sites() const { return sites_; }
+  const index::MultiIndex& index() const { return *index_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::unique_ptr<graph::RoadNetwork> network_;
+  std::unique_ptr<traj::TrajectoryStore> store_;
+  tops::SiteSet sites_;
+  std::unique_ptr<traj::MapMatcher> matcher_;
+  std::unique_ptr<index::MultiIndex> index_;
+  std::unique_ptr<index::QueryEngine> query_;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_API_ENGINE_H_

@@ -1,0 +1,171 @@
+#include "data/datasets.h"
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "traj/trip_generator.h"
+#include "util/logging.h"
+
+namespace netclus::data {
+
+namespace {
+
+// Scales a linear dimension so that node counts scale ~linearly with
+// `scale` (grids are two-dimensional).
+uint32_t ScaleDim(uint32_t dim, double scale) {
+  const double scaled = static_cast<double>(dim) * std::sqrt(std::max(0.01, scale));
+  return std::max(4u, static_cast<uint32_t>(std::lround(scaled)));
+}
+
+uint32_t ScaleCount(uint32_t count, double scale) {
+  return std::max(10u, static_cast<uint32_t>(std::lround(count * scale)));
+}
+
+Dataset Assemble(std::string name, graph::RoadNetwork network,
+                 const traj::TripGeneratorConfig& trips, tops::SiteSet sites) {
+  Dataset d;
+  d.name = std::move(name);
+  d.network = std::make_unique<graph::RoadNetwork>(std::move(network));
+  d.store = std::make_unique<traj::TrajectoryStore>(d.network.get());
+  traj::GenerateTrips(trips, d.store.get());
+  d.sites = std::move(sites);
+  NC_LOG_INFO << "dataset " << d.name << ": " << d.num_nodes() << " nodes, "
+              << d.num_trajectories() << " trajectories, " << d.num_sites()
+              << " sites";
+  return d;
+}
+
+}  // namespace
+
+Dataset MakeBeijingSmall(double scale, uint64_t seed) {
+  graph::GridCityConfig grid;
+  grid.rows = ScaleDim(24, scale);
+  grid.cols = ScaleDim(24, scale);
+  grid.block_m = 150.0;
+  grid.seed = seed;
+  graph::RoadNetwork net = graph::GenerateGridCity(grid);
+
+  traj::TripGeneratorConfig trips;
+  trips.num_trajectories = ScaleCount(1000, scale);
+  trips.num_hotspots = 6;
+  trips.hotspot_sigma_m = 400.0;
+  trips.min_od_distance_m = 800.0;
+  trips.seed = seed + 1;
+
+  tops::SiteSet sites = tops::SiteSet::SampleNodes(
+      net, std::min<size_t>(net.num_nodes(), ScaleCount(50, scale)), seed + 2);
+  return Assemble("beijing-small", std::move(net), trips, std::move(sites));
+}
+
+Dataset MakeBeijingLite(double scale, uint64_t seed) {
+  graph::GridCityConfig grid;
+  grid.rows = ScaleDim(100, scale);
+  grid.cols = ScaleDim(100, scale);
+  grid.block_m = 150.0;
+  grid.one_way_fraction = 0.25;
+  grid.edge_drop_fraction = 0.05;
+  grid.seed = seed;
+  graph::RoadNetwork net = graph::GenerateGridCity(grid);
+
+  traj::TripGeneratorConfig trips;
+  trips.num_trajectories = ScaleCount(15000, scale);
+  trips.num_hotspots = 12;
+  trips.hotspot_sigma_m = 900.0;
+  trips.min_od_distance_m = 2000.0;
+  trips.seed = seed + 1;
+
+  tops::SiteSet sites = tops::SiteSet::AllNodes(net);
+  return Assemble("beijing-lite", std::move(net), trips, std::move(sites));
+}
+
+Dataset MakeNewYork(double scale, uint64_t seed) {
+  graph::StarCityConfig star;
+  star.num_rays = 9;
+  star.nodes_per_ray = ScaleDim(70, scale);
+  star.core_rows = ScaleDim(16, scale);
+  star.core_cols = ScaleDim(16, scale);
+  star.seed = seed;
+  graph::RoadNetwork net = graph::GenerateStarCity(star);
+
+  traj::TripGeneratorConfig trips;
+  trips.num_trajectories = ScaleCount(10000, scale);
+  trips.num_hotspots = 10;
+  trips.hotspot_sigma_m = 700.0;
+  trips.min_od_distance_m = 1500.0;
+  trips.seed = seed + 1;
+
+  tops::SiteSet sites = tops::SiteSet::AllNodes(net);
+  return Assemble("newyork", std::move(net), trips, std::move(sites));
+}
+
+Dataset MakeAtlanta(double scale, uint64_t seed) {
+  graph::GridCityConfig grid;
+  grid.rows = ScaleDim(64, scale);
+  grid.cols = ScaleDim(64, scale);
+  grid.block_m = 180.0;
+  grid.one_way_fraction = 0.15;
+  grid.edge_drop_fraction = 0.03;
+  grid.seed = seed;
+  graph::RoadNetwork net = graph::GenerateGridCity(grid);
+
+  traj::TripGeneratorConfig trips;
+  trips.num_trajectories = ScaleCount(10000, scale);
+  // Mesh city, flow spread out: many weak hotspots + high background.
+  trips.num_hotspots = 24;
+  trips.hotspot_sigma_m = 1200.0;
+  trips.background_fraction = 0.5;
+  trips.min_od_distance_m = 1500.0;
+  trips.seed = seed + 1;
+
+  tops::SiteSet sites = tops::SiteSet::AllNodes(net);
+  return Assemble("atlanta", std::move(net), trips, std::move(sites));
+}
+
+Dataset MakeBangalore(double scale, uint64_t seed) {
+  graph::PolycentricCityConfig poly;
+  poly.num_centers = 6;
+  poly.patch_rows = ScaleDim(22, scale);
+  poly.patch_cols = ScaleDim(22, scale);
+  poly.seed = seed;
+  graph::RoadNetwork net = graph::GeneratePolycentricCity(poly);
+
+  traj::TripGeneratorConfig trips;
+  trips.num_trajectories = ScaleCount(10000, scale);
+  // Polycentric: flow concentrates between district centers.
+  trips.num_hotspots = 8;
+  trips.hotspot_sigma_m = 600.0;
+  trips.background_fraction = 0.1;
+  trips.min_od_distance_m = 2500.0;
+  trips.seed = seed + 1;
+
+  tops::SiteSet sites = tops::SiteSet::AllNodes(net);
+  return Assemble("bangalore", std::move(net), trips, std::move(sites));
+}
+
+Dataset MakeByName(const std::string& name, double scale) {
+  if (name == "beijing-small") return MakeBeijingSmall(scale);
+  if (name == "beijing-lite") return MakeBeijingLite(scale);
+  if (name == "newyork") return MakeNewYork(scale);
+  if (name == "atlanta") return MakeAtlanta(scale);
+  if (name == "bangalore") return MakeBangalore(scale);
+  NC_LOG_FATAL << "unknown dataset: " << name;
+  return {};
+}
+
+std::vector<traj::TrajId> AddTrajectoriesWithLength(Dataset* dataset,
+                                                    uint32_t count,
+                                                    double min_length_m,
+                                                    double max_length_m,
+                                                    uint64_t seed) {
+  traj::TripGeneratorConfig trips;
+  trips.num_trajectories = count;
+  trips.num_hotspots = 10;
+  trips.hotspot_sigma_m = 800.0;
+  trips.min_od_distance_m = min_length_m * 0.3;
+  trips.min_length_m = min_length_m;
+  trips.max_length_m = max_length_m;
+  trips.seed = seed;
+  return traj::GenerateTrips(trips, dataset->store.get());
+}
+
+}  // namespace netclus::data

@@ -1,0 +1,72 @@
+// Named deterministic datasets: the stand-ins for Table 6.
+//
+// | name           | paper counterpart          | topology     |
+// |----------------|----------------------------|--------------|
+// | beijing-small  | Beijing-Small (1k/50)      | grid sample  |
+// | beijing-lite   | Beijing (123k/269k)        | large grid   |
+// | newyork        | New York (MNTG synthetic)  | radial star  |
+// | atlanta        | Atlanta (MNTG synthetic)   | uniform mesh |
+// | bangalore      | Bangalore (MNTG synthetic) | polycentric  |
+//
+// Sizes are scaled to laptop budgets (the paper's testbed ran hours-long
+// offline builds); `scale` multiplies node and trajectory counts, and the
+// NETCLUS_SCALE env var sets the default scale for benches. Every dataset
+// is fully deterministic given (name, scale).
+#ifndef NETCLUS_DATA_DATASETS_H_
+#define NETCLUS_DATA_DATASETS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "tops/site_set.h"
+#include "traj/trajectory_store.h"
+
+namespace netclus::data {
+
+/// A self-contained benchmark dataset. The network lives behind a stable
+/// pointer because the store references it.
+struct Dataset {
+  std::string name;
+  std::unique_ptr<graph::RoadNetwork> network;
+  std::unique_ptr<traj::TrajectoryStore> store;
+  tops::SiteSet sites;
+
+  size_t num_nodes() const { return network->num_nodes(); }
+  size_t num_trajectories() const { return store->live_count(); }
+  size_t num_sites() const { return sites.size(); }
+};
+
+/// The Beijing-Small analogue: a small dense sample for exact-optimum
+/// comparisons (Fig. 4). ~1k trajectories, 50 candidate sites.
+Dataset MakeBeijingSmall(double scale = 1.0, uint64_t seed = 17);
+
+/// The main evaluation dataset (Beijing analogue): large grid, all nodes
+/// candidate sites. scale = 1 gives ~10k nodes / ~15k trajectories.
+Dataset MakeBeijingLite(double scale = 1.0, uint64_t seed = 23);
+
+/// Star topology ("New York", Fig. 11).
+Dataset MakeNewYork(double scale = 1.0, uint64_t seed = 29);
+
+/// Mesh topology ("Atlanta", Fig. 11).
+Dataset MakeAtlanta(double scale = 1.0, uint64_t seed = 31);
+
+/// Polycentric topology ("Bangalore", Fig. 11).
+Dataset MakeBangalore(double scale = 1.0, uint64_t seed = 37);
+
+/// Dispatch by name ("beijing-small", "beijing-lite", "newyork", "atlanta",
+/// "bangalore"). Dies on unknown names.
+Dataset MakeByName(const std::string& name, double scale = 1.0);
+
+/// Generates extra trajectories with a given along-path length window
+/// (Fig. 12 length classes) into an existing dataset; returns ids.
+std::vector<traj::TrajId> AddTrajectoriesWithLength(Dataset* dataset,
+                                                    uint32_t count,
+                                                    double min_length_m,
+                                                    double max_length_m,
+                                                    uint64_t seed);
+
+}  // namespace netclus::data
+
+#endif  // NETCLUS_DATA_DATASETS_H_

@@ -1,0 +1,40 @@
+// Axis-aligned bounding box in the local planar frame.
+#ifndef NETCLUS_GEO_BBOX_H_
+#define NETCLUS_GEO_BBOX_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geo/point.h"
+
+namespace netclus::geo {
+
+struct BBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  void Extend(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Empty() const { return min_x > max_x; }
+
+  double Width() const { return Empty() ? 0.0 : max_x - min_x; }
+  double Height() const { return Empty() ? 0.0 : max_y - min_y; }
+  double AreaSqKm() const { return Width() * Height() / 1e6; }
+
+  Point Center() const { return {(min_x + max_x) / 2.0, (min_y + max_y) / 2.0}; }
+};
+
+}  // namespace netclus::geo
+
+#endif  // NETCLUS_GEO_BBOX_H_

@@ -1,0 +1,38 @@
+#include "geo/geodesy.h"
+
+#include <cmath>
+
+namespace netclus::geo {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double HaversineMeters(const LatLon& a, const LatLon& b) {
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlon = (b.lon - a.lon) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+Projector::Projector(const LatLon& reference) : reference_(reference) {
+  meters_per_deg_lat_ = kEarthRadiusMeters * kDegToRad;
+  meters_per_deg_lon_ =
+      kEarthRadiusMeters * kDegToRad * std::cos(reference.lat * kDegToRad);
+}
+
+Point Projector::Project(const LatLon& p) const {
+  return {(p.lon - reference_.lon) * meters_per_deg_lon_,
+          (p.lat - reference_.lat) * meters_per_deg_lat_};
+}
+
+LatLon Projector::Unproject(const Point& p) const {
+  return {reference_.lat + p.y / meters_per_deg_lat_,
+          reference_.lon + p.x / meters_per_deg_lon_};
+}
+
+}  // namespace netclus::geo

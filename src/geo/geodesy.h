@@ -1,0 +1,38 @@
+// Geodetic helpers: great-circle distance and a local planar projection.
+#ifndef NETCLUS_GEO_GEODESY_H_
+#define NETCLUS_GEO_GEODESY_H_
+
+#include "geo/point.h"
+
+namespace netclus::geo {
+
+/// Mean Earth radius in meters.
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// Great-circle (haversine) distance between two WGS84 coordinates, meters.
+double HaversineMeters(const LatLon& a, const LatLon& b);
+
+/// Equirectangular projection around a reference point. Accurate to well
+/// under 0.1% at city scale (tens of km), which is all the generators and
+/// the map-matcher need.
+class Projector {
+ public:
+  explicit Projector(const LatLon& reference);
+
+  /// Projects a WGS84 coordinate to local meters.
+  Point Project(const LatLon& p) const;
+
+  /// Inverse projection from local meters back to WGS84.
+  LatLon Unproject(const Point& p) const;
+
+  const LatLon& reference() const { return reference_; }
+
+ private:
+  LatLon reference_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lon_;
+};
+
+}  // namespace netclus::geo
+
+#endif  // NETCLUS_GEO_GEODESY_H_

@@ -1,0 +1,47 @@
+// Planar and geodetic point types.
+//
+// The library works internally in a local planar frame (meters) produced by
+// geo::Projector; raw inputs (synthesized GPS traces, generator hotspots)
+// may be expressed as LatLon.
+#ifndef NETCLUS_GEO_POINT_H_
+#define NETCLUS_GEO_POINT_H_
+
+#include <cmath>
+
+namespace netclus::geo {
+
+/// A point in a local planar frame, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+};
+
+/// Euclidean distance in the planar frame (meters).
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (avoids the sqrt in hot loops).
+inline double DistanceSq(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// A WGS84 coordinate in degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+}  // namespace netclus::geo
+
+#endif  // NETCLUS_GEO_POINT_H_

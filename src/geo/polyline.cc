@@ -1,0 +1,47 @@
+#include "geo/polyline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netclus::geo {
+
+SegmentProjection ProjectOntoSegment(const Point& p, const Point& a, const Point& b) {
+  SegmentProjection out;
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double len_sq = abx * abx + aby * aby;
+  if (len_sq <= 0.0) {
+    out.closest = a;
+    out.t = 0.0;
+  } else {
+    double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq;
+    t = std::clamp(t, 0.0, 1.0);
+    out.closest = {a.x + t * abx, a.y + t * aby};
+    out.t = t;
+  }
+  out.distance = Distance(p, out.closest);
+  return out;
+}
+
+double PolylineLength(const std::vector<Point>& pts) {
+  double total = 0.0;
+  for (size_t i = 1; i < pts.size(); ++i) total += Distance(pts[i - 1], pts[i]);
+  return total;
+}
+
+Point InterpolateAlong(const std::vector<Point>& pts, double s) {
+  if (pts.empty()) return {};
+  if (s <= 0.0) return pts.front();
+  for (size_t i = 1; i < pts.size(); ++i) {
+    const double seg = Distance(pts[i - 1], pts[i]);
+    if (s <= seg && seg > 0.0) {
+      const double t = s / seg;
+      return {pts[i - 1].x + t * (pts[i].x - pts[i - 1].x),
+              pts[i - 1].y + t * (pts[i].y - pts[i - 1].y)};
+    }
+    s -= seg;
+  }
+  return pts.back();
+}
+
+}  // namespace netclus::geo

@@ -1,0 +1,29 @@
+// Segment geometry used by the map-matcher and the GPS trace synthesizer.
+#ifndef NETCLUS_GEO_POLYLINE_H_
+#define NETCLUS_GEO_POLYLINE_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace netclus::geo {
+
+/// Result of projecting a point onto a segment.
+struct SegmentProjection {
+  Point closest;    ///< nearest point on the segment
+  double t = 0.0;   ///< parametric position in [0,1] along the segment
+  double distance = 0.0;  ///< distance from the query point to `closest`
+};
+
+/// Projects `p` onto segment [a, b].
+SegmentProjection ProjectOntoSegment(const Point& p, const Point& a, const Point& b);
+
+/// Total length of a polyline (meters).
+double PolylineLength(const std::vector<Point>& pts);
+
+/// Point at arc-length `s` along the polyline (clamped to the ends).
+Point InterpolateAlong(const std::vector<Point>& pts, double s);
+
+}  // namespace netclus::geo
+
+#endif  // NETCLUS_GEO_POLYLINE_H_

@@ -1,0 +1,235 @@
+#include "geo/spatial_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace netclus::geo {
+
+namespace {
+
+constexpr size_t kInitialTableSize = 1 << 12;  // power of two
+
+uint64_t HashKey(int64_t key) {
+  return util::SplitMix64(static_cast<uint64_t>(key));
+}
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PointGrid
+// ---------------------------------------------------------------------------
+
+PointGrid::PointGrid(double cell_size) : cell_size_(cell_size) {
+  NC_CHECK_GT(cell_size, 0.0);
+  table_.resize(kInitialTableSize);
+  table_mask_ = table_.size() - 1;
+}
+
+void PointGrid::CellOf(const Point& p, int64_t* cx, int64_t* cy) const {
+  *cx = static_cast<int64_t>(std::floor(p.x / cell_size_));
+  *cy = static_cast<int64_t>(std::floor(p.y / cell_size_));
+}
+
+int64_t PointGrid::CellKey(int64_t cx, int64_t cy) const {
+  // Interleave-free packing: city-scale grids are far below 2^31 cells/axis.
+  return (cx << 32) ^ (cy & 0xffffffffLL);
+}
+
+void PointGrid::Build(const std::vector<Point>& points) {
+  table_.assign(NextPow2(std::max<size_t>(kInitialTableSize, points.size() / 4)), {});
+  table_mask_ = table_.size() - 1;
+  entries_ = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    Insert(static_cast<uint32_t>(i), points[i]);
+  }
+}
+
+void PointGrid::Insert(uint32_t id, const Point& p) {
+  int64_t cx, cy;
+  CellOf(p, &cx, &cy);
+  if (entries_ == 0) {
+    min_cx_ = max_cx_ = cx;
+    min_cy_ = max_cy_ = cy;
+  } else {
+    min_cx_ = std::min(min_cx_, cx);
+    max_cx_ = std::max(max_cx_, cx);
+    min_cy_ = std::min(min_cy_, cy);
+    max_cy_ = std::max(max_cy_, cy);
+  }
+  const int64_t key = CellKey(cx, cy);
+  auto& slot = table_[HashKey(key) & table_mask_];
+  for (auto& bucket : slot) {
+    if (bucket.key == key) {
+      bucket.entries.push_back({id, p});
+      ++entries_;
+      return;
+    }
+  }
+  slot.push_back(Bucket{key, {{id, p}}});
+  ++entries_;
+}
+
+const std::vector<PointGrid::Entry>* PointGrid::CellEntries(int64_t cx,
+                                                            int64_t cy) const {
+  const int64_t key = CellKey(cx, cy);
+  const auto& slot = table_[HashKey(key) & table_mask_];
+  for (const auto& bucket : slot) {
+    if (bucket.key == key) return &bucket.entries;
+  }
+  return nullptr;
+}
+
+std::vector<uint32_t> PointGrid::QueryRadius(const Point& center,
+                                             double radius) const {
+  std::vector<uint32_t> out;
+  for (const auto& [dist, id] : QueryRadiusWithDistance(center, radius)) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::pair<double, uint32_t>> PointGrid::QueryRadiusWithDistance(
+    const Point& center, double radius) const {
+  std::vector<std::pair<double, uint32_t>> out;
+  if (radius < 0.0 || entries_ == 0) return out;
+  int64_t cx0, cy0, cx1, cy1;
+  CellOf({center.x - radius, center.y - radius}, &cx0, &cy0);
+  CellOf({center.x + radius, center.y + radius}, &cx1, &cy1);
+  // Clamp to occupied cells so huge radii stay cheap.
+  cx0 = std::max(cx0, min_cx_);
+  cy0 = std::max(cy0, min_cy_);
+  cx1 = std::min(cx1, max_cx_);
+  cy1 = std::min(cy1, max_cy_);
+  const double r_sq = radius * radius;
+  for (int64_t cy = cy0; cy <= cy1; ++cy) {
+    for (int64_t cx = cx0; cx <= cx1; ++cx) {
+      const auto* entries = CellEntries(cx, cy);
+      if (entries == nullptr) continue;
+      for (const auto& e : *entries) {
+        const double d_sq = DistanceSq(center, e.p);
+        if (d_sq <= r_sq) out.emplace_back(std::sqrt(d_sq), e.id);
+      }
+    }
+  }
+  return out;
+}
+
+uint32_t PointGrid::Nearest(const Point& center) const {
+  if (entries_ == 0) return kNotFound;
+  const std::vector<uint32_t> nearest = KNearest(center, 1);
+  return nearest.empty() ? kNotFound : nearest[0];
+}
+
+std::vector<uint32_t> PointGrid::KNearest(const Point& center, size_t count) const {
+  if (entries_ == 0 || count == 0) return {};
+  // Radius-doubling search. Once at least `count` hits are inside radius r,
+  // the true k-nearest are inside radius r as well, so the result is exact.
+  double radius = cell_size_;
+  std::vector<std::pair<double, uint32_t>> scored;
+  while (true) {
+    scored = QueryRadiusWithDistance(center, radius);
+    if (scored.size() >= count || scored.size() == entries_) break;
+    radius *= 2.0;
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<uint32_t> out;
+  out.reserve(std::min(count, scored.size()));
+  for (size_t i = 0; i < scored.size() && i < count; ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SegmentGrid
+// ---------------------------------------------------------------------------
+
+SegmentGrid::SegmentGrid(double cell_size) : cell_size_(cell_size) {
+  NC_CHECK_GT(cell_size, 0.0);
+  table_.resize(kInitialTableSize);
+  table_mask_ = table_.size() - 1;
+}
+
+int64_t SegmentGrid::CellKey(int64_t cx, int64_t cy) const {
+  return (cx << 32) ^ (cy & 0xffffffffLL);
+}
+
+void SegmentGrid::Build(const std::vector<Point>& a, const std::vector<Point>& b) {
+  NC_CHECK_EQ(a.size(), b.size());
+  table_.assign(NextPow2(std::max<size_t>(kInitialTableSize, a.size() / 2)), {});
+  table_mask_ = table_.size() - 1;
+  count_ = a.size();
+  seen_stamp_.assign(count_, 0);
+  stamp_ = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const int64_t cx0 =
+        static_cast<int64_t>(std::floor(std::min(a[i].x, b[i].x) / cell_size_));
+    const int64_t cy0 =
+        static_cast<int64_t>(std::floor(std::min(a[i].y, b[i].y) / cell_size_));
+    const int64_t cx1 =
+        static_cast<int64_t>(std::floor(std::max(a[i].x, b[i].x) / cell_size_));
+    const int64_t cy1 =
+        static_cast<int64_t>(std::floor(std::max(a[i].y, b[i].y) / cell_size_));
+    for (int64_t cy = cy0; cy <= cy1; ++cy) {
+      for (int64_t cx = cx0; cx <= cx1; ++cx) {
+        const int64_t key = CellKey(cx, cy);
+        auto& slot = table_[HashKey(key) & table_mask_];
+        bool found = false;
+        for (auto& bucket : slot) {
+          if (bucket.key == key) {
+            bucket.ids.push_back(static_cast<uint32_t>(i));
+            found = true;
+            break;
+          }
+        }
+        if (!found) slot.push_back(Bucket{key, {static_cast<uint32_t>(i)}});
+      }
+    }
+  }
+}
+
+std::vector<uint32_t> SegmentGrid::QueryRadius(const Point& center,
+                                               double radius) const {
+  std::vector<uint32_t> out;
+  if (radius < 0.0 || count_ == 0) return out;
+  ++stamp_;
+  if (stamp_ == 0) {
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+    stamp_ = 1;
+  }
+  const int64_t cx0 =
+      static_cast<int64_t>(std::floor((center.x - radius) / cell_size_));
+  const int64_t cy0 =
+      static_cast<int64_t>(std::floor((center.y - radius) / cell_size_));
+  const int64_t cx1 =
+      static_cast<int64_t>(std::floor((center.x + radius) / cell_size_));
+  const int64_t cy1 =
+      static_cast<int64_t>(std::floor((center.y + radius) / cell_size_));
+  for (int64_t cy = cy0; cy <= cy1; ++cy) {
+    for (int64_t cx = cx0; cx <= cx1; ++cx) {
+      const int64_t key = CellKey(cx, cy);
+      const auto& slot = table_[HashKey(key) & table_mask_];
+      for (const auto& bucket : slot) {
+        if (bucket.key != key) continue;
+        for (uint32_t id : bucket.ids) {
+          if (seen_stamp_[id] != stamp_) {
+            seen_stamp_[id] = stamp_;
+            out.push_back(id);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace netclus::geo

@@ -1,0 +1,113 @@
+// Uniform-grid spatial index over points and segments.
+//
+// Used by:
+//  * the map-matcher, to find candidate road segments near a GPS sample;
+//  * the dataset generators, to snap hotspots and candidate sites to nodes;
+//  * NetClus dynamic updates, to locate the nearest cluster center.
+//
+// A uniform grid beats an R-tree here: insertions are bulk, the data is
+// city-scale and near-uniform after hotspot mixing, and queries are tiny
+// radius lookups.
+#ifndef NETCLUS_GEO_SPATIAL_GRID_H_
+#define NETCLUS_GEO_SPATIAL_GRID_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+
+namespace netclus::geo {
+
+/// Grid index over points identified by dense uint32 ids.
+class PointGrid {
+ public:
+  /// `cell_size` is the grid pitch in meters; choose ~ the typical query
+  /// radius for best performance.
+  explicit PointGrid(double cell_size = 250.0);
+
+  /// Bulk-builds the index. Ids are positions in `points`.
+  void Build(const std::vector<Point>& points);
+
+  /// Adds one point with the given id (id must equal points-so-far count or
+  /// be any unique value; the grid stores (id, point) pairs).
+  void Insert(uint32_t id, const Point& p);
+
+  /// Ids of all points within `radius` of `center` (unordered).
+  std::vector<uint32_t> QueryRadius(const Point& center, double radius) const;
+
+  /// (distance, id) pairs for all points within `radius`, unordered.
+  std::vector<std::pair<double, uint32_t>> QueryRadiusWithDistance(
+      const Point& center, double radius) const;
+
+  /// Id of the nearest point to `center`, or kNotFound if the grid is empty.
+  /// Expands the search ring until a hit is found.
+  uint32_t Nearest(const Point& center) const;
+
+  /// Up to `count` nearest points, ordered by increasing distance.
+  std::vector<uint32_t> KNearest(const Point& center, size_t count) const;
+
+  size_t size() const { return entries_; }
+
+  static constexpr uint32_t kNotFound = std::numeric_limits<uint32_t>::max();
+
+ private:
+  struct Entry {
+    uint32_t id;
+    Point p;
+  };
+
+  int64_t CellKey(int64_t cx, int64_t cy) const;
+  void CellOf(const Point& p, int64_t* cx, int64_t* cy) const;
+  const std::vector<Entry>* CellEntries(int64_t cx, int64_t cy) const;
+
+  double cell_size_;
+  size_t entries_ = 0;
+  // Occupied-cell bounding box; queries clamp their scan range to it so
+  // that huge radii cost O(occupied area), not O(radius^2).
+  int64_t min_cx_ = 0, max_cx_ = -1, min_cy_ = 0, max_cy_ = -1;
+  // Open-addressed map from cell key to bucket index would be faster, but a
+  // std::vector-backed hash map keeps the code simple; buckets are small.
+  struct Bucket {
+    int64_t key;
+    std::vector<Entry> entries;
+  };
+  std::vector<std::vector<Bucket>> table_;
+  size_t table_mask_ = 0;
+};
+
+/// Grid index over line segments identified by dense uint32 ids. Each
+/// segment is registered in every cell its bounding box overlaps.
+class SegmentGrid {
+ public:
+  explicit SegmentGrid(double cell_size = 250.0);
+
+  /// Bulk-builds from parallel arrays of segment endpoints.
+  void Build(const std::vector<Point>& a, const std::vector<Point>& b);
+
+  /// Ids of segments whose bounding cells intersect the disc
+  /// (center, radius). May contain false positives; callers re-check exact
+  /// distance. Deduplicated.
+  std::vector<uint32_t> QueryRadius(const Point& center, double radius) const;
+
+  size_t size() const { return count_; }
+
+ private:
+  int64_t CellKey(int64_t cx, int64_t cy) const;
+
+  double cell_size_;
+  size_t count_ = 0;
+  struct Bucket {
+    int64_t key;
+    std::vector<uint32_t> ids;
+  };
+  std::vector<std::vector<Bucket>> table_;
+  size_t table_mask_ = 0;
+  mutable std::vector<uint32_t> seen_stamp_;
+  mutable uint32_t stamp_ = 0;
+};
+
+}  // namespace netclus::geo
+
+#endif  // NETCLUS_GEO_SPATIAL_GRID_H_

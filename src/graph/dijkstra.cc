@@ -1,0 +1,188 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace netclus::graph {
+
+DijkstraEngine::DijkstraEngine(const RoadNetwork* net) : net_(net) {
+  NC_CHECK(net != nullptr);
+  dist_.resize(net->num_nodes(), kInfDistance);
+  stamp_.resize(net->num_nodes(), 0);
+  parent_.resize(net->num_nodes(), kInvalidNode);
+}
+
+void DijkstraEngine::NewEpoch() {
+  ++epoch_;
+  if (epoch_ == 0) {
+    // Stamp wrap-around: invalidate everything once per ~4 billion searches.
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    epoch_ = 1;
+  }
+  // Drain any heap leftovers from an early-exited previous search.
+  while (!heap_.empty()) heap_.pop();
+}
+
+std::vector<Settled> DijkstraEngine::BoundedSearch(NodeId source, double radius,
+                                                   Direction dir) {
+  NC_CHECK_LT(source, net_->num_nodes());
+  NewEpoch();
+  std::vector<Settled> settled;
+  SetDist(source, 0.0);
+  heap_.push({0.0, source});
+  while (!heap_.empty()) {
+    const auto [d, u] = heap_.top();
+    heap_.pop();
+    if (d > DistOf(u)) continue;  // stale entry
+    if (d > radius) break;
+    settled.push_back({u, d});
+    const auto arcs = dir == Direction::kForward ? net_->OutArcs(u) : net_->InArcs(u);
+    for (const Arc& arc : arcs) {
+      const double nd = d + arc.weight;
+      if (nd <= radius && nd < DistOf(arc.to)) {
+        SetDist(arc.to, nd);
+        heap_.push({nd, arc.to});
+      }
+    }
+  }
+  last_settled_ = settled.size();
+  return settled;
+}
+
+std::vector<double> DijkstraEngine::FullSearch(NodeId source, Direction dir) {
+  NC_CHECK_LT(source, net_->num_nodes());
+  NewEpoch();
+  std::vector<double> out(net_->num_nodes(), kInfDistance);
+  SetDist(source, 0.0);
+  heap_.push({0.0, source});
+  size_t settled = 0;
+  while (!heap_.empty()) {
+    const auto [d, u] = heap_.top();
+    heap_.pop();
+    if (d > DistOf(u)) continue;
+    if (out[u] != kInfDistance) continue;
+    out[u] = d;
+    ++settled;
+    const auto arcs = dir == Direction::kForward ? net_->OutArcs(u) : net_->InArcs(u);
+    for (const Arc& arc : arcs) {
+      const double nd = d + arc.weight;
+      if (nd < DistOf(arc.to)) {
+        SetDist(arc.to, nd);
+        heap_.push({nd, arc.to});
+      }
+    }
+  }
+  last_settled_ = settled;
+  return out;
+}
+
+double DijkstraEngine::PointToPoint(NodeId s, NodeId t, double radius) {
+  NC_CHECK_LT(s, net_->num_nodes());
+  NC_CHECK_LT(t, net_->num_nodes());
+  if (s == t) return 0.0;
+  NewEpoch();
+  const double limit = radius < 0.0 ? kInfDistance : radius;
+  SetDist(s, 0.0);
+  heap_.push({0.0, s});
+  size_t settled = 0;
+  while (!heap_.empty()) {
+    const auto [d, u] = heap_.top();
+    heap_.pop();
+    if (d > DistOf(u)) continue;
+    if (d > limit) break;
+    ++settled;
+    if (u == t) {
+      last_settled_ = settled;
+      return d;
+    }
+    for (const Arc& arc : net_->OutArcs(u)) {
+      const double nd = d + arc.weight;
+      if (nd <= limit && nd < DistOf(arc.to)) {
+        SetDist(arc.to, nd);
+        heap_.push({nd, arc.to});
+      }
+    }
+  }
+  last_settled_ = settled;
+  return kInfDistance;
+}
+
+std::vector<NodeId> DijkstraEngine::ShortestPath(NodeId s, NodeId t,
+                                                 double radius) {
+  NC_CHECK_LT(s, net_->num_nodes());
+  NC_CHECK_LT(t, net_->num_nodes());
+  if (s == t) return {s};
+  NewEpoch();
+  const double limit = radius < 0.0 ? kInfDistance : radius;
+  SetDist(s, 0.0);
+  parent_[s] = kInvalidNode;
+  heap_.push({0.0, s});
+  bool reached = false;
+  while (!heap_.empty()) {
+    const auto [d, u] = heap_.top();
+    heap_.pop();
+    if (d > DistOf(u)) continue;
+    if (d > limit) break;
+    if (u == t) {
+      reached = true;
+      break;
+    }
+    for (const Arc& arc : net_->OutArcs(u)) {
+      const double nd = d + arc.weight;
+      if (nd <= limit && nd < DistOf(arc.to)) {
+        SetDist(arc.to, nd);
+        parent_[arc.to] = u;
+        heap_.push({nd, arc.to});
+      }
+    }
+  }
+  if (!reached) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = t; v != kInvalidNode; v = parent_[v]) {
+    path.push_back(v);
+    if (v == s) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<RoundTrip> DijkstraEngine::BoundedRoundTrip(NodeId source,
+                                                        double radius) {
+  // Any node with round trip <= radius has both legs <= radius, so two
+  // bounded searches at `radius` see every qualifying node.
+  const std::vector<Settled> fwd = BoundedSearch(source, radius, Direction::kForward);
+  const std::vector<Settled> rev = BoundedSearch(source, radius, Direction::kReverse);
+
+  std::vector<RoundTrip> out;
+  out.reserve(std::min(fwd.size(), rev.size()));
+  // Merge by node id.
+  std::vector<std::pair<NodeId, double>> fwd_sorted;
+  fwd_sorted.reserve(fwd.size());
+  for (const Settled& s : fwd) fwd_sorted.emplace_back(s.node, s.distance);
+  std::sort(fwd_sorted.begin(), fwd_sorted.end());
+  std::vector<std::pair<NodeId, double>> rev_sorted;
+  rev_sorted.reserve(rev.size());
+  for (const Settled& s : rev) rev_sorted.emplace_back(s.node, s.distance);
+  std::sort(rev_sorted.begin(), rev_sorted.end());
+
+  size_t i = 0, j = 0;
+  while (i < fwd_sorted.size() && j < rev_sorted.size()) {
+    if (fwd_sorted[i].first < rev_sorted[j].first) {
+      ++i;
+    } else if (rev_sorted[j].first < fwd_sorted[i].first) {
+      ++j;
+    } else {
+      const double total = fwd_sorted[i].second + rev_sorted[j].second;
+      if (total <= radius) {
+        out.push_back({fwd_sorted[i].first, fwd_sorted[i].second,
+                       rev_sorted[j].second});
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace netclus::graph

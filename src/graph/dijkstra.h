@@ -1,0 +1,105 @@
+// Dijkstra shortest-path family over RoadNetwork.
+//
+// All of NetClus's distance needs reduce to four primitives:
+//  * bounded one-to-many search (forward or reverse) — covering sets (Sec.
+//    3.2), GDSP dominating sets (Sec. 4.1.2), cluster neighbor lists (4.3);
+//  * full one-to-all search — small-instance exact baselines and tests;
+//  * point-to-point distance with early exit — map-matcher transitions,
+//    τ_min/τ_max estimation;
+//  * round-trip bounded search — nodes v with d(s,v) + d(v,s) ≤ r.
+//
+// DijkstraEngine owns reusable distance/stamp arrays so that running many
+// bounded searches (one per site, one per GDSP vertex) costs O(settled)
+// each instead of O(N) re-initialization.
+#ifndef NETCLUS_GRAPH_DIJKSTRA_H_
+#define NETCLUS_GRAPH_DIJKSTRA_H_
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace netclus::graph {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// Search direction: forward follows arcs u -> v (distances d(source, v));
+/// reverse follows them backwards (distances d(v, source)).
+enum class Direction {
+  kForward,
+  kReverse,
+};
+
+/// A settled node with its distance from (or to) the source.
+struct Settled {
+  NodeId node;
+  double distance;
+};
+
+/// A node's forward and reverse distances from a source, i.e. the two legs
+/// of the round trip source -> node -> source.
+struct RoundTrip {
+  NodeId node;
+  double out_distance;   ///< d(source, node)
+  double back_distance;  ///< d(node, source)
+
+  double total() const { return out_distance + back_distance; }
+};
+
+class DijkstraEngine {
+ public:
+  explicit DijkstraEngine(const RoadNetwork* net);
+
+  /// All nodes with distance <= radius from `source` in the given direction,
+  /// in non-decreasing distance order (the source itself is included with
+  /// distance 0).
+  std::vector<Settled> BoundedSearch(NodeId source, double radius,
+                                     Direction dir);
+
+  /// One-to-all distances; unreachable nodes get kInfDistance.
+  std::vector<double> FullSearch(NodeId source, Direction dir);
+
+  /// Shortest-path distance from s to t, or kInfDistance. Early-exits when
+  /// t is settled. `radius` (if >= 0) truncates the search.
+  double PointToPoint(NodeId s, NodeId t, double radius = -1.0);
+
+  /// Nodes whose round trip source -> v -> source is at most `radius`,
+  /// with both legs. Sorted by node id.
+  std::vector<RoundTrip> BoundedRoundTrip(NodeId source, double radius);
+
+  /// Shortest path from s to t as a node sequence (s first, t last). Empty
+  /// if unreachable within `radius` (negative radius = unbounded).
+  std::vector<NodeId> ShortestPath(NodeId s, NodeId t, double radius = -1.0);
+
+  /// Number of nodes settled by the last search (for complexity reporting).
+  size_t last_settled_count() const { return last_settled_; }
+
+  const RoadNetwork& network() const { return *net_; }
+
+ private:
+  // Stamped distance array: dist_[v] is valid only when stamp_[v] == epoch_.
+  double DistOf(NodeId v) const {
+    return stamp_[v] == epoch_ ? dist_[v] : kInfDistance;
+  }
+  void SetDist(NodeId v, double d) {
+    stamp_[v] = epoch_;
+    dist_[v] = d;
+  }
+  void NewEpoch();
+
+  const RoadNetwork* net_;
+  std::vector<double> dist_;
+  std::vector<uint32_t> stamp_;
+  std::vector<NodeId> parent_;  // valid only under the same stamp as dist_
+  uint32_t epoch_ = 0;
+  size_t last_settled_ = 0;
+
+  using HeapEntry = std::pair<double, NodeId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+};
+
+}  // namespace netclus::graph
+
+#endif  // NETCLUS_GRAPH_DIJKSTRA_H_

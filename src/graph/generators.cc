@@ -1,0 +1,256 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <vector>
+
+#include "geo/spatial_grid.h"
+#include "graph/scc.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace netclus::graph {
+
+namespace {
+
+// Adds a mesh of (rows x cols) intersections anchored at (origin_x,
+// origin_y); returns the node ids in row-major order. Streets between
+// adjacent intersections are two-way by default; with probability
+// `one_way_fraction` an entire street (row or column) becomes one-way with
+// alternating direction, Manhattan style.
+std::vector<NodeId> AddMesh(RoadNetworkBuilder* builder, util::Rng* rng,
+                            uint32_t rows, uint32_t cols, double block_m,
+                            double jitter_m, double origin_x, double origin_y,
+                            double one_way_fraction,
+                            double edge_drop_fraction) {
+  std::vector<NodeId> ids(static_cast<size_t>(rows) * cols);
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      const double x = origin_x + c * block_m + rng->Uniform(-jitter_m, jitter_m);
+      const double y = origin_y + r * block_m + rng->Uniform(-jitter_m, jitter_m);
+      ids[static_cast<size_t>(r) * cols + c] = builder->AddNode({x, y});
+    }
+  }
+  // Decide one-way status per street (whole row / whole column), with
+  // alternating directions as in real grids.
+  std::vector<int> row_dir(rows, 0);  // 0 two-way, +1 east, -1 west
+  std::vector<int> col_dir(cols, 0);  // 0 two-way, +1 north, -1 south
+  for (uint32_t r = 0; r < rows; ++r) {
+    if (rng->Bernoulli(one_way_fraction)) row_dir[r] = (r % 2 == 0) ? 1 : -1;
+  }
+  for (uint32_t c = 0; c < cols; ++c) {
+    if (rng->Bernoulli(one_way_fraction)) col_dir[c] = (c % 2 == 0) ? 1 : -1;
+  }
+  auto node = [&](uint32_t r, uint32_t c) {
+    return ids[static_cast<size_t>(r) * cols + c];
+  };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c + 1 < cols; ++c) {
+      if (rng->Bernoulli(edge_drop_fraction)) continue;
+      if (row_dir[r] >= 0) builder->AddEdge(node(r, c), node(r, c + 1));
+      if (row_dir[r] <= 0) builder->AddEdge(node(r, c + 1), node(r, c));
+    }
+  }
+  for (uint32_t c = 0; c < cols; ++c) {
+    for (uint32_t r = 0; r + 1 < rows; ++r) {
+      if (rng->Bernoulli(edge_drop_fraction)) continue;
+      if (col_dir[c] >= 0) builder->AddEdge(node(r, c), node(r + 1, c));
+      if (col_dir[c] <= 0) builder->AddEdge(node(r + 1, c), node(r, c));
+    }
+  }
+  return ids;
+}
+
+// Adds a two-way arterial between positions `from` and `to` with
+// intermediate nodes every `step_m`; returns all node ids on it, endpoints
+// excluded unless they are created here.
+std::vector<NodeId> AddArterial(RoadNetworkBuilder* builder, util::Rng* rng,
+                                const geo::Point& from, const geo::Point& to,
+                                double step_m, double jitter_m) {
+  const double length = geo::Distance(from, to);
+  const uint32_t segments = std::max<uint32_t>(1, static_cast<uint32_t>(length / step_m));
+  std::vector<NodeId> nodes;
+  for (uint32_t i = 1; i < segments; ++i) {
+    const double t = static_cast<double>(i) / segments;
+    const double x = from.x + t * (to.x - from.x) + rng->Uniform(-jitter_m, jitter_m);
+    const double y = from.y + t * (to.y - from.y) + rng->Uniform(-jitter_m, jitter_m);
+    nodes.push_back(builder->AddNode({x, y}));
+  }
+  return nodes;
+}
+
+// Chains node ids with two-way edges: a - n0 - n1 - ... - b.
+void ChainBidirectional(RoadNetworkBuilder* builder, NodeId a,
+                        const std::vector<NodeId>& mid, NodeId b) {
+  NodeId prev = a;
+  for (NodeId n : mid) {
+    builder->AddBidirectional(prev, n);
+    prev = n;
+  }
+  builder->AddBidirectional(prev, b);
+}
+
+}  // namespace
+
+RoadNetwork GenerateGridCity(const GridCityConfig& config) {
+  NC_CHECK_GE(config.rows, 2u);
+  NC_CHECK_GE(config.cols, 2u);
+  util::Rng rng(config.seed);
+  RoadNetworkBuilder builder;
+  AddMesh(&builder, &rng, config.rows, config.cols, config.block_m,
+          config.jitter_m, 0.0, 0.0, config.one_way_fraction,
+          config.edge_drop_fraction);
+  RoadNetwork raw = std::move(builder).Build();
+  return RestrictToLargestScc(raw, nullptr);
+}
+
+RoadNetwork GenerateStarCity(const StarCityConfig& config) {
+  NC_CHECK_GE(config.num_rays, 3u);
+  util::Rng rng(config.seed);
+  RoadNetworkBuilder builder;
+
+  // Dense downtown mesh centered at the origin.
+  const double core_w = (config.core_cols - 1) * config.core_block_m;
+  const double core_h = (config.core_rows - 1) * config.core_block_m;
+  const std::vector<NodeId> core =
+      AddMesh(&builder, &rng, config.core_rows, config.core_cols,
+              config.core_block_m, config.jitter_m, -core_w / 2.0,
+              -core_h / 2.0, /*one_way_fraction=*/0.3,
+              /*edge_drop_fraction=*/0.02);
+
+  // Rays: corridors leaving the core edge outward.
+  const double core_radius = std::max(core_w, core_h) / 2.0;
+  std::vector<std::vector<NodeId>> rays(config.num_rays);
+  for (uint32_t ray = 0; ray < config.num_rays; ++ray) {
+    const double angle = 2.0 * M_PI * ray / config.num_rays;
+    const double cx = std::cos(angle);
+    const double cy = std::sin(angle);
+    NodeId prev = kInvalidNode;
+    for (uint32_t i = 0; i < config.nodes_per_ray; ++i) {
+      const double radius = core_radius + (i + 1) * config.ray_step_m;
+      const geo::Point p{radius * cx + rng.Uniform(-config.jitter_m, config.jitter_m),
+                         radius * cy + rng.Uniform(-config.jitter_m, config.jitter_m)};
+      const NodeId n = builder.AddNode(p);
+      rays[ray].push_back(n);
+      if (prev != kInvalidNode) builder.AddBidirectional(prev, n);
+      prev = n;
+    }
+  }
+  // Anchor each ray to the nearest core boundary node.
+  // Core boundary: first/last rows and columns.
+  std::vector<NodeId> boundary;
+  for (uint32_t c = 0; c < config.core_cols; ++c) {
+    boundary.push_back(core[c]);
+    boundary.push_back(core[static_cast<size_t>(config.core_rows - 1) * config.core_cols + c]);
+  }
+  for (uint32_t r = 0; r < config.core_rows; ++r) {
+    boundary.push_back(core[static_cast<size_t>(r) * config.core_cols]);
+    boundary.push_back(core[static_cast<size_t>(r) * config.core_cols + config.core_cols - 1]);
+  }
+  // Anchor each ray to a boundary node chosen round-robin: rays are evenly
+  // spaced and the core is convex, so index spacing keeps corridors sensible
+  // without needing boundary positions back from the builder.
+  for (uint32_t ray = 0; ray < config.num_rays; ++ray) {
+    const size_t idx = (static_cast<size_t>(ray) * boundary.size()) / config.num_rays;
+    builder.AddBidirectional(boundary[idx], rays[ray].front());
+  }
+  // Ring roads: connect node i of every ray to node i of the next ray, for a
+  // few selected radii.
+  for (uint32_t ring = 0; ring < config.num_rings; ++ring) {
+    const uint32_t i =
+        static_cast<uint32_t>((static_cast<uint64_t>(ring + 1) * config.nodes_per_ray) /
+                              (config.num_rings + 1));
+    if (i >= config.nodes_per_ray) continue;
+    for (uint32_t ray = 0; ray < config.num_rays; ++ray) {
+      const NodeId a = rays[ray][i];
+      const NodeId b = rays[(ray + 1) % config.num_rays][i];
+      builder.AddBidirectional(a, b);
+    }
+  }
+  RoadNetwork raw = std::move(builder).Build();
+  return RestrictToLargestScc(raw, nullptr);
+}
+
+RoadNetwork GeneratePolycentricCity(const PolycentricCityConfig& config) {
+  NC_CHECK_GE(config.num_centers, 2u);
+  util::Rng rng(config.seed);
+  RoadNetworkBuilder builder;
+
+  // District centers: one at the origin (CBD), the rest on a circle.
+  std::vector<geo::Point> centers;
+  centers.push_back({0.0, 0.0});
+  for (uint32_t i = 1; i < config.num_centers; ++i) {
+    const double angle = 2.0 * M_PI * (i - 1) / (config.num_centers - 1) +
+                         rng.Uniform(-0.15, 0.15);
+    const double radius = config.city_span_m / 2.0 * rng.Uniform(0.6, 1.0);
+    centers.push_back({radius * std::cos(angle), radius * std::sin(angle)});
+  }
+
+  // A mesh patch per district. Remember each patch's node ids.
+  std::vector<std::vector<NodeId>> patches;
+  std::vector<geo::Point> patch_anchor;  // entry point position per district
+  std::vector<NodeId> anchors;
+  for (const geo::Point& c : centers) {
+    const double w = (config.patch_cols - 1) * config.block_m;
+    const double h = (config.patch_rows - 1) * config.block_m;
+    std::vector<NodeId> ids = AddMesh(
+        &builder, &rng, config.patch_rows, config.patch_cols, config.block_m,
+        config.jitter_m, c.x - w / 2.0, c.y - h / 2.0,
+        /*one_way_fraction=*/0.2, /*edge_drop_fraction=*/0.03);
+    // Anchor: mesh center node.
+    const NodeId anchor =
+        ids[static_cast<size_t>(config.patch_rows / 2) * config.patch_cols +
+            config.patch_cols / 2];
+    anchors.push_back(anchor);
+    patch_anchor.push_back(c);
+    patches.push_back(std::move(ids));
+  }
+
+  // Arterials: CBD to every district, plus the outer districts in a ring.
+  for (uint32_t i = 1; i < config.num_centers; ++i) {
+    std::vector<NodeId> mid =
+        AddArterial(&builder, &rng, patch_anchor[0], patch_anchor[i],
+                    config.arterial_step_m, config.jitter_m);
+    ChainBidirectional(&builder, anchors[0], mid, anchors[i]);
+  }
+  for (uint32_t i = 1; i < config.num_centers; ++i) {
+    const uint32_t j = (i % (config.num_centers - 1)) + 1;
+    std::vector<NodeId> mid =
+        AddArterial(&builder, &rng, patch_anchor[i], patch_anchor[j],
+                    config.arterial_step_m, config.jitter_m);
+    ChainBidirectional(&builder, anchors[i], mid, anchors[j]);
+  }
+
+  RoadNetwork raw = std::move(builder).Build();
+  return RestrictToLargestScc(raw, nullptr);
+}
+
+RoadNetwork GenerateRandomCity(const RandomCityConfig& config) {
+  NC_CHECK_GE(config.num_nodes, 10u);
+  util::Rng rng(config.seed);
+  RoadNetworkBuilder builder;
+  std::vector<geo::Point> pts;
+  pts.reserve(config.num_nodes);
+  for (uint32_t i = 0; i < config.num_nodes; ++i) {
+    const geo::Point p{rng.Uniform(0.0, config.span_m),
+                       rng.Uniform(0.0, config.span_m)};
+    pts.push_back(p);
+    builder.AddNode(p);
+  }
+  geo::PointGrid grid(config.span_m / 50.0);
+  grid.Build(pts);
+  for (uint32_t i = 0; i < config.num_nodes; ++i) {
+    const std::vector<uint32_t> nbrs = grid.KNearest(pts[i], config.neighbors + 1);
+    for (uint32_t j : nbrs) {
+      if (j == i) continue;
+      if (rng.Bernoulli(config.one_way_fraction)) {
+        builder.AddEdge(i, j);
+      } else {
+        builder.AddBidirectional(i, j);
+      }
+    }
+  }
+  RoadNetwork raw = std::move(builder).Build();
+  return RestrictToLargestScc(raw, nullptr);
+}
+
+}  // namespace netclus::graph

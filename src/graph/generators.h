@@ -1,0 +1,79 @@
+// Synthetic city road-network generators.
+//
+// Substitute for the OpenStreetMap extracts used in the paper (Sec. 8.1).
+// Three topology families mirror the paper's Fig. 11 study:
+//  * grid/mesh      — "Atlanta": uniform Manhattan mesh, flow spread out;
+//  * radial star    — "New York": arterials converging on a core, flow
+//                      concentrated on few corridors;
+//  * polycentric    — "Bangalore": several dense business districts joined
+//                      by arterials, flow concentrated between centers.
+// Plus a random planar family for robustness tests.
+//
+// Every generator returns a strongly connected directed network (largest
+// SCC of the raw draw) with edge lengths in meters, and is fully
+// deterministic given the seed.
+#ifndef NETCLUS_GRAPH_GENERATORS_H_
+#define NETCLUS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/road_network.h"
+
+namespace netclus::graph {
+
+struct GridCityConfig {
+  uint32_t rows = 60;
+  uint32_t cols = 60;
+  double block_m = 150.0;          ///< spacing between adjacent intersections
+  double jitter_m = 25.0;          ///< positional noise on intersections
+  double one_way_fraction = 0.25;  ///< fraction of streets made one-way
+  double edge_drop_fraction = 0.04;  ///< random street removals (irregularity)
+  uint64_t seed = 1;
+};
+
+/// Manhattan-style mesh ("Atlanta" in Fig. 11).
+RoadNetwork GenerateGridCity(const GridCityConfig& config);
+
+struct StarCityConfig {
+  uint32_t num_rays = 9;          ///< arterial corridors out of the core
+  uint32_t nodes_per_ray = 70;    ///< intersections along each corridor
+  double ray_step_m = 170.0;      ///< spacing along a corridor
+  uint32_t num_rings = 8;         ///< concentric connector ring roads
+  uint32_t core_rows = 16;        ///< dense downtown mesh rows
+  uint32_t core_cols = 16;
+  double core_block_m = 120.0;
+  double jitter_m = 15.0;
+  uint64_t seed = 2;
+};
+
+/// Radial star ("New York" in Fig. 11): a dense core plus long corridors.
+RoadNetwork GenerateStarCity(const StarCityConfig& config);
+
+struct PolycentricCityConfig {
+  uint32_t num_centers = 6;     ///< business districts (one is the CBD)
+  uint32_t patch_rows = 22;     ///< mesh size of each district
+  uint32_t patch_cols = 22;
+  double block_m = 140.0;
+  double city_span_m = 18000.0;  ///< diameter on which districts are placed
+  double arterial_step_m = 280.0;  ///< node spacing along inter-district roads
+  double jitter_m = 20.0;
+  uint64_t seed = 3;
+};
+
+/// Polycentric city ("Bangalore" in Fig. 11).
+RoadNetwork GeneratePolycentricCity(const PolycentricCityConfig& config);
+
+struct RandomCityConfig {
+  uint32_t num_nodes = 2000;
+  double span_m = 12000.0;     ///< square side on which nodes are scattered
+  uint32_t neighbors = 3;      ///< k-nearest-neighbor connectivity
+  double one_way_fraction = 0.2;
+  uint64_t seed = 4;
+};
+
+/// Random planar-ish network (k-NN graph on scattered points).
+RoadNetwork GenerateRandomCity(const RandomCityConfig& config);
+
+}  // namespace netclus::graph
+
+#endif  // NETCLUS_GRAPH_GENERATORS_H_

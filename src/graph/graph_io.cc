@@ -1,0 +1,107 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace netclus::graph {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Reads the next non-comment, non-blank line.
+bool NextLine(std::istream& is, std::string* line) {
+  while (std::getline(is, *line)) {
+    const std::string trimmed = util::Trim(*line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    *line = trimmed;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void WriteGraph(const RoadNetwork& net, std::ostream& os) {
+  os << std::setprecision(12);
+  os << "netclus-graph v1\n";
+  os << "nodes " << net.num_nodes() << "\n";
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    const geo::Point& p = net.position(u);
+    os << p.x << " " << p.y << "\n";
+  }
+  os << "edges " << net.num_edges() << "\n";
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    for (const Arc& arc : net.OutArcs(u)) {
+      os << u << " " << arc.to << " " << arc.weight << "\n";
+    }
+  }
+}
+
+bool ReadGraph(std::istream& is, RoadNetwork* net, std::string* error) {
+  std::string line;
+  if (!NextLine(is, &line) || line != "netclus-graph v1") {
+    return Fail(error, "missing/unknown header");
+  }
+  if (!NextLine(is, &line)) return Fail(error, "missing node count");
+  size_t num_nodes = 0;
+  {
+    std::istringstream ss(line);
+    std::string tag;
+    if (!(ss >> tag >> num_nodes) || tag != "nodes") {
+      return Fail(error, "bad node count line: " + line);
+    }
+  }
+  RoadNetworkBuilder builder;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    if (!NextLine(is, &line)) return Fail(error, "truncated node list");
+    std::istringstream ss(line);
+    double x, y;
+    if (!(ss >> x >> y)) return Fail(error, "bad node line: " + line);
+    builder.AddNode({x, y});
+  }
+  if (!NextLine(is, &line)) return Fail(error, "missing edge count");
+  size_t num_edges = 0;
+  {
+    std::istringstream ss(line);
+    std::string tag;
+    if (!(ss >> tag >> num_edges) || tag != "edges") {
+      return Fail(error, "bad edge count line: " + line);
+    }
+  }
+  for (size_t i = 0; i < num_edges; ++i) {
+    if (!NextLine(is, &line)) return Fail(error, "truncated edge list");
+    std::istringstream ss(line);
+    uint64_t u, v;
+    double w;
+    if (!(ss >> u >> v >> w)) return Fail(error, "bad edge line: " + line);
+    if (u >= num_nodes || v >= num_nodes) {
+      return Fail(error, "edge endpoint out of range: " + line);
+    }
+    builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+  }
+  *net = std::move(builder).Build();
+  return true;
+}
+
+bool SaveGraph(const RoadNetwork& net, const std::string& path,
+               std::string* error) {
+  std::ofstream out(path);
+  if (!out) return Fail(error, "cannot open for write: " + path);
+  WriteGraph(net, out);
+  return static_cast<bool>(out);
+}
+
+bool LoadGraph(const std::string& path, RoadNetwork* net, std::string* error) {
+  std::ifstream in(path);
+  if (!in) return Fail(error, "cannot open for read: " + path);
+  return ReadGraph(in, net, error);
+}
+
+}  // namespace netclus::graph

@@ -1,0 +1,32 @@
+// Text serialization of road networks.
+//
+// Format (line-oriented, '#' comments allowed):
+//   netclus-graph v1
+//   nodes <N>
+//   <x> <y>              (N lines, meters in the local frame)
+//   edges <E>
+//   <u> <v> <length_m>   (E lines)
+#ifndef NETCLUS_GRAPH_GRAPH_IO_H_
+#define NETCLUS_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/road_network.h"
+
+namespace netclus::graph {
+
+/// Writes `net` to the stream in the text format above.
+void WriteGraph(const RoadNetwork& net, std::ostream& os);
+
+/// Reads a network from the stream. Returns false (and leaves `net`
+/// untouched) on malformed input; `error` receives a description.
+bool ReadGraph(std::istream& is, RoadNetwork* net, std::string* error);
+
+/// File convenience wrappers.
+bool SaveGraph(const RoadNetwork& net, const std::string& path, std::string* error);
+bool LoadGraph(const std::string& path, RoadNetwork* net, std::string* error);
+
+}  // namespace netclus::graph
+
+#endif  // NETCLUS_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,112 @@
+#include "graph/road_network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/memory.h"
+
+namespace netclus::graph {
+
+NodeId RoadNetworkBuilder::AddNode(const geo::Point& p) {
+  points_.push_back(p);
+  return static_cast<NodeId>(points_.size() - 1);
+}
+
+void RoadNetworkBuilder::AddEdge(NodeId u, NodeId v, double length_m) {
+  NC_CHECK_LT(u, points_.size());
+  NC_CHECK_LT(v, points_.size());
+  if (u == v) return;  // self-loops carry no routing information
+  if (length_m < 0.0) length_m = geo::Distance(points_[u], points_[v]);
+  edges_.push_back({u, v, static_cast<float>(length_m)});
+}
+
+void RoadNetworkBuilder::AddBidirectional(NodeId u, NodeId v, double length_m) {
+  AddEdge(u, v, length_m);
+  AddEdge(v, u, length_m);
+}
+
+NodeId RoadNetworkBuilder::SplitEdge(NodeId u, NodeId v, double t) {
+  NC_CHECK_GT(t, 0.0);
+  NC_CHECK_LT(t, 1.0);
+  const geo::Point pu = points_[u];
+  const geo::Point pv = points_[v];
+  const NodeId w = AddNode({pu.x + t * (pv.x - pu.x), pu.y + t * (pv.y - pu.y)});
+  bool found = false;
+  std::vector<PendingEdge> kept;
+  kept.reserve(edges_.size());
+  for (const PendingEdge& e : edges_) {
+    if (e.u == u && e.v == v) {
+      found = true;
+      kept.push_back({u, w, static_cast<float>(e.weight * t)});
+      kept.push_back({w, v, static_cast<float>(e.weight * (1.0 - t))});
+    } else if (e.u == v && e.v == u) {
+      // Two-way street: split the opposite direction symmetrically.
+      kept.push_back({v, w, static_cast<float>(e.weight * (1.0 - t))});
+      kept.push_back({w, u, static_cast<float>(e.weight * t)});
+    } else {
+      kept.push_back(e);
+    }
+  }
+  NC_CHECK(found) << "SplitEdge: no edge " << u << "->" << v;
+  edges_ = std::move(kept);
+  return w;
+}
+
+RoadNetwork RoadNetworkBuilder::Build() && {
+  RoadNetwork net;
+  const size_t n = points_.size();
+  net.points_ = std::move(points_);
+
+  net.fwd_offsets_.assign(n + 1, 0);
+  net.rev_offsets_.assign(n + 1, 0);
+  for (const PendingEdge& e : edges_) {
+    ++net.fwd_offsets_[e.u + 1];
+    ++net.rev_offsets_[e.v + 1];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    net.fwd_offsets_[i + 1] += net.fwd_offsets_[i];
+    net.rev_offsets_[i + 1] += net.rev_offsets_[i];
+  }
+  net.fwd_arcs_.resize(edges_.size());
+  net.rev_arcs_.resize(edges_.size());
+  std::vector<uint32_t> fwd_fill(net.fwd_offsets_.begin(), net.fwd_offsets_.end() - 1);
+  std::vector<uint32_t> rev_fill(net.rev_offsets_.begin(), net.rev_offsets_.end() - 1);
+  for (const PendingEdge& e : edges_) {
+    net.fwd_arcs_[fwd_fill[e.u]++] = {e.v, e.weight};
+    net.rev_arcs_[rev_fill[e.v]++] = {e.u, e.weight};
+  }
+  // Sort adjacency by head id for cache-friendly scans and determinism.
+  for (size_t u = 0; u < n; ++u) {
+    auto fwd_begin = net.fwd_arcs_.begin() + net.fwd_offsets_[u];
+    auto fwd_end = net.fwd_arcs_.begin() + net.fwd_offsets_[u + 1];
+    std::sort(fwd_begin, fwd_end, [](const Arc& a, const Arc& b) {
+      return a.to < b.to || (a.to == b.to && a.weight < b.weight);
+    });
+    auto rev_begin = net.rev_arcs_.begin() + net.rev_offsets_[u];
+    auto rev_end = net.rev_arcs_.begin() + net.rev_offsets_[u + 1];
+    std::sort(rev_begin, rev_end, [](const Arc& a, const Arc& b) {
+      return a.to < b.to || (a.to == b.to && a.weight < b.weight);
+    });
+  }
+  return net;
+}
+
+geo::BBox RoadNetwork::Bounds() const {
+  geo::BBox box;
+  for (const geo::Point& p : points_) box.Extend(p);
+  return box;
+}
+
+double RoadNetwork::TotalEdgeLengthMeters() const {
+  double total = 0.0;
+  for (const Arc& a : fwd_arcs_) total += a.weight;
+  return total;
+}
+
+uint64_t RoadNetwork::MemoryBytes() const {
+  return util::VectorBytes(points_) + util::VectorBytes(fwd_offsets_) +
+         util::VectorBytes(fwd_arcs_) + util::VectorBytes(rev_offsets_) +
+         util::VectorBytes(rev_arcs_);
+}
+
+}  // namespace netclus::graph

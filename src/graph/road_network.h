@@ -1,0 +1,122 @@
+// Directed weighted road network in CSR (compressed sparse row) form.
+//
+// Models Section 2 of the paper: nodes are road intersections, directed
+// edges are road segments with traffic direction, weights are segment
+// lengths in meters. Candidate sites living in the middle of a road segment
+// are accommodated by splitting the edge at build time (Builder::SplitEdge),
+// after which S ⊆ V as the paper assumes.
+#ifndef NETCLUS_GRAPH_ROAD_NETWORK_H_
+#define NETCLUS_GRAPH_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+
+namespace netclus::graph {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// One outgoing (or incoming, in the reverse view) arc.
+struct Arc {
+  NodeId to;      ///< head node (tail node in the reverse view)
+  float weight;   ///< length in meters, non-negative
+};
+
+class RoadNetwork;
+
+/// Incremental construction of a RoadNetwork. Nodes carry planar positions
+/// (meters); edges carry lengths. Parallel edges are allowed (the shorter
+/// one wins during search); self-loops are dropped.
+class RoadNetworkBuilder {
+ public:
+  /// Adds a node at position `p`; returns its id (dense, in insertion order).
+  NodeId AddNode(const geo::Point& p);
+
+  /// Adds a directed edge u -> v with the given length in meters. If
+  /// `length_m` is negative, the Euclidean distance between endpoints is
+  /// used.
+  void AddEdge(NodeId u, NodeId v, double length_m = -1.0);
+
+  /// Adds edges u -> v and v -> u (two-way street).
+  void AddBidirectional(NodeId u, NodeId v, double length_m = -1.0);
+
+  /// Splits the previously added edge u -> v at fraction `t` in (0,1),
+  /// inserting a new node there (for a mid-edge candidate site, Sec. 2).
+  /// Returns the new node id. All (u,v) parallel edges are split.
+  NodeId SplitEdge(NodeId u, NodeId v, double t);
+
+  size_t num_nodes() const { return points_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Finalizes into an immutable CSR network.
+  RoadNetwork Build() &&;
+
+ private:
+  friend class RoadNetwork;
+  struct PendingEdge {
+    NodeId u;
+    NodeId v;
+    float weight;
+  };
+  std::vector<geo::Point> points_;
+  std::vector<PendingEdge> edges_;
+};
+
+/// Immutable CSR road network with forward and reverse adjacency.
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  size_t num_nodes() const { return points_.size(); }
+  size_t num_edges() const { return fwd_arcs_.size(); }
+
+  /// Outgoing arcs of `u`.
+  std::span<const Arc> OutArcs(NodeId u) const {
+    return {fwd_arcs_.data() + fwd_offsets_[u],
+            fwd_arcs_.data() + fwd_offsets_[u + 1]};
+  }
+
+  /// Incoming arcs of `u`, expressed as arcs in the reverse graph
+  /// (arc.to is the *tail* of the original edge).
+  std::span<const Arc> InArcs(NodeId u) const {
+    return {rev_arcs_.data() + rev_offsets_[u],
+            rev_arcs_.data() + rev_offsets_[u + 1]};
+  }
+
+  const geo::Point& position(NodeId u) const { return points_[u]; }
+  const std::vector<geo::Point>& positions() const { return points_; }
+
+  /// Bounding box of all node positions.
+  geo::BBox Bounds() const;
+
+  /// Total length of all directed edges, meters.
+  double TotalEdgeLengthMeters() const;
+
+  /// Analytic memory footprint of the CSR arrays, bytes.
+  uint64_t MemoryBytes() const;
+
+  /// Straight-line distance between two nodes, meters (lower bound on the
+  /// network distance; used by A*-style pruning and sanity checks).
+  double EuclideanMeters(NodeId u, NodeId v) const {
+    return geo::Distance(points_[u], points_[v]);
+  }
+
+ private:
+  friend class RoadNetworkBuilder;
+
+  std::vector<geo::Point> points_;
+  std::vector<uint32_t> fwd_offsets_;  // size N+1
+  std::vector<Arc> fwd_arcs_;
+  std::vector<uint32_t> rev_offsets_;  // size N+1
+  std::vector<Arc> rev_arcs_;
+};
+
+}  // namespace netclus::graph
+
+#endif  // NETCLUS_GRAPH_ROAD_NETWORK_H_

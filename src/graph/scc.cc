@@ -1,0 +1,102 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace netclus::graph {
+
+std::vector<uint32_t> StronglyConnectedComponents(const RoadNetwork& net,
+                                                  uint32_t* num_components) {
+  const size_t n = net.num_nodes();
+  constexpr uint32_t kUnvisited = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<uint32_t> component(n, kUnvisited);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  uint32_t next_index = 0;
+  uint32_t next_component = 0;
+
+  // Explicit DFS stack: (node, position within its arc list).
+  struct Frame {
+    NodeId node;
+    uint32_t arc_pos;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      const NodeId u = frame.node;
+      if (frame.arc_pos == 0) {
+        index[u] = lowlink[u] = next_index++;
+        stack.push_back(u);
+        on_stack[u] = true;
+      }
+      const auto arcs = net.OutArcs(u);
+      bool descended = false;
+      while (frame.arc_pos < arcs.size()) {
+        const NodeId v = arcs[frame.arc_pos].to;
+        ++frame.arc_pos;
+        if (index[v] == kUnvisited) {
+          dfs.push_back({v, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      }
+      if (descended) continue;
+      // All arcs explored: close the frame.
+      if (lowlink[u] == index[u]) {
+        while (true) {
+          const NodeId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          component[w] = next_component;
+          if (w == u) break;
+        }
+        ++next_component;
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        lowlink[dfs.back().node] = std::min(lowlink[dfs.back().node], lowlink[u]);
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next_component;
+  return component;
+}
+
+RoadNetwork RestrictToLargestScc(const RoadNetwork& net,
+                                 std::vector<NodeId>* old_to_new) {
+  uint32_t num_components = 0;
+  const std::vector<uint32_t> component =
+      StronglyConnectedComponents(net, &num_components);
+  std::vector<uint32_t> sizes(num_components, 0);
+  for (uint32_t c : component) ++sizes[c];
+  const uint32_t largest = static_cast<uint32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  std::vector<NodeId> mapping(net.num_nodes(), kInvalidNode);
+  RoadNetworkBuilder builder;
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    if (component[u] == largest) mapping[u] = builder.AddNode(net.position(u));
+  }
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    if (mapping[u] == kInvalidNode) continue;
+    for (const Arc& arc : net.OutArcs(u)) {
+      if (mapping[arc.to] != kInvalidNode) {
+        builder.AddEdge(mapping[u], mapping[arc.to], arc.weight);
+      }
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return std::move(builder).Build();
+}
+
+}  // namespace netclus::graph

@@ -1,0 +1,28 @@
+// Strongly connected components.
+//
+// Generated city networks (one-way streets, pruned edges) can leave small
+// unreachable pockets; all datasets are restricted to the largest SCC so
+// that round-trip distances are finite, as the paper implicitly assumes.
+#ifndef NETCLUS_GRAPH_SCC_H_
+#define NETCLUS_GRAPH_SCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace netclus::graph {
+
+/// Tarjan SCC (iterative). Returns component id per node; ids are dense,
+/// 0-based, in reverse topological order of the condensation.
+std::vector<uint32_t> StronglyConnectedComponents(const RoadNetwork& net,
+                                                  uint32_t* num_components);
+
+/// Rebuilds the network restricted to its largest SCC. `old_to_new` (if not
+/// null) receives the node id mapping (kInvalidNode for dropped nodes).
+RoadNetwork RestrictToLargestScc(const RoadNetwork& net,
+                                 std::vector<NodeId>* old_to_new);
+
+}  // namespace netclus::graph
+
+#endif  // NETCLUS_GRAPH_SCC_H_

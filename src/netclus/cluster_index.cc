@@ -1,0 +1,240 @@
+#include "netclus/cluster_index.h"
+
+#include <algorithm>
+
+#include "graph/dijkstra.h"
+#include "util/logging.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace netclus::index {
+
+namespace {
+
+using graph::NodeId;
+using tops::SiteId;
+using traj::TrajId;
+
+}  // namespace
+
+ClusterIndex ClusterIndex::Build(const traj::TrajectoryStore& store,
+                                 const tops::SiteSet& sites,
+                                 const ClusterIndexConfig& config) {
+  util::WallTimer timer;
+  ClusterIndex index;
+  index.config_ = config;
+  const graph::RoadNetwork& net = store.network();
+
+  // 1. GDSP clustering at radius R.
+  GdspConfig gdsp_config;
+  gdsp_config.radius_m = config.radius_m;
+  gdsp_config.strategy = config.gdsp_strategy;
+  gdsp_config.fm_copies = config.fm_copies;
+  GdspResult gdsp = GreedyGdsp(net, gdsp_config);
+  index.stats_.gdsp_seconds = gdsp.build_seconds;
+  index.stats_.mean_dominating_set_size = gdsp.mean_dominating_set_size;
+
+  index.clusters_.resize(gdsp.centers.size());
+  for (uint32_t g = 0; g < gdsp.centers.size(); ++g) {
+    index.clusters_[g].center = gdsp.centers[g];
+  }
+  index.node_cluster_ = std::move(gdsp.assignment);
+  index.node_rt_ = std::move(gdsp.rt_to_center);
+
+  // 2. Site membership and representatives.
+  index.site_removed_.assign(sites.size(), false);
+  for (SiteId s = 0; s < sites.size(); ++s) {
+    index.clusters_[index.node_cluster_[sites.node(s)]].sites.push_back(s);
+  }
+  for (uint32_t g = 0; g < index.clusters_.size(); ++g) {
+    index.ElectRepresentative(store, sites, g, nullptr);
+  }
+
+  // 3. Trajectory lists TL and compressed cluster sequences CC.
+  index.cluster_seq_.resize(store.total_count());
+  for (TrajId t = 0; t < store.total_count(); ++t) {
+    if (!store.is_alive(t)) continue;
+    index.AddTrajectory(store, t);
+  }
+
+  // 4. Neighbor lists CL: centers within round trip 4 R (1 + γ).
+  const double horizon = 4.0 * config.radius_m * (1.0 + config.gamma);
+  std::vector<uint32_t> center_cluster(net.num_nodes(),
+                                       std::numeric_limits<uint32_t>::max());
+  for (uint32_t g = 0; g < index.clusters_.size(); ++g) {
+    center_cluster[index.clusters_[g].center] = g;
+  }
+  graph::DijkstraEngine engine(&net);
+  for (uint32_t g = 0; g < index.clusters_.size(); ++g) {
+    const std::vector<graph::RoundTrip> rts =
+        engine.BoundedRoundTrip(index.clusters_[g].center, horizon);
+    auto& cl = index.clusters_[g].cl;
+    for (const graph::RoundTrip& rt : rts) {
+      const uint32_t other = center_cluster[rt.node];
+      if (other == std::numeric_limits<uint32_t>::max() || other == g) continue;
+      cl.push_back({other, static_cast<float>(rt.total())});
+    }
+    std::sort(cl.begin(), cl.end(), [](const ClEntry& a, const ClEntry& b) {
+      return a.dr_m < b.dr_m || (a.dr_m == b.dr_m && a.cluster < b.cluster);
+    });
+  }
+
+  // 5. Stats.
+  uint64_t tl_total = 0, cl_total = 0;
+  for (const Cluster& c : index.clusters_) {
+    tl_total += c.tl.size();
+    cl_total += c.cl.size();
+  }
+  const double eta = static_cast<double>(index.clusters_.size());
+  index.stats_.mean_tl_size = eta == 0 ? 0.0 : static_cast<double>(tl_total) / eta;
+  index.stats_.mean_cl_size = eta == 0 ? 0.0 : static_cast<double>(cl_total) / eta;
+  index.stats_.build_seconds = timer.Seconds();
+  return index;
+}
+
+void ClusterIndex::ElectRepresentative(const traj::TrajectoryStore& store,
+                                       const tops::SiteSet& sites, uint32_t g,
+                                       const std::vector<bool>* site_alive) {
+  Cluster& cluster = clusters_[g];
+  cluster.representative = tops::kInvalidSite;
+  cluster.rep_rt_m = 0.0f;
+  double best_key = 0.0;
+  for (SiteId s : cluster.sites) {
+    if (site_removed_[s]) continue;
+    if (site_alive != nullptr && !(*site_alive)[s]) continue;
+    const NodeId node = sites.node(s);
+    double key;
+    if (config_.representative_rule == RepresentativeRule::kClosestToCenter) {
+      key = node_rt_[node];  // smaller is better
+      if (cluster.representative == tops::kInvalidSite || key < best_key) {
+        cluster.representative = s;
+        cluster.rep_rt_m = static_cast<float>(key);
+        best_key = key;
+      }
+    } else {
+      // Most-frequented: larger posting count is better.
+      key = static_cast<double>(store.postings(node).size());
+      if (cluster.representative == tops::kInvalidSite || key > best_key) {
+        cluster.representative = s;
+        cluster.rep_rt_m = node_rt_[node];
+        best_key = key;
+      }
+    }
+  }
+}
+
+const std::vector<uint32_t>& ClusterIndex::cluster_sequence(TrajId t) const {
+  static const std::vector<uint32_t> kEmpty;
+  return t < cluster_seq_.size() ? cluster_seq_[t] : kEmpty;
+}
+
+void ClusterIndex::AddTrajectory(const traj::TrajectoryStore& store, TrajId t) {
+  if (cluster_seq_.size() <= t) cluster_seq_.resize(t + 1);
+  const traj::Trajectory& trajectory = store.trajectory(t);
+  std::vector<uint32_t>& seq = cluster_seq_[t];
+  seq.clear();
+  stats_.raw_postings += trajectory.size();
+
+  // One TL entry per distinct visited cluster, with the min round trip from
+  // any member node of the trajectory inside that cluster.
+  // Use a local (cluster -> best) map; trajectories touch few clusters.
+  std::vector<std::pair<uint32_t, float>> best;  // (cluster, dr)
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    const NodeId v = trajectory.node(i);
+    const uint32_t g = node_cluster_[v];
+    const float rt = node_rt_[v];
+    if (seq.empty() || seq.back() != g) seq.push_back(g);
+    bool found = false;
+    for (auto& [bg, bd] : best) {
+      if (bg == g) {
+        bd = std::min(bd, rt);
+        found = true;
+        break;
+      }
+    }
+    if (!found) best.emplace_back(g, rt);
+  }
+  stats_.compressed_postings += seq.size();
+  for (const auto& [g, dr] : best) {
+    clusters_[g].tl.push_back({t, dr});
+  }
+}
+
+void ClusterIndex::RemoveTrajectory(TrajId t) {
+  if (t >= cluster_seq_.size()) return;
+  // Distinct clusters of the sequence.
+  std::vector<uint32_t> distinct = cluster_seq_[t];
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  for (uint32_t g : distinct) {
+    auto& tl = clusters_[g].tl;
+    for (size_t i = 0; i < tl.size(); ++i) {
+      if (tl[i].traj == t) {
+        tl[i] = tl.back();
+        tl.pop_back();
+        break;
+      }
+    }
+  }
+  cluster_seq_[t].clear();
+  cluster_seq_[t].shrink_to_fit();
+}
+
+void ClusterIndex::AddSite(const traj::TrajectoryStore& store,
+                           const tops::SiteSet& sites, SiteId s) {
+  if (site_removed_.size() <= s) site_removed_.resize(s + 1, false);
+  site_removed_[s] = false;
+  const NodeId node = sites.node(s);
+  const uint32_t g = node_cluster_[node];
+  Cluster& cluster = clusters_[g];
+  if (std::find(cluster.sites.begin(), cluster.sites.end(), s) ==
+      cluster.sites.end()) {
+    cluster.sites.push_back(s);
+  }
+  // Representative maintenance: adopt the new site if it wins under the
+  // configured rule.
+  if (cluster.representative == tops::kInvalidSite) {
+    cluster.representative = s;
+    cluster.rep_rt_m = node_rt_[node];
+    return;
+  }
+  if (config_.representative_rule == RepresentativeRule::kClosestToCenter) {
+    if (node_rt_[node] < cluster.rep_rt_m) {
+      cluster.representative = s;
+      cluster.rep_rt_m = node_rt_[node];
+    }
+  } else {
+    const size_t new_count = store.postings(node).size();
+    const size_t old_count =
+        store.postings(sites.node(cluster.representative)).size();
+    if (new_count > old_count) {
+      cluster.representative = s;
+      cluster.rep_rt_m = node_rt_[node];
+    }
+  }
+}
+
+void ClusterIndex::RemoveSite(const traj::TrajectoryStore& store,
+                              const tops::SiteSet& sites, SiteId s) {
+  if (site_removed_.size() <= s) site_removed_.resize(s + 1, false);
+  site_removed_[s] = true;
+  const uint32_t g = node_cluster_[sites.node(s)];
+  if (clusters_[g].representative == s) {
+    ElectRepresentative(store, sites, g, nullptr);
+  }
+}
+
+uint64_t ClusterIndex::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const Cluster& c : clusters_) {
+    total += sizeof(Cluster);
+    total += util::VectorBytes(c.sites) + util::VectorBytes(c.tl) +
+             util::VectorBytes(c.cl);
+  }
+  total += util::VectorBytes(node_cluster_) + util::VectorBytes(node_rt_);
+  total += util::NestedVectorBytes(cluster_seq_);
+  total += site_removed_.capacity() / 8;
+  return total;
+}
+
+}  // namespace netclus::index

@@ -1,0 +1,146 @@
+// One NetClus index instance I_p: a GDSP clustering of the road network at
+// radius R_p plus the per-cluster information of Sec. 4.3:
+//   1. center c_i;
+//   2. representative r_i — the candidate site nearest to the center
+//      (Sec. 4.2, option 2; option 1 "most-frequented site" is available
+//      for the ablation bench);
+//   3. trajectory list TL(g_i) = {(T_j, d_r(T_j, c_i))};
+//   4. neighbor list CL(g_i) = {(g_j, d_r(c_i, c_j))}, for centers within
+//      round-trip 4 R (1 + γ), sorted by distance;
+//   5. member nodes with d_r(v, c_i).
+// Trajectories are also stored in compressed form as cluster sequences
+// CC(T_j) (consecutive duplicates collapsed), which is both the compression
+// the paper credits for NetClus's footprint and the handle for dynamic
+// trajectory deletion.
+#ifndef NETCLUS_NETCLUS_CLUSTER_INDEX_H_
+#define NETCLUS_NETCLUS_CLUSTER_INDEX_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netclus/gdsp.h"
+#include "tops/site_set.h"
+#include "traj/trajectory_store.h"
+
+namespace netclus::index {
+
+enum class RepresentativeRule {
+  kClosestToCenter,   ///< Sec. 4.2 option 2 (the paper's choice)
+  kMostFrequented,    ///< Sec. 4.2 option 1
+};
+
+struct ClusterIndexConfig {
+  double radius_m = 200.0;  ///< R_p
+  double gamma = 0.75;      ///< neighbor horizon is 4 R (1 + γ)
+  GdspStrategy gdsp_strategy = GdspStrategy::kLazyExact;
+  uint32_t fm_copies = 30;
+  RepresentativeRule representative_rule = RepresentativeRule::kClosestToCenter;
+};
+
+/// TL entry: trajectory + its round-trip distance to the cluster center.
+struct TlEntry {
+  traj::TrajId traj;
+  float dr_m;
+};
+
+/// CL entry: neighbor cluster + center-to-center round-trip distance.
+struct ClEntry {
+  uint32_t cluster;
+  float dr_m;
+};
+
+struct Cluster {
+  graph::NodeId center = graph::kInvalidNode;
+  tops::SiteId representative = tops::kInvalidSite;
+  float rep_rt_m = 0.0f;  ///< d_r(c_i, r_i)
+  std::vector<tops::SiteId> sites;  ///< candidate sites inside the cluster
+  std::vector<TlEntry> tl;
+  std::vector<ClEntry> cl;  ///< sorted by dr_m ascending
+};
+
+struct ClusterIndexStats {
+  double gdsp_seconds = 0.0;
+  double build_seconds = 0.0;  ///< total, including GDSP
+  double mean_dominating_set_size = 0.0;
+  double mean_tl_size = 0.0;
+  double mean_cl_size = 0.0;
+  uint64_t compressed_postings = 0;  ///< Σ |CC(T)|
+  uint64_t raw_postings = 0;         ///< Σ |T| (pre-compression)
+};
+
+class ClusterIndex {
+ public:
+  /// Builds the instance over all live trajectories in `store`.
+  static ClusterIndex Build(const traj::TrajectoryStore& store,
+                            const tops::SiteSet& sites,
+                            const ClusterIndexConfig& config);
+
+  double radius_m() const { return config_.radius_m; }
+  size_t num_clusters() const { return clusters_.size(); }
+  const Cluster& cluster(uint32_t g) const { return clusters_[g]; }
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+
+  uint32_t cluster_of(graph::NodeId v) const { return node_cluster_[v]; }
+  float node_rt_m(graph::NodeId v) const { return node_rt_[v]; }
+
+  /// Number of network nodes this instance was clustered over.
+  size_t num_nodes() const { return node_cluster_.size(); }
+
+  /// Number of trajectory ids with a stored cluster sequence.
+  size_t num_sequences() const { return cluster_seq_.size(); }
+
+  /// Compressed cluster sequence of a trajectory (empty for ids added after
+  /// the build unless AddTrajectory was called).
+  const std::vector<uint32_t>& cluster_sequence(traj::TrajId t) const;
+
+  const ClusterIndexStats& stats() const { return stats_; }
+
+  /// Analytic memory footprint, bytes.
+  uint64_t MemoryBytes() const;
+
+  // --- dynamic updates (Sec. 6) -------------------------------------------
+
+  /// Registers an already-stored trajectory into TL / CC.
+  void AddTrajectory(const traj::TrajectoryStore& store, traj::TrajId t);
+
+  /// Removes a trajectory from the TL lists of the clusters it crosses.
+  void RemoveTrajectory(traj::TrajId t);
+
+  /// Registers a new candidate site at an existing node (Sec. 6 restricts
+  /// the implementation to sites on V; see DESIGN.md). May replace the
+  /// cluster's representative.
+  void AddSite(const traj::TrajectoryStore& store, const tops::SiteSet& sites,
+               tops::SiteId s);
+
+  /// Untags a site; if it was a representative, elects a replacement by the
+  /// configured rule.
+  void RemoveSite(const traj::TrajectoryStore& store,
+                  const tops::SiteSet& sites, tops::SiteId s);
+
+  // --- persistence (implemented in index_io.cc) ----------------------------
+
+  /// Serializes this instance to the stream.
+  void WriteTo(std::ostream& os) const;
+
+  /// Deserializes an instance written by WriteTo.
+  static bool ReadFrom(std::istream& is, ClusterIndex* out, std::string* error);
+
+ private:
+  void ElectRepresentative(const traj::TrajectoryStore& store,
+                           const tops::SiteSet& sites, uint32_t g,
+                           const std::vector<bool>* site_alive);
+
+  ClusterIndexConfig config_;
+  std::vector<Cluster> clusters_;
+  std::vector<uint32_t> node_cluster_;
+  std::vector<float> node_rt_;
+  std::vector<std::vector<uint32_t>> cluster_seq_;  // CC(T), by TrajId
+  std::vector<bool> site_removed_;
+  ClusterIndexStats stats_;
+};
+
+}  // namespace netclus::index
+
+#endif  // NETCLUS_NETCLUS_CLUSTER_INDEX_H_

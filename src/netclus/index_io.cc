@@ -1,0 +1,249 @@
+#include "netclus/index_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "netclus/cluster_index.h"
+#include "util/strings.h"
+
+namespace netclus::index {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Reads a tag token and verifies it.
+bool Expect(std::istream& is, const char* tag, std::string* error) {
+  std::string token;
+  if (!(is >> token) || token != tag) {
+    return Fail(error, std::string("expected '") + tag + "', got '" + token + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ClusterIndex
+// ---------------------------------------------------------------------------
+
+void ClusterIndex::WriteTo(std::ostream& os) const {
+  os << std::setprecision(12);
+  os << "instance\n";
+  os << "config " << config_.radius_m << " " << config_.gamma << " "
+     << static_cast<int>(config_.gdsp_strategy) << " " << config_.fm_copies
+     << " " << static_cast<int>(config_.representative_rule) << "\n";
+  os << "stats " << stats_.gdsp_seconds << " " << stats_.build_seconds << " "
+     << stats_.mean_dominating_set_size << " " << stats_.mean_tl_size << " "
+     << stats_.mean_cl_size << " " << stats_.compressed_postings << " "
+     << stats_.raw_postings << "\n";
+
+  os << "node_cluster " << node_cluster_.size();
+  for (uint32_t g : node_cluster_) os << " " << g;
+  os << "\nnode_rt " << node_rt_.size();
+  for (float rt : node_rt_) os << " " << rt;
+  os << "\nclusters " << clusters_.size() << "\n";
+  for (const Cluster& c : clusters_) {
+    os << "cluster " << c.center << " " << c.representative << " "
+       << c.rep_rt_m << "\n";
+    os << " sites " << c.sites.size();
+    for (tops::SiteId s : c.sites) os << " " << s;
+    os << "\n tl " << c.tl.size();
+    for (const TlEntry& e : c.tl) os << " " << e.traj << " " << e.dr_m;
+    os << "\n cl " << c.cl.size();
+    for (const ClEntry& e : c.cl) os << " " << e.cluster << " " << e.dr_m;
+    os << "\n";
+  }
+  os << "seqs " << cluster_seq_.size() << "\n";
+  for (const auto& seq : cluster_seq_) {
+    os << seq.size();
+    for (uint32_t g : seq) os << " " << g;
+    os << "\n";
+  }
+  os << "removed " << site_removed_.size();
+  for (bool removed : site_removed_) os << " " << (removed ? 1 : 0);
+  os << "\n";
+}
+
+bool ClusterIndex::ReadFrom(std::istream& is, ClusterIndex* out,
+                            std::string* error) {
+  ClusterIndex index;
+  if (!Expect(is, "instance", error)) return false;
+  if (!Expect(is, "config", error)) return false;
+  int strategy = 0, rule = 0;
+  if (!(is >> index.config_.radius_m >> index.config_.gamma >> strategy >>
+        index.config_.fm_copies >> rule)) {
+    return Fail(error, "bad config line");
+  }
+  index.config_.gdsp_strategy = static_cast<GdspStrategy>(strategy);
+  index.config_.representative_rule = static_cast<RepresentativeRule>(rule);
+  if (!Expect(is, "stats", error)) return false;
+  if (!(is >> index.stats_.gdsp_seconds >> index.stats_.build_seconds >>
+        index.stats_.mean_dominating_set_size >> index.stats_.mean_tl_size >>
+        index.stats_.mean_cl_size >> index.stats_.compressed_postings >>
+        index.stats_.raw_postings)) {
+    return Fail(error, "bad stats line");
+  }
+
+  size_t count = 0;
+  if (!Expect(is, "node_cluster", error) || !(is >> count)) {
+    return Fail(error, "bad node_cluster header");
+  }
+  index.node_cluster_.resize(count);
+  for (auto& g : index.node_cluster_) {
+    if (!(is >> g)) return Fail(error, "truncated node_cluster");
+  }
+  if (!Expect(is, "node_rt", error) || !(is >> count)) {
+    return Fail(error, "bad node_rt header");
+  }
+  index.node_rt_.resize(count);
+  for (auto& rt : index.node_rt_) {
+    if (!(is >> rt)) return Fail(error, "truncated node_rt");
+  }
+
+  if (!Expect(is, "clusters", error) || !(is >> count)) {
+    return Fail(error, "bad clusters header");
+  }
+  index.clusters_.resize(count);
+  for (Cluster& c : index.clusters_) {
+    if (!Expect(is, "cluster", error)) return false;
+    if (!(is >> c.center >> c.representative >> c.rep_rt_m)) {
+      return Fail(error, "bad cluster line");
+    }
+    size_t n = 0;
+    if (!Expect(is, "sites", error) || !(is >> n)) return false;
+    c.sites.resize(n);
+    for (auto& s : c.sites) {
+      if (!(is >> s)) return Fail(error, "truncated sites");
+    }
+    if (!Expect(is, "tl", error) || !(is >> n)) return false;
+    c.tl.resize(n);
+    for (auto& e : c.tl) {
+      if (!(is >> e.traj >> e.dr_m)) return Fail(error, "truncated tl");
+    }
+    if (!Expect(is, "cl", error) || !(is >> n)) return false;
+    c.cl.resize(n);
+    for (auto& e : c.cl) {
+      if (!(is >> e.cluster >> e.dr_m)) return Fail(error, "truncated cl");
+    }
+  }
+
+  if (!Expect(is, "seqs", error) || !(is >> count)) {
+    return Fail(error, "bad seqs header");
+  }
+  index.cluster_seq_.resize(count);
+  for (auto& seq : index.cluster_seq_) {
+    size_t len = 0;
+    if (!(is >> len)) return Fail(error, "truncated seqs");
+    seq.resize(len);
+    for (auto& g : seq) {
+      if (!(is >> g)) return Fail(error, "truncated seq entries");
+    }
+  }
+  if (!Expect(is, "removed", error) || !(is >> count)) {
+    return Fail(error, "bad removed header");
+  }
+  index.site_removed_.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    int bit = 0;
+    if (!(is >> bit)) return Fail(error, "truncated removed");
+    index.site_removed_[i] = bit != 0;
+  }
+  // Structural validation: cluster ids in range, assignments consistent.
+  for (uint32_t g : index.node_cluster_) {
+    if (g >= index.clusters_.size()) return Fail(error, "cluster id out of range");
+  }
+  for (uint32_t g = 0; g < index.clusters_.size(); ++g) {
+    const graph::NodeId center = index.clusters_[g].center;
+    if (center >= index.node_cluster_.size() ||
+        index.node_cluster_[center] != g) {
+      return Fail(error, "center/assignment mismatch");
+    }
+  }
+  *out = std::move(index);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// MultiIndex
+// ---------------------------------------------------------------------------
+
+void WriteIndex(const MultiIndex& index, std::ostream& os) {
+  os << std::setprecision(12);
+  os << "netclus-index v1\n";
+  os << "meta " << index.config_.gamma << " " << index.tau_min_ << " "
+     << index.tau_max_ << " " << index.build_seconds_ << " "
+     << index.instances_.size() << "\n";
+  size_t nodes = 0;
+  size_t trajs = 0;
+  if (!index.instances_.empty()) {
+    nodes = index.instances_[0]->num_nodes();
+    trajs = index.instances_[0]->num_sequences();
+  }
+  os << "corpus " << nodes << " " << trajs << "\n";
+  for (const auto& instance : index.instances_) instance->WriteTo(os);
+  os << "end\n";
+}
+
+bool ReadIndex(std::istream& is, size_t expected_nodes,
+               size_t expected_trajectories, MultiIndex* index,
+               std::string* error) {
+  std::string header;
+  std::getline(is, header);
+  if (util::Trim(header) != "netclus-index v1") {
+    return Fail(error, "missing/unknown index header");
+  }
+  MultiIndex loaded;
+  size_t instances = 0;
+  if (!Expect(is, "meta", error)) return false;
+  if (!(is >> loaded.config_.gamma >> loaded.tau_min_ >> loaded.tau_max_ >>
+        loaded.build_seconds_ >> instances)) {
+    return Fail(error, "bad meta line");
+  }
+  size_t nodes = 0, trajs = 0;
+  if (!Expect(is, "corpus", error) || !(is >> nodes >> trajs)) {
+    return Fail(error, "bad corpus line");
+  }
+  if (nodes != expected_nodes) {
+    return Fail(error,
+                util::StrFormat("index built over %zu nodes, corpus has %zu",
+                                nodes, expected_nodes));
+  }
+  if (trajs > expected_trajectories) {
+    return Fail(error, util::StrFormat(
+                           "index references %zu trajectories, corpus has %zu",
+                           trajs, expected_trajectories));
+  }
+  for (size_t p = 0; p < instances; ++p) {
+    auto instance = std::make_unique<ClusterIndex>();
+    if (!ClusterIndex::ReadFrom(is, instance.get(), error)) return false;
+    loaded.instances_.push_back(std::move(instance));
+  }
+  if (!Expect(is, "end", error)) return false;
+  *index = std::move(loaded);
+  return true;
+}
+
+bool SaveIndex(const MultiIndex& index, const std::string& path,
+               std::string* error) {
+  std::ofstream out(path);
+  if (!out) return Fail(error, "cannot open for write: " + path);
+  WriteIndex(index, out);
+  return static_cast<bool>(out);
+}
+
+bool LoadIndex(const std::string& path, size_t expected_nodes,
+               size_t expected_trajectories, MultiIndex* index,
+               std::string* error) {
+  std::ifstream in(path);
+  if (!in) return Fail(error, "cannot open for read: " + path);
+  return ReadIndex(in, expected_nodes, expected_trajectories, index, error);
+}
+
+}  // namespace netclus::index

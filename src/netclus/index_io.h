@@ -1,0 +1,44 @@
+// Persistence for the NetClus index.
+//
+// The offline phase (multi-resolution clustering) is the expensive part of
+// the system — hours on the paper's full Beijing dataset (Table 11) — while
+// the online phase is interactive. A deployment therefore builds the index
+// once and serves queries from a loaded copy; these routines serialize a
+// MultiIndex (all instances, cluster metadata, trajectory cluster
+// sequences) to a line-oriented text format, versioned and validated on
+// load.
+//
+// The road network and the trajectory store are NOT serialized here — they
+// are the inputs (persist them with graph::SaveGraph and your trajectory
+// source of truth); loading validates that node/trajectory counts match.
+#ifndef NETCLUS_NETCLUS_INDEX_IO_H_
+#define NETCLUS_NETCLUS_INDEX_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "netclus/multi_index.h"
+
+namespace netclus::index {
+
+/// Writes the full multi-resolution index to the stream.
+void WriteIndex(const MultiIndex& index, std::ostream& os);
+
+/// Reads an index previously written by WriteIndex. `expected_nodes` and
+/// `expected_trajectories` guard against loading an index built over a
+/// different network/corpus (pass the live counts). Returns false with a
+/// message in `error` on any mismatch or malformed input.
+bool ReadIndex(std::istream& is, size_t expected_nodes,
+               size_t expected_trajectories, MultiIndex* index,
+               std::string* error);
+
+/// File convenience wrappers.
+bool SaveIndex(const MultiIndex& index, const std::string& path,
+               std::string* error);
+bool LoadIndex(const std::string& path, size_t expected_nodes,
+               size_t expected_trajectories, MultiIndex* index,
+               std::string* error);
+
+}  // namespace netclus::index
+
+#endif  // NETCLUS_NETCLUS_INDEX_IO_H_

@@ -1,0 +1,94 @@
+#include "netclus/jaccard.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace netclus::index {
+
+JaccardResult JaccardCluster(const tops::CoverageIndex& coverage,
+                             const JaccardConfig& config) {
+  NC_CHECK(!coverage.oom());
+  NC_CHECK_GT(config.alpha, 0.0);
+  util::WallTimer timer;
+  JaccardResult result;
+  const size_t n = coverage.num_sites();
+  constexpr uint32_t kUnclustered = std::numeric_limits<uint32_t>::max();
+  result.site_cluster.assign(n, kUnclustered);
+
+  util::MemoryBudget budget(config.memory_budget_bytes);
+  // The covering sets themselves are the dominant cost (they must be
+  // resident for similarity computation).
+  if (!budget.Charge(coverage.MemoryBytes())) {
+    result.oom = true;
+    result.memory_bytes = budget.used_bytes();
+    result.build_seconds = timer.Seconds();
+    return result;
+  }
+
+  // Seeds in descending weight (binary ψ: weight = |TC|).
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  std::vector<std::pair<double, tops::SiteId>> by_weight(n);
+  for (tops::SiteId s = 0; s < n; ++s) {
+    by_weight[s] = {coverage.SiteWeight(s, psi), s};
+  }
+  std::sort(by_weight.begin(), by_weight.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  });
+
+  // Intersection sizes via the inverted view: for seed c, walk TC(c) and
+  // bump counters for every site covering each trajectory. Overlap scratch
+  // is charged against the budget to model the quadratic working set.
+  std::vector<uint32_t> overlap(n, 0);
+  std::vector<tops::SiteId> touched;
+  if (!budget.Charge(util::VectorBytes(overlap))) {
+    result.oom = true;
+    result.memory_bytes = budget.used_bytes();
+    result.build_seconds = timer.Seconds();
+    return result;
+  }
+
+  for (const auto& [weight, seed] : by_weight) {
+    if (result.site_cluster[seed] != kUnclustered) continue;
+    const uint32_t cluster_id = static_cast<uint32_t>(result.num_clusters++);
+    result.site_cluster[seed] = cluster_id;
+
+    touched.clear();
+    const auto seed_tc = coverage.TC(seed);
+    for (const tops::CoverEntry& e : seed_tc) {
+      for (const tops::CoverEntry& cover : coverage.SC(e.id)) {
+        if (result.site_cluster[cover.id] != kUnclustered) continue;
+        if (overlap[cover.id] == 0) touched.push_back(cover.id);
+        ++overlap[cover.id];
+      }
+    }
+    // Working-set charge: pair lists materialized during the scan. This is
+    // the term that blows up as τ (and hence |TC| · |SC|) grows.
+    if (!budget.Charge(touched.size() * (sizeof(tops::SiteId) + sizeof(uint32_t)) +
+                       seed_tc.size() * sizeof(tops::CoverEntry))) {
+      result.oom = true;
+      result.memory_bytes = budget.used_bytes();
+      result.build_seconds = timer.Seconds();
+      return result;
+    }
+    for (tops::SiteId other : touched) {
+      const uint32_t inter = overlap[other];
+      overlap[other] = 0;
+      if (other == seed || result.site_cluster[other] != kUnclustered) continue;
+      const size_t uni = seed_tc.size() + coverage.TC(other).size() - inter;
+      const double jaccard_sim =
+          uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+      if (1.0 - jaccard_sim <= config.alpha) {
+        result.site_cluster[other] = cluster_id;
+      }
+    }
+  }
+  result.memory_bytes = budget.used_bytes();
+  result.build_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace netclus::index

@@ -1,0 +1,40 @@
+// Jaccard-similarity clustering baseline (Appendix B.1, Table 12).
+//
+// The alternative NetClus rejected: cluster sites whose trajectory covers
+// are similar (Jaccard distance <= α). It needs the full covering sets at
+// clustering time, so its cost explodes with τ — Table 12 shows it running
+// out of memory at τ = 2.4 km on Beijing. Implemented to regenerate that
+// table and to document why distance-based GDSP clustering won.
+#ifndef NETCLUS_NETCLUS_JACCARD_H_
+#define NETCLUS_NETCLUS_JACCARD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tops/coverage.h"
+#include "tops/preference.h"
+
+namespace netclus::index {
+
+struct JaccardConfig {
+  double alpha = 0.8;  ///< max Jaccard distance to the cluster seed
+  uint64_t memory_budget_bytes = 0;  ///< 0 = unlimited
+};
+
+struct JaccardResult {
+  size_t num_clusters = 0;
+  std::vector<uint32_t> site_cluster;  ///< site -> cluster id
+  double build_seconds = 0.0;
+  uint64_t memory_bytes = 0;  ///< covering sets + scratch, analytic
+  bool oom = false;
+};
+
+/// Clusters the sites of `coverage` by Jaccard distance between their
+/// trajectory covers: repeatedly seed with the highest-weight unclustered
+/// site and absorb all unclustered sites within distance α.
+JaccardResult JaccardCluster(const tops::CoverageIndex& coverage,
+                             const JaccardConfig& config);
+
+}  // namespace netclus::index
+
+#endif  // NETCLUS_NETCLUS_JACCARD_H_

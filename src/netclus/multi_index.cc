@@ -1,0 +1,150 @@
+#include "netclus/multi_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/dijkstra.h"
+#include "util/logging.h"
+#include "util/memory.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace netclus::index {
+
+void MultiIndex::EstimateTauRange(const traj::TrajectoryStore& store,
+                                  const tops::SiteSet& sites, uint64_t seed,
+                                  double* tau_min_m, double* tau_max_m) {
+  NC_CHECK_GT(sites.size(), 1u);
+  const graph::RoadNetwork& net = store.network();
+  graph::DijkstraEngine engine(&net);
+  util::Rng rng(seed);
+
+  // τ_min: the smallest site-to-site round trip. For each sampled site,
+  // expand a small bounded round-trip search until another site appears.
+  const size_t min_samples = std::min<size_t>(sites.size(), 48);
+  double tau_min = graph::kInfDistance;
+  for (size_t i = 0; i < min_samples; ++i) {
+    const tops::SiteId s = static_cast<tops::SiteId>(
+        rng.UniformInt(static_cast<uint64_t>(sites.size())));
+    const graph::NodeId node = sites.node(s);
+    double radius = 100.0;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      const std::vector<graph::RoundTrip> rts =
+          engine.BoundedRoundTrip(node, radius);
+      double best = graph::kInfDistance;
+      for (const graph::RoundTrip& rt : rts) {
+        if (rt.node == node) continue;
+        if (sites.SiteAtNode(rt.node) == tops::kInvalidSite) continue;
+        best = std::min(best, rt.total());
+      }
+      if (best != graph::kInfDistance) {
+        tau_min = std::min(tau_min, best);
+        break;
+      }
+      radius *= 2.0;
+    }
+  }
+  if (tau_min == graph::kInfDistance) tau_min = 100.0;
+
+  // τ_max: the largest site-to-site round trip, lower-bounded by sampling
+  // full searches from a handful of sites.
+  const size_t max_samples = std::min<size_t>(sites.size(), 8);
+  double tau_max = 0.0;
+  for (size_t i = 0; i < max_samples; ++i) {
+    const tops::SiteId s = static_cast<tops::SiteId>(
+        rng.UniformInt(static_cast<uint64_t>(sites.size())));
+    const graph::NodeId node = sites.node(s);
+    const std::vector<double> fwd =
+        engine.FullSearch(node, graph::Direction::kForward);
+    const std::vector<double> rev =
+        engine.FullSearch(node, graph::Direction::kReverse);
+    for (tops::SiteId other = 0; other < sites.size(); ++other) {
+      const graph::NodeId v = sites.node(other);
+      if (fwd[v] == graph::kInfDistance || rev[v] == graph::kInfDistance) continue;
+      tau_max = std::max(tau_max, fwd[v] + rev[v]);
+    }
+  }
+  if (tau_max <= tau_min) tau_max = tau_min * 64.0;
+  *tau_min_m = tau_min;
+  *tau_max_m = tau_max;
+}
+
+MultiIndex MultiIndex::Build(const traj::TrajectoryStore& store,
+                             const tops::SiteSet& sites,
+                             const MultiIndexConfig& config) {
+  NC_CHECK_GT(config.gamma, 0.0);
+  util::WallTimer timer;
+  MultiIndex index;
+  index.config_ = config;
+
+  double tau_min = config.tau_min_m;
+  double tau_max = config.tau_max_m;
+  if (tau_min <= 0.0 || tau_max <= 0.0) {
+    double est_min = 0.0, est_max = 0.0;
+    EstimateTauRange(store, sites, config.seed, &est_min, &est_max);
+    if (tau_min <= 0.0) tau_min = est_min;
+    if (tau_max <= 0.0) tau_max = est_max;
+  }
+  NC_CHECK_GT(tau_max, tau_min);
+  index.tau_min_ = tau_min;
+  index.tau_max_ = tau_max;
+
+  // t = floor(log_{1+γ}(τ_max / τ_min)) + 1 instances (Sec. 4.4).
+  uint32_t t = static_cast<uint32_t>(std::floor(
+                   std::log(tau_max / tau_min) / std::log1p(config.gamma))) +
+               1;
+  t = std::min(t, config.max_instances);
+  NC_LOG_INFO << "MultiIndex: tau range [" << tau_min << ", " << tau_max
+              << ") m, gamma " << config.gamma << " -> " << t << " instances";
+
+  const double r0 = tau_min / 4.0;
+  for (uint32_t p = 0; p < t; ++p) {
+    ClusterIndexConfig instance_config;
+    instance_config.radius_m = r0 * std::pow(1.0 + config.gamma, p);
+    instance_config.gamma = config.gamma;
+    instance_config.gdsp_strategy = config.gdsp_strategy;
+    instance_config.fm_copies = config.fm_copies;
+    instance_config.representative_rule = config.representative_rule;
+    index.instances_.push_back(std::make_unique<ClusterIndex>(
+        ClusterIndex::Build(store, sites, instance_config)));
+    NC_LOG_DEBUG << "  instance " << p << ": R = " << instance_config.radius_m
+                 << " m, clusters = " << index.instances_.back()->num_clusters();
+  }
+  index.build_seconds_ = timer.Seconds();
+  return index;
+}
+
+size_t MultiIndex::InstanceFor(double tau_m) const {
+  NC_CHECK(!instances_.empty());
+  if (tau_m <= tau_min_) return 0;
+  const double p = std::floor(std::log(tau_m / tau_min_) / std::log1p(config_.gamma));
+  if (p < 0.0) return 0;
+  return std::min(instances_.size() - 1, static_cast<size_t>(p));
+}
+
+uint64_t MultiIndex::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const auto& instance : instances_) total += instance->MemoryBytes();
+  return total;
+}
+
+void MultiIndex::AddTrajectory(const traj::TrajectoryStore& store,
+                               traj::TrajId t) {
+  for (auto& instance : instances_) instance->AddTrajectory(store, t);
+}
+
+void MultiIndex::RemoveTrajectory(traj::TrajId t) {
+  for (auto& instance : instances_) instance->RemoveTrajectory(t);
+}
+
+void MultiIndex::AddSite(const traj::TrajectoryStore& store,
+                         const tops::SiteSet& sites, tops::SiteId s) {
+  for (auto& instance : instances_) instance->AddSite(store, sites, s);
+}
+
+void MultiIndex::RemoveSite(const traj::TrajectoryStore& store,
+                            const tops::SiteSet& sites, tops::SiteId s) {
+  for (auto& instance : instances_) instance->RemoveSite(store, sites, s);
+}
+
+}  // namespace netclus::index

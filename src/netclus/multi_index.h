@@ -1,0 +1,91 @@
+// The multi-resolution NETCLUS index (Sec. 4.4).
+//
+// Maintains t = ⌊log_{1+γ}(τ_max / τ_min)⌋ + 1 instances with radii
+// R_p = (1+γ)^p R_0, R_0 = τ_min / 4. Instance I_p serves coverage
+// thresholds τ ∈ [4 R_p, 4 R_p (1+γ)): below 4 R_p coverage of same-cluster
+// trajectories is not guaranteed, above 4 R_p (1+γ) a coarser instance
+// processes fewer clusters. τ_min / τ_max default to the (sampled) min /
+// max round-trip distance between candidate sites, exactly as Sec. 4.4
+// prescribes; queries outside the range clamp to the extreme instances.
+//
+// Dynamic updates (Sec. 6) are applied to every instance.
+#ifndef NETCLUS_NETCLUS_MULTI_INDEX_H_
+#define NETCLUS_NETCLUS_MULTI_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netclus/cluster_index.h"
+#include "tops/site_set.h"
+#include "traj/trajectory_store.h"
+
+namespace netclus::index {
+
+struct MultiIndexConfig {
+  double gamma = 0.75;
+  /// Explicit τ range; 0 means "estimate from the data" (Sec. 4.4: min/max
+  /// site-pair round-trip distance, sampled for tractability).
+  double tau_min_m = 0.0;
+  double tau_max_m = 0.0;
+  uint32_t max_instances = 16;  ///< safety cap on t
+  GdspStrategy gdsp_strategy = GdspStrategy::kLazyExact;
+  uint32_t fm_copies = 30;
+  RepresentativeRule representative_rule = RepresentativeRule::kClosestToCenter;
+  uint64_t seed = 99;  ///< for τ range sampling
+};
+
+class MultiIndex {
+ public:
+  /// Offline build (Sec. 4): clusters every instance and indexes all live
+  /// trajectories and sites.
+  static MultiIndex Build(const traj::TrajectoryStore& store,
+                          const tops::SiteSet& sites,
+                          const MultiIndexConfig& config);
+
+  size_t num_instances() const { return instances_.size(); }
+  const ClusterIndex& instance(size_t p) const { return *instances_[p]; }
+
+  /// Instance index p = ⌊log_{1+γ}(τ / τ_min)⌋, clamped to [0, t).
+  size_t InstanceFor(double tau_m) const;
+
+  double tau_min_m() const { return tau_min_; }
+  double tau_max_m() const { return tau_max_; }
+  double gamma() const { return config_.gamma; }
+  const MultiIndexConfig& config() const { return config_; }
+
+  double build_seconds() const { return build_seconds_; }
+
+  /// Analytic memory footprint across all instances, bytes (Table 7).
+  uint64_t MemoryBytes() const;
+
+  // --- dynamic updates (Sec. 6), fanned out to every instance -------------
+
+  void AddTrajectory(const traj::TrajectoryStore& store, traj::TrajId t);
+  void RemoveTrajectory(traj::TrajId t);
+  void AddSite(const traj::TrajectoryStore& store, const tops::SiteSet& sites,
+               tops::SiteId s);
+  void RemoveSite(const traj::TrajectoryStore& store,
+                  const tops::SiteSet& sites, tops::SiteId s);
+
+  /// Estimates the [τ_min, τ_max] range from site-pair round trips by
+  /// sampling (exposed for tests and benches).
+  static void EstimateTauRange(const traj::TrajectoryStore& store,
+                               const tops::SiteSet& sites, uint64_t seed,
+                               double* tau_min_m, double* tau_max_m);
+
+ private:
+  friend void WriteIndex(const MultiIndex& index, std::ostream& os);
+  friend bool ReadIndex(std::istream& is, size_t expected_nodes,
+                        size_t expected_trajectories, MultiIndex* index,
+                        std::string* error);
+  MultiIndexConfig config_;
+  double tau_min_ = 0.0;
+  double tau_max_ = 0.0;
+  double build_seconds_ = 0.0;
+  std::vector<std::unique_ptr<ClusterIndex>> instances_;
+};
+
+}  // namespace netclus::index
+
+#endif  // NETCLUS_NETCLUS_MULTI_INDEX_H_

@@ -1,0 +1,193 @@
+#include "netclus/query.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace netclus::index {
+
+namespace {
+
+using tops::CoverEntry;
+using tops::SiteId;
+using traj::TrajId;
+
+}  // namespace
+
+tops::CoverageIndex QueryEngine::BuildApproxCoverage(
+    double tau_m, size_t instance_id, std::vector<SiteId>* rep_sites,
+    double* build_seconds) const {
+  util::WallTimer timer;
+  const ClusterIndex& instance = index_->instance(instance_id);
+
+  // Representatives entering the clustered problem.
+  std::vector<uint32_t> rep_cluster;  // clustered-space id -> cluster
+  rep_sites->clear();
+  for (uint32_t g = 0; g < instance.num_clusters(); ++g) {
+    const Cluster& cluster = instance.cluster(g);
+    if (cluster.representative == tops::kInvalidSite) continue;
+    rep_cluster.push_back(g);
+    rep_sites->push_back(cluster.representative);
+  }
+
+  // T̂C per representative. Scratch: per-trajectory best estimate with
+  // stamping so that clearing is O(1) per representative.
+  const size_t num_trajs = store_->total_count();
+  std::vector<float> best(num_trajs, 0.0f);
+  std::vector<uint32_t> stamp(num_trajs, 0);
+  std::vector<TrajId> touched;
+  uint32_t epoch = 0;
+
+  std::vector<std::vector<CoverEntry>> covers(rep_cluster.size());
+  for (size_t r = 0; r < rep_cluster.size(); ++r) {
+    const uint32_t gi = rep_cluster[r];
+    const Cluster& home = instance.cluster(gi);
+    ++epoch;
+    touched.clear();
+
+    auto offer = [&](const TlEntry& e, float base) {
+      const float est = e.dr_m + base;
+      if (est > tau_m) return;
+      if (stamp[e.traj] != epoch) {
+        stamp[e.traj] = epoch;
+        best[e.traj] = est;
+        touched.push_back(e.traj);
+      } else if (est < best[e.traj]) {
+        best[e.traj] = est;
+      }
+    };
+
+    // Home cluster: d̂_r = d_r(T, c_i) + d_r(c_i, r_i).
+    for (const TlEntry& e : home.tl) {
+      if (!store_->is_alive(e.traj)) continue;
+      offer(e, home.rep_rt_m);
+    }
+    // Neighbor clusters: d̂_r = d_r(T, c_j) + d_r(c_j, c_i) + d_r(c_i, r_i).
+    for (const ClEntry& nb : home.cl) {
+      const float base = nb.dr_m + home.rep_rt_m;
+      if (base > tau_m) break;  // CL is distance-sorted: all later are worse
+      for (const TlEntry& e : instance.cluster(nb.cluster).tl) {
+        if (!store_->is_alive(e.traj)) continue;
+        offer(e, base);
+      }
+    }
+
+    auto& cover = covers[r];
+    cover.reserve(touched.size());
+    for (TrajId t : touched) cover.push_back({t, best[t]});
+  }
+  if (build_seconds != nullptr) *build_seconds = timer.Seconds();
+  return tops::CoverageIndex::FromCovers(std::move(covers), num_trajs,
+                                         store_->live_count(), tau_m);
+}
+
+namespace {
+
+// Maps clustered-space selection indices back to real site ids and rebases
+// timing/bookkeeping into a QueryResult.
+QueryResult FinishResult(const tops::Selection& clustered,
+                         const std::vector<SiteId>& rep_sites,
+                         const tops::CoverageIndex& approx, size_t instance,
+                         double cover_seconds, double total_seconds) {
+  QueryResult out;
+  out.selection = clustered;
+  out.selection.sites.clear();
+  for (SiteId rep_index : clustered.sites) {
+    out.selection.sites.push_back(rep_sites[rep_index]);
+  }
+  out.instance_used = instance;
+  out.clusters_considered = rep_sites.size();
+  out.cover_build_seconds = cover_seconds;
+  out.total_seconds = total_seconds;
+  out.transient_bytes =
+      approx.MemoryBytes() + rep_sites.size() * sizeof(SiteId);
+  return out;
+}
+
+}  // namespace
+
+QueryResult QueryEngine::Tops(const tops::PreferenceFunction& psi,
+                              const QueryConfig& config) const {
+  util::WallTimer timer;
+  const size_t p = index_->InstanceFor(config.tau_m);
+  std::vector<SiteId> rep_sites;
+  double cover_seconds = 0.0;
+  const tops::CoverageIndex approx =
+      BuildApproxCoverage(config.tau_m, p, &rep_sites, &cover_seconds);
+
+  // Map existing services to their clusters' representatives.
+  std::unordered_map<SiteId, SiteId> rep_index_of;
+  for (SiteId i = 0; i < rep_sites.size(); ++i) rep_index_of[rep_sites[i]] = i;
+  const ClusterIndex& instance = index_->instance(p);
+  std::vector<SiteId> existing_reps;
+  for (SiteId es : config.existing_services) {
+    const uint32_t g = instance.cluster_of(sites_->node(es));
+    const SiteId rep = instance.cluster(g).representative;
+    if (rep == tops::kInvalidSite) continue;
+    auto it = rep_index_of.find(rep);
+    if (it != rep_index_of.end()) existing_reps.push_back(it->second);
+  }
+
+  tops::Selection clustered;
+  if (config.use_fm_sketch && psi.is_binary()) {
+    tops::FmGreedyConfig fm_config;
+    fm_config.k = config.k;
+    fm_config.num_sketches = config.fm_copies;
+    clustered = FmGreedy(approx, fm_config).selection;
+  } else {
+    tops::GreedyConfig greedy_config;
+    greedy_config.k = config.k;
+    greedy_config.existing_services = existing_reps;
+    clustered = IncGreedy(approx, psi, greedy_config);
+  }
+  return FinishResult(clustered, rep_sites, approx, p, cover_seconds,
+                      timer.Seconds());
+}
+
+QueryResult QueryEngine::TopsCost(const tops::PreferenceFunction& psi,
+                                  const QueryConfig& config,
+                                  const std::vector<double>& site_costs,
+                                  double budget) const {
+  NC_CHECK_EQ(site_costs.size(), sites_->size());
+  util::WallTimer timer;
+  const size_t p = index_->InstanceFor(config.tau_m);
+  std::vector<SiteId> rep_sites;
+  double cover_seconds = 0.0;
+  const tops::CoverageIndex approx =
+      BuildApproxCoverage(config.tau_m, p, &rep_sites, &cover_seconds);
+
+  tops::CostConfig cost_config;
+  cost_config.budget = budget;
+  cost_config.site_costs.reserve(rep_sites.size());
+  for (SiteId site : rep_sites) cost_config.site_costs.push_back(site_costs[site]);
+  const tops::CostResult cost = CostGreedy(approx, psi, cost_config);
+  return FinishResult(cost.selection, rep_sites, approx, p, cover_seconds,
+                      timer.Seconds());
+}
+
+QueryResult QueryEngine::TopsCapacity(
+    const tops::PreferenceFunction& psi, const QueryConfig& config,
+    const std::vector<double>& site_capacities) const {
+  NC_CHECK_EQ(site_capacities.size(), sites_->size());
+  util::WallTimer timer;
+  const size_t p = index_->InstanceFor(config.tau_m);
+  std::vector<SiteId> rep_sites;
+  double cover_seconds = 0.0;
+  const tops::CoverageIndex approx =
+      BuildApproxCoverage(config.tau_m, p, &rep_sites, &cover_seconds);
+
+  tops::CapacityConfig capacity_config;
+  capacity_config.k = config.k;
+  capacity_config.site_capacities.reserve(rep_sites.size());
+  for (SiteId site : rep_sites) {
+    capacity_config.site_capacities.push_back(site_capacities[site]);
+  }
+  const tops::CapacityResult capacity =
+      CapacityGreedy(approx, psi, capacity_config);
+  return FinishResult(capacity.selection, rep_sites, approx, p, cover_seconds,
+                      timer.Seconds());
+}
+
+}  // namespace netclus::index

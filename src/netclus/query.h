@@ -1,0 +1,83 @@
+// Online phase: TOPS-Cluster queries over the multi-resolution index
+// (Sec. 5).
+//
+// Given (k, τ, ψ): pick instance p = ⌊log_{1+γ}(τ/τ_min)⌋; for every
+// cluster representative r_i build the approximate trajectory cover
+//   T̂C(r_i) = { T_j ∈ TL(g_i) ∪ TL(neighbors) : d̂_r(T_j, r_i) ≤ τ },
+//   d̂_r(T_j, r_i) = d_r(T_j, c_j) + d_r(c_j, c_i) + d_r(c_i, r_i)   (Eq. 9)
+// (taking the minimum estimate when T_j is reachable through several
+// clusters); then run the *unchanged* solver family — Inc-Greedy,
+// FM-greedy, cost / capacity / market-share greedy — on the representatives
+// by wrapping T̂C in a tops::CoverageIndex. d̂_r ≥ d_r, so T̂C ⊆ TC and the
+// Theorem 7 bounds hold.
+#ifndef NETCLUS_NETCLUS_QUERY_H_
+#define NETCLUS_NETCLUS_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "netclus/multi_index.h"
+#include "tops/coverage.h"
+#include "tops/fm_greedy.h"
+#include "tops/inc_greedy.h"
+#include "tops/variants.h"
+
+namespace netclus::index {
+
+struct QueryConfig {
+  uint32_t k = 5;
+  double tau_m = 800.0;
+  bool use_fm_sketch = false;  ///< FMNETCLUS: FM-greedy on representatives
+  uint32_t fm_copies = 30;
+  /// Existing services (Sec. 7.3), as site ids; each is mapped to its
+  /// cluster's representative in the clustered space.
+  std::vector<tops::SiteId> existing_services;
+};
+
+struct QueryResult {
+  tops::Selection selection;     ///< sites = real SiteIds (representatives)
+  size_t instance_used = 0;
+  size_t clusters_considered = 0;   ///< representatives entering the greedy
+  double cover_build_seconds = 0.0; ///< T̂C construction
+  double total_seconds = 0.0;
+  uint64_t transient_bytes = 0;     ///< Σ |T̂C| working memory
+};
+
+class QueryEngine {
+ public:
+  QueryEngine(const MultiIndex* index, const traj::TrajectoryStore* store,
+              const tops::SiteSet* sites)
+      : index_(index), store_(store), sites_(sites) {}
+
+  /// Plain TOPS (k, τ, ψ).
+  QueryResult Tops(const tops::PreferenceFunction& psi,
+                   const QueryConfig& config) const;
+
+  /// TOPS-COST in the clustered space: representative costs are the costs
+  /// of the representative sites.
+  QueryResult TopsCost(const tops::PreferenceFunction& psi,
+                       const QueryConfig& config,
+                       const std::vector<double>& site_costs,
+                       double budget) const;
+
+  /// TOPS-CAPACITY in the clustered space.
+  QueryResult TopsCapacity(const tops::PreferenceFunction& psi,
+                           const QueryConfig& config,
+                           const std::vector<double>& site_capacities) const;
+
+  /// Builds the clustered-space coverage (T̂C per representative) for a τ.
+  /// Exposed for tests; `rep_sites` receives the representative SiteId per
+  /// clustered-space index.
+  tops::CoverageIndex BuildApproxCoverage(double tau_m, size_t instance,
+                                          std::vector<tops::SiteId>* rep_sites,
+                                          double* build_seconds) const;
+
+ private:
+  const MultiIndex* index_;
+  const traj::TrajectoryStore* store_;
+  const tops::SiteSet* sites_;
+};
+
+}  // namespace netclus::index
+
+#endif  // NETCLUS_NETCLUS_QUERY_H_

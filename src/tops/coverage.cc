@@ -1,0 +1,321 @@
+#include "tops/coverage.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace netclus::tops {
+
+namespace {
+
+using graph::NodeId;
+using traj::TrajId;
+
+// Per-site scratch that maps TrajId -> best detour found so far, using a
+// stamped array so that clearing between sites is O(1).
+class MinDetourScratch {
+ public:
+  explicit MinDetourScratch(size_t num_trajs)
+      : best_(num_trajs, 0.0f), stamp_(num_trajs, 0) {}
+
+  void NewSite() {
+    ++epoch_;
+    touched_.clear();
+  }
+
+  void Offer(TrajId t, float dr) {
+    if (stamp_[t] != epoch_) {
+      stamp_[t] = epoch_;
+      best_[t] = dr;
+      touched_.push_back(t);
+    } else if (dr < best_[t]) {
+      best_[t] = dr;
+    }
+  }
+
+  const std::vector<TrajId>& touched() const { return touched_; }
+  float best(TrajId t) const { return best_[t]; }
+
+ private:
+  std::vector<float> best_;
+  std::vector<uint32_t> stamp_;
+  std::vector<TrajId> touched_;
+  uint32_t epoch_ = 0;
+};
+
+// Pairwise detour per trajectory for one site: collects (pos, rev, fwd) leg
+// distances and sweeps positions in order, maintaining
+// min_{k <= l} (rev(v_k) + prefix[k]) to add to (fwd(v_l) - prefix[l]).
+struct PairwiseLegs {
+  // Sparse per-position legs; kInf when the leg is out of range.
+  std::vector<std::pair<uint32_t, float>> rev_legs;  // (pos, d(v,s))
+  std::vector<std::pair<uint32_t, float>> fwd_legs;  // (pos, d(s,v))
+};
+
+}  // namespace
+
+CoverageIndex CoverageIndex::Build(const traj::TrajectoryStore& store,
+                                   const SiteSet& sites,
+                                   const CoverageConfig& config) {
+  CoverageIndex index;
+  index.config_ = config;
+  index.num_live_ = store.live_count();
+  util::WallTimer timer;
+  util::MemoryBudget budget(config.memory_budget_bytes);
+
+  const graph::RoadNetwork& net = store.network();
+  graph::DijkstraEngine engine(&net);
+  const size_t num_trajs = store.total_count();
+  index.tc_.resize(sites.size());
+  index.sc_.resize(num_trajs);
+
+  MinDetourScratch scratch(num_trajs);
+  // Pairwise-mode scratch, allocated lazily.
+  std::unordered_map<TrajId, PairwiseLegs> legs;
+
+  for (SiteId s = 0; s < sites.size(); ++s) {
+    const NodeId site_node = sites.node(s);
+    scratch.NewSite();
+
+    if (config.detour == DetourMode::kSinglePoint) {
+      const std::vector<graph::RoundTrip> rts =
+          engine.BoundedRoundTrip(site_node, config.tau_m);
+      index.stats_.settled_nodes += engine.last_settled_count();
+      for (const graph::RoundTrip& rt : rts) {
+        for (const traj::Posting& posting : store.postings(rt.node)) {
+          if (!store.is_alive(posting.traj)) continue;
+          scratch.Offer(posting.traj, static_cast<float>(rt.total()));
+        }
+      }
+    } else {
+      // Pairwise: both legs must individually fit in τ.
+      legs.clear();
+      const std::vector<graph::Settled> fwd =
+          engine.BoundedSearch(site_node, config.tau_m, graph::Direction::kForward);
+      index.stats_.settled_nodes += engine.last_settled_count();
+      const std::vector<graph::Settled> rev =
+          engine.BoundedSearch(site_node, config.tau_m, graph::Direction::kReverse);
+      index.stats_.settled_nodes += engine.last_settled_count();
+      for (const graph::Settled& st : rev) {
+        // rev search distance = d(node, site): the "leave" leg.
+        for (const traj::Posting& p : store.postings(st.node)) {
+          if (!store.is_alive(p.traj)) continue;
+          legs[p.traj].rev_legs.emplace_back(p.pos, static_cast<float>(st.distance));
+        }
+      }
+      for (const graph::Settled& st : fwd) {
+        // fwd search distance = d(site, node): the "rejoin" leg.
+        for (const traj::Posting& p : store.postings(st.node)) {
+          if (!store.is_alive(p.traj)) continue;
+          legs[p.traj].fwd_legs.emplace_back(p.pos, static_cast<float>(st.distance));
+        }
+      }
+      for (auto& [t, l] : legs) {
+        const traj::Trajectory& trajectory = store.trajectory(t);
+        std::sort(l.rev_legs.begin(), l.rev_legs.end());
+        std::sort(l.fwd_legs.begin(), l.fwd_legs.end());
+        // Sweep rejoin positions in order, keeping the best leave <= rejoin.
+        double best = graph::kInfDistance;
+        size_t ri = 0;
+        double best_leave = graph::kInfDistance;  // min rev + prefix
+        for (const auto& [pos, fwd_d] : l.fwd_legs) {
+          while (ri < l.rev_legs.size() && l.rev_legs[ri].first <= pos) {
+            const double leave =
+                l.rev_legs[ri].second + trajectory.prefix(l.rev_legs[ri].first);
+            best_leave = std::min(best_leave, leave);
+            ++ri;
+          }
+          if (best_leave == graph::kInfDistance) continue;
+          const double detour = best_leave + fwd_d - trajectory.prefix(pos);
+          best = std::min(best, detour);
+        }
+        if (best != graph::kInfDistance) {
+          scratch.Offer(t, static_cast<float>(std::max(0.0, best)));
+        }
+      }
+    }
+
+    auto& tc = index.tc_[s];
+    tc.reserve(scratch.touched().size());
+    for (TrajId t : scratch.touched()) {
+      const float dr = scratch.best(t);
+      if (dr <= config.tau_m) tc.push_back({t, dr});
+    }
+    std::sort(tc.begin(), tc.end(), [](const CoverEntry& a, const CoverEntry& b) {
+      return a.dr_m < b.dr_m || (a.dr_m == b.dr_m && a.id < b.id);
+    });
+    index.stats_.cover_entries += tc.size();
+    if (!budget.Charge(tc.size() * sizeof(CoverEntry) * 2 + 64)) {
+      index.oom_ = true;
+      index.tc_.clear();
+      index.sc_.clear();
+      index.stats_.build_seconds = timer.Seconds();
+      NC_LOG_WARNING << "CoverageIndex: memory budget ("
+                     << util::HumanBytes(budget.limit_bytes())
+                     << ") exceeded at site " << s << "/" << sites.size();
+      return index;
+    }
+  }
+
+  // Inverse view SC, also sorted by ascending distance.
+  for (SiteId s = 0; s < index.tc_.size(); ++s) {
+    for (const CoverEntry& e : index.tc_[s]) {
+      index.sc_[e.id].push_back({s, e.dr_m});
+    }
+  }
+  for (auto& sc : index.sc_) {
+    std::sort(sc.begin(), sc.end(), [](const CoverEntry& a, const CoverEntry& b) {
+      return a.dr_m < b.dr_m || (a.dr_m == b.dr_m && a.id < b.id);
+    });
+  }
+  index.stats_.build_seconds = timer.Seconds();
+  return index;
+}
+
+CoverageIndex CoverageIndex::FromCovers(
+    std::vector<std::vector<CoverEntry>> tc, size_t num_trajectories,
+    size_t num_live, double tau_m) {
+  CoverageIndex index;
+  index.config_.tau_m = tau_m;
+  index.num_live_ = num_live;
+  index.tc_ = std::move(tc);
+  index.sc_.resize(num_trajectories);
+  auto by_distance = [](const CoverEntry& a, const CoverEntry& b) {
+    return a.dr_m < b.dr_m || (a.dr_m == b.dr_m && a.id < b.id);
+  };
+  for (auto& cover : index.tc_) {
+    std::sort(cover.begin(), cover.end(), by_distance);
+    index.stats_.cover_entries += cover.size();
+  }
+  for (SiteId s = 0; s < index.tc_.size(); ++s) {
+    for (const CoverEntry& e : index.tc_[s]) {
+      NC_CHECK_LT(e.id, num_trajectories);
+      index.sc_[e.id].push_back({s, e.dr_m});
+    }
+  }
+  for (auto& sc : index.sc_) std::sort(sc.begin(), sc.end(), by_distance);
+  return index;
+}
+
+double CoverageIndex::SiteWeight(SiteId s, const PreferenceFunction& psi) const {
+  double w = 0.0;
+  for (const CoverEntry& e : tc_[s]) w += psi.Score(e.dr_m, config_.tau_m);
+  return w;
+}
+
+double CoverageIndex::DetourDistance(const traj::TrajectoryStore& store,
+                                     graph::DijkstraEngine* engine,
+                                     traj::TrajId t, graph::NodeId site_node,
+                                     double tau_m, DetourMode mode) {
+  const traj::Trajectory& trajectory = store.trajectory(t);
+  if (mode == DetourMode::kSinglePoint) {
+    // d(v, s) for all trajectory nodes via one reverse bounded search, then
+    // d(s, v) via one forward bounded search; combine per node.
+    const std::vector<graph::Settled> rev =
+        engine->BoundedSearch(site_node, tau_m, graph::Direction::kReverse);
+    std::unordered_map<NodeId, double> to_site;
+    for (const graph::Settled& st : rev) to_site[st.node] = st.distance;
+    const std::vector<graph::Settled> fwd =
+        engine->BoundedSearch(site_node, tau_m, graph::Direction::kForward);
+    std::unordered_map<NodeId, double> from_site;
+    for (const graph::Settled& st : fwd) from_site[st.node] = st.distance;
+    double best = graph::kInfDistance;
+    for (size_t i = 0; i < trajectory.size(); ++i) {
+      const NodeId v = trajectory.node(i);
+      auto it1 = to_site.find(v);
+      auto it2 = from_site.find(v);
+      if (it1 == to_site.end() || it2 == from_site.end()) continue;
+      best = std::min(best, it1->second + it2->second);
+    }
+    return best <= tau_m ? best : graph::kInfDistance;
+  }
+  // Pairwise mode.
+  const std::vector<graph::Settled> rev =
+      engine->BoundedSearch(site_node, tau_m, graph::Direction::kReverse);
+  std::unordered_map<NodeId, double> to_site;
+  for (const graph::Settled& st : rev) to_site[st.node] = st.distance;
+  const std::vector<graph::Settled> fwd =
+      engine->BoundedSearch(site_node, tau_m, graph::Direction::kForward);
+  std::unordered_map<NodeId, double> from_site;
+  for (const graph::Settled& st : fwd) from_site[st.node] = st.distance;
+  double best = graph::kInfDistance;
+  double best_leave = graph::kInfDistance;
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    const NodeId v = trajectory.node(i);
+    auto leave_it = to_site.find(v);
+    if (leave_it != to_site.end()) {
+      best_leave = std::min(best_leave, leave_it->second + trajectory.prefix(i));
+    }
+    auto rejoin_it = from_site.find(v);
+    if (rejoin_it != from_site.end() && best_leave != graph::kInfDistance) {
+      best = std::min(best,
+                      std::max(0.0, best_leave + rejoin_it->second -
+                                        trajectory.prefix(i)));
+    }
+  }
+  return best <= tau_m ? best : graph::kInfDistance;
+}
+
+double CoverageIndex::EvaluateSelection(const traj::TrajectoryStore& store,
+                                        const SiteSet& sites,
+                                        const std::vector<SiteId>& selection,
+                                        double tau_m,
+                                        const PreferenceFunction& psi,
+                                        DetourMode mode) {
+  const graph::RoadNetwork& net = store.network();
+  graph::DijkstraEngine engine(&net);
+  // Per-trajectory best score across the selected sites; reuse the covering
+  // inversion: bounded searches from each selected site only.
+  std::vector<double> best_score(store.total_count(), 0.0);
+  for (SiteId s : selection) {
+    const NodeId site_node = sites.node(s);
+    if (mode == DetourMode::kSinglePoint) {
+      const std::vector<graph::RoundTrip> rts =
+          engine.BoundedRoundTrip(site_node, tau_m);
+      // Min detour per trajectory for this site.
+      std::unordered_map<TrajId, double> best_dr;
+      for (const graph::RoundTrip& rt : rts) {
+        for (const traj::Posting& p : store.postings(rt.node)) {
+          if (!store.is_alive(p.traj)) continue;
+          auto [it, inserted] = best_dr.emplace(p.traj, rt.total());
+          if (!inserted && rt.total() < it->second) it->second = rt.total();
+        }
+      }
+      for (const auto& [t, dr] : best_dr) {
+        best_score[t] = std::max(best_score[t], psi.Score(dr, tau_m));
+      }
+    } else {
+      // Pairwise: reuse DetourDistance per touched trajectory.
+      const std::vector<graph::Settled> probe =
+          engine.BoundedSearch(site_node, tau_m, graph::Direction::kReverse);
+      std::vector<TrajId> touched;
+      for (const graph::Settled& st : probe) {
+        for (const traj::Posting& p : store.postings(st.node)) {
+          if (store.is_alive(p.traj)) touched.push_back(p.traj);
+        }
+      }
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+      for (TrajId t : touched) {
+        const double dr =
+            DetourDistance(store, &engine, t, site_node, tau_m, mode);
+        if (dr != graph::kInfDistance) {
+          best_score[t] = std::max(best_score[t], psi.Score(dr, tau_m));
+        }
+      }
+    }
+  }
+  double total = 0.0;
+  for (TrajId t = 0; t < store.total_count(); ++t) {
+    if (store.is_alive(t)) total += best_score[t];
+  }
+  return total;
+}
+
+uint64_t CoverageIndex::MemoryBytes() const {
+  return util::NestedVectorBytes(tc_) + util::NestedVectorBytes(sc_);
+}
+
+}  // namespace netclus::tops

@@ -1,0 +1,139 @@
+// Covering sets TC / SC and site weights (Sec. 3.2).
+//
+// For every candidate site s, TC(s) is the set of trajectories T with
+// d_r(T, s) <= τ together with the detour distance d_r(T, s); SC(T) is the
+// inverse map. This is the O(mn)-sized structure whose build cost and
+// memory footprint make plain Inc-Greedy non-scalable (Sec. 3.4, Table 9) —
+// NetClus exists to avoid materializing it at full resolution.
+//
+// Construction avoids the paper's 250 GB all-pairs distance matrix: each
+// site runs a τ-bounded forward + reverse Dijkstra, and the trajectory
+// store's node -> trajectory inverted index turns settled nodes into
+// covered trajectories.
+//
+// Two detour semantics (DESIGN.md):
+//  * kSinglePoint: d_r(T,s) = min_{v in T} d(v,s) + d(s,v)  — the round
+//    trip from one trajectory node; this is the semantics the NetClus
+//    guarantees (4R bounds) are stated in.
+//  * kPairwise: min over leave/rejoin pairs k <= l of
+//    d(v_k,s) + d(s,v_l) - along(v_k, v_l), clamped at 0, with each leg
+//    individually <= τ. Along-path baseline = the user's actual route.
+#ifndef NETCLUS_TOPS_COVERAGE_H_
+#define NETCLUS_TOPS_COVERAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/road_network.h"
+#include "tops/preference.h"
+#include "tops/site_set.h"
+#include "traj/trajectory_store.h"
+#include "util/memory.h"
+
+namespace netclus::tops {
+
+enum class DetourMode {
+  kSinglePoint,
+  kPairwise,
+};
+
+struct CoverageConfig {
+  double tau_m = 800.0;
+  DetourMode detour = DetourMode::kSinglePoint;
+  /// Optional analytic memory budget; when exceeded the build aborts and
+  /// Build() returns an index with oom() == true (Table 9's cutoff).
+  uint64_t memory_budget_bytes = 0;
+};
+
+/// One covering entry: trajectory (or site, in the inverse view) + d_r.
+struct CoverEntry {
+  uint32_t id;  ///< TrajId in TC, SiteId in SC
+  float dr_m;
+};
+
+/// Build statistics, reported by the benches.
+struct CoverageStats {
+  double build_seconds = 0.0;
+  uint64_t settled_nodes = 0;   ///< total Dijkstra-settled nodes
+  uint64_t cover_entries = 0;   ///< Σ |TC(s)|
+};
+
+class CoverageIndex {
+ public:
+  /// Computes TC for all sites in `sites` (and SC as its inverse).
+  /// Trajectories marked deleted in the store are skipped.
+  static CoverageIndex Build(const traj::TrajectoryStore& store,
+                             const SiteSet& sites, const CoverageConfig& config);
+
+  /// Wraps precomputed covering sets (sorted or not; they are re-sorted).
+  /// This is how NetClus runs the unmodified solver family on cluster
+  /// representatives: the approximate covers T̂C (Eq. 10) become a coverage
+  /// index whose "sites" are representatives. `num_trajectories` sizes the
+  /// SC inverse; `num_live` is the utility denominator.
+  static CoverageIndex FromCovers(std::vector<std::vector<CoverEntry>> tc,
+                                  size_t num_trajectories, size_t num_live,
+                                  double tau_m);
+
+  /// True when the memory budget aborted the build; all queries on an OOM
+  /// index are invalid.
+  bool oom() const { return oom_; }
+
+  double tau_m() const { return config_.tau_m; }
+  const CoverageConfig& config() const { return config_; }
+  size_t num_sites() const { return tc_.size(); }
+  size_t num_trajectories() const { return sc_.size(); }
+
+  /// Live (non-deleted) trajectories in the store at build time; the
+  /// denominator for utility percentages.
+  size_t num_live_trajectories() const { return num_live_; }
+
+  /// TC(s): covered trajectories sorted by ascending d_r (paper keeps the
+  /// sets distance-sorted).
+  std::span<const CoverEntry> TC(SiteId s) const {
+    return {tc_[s].data(), tc_[s].size()};
+  }
+
+  /// SC(T): covering sites sorted by ascending d_r.
+  std::span<const CoverEntry> SC(traj::TrajId t) const {
+    return {sc_[t].data(), sc_[t].size()};
+  }
+
+  /// Site weight w_i under preference ψ: Σ_{T in TC(s)} ψ(T, s).
+  double SiteWeight(SiteId s, const PreferenceFunction& psi) const;
+
+  /// Exact d_r(T, s) for an arbitrary (trajectory, site) pair, computed on
+  /// demand with bounded searches (used to evaluate solution quality
+  /// without a full index). kInfDistance if above `tau_m`.
+  static double DetourDistance(const traj::TrajectoryStore& store,
+                               graph::DijkstraEngine* engine,
+                               traj::TrajId t, graph::NodeId site_node,
+                               double tau_m, DetourMode mode);
+
+  /// Exact utility of a concrete site selection, evaluated from scratch
+  /// with k bounded searches (cheap: used to score NetClus answers against
+  /// Inc-Greedy answers without building a full CoverageIndex).
+  static double EvaluateSelection(const traj::TrajectoryStore& store,
+                                  const SiteSet& sites,
+                                  const std::vector<SiteId>& selection,
+                                  double tau_m, const PreferenceFunction& psi,
+                                  DetourMode mode = DetourMode::kSinglePoint);
+
+  const CoverageStats& stats() const { return stats_; }
+
+  /// Analytic memory footprint of TC + SC, bytes.
+  uint64_t MemoryBytes() const;
+
+ private:
+  CoverageConfig config_;
+  std::vector<std::vector<CoverEntry>> tc_;
+  std::vector<std::vector<CoverEntry>> sc_;
+  CoverageStats stats_;
+  size_t num_live_ = 0;
+  bool oom_ = false;
+};
+
+}  // namespace netclus::tops
+
+#endif  // NETCLUS_TOPS_COVERAGE_H_

@@ -1,0 +1,121 @@
+#include "tops/ilp_export.h"
+
+#include <ostream>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace netclus::tops {
+
+namespace {
+
+// Emits constraints forcing u_name <= max over scores[lo..hi) * x_site,
+// recursively splitting as in Appendix A.1. Leaf ranges of size one reduce
+// to u <= score * x. Returns the number of constraints written.
+struct MaxSplitEmitter {
+  std::ostream& os;
+  const std::vector<std::pair<SiteId, double>>& terms;  // (site, psi score)
+  IlpStats* stats;
+  size_t next_aux = 0;
+  size_t traj;
+
+  // Emits "u <= max(terms[lo..hi))" and returns the variable name holding
+  // that bound.
+  std::string Emit(size_t lo, size_t hi) {
+    NC_CHECK_LT(lo, hi);
+    if (hi - lo == 1) {
+      // Leaf: a fresh continuous var capped by score * x.
+      const std::string var = util::StrFormat("u%zu_l%zu", traj, next_aux++);
+      os << " c" << stats->num_constraints++ << ": " << var << " - "
+         << terms[lo].second << " x" << terms[lo].first << " <= 0\n";
+      ++stats->num_continuous_vars;
+      return var;
+    }
+    const size_t mid = lo + (hi - lo) / 2;
+    const std::string left = Emit(lo, mid);
+    const std::string right = Emit(mid, hi);
+    // u <= max(left, right) via indicator y:
+    //   left  <= right + M y      right <= left + M (1 - y)
+    //   u     <= right + M y      u     <= left + M (1 - y)
+    const std::string u = util::StrFormat("u%zu_m%zu", traj, next_aux++);
+    const std::string y = util::StrFormat("y%zu_%zu", traj, next_aux++);
+    constexpr double kBigM = 2.0;  // scores live in [0,1]
+    os << " c" << stats->num_constraints++ << ": " << left << " - " << right
+       << " - " << kBigM << " " << y << " <= 0\n";
+    os << " c" << stats->num_constraints++ << ": " << right << " - " << left
+       << " + " << kBigM << " " << y << " <= " << kBigM << "\n";
+    os << " c" << stats->num_constraints++ << ": " << u << " - " << right
+       << " - " << kBigM << " " << y << " <= 0\n";
+    os << " c" << stats->num_constraints++ << ": " << u << " - " << left
+       << " + " << kBigM << " " << y << " <= " << kBigM << "\n";
+    ++stats->num_continuous_vars;
+    ++stats->num_binary_vars;
+    binaries.push_back(y);
+    return u;
+  }
+
+  std::vector<std::string> binaries;
+};
+
+}  // namespace
+
+IlpStats ExportTopsLp(const CoverageIndex& coverage,
+                      const PreferenceFunction& psi, uint32_t k,
+                      std::ostream& os) {
+  NC_CHECK(!coverage.oom());
+  IlpStats stats;
+  const size_t n = coverage.num_sites();
+  const size_t m = coverage.num_trajectories();
+  const double tau = coverage.tau_m();
+
+  os << "\\ TOPS ILP (Sec. 3.1 / Appendix A.1): maximize sum of trajectory"
+     << " utilities\n";
+  os << "Maximize\n obj:";
+  bool any = false;
+  for (traj::TrajId t = 0; t < m; ++t) {
+    if (coverage.SC(t).empty()) continue;
+    os << (any ? " + " : " ") << "U" << t;
+    any = true;
+  }
+  if (!any) os << " 0 x0";
+  os << "\nSubject To\n";
+
+  // Cardinality: sum x_i <= k   (Ineq. 5).
+  os << " card:";
+  for (SiteId s = 0; s < n; ++s) os << (s == 0 ? " " : " + ") << "x" << s;
+  os << " <= " << k << "\n";
+  ++stats.num_constraints;
+  stats.num_binary_vars += n;
+
+  // Per-trajectory linearized max constraints (Ineq. 6 -> Appendix A.1).
+  std::vector<std::string> all_binaries;
+  std::vector<std::string> all_continuous;
+  for (traj::TrajId t = 0; t < m; ++t) {
+    const auto sc = coverage.SC(t);
+    if (sc.empty()) continue;
+    std::vector<std::pair<SiteId, double>> terms;
+    terms.reserve(sc.size());
+    for (const CoverEntry& e : sc) {
+      terms.emplace_back(e.id, psi.Score(e.dr_m, tau));
+    }
+    MaxSplitEmitter emitter{os, terms, &stats, 0, t, {}};
+    const std::string top = emitter.Emit(0, terms.size());
+    os << " c" << stats.num_constraints++ << ": U" << t << " - " << top
+       << " <= 0\n";
+    ++stats.num_continuous_vars;  // U_t
+    for (const auto& y : emitter.binaries) all_binaries.push_back(y);
+  }
+
+  os << "Bounds\n";
+  for (traj::TrajId t = 0; t < m; ++t) {
+    if (!coverage.SC(t).empty()) os << " 0 <= U" << t << " <= 1\n";
+  }
+  os << "Binary\n";
+  for (SiteId s = 0; s < n; ++s) os << " x" << s << "\n";
+  for (const auto& y : all_binaries) os << " " << y << "\n";
+  os << "End\n";
+  return stats;
+}
+
+}  // namespace netclus::tops

@@ -1,0 +1,37 @@
+// Exports the TOPS optimum as an integer linear program (Sec. 3.1 +
+// Appendix A.1) in CPLEX LP text format.
+//
+// No ILP solver ships with this repository (the built-in branch & bound in
+// optimal.h computes the same optimum), but the paper's exact formulation —
+// including the big-M linearization of U_j <= max_i ψ_ji x_i via the
+// recursive max-split with indicator variables y — is reproduced here so
+// the instance can be solved with any external solver and cross-checked.
+//
+// Variables: x_i ∈ {0,1} (site opened), U_j ∈ [0,1] (trajectory utility),
+// y_* ∈ {0,1} (linearization indicators). Objective: max Σ_j U_j subject to
+// Σ x_i <= k.
+#ifndef NETCLUS_TOPS_ILP_EXPORT_H_
+#define NETCLUS_TOPS_ILP_EXPORT_H_
+
+#include <iosfwd>
+
+#include "tops/coverage.h"
+#include "tops/preference.h"
+
+namespace netclus::tops {
+
+struct IlpStats {
+  size_t num_binary_vars = 0;
+  size_t num_continuous_vars = 0;
+  size_t num_constraints = 0;
+};
+
+/// Writes the LP-format model for TOPS(k, τ, ψ) over `coverage` to `os`.
+/// Returns counts for tests/reports.
+IlpStats ExportTopsLp(const CoverageIndex& coverage,
+                      const PreferenceFunction& psi, uint32_t k,
+                      std::ostream& os);
+
+}  // namespace netclus::tops
+
+#endif  // NETCLUS_TOPS_ILP_EXPORT_H_

@@ -1,0 +1,138 @@
+#include "tops/inc_greedy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace netclus::tops {
+
+namespace {
+
+// Shared greedy machinery: maintains per-trajectory utilities U_j and
+// per-site marginal utilities, applying Algorithm 1's update rule. The α_ji
+// values of the paper are kept implicit: α_ji = max(0, ψ(T_j, s_i) - U_j)
+// at all times, so the update on a U_j change from `old` to `new` is
+// marginal[s_i] -= max(0, ψ - old) - max(0, ψ - new).
+class GreedyState {
+ public:
+  GreedyState(const CoverageIndex& coverage, const PreferenceFunction& psi)
+      : coverage_(coverage), psi_(psi), tau_(coverage.tau_m()) {
+    const size_t n = coverage.num_sites();
+    weight_.resize(n);
+    marginal_.resize(n);
+    selected_.assign(n, false);
+    for (SiteId s = 0; s < n; ++s) {
+      weight_[s] = coverage.SiteWeight(s, psi);
+      marginal_[s] = weight_[s];
+    }
+    utility_.assign(coverage.num_trajectories(), 0.0);
+  }
+
+  /// Applies site `s` as selected; returns the exact utility gain.
+  double Select(SiteId s) {
+    selected_[s] = true;
+    double gain = 0.0;
+    for (const CoverEntry& e : coverage_.TC(s)) {
+      const double score = psi_.Score(e.dr_m, tau_);
+      const double old_u = utility_[e.id];
+      if (score <= old_u) continue;
+      gain += score - old_u;
+      // U_j increases: discount every covering site's marginal.
+      for (const CoverEntry& cover : coverage_.SC(e.id)) {
+        if (selected_[cover.id]) continue;
+        const double other_score = psi_.Score(cover.dr_m, tau_);
+        const double before = std::max(0.0, other_score - old_u);
+        const double after = std::max(0.0, other_score - score);
+        marginal_[cover.id] -= before - after;
+      }
+      utility_[e.id] = score;
+    }
+    marginal_[s] = 0.0;
+    total_utility_ += gain;
+    return gain;
+  }
+
+  /// Site with maximal marginal utility; ties broken by maximal weight,
+  /// then maximal index (Sec. 3.3). kInvalidSite when none remain.
+  SiteId ArgMaxMarginal() const {
+    SiteId best = kInvalidSite;
+    for (SiteId s = 0; s < marginal_.size(); ++s) {
+      if (selected_[s]) continue;
+      if (best == kInvalidSite) {
+        best = s;
+        continue;
+      }
+      if (marginal_[s] > marginal_[best] ||
+          (marginal_[s] == marginal_[best] &&
+           (weight_[s] > weight_[best] ||
+            (weight_[s] == weight_[best] && s > best)))) {
+        best = s;
+      }
+    }
+    return best;
+  }
+
+  double marginal(SiteId s) const { return marginal_[s]; }
+  double total_utility() const { return total_utility_; }
+
+ private:
+  const CoverageIndex& coverage_;
+  const PreferenceFunction& psi_;
+  double tau_;
+  std::vector<double> weight_;
+  std::vector<double> marginal_;
+  std::vector<double> utility_;
+  std::vector<bool> selected_;
+  double total_utility_ = 0.0;
+};
+
+}  // namespace
+
+Selection IncGreedy(const CoverageIndex& coverage, const PreferenceFunction& psi,
+                    const GreedyConfig& config) {
+  NC_CHECK(!coverage.oom()) << "IncGreedy on an OOM coverage index";
+  util::WallTimer timer;
+  Selection result;
+  GreedyState state(coverage, psi);
+
+  for (SiteId es : config.existing_services) {
+    NC_CHECK_LT(es, coverage.num_sites());
+    state.Select(es);
+  }
+  result.base_utility = state.total_utility();
+
+  const uint32_t k = static_cast<uint32_t>(
+      std::min<size_t>(config.k, coverage.num_sites()));
+  for (uint32_t step = 0; step < k; ++step) {
+    const SiteId s = state.ArgMaxMarginal();
+    if (s == kInvalidSite) break;
+    const double gain = state.Select(s);
+    if (gain <= 0.0 && step > 0) {
+      // No residual utility anywhere; further picks are arbitrary. Keep
+      // selecting (the paper's formulation returns exactly k sites), but
+      // gains stay zero.
+    }
+    result.sites.push_back(s);
+    result.marginal_gains.push_back(gain);
+  }
+  result.utility = state.total_utility();
+  result.solve_seconds = timer.Seconds();
+  return result;
+}
+
+double UtilityOf(const CoverageIndex& coverage, const PreferenceFunction& psi,
+                 const std::vector<SiteId>& selection) {
+  std::vector<double> utility(coverage.num_trajectories(), 0.0);
+  const double tau = coverage.tau_m();
+  for (SiteId s : selection) {
+    for (const CoverEntry& e : coverage.TC(s)) {
+      utility[e.id] = std::max(utility[e.id], psi.Score(e.dr_m, tau));
+    }
+  }
+  double total = 0.0;
+  for (double u : utility) total += u;
+  return total;
+}
+
+}  // namespace netclus::tops

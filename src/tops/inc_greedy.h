@@ -1,0 +1,47 @@
+// Inc-Greedy (Sec. 3.3, Algorithm 1): the (1 - 1/e)-approximate greedy
+// solver for TOPS, with marginal-gain bookkeeping over the covering sets.
+//
+// Also supports warm-starting from existing service locations ES
+// (Sec. 7.3): Q starts at ES, marginals are discounted accordingly, and the
+// same (1 - 1/e) bound holds for the extra utility.
+#ifndef NETCLUS_TOPS_INC_GREEDY_H_
+#define NETCLUS_TOPS_INC_GREEDY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tops/coverage.h"
+#include "tops/preference.h"
+#include "tops/site_set.h"
+
+namespace netclus::tops {
+
+struct GreedyConfig {
+  uint32_t k = 5;
+  /// Existing service locations ES (Sec. 7.3): treated as already selected;
+  /// not counted against k and not reported in Selection::sites.
+  std::vector<SiteId> existing_services;
+};
+
+/// Result of any TOPS solver in this library.
+struct Selection {
+  std::vector<SiteId> sites;          ///< chosen sites, in selection order
+  std::vector<double> marginal_gains; ///< utility gain per selection step
+  double utility = 0.0;               ///< U(Q ∪ ES) under ψ
+  double base_utility = 0.0;          ///< U(ES) alone (0 when ES is empty)
+  double solve_seconds = 0.0;         ///< iterative phase only (covering
+                                      ///< sets are an input, per Sec. 8.6)
+};
+
+/// Runs Inc-Greedy on a prebuilt coverage index.
+Selection IncGreedy(const CoverageIndex& coverage, const PreferenceFunction& psi,
+                    const GreedyConfig& config);
+
+/// Recomputes U(Q) for an explicit selection from the coverage index
+/// (exact; used to cross-check and to score sketch-based selections).
+double UtilityOf(const CoverageIndex& coverage, const PreferenceFunction& psi,
+                 const std::vector<SiteId>& selection);
+
+}  // namespace netclus::tops
+
+#endif  // NETCLUS_TOPS_INC_GREEDY_H_

@@ -1,0 +1,187 @@
+#include "tops/optimal.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace netclus::tops {
+
+namespace {
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const CoverageIndex& coverage, const PreferenceFunction& psi,
+                 const OptimalConfig& config)
+      : coverage_(coverage),
+        psi_(psi),
+        config_(config),
+        tau_(coverage.tau_m()),
+        n_(static_cast<SiteId>(coverage.num_sites())) {
+    utility_.assign(coverage.num_trajectories(), 0.0);
+  }
+
+  OptimalResult Run() {
+    OptimalResult result;
+    // Warm-start the incumbent with Inc-Greedy; with the (1 - 1/e) bound the
+    // incumbent is near-optimal already, which makes pruning effective.
+    GreedyConfig greedy_config;
+    greedy_config.k = config_.k;
+    Selection greedy = IncGreedy(coverage_, psi_, greedy_config);
+    best_utility_ = greedy.utility;
+    best_sites_ = greedy.sites;
+    std::sort(best_sites_.begin(), best_sites_.end());
+
+    timer_.Reset();
+    timed_out_ = false;
+    std::vector<SiteId> all_sites(n_);
+    for (SiteId s = 0; s < n_; ++s) all_sites[s] = s;
+    std::vector<SiteId> chosen;
+    Dfs(&chosen, 0.0, all_sites);
+
+    result.selection.sites = best_sites_;
+    result.selection.utility = best_utility_;
+    result.selection.solve_seconds = timer_.Seconds();
+    result.proven_optimal = !timed_out_;
+    result.upper_bound =
+        timed_out_ ? std::max(open_bound_, best_utility_) : best_utility_;
+    result.nodes_explored = nodes_;
+    return result;
+  }
+
+ private:
+  // Marginal gain of site s w.r.t. the current utility_ vector.
+  double MarginalOf(SiteId s) const {
+    double gain = 0.0;
+    for (const CoverEntry& e : coverage_.TC(s)) {
+      const double score = psi_.Score(e.dr_m, tau_);
+      if (score > utility_[e.id]) gain += score - utility_[e.id];
+    }
+    return gain;
+  }
+
+  // Applies site s; returns per-trajectory previous values for undo.
+  std::vector<std::pair<uint32_t, double>> Apply(SiteId s) {
+    std::vector<std::pair<uint32_t, double>> undo;
+    for (const CoverEntry& e : coverage_.TC(s)) {
+      const double score = psi_.Score(e.dr_m, tau_);
+      if (score > utility_[e.id]) {
+        undo.emplace_back(e.id, utility_[e.id]);
+        utility_[e.id] = score;
+      }
+    }
+    return undo;
+  }
+
+  void Undo(const std::vector<std::pair<uint32_t, double>>& undo) {
+    for (const auto& [t, old] : undo) utility_[t] = old;
+  }
+
+  void Incumbent(const std::vector<SiteId>& chosen, double utility) {
+    if (utility > best_utility_) {
+      best_utility_ = utility;
+      best_sites_ = chosen;
+      std::sort(best_sites_.begin(), best_sites_.end());
+    }
+  }
+
+  // Enumerates subsets of `remaining` of size up to the open slots. At each
+  // node, candidates are re-scored against the current state and visited in
+  // descending marginal order; the child for candidates[i] may only use
+  // candidates after i, which enumerates every subset exactly once (the
+  // subset's first element under this node's ordering is unique). The
+  // submodular bound U + Σ top-slots marginals prunes; because the state is
+  // fixed within a node, the same bound restricted to the suffix re-prunes
+  // each branch.
+  void Dfs(std::vector<SiteId>* chosen, double current_utility,
+           const std::vector<SiteId>& remaining) {
+    ++nodes_;
+    if (timed_out_) return;
+    if ((nodes_ & 0x3ffULL) == 0 && timer_.Seconds() > config_.time_limit_s) {
+      timed_out_ = true;
+      return;
+    }
+    if (chosen->size() == config_.k) {
+      Incumbent(*chosen, current_utility);
+      return;
+    }
+    const uint32_t slots = config_.k - static_cast<uint32_t>(chosen->size());
+
+    std::vector<std::pair<double, SiteId>> candidates;
+    candidates.reserve(remaining.size());
+    for (SiteId s : remaining) {
+      const double marginal = MarginalOf(s);
+      if (marginal > 0.0) candidates.emplace_back(marginal, s);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                return a.first > b.first ||
+                       (a.first == b.first && a.second < b.second);
+              });
+    double bound = current_utility;
+    for (uint32_t i = 0; i < slots && i < candidates.size(); ++i) {
+      bound += candidates[i].first;
+    }
+    if (bound <= best_utility_ + 1e-12) {
+      open_bound_ = std::max(open_bound_, bound);
+      return;
+    }
+    if (candidates.empty()) {
+      // No residual gain anywhere: current subset is as good as any
+      // completion of it.
+      Incumbent(*chosen, current_utility);
+      return;
+    }
+    std::vector<SiteId> suffix;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (timed_out_) return;
+      double branch_bound = current_utility;
+      for (size_t j = i; j < candidates.size() && j < i + slots; ++j) {
+        branch_bound += candidates[j].first;
+      }
+      if (branch_bound <= best_utility_ + 1e-12) {
+        open_bound_ = std::max(open_bound_, branch_bound);
+        break;  // candidates are sorted: later branches bound even lower
+      }
+      const SiteId s = candidates[i].second;
+      const auto undo = Apply(s);
+      double gained = 0.0;
+      for (const auto& [t, old] : undo) gained += utility_[t] - old;
+      chosen->push_back(s);
+      suffix.clear();
+      for (size_t j = i + 1; j < candidates.size(); ++j) {
+        suffix.push_back(candidates[j].second);
+      }
+      Dfs(chosen, current_utility + gained, suffix);
+      chosen->pop_back();
+      Undo(undo);
+    }
+  }
+
+  const CoverageIndex& coverage_;
+  const PreferenceFunction& psi_;
+  OptimalConfig config_;
+  double tau_;
+  SiteId n_;
+
+  std::vector<double> utility_;
+  double best_utility_ = 0.0;
+  std::vector<SiteId> best_sites_;
+  double open_bound_ = 0.0;
+  uint64_t nodes_ = 0;
+  bool timed_out_ = false;
+  util::WallTimer timer_;
+};
+
+}  // namespace
+
+OptimalResult SolveOptimal(const CoverageIndex& coverage,
+                           const PreferenceFunction& psi,
+                           const OptimalConfig& config) {
+  NC_CHECK(!coverage.oom()) << "SolveOptimal on an OOM coverage index";
+  NC_CHECK_GT(config.k, 0u);
+  BranchAndBound solver(coverage, psi, config);
+  return solver.Run();
+}
+
+}  // namespace netclus::tops

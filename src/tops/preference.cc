@@ -1,0 +1,74 @@
+#include "tops/preference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace netclus::tops {
+
+PreferenceFunction PreferenceFunction::Binary() {
+  return {Kind::kBinary, 0.0};
+}
+
+PreferenceFunction PreferenceFunction::Linear() {
+  return {Kind::kLinear, 0.0};
+}
+
+PreferenceFunction PreferenceFunction::Exponential(double scale) {
+  NC_CHECK_GT(scale, 0.0);
+  return {Kind::kExponential, scale};
+}
+
+PreferenceFunction PreferenceFunction::ConvexProbability(double exponent) {
+  NC_CHECK_GE(exponent, 1.0);
+  return {Kind::kConvexProbability, exponent};
+}
+
+PreferenceFunction PreferenceFunction::NegativeDistance(double normalizer_m) {
+  NC_CHECK_GT(normalizer_m, 0.0);
+  return {Kind::kNegativeDistance, normalizer_m};
+}
+
+double PreferenceFunction::Score(double dr_m, double tau_m) const {
+  if (dr_m < 0.0) dr_m = 0.0;
+  if (kind_ == Kind::kNegativeDistance) {
+    // τ is ignored (conceptually infinite for TOPS3).
+    return std::max(0.0, 1.0 - dr_m / param_);
+  }
+  if (dr_m > tau_m) return 0.0;
+  switch (kind_) {
+    case Kind::kBinary:
+      return 1.0;
+    case Kind::kLinear:
+      return tau_m <= 0.0 ? 1.0 : 1.0 - dr_m / tau_m;
+    case Kind::kExponential:
+      return tau_m <= 0.0 ? 1.0 : std::exp(-param_ * dr_m / tau_m);
+    case Kind::kConvexProbability: {
+      if (tau_m <= 0.0) return 1.0;
+      const double base = 1.0 - dr_m / tau_m;
+      return std::pow(base, param_);
+    }
+    case Kind::kNegativeDistance:
+      break;  // handled above
+  }
+  return 0.0;
+}
+
+std::string PreferenceFunction::name() const {
+  switch (kind_) {
+    case Kind::kBinary:
+      return "binary";
+    case Kind::kLinear:
+      return "linear";
+    case Kind::kExponential:
+      return "exponential";
+    case Kind::kConvexProbability:
+      return "convex-probability";
+    case Kind::kNegativeDistance:
+      return "negative-distance";
+  }
+  return "unknown";
+}
+
+}  // namespace netclus::tops

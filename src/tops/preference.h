@@ -1,0 +1,56 @@
+// Preference functions ψ (Def. 2) and the paper's named variants (Sec 7.4).
+//
+// ψ(T, s) = f(d_r(T, s)) for d_r <= τ, else 0, with f non-increasing and
+// normalized to [0, 1]. The provided family:
+//  * Binary            — TOPS1: 1 inside τ (Def. 3);
+//  * Linear            — 1 - d/τ;
+//  * Exponential       — exp(-scale * d/τ), a soft-decay preference;
+//  * ConvexProbability — TOPS2: (1 - d/τ)^exponent with exponent >= 1, a
+//    convex decreasing coverage probability as in Berman et al. [2];
+//  * NegativeDistance  — TOPS3: minimizing total deviation. Implemented as
+//    the affine-equivalent normalized score (d_max - d)/d_max with τ = ∞,
+//    which has the same argmax as Σ max(-d) because each trajectory's
+//    utility is an increasing affine transform (see DESIGN.md).
+#ifndef NETCLUS_TOPS_PREFERENCE_H_
+#define NETCLUS_TOPS_PREFERENCE_H_
+
+#include <string>
+
+namespace netclus::tops {
+
+class PreferenceFunction {
+ public:
+  enum class Kind {
+    kBinary,
+    kLinear,
+    kExponential,
+    kConvexProbability,
+    kNegativeDistance,
+  };
+
+  static PreferenceFunction Binary();
+  static PreferenceFunction Linear();
+  static PreferenceFunction Exponential(double scale = 3.0);
+  static PreferenceFunction ConvexProbability(double exponent = 2.0);
+  /// `normalizer_m` is d_max, the deviation at which the score reaches 0;
+  /// callers typically pass the network diameter or the largest observed d_r.
+  static PreferenceFunction NegativeDistance(double normalizer_m);
+
+  /// Score in [0, 1] for a detour distance `dr_m` under threshold `tau_m`.
+  /// Returns 0 beyond τ. f(0) = 1 for every kind.
+  double Score(double dr_m, double tau_m) const;
+
+  Kind kind() const { return kind_; }
+  bool is_binary() const { return kind_ == Kind::kBinary; }
+  std::string name() const;
+
+ private:
+  PreferenceFunction(Kind kind, double param) : kind_(kind), param_(param) {}
+
+  Kind kind_;
+  double param_;
+};
+
+}  // namespace netclus::tops
+
+#endif  // NETCLUS_TOPS_PREFERENCE_H_

@@ -1,0 +1,39 @@
+#include "tops/site_set.h"
+
+#include "util/logging.h"
+
+namespace netclus::tops {
+
+SiteSet::SiteSet(std::vector<graph::NodeId> nodes) {
+  nodes_.reserve(nodes.size());
+  for (graph::NodeId n : nodes) Add(n);
+}
+
+SiteSet SiteSet::AllNodes(const graph::RoadNetwork& net) {
+  std::vector<graph::NodeId> nodes(net.num_nodes());
+  for (graph::NodeId u = 0; u < net.num_nodes(); ++u) nodes[u] = u;
+  return SiteSet(std::move(nodes));
+}
+
+SiteSet SiteSet::SampleNodes(const graph::RoadNetwork& net, size_t count,
+                             uint64_t seed) {
+  NC_CHECK_LE(count, net.num_nodes());
+  util::Rng rng(seed);
+  std::vector<uint32_t> sampled = rng.SampleWithoutReplacement(
+      static_cast<uint32_t>(net.num_nodes()), static_cast<uint32_t>(count));
+  return SiteSet(std::vector<graph::NodeId>(sampled.begin(), sampled.end()));
+}
+
+SiteId SiteSet::SiteAtNode(graph::NodeId node) const {
+  auto it = node_to_site_.find(node);
+  return it == node_to_site_.end() ? kInvalidSite : it->second;
+}
+
+SiteId SiteSet::Add(graph::NodeId node) {
+  auto [it, inserted] =
+      node_to_site_.emplace(node, static_cast<SiteId>(nodes_.size()));
+  if (inserted) nodes_.push_back(node);
+  return it->second;
+}
+
+}  // namespace netclus::tops

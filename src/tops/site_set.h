@@ -1,0 +1,54 @@
+// Candidate site set S (Sec. 2).
+//
+// Sites are network nodes after edge-splitting augmentation, so a SiteSet
+// is a list of node ids with a reverse map. Site ids are dense indices into
+// that list; all TOPS structures are keyed by SiteId.
+#ifndef NETCLUS_TOPS_SITE_SET_H_
+#define NETCLUS_TOPS_SITE_SET_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/road_network.h"
+#include "util/rng.h"
+
+namespace netclus::tops {
+
+using SiteId = uint32_t;
+inline constexpr SiteId kInvalidSite = std::numeric_limits<SiteId>::max();
+
+class SiteSet {
+ public:
+  SiteSet() = default;
+
+  /// Builds from explicit node ids (duplicates are dropped).
+  explicit SiteSet(std::vector<graph::NodeId> nodes);
+
+  /// All network nodes are candidate sites (the paper's default, Sec. 8.1).
+  static SiteSet AllNodes(const graph::RoadNetwork& net);
+
+  /// A uniformly sampled subset of nodes (for scalability sweeps, Fig. 10).
+  static SiteSet SampleNodes(const graph::RoadNetwork& net, size_t count,
+                             uint64_t seed);
+
+  size_t size() const { return nodes_.size(); }
+  graph::NodeId node(SiteId s) const { return nodes_[s]; }
+  const std::vector<graph::NodeId>& nodes() const { return nodes_; }
+
+  /// Site at `node`, or kInvalidSite.
+  SiteId SiteAtNode(graph::NodeId node) const;
+
+  /// Appends a new candidate site at `node` (dynamic updates, Sec. 6);
+  /// returns its id, or the existing id if the node already hosts a site.
+  SiteId Add(graph::NodeId node);
+
+ private:
+  std::vector<graph::NodeId> nodes_;
+  std::unordered_map<graph::NodeId, SiteId> node_to_site_;
+};
+
+}  // namespace netclus::tops
+
+#endif  // NETCLUS_TOPS_SITE_SET_H_

@@ -1,0 +1,169 @@
+#include "traj/map_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace netclus::traj {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+MapMatcher::MapMatcher(const graph::RoadNetwork* net,
+                       const MapMatcherConfig& config)
+    : net_(net), config_(config), node_grid_(config.candidate_radius_m),
+      dijkstra_(net) {
+  NC_CHECK(net != nullptr);
+  node_grid_.Build(net->positions());
+}
+
+std::vector<uint32_t> MapMatcher::CandidatesFor(const geo::Point& p) {
+  auto scored = node_grid_.QueryRadiusWithDistance(p, config_.candidate_radius_m);
+  std::sort(scored.begin(), scored.end());
+  if (scored.size() > config_.max_candidates) {
+    scored.resize(config_.max_candidates);
+  }
+  std::vector<uint32_t> out;
+  out.reserve(scored.size());
+  for (const auto& [dist, id] : scored) out.push_back(id);
+  return out;
+}
+
+MatchResult MapMatcher::Match(const GpsTrace& trace) {
+  MatchResult result;
+  if (trace.empty()) return result;
+
+  // Collect candidate sets, dropping samples with no nearby intersection.
+  struct Layer {
+    geo::Point sample;
+    std::vector<uint32_t> candidates;
+  };
+  std::vector<Layer> layers;
+  layers.reserve(trace.size());
+  for (const GpsSample& s : trace) {
+    std::vector<uint32_t> cands = CandidatesFor(s.position);
+    if (cands.empty()) {
+      ++result.dropped_samples;
+      continue;
+    }
+    layers.push_back({s.position, std::move(cands)});
+  }
+  if (layers.empty()) return result;
+
+  const double emission_denom =
+      2.0 * config_.emission_sigma_m * config_.emission_sigma_m;
+  auto emission_logp = [&](const geo::Point& sample, uint32_t node) {
+    const double d = geo::Distance(sample, net_->position(node));
+    return -(d * d) / emission_denom;
+  };
+
+  // Viterbi forward pass.
+  std::vector<std::vector<double>> score(layers.size());
+  std::vector<std::vector<int>> backptr(layers.size());
+  score[0].resize(layers[0].candidates.size());
+  backptr[0].assign(layers[0].candidates.size(), -1);
+  for (size_t c = 0; c < layers[0].candidates.size(); ++c) {
+    score[0][c] = emission_logp(layers[0].sample, layers[0].candidates[c]);
+  }
+  for (size_t i = 1; i < layers.size(); ++i) {
+    const Layer& prev = layers[i - 1];
+    const Layer& cur = layers[i];
+    const double line_d = geo::Distance(prev.sample, cur.sample);
+    const double route_cap =
+        config_.route_slack_factor * line_d + config_.route_slack_const_m;
+    score[i].assign(cur.candidates.size(), kNegInf);
+    backptr[i].assign(cur.candidates.size(), -1);
+    for (size_t b = 0; b < cur.candidates.size(); ++b) {
+      const uint32_t nb = cur.candidates[b];
+      double best = kNegInf;
+      int best_a = -1;
+      for (size_t a = 0; a < prev.candidates.size(); ++a) {
+        if (score[i - 1][a] == kNegInf) continue;
+        const uint32_t na = prev.candidates[a];
+        const double route_d = dijkstra_.PointToPoint(na, nb, route_cap);
+        if (route_d == graph::kInfDistance) continue;
+        const double transition_logp =
+            -std::abs(route_d - line_d) / config_.transition_beta_m;
+        const double s = score[i - 1][a] + transition_logp;
+        if (s > best) {
+          best = s;
+          best_a = static_cast<int>(a);
+        }
+      }
+      if (best_a >= 0) {
+        score[i][b] = best + emission_logp(cur.sample, nb);
+        backptr[i][b] = best_a;
+      }
+    }
+    // If every candidate is unreachable (HMM "break"), restart the chain at
+    // this layer rather than failing the whole trace.
+    bool all_dead = true;
+    for (double s : score[i]) {
+      if (s != kNegInf) {
+        all_dead = false;
+        break;
+      }
+    }
+    if (all_dead) {
+      for (size_t b = 0; b < cur.candidates.size(); ++b) {
+        score[i][b] = emission_logp(cur.sample, cur.candidates[b]);
+        backptr[i][b] = -1;
+      }
+    }
+  }
+
+  // Backtrack from the best final state.
+  std::vector<uint32_t> matched(layers.size());
+  {
+    size_t i = layers.size() - 1;
+    int c = static_cast<int>(
+        std::max_element(score[i].begin(), score[i].end()) - score[i].begin());
+    result.log_likelihood = score[i][c];
+    while (true) {
+      matched[i] = layers[i].candidates[c];
+      const int prev_c = backptr[i][c];
+      if (i == 0) break;
+      if (prev_c < 0) {
+        // Chain restart: greedily pick the best state of the previous layer.
+        size_t j = i - 1;
+        c = static_cast<int>(std::max_element(score[j].begin(), score[j].end()) -
+                             score[j].begin());
+      } else {
+        c = prev_c;
+      }
+      --i;
+    }
+  }
+
+  // Route expansion: stitch consecutive matched nodes with shortest paths
+  // so the output is a contiguous intersection sequence.
+  std::vector<graph::NodeId> path;
+  path.push_back(matched[0]);
+  for (size_t i = 1; i < matched.size(); ++i) {
+    if (matched[i] == path.back()) continue;
+    const double line_d =
+        geo::Distance(layers[i - 1].sample, layers[i].sample);
+    const double cap =
+        config_.route_slack_factor * line_d + config_.route_slack_const_m;
+    std::vector<graph::NodeId> leg =
+        dijkstra_.ShortestPath(path.back(), matched[i], cap);
+    if (leg.empty()) {
+      leg = dijkstra_.ShortestPath(path.back(), matched[i]);
+    }
+    if (leg.empty()) {
+      // Disconnected (shouldn't happen on SCC-restricted networks): jump.
+      path.push_back(matched[i]);
+      continue;
+    }
+    path.insert(path.end(), leg.begin() + 1, leg.end());
+  }
+  result.path = std::move(path);
+  return result;
+}
+
+}  // namespace netclus::traj

@@ -1,0 +1,65 @@
+// HMM map-matcher: raw GPS trace -> road-network node sequence.
+//
+// Follows the structure of Lou et al. [33] / Newson-Krumm:
+//  * candidate states per sample: network nodes within a search radius;
+//  * emission probability: Gaussian in the snap distance;
+//  * transition probability: exponential in |route distance - great-circle
+//    distance| between consecutive samples (route distance via bounded
+//    point-to-point Dijkstra);
+//  * Viterbi decoding, then route expansion with shortest paths so that the
+//    output is a contiguous node path as the paper's Sec. 2 requires.
+//
+// Candidates are intersections rather than edge projections; at city block
+// scale (~100-200 m) with typical probe noise this recovers routes reliably
+// (see tests) while keeping the matcher a light substrate.
+#ifndef NETCLUS_TRAJ_MAP_MATCHER_H_
+#define NETCLUS_TRAJ_MAP_MATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/spatial_grid.h"
+#include "graph/dijkstra.h"
+#include "graph/road_network.h"
+#include "traj/trace.h"
+
+namespace netclus::traj {
+
+struct MapMatcherConfig {
+  double candidate_radius_m = 120.0;  ///< candidate node search radius
+  size_t max_candidates = 6;          ///< per GPS sample
+  double emission_sigma_m = 30.0;     ///< GPS noise model
+  double transition_beta_m = 250.0;   ///< route-vs-line tolerance
+  /// Cap on the route search between consecutive samples, as a multiple of
+  /// their straight-line distance (plus a constant slack).
+  double route_slack_factor = 4.0;
+  double route_slack_const_m = 600.0;
+};
+
+struct MatchResult {
+  std::vector<graph::NodeId> path;  ///< contiguous node path (empty = failed)
+  double log_likelihood = 0.0;
+  size_t dropped_samples = 0;  ///< samples with no candidates in radius
+};
+
+class MapMatcher {
+ public:
+  explicit MapMatcher(const graph::RoadNetwork* net,
+                      const MapMatcherConfig& config = {});
+
+  /// Matches one trace. Thread-compatible (not thread-safe: reuses a
+  /// Dijkstra workspace).
+  MatchResult Match(const GpsTrace& trace);
+
+ private:
+  std::vector<uint32_t> CandidatesFor(const geo::Point& p);
+
+  const graph::RoadNetwork* net_;
+  MapMatcherConfig config_;
+  geo::PointGrid node_grid_;
+  graph::DijkstraEngine dijkstra_;
+};
+
+}  // namespace netclus::traj
+
+#endif  // NETCLUS_TRAJ_MAP_MATCHER_H_

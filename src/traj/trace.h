@@ -1,0 +1,22 @@
+// Raw GPS trace types (the input end of the paper's Fig. 2 pipeline).
+#ifndef NETCLUS_TRAJ_TRACE_H_
+#define NETCLUS_TRAJ_TRACE_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace netclus::traj {
+
+/// One GPS fix in the local planar frame.
+struct GpsSample {
+  geo::Point position;
+  double timestamp_s = 0.0;
+};
+
+/// A raw GPS trace: noisy, irregularly sampled positions of one vehicle.
+using GpsTrace = std::vector<GpsSample>;
+
+}  // namespace netclus::traj
+
+#endif  // NETCLUS_TRAJ_TRACE_H_

@@ -1,0 +1,38 @@
+#include "traj/trace_synthesizer.h"
+
+#include "geo/polyline.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace netclus::traj {
+
+GpsTrace SynthesizeTrace(const graph::RoadNetwork& net,
+                         const std::vector<graph::NodeId>& nodes,
+                         const TraceSynthesizerConfig& config) {
+  NC_CHECK_GT(config.speed_mps, 0.0);
+  NC_CHECK_GT(config.sampling_interval_s, 0.0);
+  GpsTrace trace;
+  if (nodes.empty()) return trace;
+
+  std::vector<geo::Point> polyline;
+  polyline.reserve(nodes.size());
+  for (graph::NodeId n : nodes) polyline.push_back(net.position(n));
+  const double length = geo::PolylineLength(polyline);
+
+  util::Rng rng(config.seed);
+  const double step_m = config.speed_mps * config.sampling_interval_s;
+  double s = 0.0;
+  double t = 0.0;
+  while (true) {
+    const geo::Point exact = geo::InterpolateAlong(polyline, s);
+    trace.push_back({{exact.x + rng.Normal(0.0, config.noise_sigma_m),
+                      exact.y + rng.Normal(0.0, config.noise_sigma_m)},
+                     t});
+    if (s >= length) break;
+    s = std::min(length, s + step_m);
+    t += config.sampling_interval_s;
+  }
+  return trace;
+}
+
+}  // namespace netclus::traj

@@ -1,0 +1,36 @@
+#include "traj/trajectory.h"
+
+#include "graph/dijkstra.h"
+#include "util/logging.h"
+
+namespace netclus::traj {
+
+namespace {
+
+// Weight of the cheapest arc u -> v, or a fallback when not adjacent.
+double StepDistance(const graph::RoadNetwork& net, graph::NodeId u,
+                    graph::NodeId v) {
+  double best = graph::kInfDistance;
+  for (const graph::Arc& arc : net.OutArcs(u)) {
+    if (arc.to == v && arc.weight < best) best = arc.weight;
+  }
+  if (best != graph::kInfDistance) return best;
+  // Non-adjacent consecutive nodes: approximate with straight-line distance.
+  return net.EuclideanMeters(u, v);
+}
+
+}  // namespace
+
+Trajectory::Trajectory(const graph::RoadNetwork& net,
+                       std::vector<graph::NodeId> nodes)
+    : nodes_(std::move(nodes)) {
+  prefix_.reserve(nodes_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    NC_CHECK_LT(nodes_[i], net.num_nodes());
+    if (i > 0) acc += StepDistance(net, nodes_[i - 1], nodes_[i]);
+    prefix_.push_back(acc);
+  }
+}
+
+}  // namespace netclus::traj

@@ -1,0 +1,61 @@
+// Trajectory type: a map-matched sequence of road-network nodes.
+//
+// Matches the paper's Sec. 2: "each trajectory is map-matched to form a
+// sequence of road intersections through which it passes". Consecutive
+// nodes are expected to be adjacent in the network; prefix distances cache
+// the along-path distance from the first node to each node, which makes the
+// pairwise detour distance d_r(T, s) O(1) per (leave, rejoin) pair.
+#ifndef NETCLUS_TRAJ_TRAJECTORY_H_
+#define NETCLUS_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace netclus::traj {
+
+using TrajId = uint32_t;
+inline constexpr TrajId kInvalidTraj = std::numeric_limits<TrajId>::max();
+
+class Trajectory {
+ public:
+  Trajectory() = default;
+
+  /// Builds from a node sequence; prefix distances are derived from the
+  /// network's arc weights (falling back to Euclidean distance when two
+  /// consecutive nodes are not adjacent, which can happen for sparse
+  /// map-matched input).
+  Trajectory(const graph::RoadNetwork& net, std::vector<graph::NodeId> nodes);
+
+  const std::vector<graph::NodeId>& nodes() const { return nodes_; }
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  graph::NodeId node(size_t i) const { return nodes_[i]; }
+
+  /// Along-path distance from node 0 to node i, meters.
+  double prefix(size_t i) const { return prefix_[i]; }
+
+  /// Along-path distance between positions i <= j on the trajectory.
+  double AlongDistance(size_t i, size_t j) const {
+    return prefix_[j] - prefix_[i];
+  }
+
+  /// Total along-path length, meters.
+  double LengthMeters() const { return prefix_.empty() ? 0.0 : prefix_.back(); }
+
+  /// Analytic memory footprint in bytes.
+  uint64_t MemoryBytes() const {
+    return nodes_.capacity() * sizeof(graph::NodeId) +
+           prefix_.capacity() * sizeof(double);
+  }
+
+ private:
+  std::vector<graph::NodeId> nodes_;
+  std::vector<double> prefix_;
+};
+
+}  // namespace netclus::traj
+
+#endif  // NETCLUS_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,79 @@
+#include "traj/trajectory_store.h"
+
+#include "util/logging.h"
+#include "util/memory.h"
+
+namespace netclus::traj {
+
+TrajectoryStore::TrajectoryStore(const graph::RoadNetwork* net) : net_(net) {
+  NC_CHECK(net != nullptr);
+  node_postings_.resize(net->num_nodes());
+}
+
+TrajId TrajectoryStore::Add(std::vector<graph::NodeId> nodes) {
+  NC_CHECK(!nodes.empty());
+  const TrajId id = static_cast<TrajId>(trajectories_.size());
+  trajectories_.emplace_back(*net_, std::move(nodes));
+  alive_.push_back(true);
+  ++live_count_;
+  IndexTrajectory(id);
+  return id;
+}
+
+void TrajectoryStore::Remove(TrajId id) {
+  NC_CHECK_LT(id, trajectories_.size());
+  if (!alive_[id]) return;
+  alive_[id] = false;
+  --live_count_;
+}
+
+std::span<const Posting> TrajectoryStore::postings(graph::NodeId node) const {
+  NC_CHECK_LT(node, node_postings_.size());
+  const auto& v = node_postings_[node];
+  return {v.data(), v.size()};
+}
+
+void TrajectoryStore::IndexTrajectory(TrajId id) {
+  const Trajectory& t = trajectories_[id];
+  for (uint32_t pos = 0; pos < t.size(); ++pos) {
+    node_postings_[t.node(pos)].push_back({id, pos});
+  }
+}
+
+double TrajectoryStore::MeanNodeCount() const {
+  if (live_count_ == 0) return 0.0;
+  double total = 0.0;
+  for (TrajId id = 0; id < trajectories_.size(); ++id) {
+    if (alive_[id]) total += static_cast<double>(trajectories_[id].size());
+  }
+  return total / static_cast<double>(live_count_);
+}
+
+double TrajectoryStore::MeanLengthMeters() const {
+  if (live_count_ == 0) return 0.0;
+  double total = 0.0;
+  for (TrajId id = 0; id < trajectories_.size(); ++id) {
+    if (alive_[id]) total += trajectories_[id].LengthMeters();
+  }
+  return total / static_cast<double>(live_count_);
+}
+
+uint64_t TrajectoryStore::MemoryBytes() const {
+  uint64_t total = util::NestedVectorBytes(node_postings_);
+  for (const Trajectory& t : trajectories_) total += t.MemoryBytes();
+  total += alive_.capacity() / 8;
+  return total;
+}
+
+void TrajectoryStore::Compact() {
+  for (auto& postings : node_postings_) {
+    size_t w = 0;
+    for (const Posting& p : postings) {
+      if (alive_[p.traj]) postings[w++] = p;
+    }
+    postings.resize(w);
+    postings.shrink_to_fit();
+  }
+}
+
+}  // namespace netclus::traj

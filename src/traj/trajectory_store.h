@@ -1,0 +1,81 @@
+// Trajectory corpus with a node -> trajectories inverted index.
+//
+// The inverted index is what makes covering-set computation practical: a
+// site's bounded round-trip search enumerates nearby nodes, and the index
+// maps those to the trajectories passing through them (Sec. 3.2). Supports
+// dynamic additions and deletions (Sec. 6) via tombstones; deleted ids are
+// skipped on read.
+#ifndef NETCLUS_TRAJ_TRAJECTORY_STORE_H_
+#define NETCLUS_TRAJ_TRAJECTORY_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace netclus::traj {
+
+/// One posting: trajectory `traj` passes through the indexed node at
+/// position `pos` in its node sequence.
+struct Posting {
+  TrajId traj;
+  uint32_t pos;
+};
+
+class TrajectoryStore {
+ public:
+  explicit TrajectoryStore(const graph::RoadNetwork* net);
+
+  /// Adds a trajectory (by node sequence); returns its id. O(len).
+  TrajId Add(std::vector<graph::NodeId> nodes);
+
+  /// Marks a trajectory deleted. Its postings are skipped lazily. O(1).
+  void Remove(TrajId id);
+
+  bool is_alive(TrajId id) const { return alive_[id]; }
+
+  /// Number of live trajectories.
+  size_t live_count() const { return live_count_; }
+
+  /// Total ids ever allocated (live + deleted).
+  size_t total_count() const { return trajectories_.size(); }
+
+  const Trajectory& trajectory(TrajId id) const { return trajectories_[id]; }
+
+  /// Postings for a node (may include deleted trajectories; check
+  /// is_alive). Spans remain valid until the next Add() call.
+  std::span<const Posting> postings(graph::NodeId node) const;
+
+  const graph::RoadNetwork& network() const { return *net_; }
+
+  /// Mean node count over live trajectories.
+  double MeanNodeCount() const;
+
+  /// Mean along-path length (meters) over live trajectories.
+  double MeanLengthMeters() const;
+
+  /// Analytic memory footprint in bytes.
+  uint64_t MemoryBytes() const;
+
+  /// Rebuilds the inverted index compactly, dropping tombstoned postings.
+  /// Ids are preserved. Call after large batches of deletions.
+  void Compact();
+
+ private:
+  void IndexTrajectory(TrajId id);
+
+  const graph::RoadNetwork* net_;
+  std::vector<Trajectory> trajectories_;
+  std::vector<bool> alive_;
+  size_t live_count_ = 0;
+
+  // Inverted index as per-node vectors. A CSR layout would be ~25% smaller
+  // but would make dynamic adds O(total postings); per-node vectors keep
+  // adds O(len) which Table 10 (update cost) depends on.
+  std::vector<std::vector<Posting>> node_postings_;
+};
+
+}  // namespace netclus::traj
+
+#endif  // NETCLUS_TRAJ_TRAJECTORY_STORE_H_

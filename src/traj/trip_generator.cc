@@ -1,0 +1,143 @@
+#include "traj/trip_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "geo/spatial_grid.h"
+#include "graph/dijkstra.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace netclus::traj {
+
+namespace {
+
+using graph::Arc;
+using graph::NodeId;
+using graph::RoadNetwork;
+
+// Deterministic multiplier in [1, 1+deviation] for (trip, tail, arc index).
+double ArcMultiplier(uint64_t trip_seed, NodeId tail, uint32_t arc_index,
+                     double deviation) {
+  const uint64_t h = util::SplitMix64(
+      trip_seed ^ (static_cast<uint64_t>(tail) << 20) ^ arc_index);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return 1.0 + deviation * u;
+}
+
+}  // namespace
+
+std::vector<NodeId> RoutePerturbed(const RoadNetwork& net, NodeId src,
+                                   NodeId dst, double deviation,
+                                   uint64_t trip_seed) {
+  NC_CHECK_LT(src, net.num_nodes());
+  NC_CHECK_LT(dst, net.num_nodes());
+  if (src == dst) return {src};
+  // Dedicated Dijkstra with jittered weights; DijkstraEngine is not reused
+  // because the weight function differs per trip.
+  const size_t n = net.num_nodes();
+  std::vector<double> dist(n, graph::kInfDistance);
+  std::vector<NodeId> parent(n, graph::kInvalidNode);
+  using HeapEntry = std::pair<double, NodeId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  dist[src] = 0.0;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    const auto arcs = net.OutArcs(u);
+    for (uint32_t i = 0; i < arcs.size(); ++i) {
+      const Arc& arc = arcs[i];
+      const double nd =
+          d + arc.weight * ArcMultiplier(trip_seed, u, i, deviation);
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = nd;
+        parent[arc.to] = u;
+        heap.push({nd, arc.to});
+      }
+    }
+  }
+  if (dist[dst] == graph::kInfDistance) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = dst; v != graph::kInvalidNode; v = parent[v]) {
+    path.push_back(v);
+    if (v == src) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<TrajId> GenerateTrips(const TripGeneratorConfig& config,
+                                  TrajectoryStore* store) {
+  NC_CHECK(store != nullptr);
+  const RoadNetwork& net = store->network();
+  NC_CHECK_GT(net.num_nodes(), 0u);
+  util::Rng rng(config.seed);
+
+  // Hotspots: nodes sampled uniformly; attraction weights ~ Zipf-ish.
+  std::vector<NodeId> hotspot_nodes;
+  std::vector<double> hotspot_weights;
+  for (uint32_t i = 0; i < config.num_hotspots; ++i) {
+    hotspot_nodes.push_back(
+        static_cast<NodeId>(rng.UniformInt(static_cast<uint64_t>(net.num_nodes()))));
+    hotspot_weights.push_back(1.0 / (1.0 + i));  // rank-1/i attraction
+  }
+
+  // Grid over node positions to sample "near hotspot" endpoints.
+  geo::PointGrid grid(500.0);
+  grid.Build(net.positions());
+
+  auto sample_endpoint = [&]() -> NodeId {
+    if (config.num_hotspots == 0 || rng.Bernoulli(config.background_fraction)) {
+      return static_cast<NodeId>(
+          rng.UniformInt(static_cast<uint64_t>(net.num_nodes())));
+    }
+    const size_t h = rng.Categorical(hotspot_weights);
+    const geo::Point base = net.position(hotspot_nodes[h]);
+    const geo::Point jittered{base.x + rng.Normal(0.0, config.hotspot_sigma_m),
+                              base.y + rng.Normal(0.0, config.hotspot_sigma_m)};
+    const uint32_t nearest = grid.Nearest(jittered);
+    return nearest == geo::PointGrid::kNotFound
+               ? hotspot_nodes[h]
+               : static_cast<NodeId>(nearest);
+  };
+
+  std::vector<TrajId> ids;
+  ids.reserve(config.num_trajectories);
+  uint32_t attempts = 0;
+  const uint32_t max_attempts = config.num_trajectories * 40 + 1000;
+  while (ids.size() < config.num_trajectories && attempts < max_attempts) {
+    ++attempts;
+    const NodeId src = sample_endpoint();
+    const NodeId dst = sample_endpoint();
+    if (src == dst) continue;
+    if (geo::Distance(net.position(src), net.position(dst)) <
+        config.min_od_distance_m) {
+      continue;
+    }
+    const uint64_t trip_seed = util::SplitMix64(config.seed ^ (attempts * 0x9e37ULL));
+    std::vector<NodeId> path =
+        RoutePerturbed(net, src, dst, config.deviation, trip_seed);
+    if (path.size() < 2) continue;
+    if (config.max_length_m > 0.0) {
+      // Cheap length check before committing to the store.
+      double len = 0.0;
+      for (size_t i = 1; i < path.size(); ++i) {
+        len += net.EuclideanMeters(path[i - 1], path[i]);
+      }
+      if (len < config.min_length_m || len > config.max_length_m) continue;
+    }
+    ids.push_back(store->Add(std::move(path)));
+  }
+  if (ids.size() < config.num_trajectories) {
+    NC_LOG_WARNING << "GenerateTrips: produced " << ids.size() << " of "
+                   << config.num_trajectories
+                   << " requested trajectories (length filter too strict?)";
+  }
+  return ids;
+}
+
+}  // namespace netclus::traj

@@ -1,0 +1,39 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace netclus::util {
+
+int64_t GetEnvInt(const char* name, int64_t def) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  return (end == value) ? def : static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(const char* name, double def) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return (end == value) ? def : parsed;
+}
+
+std::string GetEnvString(const char* name, const std::string& def) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? def : std::string(value);
+}
+
+bool GetEnvBool(const char* name, bool def) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return def;
+  const std::string v = ToLower(value);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+double DatasetScale() { return GetEnvDouble("NETCLUS_SCALE", 1.0); }
+
+}  // namespace netclus::util

@@ -1,0 +1,32 @@
+// Environment-variable driven configuration for benches and examples.
+//
+// Benches must run unattended (`for b in build/bench/*; do $b; done`), so all
+// knobs default to paper values and are overridable via NETCLUS_* env vars,
+// e.g. NETCLUS_SCALE=0.25 shrinks every dataset by 4x.
+#ifndef NETCLUS_UTIL_FLAGS_H_
+#define NETCLUS_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace netclus::util {
+
+/// Returns the env var `name` as int64, or `def` if unset/unparseable.
+int64_t GetEnvInt(const char* name, int64_t def);
+
+/// Returns the env var `name` as double, or `def` if unset/unparseable.
+double GetEnvDouble(const char* name, double def);
+
+/// Returns the env var `name`, or `def` if unset.
+std::string GetEnvString(const char* name, const std::string& def);
+
+/// Returns the env var `name` as bool ("1", "true", "yes" => true).
+bool GetEnvBool(const char* name, bool def);
+
+/// Global dataset scale factor (NETCLUS_SCALE, default 1.0). Dataset
+/// generators multiply node/trajectory counts by this.
+double DatasetScale();
+
+}  // namespace netclus::util
+
+#endif  // NETCLUS_UTIL_FLAGS_H_

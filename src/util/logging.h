@@ -1,0 +1,93 @@
+// Lightweight leveled logging for the NetClus library.
+//
+// Usage:
+//   NC_LOG_INFO << "built index with " << n << " clusters";
+//   util::SetLogLevel(util::LogLevel::kWarning);   // silence info logs
+//
+// Log lines are written to stderr with a monotonic timestamp so that
+// interleaving with benchmark output on stdout stays readable.
+#ifndef NETCLUS_UTIL_LOGGING_H_
+#define NETCLUS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace netclus::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the global minimum level below which log lines are dropped.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum log level.
+LogLevel GetLogLevel();
+
+/// Parses a level name ("debug", "info", "warning", "error", "fatal").
+/// Unknown names return kInfo.
+LogLevel ParseLogLevel(const std::string& name);
+
+namespace internal {
+
+// Accumulates one log line and flushes it on destruction. kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the line is below the active level.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+}  // namespace netclus::util
+
+#define NC_LOG_AT_LEVEL(level)                                            \
+  (level) < ::netclus::util::GetLogLevel()                                \
+      ? (void)0                                                           \
+      : ::netclus::util::internal::LogMessageVoidify() &                  \
+            ::netclus::util::internal::LogMessage((level), __FILE__,      \
+                                                  __LINE__)               \
+                .stream()
+
+#define NC_LOG_DEBUG NC_LOG_AT_LEVEL(::netclus::util::LogLevel::kDebug)
+#define NC_LOG_INFO NC_LOG_AT_LEVEL(::netclus::util::LogLevel::kInfo)
+#define NC_LOG_WARNING NC_LOG_AT_LEVEL(::netclus::util::LogLevel::kWarning)
+#define NC_LOG_ERROR NC_LOG_AT_LEVEL(::netclus::util::LogLevel::kError)
+#define NC_LOG_FATAL NC_LOG_AT_LEVEL(::netclus::util::LogLevel::kFatal)
+
+// Check macros: always-on invariant checks that log and abort on failure.
+#define NC_CHECK(cond)                                            \
+  (cond) ? (void)0                                                \
+         : ::netclus::util::internal::LogMessageVoidify() &       \
+               ::netclus::util::internal::LogMessage(             \
+                   ::netclus::util::LogLevel::kFatal, __FILE__,   \
+                   __LINE__)                                      \
+                   .stream()                                      \
+               << "Check failed: " #cond " "
+
+#define NC_CHECK_GE(a, b) NC_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NC_CHECK_GT(a, b) NC_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NC_CHECK_LE(a, b) NC_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NC_CHECK_LT(a, b) NC_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NC_CHECK_EQ(a, b) NC_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define NC_CHECK_NE(a, b) NC_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // NETCLUS_UTIL_LOGGING_H_

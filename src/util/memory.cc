@@ -1,0 +1,71 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace netclus::util {
+
+namespace {
+
+// Parses "VmRSS:     123 kB" style lines from /proc/self/status.
+uint64_t ReadStatusField(const char* field) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      std::sscanf(line + field_len, " %lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+uint64_t ReadVmRssBytes() { return ReadStatusField("VmRSS:"); }
+
+uint64_t ReadVmHwmBytes() { return ReadStatusField("VmHWM:"); }
+
+void MemoryTracker::Add(const std::string& component, int64_t bytes) {
+  uint64_t& slot = components_[component];
+  if (bytes >= 0) {
+    slot += static_cast<uint64_t>(bytes);
+  } else {
+    const uint64_t dec = static_cast<uint64_t>(-bytes);
+    slot = dec >= slot ? 0 : slot - dec;
+  }
+}
+
+void MemoryTracker::Set(const std::string& component, uint64_t bytes) {
+  components_[component] = bytes;
+}
+
+uint64_t MemoryTracker::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [name, bytes] : components_) total += bytes;
+  return total;
+}
+
+uint64_t MemoryTracker::Bytes(const std::string& component) const {
+  auto it = components_.find(component);
+  return it == components_.end() ? 0 : it->second;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+  return buf;
+}
+
+}  // namespace netclus::util

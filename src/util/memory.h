@@ -1,0 +1,97 @@
+// Memory accounting.
+//
+// Two complementary mechanisms:
+//  * Process-level: VmRSS / VmHWM read from /proc/self/status. Used by the
+//    benchmark harness for whole-process numbers (Table 9 / Table 12).
+//  * Structure-level: MemoryTracker, an analytic byte counter that major data
+//    structures (coverage index, cluster instances) report into. This is what
+//    lets the Table 9 reproduction show the O(mn) covering-set blow-up even
+//    on machines with plenty of RAM, and lets a MemoryBudget declare an
+//    algorithm "out of memory" deterministically, mirroring the paper's 32 GB
+//    testbed cutoff.
+#ifndef NETCLUS_UTIL_MEMORY_H_
+#define NETCLUS_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace netclus::util {
+
+/// Current resident set size of this process in bytes (0 if unavailable).
+uint64_t ReadVmRssBytes();
+
+/// Peak resident set size of this process in bytes (0 if unavailable).
+uint64_t ReadVmHwmBytes();
+
+/// Analytic byte counter keyed by component name.
+class MemoryTracker {
+ public:
+  /// Adds (or subtracts, via negative delta) bytes under `component`.
+  void Add(const std::string& component, int64_t bytes);
+
+  /// Replaces the byte count recorded under `component`.
+  void Set(const std::string& component, uint64_t bytes);
+
+  /// Total bytes across all components.
+  uint64_t TotalBytes() const;
+
+  /// Bytes recorded under `component` (0 if absent).
+  uint64_t Bytes(const std::string& component) const;
+
+  /// Component -> bytes snapshot, for reports.
+  const std::map<std::string, uint64_t>& components() const {
+    return components_;
+  }
+
+  void Clear() { components_.clear(); }
+
+ private:
+  std::map<std::string, uint64_t> components_;
+};
+
+/// Deterministic "out of memory" guard: algorithms consult the budget while
+/// building their covering structures and abort cleanly when exceeded. A
+/// budget of 0 means unlimited.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(uint64_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  /// Charges `bytes`; returns false once the cumulative charge exceeds the
+  /// limit (the algorithm should then stop and report infeasibility).
+  bool Charge(uint64_t bytes) {
+    used_ += bytes;
+    return limit_ == 0 || used_ <= limit_;
+  }
+
+  bool exceeded() const { return limit_ != 0 && used_ > limit_; }
+  uint64_t used_bytes() const { return used_; }
+  uint64_t limit_bytes() const { return limit_; }
+
+ private:
+  uint64_t limit_;
+  uint64_t used_ = 0;
+};
+
+/// Deep byte footprint of a vector (capacity-based, element payload only).
+template <typename T>
+uint64_t VectorBytes(const std::vector<T>& v) {
+  return static_cast<uint64_t>(v.capacity()) * sizeof(T);
+}
+
+/// Deep byte footprint of a vector of vectors.
+template <typename T>
+uint64_t NestedVectorBytes(const std::vector<std::vector<T>>& v) {
+  uint64_t total = static_cast<uint64_t>(v.capacity()) * sizeof(std::vector<T>);
+  for (const auto& inner : v) total += VectorBytes(inner);
+  return total;
+}
+
+/// Human-readable byte count, e.g. "3.22 GB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace netclus::util
+
+#endif  // NETCLUS_UTIL_MEMORY_H_

@@ -1,0 +1,51 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace netclus::util {
+
+double Rng::Normal() {
+  // Box-Muller; u1 is bounded away from zero to keep log() finite.
+  double u1 = Uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = Uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Exponential(double rate) {
+  NC_CHECK_GT(rate, 0.0);
+  double u = Uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / rate;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  NC_CHECK(!weights.empty());
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  NC_CHECK_GT(total, 0.0);
+  double target = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(uint32_t n, uint32_t count) {
+  NC_CHECK_LE(count, n);
+  // Floyd's algorithm would avoid the O(n) init, but n is small enough in all
+  // callers that the simple partial Fisher-Yates is clearer.
+  std::vector<uint32_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0u);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t j = i + static_cast<uint32_t>(UniformInt(static_cast<uint64_t>(n - i)));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace netclus::util

@@ -1,0 +1,115 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library (dataset generators, FM sketch
+// hash seeds, cost/capacity draws) are driven by explicit 64-bit seeds so
+// that every experiment in the paper-reproduction harness is replayable.
+#ifndef NETCLUS_UTIL_RNG_H_
+#define NETCLUS_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace netclus::util {
+
+/// SplitMix64: fast stateless mixing, used for seeding and hashing.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** PRNG. Small, fast, and good enough for simulation work.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9d2c5680cafe1234ULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x = SplitMix64(x);
+      word = x;
+    }
+  }
+
+  /// Next raw 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n) {
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = -n % n;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (no state caching; simple and adequate).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Bernoulli with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// All weights must be non-negative and not all zero.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = UniformInt(static_cast<uint64_t>(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples `count` distinct values from [0, n). count must be <= n.
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t count);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace netclus::util
+
+#endif  // NETCLUS_UTIL_RNG_H_

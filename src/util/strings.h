@@ -1,0 +1,31 @@
+// Small string helpers shared across modules (IO parsers, table printer).
+#ifndef NETCLUS_UTIL_STRINGS_H_
+#define NETCLUS_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netclus::util {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `delim`.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+}  // namespace netclus::util
+
+#endif  // NETCLUS_UTIL_STRINGS_H_

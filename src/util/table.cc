@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace netclus::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Cell(const std::string& value) {
+  NC_CHECK(!rows_.empty()) << "call Row() before Cell()";
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::Cell(const char* value) { return Cell(std::string(value)); }
+
+Table& Table::Cell(double value, int precision) {
+  return Cell(StrFormat("%.*f", precision, value));
+}
+
+Table& Table::Cell(uint64_t value) { return Cell(StrFormat("%lu", value)); }
+
+Table& Table::Cell(int64_t value) { return Cell(StrFormat("%ld", value)); }
+
+Table& Table::Cell(int value) { return Cell(StrFormat("%d", value)); }
+
+void Table::PrintText(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << cell;
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  os << Join(headers_, ",") << "\n";
+  for (const auto& row : rows_) os << Join(row, ",") << "\n";
+}
+
+void Table::PrintMarkdown(std::ostream& os) const {
+  os << "| " << Join(headers_, " | ") << " |\n|";
+  for (size_t c = 0; c < headers_.size(); ++c) os << "---|";
+  os << "\n";
+  for (const auto& row : rows_) os << "| " << Join(row, " | ") << " |\n";
+}
+
+}  // namespace netclus::util

@@ -1,0 +1,48 @@
+// Aligned text/CSV table printer used by the benchmark harness to emit
+// paper-shaped tables (rows of Table 7..12, series of Fig. 4..12).
+#ifndef NETCLUS_UTIL_TABLE_H_
+#define NETCLUS_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace netclus::util {
+
+/// Collects rows of string cells and renders them as an aligned text table
+/// or CSV. Numeric convenience overloads format with sensible precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new empty row; subsequent Cell() calls append to it.
+  Table& Row();
+
+  Table& Cell(const std::string& value);
+  Table& Cell(const char* value);
+  Table& Cell(double value, int precision = 2);
+  Table& Cell(uint64_t value);
+  Table& Cell(int64_t value);
+  Table& Cell(int value);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with space padding and a header underline.
+  void PrintText(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting of embedded commas; cells in
+  /// this codebase never contain commas).
+  void PrintCsv(std::ostream& os) const;
+
+  /// Renders as a GitHub-flavored markdown table.
+  void PrintMarkdown(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netclus::util
+
+#endif  // NETCLUS_UTIL_TABLE_H_

@@ -1,0 +1,50 @@
+// Wall-clock timers used by the query engines and the benchmark harness.
+#ifndef NETCLUS_UTIL_TIMER_H_
+#define NETCLUS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace netclus::util {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last Reset().
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a double, e.g. a per-phase counter.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double* sink) : sink_(sink) {}
+  ~ScopedAccumulator() { *sink_ += timer_.Seconds(); }
+
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace netclus::util
+
+#endif  // NETCLUS_UTIL_TIMER_H_

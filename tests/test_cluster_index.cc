@@ -1,0 +1,224 @@
+#include <algorithm>
+#include <set>
+
+#include "graph/dijkstra.h"
+#include "gtest/gtest.h"
+#include "netclus/cluster_index.h"
+#include "test_helpers.h"
+#include "tops/site_set.h"
+
+namespace netclus::index {
+namespace {
+
+struct Fixture {
+  graph::RoadNetwork net;
+  std::unique_ptr<traj::TrajectoryStore> store;
+  tops::SiteSet sites;
+
+  explicit Fixture(uint64_t seed = 41, uint32_t dim = 10) {
+    net = test::MakeGridNetwork(dim, dim, 100.0);
+    store = std::make_unique<traj::TrajectoryStore>(&net);
+    test::FillRandomWalks(store.get(), 40, 4, 12, seed);
+    sites = tops::SiteSet::AllNodes(net);
+  }
+};
+
+TEST(ClusterIndex, EveryClusterWithSitesHasRepresentative) {
+  Fixture f;
+  ClusterIndexConfig config;
+  config.radius_m = 200.0;
+  const ClusterIndex index = ClusterIndex::Build(*f.store, f.sites, config);
+  EXPECT_GT(index.num_clusters(), 0u);
+  for (uint32_t g = 0; g < index.num_clusters(); ++g) {
+    const Cluster& cluster = index.cluster(g);
+    // All nodes are sites here, so every cluster must have a rep.
+    ASSERT_FALSE(cluster.sites.empty());
+    EXPECT_NE(cluster.representative, tops::kInvalidSite);
+  }
+}
+
+TEST(ClusterIndex, RepresentativeIsClosestSiteToCenter) {
+  Fixture f;
+  ClusterIndexConfig config;
+  config.radius_m = 250.0;
+  const ClusterIndex index = ClusterIndex::Build(*f.store, f.sites, config);
+  for (uint32_t g = 0; g < index.num_clusters(); ++g) {
+    const Cluster& cluster = index.cluster(g);
+    for (tops::SiteId s : cluster.sites) {
+      EXPECT_GE(index.node_rt_m(f.sites.node(s)) + 1e-6,
+                index.node_rt_m(f.sites.node(cluster.representative)));
+    }
+    EXPECT_FLOAT_EQ(cluster.rep_rt_m,
+                    index.node_rt_m(f.sites.node(cluster.representative)));
+  }
+}
+
+TEST(ClusterIndex, MostFrequentedRuleSelectsBusiestSite) {
+  Fixture f;
+  ClusterIndexConfig config;
+  config.radius_m = 250.0;
+  config.representative_rule = RepresentativeRule::kMostFrequented;
+  const ClusterIndex index = ClusterIndex::Build(*f.store, f.sites, config);
+  for (uint32_t g = 0; g < index.num_clusters(); ++g) {
+    const Cluster& cluster = index.cluster(g);
+    const size_t rep_postings =
+        f.store->postings(f.sites.node(cluster.representative)).size();
+    for (tops::SiteId s : cluster.sites) {
+      EXPECT_LE(f.store->postings(f.sites.node(s)).size(), rep_postings);
+    }
+  }
+}
+
+TEST(ClusterIndex, TrajectoryListsCoverEveryCrossedCluster) {
+  Fixture f;
+  ClusterIndexConfig config;
+  config.radius_m = 200.0;
+  const ClusterIndex index = ClusterIndex::Build(*f.store, f.sites, config);
+  for (traj::TrajId t = 0; t < f.store->total_count(); ++t) {
+    const traj::Trajectory& trajectory = f.store->trajectory(t);
+    std::set<uint32_t> crossed;
+    for (size_t i = 0; i < trajectory.size(); ++i) {
+      crossed.insert(index.cluster_of(trajectory.node(i)));
+    }
+    for (uint32_t g : crossed) {
+      const auto& tl = index.cluster(g).tl;
+      auto it = std::find_if(tl.begin(), tl.end(),
+                             [&](const TlEntry& e) { return e.traj == t; });
+      ASSERT_NE(it, tl.end()) << "traj " << t << " missing from TL of " << g;
+      // TL distance is the min member-node round trip to the center.
+      float expected = std::numeric_limits<float>::infinity();
+      for (size_t i = 0; i < trajectory.size(); ++i) {
+        if (index.cluster_of(trajectory.node(i)) == g) {
+          expected = std::min(expected, index.node_rt_m(trajectory.node(i)));
+        }
+      }
+      EXPECT_FLOAT_EQ(it->dr_m, expected);
+    }
+  }
+}
+
+TEST(ClusterIndex, CompressedSequenceCollapsesConsecutiveDuplicates) {
+  Fixture f;
+  ClusterIndexConfig config;
+  config.radius_m = 300.0;
+  const ClusterIndex index = ClusterIndex::Build(*f.store, f.sites, config);
+  for (traj::TrajId t = 0; t < f.store->total_count(); ++t) {
+    const auto& seq = index.cluster_sequence(t);
+    ASSERT_FALSE(seq.empty());
+    for (size_t i = 1; i < seq.size(); ++i) EXPECT_NE(seq[i], seq[i - 1]);
+    // Sequence matches the assignment walk.
+    const traj::Trajectory& trajectory = f.store->trajectory(t);
+    std::vector<uint32_t> expected;
+    for (size_t i = 0; i < trajectory.size(); ++i) {
+      const uint32_t g = index.cluster_of(trajectory.node(i));
+      if (expected.empty() || expected.back() != g) expected.push_back(g);
+    }
+    EXPECT_EQ(seq, expected);
+  }
+  // Compression really compresses at this radius.
+  EXPECT_LT(index.stats().compressed_postings, index.stats().raw_postings);
+}
+
+TEST(ClusterIndex, NeighborListsRespectHorizonAndSorting) {
+  Fixture f;
+  ClusterIndexConfig config;
+  config.radius_m = 150.0;
+  config.gamma = 0.5;
+  const ClusterIndex index = ClusterIndex::Build(*f.store, f.sites, config);
+  const double horizon = 4.0 * config.radius_m * (1.0 + config.gamma);
+  graph::DijkstraEngine engine(&f.net);
+  for (uint32_t g = 0; g < index.num_clusters(); ++g) {
+    const Cluster& cluster = index.cluster(g);
+    float prev = 0.0f;
+    for (const ClEntry& e : cluster.cl) {
+      EXPECT_GE(e.dr_m, prev);
+      prev = e.dr_m;
+      EXPECT_LE(e.dr_m, horizon + 1e-3);
+      const graph::NodeId other_center = index.cluster(e.cluster).center;
+      const double expected = engine.PointToPoint(cluster.center, other_center) +
+                              engine.PointToPoint(other_center, cluster.center);
+      EXPECT_NEAR(e.dr_m, expected, 1e-3);
+    }
+  }
+}
+
+TEST(ClusterIndex, AddTrajectoryUpdatesTlAndSequence) {
+  Fixture f;
+  ClusterIndexConfig config;
+  config.radius_m = 200.0;
+  ClusterIndex index = ClusterIndex::Build(*f.store, f.sites, config);
+  const traj::TrajId t = f.store->Add({0, 1, 2, 3, 4});
+  index.AddTrajectory(*f.store, t);
+  EXPECT_FALSE(index.cluster_sequence(t).empty());
+  const uint32_t g = index.cluster_of(0);
+  const auto& tl = index.cluster(g).tl;
+  EXPECT_NE(std::find_if(tl.begin(), tl.end(),
+                         [&](const TlEntry& e) { return e.traj == t; }),
+            tl.end());
+}
+
+TEST(ClusterIndex, RemoveTrajectoryPurgesTl) {
+  Fixture f;
+  ClusterIndexConfig config;
+  config.radius_m = 200.0;
+  ClusterIndex index = ClusterIndex::Build(*f.store, f.sites, config);
+  const traj::TrajId victim = 0;
+  index.RemoveTrajectory(victim);
+  for (uint32_t g = 0; g < index.num_clusters(); ++g) {
+    for (const TlEntry& e : index.cluster(g).tl) EXPECT_NE(e.traj, victim);
+  }
+  EXPECT_TRUE(index.cluster_sequence(victim).empty());
+}
+
+TEST(ClusterIndex, RemoveRepresentativeElectsReplacement) {
+  Fixture f;
+  ClusterIndexConfig config;
+  config.radius_m = 250.0;
+  ClusterIndex index = ClusterIndex::Build(*f.store, f.sites, config);
+  // Find a cluster with at least two sites.
+  for (uint32_t g = 0; g < index.num_clusters(); ++g) {
+    if (index.cluster(g).sites.size() < 2) continue;
+    const tops::SiteId rep = index.cluster(g).representative;
+    index.RemoveSite(*f.store, f.sites, rep);
+    const tops::SiteId new_rep = index.cluster(g).representative;
+    EXPECT_NE(new_rep, rep);
+    EXPECT_NE(new_rep, tops::kInvalidSite);
+    return;
+  }
+  FAIL() << "no multi-site cluster found";
+}
+
+TEST(ClusterIndex, AddCloserSiteBecomesRepresentative) {
+  Fixture f;
+  // Use a sparse site set so clusters have room for new sites.
+  f.sites = tops::SiteSet::SampleNodes(f.net, 5, 77);
+  ClusterIndexConfig config;
+  config.radius_m = 400.0;
+  ClusterIndex index = ClusterIndex::Build(*f.store, f.sites, config);
+  // Adding a site at some cluster's center must make it the representative
+  // (round trip 0 is minimal).
+  const uint32_t g = 0;
+  const graph::NodeId center = index.cluster(g).center;
+  const tops::SiteId s = f.sites.Add(center);
+  index.AddSite(*f.store, f.sites, s);
+  EXPECT_EQ(index.cluster(g).representative, s);
+  EXPECT_FLOAT_EQ(index.cluster(g).rep_rt_m, 0.0f);
+}
+
+TEST(ClusterIndex, MemoryShrinksWithCoarserRadius) {
+  Fixture f(43, 12);
+  ClusterIndexConfig fine;
+  fine.radius_m = 80.0;
+  ClusterIndexConfig coarse;
+  coarse.radius_m = 700.0;
+  const ClusterIndex fine_index = ClusterIndex::Build(*f.store, f.sites, fine);
+  const ClusterIndex coarse_index = ClusterIndex::Build(*f.store, f.sites, coarse);
+  EXPECT_GT(fine_index.num_clusters(), coarse_index.num_clusters());
+  EXPECT_GT(fine_index.MemoryBytes(), 0u);
+  // Coarser instances compress trajectories into fewer postings.
+  EXPECT_LE(coarse_index.stats().compressed_postings,
+            fine_index.stats().compressed_postings);
+}
+
+}  // namespace
+}  // namespace netclus::index

@@ -1,0 +1,66 @@
+#include "data/datasets.h"
+#include "graph/scc.h"
+#include "gtest/gtest.h"
+
+namespace netclus::data {
+namespace {
+
+class CatalogTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CatalogTest, SmallScaleDatasetIsWellFormed) {
+  Dataset d = MakeByName(GetParam(), 0.05);
+  EXPECT_EQ(d.name, GetParam());
+  EXPECT_GT(d.num_nodes(), 10u);
+  EXPECT_GT(d.num_trajectories(), 0u);
+  EXPECT_GT(d.num_sites(), 0u);
+  EXPECT_LE(d.num_sites(), d.num_nodes());
+  uint32_t components = 0;
+  graph::StronglyConnectedComponents(*d.network, &components);
+  EXPECT_EQ(components, 1u);
+  // Every trajectory node is a valid node.
+  for (traj::TrajId t = 0; t < d.store->total_count(); ++t) {
+    for (graph::NodeId v : d.store->trajectory(t).nodes()) {
+      EXPECT_LT(v, d.num_nodes());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, CatalogTest,
+                         ::testing::Values("beijing-small", "beijing-lite",
+                                           "newyork", "atlanta", "bangalore"));
+
+TEST(Catalog, DeterministicAcrossCalls) {
+  Dataset a = MakeBeijingSmall(0.2);
+  Dataset b = MakeBeijingSmall(0.2);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_trajectories(), b.num_trajectories());
+  for (traj::TrajId t = 0; t < a.store->total_count(); ++t) {
+    EXPECT_EQ(a.store->trajectory(t).nodes(), b.store->trajectory(t).nodes());
+  }
+  EXPECT_EQ(a.sites.nodes(), b.sites.nodes());
+}
+
+TEST(Catalog, ScaleGrowsTheDataset) {
+  Dataset small = MakeBeijingSmall(0.1);
+  Dataset large = MakeBeijingSmall(0.5);
+  EXPECT_LT(small.num_nodes(), large.num_nodes());
+  EXPECT_LT(small.num_trajectories(), large.num_trajectories());
+}
+
+TEST(Catalog, UnknownNameDies) {
+  EXPECT_DEATH(MakeByName("mars", 1.0), "unknown dataset");
+}
+
+TEST(Catalog, LengthClassedTrajectoriesHonorWindow) {
+  Dataset d = MakeBeijingLite(0.08);
+  const auto ids = AddTrajectoriesWithLength(&d, 20, 2000.0, 3000.0, 5);
+  EXPECT_GT(ids.size(), 0u);
+  for (traj::TrajId t : ids) {
+    const double len = d.store->trajectory(t).LengthMeters();
+    EXPECT_GE(len, 1500.0);
+    EXPECT_LE(len, 3600.0);
+  }
+}
+
+}  // namespace
+}  // namespace netclus::data

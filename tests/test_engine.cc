@@ -1,0 +1,201 @@
+// End-to-end tests of the public Engine API: the paper's whole pipeline
+// (Fig. 2) from raw GPS traces through map-matching, offline index
+// construction, online queries, and dynamic updates.
+#include <algorithm>
+
+#include "api/engine.h"
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+#include "traj/trace_synthesizer.h"
+#include "traj/trip_generator.h"
+
+namespace netclus {
+namespace {
+
+Engine MakeEngine(uint32_t dim = 12, uint64_t seed = 91) {
+  graph::RoadNetwork net = test::MakeGridNetwork(dim, dim, 100.0);
+  tops::SiteSet sites = tops::SiteSet::AllNodes(net);
+  Engine::Options options;
+  options.index.gamma = 0.75;
+  options.index.tau_min_m = 300.0;
+  options.index.tau_max_m = 3000.0;
+  Engine engine(std::move(net), std::move(sites), options);
+  util::Rng rng(seed);
+  for (int i = 0; i < 80; ++i) {
+    const auto src =
+        static_cast<graph::NodeId>(rng.UniformInt(engine.network().num_nodes()));
+    const auto dst =
+        static_cast<graph::NodeId>(rng.UniformInt(engine.network().num_nodes()));
+    if (src == dst) continue;
+    auto path = traj::RoutePerturbed(engine.network(), src, dst, 0.3, seed + i);
+    if (path.size() >= 2) engine.AddTrajectory(std::move(path));
+  }
+  return engine;
+}
+
+TEST(Engine, FullPipelineProducesResults) {
+  Engine engine = MakeEngine();
+  engine.BuildIndex();
+  ASSERT_TRUE(engine.index_built());
+  const auto result = engine.TopK(5, 600.0, tops::PreferenceFunction::Binary());
+  EXPECT_EQ(result.selection.sites.size(), 5u);
+  EXPECT_GT(result.selection.utility, 0.0);
+}
+
+TEST(Engine, GpsTraceIngestionRunsTheMatcher) {
+  Engine engine = MakeEngine();
+  // Synthesize a trace along a known route and ingest it.
+  graph::DijkstraEngine dijkstra(&engine.network());
+  const auto route = dijkstra.ShortestPath(0, 143);
+  ASSERT_FALSE(route.empty());
+  traj::TraceSynthesizerConfig synth;
+  synth.noise_sigma_m = 10.0;
+  const traj::GpsTrace trace =
+      SynthesizeTrace(engine.network(), route, synth);
+  const size_t before = engine.store().live_count();
+  const auto id = engine.AddGpsTrace(trace);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(engine.store().live_count(), before + 1);
+  const auto& matched = engine.store().trajectory(*id);
+  EXPECT_EQ(matched.node(0), route.front());
+  EXPECT_EQ(matched.node(matched.size() - 1), route.back());
+}
+
+TEST(Engine, ExactBaselinesAgreeWithEvaluate) {
+  Engine engine = MakeEngine();
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  const tops::Selection greedy = engine.ExactGreedy(4, 600.0, psi);
+  EXPECT_EQ(greedy.sites.size(), 4u);
+  const double eval = engine.EvaluateExact(greedy.sites, 600.0, psi);
+  EXPECT_NEAR(eval, greedy.utility, 1e-6);
+}
+
+TEST(Engine, NetClusStaysCloseToExactGreedy) {
+  Engine engine = MakeEngine();
+  engine.BuildIndex();
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  const auto netclus = engine.TopK(5, 600.0, psi);
+  const tops::Selection greedy = engine.ExactGreedy(5, 600.0, psi);
+  const double netclus_utility =
+      engine.EvaluateExact(netclus.selection.sites, 600.0, psi);
+  // Both heuristics; NetClus may slightly beat greedy, but large excess or
+  // large shortfall would indicate a bug.
+  EXPECT_LE(netclus_utility, 1.1 * greedy.utility + 1.0);
+  EXPECT_GE(netclus_utility, 0.5 * greedy.utility);
+}
+
+TEST(Engine, OptimalBeatsGreedyOnSmallInstance) {
+  Engine engine = MakeEngine(8, 95);
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  const auto optimal = engine.ExactOptimal(3, 600.0, psi, 30.0);
+  const auto greedy = engine.ExactGreedy(3, 600.0, psi);
+  EXPECT_TRUE(optimal.proven_optimal);
+  EXPECT_GE(optimal.selection.utility, greedy.utility - 1e-9);
+}
+
+TEST(Engine, DynamicUpdatesKeepIndexConsistent) {
+  Engine engine = MakeEngine();
+  engine.BuildIndex();
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  // Add trajectories after the build; the index must absorb them.
+  std::vector<traj::TrajId> added;
+  for (int i = 0; i < 50; ++i) {
+    added.push_back(engine.AddTrajectory({0, 1, 2, 12, 13, 14}));
+  }
+  const auto result = engine.TopK(1, 600.0, psi);
+  const double utility = engine.EvaluateExact(result.selection.sites, 600.0, psi);
+  EXPECT_GT(utility, 50.0 * 0.9);  // the flooded corner dominates
+  // Remove them again; utility drops back.
+  for (traj::TrajId t : added) engine.RemoveTrajectory(t);
+  const auto after = engine.TopK(1, 600.0, psi);
+  const double after_utility =
+      engine.EvaluateExact(after.selection.sites, 600.0, psi);
+  EXPECT_LT(after_utility, utility);
+}
+
+TEST(Engine, SiteUpdatesChangeTheCandidatePool) {
+  graph::RoadNetwork net = test::MakeGridNetwork(10, 10, 100.0);
+  // Start with a deliberately tiny site pool far from the action.
+  tops::SiteSet sites({99});
+  Engine::Options options;
+  options.index.tau_min_m = 300.0;
+  options.index.tau_max_m = 2000.0;
+  Engine engine(std::move(net), std::move(sites), options);
+  for (int i = 0; i < 30; ++i) {
+    engine.AddTrajectory({0, 1, 2, 3, 10, 11, 12, 13});
+  }
+  engine.BuildIndex();
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  const auto before = engine.TopK(1, 400.0, psi);
+  const double before_utility =
+      engine.EvaluateExact(before.selection.sites, 400.0, psi);
+  // Add a site right on the busy corridor.
+  const tops::SiteId hot = engine.AddSite(1);
+  const auto after = engine.TopK(1, 400.0, psi);
+  const double after_utility =
+      engine.EvaluateExact(after.selection.sites, 400.0, psi);
+  EXPECT_GE(after_utility, before_utility);
+  EXPECT_EQ(after.selection.sites[0], hot);
+  // Removing it restores the old answer.
+  engine.RemoveSite(hot);
+  const auto restored = engine.TopK(1, 400.0, psi);
+  EXPECT_NE(restored.selection.sites[0], hot);
+}
+
+TEST(Engine, CostAndCapacityQueriesWork) {
+  Engine engine = MakeEngine();
+  engine.BuildIndex();
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  const auto costs = tops::DrawNormalCosts(engine.sites().size(), 1.0, 0.3, 0.1, 7);
+  const auto cost_result = engine.TopKWithBudget(3.0, 600.0, psi, costs);
+  double spent = 0.0;
+  for (tops::SiteId s : cost_result.selection.sites) spent += costs[s];
+  EXPECT_LE(spent, 3.0 + 1e-9);
+
+  const std::vector<double> caps(engine.sites().size(), 5.0);
+  const auto cap_result = engine.TopKWithCapacity(4, 600.0, psi, caps);
+  EXPECT_EQ(cap_result.selection.sites.size(), 4u);
+  EXPECT_LE(cap_result.selection.utility, 20.0 + 1e-9);
+}
+
+TEST(Engine, IndexPersistenceRoundTrip) {
+  Engine engine = MakeEngine();
+  engine.BuildIndex();
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  const auto before = engine.TopK(5, 600.0, psi);
+
+  const std::string path = "/tmp/netclus_engine_persist_test.idx";
+  std::string error;
+  ASSERT_TRUE(engine.SaveIndexToFile(path, &error)) << error;
+
+  // A second engine over the identical corpus loads instead of rebuilding.
+  Engine fresh = MakeEngine();
+  ASSERT_FALSE(fresh.index_built());
+  ASSERT_TRUE(fresh.LoadIndexFromFile(path, &error)) << error;
+  ASSERT_TRUE(fresh.index_built());
+  const auto after = fresh.TopK(5, 600.0, psi);
+  EXPECT_EQ(before.selection.sites, after.selection.sites);
+  EXPECT_DOUBLE_EQ(before.selection.utility, after.selection.utility);
+  std::remove(path.c_str());
+}
+
+TEST(Engine, LoadRejectsMismatchedCorpus) {
+  Engine engine = MakeEngine();
+  engine.BuildIndex();
+  const std::string path = "/tmp/netclus_engine_mismatch_test.idx";
+  std::string error;
+  ASSERT_TRUE(engine.SaveIndexToFile(path, &error)) << error;
+  Engine other = MakeEngine(9, 123);  // different grid size
+  EXPECT_FALSE(other.LoadIndexFromFile(path, &error));
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Engine, CoverageRespectsMemoryBudget) {
+  Engine engine = MakeEngine();
+  const auto cov = engine.BuildCoverage(600.0, /*memory_budget_bytes=*/512);
+  EXPECT_TRUE(cov.oom());
+}
+
+}  // namespace
+}  // namespace netclus

@@ -1,0 +1,153 @@
+#include <algorithm>
+#include <set>
+
+#include "graph/dijkstra.h"
+#include "gtest/gtest.h"
+#include "netclus/gdsp.h"
+#include "test_helpers.h"
+
+namespace netclus::index {
+namespace {
+
+class GdspInvariants
+    : public ::testing::TestWithParam<std::tuple<double, GdspStrategy>> {};
+
+TEST_P(GdspInvariants, PartitionCoversAllNodesWithinTwoR) {
+  const auto [radius, strategy] = GetParam();
+  graph::RoadNetwork net = test::MakeGridNetwork(10, 10, 100.0);
+  GdspConfig config;
+  config.radius_m = radius;
+  config.strategy = strategy;
+  const GdspResult got = GreedyGdsp(net, config);
+
+  ASSERT_EQ(got.assignment.size(), net.num_nodes());
+  ASSERT_EQ(got.rt_to_center.size(), net.num_nodes());
+  ASSERT_FALSE(got.centers.empty());
+
+  graph::DijkstraEngine engine(&net);
+  for (graph::NodeId v = 0; v < net.num_nodes(); ++v) {
+    const uint32_t g = got.assignment[v];
+    ASSERT_LT(g, got.centers.size());
+    const graph::NodeId center = got.centers[g];
+    // Dominance: round trip center -> v -> center within 2R.
+    const double out = engine.PointToPoint(center, v);
+    const double back = engine.PointToPoint(v, center);
+    EXPECT_LE(out + back, 2.0 * radius + 1e-6) << "node " << v;
+    EXPECT_NEAR(got.rt_to_center[v], out + back, 1e-3);
+  }
+  // Centers are members of their own clusters with distance 0.
+  for (uint32_t g = 0; g < got.centers.size(); ++g) {
+    EXPECT_EQ(got.assignment[got.centers[g]], g);
+    EXPECT_FLOAT_EQ(got.rt_to_center[got.centers[g]], 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RadiiAndStrategies, GdspInvariants,
+    ::testing::Combine(::testing::Values(100.0, 250.0, 600.0),
+                       ::testing::Values(GdspStrategy::kLazyExact,
+                                         GdspStrategy::kFmSketch)));
+
+TEST(Gdsp, LargerRadiusYieldsFewerClusters) {
+  graph::RoadNetwork net = test::MakeGridNetwork(12, 12, 100.0);
+  size_t prev = net.num_nodes() + 1;
+  for (const double radius : {50.0, 150.0, 400.0, 1000.0}) {
+    GdspConfig config;
+    config.radius_m = radius;
+    const GdspResult got = GreedyGdsp(net, config);
+    EXPECT_LE(got.centers.size(), prev) << "R=" << radius;
+    prev = got.centers.size();
+  }
+}
+
+TEST(Gdsp, TinyRadiusMakesSingletons) {
+  graph::RoadNetwork net = test::MakeGridNetwork(6, 6, 100.0);
+  GdspConfig config;
+  config.radius_m = 10.0;  // 2R = 20 < block length: nobody dominates anybody
+  const GdspResult got = GreedyGdsp(net, config);
+  EXPECT_EQ(got.centers.size(), net.num_nodes());
+}
+
+TEST(Gdsp, HugeRadiusMakesOneCluster) {
+  graph::RoadNetwork net = test::MakeGridNetwork(5, 5, 100.0);
+  GdspConfig config;
+  config.radius_m = 1e6;
+  const GdspResult got = GreedyGdsp(net, config);
+  EXPECT_EQ(got.centers.size(), 1u);
+}
+
+TEST(Gdsp, MeanDominatingSetSizeGrowsWithRadius) {
+  graph::RoadNetwork net = test::MakeGridNetwork(10, 10, 100.0);
+  double prev = 0.0;
+  for (const double radius : {100.0, 300.0, 700.0}) {
+    GdspConfig config;
+    config.radius_m = radius;
+    const GdspResult got = GreedyGdsp(net, config);
+    EXPECT_GE(got.mean_dominating_set_size, prev);
+    prev = got.mean_dominating_set_size;
+  }
+}
+
+TEST(Gdsp, GreedyPicksHighestCoverageFirstOnAsymmetricInstance) {
+  // A star: hub adjacent to all leaves (within 2R), leaves far from each
+  // other. Exact greedy must pick the hub first, giving exactly 1 cluster.
+  graph::RoadNetworkBuilder builder;
+  const graph::NodeId hub = builder.AddNode({0, 0});
+  for (int i = 0; i < 6; ++i) {
+    const double angle = i * M_PI / 3.0;
+    const graph::NodeId leaf =
+        builder.AddNode({100.0 * std::cos(angle), 100.0 * std::sin(angle)});
+    builder.AddBidirectional(hub, leaf, 100.0);
+  }
+  graph::RoadNetwork net = std::move(builder).Build();
+  GdspConfig config;
+  config.radius_m = 100.0;  // 2R = 200 = hub round trip to any leaf
+  const GdspResult got = GreedyGdsp(net, config);
+  EXPECT_EQ(got.centers.size(), 1u);
+  EXPECT_EQ(got.centers[0], hub);
+}
+
+TEST(Gdsp, LazyExactAndFmProduceSimilarClusterCounts) {
+  graph::RoadNetwork net = test::MakeGridNetwork(12, 12, 100.0);
+  GdspConfig exact;
+  exact.radius_m = 250.0;
+  exact.strategy = GdspStrategy::kLazyExact;
+  GdspConfig fm = exact;
+  fm.strategy = GdspStrategy::kFmSketch;
+  fm.fm_copies = 64;
+  const GdspResult exact_result = GreedyGdsp(net, exact);
+  const GdspResult fm_result = GreedyGdsp(net, fm);
+  // Theorem 5: FM adds a (1+eps) factor; with f=64 the counts stay close.
+  EXPECT_LE(fm_result.centers.size(), exact_result.centers.size() * 2);
+  EXPECT_GE(fm_result.centers.size(), exact_result.centers.size() / 2);
+}
+
+TEST(Gdsp, DeterministicAcrossRuns) {
+  graph::RoadNetwork net = test::MakeGridNetwork(8, 8, 100.0);
+  GdspConfig config;
+  config.radius_m = 200.0;
+  const GdspResult a = GreedyGdsp(net, config);
+  const GdspResult b = GreedyGdsp(net, config);
+  EXPECT_EQ(a.centers, b.centers);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(Gdsp, OneWayLoopRespectsRoundTripDistances) {
+  // Directed cycle 0 -> 1 -> 2 -> 3 -> 0 with 100 m edges: round trip
+  // between any two distinct nodes is the full loop (400 m).
+  graph::RoadNetworkBuilder builder;
+  for (int i = 0; i < 4; ++i) builder.AddNode({i * 100.0, 0});
+  for (int i = 0; i < 4; ++i) builder.AddEdge(i, (i + 1) % 4, 100.0);
+  graph::RoadNetwork net = std::move(builder).Build();
+  // 2R = 300 < 400: all singletons despite forward proximity.
+  GdspConfig small;
+  small.radius_m = 150.0;
+  EXPECT_EQ(GreedyGdsp(net, small).centers.size(), 4u);
+  // 2R = 400: one cluster dominates everything.
+  GdspConfig big;
+  big.radius_m = 200.0;
+  EXPECT_EQ(GreedyGdsp(net, big).centers.size(), 1u);
+}
+
+}  // namespace
+}  // namespace netclus::index

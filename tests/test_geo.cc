@@ -1,0 +1,201 @@
+#include <algorithm>
+
+#include "geo/bbox.h"
+#include "geo/geodesy.h"
+#include "geo/point.h"
+#include "geo/polyline.h"
+#include "geo/spatial_grid.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace netclus::geo {
+namespace {
+
+TEST(Geodesy, HaversineKnownDistance) {
+  // Beijing Tiananmen to Beijing Capital Airport: ~25.1 km great circle.
+  const LatLon tiananmen{39.9087, 116.3975};
+  const LatLon airport{40.0801, 116.5846};
+  const double d = HaversineMeters(tiananmen, airport);
+  EXPECT_NEAR(d, 25100.0, 600.0);
+}
+
+TEST(Geodesy, HaversineZeroForSamePoint) {
+  const LatLon p{39.9, 116.4};
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(Geodesy, HaversineSymmetric) {
+  const LatLon a{39.9, 116.4}, b{40.1, 116.6};
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+}
+
+TEST(Projector, RoundTripIsIdentity) {
+  const Projector proj({39.9, 116.4});
+  const LatLon p{39.95, 116.47};
+  const LatLon back = proj.Unproject(proj.Project(p));
+  EXPECT_NEAR(back.lat, p.lat, 1e-9);
+  EXPECT_NEAR(back.lon, p.lon, 1e-9);
+}
+
+TEST(Projector, DistancesMatchHaversineAtCityScale) {
+  const Projector proj({39.9, 116.4});
+  const LatLon a{39.91, 116.41}, b{39.97, 116.52};
+  const double planar = Distance(proj.Project(a), proj.Project(b));
+  const double sphere = HaversineMeters(a, b);
+  EXPECT_NEAR(planar / sphere, 1.0, 0.002);
+}
+
+TEST(Point, Arithmetic) {
+  const Point a{1.0, 2.0}, b{3.0, 5.0};
+  EXPECT_EQ((a + b), (Point{4.0, 7.0}));
+  EXPECT_EQ((b - a), (Point{2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(DistanceSq(a, b), 13.0);
+}
+
+TEST(Polyline, ProjectOntoSegmentInterior) {
+  const SegmentProjection p =
+      ProjectOntoSegment({5.0, 3.0}, {0.0, 0.0}, {10.0, 0.0});
+  EXPECT_NEAR(p.t, 0.5, 1e-12);
+  EXPECT_NEAR(p.distance, 3.0, 1e-12);
+  EXPECT_NEAR(p.closest.x, 5.0, 1e-12);
+}
+
+TEST(Polyline, ProjectOntoSegmentClampsToEndpoints) {
+  const SegmentProjection p =
+      ProjectOntoSegment({-4.0, 3.0}, {0.0, 0.0}, {10.0, 0.0});
+  EXPECT_DOUBLE_EQ(p.t, 0.0);
+  EXPECT_NEAR(p.distance, 5.0, 1e-12);
+}
+
+TEST(Polyline, ProjectOntoDegenerateSegment) {
+  const SegmentProjection p = ProjectOntoSegment({3.0, 4.0}, {0.0, 0.0}, {0.0, 0.0});
+  EXPECT_NEAR(p.distance, 5.0, 1e-12);
+}
+
+TEST(Polyline, LengthAndInterpolation) {
+  const std::vector<Point> line = {{0, 0}, {10, 0}, {10, 10}};
+  EXPECT_DOUBLE_EQ(PolylineLength(line), 20.0);
+  const Point mid = InterpolateAlong(line, 15.0);
+  EXPECT_NEAR(mid.x, 10.0, 1e-12);
+  EXPECT_NEAR(mid.y, 5.0, 1e-12);
+  EXPECT_EQ(InterpolateAlong(line, -1.0).x, 0.0);
+  EXPECT_EQ(InterpolateAlong(line, 999.0).y, 10.0);
+}
+
+TEST(BBox, ExtendAndContains) {
+  BBox box;
+  EXPECT_TRUE(box.Empty());
+  box.Extend({0, 0});
+  box.Extend({10, 20});
+  EXPECT_FALSE(box.Empty());
+  EXPECT_TRUE(box.Contains({5, 5}));
+  EXPECT_FALSE(box.Contains({11, 5}));
+  EXPECT_DOUBLE_EQ(box.Width(), 10.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 20.0);
+  EXPECT_EQ(box.Center().x, 5.0);
+}
+
+class PointGridProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PointGridProperty, RadiusQueryMatchesBruteForce) {
+  util::Rng rng(31);
+  std::vector<Point> pts(500);
+  for (auto& p : pts) p = {rng.Uniform(0.0, 2000.0), rng.Uniform(0.0, 2000.0)};
+  PointGrid grid(GetParam());
+  grid.Build(pts);
+  for (int q = 0; q < 50; ++q) {
+    const Point center{rng.Uniform(0.0, 2000.0), rng.Uniform(0.0, 2000.0)};
+    const double radius = rng.Uniform(10.0, 600.0);
+    auto got = grid.QueryRadius(center, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < pts.size(); ++i) {
+      if (Distance(center, pts[i]) <= radius) expected.push_back(i);
+    }
+    EXPECT_EQ(got, expected) << "cell=" << GetParam() << " radius=" << radius;
+  }
+}
+
+TEST_P(PointGridProperty, NearestMatchesBruteForce) {
+  util::Rng rng(37);
+  std::vector<Point> pts(300);
+  for (auto& p : pts) p = {rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)};
+  PointGrid grid(GetParam());
+  grid.Build(pts);
+  for (int q = 0; q < 100; ++q) {
+    const Point center{rng.Uniform(-100.0, 1100.0), rng.Uniform(-100.0, 1100.0)};
+    const uint32_t got = grid.Nearest(center);
+    uint32_t expected = 0;
+    for (uint32_t i = 1; i < pts.size(); ++i) {
+      if (DistanceSq(center, pts[i]) < DistanceSq(center, pts[expected])) {
+        expected = i;
+      }
+    }
+    ASSERT_NE(got, PointGrid::kNotFound);
+    EXPECT_NEAR(Distance(center, pts[got]), Distance(center, pts[expected]), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CellSizes, PointGridProperty,
+                         ::testing::Values(50.0, 250.0, 1000.0));
+
+TEST(PointGrid, EmptyGridNearestReturnsNotFound) {
+  PointGrid grid(100.0);
+  EXPECT_EQ(grid.Nearest({0, 0}), PointGrid::kNotFound);
+}
+
+TEST(PointGrid, KNearestOrderedByDistance) {
+  std::vector<Point> pts = {{0, 0}, {10, 0}, {20, 0}, {30, 0}, {40, 0}};
+  PointGrid grid(15.0);
+  grid.Build(pts);
+  const auto got = grid.KNearest({12.0, 0.0}, 3);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 1u);  // dist 2
+  EXPECT_EQ(got[1], 2u);  // dist 8
+  EXPECT_EQ(got[2], 0u);  // dist 12
+}
+
+TEST(PointGrid, KNearestExactOrder) {
+  std::vector<Point> pts = {{0, 0}, {10, 0}, {20, 0}};
+  PointGrid grid(5.0);
+  grid.Build(pts);
+  const auto got = grid.KNearest({12.0, 0.0}, 3);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 1u);  // dist 2
+  EXPECT_EQ(got[1], 2u);  // dist 8
+  EXPECT_EQ(got[2], 0u);  // dist 12
+}
+
+TEST(PointGrid, KNearestMoreThanAvailable) {
+  std::vector<Point> pts = {{0, 0}, {5, 5}};
+  PointGrid grid(10.0);
+  grid.Build(pts);
+  EXPECT_EQ(grid.KNearest({1, 1}, 10).size(), 2u);
+}
+
+TEST(SegmentGrid, FindsOverlappingSegments) {
+  std::vector<Point> a = {{0, 0}, {100, 100}, {500, 500}};
+  std::vector<Point> b = {{50, 0}, {100, 200}, {600, 500}};
+  SegmentGrid grid(50.0);
+  grid.Build(a, b);
+  const auto near_origin = grid.QueryRadius({10, 10}, 30.0);
+  EXPECT_NE(std::find(near_origin.begin(), near_origin.end(), 0u),
+            near_origin.end());
+  EXPECT_EQ(std::find(near_origin.begin(), near_origin.end(), 2u),
+            near_origin.end());
+}
+
+TEST(SegmentGrid, DeduplicatesAcrossCells) {
+  // A long segment spans many cells; one query overlapping several of those
+  // cells must return the id once.
+  std::vector<Point> a = {{0, 0}};
+  std::vector<Point> b = {{1000, 0}};
+  SegmentGrid grid(50.0);
+  grid.Build(a, b);
+  const auto got = grid.QueryRadius({500, 10}, 300.0);
+  EXPECT_EQ(got.size(), 1u);
+}
+
+}  // namespace
+}  // namespace netclus::geo

@@ -1,0 +1,393 @@
+#include <sstream>
+
+#include "graph/dijkstra.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/road_network.h"
+#include "graph/scc.h"
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace netclus::graph {
+namespace {
+
+TEST(RoadNetwork, BuilderProducesCorrectCsr) {
+  RoadNetworkBuilder builder;
+  const NodeId a = builder.AddNode({0, 0});
+  const NodeId b = builder.AddNode({100, 0});
+  const NodeId c = builder.AddNode({100, 100});
+  builder.AddEdge(a, b);
+  builder.AddEdge(b, c);
+  builder.AddEdge(a, c, 250.0);
+  RoadNetwork net = std::move(builder).Build();
+  EXPECT_EQ(net.num_nodes(), 3u);
+  EXPECT_EQ(net.num_edges(), 3u);
+  ASSERT_EQ(net.OutArcs(a).size(), 2u);
+  EXPECT_EQ(net.OutArcs(a)[0].to, b);
+  EXPECT_FLOAT_EQ(net.OutArcs(a)[0].weight, 100.0f);
+  EXPECT_EQ(net.OutArcs(a)[1].to, c);
+  EXPECT_FLOAT_EQ(net.OutArcs(a)[1].weight, 250.0f);
+  EXPECT_EQ(net.OutArcs(c).size(), 0u);
+  // Reverse view.
+  ASSERT_EQ(net.InArcs(c).size(), 2u);
+  EXPECT_EQ(net.InArcs(c)[0].to, a);
+  EXPECT_EQ(net.InArcs(c)[1].to, b);
+}
+
+TEST(RoadNetwork, SelfLoopsDropped) {
+  RoadNetworkBuilder builder;
+  const NodeId a = builder.AddNode({0, 0});
+  builder.AddEdge(a, a);
+  RoadNetwork net = std::move(builder).Build();
+  EXPECT_EQ(net.num_edges(), 0u);
+}
+
+TEST(RoadNetwork, DefaultWeightIsEuclidean) {
+  RoadNetworkBuilder builder;
+  const NodeId a = builder.AddNode({0, 0});
+  const NodeId b = builder.AddNode({30, 40});
+  builder.AddEdge(a, b);
+  RoadNetwork net = std::move(builder).Build();
+  EXPECT_FLOAT_EQ(net.OutArcs(a)[0].weight, 50.0f);
+}
+
+TEST(RoadNetwork, SplitEdgeInsertsMidpointSite) {
+  RoadNetworkBuilder builder;
+  const NodeId a = builder.AddNode({0, 0});
+  const NodeId b = builder.AddNode({100, 0});
+  builder.AddBidirectional(a, b);
+  const NodeId w = builder.SplitEdge(a, b, 0.25);
+  RoadNetwork net = std::move(builder).Build();
+  EXPECT_EQ(net.num_nodes(), 3u);
+  EXPECT_NEAR(net.position(w).x, 25.0, 1e-9);
+  // a->w (25) and w->b (75) in both directions; original edge gone.
+  DijkstraEngine engine(&net);
+  EXPECT_NEAR(engine.PointToPoint(a, b), 100.0, 1e-6);
+  EXPECT_NEAR(engine.PointToPoint(a, w), 25.0, 1e-6);
+  EXPECT_NEAR(engine.PointToPoint(b, w), 75.0, 1e-6);
+  EXPECT_NEAR(engine.PointToPoint(w, a), 25.0, 1e-6);
+}
+
+TEST(RoadNetwork, BoundsAndTotals) {
+  RoadNetwork net = test::MakeGridNetwork(3, 4, 100.0);
+  const geo::BBox box = net.Bounds();
+  EXPECT_DOUBLE_EQ(box.Width(), 300.0);
+  EXPECT_DOUBLE_EQ(box.Height(), 200.0);
+  EXPECT_GT(net.TotalEdgeLengthMeters(), 0.0);
+  EXPECT_GT(net.MemoryBytes(), 0u);
+}
+
+class DijkstraProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DijkstraProperty, FullSearchMatchesBellmanFord) {
+  RoadNetwork net = test::MakeRandomNetwork(60, GetParam());
+  DijkstraEngine engine(&net);
+  util::Rng rng(GetParam() * 3 + 1);
+  for (int trial = 0; trial < 4; ++trial) {
+    const NodeId src = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    const std::vector<double> got = engine.FullSearch(src, Direction::kForward);
+    const std::vector<double> expected = test::BellmanFord(net, src);
+    for (NodeId v = 0; v < net.num_nodes(); ++v) {
+      if (expected[v] == std::numeric_limits<double>::infinity()) {
+        EXPECT_EQ(got[v], kInfDistance);
+      } else {
+        EXPECT_NEAR(got[v], expected[v], 1e-6) << "src=" << src << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST_P(DijkstraProperty, ReverseSearchMatchesForwardOnTransposedPairs) {
+  RoadNetwork net = test::MakeRandomNetwork(50, GetParam() + 100);
+  DijkstraEngine engine(&net);
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    // d(s, t) via forward search from s equals reverse-search dist at s
+    // when searching backwards from t.
+    const std::vector<double> fwd = engine.FullSearch(s, Direction::kForward);
+    const std::vector<double> rev = engine.FullSearch(t, Direction::kReverse);
+    EXPECT_NEAR(fwd[t], rev[s], 1e-6);
+  }
+}
+
+TEST_P(DijkstraProperty, BoundedSearchIsPrefixOfFullSearch) {
+  RoadNetwork net = test::MakeRandomNetwork(60, GetParam() + 200);
+  DijkstraEngine engine(&net);
+  util::Rng rng(GetParam() + 5);
+  const NodeId src = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+  const double radius = 500.0;
+  const std::vector<Settled> bounded =
+      engine.BoundedSearch(src, radius, Direction::kForward);
+  const std::vector<double> full = engine.FullSearch(src, Direction::kForward);
+  // Every settled node matches the full distance and respects the bound.
+  for (const Settled& s : bounded) {
+    EXPECT_NEAR(s.distance, full[s.node], 1e-6);
+    EXPECT_LE(s.distance, radius);
+  }
+  // Every node within radius appears.
+  size_t expected_count = 0;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (full[v] <= radius) ++expected_count;
+  }
+  EXPECT_EQ(bounded.size(), expected_count);
+  // Non-decreasing distance order.
+  for (size_t i = 1; i < bounded.size(); ++i) {
+    EXPECT_GE(bounded[i].distance, bounded[i - 1].distance);
+  }
+}
+
+TEST_P(DijkstraProperty, PointToPointMatchesFullSearch) {
+  RoadNetwork net = test::MakeRandomNetwork(50, GetParam() + 300);
+  DijkstraEngine engine(&net);
+  util::Rng rng(GetParam() + 17);
+  for (int trial = 0; trial < 8; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    const std::vector<double> full = engine.FullSearch(s, Direction::kForward);
+    EXPECT_NEAR(engine.PointToPoint(s, t), full[t], 1e-6);
+  }
+}
+
+TEST_P(DijkstraProperty, ShortestPathIsConnectedAndHasCorrectLength) {
+  RoadNetwork net = test::MakeRandomNetwork(50, GetParam() + 400);
+  DijkstraEngine engine(&net);
+  util::Rng rng(GetParam() + 23);
+  for (int trial = 0; trial < 8; ++trial) {
+    const NodeId s = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    const NodeId t = static_cast<NodeId>(rng.UniformInt(net.num_nodes()));
+    const std::vector<NodeId> path = engine.ShortestPath(s, t);
+    const double expected = engine.PointToPoint(s, t);
+    if (expected == kInfDistance) {
+      EXPECT_TRUE(path.empty());
+      continue;
+    }
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), t);
+    // Each hop is a real arc; total length equals the shortest distance.
+    double total = 0.0;
+    for (size_t i = 1; i < path.size(); ++i) {
+      double hop = kInfDistance;
+      for (const Arc& arc : net.OutArcs(path[i - 1])) {
+        if (arc.to == path[i]) hop = std::min(hop, static_cast<double>(arc.weight));
+      }
+      ASSERT_NE(hop, kInfDistance) << "non-adjacent hop in path";
+      total += hop;
+    }
+    EXPECT_NEAR(total, expected, 1e-6);
+  }
+}
+
+TEST_P(DijkstraProperty, BoundedRoundTripLegsAreConsistent) {
+  RoadNetwork net = test::MakeRandomNetwork(60, GetParam() + 500);
+  DijkstraEngine engine(&net);
+  const NodeId src = 0;
+  const double radius = 900.0;
+  const std::vector<RoundTrip> rts = engine.BoundedRoundTrip(src, radius);
+  const std::vector<double> fwd = engine.FullSearch(src, Direction::kForward);
+  const std::vector<double> rev = engine.FullSearch(src, Direction::kReverse);
+  for (const RoundTrip& rt : rts) {
+    EXPECT_NEAR(rt.out_distance, fwd[rt.node], 1e-6);
+    EXPECT_NEAR(rt.back_distance, rev[rt.node], 1e-6);
+    EXPECT_LE(rt.total(), radius + 1e-9);
+  }
+  // Completeness: every node whose two legs sum within radius is present.
+  size_t expected = 0;
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (fwd[v] + rev[v] <= radius) ++expected;
+  }
+  EXPECT_EQ(rts.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Dijkstra, SourceIsSettledFirst) {
+  RoadNetwork net = test::MakeLineNetwork(5);
+  DijkstraEngine engine(&net);
+  const auto settled = engine.BoundedSearch(0, 1000.0, Direction::kForward);
+  ASSERT_FALSE(settled.empty());
+  EXPECT_EQ(settled[0].node, 0u);
+  EXPECT_DOUBLE_EQ(settled[0].distance, 0.0);
+}
+
+TEST(Dijkstra, ZeroRadiusSettlesOnlySource) {
+  RoadNetwork net = test::MakeLineNetwork(5);
+  DijkstraEngine engine(&net);
+  const auto settled = engine.BoundedSearch(2, 0.0, Direction::kForward);
+  EXPECT_EQ(settled.size(), 1u);
+}
+
+TEST(Dijkstra, PointToPointSameNode) {
+  RoadNetwork net = test::MakeLineNetwork(3);
+  DijkstraEngine engine(&net);
+  EXPECT_DOUBLE_EQ(engine.PointToPoint(1, 1), 0.0);
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  RoadNetworkBuilder builder;
+  builder.AddNode({0, 0});
+  builder.AddNode({100, 0});
+  builder.AddEdge(0, 1);  // one-way only
+  RoadNetwork net = std::move(builder).Build();
+  DijkstraEngine engine(&net);
+  EXPECT_EQ(engine.PointToPoint(1, 0), kInfDistance);
+}
+
+TEST(Scc, IdentifiesComponents) {
+  // Two 2-cycles joined by a one-way bridge: two SCCs.
+  RoadNetworkBuilder builder;
+  for (int i = 0; i < 4; ++i) builder.AddNode({i * 100.0, 0});
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(1, 2);  // bridge
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 2);
+  RoadNetwork net = std::move(builder).Build();
+  uint32_t count = 0;
+  const auto comp = StronglyConnectedComponents(net, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(Scc, RestrictKeepsLargestComponent) {
+  RoadNetworkBuilder builder;
+  for (int i = 0; i < 5; ++i) builder.AddNode({i * 100.0, 0});
+  // 3-cycle {0,1,2} and 2-cycle {3,4}, bridge 2->3.
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 3);
+  RoadNetwork net = std::move(builder).Build();
+  std::vector<NodeId> mapping;
+  RoadNetwork largest = RestrictToLargestScc(net, &mapping);
+  EXPECT_EQ(largest.num_nodes(), 3u);
+  EXPECT_NE(mapping[0], kInvalidNode);
+  EXPECT_EQ(mapping[3], kInvalidNode);
+}
+
+TEST(Scc, SingleComponentRoundTripsEverywhere) {
+  RoadNetwork net = test::MakeGridNetwork(4, 4);
+  uint32_t count = 0;
+  StronglyConnectedComponents(net, &count);
+  EXPECT_EQ(count, 1u);
+}
+
+class GeneratorTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorTest, AllGeneratorsProduceStronglyConnectedNetworks) {
+  RoadNetwork net;
+  switch (GetParam()) {
+    case 0: {
+      GridCityConfig config;
+      config.rows = 20;
+      config.cols = 20;
+      net = GenerateGridCity(config);
+      break;
+    }
+    case 1: {
+      StarCityConfig config;
+      config.nodes_per_ray = 20;
+      config.core_rows = 8;
+      config.core_cols = 8;
+      net = GenerateStarCity(config);
+      break;
+    }
+    case 2: {
+      PolycentricCityConfig config;
+      config.patch_rows = 8;
+      config.patch_cols = 8;
+      net = GeneratePolycentricCity(config);
+      break;
+    }
+    case 3: {
+      RandomCityConfig config;
+      config.num_nodes = 500;
+      net = GenerateRandomCity(config);
+      break;
+    }
+  }
+  ASSERT_GT(net.num_nodes(), 50u);
+  uint32_t count = 0;
+  StronglyConnectedComponents(net, &count);
+  EXPECT_EQ(count, 1u) << "generator " << GetParam();
+  // Degree sanity: no isolated nodes.
+  for (NodeId u = 0; u < net.num_nodes(); ++u) {
+    EXPECT_GT(net.OutArcs(u).size() + net.InArcs(u).size(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, GeneratorTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Generators, DeterministicForSameSeed) {
+  GridCityConfig config;
+  config.rows = 10;
+  config.cols = 10;
+  RoadNetwork a = GenerateGridCity(config);
+  RoadNetwork b = GenerateGridCity(config);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    EXPECT_EQ(a.position(u).x, b.position(u).x);
+  }
+}
+
+TEST(Generators, SeedChangesNetwork) {
+  GridCityConfig config;
+  config.rows = 10;
+  config.cols = 10;
+  RoadNetwork a = GenerateGridCity(config);
+  config.seed = 999;
+  RoadNetwork b = GenerateGridCity(config);
+  bool any_different = a.num_edges() != b.num_edges();
+  for (NodeId u = 0; !any_different && u < a.num_nodes(); ++u) {
+    any_different = a.position(u).x != b.position(u).x;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(GraphIo, RoundTripPreservesStructure) {
+  RoadNetwork net = test::MakeRandomNetwork(40, 7);
+  std::stringstream ss;
+  WriteGraph(net, ss);
+  RoadNetwork loaded;
+  std::string error;
+  ASSERT_TRUE(ReadGraph(ss, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.num_nodes(), net.num_nodes());
+  ASSERT_EQ(loaded.num_edges(), net.num_edges());
+  DijkstraEngine e1(&net), e2(&loaded);
+  const auto d1 = e1.FullSearch(0, Direction::kForward);
+  const auto d2 = e2.FullSearch(0, Direction::kForward);
+  for (NodeId v = 0; v < net.num_nodes(); ++v) {
+    if (d1[v] == kInfDistance) {
+      EXPECT_EQ(d2[v], kInfDistance);
+    } else {
+      EXPECT_NEAR(d1[v], d2[v], 1e-3);
+    }
+  }
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  RoadNetwork net;
+  std::string error;
+  std::stringstream empty("");
+  EXPECT_FALSE(ReadGraph(empty, &net, &error));
+  std::stringstream bad_header("bogus v9\n");
+  EXPECT_FALSE(ReadGraph(bad_header, &net, &error));
+  std::stringstream truncated("netclus-graph v1\nnodes 3\n0 0\n");
+  EXPECT_FALSE(ReadGraph(truncated, &net, &error));
+  std::stringstream bad_edge(
+      "netclus-graph v1\nnodes 2\n0 0\n1 1\nedges 1\n0 7 10\n");
+  EXPECT_FALSE(ReadGraph(bad_edge, &net, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace netclus::graph

@@ -1,0 +1,258 @@
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+#include "tops/coverage.h"
+#include "tops/fm_greedy.h"
+#include "tops/inc_greedy.h"
+#include "tops/optimal.h"
+#include "util/rng.h"
+
+namespace netclus::tops {
+namespace {
+
+// The paper's Example 1 (Tables 2 and 3), encoded with a linear preference
+// ψ = 1 - d_r/τ at τ = 1 so that the detour distances below reproduce the
+// exact preference scores of Table 2:
+//   ψ(T1,s1)=0.4  ψ(T1,s2)=0.11  ψ(T1,s3)=0
+//   ψ(T2,s1)=0    ψ(T2,s2)=0.5   ψ(T2,s3)=0.6
+CoverageIndex MakeExample1() {
+  std::vector<std::vector<CoverEntry>> tc(3);
+  tc[0] = {{0, 0.60f}};                 // s1 covers T1 with score 0.4
+  tc[1] = {{0, 0.89f}, {1, 0.50f}};     // s2: T1 -> 0.11, T2 -> 0.5
+  tc[2] = {{1, 0.40f}};                 // s3: T2 -> 0.6
+  return CoverageIndex::FromCovers(std::move(tc), 2, 2, 1.0);
+}
+
+TEST(IncGreedy, ReproducesPaperExample1) {
+  const CoverageIndex cov = MakeExample1();
+  const PreferenceFunction psi = PreferenceFunction::Linear();
+  GreedyConfig config;
+  config.k = 2;
+  const Selection got = IncGreedy(cov, psi, config);
+  // Table 3: Inc-Greedy selects {s2 first (weight 0.61), then s1}, U = 0.9.
+  ASSERT_EQ(got.sites.size(), 2u);
+  EXPECT_EQ(got.sites[0], 1u);  // s2
+  EXPECT_EQ(got.sites[1], 0u);  // s1
+  EXPECT_NEAR(got.utility, 0.9, 1e-6);
+  EXPECT_NEAR(got.marginal_gains[0], 0.61, 1e-6);
+  EXPECT_NEAR(got.marginal_gains[1], 0.29, 1e-6);
+}
+
+TEST(Optimal, ReproducesPaperExample1Optimum) {
+  const CoverageIndex cov = MakeExample1();
+  const PreferenceFunction psi = PreferenceFunction::Linear();
+  OptimalConfig config;
+  config.k = 2;
+  const OptimalResult got = SolveOptimal(cov, psi, config);
+  // Table 3: OPT selects {s1, s3} with U = 1.0.
+  EXPECT_TRUE(got.proven_optimal);
+  EXPECT_NEAR(got.selection.utility, 1.0, 1e-6);
+  std::vector<SiteId> sorted = got.selection.sites;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<SiteId>{0u, 2u}));
+}
+
+TEST(IncGreedy, MarginalGainsAreNonIncreasing) {
+  graph::RoadNetwork net = test::MakeGridNetwork(10, 10, 120.0);
+  traj::TrajectoryStore store(&net);
+  test::FillRandomWalks(&store, 80, 4, 12, 13);
+  SiteSet sites = SiteSet::SampleNodes(net, 30, 14);
+  CoverageConfig cc;
+  cc.tau_m = 500.0;
+  const CoverageIndex cov = CoverageIndex::Build(store, sites, cc);
+  GreedyConfig config;
+  config.k = 10;
+  const Selection got = IncGreedy(cov, PreferenceFunction::Binary(), config);
+  for (size_t i = 1; i < got.marginal_gains.size(); ++i) {
+    EXPECT_LE(got.marginal_gains[i], got.marginal_gains[i - 1] + 1e-9);
+  }
+  // Utility equals the sum of marginal gains and the exact re-evaluation.
+  double sum = 0.0;
+  for (double g : got.marginal_gains) sum += g;
+  EXPECT_NEAR(got.utility, sum, 1e-9);
+  EXPECT_NEAR(got.utility, UtilityOf(cov, PreferenceFunction::Binary(), got.sites),
+              1e-9);
+}
+
+TEST(IncGreedy, UtilityIsMonotoneInK) {
+  graph::RoadNetwork net = test::MakeGridNetwork(9, 9, 120.0);
+  traj::TrajectoryStore store(&net);
+  test::FillRandomWalks(&store, 60, 4, 10, 15);
+  SiteSet sites = SiteSet::SampleNodes(net, 25, 16);
+  CoverageConfig cc;
+  cc.tau_m = 500.0;
+  const CoverageIndex cov = CoverageIndex::Build(store, sites, cc);
+  double prev = 0.0;
+  for (uint32_t k = 1; k <= 8; ++k) {
+    GreedyConfig config;
+    config.k = k;
+    const Selection got = IncGreedy(cov, PreferenceFunction::Binary(), config);
+    EXPECT_GE(got.utility, prev - 1e-9);
+    prev = got.utility;
+  }
+}
+
+TEST(IncGreedy, KLargerThanSitesSelectsAll) {
+  const CoverageIndex cov = MakeExample1();
+  GreedyConfig config;
+  config.k = 100;
+  const Selection got = IncGreedy(cov, PreferenceFunction::Linear(), config);
+  EXPECT_EQ(got.sites.size(), 3u);
+  EXPECT_NEAR(got.utility, 1.0, 1e-6);  // s1 + s3 saturate both trajectories
+}
+
+TEST(IncGreedy, SelectionsAreDistinct) {
+  graph::RoadNetwork net = test::MakeGridNetwork(8, 8, 120.0);
+  traj::TrajectoryStore store(&net);
+  test::FillRandomWalks(&store, 50, 4, 10, 17);
+  SiteSet sites = SiteSet::SampleNodes(net, 20, 18);
+  CoverageConfig cc;
+  cc.tau_m = 600.0;
+  const CoverageIndex cov = CoverageIndex::Build(store, sites, cc);
+  GreedyConfig config;
+  config.k = 12;
+  const Selection got = IncGreedy(cov, PreferenceFunction::Binary(), config);
+  std::vector<SiteId> sorted = got.sites;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(IncGreedy, ExistingServicesDiscountMarginals) {
+  const CoverageIndex cov = MakeExample1();
+  const PreferenceFunction psi = PreferenceFunction::Linear();
+  GreedyConfig config;
+  config.k = 1;
+  config.existing_services = {1};  // s2 already exists
+  const Selection got = IncGreedy(cov, psi, config);
+  // With s2 given (base utility 0.61), the best addition is s1:
+  // gain(s1) = 0.4 - 0.11 = 0.29 vs gain(s3) = 0.6 - 0.5 = 0.1.
+  ASSERT_EQ(got.sites.size(), 1u);
+  EXPECT_EQ(got.sites[0], 0u);
+  EXPECT_NEAR(got.base_utility, 0.61, 1e-6);
+  EXPECT_NEAR(got.utility, 0.9, 1e-6);
+}
+
+TEST(IncGreedy, ExistingServicesNeverReduceUtility) {
+  graph::RoadNetwork net = test::MakeGridNetwork(8, 8, 120.0);
+  traj::TrajectoryStore store(&net);
+  test::FillRandomWalks(&store, 50, 4, 10, 19);
+  SiteSet sites = SiteSet::SampleNodes(net, 20, 20);
+  CoverageConfig cc;
+  cc.tau_m = 500.0;
+  const CoverageIndex cov = CoverageIndex::Build(store, sites, cc);
+  GreedyConfig plain;
+  plain.k = 4;
+  const Selection without = IncGreedy(cov, PreferenceFunction::Binary(), plain);
+  GreedyConfig with_es = plain;
+  with_es.existing_services = {0, 1};
+  const Selection with = IncGreedy(cov, PreferenceFunction::Binary(), with_es);
+  EXPECT_GE(with.utility, without.utility - 1e-9);
+}
+
+TEST(IncGreedy, TieBreaksPreferHigherWeightThenHigherIndex) {
+  // Two disjoint sites with identical covers sizes but different weights
+  // under a linear ψ; then two fully identical sites.
+  std::vector<std::vector<CoverEntry>> tc(3);
+  tc[0] = {{0, 0.8f}};             // weight 0.2
+  tc[1] = {{1, 0.2f}};             // weight 0.8 -> picked first
+  tc[2] = {{2, 0.2f}};             // weight 0.8, same, higher index wins
+  const CoverageIndex cov =
+      CoverageIndex::FromCovers(std::move(tc), 3, 3, 1.0);
+  GreedyConfig config;
+  config.k = 1;
+  const Selection got = IncGreedy(cov, PreferenceFunction::Linear(), config);
+  EXPECT_EQ(got.sites[0], 2u);  // marginal tie at 0.8 -> max weight tie -> max index
+}
+
+class GreedyApproximation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GreedyApproximation, GreedyWithinTheoreticalBoundOfOptimal) {
+  graph::RoadNetwork net = test::MakeRandomNetwork(40, GetParam());
+  traj::TrajectoryStore store(&net);
+  test::FillRandomWalks(&store, 30, 3, 8, GetParam() + 1);
+  SiteSet sites = SiteSet::SampleNodes(net, 12, GetParam() + 2);
+  CoverageConfig cc;
+  cc.tau_m = 700.0;
+  const CoverageIndex cov = CoverageIndex::Build(store, sites, cc);
+  const PreferenceFunction psi = PreferenceFunction::Binary();
+  GreedyConfig config;
+  config.k = 4;
+  const Selection greedy = IncGreedy(cov, psi, config);
+  OptimalConfig oc;
+  oc.k = 4;
+  oc.time_limit_s = 30.0;
+  const OptimalResult optimal = SolveOptimal(cov, psi, oc);
+  ASSERT_TRUE(optimal.proven_optimal);
+  EXPECT_GE(greedy.utility, (1.0 - 1.0 / M_E) * optimal.selection.utility - 1e-6);
+  EXPECT_LE(greedy.utility, optimal.selection.utility + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyApproximation,
+                         ::testing::Values(101, 202, 303, 404));
+
+// --- FM-greedy ---------------------------------------------------------------
+
+TEST(FmGreedy, SelectsKSitesWithPositiveUtility) {
+  graph::RoadNetwork net = test::MakeGridNetwork(9, 9, 120.0);
+  traj::TrajectoryStore store(&net);
+  test::FillRandomWalks(&store, 80, 4, 12, 23);
+  SiteSet sites = SiteSet::SampleNodes(net, 25, 24);
+  CoverageConfig cc;
+  cc.tau_m = 500.0;
+  const CoverageIndex cov = CoverageIndex::Build(store, sites, cc);
+  FmGreedyConfig config;
+  config.k = 5;
+  config.num_sketches = 30;
+  const FmGreedyResult got = FmGreedy(cov, config);
+  EXPECT_EQ(got.selection.sites.size(), 5u);
+  EXPECT_GT(got.selection.utility, 0.0);
+  EXPECT_GT(got.estimated_utility, 0.0);
+  EXPECT_GT(got.union_operations, 0u);
+}
+
+class FmGreedyQuality : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(FmGreedyQuality, UtilityWithinToleranceOfExactGreedy) {
+  graph::RoadNetwork net = test::MakeGridNetwork(10, 10, 120.0);
+  traj::TrajectoryStore store(&net);
+  test::FillRandomWalks(&store, 120, 4, 12, 25);
+  SiteSet sites = SiteSet::SampleNodes(net, 30, 26);
+  CoverageConfig cc;
+  cc.tau_m = 500.0;
+  const CoverageIndex cov = CoverageIndex::Build(store, sites, cc);
+  GreedyConfig gc;
+  gc.k = 5;
+  const Selection exact = IncGreedy(cov, PreferenceFunction::Binary(), gc);
+  FmGreedyConfig fc;
+  fc.k = 5;
+  fc.num_sketches = GetParam();
+  const FmGreedyResult fm = FmGreedy(cov, fc);
+  // Paper Table 8: error shrinks with f; even f=30 stays within ~10%.
+  const double tolerance = GetParam() >= 30 ? 0.15 : 0.60;
+  EXPECT_GE(fm.selection.utility, (1.0 - tolerance) * exact.utility)
+      << "f=" << GetParam();
+  EXPECT_LE(fm.selection.utility, exact.utility + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SketchCounts, FmGreedyQuality,
+                         ::testing::Values(4u, 30u, 64u));
+
+TEST(FmGreedy, EarlyTerminationDoesFewerUnionsThanBruteScan) {
+  graph::RoadNetwork net = test::MakeGridNetwork(10, 10, 120.0);
+  traj::TrajectoryStore store(&net);
+  test::FillRandomWalks(&store, 100, 4, 12, 27);
+  SiteSet sites = SiteSet::SampleNodes(net, 40, 28);
+  CoverageConfig cc;
+  cc.tau_m = 500.0;
+  const CoverageIndex cov = CoverageIndex::Build(store, sites, cc);
+  FmGreedyConfig config;
+  config.k = 5;
+  const FmGreedyResult got = FmGreedy(cov, config);
+  // Brute force would do k * n = 200 unions; early termination must save
+  // at least a few.
+  EXPECT_LT(got.union_operations, 5u * 40u);
+}
+
+}  // namespace
+}  // namespace netclus::tops

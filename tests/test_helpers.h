@@ -1,0 +1,152 @@
+// Shared fixtures and reference implementations for the test suite.
+#ifndef NETCLUS_TESTS_TEST_HELPERS_H_
+#define NETCLUS_TESTS_TEST_HELPERS_H_
+
+#include <vector>
+
+#include "graph/road_network.h"
+#include "tops/coverage.h"
+#include "tops/site_set.h"
+#include "traj/trajectory_store.h"
+#include "util/rng.h"
+
+namespace netclus::test {
+
+/// Directed path 0 -> 1 -> ... -> n-1 with uniform edge length, plus the
+/// reverse edges so round trips are finite.
+inline graph::RoadNetwork MakeLineNetwork(size_t n, double edge_m = 100.0) {
+  graph::RoadNetworkBuilder builder;
+  for (size_t i = 0; i < n; ++i) {
+    builder.AddNode({static_cast<double>(i) * edge_m, 0.0});
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    builder.AddBidirectional(static_cast<graph::NodeId>(i),
+                             static_cast<graph::NodeId>(i + 1), edge_m);
+  }
+  return std::move(builder).Build();
+}
+
+/// Small two-way grid with unit block length.
+inline graph::RoadNetwork MakeGridNetwork(uint32_t rows, uint32_t cols,
+                                          double block_m = 100.0) {
+  graph::RoadNetworkBuilder builder;
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      builder.AddNode({c * block_m, r * block_m});
+    }
+  }
+  auto id = [cols](uint32_t r, uint32_t c) {
+    return static_cast<graph::NodeId>(r * cols + c);
+  };
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddBidirectional(id(r, c), id(r, c + 1), block_m);
+      if (r + 1 < rows) builder.AddBidirectional(id(r, c), id(r + 1, c), block_m);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+/// Random strongly-connected-ish directed network for property tests;
+/// a ring (guaranteeing strong connectivity) plus random chords.
+inline graph::RoadNetwork MakeRandomNetwork(uint32_t num_nodes, uint64_t seed) {
+  util::Rng rng(seed);
+  graph::RoadNetworkBuilder builder;
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    builder.AddNode({rng.Uniform(0.0, 5000.0), rng.Uniform(0.0, 5000.0)});
+  }
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    builder.AddEdge(i, (i + 1) % num_nodes, rng.Uniform(50.0, 400.0));
+  }
+  const uint32_t chords = num_nodes * 2;
+  for (uint32_t c = 0; c < chords; ++c) {
+    const auto u = static_cast<graph::NodeId>(rng.UniformInt(num_nodes));
+    const auto v = static_cast<graph::NodeId>(rng.UniformInt(num_nodes));
+    if (u != v) builder.AddEdge(u, v, rng.Uniform(50.0, 600.0));
+  }
+  return std::move(builder).Build();
+}
+
+/// O(V*E) Bellman-Ford reference distances.
+inline std::vector<double> BellmanFord(const graph::RoadNetwork& net,
+                                       graph::NodeId source) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(net.num_nodes(), inf);
+  dist[source] = 0.0;
+  for (size_t round = 0; round + 1 < net.num_nodes(); ++round) {
+    bool changed = false;
+    for (graph::NodeId u = 0; u < net.num_nodes(); ++u) {
+      if (dist[u] == inf) continue;
+      for (const graph::Arc& arc : net.OutArcs(u)) {
+        if (dist[u] + arc.weight < dist[arc.to]) {
+          dist[arc.to] = dist[u] + arc.weight;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+/// Brute-force single-point detour distance: min over trajectory nodes of
+/// d(v, s) + d(s, v), using Bellman-Ford reference distances.
+inline double BruteSinglePointDetour(const graph::RoadNetwork& net,
+                                     const traj::Trajectory& trajectory,
+                                     graph::NodeId site_node) {
+  const std::vector<double> from_site = BellmanFord(net, site_node);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    const graph::NodeId v = trajectory.node(i);
+    const std::vector<double> from_v = BellmanFord(net, v);
+    best = std::min(best, from_v[site_node] + from_site[v]);
+  }
+  return best;
+}
+
+/// Brute-force pairwise detour distance with along-path baseline and both
+/// legs <= tau, clamped at zero.
+inline double BrutePairwiseDetour(const graph::RoadNetwork& net,
+                                  const traj::Trajectory& trajectory,
+                                  graph::NodeId site_node, double tau_m) {
+  const std::vector<double> from_site = BellmanFord(net, site_node);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t k = 0; k < trajectory.size(); ++k) {
+    const std::vector<double> from_vk = BellmanFord(net, trajectory.node(k));
+    const double leave = from_vk[site_node];
+    if (leave > tau_m) continue;
+    for (size_t l = k; l < trajectory.size(); ++l) {
+      const double rejoin = from_site[trajectory.node(l)];
+      if (rejoin > tau_m) continue;
+      const double detour =
+          std::max(0.0, leave + rejoin - trajectory.AlongDistance(k, l));
+      best = std::min(best, detour);
+    }
+  }
+  return best;
+}
+
+/// Fills `store` with random-walk trajectories over its network.
+inline void FillRandomWalks(traj::TrajectoryStore* store, uint32_t count,
+                            uint32_t min_len, uint32_t max_len, uint64_t seed) {
+  util::Rng rng(seed);
+  const graph::RoadNetwork& net = store->network();
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t len =
+        static_cast<uint32_t>(rng.UniformInt(min_len, max_len));
+    graph::NodeId cur =
+        static_cast<graph::NodeId>(rng.UniformInt(net.num_nodes()));
+    std::vector<graph::NodeId> nodes{cur};
+    for (uint32_t step = 1; step < len; ++step) {
+      const auto arcs = net.OutArcs(cur);
+      if (arcs.empty()) break;
+      cur = arcs[rng.UniformInt(arcs.size())].to;
+      nodes.push_back(cur);
+    }
+    store->Add(std::move(nodes));
+  }
+}
+
+}  // namespace netclus::test
+
+#endif  // NETCLUS_TESTS_TEST_HELPERS_H_

@@ -1,0 +1,141 @@
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "netclus/index_io.h"
+#include "netclus/query.h"
+#include "test_helpers.h"
+#include "tops/site_set.h"
+
+namespace netclus::index {
+namespace {
+
+struct Fixture {
+  graph::RoadNetwork net;
+  std::unique_ptr<traj::TrajectoryStore> store;
+  tops::SiteSet sites;
+  std::unique_ptr<MultiIndex> index;
+
+  explicit Fixture(uint64_t seed = 71) {
+    net = test::MakeGridNetwork(10, 10, 100.0);
+    store = std::make_unique<traj::TrajectoryStore>(&net);
+    test::FillRandomWalks(store.get(), 40, 4, 12, seed);
+    sites = tops::SiteSet::AllNodes(net);
+    MultiIndexConfig config;
+    config.gamma = 0.75;
+    config.tau_min_m = 300.0;
+    config.tau_max_m = 2500.0;
+    index = std::make_unique<MultiIndex>(
+        MultiIndex::Build(*store, sites, config));
+  }
+};
+
+TEST(IndexIo, RoundTripPreservesStructure) {
+  Fixture f;
+  std::stringstream ss;
+  WriteIndex(*f.index, ss);
+
+  MultiIndex loaded;
+  std::string error;
+  ASSERT_TRUE(ReadIndex(ss, f.net.num_nodes(), f.store->total_count(), &loaded,
+                        &error))
+      << error;
+  ASSERT_EQ(loaded.num_instances(), f.index->num_instances());
+  EXPECT_DOUBLE_EQ(loaded.tau_min_m(), f.index->tau_min_m());
+  EXPECT_DOUBLE_EQ(loaded.tau_max_m(), f.index->tau_max_m());
+  for (size_t p = 0; p < loaded.num_instances(); ++p) {
+    const ClusterIndex& a = f.index->instance(p);
+    const ClusterIndex& b = loaded.instance(p);
+    ASSERT_EQ(a.num_clusters(), b.num_clusters()) << "instance " << p;
+    EXPECT_DOUBLE_EQ(a.radius_m(), b.radius_m());
+    for (uint32_t g = 0; g < a.num_clusters(); ++g) {
+      EXPECT_EQ(a.cluster(g).center, b.cluster(g).center);
+      EXPECT_EQ(a.cluster(g).representative, b.cluster(g).representative);
+      EXPECT_EQ(a.cluster(g).tl.size(), b.cluster(g).tl.size());
+      EXPECT_EQ(a.cluster(g).cl.size(), b.cluster(g).cl.size());
+    }
+    for (graph::NodeId v = 0; v < f.net.num_nodes(); ++v) {
+      EXPECT_EQ(a.cluster_of(v), b.cluster_of(v));
+      EXPECT_FLOAT_EQ(a.node_rt_m(v), b.node_rt_m(v));
+    }
+  }
+}
+
+TEST(IndexIo, LoadedIndexAnswersQueriesIdentically) {
+  Fixture f;
+  std::stringstream ss;
+  WriteIndex(*f.index, ss);
+  MultiIndex loaded;
+  std::string error;
+  ASSERT_TRUE(ReadIndex(ss, f.net.num_nodes(), f.store->total_count(), &loaded,
+                        &error))
+      << error;
+
+  const QueryEngine original(f.index.get(), f.store.get(), &f.sites);
+  const QueryEngine restored(&loaded, f.store.get(), &f.sites);
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  for (const double tau : {400.0, 800.0, 1600.0}) {
+    QueryConfig config;
+    config.k = 4;
+    config.tau_m = tau;
+    const QueryResult a = original.Tops(psi, config);
+    const QueryResult b = restored.Tops(psi, config);
+    EXPECT_EQ(a.selection.sites, b.selection.sites) << "tau " << tau;
+    EXPECT_DOUBLE_EQ(a.selection.utility, b.selection.utility);
+    EXPECT_EQ(a.instance_used, b.instance_used);
+  }
+}
+
+TEST(IndexIo, LoadedIndexAbsorbsFurtherUpdates) {
+  Fixture f;
+  std::stringstream ss;
+  WriteIndex(*f.index, ss);
+  MultiIndex loaded;
+  std::string error;
+  ASSERT_TRUE(ReadIndex(ss, f.net.num_nodes(), f.store->total_count(), &loaded,
+                        &error))
+      << error;
+  const traj::TrajId t = f.store->Add({0, 1, 2, 12, 13});
+  loaded.AddTrajectory(*f.store, t);
+  for (size_t p = 0; p < loaded.num_instances(); ++p) {
+    EXPECT_FALSE(loaded.instance(p).cluster_sequence(t).empty());
+  }
+}
+
+TEST(IndexIo, RejectsCorpusMismatch) {
+  Fixture f;
+  std::stringstream ss;
+  WriteIndex(*f.index, ss);
+  MultiIndex loaded;
+  std::string error;
+  EXPECT_FALSE(ReadIndex(ss, f.net.num_nodes() + 5, f.store->total_count(),
+                         &loaded, &error));
+  EXPECT_NE(error.find("nodes"), std::string::npos);
+}
+
+TEST(IndexIo, RejectsMalformedInput) {
+  MultiIndex loaded;
+  std::string error;
+  std::stringstream empty("");
+  EXPECT_FALSE(ReadIndex(empty, 10, 10, &loaded, &error));
+  std::stringstream bad_header("bogus v1\n");
+  EXPECT_FALSE(ReadIndex(bad_header, 10, 10, &loaded, &error));
+  std::stringstream truncated("netclus-index v1\nmeta 0.75 300 2500 1.0 3\n");
+  EXPECT_FALSE(ReadIndex(truncated, 10, 10, &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(IndexIo, FileRoundTrip) {
+  Fixture f;
+  const std::string path = "/tmp/netclus_index_io_test.idx";
+  std::string error;
+  ASSERT_TRUE(SaveIndex(*f.index, path, &error)) << error;
+  MultiIndex loaded;
+  ASSERT_TRUE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                        &loaded, &error))
+      << error;
+  EXPECT_EQ(loaded.num_instances(), f.index->num_instances());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace netclus::index

@@ -1,0 +1,80 @@
+#include "gtest/gtest.h"
+#include "netclus/jaccard.h"
+#include "test_helpers.h"
+#include "tops/coverage.h"
+
+namespace netclus::index {
+namespace {
+
+tops::CoverageIndex MakeInstance(uint64_t seed, double tau_m) {
+  graph::RoadNetwork net = test::MakeGridNetwork(10, 10, 100.0);
+  traj::TrajectoryStore store(&net);
+  test::FillRandomWalks(&store, 80, 4, 12, seed);
+  tops::SiteSet sites = tops::SiteSet::AllNodes(net);
+  tops::CoverageConfig cc;
+  cc.tau_m = tau_m;
+  return tops::CoverageIndex::Build(store, sites, cc);
+}
+
+TEST(Jaccard, EverySiteEndsUpClustered) {
+  const tops::CoverageIndex cov = MakeInstance(81, 500.0);
+  JaccardConfig config;
+  config.alpha = 0.8;
+  const JaccardResult got = JaccardCluster(cov, config);
+  EXPECT_FALSE(got.oom);
+  EXPECT_GT(got.num_clusters, 0u);
+  for (uint32_t c : got.site_cluster) EXPECT_LT(c, got.num_clusters);
+}
+
+TEST(Jaccard, LooserAlphaGivesFewerClusters) {
+  const tops::CoverageIndex cov = MakeInstance(83, 500.0);
+  JaccardConfig tight;
+  tight.alpha = 0.2;
+  JaccardConfig loose;
+  loose.alpha = 0.95;
+  const JaccardResult tight_result = JaccardCluster(cov, tight);
+  const JaccardResult loose_result = JaccardCluster(cov, loose);
+  EXPECT_GE(tight_result.num_clusters, loose_result.num_clusters);
+}
+
+TEST(Jaccard, LargerTauCostsMoreMemory) {
+  // Table 12's blow-up: covering sets (and pairwise overlap work) grow with
+  // tau.
+  const tops::CoverageIndex small = MakeInstance(85, 300.0);
+  const tops::CoverageIndex large = MakeInstance(85, 1200.0);
+  JaccardConfig config;
+  config.alpha = 0.8;
+  const JaccardResult small_result = JaccardCluster(small, config);
+  const JaccardResult large_result = JaccardCluster(large, config);
+  EXPECT_GT(large_result.memory_bytes, small_result.memory_bytes);
+}
+
+TEST(Jaccard, MemoryBudgetTriggersOom) {
+  const tops::CoverageIndex cov = MakeInstance(87, 800.0);
+  JaccardConfig config;
+  config.alpha = 0.8;
+  config.memory_budget_bytes = 1024;
+  const JaccardResult got = JaccardCluster(cov, config);
+  EXPECT_TRUE(got.oom);
+}
+
+TEST(Jaccard, IdenticalCoversMergeIntoOneCluster) {
+  // Three sites with identical covers and one disjoint site.
+  std::vector<std::vector<tops::CoverEntry>> tc(4);
+  tc[0] = {{0, 1.0f}, {1, 1.0f}};
+  tc[1] = {{0, 1.0f}, {1, 1.0f}};
+  tc[2] = {{0, 1.0f}, {1, 1.0f}};
+  tc[3] = {{5, 1.0f}};
+  const tops::CoverageIndex cov =
+      tops::CoverageIndex::FromCovers(std::move(tc), 6, 6, 100.0);
+  JaccardConfig config;
+  config.alpha = 0.1;  // only near-identical covers merge
+  const JaccardResult got = JaccardCluster(cov, config);
+  EXPECT_EQ(got.num_clusters, 2u);
+  EXPECT_EQ(got.site_cluster[0], got.site_cluster[1]);
+  EXPECT_EQ(got.site_cluster[1], got.site_cluster[2]);
+  EXPECT_NE(got.site_cluster[3], got.site_cluster[0]);
+}
+
+}  // namespace
+}  // namespace netclus::index

@@ -1,0 +1,168 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "netclus/multi_index.h"
+#include "test_helpers.h"
+#include "tops/site_set.h"
+
+namespace netclus::index {
+namespace {
+
+struct Fixture {
+  graph::RoadNetwork net;
+  std::unique_ptr<traj::TrajectoryStore> store;
+  tops::SiteSet sites;
+
+  explicit Fixture(uint64_t seed = 51) {
+    net = test::MakeGridNetwork(12, 12, 100.0);
+    store = std::make_unique<traj::TrajectoryStore>(&net);
+    test::FillRandomWalks(store.get(), 60, 4, 12, seed);
+    sites = tops::SiteSet::AllNodes(net);
+  }
+};
+
+TEST(MultiIndex, InstanceCountFollowsFormula) {
+  Fixture f;
+  MultiIndexConfig config;
+  config.gamma = 0.75;
+  config.tau_min_m = 400.0;
+  config.tau_max_m = 4000.0;
+  const MultiIndex index = MultiIndex::Build(*f.store, f.sites, config);
+  const uint32_t expected =
+      static_cast<uint32_t>(std::floor(std::log(4000.0 / 400.0) /
+                                       std::log1p(0.75))) + 1;
+  EXPECT_EQ(index.num_instances(), expected);
+}
+
+TEST(MultiIndex, RadiiGrowGeometrically) {
+  Fixture f;
+  MultiIndexConfig config;
+  config.gamma = 0.5;
+  config.tau_min_m = 400.0;
+  config.tau_max_m = 3000.0;
+  const MultiIndex index = MultiIndex::Build(*f.store, f.sites, config);
+  EXPECT_NEAR(index.instance(0).radius_m(), 100.0, 1e-9);  // tau_min / 4
+  for (size_t p = 1; p < index.num_instances(); ++p) {
+    EXPECT_NEAR(index.instance(p).radius_m(),
+                index.instance(p - 1).radius_m() * 1.5, 1e-6);
+  }
+}
+
+TEST(MultiIndex, ClusterCountsFallAcrossInstances) {
+  Fixture f;
+  MultiIndexConfig config;
+  config.gamma = 0.75;
+  config.tau_min_m = 300.0;
+  config.tau_max_m = 5000.0;
+  const MultiIndex index = MultiIndex::Build(*f.store, f.sites, config);
+  for (size_t p = 1; p < index.num_instances(); ++p) {
+    EXPECT_LE(index.instance(p).num_clusters(),
+              index.instance(p - 1).num_clusters());
+  }
+}
+
+TEST(MultiIndex, InstanceForMapsTauRangesCorrectly) {
+  Fixture f;
+  MultiIndexConfig config;
+  config.gamma = 0.75;
+  config.tau_min_m = 400.0;
+  config.tau_max_m = 6000.0;
+  const MultiIndex index = MultiIndex::Build(*f.store, f.sites, config);
+  // At tau = tau_min the finest instance serves; the supported range of
+  // instance p is [4 R_p, 4 R_p (1+gamma)).
+  EXPECT_EQ(index.InstanceFor(400.0), 0u);
+  EXPECT_EQ(index.InstanceFor(100.0), 0u);   // below range: clamp to finest
+  EXPECT_EQ(index.InstanceFor(1e9), index.num_instances() - 1);  // clamp up
+  for (size_t p = 0; p < index.num_instances(); ++p) {
+    const double r = index.instance(p).radius_m();
+    const size_t got = index.InstanceFor(4.0 * r * 1.001);
+    EXPECT_EQ(got, p) << "tau just above 4R of instance " << p;
+  }
+}
+
+TEST(MultiIndex, SupportedTauGuaranteesSameClusterCoverage) {
+  // For instance p and tau >= 4 R_p, any site covers any trajectory through
+  // its cluster: d_r(T, s) <= d_r(T,c) + d_r(c,s) <= 2R + 2R = 4R <= tau.
+  Fixture f;
+  MultiIndexConfig config;
+  config.gamma = 0.5;
+  config.tau_min_m = 400.0;
+  config.tau_max_m = 2000.0;
+  const MultiIndex index = MultiIndex::Build(*f.store, f.sites, config);
+  const size_t p = index.InstanceFor(800.0);
+  EXPECT_LE(4.0 * index.instance(p).radius_m(), 800.0 + 1e-9);
+}
+
+TEST(MultiIndex, AutoTauRangeIsSane) {
+  Fixture f;
+  double tau_min = 0.0, tau_max = 0.0;
+  MultiIndex::EstimateTauRange(*f.store, f.sites, 7, &tau_min, &tau_max);
+  EXPECT_GT(tau_min, 0.0);
+  EXPECT_GT(tau_max, tau_min);
+  // Grid of 100 m blocks: nearest site round trip is 200 m.
+  EXPECT_NEAR(tau_min, 200.0, 1e-6);
+  // Diameter-ish round trip on a 12x12 grid of 100 m blocks.
+  EXPECT_LE(tau_max, 2.0 * 2.0 * 22.0 * 100.0);
+}
+
+TEST(MultiIndex, MaxInstancesCapRespected) {
+  Fixture f;
+  MultiIndexConfig config;
+  config.gamma = 0.25;
+  config.tau_min_m = 100.0;
+  config.tau_max_m = 100000.0;
+  config.max_instances = 4;
+  const MultiIndex index = MultiIndex::Build(*f.store, f.sites, config);
+  EXPECT_EQ(index.num_instances(), 4u);
+}
+
+TEST(MultiIndex, UpdatesFanOutToAllInstances) {
+  Fixture f;
+  MultiIndexConfig config;
+  config.gamma = 0.75;
+  config.tau_min_m = 400.0;
+  config.tau_max_m = 3000.0;
+  MultiIndex index = MultiIndex::Build(*f.store, f.sites, config);
+  const traj::TrajId t = f.store->Add({0, 1, 2, 13, 14});
+  index.AddTrajectory(*f.store, t);
+  for (size_t p = 0; p < index.num_instances(); ++p) {
+    EXPECT_FALSE(index.instance(p).cluster_sequence(t).empty()) << p;
+  }
+  index.RemoveTrajectory(t);
+  for (size_t p = 0; p < index.num_instances(); ++p) {
+    EXPECT_TRUE(index.instance(p).cluster_sequence(t).empty()) << p;
+  }
+}
+
+TEST(MultiIndex, MemoryBytesIsSumOfInstances) {
+  Fixture f;
+  MultiIndexConfig config;
+  config.gamma = 0.75;
+  config.tau_min_m = 400.0;
+  config.tau_max_m = 3000.0;
+  const MultiIndex index = MultiIndex::Build(*f.store, f.sites, config);
+  uint64_t sum = 0;
+  for (size_t p = 0; p < index.num_instances(); ++p) {
+    sum += index.instance(p).MemoryBytes();
+  }
+  EXPECT_EQ(index.MemoryBytes(), sum);
+  EXPECT_GT(sum, 0u);
+}
+
+TEST(MultiIndex, SmallerGammaMeansMoreInstancesAndMoreMemory) {
+  // Table 7's tradeoff: finer resolution ladders cost more space.
+  Fixture f;
+  MultiIndexConfig fine;
+  fine.gamma = 0.25;
+  fine.tau_min_m = 300.0;
+  fine.tau_max_m = 4000.0;
+  MultiIndexConfig coarse = fine;
+  coarse.gamma = 1.0;
+  const MultiIndex fine_index = MultiIndex::Build(*f.store, f.sites, fine);
+  const MultiIndex coarse_index = MultiIndex::Build(*f.store, f.sites, coarse);
+  EXPECT_GT(fine_index.num_instances(), coarse_index.num_instances());
+  EXPECT_GT(fine_index.MemoryBytes(), coarse_index.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace netclus::index

@@ -1,0 +1,125 @@
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+#include "tops/coverage.h"
+#include "tops/inc_greedy.h"
+#include "tops/optimal.h"
+#include "util/rng.h"
+
+namespace netclus::tops {
+namespace {
+
+// Exhaustive reference: enumerate all k-subsets (tiny instances only).
+double BruteForceOptimum(const CoverageIndex& cov, const PreferenceFunction& psi,
+                         uint32_t k) {
+  const size_t n = cov.num_sites();
+  std::vector<SiteId> subset(k);
+  double best = 0.0;
+  // Iterative combination enumeration.
+  std::vector<uint32_t> idx(k);
+  for (uint32_t i = 0; i < k; ++i) idx[i] = i;
+  if (k > n) return 0.0;
+  while (true) {
+    for (uint32_t i = 0; i < k; ++i) subset[i] = idx[i];
+    best = std::max(best, UtilityOf(cov, psi, subset));
+    // next combination
+    int pos = static_cast<int>(k) - 1;
+    while (pos >= 0 && idx[pos] == n - k + pos) --pos;
+    if (pos < 0) break;
+    ++idx[pos];
+    for (uint32_t j = pos + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+  return best;
+}
+
+// A CoverageIndex is self-contained after Build, so the network and store
+// can be scoped to this helper.
+CoverageIndex RandomInstance(uint64_t seed, uint32_t num_sites,
+                             uint32_t num_trajs) {
+  graph::RoadNetwork net = test::MakeRandomNetwork(30, seed);
+  traj::TrajectoryStore store(&net);
+  test::FillRandomWalks(&store, num_trajs, 3, 7, seed + 1);
+  SiteSet sites = SiteSet::SampleNodes(net, num_sites, seed + 2);
+  CoverageConfig cc;
+  cc.tau_m = 700.0;
+  return CoverageIndex::Build(store, sites, cc);
+}
+
+class OptimalProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimalProperty, MatchesBruteForceOnTinyInstances) {
+  const CoverageIndex cov = RandomInstance(GetParam(), 8, 15);
+  const PreferenceFunction psi = PreferenceFunction::Binary();
+  for (uint32_t k = 1; k <= 4; ++k) {
+    OptimalConfig config;
+    config.k = k;
+    const OptimalResult got = SolveOptimal(cov, psi, config);
+    ASSERT_TRUE(got.proven_optimal);
+    EXPECT_NEAR(got.selection.utility, BruteForceOptimum(cov, psi, k), 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST_P(OptimalProperty, MatchesBruteForceWithLinearPreference) {
+  const CoverageIndex cov = RandomInstance(GetParam() + 50, 7, 12);
+  const PreferenceFunction psi = PreferenceFunction::Linear();
+  OptimalConfig config;
+  config.k = 3;
+  const OptimalResult got = SolveOptimal(cov, psi, config);
+  ASSERT_TRUE(got.proven_optimal);
+  EXPECT_NEAR(got.selection.utility, BruteForceOptimum(cov, psi, 3), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalProperty, ::testing::Values(1, 7, 42));
+
+TEST(Optimal, AlwaysAtLeastGreedy) {
+  const CoverageIndex cov = RandomInstance(1234, 15, 40);
+  const PreferenceFunction psi = PreferenceFunction::Binary();
+  GreedyConfig gc;
+  gc.k = 5;
+  const Selection greedy = IncGreedy(cov, psi, gc);
+  OptimalConfig oc;
+  oc.k = 5;
+  const OptimalResult optimal = SolveOptimal(cov, psi, oc);
+  EXPECT_GE(optimal.selection.utility, greedy.utility - 1e-9);
+}
+
+TEST(Optimal, UtilityMonotoneInK) {
+  const CoverageIndex cov = RandomInstance(555, 10, 25);
+  const PreferenceFunction psi = PreferenceFunction::Binary();
+  double prev = 0.0;
+  for (uint32_t k = 1; k <= 5; ++k) {
+    OptimalConfig config;
+    config.k = k;
+    const OptimalResult got = SolveOptimal(cov, psi, config);
+    EXPECT_GE(got.selection.utility, prev - 1e-9);
+    prev = got.selection.utility;
+  }
+}
+
+TEST(Optimal, TimeLimitProducesAnytimeResult) {
+  const CoverageIndex cov = RandomInstance(777, 25, 60);
+  const PreferenceFunction psi = PreferenceFunction::Binary();
+  OptimalConfig config;
+  config.k = 8;
+  config.time_limit_s = 0.0;  // immediate timeout
+  const OptimalResult got = SolveOptimal(cov, psi, config);
+  // Still returns the greedy warm start as incumbent.
+  EXPECT_EQ(got.selection.sites.size(), 8u);
+  EXPECT_GT(got.selection.utility, 0.0);
+  EXPECT_GE(got.upper_bound, got.selection.utility - 1e-9);
+}
+
+TEST(Optimal, ReportsExploredNodes) {
+  const CoverageIndex cov = RandomInstance(888, 10, 20);
+  OptimalConfig config;
+  config.k = 3;
+  const OptimalResult got =
+      SolveOptimal(cov, PreferenceFunction::Binary(), config);
+  EXPECT_GT(got.nodes_explored, 0u);
+}
+
+}  // namespace
+}  // namespace netclus::tops

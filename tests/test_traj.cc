@@ -1,0 +1,286 @@
+#include <set>
+
+#include "graph/dijkstra.h"
+#include "gtest/gtest.h"
+#include "test_helpers.h"
+#include "traj/map_matcher.h"
+#include "traj/trace_synthesizer.h"
+#include "traj/trajectory.h"
+#include "traj/trajectory_store.h"
+#include "traj/trip_generator.h"
+#include "util/rng.h"
+
+namespace netclus::traj {
+namespace {
+
+TEST(Trajectory, PrefixDistancesFollowArcWeights) {
+  graph::RoadNetwork net = test::MakeLineNetwork(5, 100.0);
+  Trajectory t(net, {0, 1, 2, 3});
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_DOUBLE_EQ(t.prefix(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.prefix(3), 300.0);
+  EXPECT_DOUBLE_EQ(t.AlongDistance(1, 3), 200.0);
+  EXPECT_DOUBLE_EQ(t.LengthMeters(), 300.0);
+}
+
+TEST(Trajectory, NonAdjacentFallsBackToEuclidean) {
+  graph::RoadNetwork net = test::MakeLineNetwork(5, 100.0);
+  Trajectory t(net, {0, 4});  // not adjacent: 400 m apart in a line
+  EXPECT_DOUBLE_EQ(t.LengthMeters(), 400.0);
+}
+
+TEST(TrajectoryStore, AddAndPostings) {
+  graph::RoadNetwork net = test::MakeLineNetwork(6);
+  TrajectoryStore store(&net);
+  const TrajId a = store.Add({0, 1, 2});
+  const TrajId b = store.Add({2, 3});
+  EXPECT_EQ(store.live_count(), 2u);
+  EXPECT_EQ(store.total_count(), 2u);
+  const auto at2 = store.postings(2);
+  ASSERT_EQ(at2.size(), 2u);
+  EXPECT_EQ(at2[0].traj, a);
+  EXPECT_EQ(at2[0].pos, 2u);
+  EXPECT_EQ(at2[1].traj, b);
+  EXPECT_EQ(at2[1].pos, 0u);
+}
+
+TEST(TrajectoryStore, RemoveIsLazyAndIdempotent) {
+  graph::RoadNetwork net = test::MakeLineNetwork(4);
+  TrajectoryStore store(&net);
+  const TrajId a = store.Add({0, 1});
+  store.Add({1, 2});
+  store.Remove(a);
+  store.Remove(a);
+  EXPECT_EQ(store.live_count(), 1u);
+  EXPECT_FALSE(store.is_alive(a));
+  // Postings still physically present until Compact.
+  EXPECT_EQ(store.postings(0).size(), 1u);
+  store.Compact();
+  EXPECT_EQ(store.postings(0).size(), 0u);
+  EXPECT_EQ(store.postings(1).size(), 1u);
+}
+
+TEST(TrajectoryStore, Statistics) {
+  graph::RoadNetwork net = test::MakeLineNetwork(10, 100.0);
+  TrajectoryStore store(&net);
+  store.Add({0, 1, 2});
+  store.Add({0, 1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(store.MeanNodeCount(), 4.0);
+  EXPECT_DOUBLE_EQ(store.MeanLengthMeters(), 300.0);
+  EXPECT_GT(store.MemoryBytes(), 0u);
+}
+
+TEST(TripGenerator, ProducesRequestedCount) {
+  graph::RoadNetwork net = test::MakeGridNetwork(15, 15, 150.0);
+  TrajectoryStore store(&net);
+  TripGeneratorConfig config;
+  config.num_trajectories = 200;
+  config.min_od_distance_m = 300.0;
+  const auto ids = GenerateTrips(config, &store);
+  EXPECT_EQ(ids.size(), 200u);
+  EXPECT_EQ(store.live_count(), 200u);
+}
+
+TEST(TripGenerator, DeterministicForSameSeed) {
+  graph::RoadNetwork net = test::MakeGridNetwork(12, 12, 150.0);
+  TrajectoryStore s1(&net), s2(&net);
+  TripGeneratorConfig config;
+  config.num_trajectories = 50;
+  GenerateTrips(config, &s1);
+  GenerateTrips(config, &s2);
+  ASSERT_EQ(s1.live_count(), s2.live_count());
+  for (TrajId t = 0; t < s1.total_count(); ++t) {
+    EXPECT_EQ(s1.trajectory(t).nodes(), s2.trajectory(t).nodes());
+  }
+}
+
+TEST(TripGenerator, RoutesAreConnectedPaths) {
+  graph::RoadNetwork net = test::MakeGridNetwork(10, 10, 120.0);
+  TrajectoryStore store(&net);
+  TripGeneratorConfig config;
+  config.num_trajectories = 40;
+  config.min_od_distance_m = 300.0;
+  GenerateTrips(config, &store);
+  for (TrajId t = 0; t < store.total_count(); ++t) {
+    const auto& nodes = store.trajectory(t).nodes();
+    for (size_t i = 1; i < nodes.size(); ++i) {
+      bool adjacent = false;
+      for (const graph::Arc& arc : net.OutArcs(nodes[i - 1])) {
+        if (arc.to == nodes[i]) {
+          adjacent = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(adjacent) << "trajectory " << t << " hop " << i;
+    }
+  }
+}
+
+TEST(TripGenerator, LengthFilterRespected) {
+  graph::RoadNetwork net = test::MakeGridNetwork(20, 20, 150.0);
+  TrajectoryStore store(&net);
+  TripGeneratorConfig config;
+  config.num_trajectories = 30;
+  config.min_od_distance_m = 200.0;
+  config.min_length_m = 1500.0;
+  config.max_length_m = 2500.0;
+  GenerateTrips(config, &store);
+  EXPECT_GT(store.live_count(), 0u);
+  for (TrajId t = 0; t < store.total_count(); ++t) {
+    const double len = store.trajectory(t).LengthMeters();
+    EXPECT_GE(len, 1000.0);  // Euclidean pre-filter tolerance
+    EXPECT_LE(len, 3000.0);
+  }
+}
+
+TEST(TripGenerator, ZeroDeviationGivesShortestPaths) {
+  graph::RoadNetwork net = test::MakeGridNetwork(12, 12, 100.0);
+  graph::DijkstraEngine engine(&net);
+  util::Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const auto src = static_cast<graph::NodeId>(rng.UniformInt(net.num_nodes()));
+    const auto dst = static_cast<graph::NodeId>(rng.UniformInt(net.num_nodes()));
+    const auto path = RoutePerturbed(net, src, dst, 0.0, i);
+    if (src == dst) continue;
+    ASSERT_FALSE(path.empty());
+    double total = 0.0;
+    for (size_t j = 1; j < path.size(); ++j) {
+      total += engine.PointToPoint(path[j - 1], path[j]);
+    }
+    EXPECT_NEAR(total, engine.PointToPoint(src, dst), 1e-6);
+  }
+}
+
+TEST(TripGenerator, DeviationDiversifiesRoutesWithBoundedStretch) {
+  // On a uniform grid, many distinct paths share the shortest length, so
+  // deviation shows up as *route diversity* (different trips pick different
+  // paths between the same OD pair) rather than extra length; the stretch
+  // must stay bounded regardless.
+  graph::RoadNetwork net = test::MakeGridNetwork(15, 15, 100.0);
+  graph::DijkstraEngine engine(&net);
+  const graph::NodeId src = 0;
+  const graph::NodeId dst = 15 * 15 - 1;  // opposite corner
+  std::set<std::vector<graph::NodeId>> distinct_routes;
+  for (int trip = 0; trip < 12; ++trip) {
+    const auto path = RoutePerturbed(net, src, dst, 0.8, 1000 + trip);
+    ASSERT_FALSE(path.empty());
+    double total = 0.0;
+    for (size_t j = 1; j < path.size(); ++j) {
+      total += engine.PointToPoint(path[j - 1], path[j]);
+    }
+    const double shortest = engine.PointToPoint(src, dst);
+    EXPECT_GE(total, shortest - 1e-6);
+    EXPECT_LE(total, 1.8 * shortest);  // plausible detours, not random walks
+    distinct_routes.insert(path);
+  }
+  EXPECT_GE(distinct_routes.size(), 3u) << "deviation should diversify routes";
+  // Zero deviation: all trips take the identical (deterministic) path.
+  std::set<std::vector<graph::NodeId>> base_routes;
+  for (int trip = 0; trip < 5; ++trip) {
+    base_routes.insert(RoutePerturbed(net, src, dst, 0.0, 2000 + trip));
+  }
+  EXPECT_EQ(base_routes.size(), 1u);
+}
+
+TEST(TraceSynthesizer, SamplesCoverRouteAtRequestedInterval) {
+  graph::RoadNetwork net = test::MakeLineNetwork(20, 100.0);
+  std::vector<graph::NodeId> route;
+  for (graph::NodeId i = 0; i < 20; ++i) route.push_back(i);
+  TraceSynthesizerConfig config;
+  config.speed_mps = 10.0;
+  config.sampling_interval_s = 10.0;  // 100 m per sample over 1900 m
+  config.noise_sigma_m = 0.0;
+  const GpsTrace trace = SynthesizeTrace(net, route, config);
+  ASSERT_GE(trace.size(), 19u);
+  EXPECT_DOUBLE_EQ(trace.front().position.x, 0.0);
+  EXPECT_NEAR(trace.back().position.x, 1900.0, 1e-6);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GT(trace[i].timestamp_s, trace[i - 1].timestamp_s);
+  }
+}
+
+TEST(TraceSynthesizer, NoiseIsBoundedInDistribution) {
+  graph::RoadNetwork net = test::MakeLineNetwork(10, 100.0);
+  std::vector<graph::NodeId> route = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  TraceSynthesizerConfig config;
+  config.noise_sigma_m = 15.0;
+  const GpsTrace trace = SynthesizeTrace(net, route, config);
+  double max_dev = 0.0;
+  for (const GpsSample& s : trace) {
+    max_dev = std::max(max_dev, std::abs(s.position.y));
+  }
+  EXPECT_GT(max_dev, 0.0);
+  EXPECT_LT(max_dev, 15.0 * 6);  // 6 sigma
+}
+
+TEST(MapMatcher, RecoversCleanRouteExactly) {
+  graph::RoadNetwork net = test::MakeGridNetwork(10, 10, 150.0);
+  graph::DijkstraEngine engine(&net);
+  const std::vector<graph::NodeId> route = engine.ShortestPath(0, 99);
+  ASSERT_FALSE(route.empty());
+  TraceSynthesizerConfig synth;
+  synth.noise_sigma_m = 0.0;
+  synth.sampling_interval_s = 8.0;
+  const GpsTrace trace = SynthesizeTrace(net, route, synth);
+  MapMatcher matcher(&net);
+  const MatchResult match = matcher.Match(trace);
+  ASSERT_FALSE(match.path.empty());
+  EXPECT_EQ(match.path.front(), route.front());
+  EXPECT_EQ(match.path.back(), route.back());
+}
+
+class MapMatcherNoise : public ::testing::TestWithParam<double> {};
+
+TEST_P(MapMatcherNoise, RecoversMostOfTheRouteUnderNoise) {
+  graph::RoadNetwork net = test::MakeGridNetwork(12, 12, 150.0);
+  graph::DijkstraEngine engine(&net);
+  util::Rng rng(11);
+  int total_nodes = 0, recovered_nodes = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto src = static_cast<graph::NodeId>(rng.UniformInt(net.num_nodes()));
+    const auto dst = static_cast<graph::NodeId>(rng.UniformInt(net.num_nodes()));
+    const std::vector<graph::NodeId> route = engine.ShortestPath(src, dst);
+    if (route.size() < 5) continue;
+    TraceSynthesizerConfig synth;
+    synth.noise_sigma_m = GetParam();
+    synth.sampling_interval_s = 6.0;
+    synth.seed = 100 + trial;
+    const GpsTrace trace = SynthesizeTrace(net, route, synth);
+    MapMatcher matcher(&net);
+    const MatchResult match = matcher.Match(trace);
+    ASSERT_FALSE(match.path.empty());
+    const std::set<graph::NodeId> truth(route.begin(), route.end());
+    for (graph::NodeId v : match.path) {
+      ++total_nodes;
+      if (truth.count(v) > 0) ++recovered_nodes;
+    }
+  }
+  ASSERT_GT(total_nodes, 0);
+  const double precision =
+      static_cast<double>(recovered_nodes) / static_cast<double>(total_nodes);
+  EXPECT_GE(precision, 0.75) << "noise sigma " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, MapMatcherNoise,
+                         ::testing::Values(5.0, 15.0, 30.0));
+
+TEST(MapMatcher, EmptyTraceYieldsEmptyResult) {
+  graph::RoadNetwork net = test::MakeGridNetwork(5, 5);
+  MapMatcher matcher(&net);
+  EXPECT_TRUE(matcher.Match({}).path.empty());
+}
+
+TEST(MapMatcher, FarAwaySamplesAreDropped) {
+  graph::RoadNetwork net = test::MakeGridNetwork(5, 5, 100.0);
+  MapMatcher matcher(&net);
+  GpsTrace trace;
+  trace.push_back({{50.0, 50.0}, 0.0});
+  trace.push_back({{90000.0, 90000.0}, 10.0});  // nowhere near the network
+  trace.push_back({{150.0, 50.0}, 20.0});
+  const MatchResult match = matcher.Match(trace);
+  EXPECT_EQ(match.dropped_samples, 1u);
+  EXPECT_FALSE(match.path.empty());
+}
+
+}  // namespace
+}  // namespace netclus::traj

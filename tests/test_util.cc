@@ -1,0 +1,284 @@
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/memory.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace netclus::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(15);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(19);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (uint32_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleAllElements) {
+  Rng rng(21);
+  const auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(SplitMix64, KnownToBeStable) {
+  // Lock the mixing function: downstream hashing (FM sketches, trip
+  // perturbation) depends on it never changing.
+  EXPECT_EQ(SplitMix64(0), 16294208416658607535ULL);
+  EXPECT_EQ(SplitMix64(1), 10451216379200822465ULL);
+}
+
+TEST(Strings, SplitBasic) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitNoDelimiter) {
+  const auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  EXPECT_EQ(Join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+TEST(Strings, StartsWithAndToLower) {
+  EXPECT_TRUE(StartsWith("netclus", "net"));
+  EXPECT_FALSE(StartsWith("net", "netclus"));
+  EXPECT_EQ(ToLower("AbC"), "abc");
+}
+
+TEST(Memory, TrackerAddAndTotal) {
+  MemoryTracker tracker;
+  tracker.Add("tc", 100);
+  tracker.Add("tc", 50);
+  tracker.Add("sc", 30);
+  EXPECT_EQ(tracker.Bytes("tc"), 150u);
+  EXPECT_EQ(tracker.TotalBytes(), 180u);
+  tracker.Add("tc", -200);  // clamps at zero
+  EXPECT_EQ(tracker.Bytes("tc"), 0u);
+}
+
+TEST(Memory, BudgetTripsWhenExceeded) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.Charge(400));
+  EXPECT_TRUE(budget.Charge(600));
+  EXPECT_FALSE(budget.Charge(1));
+  EXPECT_TRUE(budget.exceeded());
+}
+
+TEST(Memory, ZeroBudgetIsUnlimited) {
+  MemoryBudget budget(0);
+  EXPECT_TRUE(budget.Charge(1ull << 40));
+  EXPECT_FALSE(budget.exceeded());
+}
+
+TEST(Memory, HumanBytesFormatting) {
+  EXPECT_EQ(HumanBytes(512), "512.00 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(3ull << 30), "3.00 GB");
+}
+
+TEST(Memory, VmRssIsPositiveOnLinux) {
+  EXPECT_GT(ReadVmRssBytes(), 0u);
+  // VmHWM is not exposed in every container; when present it must be at
+  // least on the order of the current RSS.
+  const uint64_t hwm = ReadVmHwmBytes();
+  if (hwm > 0) {
+    EXPECT_GE(hwm, ReadVmRssBytes() / 2);
+  }
+}
+
+TEST(Memory, VectorBytesUsesCapacity) {
+  std::vector<uint64_t> v;
+  v.reserve(100);
+  EXPECT_EQ(VectorBytes(v), 800u);
+}
+
+TEST(Table, TextRenderingAligns) {
+  Table t({"name", "value"});
+  t.Row().Cell("alpha").Cell(42);
+  t.Row().Cell("b").Cell(3.14159, 3);
+  std::ostringstream os;
+  t.PrintText(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("3.142"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvRendering) {
+  Table t({"a", "b"});
+  t.Row().Cell(1).Cell(2);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, MarkdownRendering) {
+  Table t({"a"});
+  t.Row().Cell("x");
+  std::ostringstream os;
+  t.PrintMarkdown(os);
+  EXPECT_EQ(os.str(), "| a |\n|---|\n| x |\n");
+}
+
+TEST(Flags, EnvParsing) {
+  setenv("NETCLUS_TEST_INT", "42", 1);
+  setenv("NETCLUS_TEST_DBL", "2.5", 1);
+  setenv("NETCLUS_TEST_STR", "hello", 1);
+  setenv("NETCLUS_TEST_BOOL", "true", 1);
+  EXPECT_EQ(GetEnvInt("NETCLUS_TEST_INT", 0), 42);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("NETCLUS_TEST_DBL", 0.0), 2.5);
+  EXPECT_EQ(GetEnvString("NETCLUS_TEST_STR", ""), "hello");
+  EXPECT_TRUE(GetEnvBool("NETCLUS_TEST_BOOL", false));
+  EXPECT_EQ(GetEnvInt("NETCLUS_TEST_MISSING", 7), 7);
+  EXPECT_EQ(GetEnvInt("NETCLUS_TEST_STR", 7), 7);  // unparseable -> default
+}
+
+TEST(Logging, LevelFiltering) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  NC_LOG_INFO << "suppressed";  // must not crash, just be dropped
+  SetLogLevel(saved);
+}
+
+TEST(Logging, ParseLevelNames) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("bogus"), LogLevel::kInfo);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer timer;
+  double x = 0.0;
+  for (int i = 0; i < 100000; ++i) x += i * 1e-9;
+  EXPECT_GE(timer.Seconds(), 0.0);
+  EXPECT_GT(x, 0.0);
+  timer.Reset();
+  EXPECT_LT(timer.Seconds(), 1.0);
+}
+
+TEST(Timer, ScopedAccumulator) {
+  double sink = 0.0;
+  {
+    ScopedAccumulator acc(&sink);
+  }
+  EXPECT_GE(sink, 0.0);
+}
+
+}  // namespace
+}  // namespace netclus::util

@@ -24,6 +24,7 @@
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/memory.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -45,15 +46,40 @@ inline data::Dataset MakeDataset(const std::string& name, double base_scale) {
 }
 
 /// Builds a multi-resolution index with bench-appropriate τ range.
+/// `threads` = 0 uses the NETCLUS_THREADS default.
 inline index::MultiIndex BuildIndex(const data::Dataset& dataset,
                                     double gamma = 0.75,
                                     double tau_min_m = 400.0,
-                                    double tau_max_m = 6000.0) {
+                                    double tau_max_m = 6000.0,
+                                    uint32_t threads = 0) {
   index::MultiIndexConfig config;
   config.gamma = gamma;
   config.tau_min_m = tau_min_m;
   config.tau_max_m = tau_max_m;
+  config.threads = threads;
   return index::MultiIndex::Build(*dataset.store, dataset.sites, config);
+}
+
+/// Answers `count` TOPS queries (varying τ and k) concurrently over a built
+/// index with `threads` workers — the Engine::TopKBatch serving shape — and
+/// returns the wall time in seconds.
+inline double RunQueryBatch(const data::Dataset& dataset,
+                            const index::MultiIndex& index, size_t count,
+                            const tops::PreferenceFunction& psi,
+                            uint32_t threads) {
+  const index::QueryEngine engine(&index, dataset.store.get(), &dataset.sites);
+  util::WallTimer timer;
+  util::ParallelMap<index::QueryResult>(
+      threads, count,
+      [&](size_t i) {
+        index::QueryConfig config;
+        config.k = 3 + static_cast<uint32_t>(i % 5);
+        config.tau_m = 500.0 + 250.0 * static_cast<double>(i % 8);
+        config.threads = 1;  // queries are the unit of concurrency here
+        return engine.Tops(psi, config);
+      },
+      /*grain=*/1);
+  return timer.Seconds();
 }
 
 /// One Inc-Greedy (or FM-greedy) run on freshly built covering sets — the

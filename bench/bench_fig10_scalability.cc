@@ -2,6 +2,11 @@
 // of trajectories (k = 5, τ = 0.8 km).
 // Paper: INCG grows steeply in both dimensions; NetClus stays about an
 // order of magnitude faster throughout.
+//
+// Section (c) goes beyond the paper: thread scaling of the offline index
+// build and of batched online queries (threads ∈ {1, 2, 4, 8}), reporting
+// speedup over the serial run. Results are thread-count-invariant
+// (docs/parallelism.md), so only the timings move.
 #include "bench_common.h"
 
 int main() {
@@ -57,5 +62,35 @@ int main() {
         .Cell(netclus.total_seconds * 1e3, 1);
   }
   by_trajs.PrintText(std::cout);
+
+  std::printf("\n(c) thread scaling: offline build and batched queries\n");
+  util::Table by_threads({"threads", "build_s", "build_speedup", "batch_s",
+                          "batch_speedup"});
+  {
+    data::Dataset d = bench::MakeDataset("beijing-lite", 0.20);
+    const size_t batch = 64;
+    // The first sweep entry is the speedup baseline, whatever it is.
+    double build_base = 0.0, batch_base = 0.0;
+    bool have_base = false;
+    for (const uint32_t threads : {1u, 2u, 4u, 8u}) {
+      util::WallTimer build_timer;
+      const index::MultiIndex index =
+          bench::BuildIndex(d, 0.75, 400.0, 6000.0, threads);
+      const double build_s = build_timer.Seconds();
+      const double batch_s = bench::RunQueryBatch(d, index, batch, psi, threads);
+      if (!have_base) {
+        build_base = build_s;
+        batch_base = batch_s;
+        have_base = true;
+      }
+      by_threads.Row()
+          .Cell(static_cast<uint64_t>(threads))
+          .Cell(build_s, 2)
+          .Cell(build_base / build_s, 2)
+          .Cell(batch_s, 3)
+          .Cell(batch_base / batch_s, 2);
+    }
+  }
+  by_threads.PrintText(std::cout);
   return 0;
 }

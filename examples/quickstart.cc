@@ -88,5 +88,22 @@ int main() {
   const auto greedy = engine.ExactGreedy(5, 800.0, psi);
   std::printf("\nInc-Greedy baseline: %.0f covered (NetClus reaches %.1f%% of it)\n",
               greedy.utility, 100.0 * exact_utility / greedy.utility);
+
+  // 6. Batched serving: many independent (k, τ) requests answered
+  // concurrently over the shared index (threads from NETCLUS_THREADS).
+  std::vector<Engine::QuerySpec> specs;
+  for (const double tau : {500.0, 800.0, 1200.0}) {
+    Engine::QuerySpec spec;
+    spec.k = 5;
+    spec.tau_m = tau;
+    specs.push_back(std::move(spec));
+  }
+  const auto answers = engine.TopKBatch(specs);
+  std::printf("\nbatch of %zu queries:\n", answers.size());
+  for (size_t i = 0; i < answers.size(); ++i) {
+    std::printf("  tau = %4.0f m -> utility %.0f (%.1f ms)\n", specs[i].tau_m,
+                answers[i].selection.utility,
+                answers[i].total_seconds * 1e3);
+  }
   return 0;
 }

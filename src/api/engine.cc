@@ -2,6 +2,7 @@
 
 #include "netclus/index_io.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace netclus {
 
@@ -12,7 +13,7 @@ Engine::Engine(graph::RoadNetwork network, tops::SiteSet sites, Options options)
     : options_(options),
       network_(std::make_unique<graph::RoadNetwork>(std::move(network))),
       store_(std::make_unique<traj::TrajectoryStore>(network_.get())),
-      sites_(std::move(sites)) {}
+      sites_(std::make_unique<tops::SiteSet>(std::move(sites))) {}
 
 traj::TrajId Engine::AddTrajectory(std::vector<graph::NodeId> nodes) {
   const traj::TrajId id = store_->Add(std::move(nodes));
@@ -37,21 +38,23 @@ void Engine::RemoveTrajectory(traj::TrajId id) {
 
 tops::SiteId Engine::AddSite(graph::NodeId node) {
   NC_CHECK_LT(node, network_->num_nodes());
-  const tops::SiteId id = sites_.Add(node);
-  if (index_ != nullptr) index_->AddSite(*store_, sites_, id);
+  const tops::SiteId id = sites_->Add(node);
+  if (index_ != nullptr) index_->AddSite(*store_, *sites_, id);
   return id;
 }
 
 void Engine::RemoveSite(tops::SiteId site) {
-  NC_CHECK_LT(site, sites_.size());
-  if (index_ != nullptr) index_->RemoveSite(*store_, sites_, site);
+  NC_CHECK_LT(site, sites_->size());
+  if (index_ != nullptr) index_->RemoveSite(*store_, *sites_, site);
 }
 
 void Engine::BuildIndex() {
+  index::MultiIndexConfig config = options_.index;
+  if (config.threads == 0) config.threads = options_.threads;
   index_ = std::make_unique<index::MultiIndex>(
-      index::MultiIndex::Build(*store_, sites_, options_.index));
+      index::MultiIndex::Build(*store_, *sites_, config));
   query_ = std::make_unique<index::QueryEngine>(index_.get(), store_.get(),
-                                                &sites_);
+                                                sites_.get());
 }
 
 bool Engine::SaveIndexToFile(const std::string& path, std::string* error) const {
@@ -67,7 +70,7 @@ bool Engine::LoadIndexFromFile(const std::string& path, std::string* error) {
   }
   index_ = std::move(loaded);
   query_ = std::make_unique<index::QueryEngine>(index_.get(), store_.get(),
-                                                &sites_);
+                                                sites_.get());
   return true;
 }
 
@@ -81,7 +84,40 @@ index::QueryResult Engine::TopK(uint32_t k, double tau_m,
   config.tau_m = tau_m;
   config.use_fm_sketch = use_fm;
   config.existing_services = existing;
+  config.threads = options_.threads;
   return query_->Tops(psi, config);
+}
+
+std::vector<index::QueryResult> Engine::TopKBatch(
+    std::span<const QuerySpec> specs) const {
+  NC_CHECK(index_ != nullptr) << "call BuildIndex() first";
+  // Two regimes, mirroring MultiIndex::Build: with at least one query per
+  // worker, queries are the unit of concurrency (inner solvers serial);
+  // with a batch smaller than the thread budget, queries run one after
+  // another with their inner parallel loops fanned across all threads.
+  // Either way every query is deterministic, so the answers are identical
+  // in both regimes and to sequential TopK calls.
+  const unsigned threads = util::ResolveThreads(options_.threads);
+  const uint32_t per_query_threads =
+      specs.size() >= threads ? 1 : options_.threads;
+  auto answer = [&](size_t i) {
+    const QuerySpec& spec = specs[i];
+    index::QueryConfig config;
+    config.k = spec.k;
+    config.tau_m = spec.tau_m;
+    config.use_fm_sketch = spec.use_fm;
+    config.existing_services = spec.existing_services;
+    config.threads = per_query_threads;
+    return query_->Tops(spec.psi, config);
+  };
+  if (per_query_threads != 1) {
+    std::vector<index::QueryResult> results;
+    results.reserve(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) results.push_back(answer(i));
+    return results;
+  }
+  return util::ParallelMap<index::QueryResult>(options_.threads, specs.size(),
+                                               answer, /*grain=*/1);
 }
 
 index::QueryResult Engine::TopKWithBudget(
@@ -90,6 +126,7 @@ index::QueryResult Engine::TopKWithBudget(
   NC_CHECK(index_ != nullptr) << "call BuildIndex() first";
   index::QueryConfig config;
   config.tau_m = tau_m;
+  config.threads = options_.threads;
   return query_->TopsCost(psi, config, site_costs, budget);
 }
 
@@ -100,6 +137,7 @@ index::QueryResult Engine::TopKWithCapacity(
   index::QueryConfig config;
   config.k = k;
   config.tau_m = tau_m;
+  config.threads = options_.threads;
   return query_->TopsCapacity(psi, config, site_capacities);
 }
 
@@ -109,7 +147,8 @@ tops::CoverageIndex Engine::BuildCoverage(double tau_m,
   config.tau_m = tau_m;
   config.detour = options_.detour;
   config.memory_budget_bytes = memory_budget_bytes;
-  return tops::CoverageIndex::Build(*store_, sites_, config);
+  config.threads = options_.threads;
+  return tops::CoverageIndex::Build(*store_, *sites_, config);
 }
 
 tops::Selection Engine::ExactGreedy(uint32_t k, double tau_m,
@@ -117,6 +156,7 @@ tops::Selection Engine::ExactGreedy(uint32_t k, double tau_m,
   const tops::CoverageIndex coverage = BuildCoverage(tau_m);
   tops::GreedyConfig config;
   config.k = k;
+  config.threads = options_.threads;
   return IncGreedy(coverage, psi, config);
 }
 
@@ -133,7 +173,7 @@ tops::OptimalResult Engine::ExactOptimal(uint32_t k, double tau_m,
 double Engine::EvaluateExact(const std::vector<tops::SiteId>& selection,
                              double tau_m,
                              const tops::PreferenceFunction& psi) const {
-  return tops::CoverageIndex::EvaluateSelection(*store_, sites_, selection,
+  return tops::CoverageIndex::EvaluateSelection(*store_, *sites_, selection,
                                                 tau_m, psi, options_.detour);
 }
 

@@ -20,6 +20,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,20 @@ class Engine {
     index::MultiIndexConfig index;
     tops::DetourMode detour = tops::DetourMode::kSinglePoint;
     traj::MapMatcherConfig map_matcher;
+    /// Worker threads for the offline build, the exact baselines, and the
+    /// online queries (0 = the NETCLUS_THREADS environment default, which
+    /// itself defaults to 1 — the exact serial behavior). All results are
+    /// bit-identical at any thread count; see docs/parallelism.md.
+    uint32_t threads = 0;
+  };
+
+  /// One TOPS query of a batch (see TopKBatch).
+  struct QuerySpec {
+    uint32_t k = 5;
+    double tau_m = 800.0;
+    tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+    bool use_fm = false;
+    std::vector<tops::SiteId> existing_services;
   };
 
   /// Takes ownership of the network and candidate sites.
@@ -100,6 +115,14 @@ class Engine {
       uint32_t k, double tau_m, const tops::PreferenceFunction& psi,
       const std::vector<double>& site_capacities) const;
 
+  /// Answers a batch of independent TOPS queries concurrently over the
+  /// shared immutable index, using Options::threads workers. Results are in
+  /// input order and identical — query by query — to issuing each spec
+  /// through TopK sequentially. This is the serving entry point: one built
+  /// index, many concurrent (k, τ, ψ) requests.
+  std::vector<index::QueryResult> TopKBatch(
+      std::span<const QuerySpec> specs) const;
+
   // --- exact baselines (no index; build covering sets on demand) ------------
 
   /// Full covering sets at τ (the expensive structure; Sec. 3.2).
@@ -124,15 +147,18 @@ class Engine {
 
   const graph::RoadNetwork& network() const { return *network_; }
   const traj::TrajectoryStore& store() const { return *store_; }
-  const tops::SiteSet& sites() const { return sites_; }
+  const tops::SiteSet& sites() const { return *sites_; }
   const index::MultiIndex& index() const { return *index_; }
   const Options& options() const { return options_; }
 
  private:
   Options options_;
+  // Everything query_ points at lives behind a stable heap address (network,
+  // store, sites), so the implicit move keeps a built Engine's query engine
+  // valid — Engine is safely movable after BuildIndex().
   std::unique_ptr<graph::RoadNetwork> network_;
   std::unique_ptr<traj::TrajectoryStore> store_;
-  tops::SiteSet sites_;
+  std::unique_ptr<tops::SiteSet> sites_;
   std::unique_ptr<traj::MapMatcher> matcher_;
   std::unique_ptr<index::MultiIndex> index_;
   std::unique_ptr<index::QueryEngine> query_;

@@ -5,6 +5,7 @@
 #include "graph/dijkstra.h"
 #include "util/logging.h"
 #include "util/memory.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace netclus::index {
@@ -14,6 +15,40 @@ namespace {
 using graph::NodeId;
 using tops::SiteId;
 using traj::TrajId;
+
+// Per-trajectory TL/CC contribution, computed independently (and so safely
+// in parallel) and committed in trajectory order.
+struct TrajContribution {
+  std::vector<uint32_t> seq;                      // CC(T)
+  std::vector<std::pair<uint32_t, float>> best;   // (cluster, min d_r)
+  size_t raw_postings = 0;
+};
+
+TrajContribution ComputeContribution(const traj::Trajectory& trajectory,
+                                     const std::vector<uint32_t>& node_cluster,
+                                     const std::vector<float>& node_rt) {
+  TrajContribution out;
+  out.raw_postings = trajectory.size();
+  // One TL entry per distinct visited cluster, with the min round trip from
+  // any member node of the trajectory inside that cluster.
+  // Use a local (cluster -> best) map; trajectories touch few clusters.
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    const NodeId v = trajectory.node(i);
+    const uint32_t g = node_cluster[v];
+    const float rt = node_rt[v];
+    if (out.seq.empty() || out.seq.back() != g) out.seq.push_back(g);
+    bool found = false;
+    for (auto& [bg, bd] : out.best) {
+      if (bg == g) {
+        bd = std::min(bd, rt);
+        found = true;
+        break;
+      }
+    }
+    if (!found) out.best.emplace_back(g, rt);
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -41,43 +76,88 @@ ClusterIndex ClusterIndex::Build(const traj::TrajectoryStore& store,
   index.node_cluster_ = std::move(gdsp.assignment);
   index.node_rt_ = std::move(gdsp.rt_to_center);
 
-  // 2. Site membership and representatives.
+  const unsigned threads = util::ResolveThreads(config.threads);
+
+  // 2. Site membership and representatives. Election per cluster touches
+  // only that cluster's record, so clusters run in parallel.
   index.site_removed_.assign(sites.size(), false);
   for (SiteId s = 0; s < sites.size(); ++s) {
     index.clusters_[index.node_cluster_[sites.node(s)]].sites.push_back(s);
   }
-  for (uint32_t g = 0; g < index.clusters_.size(); ++g) {
-    index.ElectRepresentative(store, sites, g, nullptr);
+  util::ParallelFor(threads, index.clusters_.size(),
+                    [&](size_t begin, size_t end) {
+                      for (size_t g = begin; g < end; ++g) {
+                        index.ElectRepresentative(store, sites,
+                                                  static_cast<uint32_t>(g),
+                                                  nullptr);
+                      }
+                    });
+
+  // 3. Trajectory lists TL and compressed cluster sequences CC. The
+  // per-trajectory contributions are independent; the TL appends scatter
+  // across clusters and are committed sequentially in trajectory order, so
+  // the lists are identical to a serial build. Contributions are produced
+  // and committed in fixed windows so the transient footprint stays bounded
+  // instead of holding a private copy of every trajectory's lists at once.
+  constexpr size_t kCommitWindow = 8192;
+  const size_t total = store.total_count();
+  index.cluster_seq_.resize(total);
+  for (size_t base = 0; base < total; base += kCommitWindow) {
+    const size_t count = std::min(kCommitWindow, total - base);
+    std::vector<TrajContribution> contributions =
+        util::ParallelMap<TrajContribution>(threads, count, [&](size_t i) {
+          const TrajId t = static_cast<TrajId>(base + i);
+          if (!store.is_alive(t)) return TrajContribution();
+          return ComputeContribution(store.trajectory(t), index.node_cluster_,
+                                     index.node_rt_);
+        });
+    for (size_t i = 0; i < count; ++i) {
+      const TrajId t = static_cast<TrajId>(base + i);
+      if (!store.is_alive(t)) continue;
+      TrajContribution& c = contributions[i];
+      index.stats_.raw_postings += c.raw_postings;
+      index.stats_.compressed_postings += c.seq.size();
+      index.cluster_seq_[t] = std::move(c.seq);
+      for (const auto& [g, dr] : c.best) index.clusters_[g].tl.push_back({t, dr});
+    }
   }
 
-  // 3. Trajectory lists TL and compressed cluster sequences CC.
-  index.cluster_seq_.resize(store.total_count());
-  for (TrajId t = 0; t < store.total_count(); ++t) {
-    if (!store.is_alive(t)) continue;
-    index.AddTrajectory(store, t);
-  }
-
-  // 4. Neighbor lists CL: centers within round trip 4 R (1 + γ).
+  // 4. Neighbor lists CL: centers within round trip 4 R (1 + γ). Each
+  // cluster's bounded search is independent; chunks carry their own engine.
   const double horizon = 4.0 * config.radius_m * (1.0 + config.gamma);
   std::vector<uint32_t> center_cluster(net.num_nodes(),
                                        std::numeric_limits<uint32_t>::max());
   for (uint32_t g = 0; g < index.clusters_.size(); ++g) {
     center_cluster[index.clusters_[g].center] = g;
   }
-  graph::DijkstraEngine engine(&net);
-  for (uint32_t g = 0; g < index.clusters_.size(); ++g) {
-    const std::vector<graph::RoundTrip> rts =
-        engine.BoundedRoundTrip(index.clusters_[g].center, horizon);
-    auto& cl = index.clusters_[g].cl;
-    for (const graph::RoundTrip& rt : rts) {
-      const uint32_t other = center_cluster[rt.node];
-      if (other == std::numeric_limits<uint32_t>::max() || other == g) continue;
-      cl.push_back({other, static_cast<float>(rt.total())});
-    }
-    std::sort(cl.begin(), cl.end(), [](const ClEntry& a, const ClEntry& b) {
-      return a.dr_m < b.dr_m || (a.dr_m == b.dr_m && a.cluster < b.cluster);
-    });
-  }
+  // Coarse chunks: each carries its own engine with O(num_nodes) arrays,
+  // and a single chunk when this build runs inline (serial, or nested on a
+  // MultiIndex pool worker).
+  const size_t cl_grain = util::CoarseGrain(threads, index.clusters_.size());
+  util::ParallelFor(
+      threads, index.clusters_.size(),
+      [&](size_t begin, size_t end) {
+        graph::DijkstraEngine engine(&net);
+        for (size_t g = begin; g < end; ++g) {
+          const std::vector<graph::RoundTrip> rts =
+              engine.BoundedRoundTrip(index.clusters_[g].center, horizon);
+          auto& cl = index.clusters_[g].cl;
+          for (const graph::RoundTrip& rt : rts) {
+            const uint32_t other = center_cluster[rt.node];
+            if (other == std::numeric_limits<uint32_t>::max() ||
+                other == static_cast<uint32_t>(g)) {
+              continue;
+            }
+            cl.push_back({other, static_cast<float>(rt.total())});
+          }
+          std::sort(cl.begin(), cl.end(),
+                    [](const ClEntry& a, const ClEntry& b) {
+                      return a.dr_m < b.dr_m ||
+                             (a.dr_m == b.dr_m && a.cluster < b.cluster);
+                    });
+        }
+      },
+      cl_grain);
 
   // 5. Stats.
   uint64_t tl_total = 0, cl_total = 0;
@@ -130,32 +210,12 @@ const std::vector<uint32_t>& ClusterIndex::cluster_sequence(TrajId t) const {
 
 void ClusterIndex::AddTrajectory(const traj::TrajectoryStore& store, TrajId t) {
   if (cluster_seq_.size() <= t) cluster_seq_.resize(t + 1);
-  const traj::Trajectory& trajectory = store.trajectory(t);
-  std::vector<uint32_t>& seq = cluster_seq_[t];
-  seq.clear();
-  stats_.raw_postings += trajectory.size();
-
-  // One TL entry per distinct visited cluster, with the min round trip from
-  // any member node of the trajectory inside that cluster.
-  // Use a local (cluster -> best) map; trajectories touch few clusters.
-  std::vector<std::pair<uint32_t, float>> best;  // (cluster, dr)
-  for (size_t i = 0; i < trajectory.size(); ++i) {
-    const NodeId v = trajectory.node(i);
-    const uint32_t g = node_cluster_[v];
-    const float rt = node_rt_[v];
-    if (seq.empty() || seq.back() != g) seq.push_back(g);
-    bool found = false;
-    for (auto& [bg, bd] : best) {
-      if (bg == g) {
-        bd = std::min(bd, rt);
-        found = true;
-        break;
-      }
-    }
-    if (!found) best.emplace_back(g, rt);
-  }
-  stats_.compressed_postings += seq.size();
-  for (const auto& [g, dr] : best) {
+  TrajContribution c =
+      ComputeContribution(store.trajectory(t), node_cluster_, node_rt_);
+  stats_.raw_postings += c.raw_postings;
+  stats_.compressed_postings += c.seq.size();
+  cluster_seq_[t] = std::move(c.seq);
+  for (const auto& [g, dr] : c.best) {
     clusters_[g].tl.push_back({t, dr});
   }
 }

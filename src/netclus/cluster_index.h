@@ -37,6 +37,11 @@ struct ClusterIndexConfig {
   GdspStrategy gdsp_strategy = GdspStrategy::kLazyExact;
   uint32_t fm_copies = 30;
   RepresentativeRule representative_rule = RepresentativeRule::kClosestToCenter;
+  /// Worker threads for the build (0 = NETCLUS_THREADS default). Applies to
+  /// representative election, TL/CC construction, and neighbor-list
+  /// searches — all per-cluster/per-trajectory independent, so the built
+  /// index is identical at every thread count. Runtime-only: not serialized.
+  uint32_t threads = 0;
 };
 
 /// TL entry: trajectory + its round-trip distance to the cluster center.

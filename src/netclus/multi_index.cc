@@ -6,6 +6,7 @@
 #include "graph/dijkstra.h"
 #include "util/logging.h"
 #include "util/memory.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -97,18 +98,42 @@ MultiIndex MultiIndex::Build(const traj::TrajectoryStore& store,
   NC_LOG_INFO << "MultiIndex: tau range [" << tau_min << ", " << tau_max
               << ") m, gamma " << config.gamma << " -> " << t << " instances";
 
+  // Instances are independent builds at different radii. Two regimes:
+  // enough instances to occupy every thread -> one instance per worker
+  // (grain 1, inner loops serial); fewer instances than threads -> build
+  // instances one after another, each fanning its per-cluster loops across
+  // all threads. Either way the full thread budget does useful work, and
+  // each instance build is deterministic, so the index is identical in
+  // both regimes and at every thread count.
+  const unsigned threads = util::ResolveThreads(config.threads);
   const double r0 = tau_min / 4.0;
-  for (uint32_t p = 0; p < t; ++p) {
+  index.instances_.resize(t);
+  auto build_instance = [&](size_t p, uint32_t instance_threads) {
     ClusterIndexConfig instance_config;
-    instance_config.radius_m = r0 * std::pow(1.0 + config.gamma, p);
+    instance_config.radius_m =
+        r0 * std::pow(1.0 + config.gamma, static_cast<double>(p));
     instance_config.gamma = config.gamma;
     instance_config.gdsp_strategy = config.gdsp_strategy;
     instance_config.fm_copies = config.fm_copies;
     instance_config.representative_rule = config.representative_rule;
-    index.instances_.push_back(std::make_unique<ClusterIndex>(
-        ClusterIndex::Build(store, sites, instance_config)));
-    NC_LOG_DEBUG << "  instance " << p << ": R = " << instance_config.radius_m
-                 << " m, clusters = " << index.instances_.back()->num_clusters();
+    instance_config.threads = instance_threads;
+    index.instances_[p] = std::make_unique<ClusterIndex>(
+        ClusterIndex::Build(store, sites, instance_config));
+  };
+  if (t >= threads) {
+    util::ParallelFor(
+        threads, t,
+        [&](size_t begin, size_t end) {
+          for (size_t p = begin; p < end; ++p) build_instance(p, 1);
+        },
+        /*grain=*/1);
+  } else {
+    for (uint32_t p = 0; p < t; ++p) build_instance(p, threads);
+  }
+  for (uint32_t p = 0; p < t; ++p) {
+    NC_LOG_DEBUG << "  instance " << p
+                 << ": R = " << index.instances_[p]->radius_m()
+                 << " m, clusters = " << index.instances_[p]->num_clusters();
   }
   index.build_seconds_ = timer.Seconds();
   return index;

@@ -33,6 +33,13 @@ struct MultiIndexConfig {
   uint32_t fm_copies = 30;
   RepresentativeRule representative_rule = RepresentativeRule::kClosestToCenter;
   uint64_t seed = 99;  ///< for τ range sampling
+  /// Worker threads for the offline build (0 = NETCLUS_THREADS default).
+  /// With at least as many instances as threads, instances build
+  /// concurrently (one per worker); with fewer, instances build one after
+  /// another with the per-cluster loops fanned across all threads. Every
+  /// instance build is deterministic, so the index is identical at any
+  /// thread count. Runtime-only: not serialized.
+  uint32_t threads = 0;
 };
 
 class MultiIndex {

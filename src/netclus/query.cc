@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace netclus::index {
@@ -18,7 +19,7 @@ using traj::TrajId;
 
 tops::CoverageIndex QueryEngine::BuildApproxCoverage(
     double tau_m, size_t instance_id, std::vector<SiteId>* rep_sites,
-    double* build_seconds) const {
+    double* build_seconds, uint32_t threads) const {
   util::WallTimer timer;
   const ClusterIndex& instance = index_->instance(instance_id);
 
@@ -32,52 +33,69 @@ tops::CoverageIndex QueryEngine::BuildApproxCoverage(
     rep_sites->push_back(cluster.representative);
   }
 
-  // T̂C per representative. Scratch: per-trajectory best estimate with
-  // stamping so that clearing is O(1) per representative.
+  // T̂C per representative, chunked over representatives. Scratch (the
+  // per-trajectory best estimate with stamping so that clearing is O(1) per
+  // representative) is private to each chunk, and every representative's
+  // cover depends only on the immutable index, so any chunk layout and
+  // thread count produce the same covers.
+  // Exactly one chunk per worker: the O(num_trajs) scratch arrays are the
+  // dominant setup cost on this latency-critical path, so they must be
+  // allocated at most `threads` times per query (and once when serial,
+  // exactly as before the parallel subsystem).
   const size_t num_trajs = store_->total_count();
-  std::vector<float> best(num_trajs, 0.0f);
-  std::vector<uint32_t> stamp(num_trajs, 0);
-  std::vector<TrajId> touched;
-  uint32_t epoch = 0;
+  const unsigned t = util::ResolveThreads(threads);
+  const size_t grain =
+      util::CoarseGrain(threads, rep_cluster.size(), /*chunks_per_thread=*/1);
 
   std::vector<std::vector<CoverEntry>> covers(rep_cluster.size());
-  for (size_t r = 0; r < rep_cluster.size(); ++r) {
-    const uint32_t gi = rep_cluster[r];
-    const Cluster& home = instance.cluster(gi);
-    ++epoch;
-    touched.clear();
+  util::ParallelFor(
+      t, rep_cluster.size(),
+      [&](size_t chunk_begin, size_t chunk_end) {
+        std::vector<float> best(num_trajs, 0.0f);
+        std::vector<uint32_t> stamp(num_trajs, 0);
+        std::vector<TrajId> touched;
+        uint32_t epoch = 0;
 
-    auto offer = [&](const TlEntry& e, float base) {
-      const float est = e.dr_m + base;
-      if (est > tau_m) return;
-      if (stamp[e.traj] != epoch) {
-        stamp[e.traj] = epoch;
-        best[e.traj] = est;
-        touched.push_back(e.traj);
-      } else if (est < best[e.traj]) {
-        best[e.traj] = est;
-      }
-    };
+        for (size_t r = chunk_begin; r < chunk_end; ++r) {
+          const uint32_t gi = rep_cluster[r];
+          const Cluster& home = instance.cluster(gi);
+          ++epoch;
+          touched.clear();
 
-    // Home cluster: d̂_r = d_r(T, c_i) + d_r(c_i, r_i).
-    for (const TlEntry& e : home.tl) {
-      if (!store_->is_alive(e.traj)) continue;
-      offer(e, home.rep_rt_m);
-    }
-    // Neighbor clusters: d̂_r = d_r(T, c_j) + d_r(c_j, c_i) + d_r(c_i, r_i).
-    for (const ClEntry& nb : home.cl) {
-      const float base = nb.dr_m + home.rep_rt_m;
-      if (base > tau_m) break;  // CL is distance-sorted: all later are worse
-      for (const TlEntry& e : instance.cluster(nb.cluster).tl) {
-        if (!store_->is_alive(e.traj)) continue;
-        offer(e, base);
-      }
-    }
+          auto offer = [&](const TlEntry& e, float base) {
+            const float est = e.dr_m + base;
+            if (est > tau_m) return;
+            if (stamp[e.traj] != epoch) {
+              stamp[e.traj] = epoch;
+              best[e.traj] = est;
+              touched.push_back(e.traj);
+            } else if (est < best[e.traj]) {
+              best[e.traj] = est;
+            }
+          };
 
-    auto& cover = covers[r];
-    cover.reserve(touched.size());
-    for (TrajId t : touched) cover.push_back({t, best[t]});
-  }
+          // Home cluster: d̂_r = d_r(T, c_i) + d_r(c_i, r_i).
+          for (const TlEntry& e : home.tl) {
+            if (!store_->is_alive(e.traj)) continue;
+            offer(e, home.rep_rt_m);
+          }
+          // Neighbor clusters:
+          // d̂_r = d_r(T, c_j) + d_r(c_j, c_i) + d_r(c_i, r_i).
+          for (const ClEntry& nb : home.cl) {
+            const float base = nb.dr_m + home.rep_rt_m;
+            if (base > tau_m) break;  // CL is distance-sorted: rest are worse
+            for (const TlEntry& e : instance.cluster(nb.cluster).tl) {
+              if (!store_->is_alive(e.traj)) continue;
+              offer(e, base);
+            }
+          }
+
+          auto& cover = covers[r];
+          cover.reserve(touched.size());
+          for (TrajId traj : touched) cover.push_back({traj, best[traj]});
+        }
+      },
+      grain);
   if (build_seconds != nullptr) *build_seconds = timer.Seconds();
   return tops::CoverageIndex::FromCovers(std::move(covers), num_trajs,
                                          store_->live_count(), tau_m);
@@ -114,8 +132,8 @@ QueryResult QueryEngine::Tops(const tops::PreferenceFunction& psi,
   const size_t p = index_->InstanceFor(config.tau_m);
   std::vector<SiteId> rep_sites;
   double cover_seconds = 0.0;
-  const tops::CoverageIndex approx =
-      BuildApproxCoverage(config.tau_m, p, &rep_sites, &cover_seconds);
+  const tops::CoverageIndex approx = BuildApproxCoverage(
+      config.tau_m, p, &rep_sites, &cover_seconds, config.threads);
 
   // Map existing services to their clusters' representatives.
   std::unordered_map<SiteId, SiteId> rep_index_of;
@@ -131,15 +149,20 @@ QueryResult QueryEngine::Tops(const tops::PreferenceFunction& psi,
   }
 
   tops::Selection clustered;
-  if (config.use_fm_sketch && psi.is_binary()) {
+  if (config.use_fm_sketch && psi.is_binary() && existing_reps.empty()) {
     tops::FmGreedyConfig fm_config;
     fm_config.k = config.k;
     fm_config.num_sketches = config.fm_copies;
     clustered = FmGreedy(approx, fm_config).selection;
   } else {
+    if (config.use_fm_sketch && psi.is_binary()) {
+      NC_LOG_WARNING << "Tops: FM-greedy has no existing-services support; "
+                        "falling back to Inc-Greedy so ES is respected";
+    }
     tops::GreedyConfig greedy_config;
     greedy_config.k = config.k;
     greedy_config.existing_services = existing_reps;
+    greedy_config.threads = config.threads;
     clustered = IncGreedy(approx, psi, greedy_config);
   }
   return FinishResult(clustered, rep_sites, approx, p, cover_seconds,
@@ -155,8 +178,8 @@ QueryResult QueryEngine::TopsCost(const tops::PreferenceFunction& psi,
   const size_t p = index_->InstanceFor(config.tau_m);
   std::vector<SiteId> rep_sites;
   double cover_seconds = 0.0;
-  const tops::CoverageIndex approx =
-      BuildApproxCoverage(config.tau_m, p, &rep_sites, &cover_seconds);
+  const tops::CoverageIndex approx = BuildApproxCoverage(
+      config.tau_m, p, &rep_sites, &cover_seconds, config.threads);
 
   tops::CostConfig cost_config;
   cost_config.budget = budget;
@@ -175,8 +198,8 @@ QueryResult QueryEngine::TopsCapacity(
   const size_t p = index_->InstanceFor(config.tau_m);
   std::vector<SiteId> rep_sites;
   double cover_seconds = 0.0;
-  const tops::CoverageIndex approx =
-      BuildApproxCoverage(config.tau_m, p, &rep_sites, &cover_seconds);
+  const tops::CoverageIndex approx = BuildApproxCoverage(
+      config.tau_m, p, &rep_sites, &cover_seconds, config.threads);
 
   tops::CapacityConfig capacity_config;
   capacity_config.k = config.k;

@@ -27,11 +27,18 @@ namespace netclus::index {
 struct QueryConfig {
   uint32_t k = 5;
   double tau_m = 800.0;
-  bool use_fm_sketch = false;  ///< FMNETCLUS: FM-greedy on representatives
+  /// FMNETCLUS: FM-greedy on representatives (binary ψ only). FM-greedy has
+  /// no existing-services support, so a query with both falls back to
+  /// Inc-Greedy (with a warning) rather than silently ignoring ES.
+  bool use_fm_sketch = false;
   uint32_t fm_copies = 30;
   /// Existing services (Sec. 7.3), as site ids; each is mapped to its
   /// cluster's representative in the clustered space.
   std::vector<tops::SiteId> existing_services;
+  /// Worker threads for T̂C construction and the greedy argmax scans
+  /// (0 = NETCLUS_THREADS default). Results are identical at any thread
+  /// count; see docs/parallelism.md.
+  uint32_t threads = 0;
 };
 
 struct QueryResult {
@@ -67,10 +74,13 @@ class QueryEngine {
 
   /// Builds the clustered-space coverage (T̂C per representative) for a τ.
   /// Exposed for tests; `rep_sites` receives the representative SiteId per
-  /// clustered-space index.
+  /// clustered-space index. Each representative's cover is computed
+  /// independently, so `threads` (0 = NETCLUS_THREADS default, like every
+  /// other knob) never changes the result.
   tops::CoverageIndex BuildApproxCoverage(double tau_m, size_t instance,
                                           std::vector<tops::SiteId>* rep_sites,
-                                          double* build_seconds) const;
+                                          double* build_seconds,
+                                          uint32_t threads = 0) const;
 
  private:
   const MultiIndex* index_;

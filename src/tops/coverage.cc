@@ -1,9 +1,11 @@
 #include "tops/coverage.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace netclus::tops {
@@ -54,6 +56,99 @@ struct PairwiseLegs {
   std::vector<std::pair<uint32_t, float>> fwd_legs;  // (pos, d(s,v))
 };
 
+// Per-worker scratch for the site loop: every site's covering set is
+// computed with private state, so sites can be processed in any order (and
+// concurrently) with identical results.
+struct SiteScratch {
+  explicit SiteScratch(const graph::RoadNetwork* net, size_t num_trajs)
+      : engine(net), detour(num_trajs) {}
+  graph::DijkstraEngine engine;
+  MinDetourScratch detour;
+  std::unordered_map<TrajId, PairwiseLegs> legs;
+};
+
+// Computes TC(s) into `tc` (sorted by ascending distance) and returns the
+// number of Dijkstra-settled nodes.
+uint64_t ComputeSiteCover(const traj::TrajectoryStore& store,
+                          const SiteSet& sites, const CoverageConfig& config,
+                          SiteScratch& scratch, SiteId s,
+                          std::vector<CoverEntry>& tc) {
+  const NodeId site_node = sites.node(s);
+  uint64_t settled = 0;
+  scratch.detour.NewSite();
+
+  if (config.detour == DetourMode::kSinglePoint) {
+    const std::vector<graph::RoundTrip> rts =
+        scratch.engine.BoundedRoundTrip(site_node, config.tau_m);
+    settled += scratch.engine.last_settled_count();
+    for (const graph::RoundTrip& rt : rts) {
+      for (const traj::Posting& posting : store.postings(rt.node)) {
+        if (!store.is_alive(posting.traj)) continue;
+        scratch.detour.Offer(posting.traj, static_cast<float>(rt.total()));
+      }
+    }
+  } else {
+    // Pairwise: both legs must individually fit in τ.
+    scratch.legs.clear();
+    const std::vector<graph::Settled> fwd = scratch.engine.BoundedSearch(
+        site_node, config.tau_m, graph::Direction::kForward);
+    settled += scratch.engine.last_settled_count();
+    const std::vector<graph::Settled> rev = scratch.engine.BoundedSearch(
+        site_node, config.tau_m, graph::Direction::kReverse);
+    settled += scratch.engine.last_settled_count();
+    for (const graph::Settled& st : rev) {
+      // rev search distance = d(node, site): the "leave" leg.
+      for (const traj::Posting& p : store.postings(st.node)) {
+        if (!store.is_alive(p.traj)) continue;
+        scratch.legs[p.traj].rev_legs.emplace_back(p.pos,
+                                                   static_cast<float>(st.distance));
+      }
+    }
+    for (const graph::Settled& st : fwd) {
+      // fwd search distance = d(site, node): the "rejoin" leg.
+      for (const traj::Posting& p : store.postings(st.node)) {
+        if (!store.is_alive(p.traj)) continue;
+        scratch.legs[p.traj].fwd_legs.emplace_back(p.pos,
+                                                   static_cast<float>(st.distance));
+      }
+    }
+    for (auto& [t, l] : scratch.legs) {
+      const traj::Trajectory& trajectory = store.trajectory(t);
+      std::sort(l.rev_legs.begin(), l.rev_legs.end());
+      std::sort(l.fwd_legs.begin(), l.fwd_legs.end());
+      // Sweep rejoin positions in order, keeping the best leave <= rejoin.
+      double best = graph::kInfDistance;
+      size_t ri = 0;
+      double best_leave = graph::kInfDistance;  // min rev + prefix
+      for (const auto& [pos, fwd_d] : l.fwd_legs) {
+        while (ri < l.rev_legs.size() && l.rev_legs[ri].first <= pos) {
+          const double leave =
+              l.rev_legs[ri].second + trajectory.prefix(l.rev_legs[ri].first);
+          best_leave = std::min(best_leave, leave);
+          ++ri;
+        }
+        if (best_leave == graph::kInfDistance) continue;
+        const double detour = best_leave + fwd_d - trajectory.prefix(pos);
+        best = std::min(best, detour);
+      }
+      if (best != graph::kInfDistance) {
+        scratch.detour.Offer(t, static_cast<float>(std::max(0.0, best)));
+      }
+    }
+  }
+
+  tc.clear();
+  tc.reserve(scratch.detour.touched().size());
+  for (TrajId t : scratch.detour.touched()) {
+    const float dr = scratch.detour.best(t);
+    if (dr <= config.tau_m) tc.push_back({t, dr});
+  }
+  std::sort(tc.begin(), tc.end(), [](const CoverEntry& a, const CoverEntry& b) {
+    return a.dr_m < b.dr_m || (a.dr_m == b.dr_m && a.id < b.id);
+  });
+  return settled;
+}
+
 }  // namespace
 
 CoverageIndex CoverageIndex::Build(const traj::TrajectoryStore& store,
@@ -66,110 +161,70 @@ CoverageIndex CoverageIndex::Build(const traj::TrajectoryStore& store,
   util::MemoryBudget budget(config.memory_budget_bytes);
 
   const graph::RoadNetwork& net = store.network();
-  graph::DijkstraEngine engine(&net);
   const size_t num_trajs = store.total_count();
   index.tc_.resize(sites.size());
   index.sc_.resize(num_trajs);
 
-  MinDetourScratch scratch(num_trajs);
-  // Pairwise-mode scratch, allocated lazily.
-  std::unordered_map<TrajId, PairwiseLegs> legs;
+  // The memory-budget cutoff is defined by sequential site order, so a
+  // nonzero budget forces the serial path (Table 9's OOM semantics).
+  const unsigned threads =
+      config.memory_budget_bytes > 0 ? 1 : util::ResolveThreads(config.threads);
 
-  for (SiteId s = 0; s < sites.size(); ++s) {
-    const NodeId site_node = sites.node(s);
-    scratch.NewSite();
-
-    if (config.detour == DetourMode::kSinglePoint) {
-      const std::vector<graph::RoundTrip> rts =
-          engine.BoundedRoundTrip(site_node, config.tau_m);
-      index.stats_.settled_nodes += engine.last_settled_count();
-      for (const graph::RoundTrip& rt : rts) {
-        for (const traj::Posting& posting : store.postings(rt.node)) {
-          if (!store.is_alive(posting.traj)) continue;
-          scratch.Offer(posting.traj, static_cast<float>(rt.total()));
-        }
+  if (threads <= 1) {
+    SiteScratch scratch(&net, num_trajs);
+    for (SiteId s = 0; s < sites.size(); ++s) {
+      index.stats_.settled_nodes +=
+          ComputeSiteCover(store, sites, config, scratch, s, index.tc_[s]);
+      index.stats_.cover_entries += index.tc_[s].size();
+      if (!budget.Charge(index.tc_[s].size() * sizeof(CoverEntry) * 2 + 64)) {
+        index.oom_ = true;
+        index.tc_.clear();
+        index.sc_.clear();
+        index.stats_.build_seconds = timer.Seconds();
+        NC_LOG_WARNING << "CoverageIndex: memory budget ("
+                       << util::HumanBytes(budget.limit_bytes())
+                       << ") exceeded at site " << s << "/" << sites.size();
+        return index;
       }
-    } else {
-      // Pairwise: both legs must individually fit in τ.
-      legs.clear();
-      const std::vector<graph::Settled> fwd =
-          engine.BoundedSearch(site_node, config.tau_m, graph::Direction::kForward);
-      index.stats_.settled_nodes += engine.last_settled_count();
-      const std::vector<graph::Settled> rev =
-          engine.BoundedSearch(site_node, config.tau_m, graph::Direction::kReverse);
-      index.stats_.settled_nodes += engine.last_settled_count();
-      for (const graph::Settled& st : rev) {
-        // rev search distance = d(node, site): the "leave" leg.
-        for (const traj::Posting& p : store.postings(st.node)) {
-          if (!store.is_alive(p.traj)) continue;
-          legs[p.traj].rev_legs.emplace_back(p.pos, static_cast<float>(st.distance));
-        }
-      }
-      for (const graph::Settled& st : fwd) {
-        // fwd search distance = d(site, node): the "rejoin" leg.
-        for (const traj::Posting& p : store.postings(st.node)) {
-          if (!store.is_alive(p.traj)) continue;
-          legs[p.traj].fwd_legs.emplace_back(p.pos, static_cast<float>(st.distance));
-        }
-      }
-      for (auto& [t, l] : legs) {
-        const traj::Trajectory& trajectory = store.trajectory(t);
-        std::sort(l.rev_legs.begin(), l.rev_legs.end());
-        std::sort(l.fwd_legs.begin(), l.fwd_legs.end());
-        // Sweep rejoin positions in order, keeping the best leave <= rejoin.
-        double best = graph::kInfDistance;
-        size_t ri = 0;
-        double best_leave = graph::kInfDistance;  // min rev + prefix
-        for (const auto& [pos, fwd_d] : l.fwd_legs) {
-          while (ri < l.rev_legs.size() && l.rev_legs[ri].first <= pos) {
-            const double leave =
-                l.rev_legs[ri].second + trajectory.prefix(l.rev_legs[ri].first);
-            best_leave = std::min(best_leave, leave);
-            ++ri;
+    }
+  } else {
+    std::atomic<uint64_t> settled{0};
+    // Coarse chunks: each carries its own Dijkstra engine + scratch (O(nodes)
+    // to set up), so ~4 chunks per thread amortizes that without skew — and
+    // a single chunk when this call would execute inline anyway.
+    const size_t grain = util::CoarseGrain(threads, sites.size());
+    util::ParallelFor(
+        threads, sites.size(),
+        [&](size_t begin, size_t end) {
+          SiteScratch scratch(&net, num_trajs);
+          uint64_t local_settled = 0;
+          for (size_t s = begin; s < end; ++s) {
+            local_settled += ComputeSiteCover(store, sites, config, scratch,
+                                              static_cast<SiteId>(s), index.tc_[s]);
           }
-          if (best_leave == graph::kInfDistance) continue;
-          const double detour = best_leave + fwd_d - trajectory.prefix(pos);
-          best = std::min(best, detour);
-        }
-        if (best != graph::kInfDistance) {
-          scratch.Offer(t, static_cast<float>(std::max(0.0, best)));
-        }
-      }
-    }
-
-    auto& tc = index.tc_[s];
-    tc.reserve(scratch.touched().size());
-    for (TrajId t : scratch.touched()) {
-      const float dr = scratch.best(t);
-      if (dr <= config.tau_m) tc.push_back({t, dr});
-    }
-    std::sort(tc.begin(), tc.end(), [](const CoverEntry& a, const CoverEntry& b) {
-      return a.dr_m < b.dr_m || (a.dr_m == b.dr_m && a.id < b.id);
-    });
-    index.stats_.cover_entries += tc.size();
-    if (!budget.Charge(tc.size() * sizeof(CoverEntry) * 2 + 64)) {
-      index.oom_ = true;
-      index.tc_.clear();
-      index.sc_.clear();
-      index.stats_.build_seconds = timer.Seconds();
-      NC_LOG_WARNING << "CoverageIndex: memory budget ("
-                     << util::HumanBytes(budget.limit_bytes())
-                     << ") exceeded at site " << s << "/" << sites.size();
-      return index;
-    }
+          settled.fetch_add(local_settled, std::memory_order_relaxed);
+        },
+        grain);
+    index.stats_.settled_nodes = settled.load();
+    for (const auto& tc : index.tc_) index.stats_.cover_entries += tc.size();
   }
 
-  // Inverse view SC, also sorted by ascending distance.
+  // Inverse view SC, also sorted by ascending distance. The fill stays
+  // sequential (it scatters across trajectories); the sorts are independent
+  // per trajectory.
   for (SiteId s = 0; s < index.tc_.size(); ++s) {
     for (const CoverEntry& e : index.tc_[s]) {
       index.sc_[e.id].push_back({s, e.dr_m});
     }
   }
-  for (auto& sc : index.sc_) {
-    std::sort(sc.begin(), sc.end(), [](const CoverEntry& a, const CoverEntry& b) {
-      return a.dr_m < b.dr_m || (a.dr_m == b.dr_m && a.id < b.id);
-    });
-  }
+  util::ParallelFor(threads, index.sc_.size(), [&](size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      std::sort(index.sc_[t].begin(), index.sc_[t].end(),
+                [](const CoverEntry& a, const CoverEntry& b) {
+                  return a.dr_m < b.dr_m || (a.dr_m == b.dr_m && a.id < b.id);
+                });
+    }
+  });
   index.stats_.build_seconds = timer.Seconds();
   return index;
 }

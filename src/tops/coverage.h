@@ -45,6 +45,11 @@ struct CoverageConfig {
   /// Optional analytic memory budget; when exceeded the build aborts and
   /// Build() returns an index with oom() == true (Table 9's cutoff).
   uint64_t memory_budget_bytes = 0;
+  /// Worker threads for the per-site searches (0 = NETCLUS_THREADS default).
+  /// Each site's covering set is computed independently, so the result is
+  /// identical at any thread count. A nonzero memory budget forces the
+  /// serial path: the budget cutoff is defined by sequential site order.
+  uint32_t threads = 0;
 };
 
 /// One covering entry: trajectory (or site, in the inverse view) + d_r.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace netclus::tops {
@@ -16,16 +17,22 @@ namespace {
 // marginal[s_i] -= max(0, ψ - old) - max(0, ψ - new).
 class GreedyState {
  public:
-  GreedyState(const CoverageIndex& coverage, const PreferenceFunction& psi)
-      : coverage_(coverage), psi_(psi), tau_(coverage.tau_m()) {
+  GreedyState(const CoverageIndex& coverage, const PreferenceFunction& psi,
+              unsigned threads, size_t argmax_serial_cutoff)
+      : coverage_(coverage), psi_(psi), tau_(coverage.tau_m()),
+        threads_(threads), argmax_serial_cutoff_(argmax_serial_cutoff) {
     const size_t n = coverage.num_sites();
     weight_.resize(n);
     marginal_.resize(n);
     selected_.assign(n, false);
-    for (SiteId s = 0; s < n; ++s) {
-      weight_[s] = coverage.SiteWeight(s, psi);
-      marginal_[s] = weight_[s];
-    }
+    // Each site's weight is an independent sum over its own covering set, so
+    // the pass parallelizes without any cross-site floating-point mixing.
+    util::ParallelFor(threads_, n, [&](size_t begin, size_t end) {
+      for (size_t s = begin; s < end; ++s) {
+        weight_[s] = coverage.SiteWeight(static_cast<SiteId>(s), psi);
+        marginal_[s] = weight_[s];
+      }
+    });
     utility_.assign(coverage.num_trajectories(), 0.0);
   }
 
@@ -55,22 +62,39 @@ class GreedyState {
 
   /// Site with maximal marginal utility; ties broken by maximal weight,
   /// then maximal index (Sec. 3.3). kInvalidSite when none remain.
+  ///
+  /// (marginal, weight, id) is a total order over unselected sites, so the
+  /// argmax is associative: each chunk reports its own winner and the
+  /// winners are folded in ascending chunk order with the exact serial
+  /// tie-break — the result is bit-identical to the serial scan at every
+  /// thread count. Small scans (a few thousand doubles — the typical
+  /// clustered query space) stay serial: a pool dispatch per greedy round
+  /// would cost more than the scan itself.
   SiteId ArgMaxMarginal() const {
-    SiteId best = kInvalidSite;
-    for (SiteId s = 0; s < marginal_.size(); ++s) {
-      if (selected_[s]) continue;
-      if (best == kInvalidSite) {
-        best = s;
-        continue;
+    auto better = [this](SiteId challenger, SiteId best) {
+      if (best == kInvalidSite) return true;
+      return marginal_[challenger] > marginal_[best] ||
+             (marginal_[challenger] == marginal_[best] &&
+              (weight_[challenger] > weight_[best] ||
+               (weight_[challenger] == weight_[best] && challenger > best)));
+    };
+    auto scan = [&](size_t begin, size_t end) {
+      SiteId best = kInvalidSite;
+      for (size_t s = begin; s < end; ++s) {
+        if (selected_[s]) continue;
+        if (better(static_cast<SiteId>(s), best)) best = static_cast<SiteId>(s);
       }
-      if (marginal_[s] > marginal_[best] ||
-          (marginal_[s] == marginal_[best] &&
-           (weight_[s] > weight_[best] ||
-            (weight_[s] == weight_[best] && s > best)))) {
-        best = s;
-      }
+      return best;
+    };
+    if (marginal_.size() <= argmax_serial_cutoff_) {
+      return scan(0, marginal_.size());
     }
-    return best;
+    return util::ParallelReduce<SiteId>(
+        threads_, marginal_.size(), kInvalidSite, scan,
+        [&](SiteId acc, SiteId chunk_best) {
+          if (chunk_best == kInvalidSite) return acc;
+          return better(chunk_best, acc) ? chunk_best : acc;
+        });
   }
 
   double marginal(SiteId s) const { return marginal_[s]; }
@@ -80,6 +104,8 @@ class GreedyState {
   const CoverageIndex& coverage_;
   const PreferenceFunction& psi_;
   double tau_;
+  unsigned threads_;
+  size_t argmax_serial_cutoff_;
   std::vector<double> weight_;
   std::vector<double> marginal_;
   std::vector<double> utility_;
@@ -94,7 +120,8 @@ Selection IncGreedy(const CoverageIndex& coverage, const PreferenceFunction& psi
   NC_CHECK(!coverage.oom()) << "IncGreedy on an OOM coverage index";
   util::WallTimer timer;
   Selection result;
-  GreedyState state(coverage, psi);
+  GreedyState state(coverage, psi, util::ResolveThreads(config.threads),
+                    config.argmax_serial_cutoff);
 
   for (SiteId es : config.existing_services) {
     NC_CHECK_LT(es, coverage.num_sites());

@@ -21,6 +21,18 @@ struct GreedyConfig {
   /// Existing service locations ES (Sec. 7.3): treated as already selected;
   /// not counted against k and not reported in Selection::sites.
   std::vector<SiteId> existing_services;
+  /// Worker threads for the per-round marginal-gain scan and the initial
+  /// site-weight pass (0 = NETCLUS_THREADS default). The argmax tie-break
+  /// (marginal, then weight, then site id) is a total order evaluated
+  /// chunk-by-chunk in ascending order, so selections are bit-identical to
+  /// the serial path at every thread count.
+  uint32_t threads = 0;
+  /// Site counts at or below this use the serial argmax scan even when
+  /// `threads` > 1 — a pool dispatch per greedy round costs more than
+  /// scanning a few thousand doubles. Purely a performance heuristic (the
+  /// chunked argmax is exactly equivalent); tests set it to 0 to force the
+  /// parallel fold on small corpora.
+  size_t argmax_serial_cutoff = 16384;
 };
 
 /// Result of any TOPS solver in this library.

@@ -36,4 +36,11 @@ bool GetEnvBool(const char* name, bool def) {
 
 double DatasetScale() { return GetEnvDouble("NETCLUS_SCALE", 1.0); }
 
+unsigned ThreadCount() {
+  const int64_t env = GetEnvInt("NETCLUS_THREADS", 1);
+  if (env < 1) return 1;
+  return static_cast<unsigned>(
+      env > static_cast<int64_t>(kMaxThreads) ? kMaxThreads : env);
+}
+
 }  // namespace netclus::util

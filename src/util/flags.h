@@ -27,6 +27,15 @@ bool GetEnvBool(const char* name, bool def);
 /// generators multiply node/trajectory counts by this.
 double DatasetScale();
 
+/// Hard ceiling on any thread count, env-configured or API-configured: a
+/// config typo must not become an unbounded std::thread spawn.
+inline constexpr unsigned kMaxThreads = 256;
+
+/// Global worker-thread default (NETCLUS_THREADS, default 1 = serial,
+/// clamped to [1, kMaxThreads]). Every `threads = 0` knob in the library
+/// resolves to this.
+unsigned ThreadCount();
+
 }  // namespace netclus::util
 
 #endif  // NETCLUS_UTIL_FLAGS_H_

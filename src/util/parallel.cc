@@ -1,0 +1,184 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <exception>
+#include <memory>
+
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace netclus::util {
+
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  num_threads = std::max(1u, num_threads);
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NC_CHECK(!stop_) << "Submit on a stopped ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_on_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::OnWorkerThread() { return tls_on_worker; }
+
+unsigned DefaultThreads() {
+  static const unsigned threads = ThreadCount();
+  return threads;
+}
+
+unsigned ResolveThreads(unsigned threads) {
+  if (threads == 0) return DefaultThreads();
+  return std::min(threads, kMaxThreads);
+}
+
+bool RunsInline(unsigned threads) {
+  return ResolveThreads(threads) <= 1 || ThreadPool::OnWorkerThread();
+}
+
+size_t CoarseGrain(unsigned threads, size_t n, unsigned chunks_per_thread) {
+  if (n == 0) return 1;
+  if (RunsInline(threads)) return n;
+  const size_t target_chunks = static_cast<size_t>(ResolveThreads(threads)) *
+                               std::max(1u, chunks_per_thread);
+  return std::max<size_t>(1, (n + target_chunks - 1) / target_chunks);
+}
+
+size_t EffectiveGrain(size_t n, size_t grain) {
+  if (grain > 0) return grain;
+  return std::max<size_t>(1, (n + 63) / 64);
+}
+
+namespace {
+
+// Process-wide pool backing the helpers. When a call asks for more
+// concurrency than the newest pool offers, a larger pool is created and the
+// old one is *retired*, not destroyed: callers that grabbed it earlier (or
+// are mid-flight on its workers) keep a valid pool, and nobody blocks
+// joining busy workers. New pools are sized to the next power of two (up to
+// kMaxThreads), so even a pathological sequence of growing requests retires
+// only O(log kMaxThreads) pools; all are joined at static destruction.
+ThreadPool* SharedPool(unsigned min_size) {
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<ThreadPool>> pools;
+  std::lock_guard<std::mutex> lock(mu);
+  if (pools.empty() || pools.back()->size() < min_size) {
+    const unsigned size = std::min(
+        kMaxThreads, std::bit_ceil(std::max(min_size, DefaultThreads())));
+    pools.push_back(std::make_unique<ThreadPool>(size));
+  }
+  return pools.back().get();
+}
+
+struct ForState {
+  std::atomic<size_t> next_chunk{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t pending_tasks = 0;
+  std::exception_ptr error;
+  size_t error_chunk = static_cast<size_t>(-1);
+};
+
+}  // namespace
+
+void ParallelFor(unsigned threads, size_t n,
+                 const std::function<void(size_t, size_t)>& body,
+                 size_t grain) {
+  if (n == 0) return;
+  const size_t g = EffectiveGrain(n, grain);
+  const size_t num_chunks = (n + g - 1) / g;
+  const unsigned resolved = ResolveThreads(threads);
+  const unsigned t = static_cast<unsigned>(std::min<size_t>(resolved, num_chunks));
+
+  if (t <= 1 || num_chunks <= 1 || ThreadPool::OnWorkerThread()) {
+    for (size_t c = 0; c < num_chunks; ++c) {
+      body(c * g, std::min(n, (c + 1) * g));
+    }
+    return;
+  }
+
+  ForState state;
+  auto run_chunks = [&] {
+    // Stop claiming new chunks once any chunk has thrown, matching the
+    // inline path's abort-at-first-throw behavior (in-flight chunks on
+    // other workers still finish).
+    while (!state.failed.load(std::memory_order_relaxed)) {
+      const size_t c = state.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      try {
+        body(c * g, std::min(n, (c + 1) * g));
+      } catch (...) {
+        state.failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (c < state.error_chunk) {
+          state.error_chunk = c;
+          state.error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  // Size the pool by the resolved thread count, not the chunk-capped
+  // executor count: pool size then stays monotone per configuration instead
+  // of retiring a pool for every distinct chunk count encountered.
+  ThreadPool* pool = SharedPool(resolved);
+  const unsigned helpers = t - 1;  // the caller is the t-th executor
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.pending_tasks = helpers;
+  }
+  for (unsigned i = 0; i < helpers; ++i) {
+    pool->Submit([&state, &run_chunks] {
+      run_chunks();
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (--state.pending_tasks == 0) state.done_cv.notify_one();
+    });
+  }
+  run_chunks();
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done_cv.wait(lock, [&state] { return state.pending_tasks == 0; });
+  }
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace netclus::util

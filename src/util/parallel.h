@@ -1,0 +1,149 @@
+// Deterministic parallel execution: a fixed-size ThreadPool plus chunked
+// ParallelFor / ParallelMap / ParallelReduce helpers.
+//
+// Scheduling contract (docs/parallelism.md):
+//  * Work over [0, n) is split into chunks of a fixed grain. The chunk
+//    layout depends only on (n, grain) — never on the thread count — so a
+//    ParallelReduce with a fixed grain combines partial results in the same
+//    order at 1 thread and at 64 threads, and floating-point results are
+//    bit-identical across thread counts.
+//  * Chunks may execute in any order and on any worker, but every helper
+//    commits results in ascending chunk order (ParallelMap writes to
+//    pre-sized slots; ParallelReduce combines partials left to right).
+//  * A helper invoked on a pool worker thread runs inline (sequentially, in
+//    chunk order). This makes nesting safe — an outer parallel loop over
+//    index instances can call code with inner parallel loops — without
+//    deadlocking the pool.
+//  * Exceptions thrown by a body are captured and rethrown on the calling
+//    thread; once any chunk throws, unclaimed chunks are not started.
+//    Chunks are claimed in ascending order, so every chunk below a throwing
+//    chunk still runs — the exception of the lowest-numbered throwing chunk
+//    wins (again independent of thread count).
+//
+// The thread count convention used across the library: `threads == 0` means
+// "use the NETCLUS_THREADS environment default" (itself defaulting to 1),
+// and `threads == 1` is exactly the serial code path.
+#ifndef NETCLUS_UTIL_PARALLEL_H_
+#define NETCLUS_UTIL_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace netclus::util {
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue.
+/// Destruction drains the queue: tasks already submitted all run before the
+/// workers join.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues a task. Must not be called during/after destruction.
+  void Submit(std::function<void()> task);
+
+  /// True when the calling thread is a worker of *any* ThreadPool. The
+  /// parallel helpers use this to run inline instead of re-entering a pool.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The NETCLUS_THREADS environment default (>= 1; unset means 1, i.e. the
+/// serial behavior of the library before the parallel subsystem existed).
+unsigned DefaultThreads();
+
+/// Resolves the 0-means-default convention: 0 -> DefaultThreads(). Explicit
+/// counts are clamped to 256, same as the environment default — a config
+/// typo must not translate into an unbounded std::thread spawn.
+unsigned ResolveThreads(unsigned threads);
+
+/// True when a parallel helper called here with `threads` would execute
+/// inline (serial resolution, or already on a pool worker). Callers with
+/// expensive per-chunk setup (Dijkstra engines, O(n) scratch) use this to
+/// collapse to a single chunk in the inline case.
+bool RunsInline(unsigned threads);
+
+/// Grain for loops whose chunks carry expensive setup (a Dijkstra engine,
+/// O(n) scratch arrays): one chunk when the call would run inline, else
+/// ~`chunks_per_thread` chunks per worker. Results must not depend on the
+/// chunk layout when using this (true of every such loop in this repo),
+/// since the layout varies with the thread count.
+size_t CoarseGrain(unsigned threads, size_t n, unsigned chunks_per_thread = 4);
+
+/// Chunk grain actually used for `n` items: `grain` when positive, else a
+/// default that depends only on `n` (targets ~64 chunks). Exposed so tests
+/// can pin the layout.
+size_t EffectiveGrain(size_t n, size_t grain);
+
+/// Runs `body(begin, end)` over consecutive chunks covering [0, n).
+/// Sequential (in ascending chunk order) when `threads` resolves to 1, when
+/// there is a single chunk, or when called from a pool worker; otherwise the
+/// chunks are executed by a shared pool plus the calling thread.
+void ParallelFor(unsigned threads, size_t n,
+                 const std::function<void(size_t begin, size_t end)>& body,
+                 size_t grain = 0);
+
+/// Maps `fn(i)` over [0, n) into a vector in index order (stable regardless
+/// of thread count).
+template <typename T, typename MapFn>
+std::vector<T> ParallelMap(unsigned threads, size_t n, MapFn&& fn,
+                           size_t grain = 0) {
+  // std::vector<bool> packs elements into shared words, so concurrent
+  // per-slot writes would race; map to uint8_t instead.
+  static_assert(!std::is_same_v<T, bool>,
+                "ParallelMap<bool> races on vector<bool>'s packed storage");
+  std::vector<T> out(n);
+  ParallelFor(
+      threads, n,
+      [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) out[i] = fn(i);
+      },
+      grain);
+  return out;
+}
+
+/// Chunked reduction: `chunk_fn(begin, end) -> T` per chunk, partials
+/// combined with `combine(acc, partial)` in ascending chunk order starting
+/// from `identity`. With a fixed grain the result is bit-identical across
+/// thread counts (the chunk layout and the combine order never change).
+template <typename T, typename ChunkFn, typename CombineFn>
+T ParallelReduce(unsigned threads, size_t n, T identity, ChunkFn&& chunk_fn,
+                 CombineFn&& combine, size_t grain = 0) {
+  static_assert(!std::is_same_v<T, bool>,
+                "ParallelReduce<bool> races on vector<bool>'s packed storage");
+  if (n == 0) return identity;
+  const size_t g = EffectiveGrain(n, grain);
+  const size_t num_chunks = (n + g - 1) / g;
+  std::vector<T> partial(num_chunks, identity);
+  ParallelFor(
+      threads, n,
+      [&](size_t begin, size_t end) { partial[begin / g] = chunk_fn(begin, end); },
+      g);
+  T acc = identity;
+  for (size_t c = 0; c < num_chunks; ++c) acc = combine(acc, partial[c]);
+  return acc;
+}
+
+}  // namespace netclus::util
+
+#endif  // NETCLUS_UTIL_PARALLEL_H_

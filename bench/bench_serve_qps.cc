@@ -1,0 +1,216 @@
+// Serving throughput: sustained mixed read/write workload against
+// NetClusServer (src/serve).
+//
+// Sweeps client (reader) threads × update stream intensity. Each cell
+// boots a fresh server from the same built engine, splits a fixed query
+// budget across the reader threads, and — in the mixed cells — streams
+// trajectory add/remove batches through the update pipeline while the
+// readers run. Reported per cell: wall time, QPS, latency percentiles,
+// cache hit rate, and snapshots published.
+//
+// paper_shape: read throughput scales with reader threads (flat on a
+// 1-core container) and degrades only mildly when updates stream in,
+// because readers never block on the writer (snapshot isolation).
+//
+// Besides the stdout table, rows are written as JSON to BENCH_serve.json
+// (override with NETCLUS_BENCH_JSON) so CI can track the perf trajectory.
+#include "bench_common.h"
+
+#include <atomic>
+#include <fstream>
+#include <thread>
+
+#include "api/engine.h"
+#include "serve/server.h"
+#include "traj/trip_generator.h"
+
+namespace {
+
+using namespace netclus;
+
+struct CellResult {
+  uint32_t readers = 0;
+  uint32_t update_batch = 0;  // ops per streamed batch (0 = read-only)
+  size_t queries = 0;
+  double wall_s = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  uint64_t snapshots = 0;
+  uint64_t updates_applied = 0;
+};
+
+CellResult RunCell(const Engine& engine,
+                   const std::vector<std::vector<graph::NodeId>>& update_pool,
+                   uint32_t readers, uint32_t update_batch, size_t queries) {
+  serve::ServerOptions options;
+  options.updates.max_batch = 64;
+  auto server = engine.Serve(options);
+
+  // Spec for the q-th query of reader r. Spread over 40 τ values × 5 k
+  // values so the read-scaling cells measure query execution, not just
+  // cache-hit lookups (8 distinct specs against a 4096-entry cache would
+  // turn the sweep into an LRU microbenchmark); repeats still occur, so
+  // the cache-hit column stays meaningful.
+  auto spec_for = [](uint32_t r, size_t q) {
+    Engine::QuerySpec spec;
+    const size_t mix = r * 131 + q;
+    spec.k = 2 + static_cast<uint32_t>(mix % 5);
+    spec.tau_m = 500.0 + 25.0 * static_cast<double>(mix % 40);
+    return spec;
+  };
+
+  std::atomic<bool> readers_done{false};
+  util::WallTimer timer;
+
+  // The update stream: batches of adds (and a trailing remove per batch)
+  // as long as any reader is still querying.
+  std::thread writer;
+  if (update_batch > 0) {
+    writer = std::thread([&] {
+      size_t cursor = 0;
+      while (!readers_done.load(std::memory_order_acquire)) {
+        std::vector<traj::TrajId> added;
+        for (uint32_t i = 0; i < update_batch; ++i) {
+          const auto& path = update_pool[cursor++ % update_pool.size()];
+          const serve::UpdateTicket t = server->MutateAddTrajectory(path);
+          if (t.accepted) added.push_back(t.traj);
+        }
+        if (!added.empty()) server->MutateRemoveTrajectory(added.front());
+        server->Flush();
+      }
+    });
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(readers);
+  for (uint32_t r = 0; r < readers; ++r) {
+    // Exact split: the first (queries % readers) readers take one extra,
+    // so every cell serves the same total regardless of thread count.
+    const size_t per_reader = queries / readers + (r < queries % readers);
+    pool.emplace_back([&, r, per_reader] {
+      for (size_t q = 0; q < per_reader; ++q) {
+        (void)server->Submit(spec_for(r, q));
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  // Stop the clock when the last reader finishes: the writer's final
+  // batch drain is not read-path interference and must not bias the
+  // mixed-cell QPS downward.
+  const double wall = timer.Seconds();
+  readers_done.store(true, std::memory_order_release);
+  if (writer.joinable()) writer.join();
+  server->Shutdown();
+
+  const serve::ServerStats stats = server->stats();
+  CellResult cell;
+  cell.readers = readers;
+  cell.update_batch = update_batch;
+  cell.queries = stats.queries_served;
+  cell.wall_s = wall;
+  cell.qps = wall > 0.0 ? static_cast<double>(stats.queries_served) / wall : 0.0;
+  cell.p50_ms = stats.latency_p50_ms;
+  cell.p95_ms = stats.latency_p95_ms;
+  cell.p99_ms = stats.latency_p99_ms;
+  const uint64_t lookups = stats.cache.hits + stats.cache.misses;
+  cell.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(stats.cache.hits) / lookups : 0.0;
+  cell.snapshots = stats.updates.batches_published;  // publishes during the run
+  cell.updates_applied = stats.updates.ops_applied;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  using namespace netclus;
+  bench::PrintHeader(
+      "Serve", "Sustained mixed read/write serving throughput (src/serve)",
+      "read QPS scales with reader threads and survives a live update "
+      "stream; snapshot isolation keeps readers off the writer's path");
+
+  data::Dataset d = bench::MakeDataset("beijing-lite", 0.15);
+
+  // The server serves an Engine, so copy the dataset into one. The
+  // network is copied (not moved): d.store keeps reading its own network
+  // while the trajectories are transferred below.
+  graph::RoadNetwork network = *d.network;
+  tops::SiteSet sites = d.sites;
+  Engine::Options engine_options;
+  engine_options.index.tau_min_m = 400.0;
+  engine_options.index.tau_max_m = 6000.0;
+  Engine engine(std::move(network), std::move(sites), engine_options);
+  for (traj::TrajId t = 0; t < d.store->total_count(); ++t) {
+    if (d.store->is_alive(t)) {
+      engine.AddTrajectory(d.store->trajectory(t).nodes());
+    }
+  }
+  engine.BuildIndex();
+  std::printf("corpus: %zu trajectories, %zu sites, %zu index instances\n",
+              engine.store().live_count(), engine.sites().size(),
+              engine.index().num_instances());
+
+  // Pre-generate the update stream (excluded from timings).
+  std::vector<std::vector<graph::NodeId>> update_pool;
+  {
+    util::Rng rng(515);
+    while (update_pool.size() < 256) {
+      const auto src = static_cast<graph::NodeId>(
+          rng.UniformInt(engine.network().num_nodes()));
+      const auto dst = static_cast<graph::NodeId>(
+          rng.UniformInt(engine.network().num_nodes()));
+      if (src == dst) continue;
+      auto path = traj::RoutePerturbed(engine.network(), src, dst, 0.3,
+                                       7000 + update_pool.size());
+      if (path.size() >= 2) update_pool.push_back(std::move(path));
+    }
+  }
+
+  const size_t queries = static_cast<size_t>(
+      util::GetEnvInt("NETCLUS_SERVE_QUERIES", 256));
+  std::vector<CellResult> cells;
+  util::Table table({"readers", "update_batch", "queries", "wall_s", "qps",
+                     "p50_ms", "p95_ms", "p99_ms", "cache_hit", "snapshots"});
+  for (const uint32_t update_batch : {0u, 16u}) {
+    for (const uint32_t readers : {1u, 2u, 4u, 8u}) {
+      const CellResult cell =
+          RunCell(engine, update_pool, readers, update_batch, queries);
+      cells.push_back(cell);
+      table.Row()
+          .Cell(static_cast<uint64_t>(cell.readers))
+          .Cell(static_cast<uint64_t>(cell.update_batch))
+          .Cell(static_cast<uint64_t>(cell.queries))
+          .Cell(cell.wall_s, 3)
+          .Cell(cell.qps, 1)
+          .Cell(cell.p50_ms, 2)
+          .Cell(cell.p95_ms, 2)
+          .Cell(cell.p99_ms, 2)
+          .Cell(cell.cache_hit_rate, 2)
+          .Cell(cell.snapshots);
+    }
+  }
+  table.PrintText(std::cout);
+
+  // JSON for the perf trajectory (one object per cell).
+  const std::string json_path =
+      util::GetEnvString("NETCLUS_BENCH_JSON", "BENCH_serve.json");
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"serve_qps\",\n  \"rows\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    json << "    {\"readers\": " << c.readers
+         << ", \"update_batch\": " << c.update_batch
+         << ", \"queries\": " << c.queries
+         << ", \"wall_s\": " << c.wall_s << ", \"qps\": " << c.qps
+         << ", \"p50_ms\": " << c.p50_ms << ", \"p95_ms\": " << c.p95_ms
+         << ", \"p99_ms\": " << c.p99_ms
+         << ", \"cache_hit_rate\": " << c.cache_hit_rate
+         << ", \"snapshots\": " << c.snapshots
+         << ", \"updates_applied\": " << c.updates_applied << "}"
+         << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return json.good() ? 0 : 1;
+}

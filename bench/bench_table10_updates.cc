@@ -17,28 +17,43 @@ int main() {
   index::MultiIndex index = bench::BuildIndex(d);
 
   // Pre-generate the update stream (generation excluded from timings).
+  // Batches consume 1+2+3+4+5 units of *fresh* trajectories, so the
+  // stream must hold 15 units; the generator can come up short (rejected
+  // OD pairs), so each batch clamps to what is actually left and reports
+  // the count it really consumed.
   const uint32_t unit = static_cast<uint32_t>(
       util::GetEnvInt("NETCLUS_UPDATE_UNIT", 1000));
   traj::TripGeneratorConfig trips;
-  trips.num_trajectories = unit * 15;  // batches consume 1+2+3+4+5 units
+  trips.num_trajectories = unit * 15;
   trips.num_hotspots = 12;
   trips.seed = 4242;
   const std::vector<traj::TrajId> new_trajs = GenerateTrips(trips, d.store.get());
 
   util::Rng rng(4343);
-  util::Table table({"batch", "add_trajectories_s", "add_sites_s",
-                     "remove_trajectories_s"});
-  size_t consumed = 0;
+  util::Table table({"batch", "add_trajectories_s", "us_per_add_traj",
+                     "add_sites_s", "us_per_add_site",
+                     "remove_trajectories_s", "us_per_remove"});
+  size_t consumed = 0;  // cursor into new_trajs; never rewound, so every
+                        // batch applies trajectories the index has not seen
   for (uint32_t batch = 1; batch <= 5; ++batch) {
-    const uint32_t count = unit * batch;
+    const uint32_t requested = unit * batch;
+    const uint32_t count = static_cast<uint32_t>(
+        std::min<size_t>(requested, new_trajs.size() - consumed));
+    if (count < requested) {
+      NC_LOG_WARNING << "update stream short: batch " << batch << " gets "
+                     << count << " of " << requested << " trajectories";
+    }
+
     // Trajectory additions.
     std::vector<traj::TrajId> ids;
+    ids.reserve(count);
     util::WallTimer add_traj_timer;
-    for (uint32_t i = 0; i < count && consumed + i < new_trajs.size(); ++i) {
+    for (uint32_t i = 0; i < count; ++i) {
       index.AddTrajectory(*d.store, new_trajs[consumed + i]);
       ids.push_back(new_trajs[consumed + i]);
     }
     const double add_traj_s = add_traj_timer.Seconds();
+    consumed += count;
 
     // Site additions (at random nodes; duplicates collapse in the set).
     util::WallTimer add_site_timer;
@@ -51,21 +66,24 @@ int main() {
     const double add_site_s = add_site_timer.Seconds();
 
     // Trajectory removals (undo this batch, keeping the index consistent
-    // for the next round).
+    // for the next round; the consumed cursor stays advanced, so the next
+    // batch still draws fresh ids).
     util::WallTimer remove_timer;
     for (traj::TrajId t : ids) {
       index.RemoveTrajectory(t);
       d.store->Remove(t);
     }
     const double remove_s = remove_timer.Seconds();
-    // Note: `consumed` stays, so each batch uses fresh trajectories.
-    consumed += ids.size();
 
+    const double per_op = count > 0 ? 1e6 / static_cast<double>(count) : 0.0;
     table.Row()
         .Cell(static_cast<uint64_t>(count))
         .Cell(add_traj_s, 3)
+        .Cell(add_traj_s * per_op, 1)
         .Cell(add_site_s, 3)
-        .Cell(remove_s, 3);
+        .Cell(add_site_s * per_op, 1)
+        .Cell(remove_s, 3)
+        .Cell(remove_s * per_op, 1);
   }
   table.PrintText(std::cout);
   return 0;

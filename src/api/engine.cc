@@ -32,6 +32,17 @@ std::optional<traj::TrajId> Engine::AddGpsTrace(const traj::GpsTrace& trace) {
 }
 
 void Engine::RemoveTrajectory(traj::TrajId id) {
+  if (id >= store_->total_count()) {
+    NC_LOG_WARNING << "RemoveTrajectory(" << id
+                   << "): unknown trajectory id (corpus has "
+                   << store_->total_count() << " ids); ignored";
+    return;
+  }
+  if (!store_->is_alive(id)) {
+    NC_LOG_WARNING << "RemoveTrajectory(" << id
+                   << "): trajectory already removed; ignored";
+    return;
+  }
   store_->Remove(id);
   if (index_ != nullptr) index_->RemoveTrajectory(id);
 }
@@ -44,7 +55,11 @@ tops::SiteId Engine::AddSite(graph::NodeId node) {
 }
 
 void Engine::RemoveSite(tops::SiteId site) {
-  NC_CHECK_LT(site, sites_->size());
+  if (site >= sites_->size()) {
+    NC_LOG_WARNING << "RemoveSite(" << site << "): unknown site id (pool has "
+                   << sites_->size() << " sites); ignored";
+    return;
+  }
   if (index_ != nullptr) index_->RemoveSite(*store_, *sites_, site);
 }
 
@@ -102,13 +117,7 @@ std::vector<index::QueryResult> Engine::TopKBatch(
       specs.size() >= threads ? 1 : options_.threads;
   auto answer = [&](size_t i) {
     const QuerySpec& spec = specs[i];
-    index::QueryConfig config;
-    config.k = spec.k;
-    config.tau_m = spec.tau_m;
-    config.use_fm_sketch = spec.use_fm;
-    config.existing_services = spec.existing_services;
-    config.threads = per_query_threads;
-    return query_->Tops(spec.psi, config);
+    return query_->Tops(spec.psi, spec.ToConfig(per_query_threads));
   };
   if (per_query_threads != 1) {
     std::vector<index::QueryResult> results;

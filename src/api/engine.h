@@ -39,6 +39,11 @@
 
 namespace netclus {
 
+namespace serve {
+class NetClusServer;
+struct ServerOptions;
+}  // namespace serve
+
 class Engine {
  public:
   struct Options {
@@ -52,13 +57,28 @@ class Engine {
     uint32_t threads = 0;
   };
 
-  /// One TOPS query of a batch (see TopKBatch).
+  /// One TOPS query of a batch (see TopKBatch) or of a serving request
+  /// (see serve::NetClusServer).
   struct QuerySpec {
     uint32_t k = 5;
     double tau_m = 800.0;
     tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
     bool use_fm = false;
     std::vector<tops::SiteId> existing_services;
+
+    /// The QueryConfig this spec denotes, with the caller's thread
+    /// budget. The single mapping point — TopKBatch, the serving layer,
+    /// and the replay tests all go through it, so a new spec field
+    /// cannot be silently dropped by one of them.
+    index::QueryConfig ToConfig(uint32_t threads) const {
+      index::QueryConfig config;
+      config.k = k;
+      config.tau_m = tau_m;
+      config.use_fm_sketch = use_fm;
+      config.existing_services = existing_services;
+      config.threads = threads;
+      return config;
+    }
   };
 
   /// Takes ownership of the network and candidate sites.
@@ -76,12 +96,16 @@ class Engine {
   std::optional<traj::TrajId> AddGpsTrace(const traj::GpsTrace& trace);
 
   /// Removes a trajectory from the corpus (and the index, if built).
+  /// Removing an unknown or already-removed id is a documented no-op (a
+  /// warning is logged): callers replaying an update stream must not be
+  /// able to crash the engine with a stale id.
   void RemoveTrajectory(traj::TrajId id);
 
   /// Registers a new candidate site at an existing node.
   tops::SiteId AddSite(graph::NodeId node);
 
   /// Untags a candidate site (the index elects new representatives).
+  /// An unknown site id is a logged no-op, like RemoveTrajectory.
   void RemoveSite(tops::SiteId site);
 
   // --- offline phase --------------------------------------------------------
@@ -122,6 +146,19 @@ class Engine {
   /// index, many concurrent (k, τ, ψ) requests.
   std::vector<index::QueryResult> TopKBatch(
       std::span<const QuerySpec> specs) const;
+
+  // --- concurrent serving (src/serve) ---------------------------------------
+
+  /// Turns the built engine into a long-lived concurrent service: copies
+  /// the network/corpus/sites, clones the index, and returns a
+  /// NetClusServer with snapshot isolation, a single-writer update
+  /// pipeline, and a sharded query cache (see docs/serving.md). The
+  /// server is fully self-contained — it (and any retained snapshot) may
+  /// outlive this engine. Once serving, route mutations through the
+  /// server, not through this engine. Defined in src/serve/server.cc.
+  std::unique_ptr<serve::NetClusServer> Serve() const;
+  std::unique_ptr<serve::NetClusServer> Serve(
+      const serve::ServerOptions& options) const;
 
   // --- exact baselines (no index; build covering sets on demand) ------------
 

@@ -139,12 +139,31 @@ MultiIndex MultiIndex::Build(const traj::TrajectoryStore& store,
   return index;
 }
 
+MultiIndex MultiIndex::Clone() const {
+  MultiIndex copy;
+  copy.config_ = config_;
+  copy.tau_min_ = tau_min_;
+  copy.tau_max_ = tau_max_;
+  copy.build_seconds_ = build_seconds_;
+  copy.instances_.reserve(instances_.size());
+  for (const auto& instance : instances_) {
+    copy.instances_.push_back(std::make_unique<ClusterIndex>(*instance));
+  }
+  return copy;
+}
+
 size_t MultiIndex::InstanceFor(double tau_m) const {
   NC_CHECK(!instances_.empty());
-  if (tau_m <= tau_min_) return 0;
+  // Negated comparisons so NaN falls through to the coarsest clamp each
+  // side: a garbage τ from an external client must select *some* instance,
+  // never feed an unrepresentable double into the size_t cast (UB).
+  if (!(tau_m > tau_min_)) return 0;
   const double p = std::floor(std::log(tau_m / tau_min_) / std::log1p(config_.gamma));
-  if (p < 0.0) return 0;
-  return std::min(instances_.size() - 1, static_cast<size_t>(p));
+  if (!(p > 0.0)) return 0;
+  if (p >= static_cast<double>(instances_.size() - 1)) {
+    return instances_.size() - 1;
+  }
+  return static_cast<size_t>(p);
 }
 
 uint64_t MultiIndex::MemoryBytes() const {

@@ -50,6 +50,13 @@ class MultiIndex {
                           const tops::SiteSet& sites,
                           const MultiIndexConfig& config);
 
+  /// Deep copy of the whole index (every instance). This is the
+  /// copy-on-write primitive behind snapshot isolation in src/serve: the
+  /// update pipeline clones the published index, applies a batch of Sec. 6
+  /// incremental updates to the clone, and publishes it as the next
+  /// immutable snapshot. O(index size).
+  MultiIndex Clone() const;
+
   size_t num_instances() const { return instances_.size(); }
   const ClusterIndex& instance(size_t p) const { return *instances_[p]; }
 
@@ -69,6 +76,9 @@ class MultiIndex {
   // --- dynamic updates (Sec. 6), fanned out to every instance -------------
 
   void AddTrajectory(const traj::TrajectoryStore& store, traj::TrajId t);
+  /// Unindexes trajectory `t` from every instance. An id the index has
+  /// never seen, or one already removed, is a safe no-op (each instance
+  /// has no stored cluster sequence for it, so there is nothing to undo).
   void RemoveTrajectory(traj::TrajId t);
   void AddSite(const traj::TrajectoryStore& store, const tops::SiteSet& sites,
                tops::SiteId s);

@@ -1,0 +1,143 @@
+#include "serve/query_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <memory>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace netclus::serve {
+
+namespace {
+
+uint64_t Combine(uint64_t seed, uint64_t value) {
+  return util::SplitMix64(
+      seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+uint64_t DoubleBits(double d) { return std::bit_cast<uint64_t>(d); }
+
+}  // namespace
+
+bool QueryKey::operator==(const QueryKey& other) const {
+  return version == other.version && k == other.k && use_fm == other.use_fm &&
+         psi_kind == other.psi_kind &&
+         DoubleBits(tau_m) == DoubleBits(other.tau_m) &&
+         DoubleBits(psi_param) == DoubleBits(other.psi_param) &&
+         existing == other.existing;
+}
+
+size_t QueryKeyHash::operator()(const QueryKey& key) const {
+  uint64_t h = util::SplitMix64(key.version);
+  h = Combine(h, key.k);
+  h = Combine(h, DoubleBits(key.tau_m));
+  h = Combine(h, key.use_fm ? 1 : 0);
+  h = Combine(h, static_cast<uint64_t>(key.psi_kind));
+  h = Combine(h, DoubleBits(key.psi_param));
+  for (tops::SiteId s : key.existing) h = Combine(h, s);
+  return static_cast<size_t>(h);
+}
+
+Engine::QuerySpec CanonicalizeSpec(const Engine::QuerySpec& spec) {
+  Engine::QuerySpec canon = spec;
+  std::sort(canon.existing_services.begin(), canon.existing_services.end());
+  canon.existing_services.erase(
+      std::unique(canon.existing_services.begin(),
+                  canon.existing_services.end()),
+      canon.existing_services.end());
+  return canon;
+}
+
+QueryKey CanonicalQueryKey(uint64_t version, const Engine::QuerySpec& spec) {
+  QueryKey key;
+  key.version = version;
+  key.k = spec.k;
+  key.tau_m = spec.tau_m;
+  key.use_fm = spec.use_fm;
+  key.psi_kind = static_cast<int>(spec.psi.kind());
+  key.psi_param = spec.psi.param();
+  // Canonicalize in place on the key's own copy — no full QuerySpec copy,
+  // and an idempotent no-op for the already-canonical spec the server
+  // passes on its hot path.
+  key.existing = spec.existing_services;
+  std::sort(key.existing.begin(), key.existing.end());
+  key.existing.erase(std::unique(key.existing.begin(), key.existing.end()),
+                     key.existing.end());
+  return key;
+}
+
+QueryCache::QueryCache(Options options) : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  // A tiny budget spread over many shards would round each shard up to
+  // one entry and overshoot the total; shrink the shard count instead so
+  // Σ per-shard capacity never exceeds Options::capacity.
+  if (options_.capacity > 0 && options_.shards > options_.capacity) {
+    options_.shards = options_.capacity;
+  }
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_capacity_ =
+      options_.capacity == 0 ? 0 : options_.capacity / options_.shards;
+}
+
+QueryCache::Shard& QueryCache::ShardFor(const QueryKey& key) {
+  return *shards_[QueryKeyHash()(key) % shards_.size()];
+}
+
+std::optional<index::QueryResult> QueryCache::Lookup(const QueryKey& key) {
+  if (!enabled()) return std::nullopt;  // no phantom miss counts
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void QueryCache::Insert(const QueryKey& key, const index::QueryResult& result) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->second = result;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, result);
+  shard.map.emplace(key, shard.lru.begin());
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void QueryCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    entries_.fetch_sub(shard->lru.size(), std::memory_order_relaxed);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace netclus::serve

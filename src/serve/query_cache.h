@@ -1,0 +1,124 @@
+// Sharded LRU cache for TOPS query results.
+//
+// Keyed by the *canonicalized* query (k, τ, ψ kind+param, fm flag, sorted
+// deduped existing services) plus the snapshot version it was answered
+// at. Because queries over one snapshot are deterministic, a hit is
+// bit-identical to recomputation; because the version is part of the key,
+// a snapshot publish implicitly invalidates every cached entry — stale
+// versions simply stop being requested and age out of the LRU lists.
+//
+// Sharding: the key hash picks a shard; each shard is an independent
+// mutex + LRU list + map, so concurrent readers on different shards never
+// contend. Counters (hits / misses / evictions) are process-wide atomics.
+#ifndef NETCLUS_SERVE_QUERY_CACHE_H_
+#define NETCLUS_SERVE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "api/engine.h"
+#include "netclus/query.h"
+#include "tops/site_set.h"
+
+namespace netclus::serve {
+
+/// Canonical cache key. Two QuerySpecs that answer identically on the
+/// same snapshot produce equal keys (existing services are sorted and
+/// deduplicated; ψ collapses to its (kind, param) value). Doubles are
+/// compared by bit pattern — the same representation the hash uses — so
+/// equality and hashing always agree (0.0 vs -0.0, NaN) as the shard
+/// maps require.
+struct QueryKey {
+  uint64_t version = 0;
+  uint32_t k = 0;
+  double tau_m = 0.0;
+  bool use_fm = false;
+  int psi_kind = 0;
+  double psi_param = 0.0;
+  std::vector<tops::SiteId> existing;  // sorted, deduped
+
+  bool operator==(const QueryKey& other) const;
+};
+
+struct QueryKeyHash {
+  size_t operator()(const QueryKey& key) const;
+};
+
+/// Returns the spec with existing_services sorted and deduplicated — the
+/// form the server both keys on AND executes. Executing the canonical
+/// order matters: Inc-Greedy folds existing services in input order, and
+/// floating-point addition is non-associative, so permuted inputs could
+/// otherwise differ in the last ulp from the cached answer they share a
+/// key with.
+Engine::QuerySpec CanonicalizeSpec(const Engine::QuerySpec& spec);
+
+/// Builds the canonical key for a query against a snapshot version. Takes
+/// the whole spec (not individual fields) so the key and QuerySpec::
+/// ToConfig derive from the same field list: a new result-affecting spec
+/// field added to one but not the other is a single obvious edit site,
+/// not a silent cache collision.
+QueryKey CanonicalQueryKey(uint64_t version, const Engine::QuerySpec& spec);
+
+class QueryCache {
+ public:
+  struct Options {
+    size_t capacity = 4096;  ///< total entries across shards (0 disables)
+    size_t shards = 16;      ///< power of two recommended; >= 1
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;  ///< current resident entries
+  };
+
+  explicit QueryCache(Options options);
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// False when constructed with capacity 0: Lookup always misses (without
+  /// counting) and Insert is a no-op. Callers skip key construction.
+  bool enabled() const { return per_shard_capacity_ != 0; }
+
+  /// Looks the key up, refreshing its LRU position. Thread-safe.
+  std::optional<index::QueryResult> Lookup(const QueryKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the shard's LRU tail when
+  /// over budget. Thread-safe.
+  void Insert(const QueryKey& key, const index::QueryResult& result);
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Most-recent first; pairs of (key, result).
+    std::list<std::pair<QueryKey, index::QueryResult>> lru;
+    std::unordered_map<QueryKey, decltype(lru)::iterator, QueryKeyHash> map;
+  };
+
+  Shard& ShardFor(const QueryKey& key);
+
+  Options options_;
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> entries_{0};
+};
+
+}  // namespace netclus::serve
+
+#endif  // NETCLUS_SERVE_QUERY_CACHE_H_

@@ -1,0 +1,129 @@
+#include "serve/server.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace netclus::serve {
+
+NetClusServer::NetClusServer(const Engine& engine, const ServerOptions& options)
+    : options_(options), cache_(options.cache) {
+  NC_CHECK(engine.index_built()) << "call Engine::BuildIndex() before Serve()";
+  // Snapshots are fully self-contained: the network is copied once here
+  // (and shared by every subsequent version), the mutable parts are
+  // copied once and from then on evolve only through the pipeline's
+  // copy-on-write batches. A retained ServeResult/SnapshotPtr therefore
+  // stays valid even after the originating Engine is destroyed.
+  auto network = std::make_shared<const graph::RoadNetwork>(engine.network());
+  auto store =
+      std::make_shared<traj::TrajectoryStore>(engine.store(), network.get());
+  auto sites = std::make_shared<tops::SiteSet>(engine.sites());
+  auto index = std::make_shared<index::MultiIndex>(engine.index().Clone());
+  registry_.Publish(std::make_shared<IndexSnapshot>(
+      /*version=*/1, std::move(network), std::move(store), std::move(sites),
+      std::move(index)));
+  pipeline_ = std::make_unique<UpdatePipeline>(&registry_, options.updates);
+  NC_LOG_INFO << "NetClusServer: serving snapshot v1 ("
+              << registry_.Acquire()->store().live_count()
+              << " live trajectories, "
+              << registry_.Acquire()->sites().size() << " sites)";
+}
+
+NetClusServer::~NetClusServer() { Shutdown(); }
+
+ServeResult NetClusServer::Answer(const Engine::QuerySpec& spec,
+                                  const SnapshotPtr& snap) {
+  util::WallTimer timer;
+  ServeResult out;
+  out.snapshot = snap;
+  out.snapshot_version = snap->version();
+  // Execute the same canonical form the cache keys on, so permuted
+  // existing-services lists are one query with one bit-exact answer.
+  const Engine::QuerySpec canon = CanonicalizeSpec(spec);
+  QueryKey key;
+  if (cache_.enabled()) {
+    key = CanonicalQueryKey(snap->version(), canon);
+  }
+  std::optional<index::QueryResult> cached =
+      cache_.enabled() ? cache_.Lookup(key) : std::nullopt;
+  if (cached.has_value()) {
+    out.result = std::move(*cached);
+    out.cache_hit = true;
+  } else {
+    out.result =
+        snap->query().Tops(canon.psi, canon.ToConfig(options_.query_threads));
+    if (cache_.enabled()) cache_.Insert(key, out.result);
+  }
+  out.latency_seconds = timer.Seconds();
+  latency_.Record(out.latency_seconds);
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+ServeResult NetClusServer::Submit(const Engine::QuerySpec& spec) {
+  return Answer(spec, registry_.Acquire());
+}
+
+std::vector<ServeResult> NetClusServer::SubmitBatch(
+    std::span<const Engine::QuerySpec> specs) {
+  // One snapshot for the whole batch: every answer reflects the same
+  // version even if the pipeline publishes mid-batch.
+  const SnapshotPtr snap = registry_.Acquire();
+  return util::ParallelMap<ServeResult>(
+      options_.batch_threads, specs.size(),
+      [&](size_t i) { return Answer(specs[i], snap); }, /*grain=*/1);
+}
+
+UpdateTicket NetClusServer::Mutate(UpdateOp op) {
+  return pipeline_->Enqueue(std::move(op));
+}
+
+UpdateTicket NetClusServer::MutateAddTrajectory(
+    std::vector<graph::NodeId> nodes) {
+  return Mutate(UpdateOp::AddTrajectory(std::move(nodes)));
+}
+
+UpdateTicket NetClusServer::MutateRemoveTrajectory(traj::TrajId id) {
+  return Mutate(UpdateOp::RemoveTrajectory(id));
+}
+
+UpdateTicket NetClusServer::MutateAddSite(graph::NodeId node) {
+  return Mutate(UpdateOp::AddSite(node));
+}
+
+void NetClusServer::Flush() { pipeline_->Flush(); }
+
+void NetClusServer::Shutdown() { pipeline_->Shutdown(); }
+
+ServerStats NetClusServer::stats() const {
+  ServerStats s;
+  s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  s.uptime_seconds = uptime_.Seconds();
+  s.qps = s.uptime_seconds > 0.0
+              ? static_cast<double>(s.queries_served) / s.uptime_seconds
+              : 0.0;
+  s.latency_p50_ms = latency_.PercentileSeconds(0.50) * 1e3;
+  s.latency_p95_ms = latency_.PercentileSeconds(0.95) * 1e3;
+  s.latency_p99_ms = latency_.PercentileSeconds(0.99) * 1e3;
+  s.latency_mean_ms = latency_.MeanSeconds() * 1e3;
+  s.cache = cache_.stats();
+  s.updates = pipeline_->stats();
+  s.snapshot_version = registry_.current_version();
+  return s;
+}
+
+}  // namespace netclus::serve
+
+namespace netclus {
+
+std::unique_ptr<serve::NetClusServer> Engine::Serve() const {
+  return Serve(serve::ServerOptions());
+}
+
+std::unique_ptr<serve::NetClusServer> Engine::Serve(
+    const serve::ServerOptions& options) const {
+  return std::make_unique<serve::NetClusServer>(*this, options);
+}
+
+}  // namespace netclus

@@ -1,0 +1,136 @@
+// NetClusServer — the long-lived concurrent serving facade over Engine.
+//
+// Composition of the serve/ pieces:
+//   SnapshotRegistry  — current immutable (store, sites, index) version;
+//   UpdatePipeline    — single writer applying Sec. 6 incremental updates
+//                       in batches, publishing a new snapshot per batch;
+//   QueryCache        — sharded LRU over (canonical query, version);
+//   LatencyHistogram  — per-query latency percentiles (p50/p95/p99).
+//
+// Thread model: any number of client threads may call Submit /
+// SubmitBatch / Mutate concurrently. A query acquires one snapshot,
+// answers on it (possibly via the cache), and records its latency;
+// results are bit-identical to a serial replay of the same spec on the
+// same snapshot version because the query engine is deterministic.
+// Mutations are asynchronous: Mutate returns a ticket, Flush() (or
+// UpdatePipeline::WaitFor) barriers on publication.
+//
+// Shutdown() is a graceful drain: new mutations are rejected, queued ones
+// are applied and published, and reads keep working against the final
+// snapshot (an in-process facade has no sockets to close).
+#ifndef NETCLUS_SERVE_SERVER_H_
+#define NETCLUS_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "api/engine.h"
+#include "serve/query_cache.h"
+#include "serve/snapshot.h"
+#include "serve/update_pipeline.h"
+#include "util/histogram.h"
+#include "util/timer.h"
+
+namespace netclus::serve {
+
+struct ServerOptions {
+  /// Worker threads per individual query (QueryConfig::threads; 0 =
+  /// NETCLUS_THREADS default). Keep at 1 when many clients submit
+  /// concurrently — the clients themselves are the parallelism.
+  uint32_t query_threads = 1;
+  /// Fan-out for SubmitBatch (0 = NETCLUS_THREADS default), via the PR 1
+  /// thread-pool helpers.
+  uint32_t batch_threads = 0;
+  QueryCache::Options cache;
+  UpdatePipeline::Options updates;
+};
+
+/// One answered query, with its serving metadata.
+struct ServeResult {
+  index::QueryResult result;
+  /// The snapshot the query was answered on — retained so callers (and
+  /// tests) can replay the query serially against the exact same version.
+  SnapshotPtr snapshot;
+  uint64_t snapshot_version = 0;
+  bool cache_hit = false;
+  double latency_seconds = 0.0;
+};
+
+struct ServerStats {
+  uint64_t queries_served = 0;
+  double qps = 0.0;  ///< queries_served / uptime
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  QueryCache::Stats cache;
+  UpdatePipeline::Stats updates;
+  uint64_t snapshot_version = 0;
+  double uptime_seconds = 0.0;
+};
+
+class NetClusServer {
+ public:
+  /// Boots from the engine's current state: copies the network, corpus,
+  /// and sites, clones the built index, publishes version 1. The engine
+  /// must have a built index; after construction the server (and any
+  /// retained ServeResult/SnapshotPtr) is independent of the engine's
+  /// lifetime. Once serving, route mutations through Mutate*, not
+  /// through the engine.
+  NetClusServer(const Engine& engine, const ServerOptions& options);
+  ~NetClusServer();
+
+  NetClusServer(const NetClusServer&) = delete;
+  NetClusServer& operator=(const NetClusServer&) = delete;
+
+  // --- reads ---------------------------------------------------------------
+
+  /// Answers one TOPS query on the current snapshot. Thread-safe.
+  ServeResult Submit(const Engine::QuerySpec& spec);
+
+  /// Answers a batch concurrently over ONE snapshot (a consistent view for
+  /// the whole batch), in input order. Thread-safe.
+  std::vector<ServeResult> SubmitBatch(std::span<const Engine::QuerySpec> specs);
+
+  // --- writes --------------------------------------------------------------
+
+  /// Queues a mutation; see UpdatePipeline. Thread-safe.
+  UpdateTicket Mutate(UpdateOp op);
+
+  /// Convenience wrappers.
+  UpdateTicket MutateAddTrajectory(std::vector<graph::NodeId> nodes);
+  UpdateTicket MutateRemoveTrajectory(traj::TrajId id);
+  UpdateTicket MutateAddSite(graph::NodeId node);
+
+  /// Blocks until every mutation accepted so far is published.
+  void Flush();
+
+  // --- lifecycle / introspection -------------------------------------------
+
+  /// Graceful drain: rejects new mutations, applies queued ones, joins the
+  /// writer. Reads keep working. Idempotent.
+  void Shutdown();
+
+  /// The current snapshot (never null).
+  SnapshotPtr snapshot() const { return registry_.Acquire(); }
+
+  ServerStats stats() const;
+
+ private:
+  ServeResult Answer(const Engine::QuerySpec& spec, const SnapshotPtr& snap);
+
+  ServerOptions options_;
+  SnapshotRegistry registry_;
+  QueryCache cache_;
+  std::unique_ptr<UpdatePipeline> pipeline_;
+  util::LatencyHistogram latency_;
+  std::atomic<uint64_t> queries_served_{0};
+  util::WallTimer uptime_;
+};
+
+}  // namespace netclus::serve
+
+#endif  // NETCLUS_SERVE_SERVER_H_

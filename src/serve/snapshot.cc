@@ -1,0 +1,51 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace netclus::serve {
+
+IndexSnapshot::IndexSnapshot(uint64_t version,
+                             std::shared_ptr<const graph::RoadNetwork> network,
+                             std::shared_ptr<const traj::TrajectoryStore> store,
+                             std::shared_ptr<const tops::SiteSet> sites,
+                             std::shared_ptr<const index::MultiIndex> index)
+    : version_(version),
+      network_(std::move(network)),
+      store_(std::move(store)),
+      sites_(std::move(sites)),
+      index_(std::move(index)),
+      query_(index_.get(), store_.get(), sites_.get()) {
+  NC_CHECK(network_ != nullptr);
+  NC_CHECK(store_ != nullptr);
+  NC_CHECK(sites_ != nullptr);
+  NC_CHECK(index_ != nullptr);
+  NC_CHECK_EQ(&store_->network(), network_.get());
+}
+
+SnapshotRegistry::SnapshotRegistry(SnapshotPtr initial) {
+  if (initial != nullptr) Publish(std::move(initial));
+}
+
+SnapshotPtr SnapshotRegistry::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t SnapshotRegistry::current_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->version();
+}
+
+void SnapshotRegistry::Publish(SnapshotPtr next) {
+  NC_CHECK(next != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ != nullptr) {
+    NC_CHECK_GT(next->version(), current_->version())
+        << "snapshot versions must be monotonic";
+  }
+  current_ = std::move(next);
+}
+
+}  // namespace netclus::serve

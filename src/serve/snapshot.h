@@ -1,0 +1,115 @@
+// Snapshot isolation for the serving layer.
+//
+// An IndexSnapshot is one immutable, refcounted version of the whole
+// queryable state: the trajectory corpus, the candidate sites, and the
+// multi-resolution NetClus index, plus a QueryEngine wired over exactly
+// those parts. Readers acquire the current snapshot once per query and
+// keep it alive through a shared_ptr, so
+//  * a query never blocks on a writer and never observes a half-applied
+//    update (the writer mutates private copies, never a published
+//    snapshot), and
+//  * a published snapshot outlives every in-flight query that acquired
+//    it — memory is reclaimed when the last reader drops its reference.
+//
+// One owned road-network copy is shared by all versions (the update
+// pipeline restricts dynamic sites to existing nodes, per Sec. 6),
+// while the store / sites / index are per-version copies produced by
+// the UpdatePipeline's copy-on-write batches. Snapshots own everything
+// they reference, so a retained SnapshotPtr stays valid regardless of
+// what created it.
+#ifndef NETCLUS_SERVE_SNAPSHOT_H_
+#define NETCLUS_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "graph/road_network.h"
+#include "netclus/multi_index.h"
+#include "netclus/query.h"
+#include "tops/site_set.h"
+#include "traj/trajectory_store.h"
+
+namespace netclus::serve {
+
+class IndexSnapshot {
+ public:
+  /// All parts must be non-null; the store must reference `network`.
+  IndexSnapshot(uint64_t version,
+                std::shared_ptr<const graph::RoadNetwork> network,
+                std::shared_ptr<const traj::TrajectoryStore> store,
+                std::shared_ptr<const tops::SiteSet> sites,
+                std::shared_ptr<const index::MultiIndex> index);
+
+  IndexSnapshot(const IndexSnapshot&) = delete;
+  IndexSnapshot& operator=(const IndexSnapshot&) = delete;
+
+  /// Monotonically increasing publish version (1 = the initial snapshot).
+  uint64_t version() const { return version_; }
+
+  const graph::RoadNetwork& network() const { return *network_; }
+  const traj::TrajectoryStore& store() const { return *store_; }
+  const tops::SiteSet& sites() const { return *sites_; }
+  const index::MultiIndex& index() const { return *index_; }
+
+  /// Query engine over this snapshot's parts. Deterministic, so two
+  /// queries with the same config on the same snapshot return identical
+  /// results — the property the serving tests replay against.
+  const index::QueryEngine& query() const { return query_; }
+
+  /// The shared_ptr parts, for building the next version without copying
+  /// what did not change.
+  const std::shared_ptr<const graph::RoadNetwork>& network_ptr() const {
+    return network_;
+  }
+  const std::shared_ptr<const traj::TrajectoryStore>& store_ptr() const {
+    return store_;
+  }
+  const std::shared_ptr<const tops::SiteSet>& sites_ptr() const {
+    return sites_;
+  }
+  const std::shared_ptr<const index::MultiIndex>& index_ptr() const {
+    return index_;
+  }
+
+ private:
+  uint64_t version_;
+  std::shared_ptr<const graph::RoadNetwork> network_;
+  std::shared_ptr<const traj::TrajectoryStore> store_;
+  std::shared_ptr<const tops::SiteSet> sites_;
+  std::shared_ptr<const index::MultiIndex> index_;
+  index::QueryEngine query_;
+};
+
+using SnapshotPtr = std::shared_ptr<const IndexSnapshot>;
+
+/// Holder of the current snapshot with atomic publish. Acquire() and
+/// Publish() exchange one shared_ptr under a mutex whose critical section
+/// is two refcount operations — readers never wait on an update being
+/// applied, only (briefly) on the pointer swap itself.
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  explicit SnapshotRegistry(SnapshotPtr initial);
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// The current snapshot (null before the first Publish).
+  SnapshotPtr Acquire() const;
+
+  /// Version of the current snapshot (0 before the first Publish).
+  uint64_t current_version() const;
+
+  /// Atomically replaces the current snapshot. `next` must be non-null
+  /// and its version must exceed the current one.
+  void Publish(SnapshotPtr next);
+
+ private:
+  mutable std::mutex mu_;
+  SnapshotPtr current_;
+};
+
+}  // namespace netclus::serve
+
+#endif  // NETCLUS_SERVE_SNAPSHOT_H_

@@ -1,0 +1,218 @@
+#include "serve/update_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace netclus::serve {
+
+UpdateOp UpdateOp::AddTrajectory(std::vector<graph::NodeId> nodes) {
+  UpdateOp op;
+  op.kind = Kind::kAddTrajectory;
+  op.nodes = std::move(nodes);
+  return op;
+}
+
+UpdateOp UpdateOp::RemoveTrajectory(traj::TrajId traj) {
+  UpdateOp op;
+  op.kind = Kind::kRemoveTrajectory;
+  op.traj = traj;
+  return op;
+}
+
+UpdateOp UpdateOp::AddSite(graph::NodeId node) {
+  UpdateOp op;
+  op.kind = Kind::kAddSite;
+  op.node = node;
+  return op;
+}
+
+UpdatePipeline::UpdatePipeline(SnapshotRegistry* registry, Options options)
+    : registry_(registry), options_(options) {
+  NC_CHECK(registry_ != nullptr);
+  NC_CHECK_GE(options_.max_batch, 1u);
+  const SnapshotPtr current = registry_->Acquire();
+  NC_CHECK(current != nullptr) << "publish an initial snapshot first";
+  network_ = &current->network();
+  next_traj_id_ = static_cast<traj::TrajId>(current->store().total_count());
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+UpdatePipeline::~UpdatePipeline() { Shutdown(); }
+
+UpdateTicket UpdatePipeline::Enqueue(UpdateOp op) {
+  UpdateTicket ticket;
+  // Validate before taking the lock: the network is immutable, and the
+  // O(path-length) node scan must not serialize every other Enqueue /
+  // Flush / stats caller. The check also runs here rather than on the
+  // writer thread because a bad node id must bounce the one op, never
+  // abort the service inside TrajectoryStore::Add.
+  bool valid = true;
+  switch (op.kind) {
+    case UpdateOp::Kind::kAddTrajectory:
+      if (op.nodes.empty()) {
+        NC_LOG_WARNING << "UpdatePipeline: empty trajectory; dropped";
+        valid = false;
+        break;
+      }
+      for (graph::NodeId n : op.nodes) {
+        if (n >= network_->num_nodes()) {
+          NC_LOG_WARNING << "UpdatePipeline: trajectory node " << n
+                         << " outside the network (" << network_->num_nodes()
+                         << " nodes); dropped";
+          valid = false;
+          break;
+        }
+      }
+      break;
+    case UpdateOp::Kind::kRemoveTrajectory:
+      // Unknown / already-removed ids are applied as documented no-ops by
+      // the store and index, so they are accepted here: rejecting would
+      // need the writer's view of liveness, which is what the queue
+      // serializes in the first place.
+      break;
+    case UpdateOp::Kind::kAddSite:
+      if (op.node >= network_->num_nodes()) {
+        NC_LOG_WARNING << "UpdatePipeline: AddSite(" << op.node
+                       << ") outside the network (" << network_->num_nodes()
+                       << " nodes); dropped";
+        valid = false;
+      }
+      break;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    ++stats_.ops_rejected;
+    NC_LOG_WARNING << "UpdatePipeline: op enqueued after Shutdown; dropped";
+    return ticket;
+  }
+  if (!valid) {
+    ++stats_.ops_rejected;
+    return ticket;
+  }
+  if (queue_.size() >= options_.max_queue) {
+    ++stats_.ops_rejected;
+    NC_LOG_WARNING << "UpdatePipeline: queue full (" << queue_.size()
+                   << " pending ops); dropped — back off and retry";
+    return ticket;
+  }
+  if (op.kind == UpdateOp::Kind::kAddTrajectory) {
+    ticket.traj = next_traj_id_++;
+  }
+  ticket.accepted = true;
+  ticket.sequence = next_sequence_++;
+  ++stats_.ops_enqueued;
+  queue_.push_back(std::move(op));
+  queue_cv_.notify_one();
+  return ticket;
+}
+
+void UpdatePipeline::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t target = next_sequence_ - 1;
+  applied_cv_.wait(lock, [&] { return applied_sequence_ >= target; });
+}
+
+void UpdatePipeline::WaitFor(const UpdateTicket& ticket) {
+  if (!ticket.accepted) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  applied_cv_.wait(lock, [&] { return applied_sequence_ >= ticket.sequence; });
+}
+
+void UpdatePipeline::Shutdown() {
+  // Claim the writer thread under the lock so concurrent Shutdown calls
+  // (e.g. an explicit drain racing the destructor) cannot both join it;
+  // the caller that loses the claim must still WAIT for the drain — a
+  // Shutdown that returns early would let the destructor free members
+  // the writer is still using.
+  std::thread claimed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    queue_cv_.notify_one();
+    claimed = std::move(writer_);
+  }
+  if (claimed.joinable()) {
+    claimed.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    drained_ = true;
+    applied_cv_.notify_all();
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    applied_cv_.wait(lock, [&] { return drained_; });
+  }
+}
+
+UpdatePipeline::Stats UpdatePipeline::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void UpdatePipeline::WriterLoop() {
+  for (;;) {
+    std::vector<UpdateOp> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      const size_t take = std::min(options_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ApplyBatch(std::move(batch));
+  }
+}
+
+void UpdatePipeline::ApplyBatch(std::vector<UpdateOp> batch) {
+  util::WallTimer timer;
+  const SnapshotPtr base = registry_->Acquire();
+
+  // Copy-on-write: private mutable copies of everything the batch may
+  // touch. The network is shared — dynamic sites live on existing nodes.
+  auto store = std::make_shared<traj::TrajectoryStore>(base->store());
+  auto sites = std::make_shared<tops::SiteSet>(base->sites());
+  auto index = std::make_shared<index::MultiIndex>(base->index().Clone());
+
+  for (UpdateOp& op : batch) {
+    switch (op.kind) {
+      case UpdateOp::Kind::kAddTrajectory: {
+        const traj::TrajId id = store->Add(std::move(op.nodes));
+        index->AddTrajectory(*store, id);
+        break;
+      }
+      case UpdateOp::Kind::kRemoveTrajectory:
+        store->Remove(op.traj);
+        index->RemoveTrajectory(op.traj);
+        break;
+      case UpdateOp::Kind::kAddSite: {
+        // Node validity was checked at Enqueue against the shared network.
+        const tops::SiteId s = sites->Add(op.node);
+        index->AddSite(*store, *sites, s);
+        break;
+      }
+    }
+  }
+
+  auto next = std::make_shared<IndexSnapshot>(
+      base->version() + 1, base->network_ptr(), std::move(store),
+      std::move(sites), std::move(index));
+  registry_->Publish(std::move(next));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.ops_applied += batch.size();
+  ++stats_.batches_published;
+  stats_.apply_seconds += timer.Seconds();
+  applied_sequence_ += batch.size();
+  applied_cv_.notify_all();
+}
+
+}  // namespace netclus::serve

@@ -1,0 +1,132 @@
+// Single-writer update pipeline (dynamic updates, Sec. 6, as a service).
+//
+// Clients enqueue AddTrajectory / RemoveTrajectory / AddSite operations;
+// a dedicated writer thread drains the queue in FIFO order, folds up to
+// `max_batch` operations into one copy-on-write application — clone the
+// published store / sites / index, apply the paper's incremental routines
+// to the clones — and publishes the result as the next IndexSnapshot.
+// Readers keep querying the previous snapshot throughout; they observe a
+// batch all-or-nothing, never an intermediate state.
+//
+// Because the writer is single and FIFO, trajectory ids are assigned
+// deterministically (the store allocates them sequentially), so Enqueue
+// can return the id an AddTrajectory *will* receive before the batch is
+// applied — callers can issue a RemoveTrajectory for it immediately and
+// the pipeline will sequence the two correctly.
+#ifndef NETCLUS_SERVE_UPDATE_PIPELINE_H_
+#define NETCLUS_SERVE_UPDATE_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/snapshot.h"
+
+namespace netclus::serve {
+
+/// One queued mutation.
+struct UpdateOp {
+  enum class Kind : uint8_t {
+    kAddTrajectory,     ///< `nodes` is the map-matched node sequence
+    kRemoveTrajectory,  ///< `traj` is the id to tombstone
+    kAddSite,           ///< `node` hosts the new candidate site
+  };
+
+  static UpdateOp AddTrajectory(std::vector<graph::NodeId> nodes);
+  static UpdateOp RemoveTrajectory(traj::TrajId traj);
+  static UpdateOp AddSite(graph::NodeId node);
+
+  Kind kind = Kind::kAddTrajectory;
+  std::vector<graph::NodeId> nodes;
+  traj::TrajId traj = traj::kInvalidTraj;
+  graph::NodeId node = graph::kInvalidNode;
+};
+
+/// Receipt for an enqueued op.
+struct UpdateTicket {
+  /// False when the pipeline is shut down, the queue is at max_queue
+  /// (backpressure), or the op was rejected up front (an empty
+  /// trajectory, or any node outside the network).
+  bool accepted = false;
+  /// FIFO position (1-based) among accepted ops; Flush()/WaitFor use it.
+  uint64_t sequence = 0;
+  /// For kAddTrajectory: the trajectory id the store will assign.
+  traj::TrajId traj = traj::kInvalidTraj;
+};
+
+class UpdatePipeline {
+ public:
+  struct Options {
+    /// Max operations folded into one published snapshot. Larger batches
+    /// amortize the O(corpus + index) copy-on-write cost over more ops.
+    size_t max_batch = 256;
+    /// Backpressure: Enqueue rejects (accepted = false) once this many
+    /// ops are pending. Every batch pays a full copy-on-write clone, so
+    /// an unbounded queue would let a fast client outrun the writer and
+    /// grow memory without limit.
+    size_t max_queue = 65536;
+  };
+
+  struct Stats {
+    uint64_t ops_enqueued = 0;
+    uint64_t ops_applied = 0;
+    uint64_t ops_rejected = 0;       ///< rejected at Enqueue
+    uint64_t batches_published = 0;
+    double apply_seconds = 0.0;      ///< total clone+apply+publish time
+  };
+
+  /// `registry` must outlive the pipeline and already hold an initial
+  /// snapshot (the pipeline clones from whatever is current).
+  UpdatePipeline(SnapshotRegistry* registry, Options options);
+  ~UpdatePipeline();
+
+  UpdatePipeline(const UpdatePipeline&) = delete;
+  UpdatePipeline& operator=(const UpdatePipeline&) = delete;
+
+  /// Queues an op; returns immediately. Thread-safe.
+  UpdateTicket Enqueue(UpdateOp op);
+
+  /// Blocks until every op accepted before the call has been applied and
+  /// its snapshot published.
+  void Flush();
+
+  /// Blocks until the op with the given ticket has been published (no-op
+  /// for rejected tickets).
+  void WaitFor(const UpdateTicket& ticket);
+
+  /// Drains the queue, publishes the final snapshot, and joins the writer
+  /// thread. Ops enqueued after Shutdown are rejected. Idempotent.
+  void Shutdown();
+
+  Stats stats() const;
+
+ private:
+  void WriterLoop();
+  void ApplyBatch(std::vector<UpdateOp> batch);
+
+  SnapshotRegistry* registry_;
+  Options options_;
+  /// The network all snapshot versions share; Enqueue validates node ids
+  /// against it so a client-supplied id can never abort the writer.
+  const graph::RoadNetwork* network_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;     ///< writer waits for work
+  std::condition_variable applied_cv_;   ///< Flush/WaitFor wait for progress
+  std::deque<UpdateOp> queue_;
+  bool stopping_ = false;
+  bool drained_ = false;  ///< writer joined; Shutdown's completion signal
+  uint64_t next_sequence_ = 1;     ///< sequence for the next accepted op
+  uint64_t applied_sequence_ = 0;  ///< highest sequence published
+  traj::TrajId next_traj_id_ = 0;  ///< id the next AddTrajectory will get
+  Stats stats_;
+
+  std::thread writer_;
+};
+
+}  // namespace netclus::serve
+
+#endif  // NETCLUS_SERVE_UPDATE_PIPELINE_H_

@@ -41,6 +41,10 @@ class PreferenceFunction {
   double Score(double dr_m, double tau_m) const;
 
   Kind kind() const { return kind_; }
+  /// The kind-specific parameter (scale / exponent / normalizer; unused for
+  /// Binary and Linear). (kind, param) fully determines the function, which
+  /// is what the serving-layer query cache keys on.
+  double param() const { return param_; }
   bool is_binary() const { return kind_ == Kind::kBinary; }
   std::string name() const;
 

@@ -10,6 +10,14 @@ TrajectoryStore::TrajectoryStore(const graph::RoadNetwork* net) : net_(net) {
   node_postings_.resize(net->num_nodes());
 }
 
+TrajectoryStore::TrajectoryStore(const TrajectoryStore& other,
+                                 const graph::RoadNetwork* net)
+    : TrajectoryStore(other) {  // delegate: one copy site for all members
+  NC_CHECK(net != nullptr);
+  NC_CHECK_EQ(net->num_nodes(), other.net_->num_nodes());
+  net_ = net;
+}
+
 TrajId TrajectoryStore::Add(std::vector<graph::NodeId> nodes) {
   NC_CHECK(!nodes.empty());
   const TrajId id = static_cast<TrajId>(trajectories_.size());
@@ -21,7 +29,11 @@ TrajId TrajectoryStore::Add(std::vector<graph::NodeId> nodes) {
 }
 
 void TrajectoryStore::Remove(TrajId id) {
-  NC_CHECK_LT(id, trajectories_.size());
+  if (id >= trajectories_.size()) {
+    NC_LOG_WARNING << "Remove(" << id << "): unknown trajectory id (corpus has "
+                   << trajectories_.size() << " ids); ignored";
+    return;
+  }
   if (!alive_[id]) return;
   alive_[id] = false;
   --live_count_;

@@ -27,10 +27,20 @@ class TrajectoryStore {
  public:
   explicit TrajectoryStore(const graph::RoadNetwork* net);
 
+  /// Copy that rebinds the network reference: identical corpus, postings,
+  /// and tombstones, but reading from `net` (which must be structurally
+  /// identical to other's network — e.g. a copy of it). The serving layer
+  /// uses this to make snapshots self-contained: a snapshot owns its own
+  /// network copy and its store must point at that copy, not at the
+  /// originating Engine's.
+  TrajectoryStore(const TrajectoryStore& other, const graph::RoadNetwork* net);
+
   /// Adds a trajectory (by node sequence); returns its id. O(len).
   TrajId Add(std::vector<graph::NodeId> nodes);
 
   /// Marks a trajectory deleted. Its postings are skipped lazily. O(1).
+  /// An unknown id is a logged no-op; an already-removed id is a silent
+  /// no-op — update streams (src/serve) may legitimately replay deletes.
   void Remove(TrajId id);
 
   bool is_alive(TrajId id) const { return alive_[id]; }

@@ -1,0 +1,89 @@
+#include "util/histogram.h"
+
+#include <cmath>
+
+namespace netclus::util {
+
+namespace {
+
+// Growth factor r with kBuckets buckets spanning [kMinSeconds, kMaxSeconds]:
+// r = (max/min)^(1/kBuckets).
+double Growth() {
+  static const double r =
+      std::pow(LatencyHistogram::kMaxSeconds / LatencyHistogram::kMinSeconds,
+               1.0 / static_cast<double>(LatencyHistogram::kBuckets));
+  return r;
+}
+
+double LogGrowth() {
+  static const double lg = std::log(Growth());
+  return lg;
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() { Reset(); }
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+}
+
+size_t LatencyHistogram::BucketFor(double seconds) const {
+  if (!(seconds > kMinSeconds)) return 0;
+  const double idx = std::log(seconds / kMinSeconds) / LogGrowth();
+  if (idx >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<size_t>(idx);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Saturate before the cast: a double above uint64 range (or NaN, which
+  // fails the > 0 test) must clamp, not hit an unrepresentable-value cast
+  // (UB). 2^63 ns ≈ 292 years — saturation cannot matter in practice.
+  double ns = seconds * 1e9;
+  constexpr double kMaxNs = 9.2e18;
+  if (!(ns > 0.0)) ns = 0.0;
+  if (ns > kMaxNs) ns = kMaxNs;
+  total_ns_.fetch_add(static_cast<uint64_t>(ns), std::memory_order_relaxed);
+}
+
+double LatencyHistogram::MeanSeconds() const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) / 1e9 /
+         static_cast<double>(n);
+}
+
+double LatencyHistogram::PercentileSeconds(double p) const {
+  // Snapshot the buckets once and derive the total from that snapshot —
+  // not from count_, which is a separate relaxed atomic and may run ahead
+  // of the bucket increments under concurrent Record() calls. The rank
+  // can then never exceed what the walk below can see.
+  std::array<uint64_t, kBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the requested sample (1-based), then walk buckets.
+  const uint64_t rank = static_cast<uint64_t>(std::ceil(
+      p * static_cast<double>(total)));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen >= rank && seen > 0) {
+      // Geometric midpoint of bucket i: min * r^(i + 0.5).
+      return kMinSeconds *
+             std::exp((static_cast<double>(i) + 0.5) * LogGrowth());
+    }
+  }
+  return kMaxSeconds;  // unreachable: rank <= total
+}
+
+}  // namespace netclus::util

@@ -1,0 +1,57 @@
+// Thread-safe latency histogram with geometric buckets.
+//
+// Serving code records one sample per query from many threads at once, so
+// Record() is a single relaxed atomic increment on a fixed bucket array —
+// no locks, no allocation. Percentile queries walk the buckets and return
+// the geometric midpoint of the bucket holding the requested rank, which
+// bounds the relative error by the bucket growth factor (~9% per side).
+//
+// Readers and writers may overlap; a percentile computed during a burst of
+// recording reflects *some* recent prefix of the samples, which is the
+// usual contract for serving stats.
+#ifndef NETCLUS_UTIL_HISTOGRAM_H_
+#define NETCLUS_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace netclus::util {
+
+/// Histogram over positive durations in seconds. Buckets are geometric
+/// from kMinSeconds to kMaxSeconds; out-of-range samples clamp to the
+/// extreme buckets.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 96;
+  static constexpr double kMinSeconds = 1e-7;   // 100 ns
+  static constexpr double kMaxSeconds = 100.0;
+
+  LatencyHistogram();
+
+  /// Records one sample. Lock-free; callable from any thread.
+  void Record(double seconds);
+
+  /// Number of samples recorded.
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Mean of all samples, seconds (0 when empty).
+  double MeanSeconds() const;
+
+  /// Approximate p-th percentile (p in [0, 1]), seconds. 0 when empty.
+  double PercentileSeconds(double p) const;
+
+  /// Resets all buckets to empty.
+  void Reset();
+
+ private:
+  size_t BucketFor(double seconds) const;
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_;
+  std::atomic<uint64_t> count_;
+  std::atomic<uint64_t> total_ns_;
+};
+
+}  // namespace netclus::util
+
+#endif  // NETCLUS_UTIL_HISTOGRAM_H_

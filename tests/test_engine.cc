@@ -113,6 +113,31 @@ TEST(Engine, DynamicUpdatesKeepIndexConsistent) {
   EXPECT_LT(after_utility, utility);
 }
 
+TEST(Engine, RemovingUnknownTrajectoryIsADocumentedNoOp) {
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  Engine engine = MakeEngine();
+  engine.BuildIndex();
+  const size_t live = engine.store().live_count();
+
+  engine.RemoveTrajectory(1u << 30);  // far beyond any allocated id
+  EXPECT_EQ(engine.store().live_count(), live);
+  engine.RemoveSite(1u << 30);  // unknown site id: same no-op contract
+  engine.RemoveTrajectory(0);
+  engine.RemoveTrajectory(0);  // double remove: second is a no-op
+  EXPECT_EQ(engine.store().live_count(), live - 1);
+
+  // The bogus removals left engine bit-identical to a control that only
+  // performed the one legitimate removal (MakeEngine is deterministic).
+  Engine control = MakeEngine();
+  control.BuildIndex();
+  control.RemoveTrajectory(0);
+  const auto after = engine.TopK(3, 600.0, psi);
+  const auto expected = control.TopK(3, 600.0, psi);
+  EXPECT_EQ(after.selection.sites, expected.selection.sites);
+  EXPECT_EQ(after.selection.marginal_gains, expected.selection.marginal_gains);
+  EXPECT_EQ(after.selection.utility, expected.selection.utility);
+}
+
 TEST(Engine, SiteUpdatesChangeTheCandidatePool) {
   graph::RoadNetwork net = test::MakeGridNetwork(10, 10, 100.0);
   // Start with a deliberately tiny site pool far from the action.

@@ -101,6 +101,61 @@ TEST(IndexIo, LoadedIndexAbsorbsFurtherUpdates) {
   }
 }
 
+// Satellite of the serving PR: persistence must round-trip an index that
+// has absorbed dynamic updates (Sec. 6) since its build — the serving
+// deployment saves whatever the update pipeline has produced.
+TEST(IndexIo, RoundTripAfterDynamicUpdatesPreservesTopK) {
+  graph::RoadNetwork net = test::MakeGridNetwork(10, 10, 100.0);
+  auto store = std::make_unique<traj::TrajectoryStore>(&net);
+  test::FillRandomWalks(store.get(), 40, 4, 12, 71);
+  // Sampled sites so a later AddSite introduces a genuinely new one.
+  tops::SiteSet sites = tops::SiteSet::SampleNodes(net, 40, 5);
+  MultiIndexConfig config;
+  config.gamma = 0.75;
+  config.tau_min_m = 300.0;
+  config.tau_max_m = 2500.0;
+  MultiIndex index = MultiIndex::Build(*store, sites, config);
+
+  // Dynamic updates after the build: adds, removes, and a new site.
+  for (int i = 0; i < 8; ++i) {
+    const traj::TrajId t = store->Add({0, 1, 2, 12, 22, 23});
+    index.AddTrajectory(*store, t);
+    if (i % 3 == 0) {
+      index.RemoveTrajectory(t);
+      store->Remove(t);
+    }
+  }
+  index.RemoveTrajectory(5);  // a build-time trajectory
+  store->Remove(5);
+  graph::NodeId fresh_node = 0;
+  while (sites.SiteAtNode(fresh_node) != tops::kInvalidSite) ++fresh_node;
+  const tops::SiteId fresh_site = sites.Add(fresh_node);
+  index.AddSite(*store, sites, fresh_site);
+
+  std::stringstream ss;
+  WriteIndex(index, ss);
+  MultiIndex loaded;
+  std::string error;
+  ASSERT_TRUE(ReadIndex(ss, net.num_nodes(), store->total_count(), &loaded,
+                        &error))
+      << error;
+
+  // Identical TopK on the updated original and the loaded copy.
+  const QueryEngine original(&index, store.get(), &sites);
+  const QueryEngine reloaded(&loaded, store.get(), &sites);
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  for (const double tau : {500.0, 900.0, 1500.0}) {
+    QueryConfig qc;
+    qc.k = 5;
+    qc.tau_m = tau;
+    const QueryResult a = original.Tops(psi, qc);
+    const QueryResult b = reloaded.Tops(psi, qc);
+    EXPECT_EQ(a.selection.sites, b.selection.sites) << "tau " << tau;
+    EXPECT_EQ(a.selection.utility, b.selection.utility) << "tau " << tau;
+    EXPECT_EQ(a.selection.marginal_gains, b.selection.marginal_gains);
+  }
+}
+
 TEST(IndexIo, RejectsCorpusMismatch) {
   Fixture f;
   std::stringstream ss;

@@ -134,6 +134,46 @@ TEST(MultiIndex, UpdatesFanOutToAllInstances) {
   }
 }
 
+// Satellite regression of the serving PR: removing an id the index has
+// never seen — or removing the same id twice — must be a safe no-op, not
+// UB; the serving update pipeline feeds client-supplied ids straight in.
+TEST(MultiIndex, RemoveUnknownOrAlreadyRemovedTrajectoryIsANoOp) {
+  Fixture f;
+  MultiIndexConfig config;
+  config.gamma = 0.75;
+  config.tau_min_m = 400.0;
+  config.tau_max_m = 3000.0;
+  MultiIndex index = MultiIndex::Build(*f.store, f.sites, config);
+
+  auto tl_sizes = [&] {
+    std::vector<size_t> sizes;
+    for (size_t p = 0; p < index.num_instances(); ++p) {
+      for (uint32_t g = 0; g < index.instance(p).num_clusters(); ++g) {
+        sizes.push_back(index.instance(p).cluster(g).tl.size());
+      }
+    }
+    return sizes;
+  };
+
+  index.RemoveTrajectory(500000);  // never existed: nothing to undo
+  const std::vector<size_t> before = tl_sizes();
+
+  const traj::TrajId t = 7;
+  index.RemoveTrajectory(t);
+  const std::vector<size_t> after_once = tl_sizes();
+  index.RemoveTrajectory(t);  // double remove: second is a no-op
+  EXPECT_EQ(tl_sizes(), after_once);
+  EXPECT_NE(before, after_once);  // the first remove did real work
+
+  // Clone is a deep copy: removing from the clone leaves the original
+  // untouched (the serving layer's copy-on-write batches rely on this).
+  MultiIndex clone = index.Clone();
+  clone.RemoveTrajectory(9);
+  EXPECT_EQ(tl_sizes(), after_once);
+  EXPECT_FALSE(index.instance(0).cluster_sequence(9).empty());
+  EXPECT_TRUE(clone.instance(0).cluster_sequence(9).empty());
+}
+
 TEST(MultiIndex, MemoryBytesIsSumOfInstances) {
   Fixture f;
   MultiIndexConfig config;

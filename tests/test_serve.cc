@@ -1,0 +1,411 @@
+// Tests for the concurrent serving subsystem (src/serve): snapshot
+// isolation, the single-writer update pipeline, the sharded query cache,
+// and the NetClusServer facade.
+//
+// The load-bearing property is at the bottom: with >= 4 reader threads
+// submitting queries while the update pipeline publishes new snapshot
+// versions, every answer is bit-identical to a serial replay of the same
+// spec on the snapshot version that served it. The whole file must also
+// be TSan-clean (the CI tsan job runs it under -fsanitize=thread).
+#include <atomic>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "gtest/gtest.h"
+#include "serve/query_cache.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "serve/update_pipeline.h"
+#include "test_helpers.h"
+#include "traj/trip_generator.h"
+
+namespace netclus {
+namespace {
+
+Engine MakeEngine(uint32_t dim = 10, uint64_t seed = 311) {
+  graph::RoadNetwork net = test::MakeGridNetwork(dim, dim, 100.0);
+  tops::SiteSet sites = tops::SiteSet::AllNodes(net);
+  Engine::Options options;
+  options.index.gamma = 0.75;
+  options.index.tau_min_m = 300.0;
+  options.index.tau_max_m = 2000.0;
+  Engine engine(std::move(net), std::move(sites), options);
+  util::Rng rng(seed);
+  for (int i = 0; i < 60; ++i) {
+    const auto src =
+        static_cast<graph::NodeId>(rng.UniformInt(engine.network().num_nodes()));
+    const auto dst =
+        static_cast<graph::NodeId>(rng.UniformInt(engine.network().num_nodes()));
+    if (src == dst) continue;
+    auto path = traj::RoutePerturbed(engine.network(), src, dst, 0.3, seed + i);
+    if (path.size() >= 2) engine.AddTrajectory(std::move(path));
+  }
+  engine.BuildIndex();
+  return engine;
+}
+
+Engine::QuerySpec Spec(uint32_t k, double tau_m) {
+  Engine::QuerySpec spec;
+  spec.k = k;
+  spec.tau_m = tau_m;
+  return spec;
+}
+
+// Serial replay of a spec on the exact snapshot that served it, in the
+// same canonical form the server executes.
+index::QueryResult Replay(const serve::ServeResult& served,
+                          const Engine::QuerySpec& spec) {
+  const Engine::QuerySpec canon = serve::CanonicalizeSpec(spec);
+  return served.snapshot->query().Tops(canon.psi, canon.ToConfig(/*threads=*/1));
+}
+
+void ExpectBitIdentical(const index::QueryResult& expected,
+                        const index::QueryResult& actual) {
+  EXPECT_EQ(expected.selection.sites, actual.selection.sites);
+  EXPECT_EQ(expected.selection.marginal_gains, actual.selection.marginal_gains);
+  EXPECT_EQ(expected.selection.utility, actual.selection.utility);
+  EXPECT_EQ(expected.instance_used, actual.instance_used);
+  EXPECT_EQ(expected.clusters_considered, actual.clusters_considered);
+}
+
+TEST(SnapshotRegistry, PublishAndAcquireAreVersioned) {
+  Engine engine = MakeEngine();
+  auto server = engine.Serve();
+  const serve::SnapshotPtr snap = server->snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version(), 1u);
+  EXPECT_EQ(snap->store().live_count(), engine.store().live_count());
+  EXPECT_EQ(snap->sites().size(), engine.sites().size());
+  EXPECT_EQ(snap->index().num_instances(), engine.index().num_instances());
+}
+
+TEST(NetClusServer, SubmitMatchesEngineAndCaches) {
+  Engine engine = MakeEngine();
+  auto server = engine.Serve();
+  const Engine::QuerySpec spec = Spec(5, 700.0);
+
+  const serve::ServeResult first = server->Submit(spec);
+  EXPECT_EQ(first.snapshot_version, 1u);
+  EXPECT_FALSE(first.cache_hit);
+  const auto direct = engine.TopK(spec.k, spec.tau_m, spec.psi);
+  ExpectBitIdentical(direct, first.result);
+
+  const serve::ServeResult second = server->Submit(spec);
+  EXPECT_TRUE(second.cache_hit);
+  ExpectBitIdentical(first.result, second.result);
+
+  const serve::ServerStats stats = server->stats();
+  EXPECT_EQ(stats.queries_served, 2u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 1u);
+  EXPECT_GE(stats.latency_p99_ms, 0.0);
+}
+
+TEST(NetClusServer, BatchSharesOneVersionAndKeepsOrder) {
+  Engine engine = MakeEngine();
+  auto server = engine.Serve();
+  std::vector<Engine::QuerySpec> specs = {Spec(1, 500.0), Spec(3, 700.0),
+                                          Spec(5, 900.0), Spec(2, 1100.0)};
+  const auto answers = server->SubmitBatch(specs);
+  ASSERT_EQ(answers.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(answers[i].snapshot_version, answers[0].snapshot_version);
+    EXPECT_EQ(answers[i].result.selection.sites.size(), specs[i].k);
+    ExpectBitIdentical(Replay(answers[i], specs[i]), answers[i].result);
+  }
+}
+
+TEST(UpdatePipeline, PreassignedTrajectoryIdsMatchTheStore) {
+  Engine engine = MakeEngine();
+  auto server = engine.Serve();
+  const auto base_count = server->snapshot()->store().total_count();
+  const std::vector<graph::NodeId> path = {0, 1, 2, 12, 22};
+  const serve::UpdateTicket t1 = server->MutateAddTrajectory(path);
+  const serve::UpdateTicket t2 = server->MutateAddTrajectory({5, 6, 7});
+  ASSERT_TRUE(t1.accepted);
+  ASSERT_TRUE(t2.accepted);
+  EXPECT_EQ(t1.traj, static_cast<traj::TrajId>(base_count));
+  EXPECT_EQ(t2.traj, static_cast<traj::TrajId>(base_count + 1));
+  server->Flush();
+  const serve::SnapshotPtr snap = server->snapshot();
+  ASSERT_GT(snap->version(), 1u);
+  ASSERT_TRUE(snap->store().is_alive(t1.traj));
+  EXPECT_EQ(snap->store().trajectory(t1.traj).nodes(), path);
+}
+
+TEST(UpdatePipeline, SnapshotIsolationLeavesOldReadersUntouched) {
+  Engine engine = MakeEngine();
+  auto server = engine.Serve();
+  const Engine::QuerySpec spec = Spec(1, 600.0);
+
+  const serve::ServeResult before = server->Submit(spec);
+  const serve::SnapshotPtr old_snap = before.snapshot;
+
+  // Flood one corner so the k=1 answer must change.
+  for (int i = 0; i < 50; ++i) {
+    server->MutateAddTrajectory({0, 1, 2, 10, 11, 12});
+  }
+  server->Flush();
+
+  const serve::ServeResult after = server->Submit(spec);
+  EXPECT_GT(after.snapshot_version, before.snapshot_version);
+  EXPECT_GT(after.result.selection.utility, before.result.selection.utility);
+
+  // The retained old snapshot still answers exactly as it did: immutable.
+  ExpectBitIdentical(before.result, Replay(before, spec));
+  EXPECT_EQ(old_snap->store().live_count(), engine.store().live_count());
+}
+
+TEST(UpdatePipeline, RemovesAndSiteAddsFlowThrough) {
+  // A sampled (not all-nodes) site pool, so the AddSite below introduces
+  // a site at a genuinely site-less node — the assertion would be vacuous
+  // against MakeEngine's AllNodes pool.
+  graph::RoadNetwork net = test::MakeGridNetwork(10, 10, 100.0);
+  tops::SiteSet sites = tops::SiteSet::SampleNodes(net, 30, 9);
+  Engine::Options options;
+  options.index.tau_min_m = 300.0;
+  options.index.tau_max_m = 2000.0;
+  Engine engine(std::move(net), std::move(sites), options);
+  for (int i = 0; i < 30; ++i) {
+    engine.AddTrajectory({0, 1, 2, 12, 22, 23});
+  }
+  engine.BuildIndex();
+  auto server = engine.Serve();
+  const size_t live_before = server->snapshot()->store().live_count();
+  const size_t sites_before = server->snapshot()->sites().size();
+  graph::NodeId fresh_node = 0;
+  while (engine.sites().SiteAtNode(fresh_node) != tops::kInvalidSite) {
+    ++fresh_node;
+  }
+
+  const serve::UpdateTicket added = server->MutateAddTrajectory({3, 4, 5, 15});
+  server->MutateRemoveTrajectory(added.traj);  // remove the one just queued
+  server->MutateRemoveTrajectory(0);           // remove a pre-existing one
+  const serve::UpdateTicket site = server->MutateAddSite(fresh_node);
+  ASSERT_TRUE(site.accepted);
+  server->Flush();
+
+  const serve::SnapshotPtr snap = server->snapshot();
+  EXPECT_EQ(snap->store().live_count(), live_before - 1);
+  EXPECT_FALSE(snap->store().is_alive(added.traj));
+  EXPECT_FALSE(snap->store().is_alive(0));
+  EXPECT_EQ(snap->sites().size(), sites_before + 1);
+  EXPECT_NE(snap->sites().SiteAtNode(fresh_node), tops::kInvalidSite);
+  // The originating engine's site pool is untouched: isolation.
+  EXPECT_EQ(engine.sites().SiteAtNode(fresh_node), tops::kInvalidSite);
+}
+
+TEST(UpdatePipeline, RejectsInvalidOpsAtEnqueueNotOnTheWriter) {
+  Engine engine = MakeEngine();
+  auto server = engine.Serve();
+  const size_t nodes = engine.network().num_nodes();
+
+  // A client-supplied out-of-range node must bounce the op with
+  // accepted = false — never abort the writer thread mid-apply.
+  const serve::UpdateTicket bad_traj = server->MutateAddTrajectory(
+      {0, static_cast<graph::NodeId>(nodes + 5)});
+  EXPECT_FALSE(bad_traj.accepted);
+  const serve::UpdateTicket empty_traj = server->MutateAddTrajectory({});
+  EXPECT_FALSE(empty_traj.accepted);
+  const serve::UpdateTicket bad_site =
+      server->MutateAddSite(static_cast<graph::NodeId>(nodes));
+  EXPECT_FALSE(bad_site.accepted);
+
+  // Garbage τ from a client (NaN, inf) must select some instance and
+  // answer, never abort the service (UBSan guards the cast path).
+  const auto nan_q =
+      server->Submit(Spec(2, std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_GE(nan_q.result.selection.utility, 0.0);
+  const auto inf_q =
+      server->Submit(Spec(2, std::numeric_limits<double>::infinity()));
+  EXPECT_GE(inf_q.result.selection.utility, 0.0);
+
+  // Rejected ops do not consume sequence numbers or trajectory ids: the
+  // next valid add gets the id the store will really assign.
+  const auto base_count = server->snapshot()->store().total_count();
+  const serve::UpdateTicket good = server->MutateAddTrajectory({0, 1, 2});
+  ASSERT_TRUE(good.accepted);
+  EXPECT_EQ(good.traj, static_cast<traj::TrajId>(base_count));
+  server->Flush();
+  EXPECT_TRUE(server->snapshot()->store().is_alive(good.traj));
+  EXPECT_EQ(server->stats().updates.ops_rejected, 3u);
+}
+
+// Satellite regression: unknown / double removes must be safe no-ops at
+// every layer (Engine, store, MultiIndex, and through the pipeline).
+TEST(DynamicUpdates, RemovingUnknownTrajectoryIsANoOpEverywhere) {
+  Engine engine = MakeEngine();
+  const size_t live = engine.store().live_count();
+
+  engine.RemoveTrajectory(999999);  // unknown id: logged no-op
+  engine.RemoveTrajectory(0);
+  engine.RemoveTrajectory(0);  // second remove of the same id: no-op
+  EXPECT_EQ(engine.store().live_count(), live - 1);
+
+  auto server = engine.Serve();
+  server->MutateRemoveTrajectory(888888);  // unknown id through the pipeline
+  server->Flush();
+  EXPECT_EQ(server->snapshot()->store().live_count(), live - 1);
+  // The pipeline's bogus remove changed nothing: the served answer is
+  // bit-identical to querying the engine (which saw only the real remove).
+  const auto after = server->Submit(Spec(3, 600.0));
+  ExpectBitIdentical(engine.TopK(3, 600.0, tops::PreferenceFunction::Binary()),
+                     after.result);
+}
+
+TEST(QueryCache, CanonicalizationAndLru) {
+  serve::QueryCache::Options options;
+  options.capacity = 2;
+  options.shards = 1;
+  serve::QueryCache cache(options);
+  Engine::QuerySpec spec = Spec(5, 800.0);
+
+  // Permuted + duplicated existing services canonicalize to the same key.
+  spec.existing_services = {3, 1, 2};
+  const serve::QueryKey a = serve::CanonicalQueryKey(7, spec);
+  spec.existing_services = {2, 3, 1, 1};
+  const serve::QueryKey b = serve::CanonicalQueryKey(7, spec);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(serve::QueryKeyHash()(a), serve::QueryKeyHash()(b));
+  // A version bump changes the key: publishes implicitly invalidate.
+  const serve::QueryKey c = serve::CanonicalQueryKey(8, spec);
+  EXPECT_FALSE(a == c);
+
+  index::QueryResult r;
+  r.selection.utility = 42.0;
+  EXPECT_FALSE(cache.Lookup(a).has_value());
+  cache.Insert(a, r);
+  ASSERT_TRUE(cache.Lookup(b).has_value());
+  EXPECT_EQ(cache.Lookup(b)->selection.utility, 42.0);
+
+  // Fill past capacity; the LRU tail (key `a`) must be evicted after `c`
+  // and `d` are touched more recently.
+  spec.existing_services.clear();
+  const serve::QueryKey d = serve::CanonicalQueryKey(9, spec);
+  cache.Insert(c, r);
+  cache.Insert(d, r);
+  EXPECT_FALSE(cache.Lookup(a).has_value());
+  const serve::QueryCache::Stats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(NetClusServer, ServerAndRetainedSnapshotsOutliveTheEngine) {
+  auto engine = std::make_unique<Engine>(MakeEngine());
+  auto server = engine->Serve();
+  const Engine::QuerySpec spec = Spec(3, 700.0);
+  const serve::ServeResult held = server->Submit(spec);
+  engine.reset();  // the server copied network/corpus/sites: self-contained
+
+  ExpectBitIdentical(held.result, Replay(held, spec));  // retained snapshot
+  server->MutateAddTrajectory({0, 1, 2, 12});           // pipeline still works
+  server->Flush();
+  EXPECT_GT(server->snapshot()->version(), 1u);
+  const auto fresh = server->Submit(spec);
+  EXPECT_EQ(fresh.result.selection.sites.size(), 3u);
+}
+
+TEST(NetClusServer, GracefulShutdownDrainsThenRejectsWrites) {
+  Engine engine = MakeEngine();
+  auto server = engine.Serve();
+  for (int i = 0; i < 40; ++i) {
+    server->MutateAddTrajectory({10, 11, 12, 13});
+  }
+  server->Shutdown();
+  const serve::ServerStats stats = server->stats();
+  EXPECT_EQ(stats.updates.ops_applied, 40u);  // drained, not dropped
+  EXPECT_GE(stats.snapshot_version, 2u);
+
+  const serve::UpdateTicket late = server->MutateAddTrajectory({1, 2});
+  EXPECT_FALSE(late.accepted);
+  // Reads keep working against the final snapshot.
+  const auto result = server->Submit(Spec(2, 600.0));
+  EXPECT_EQ(result.result.selection.sites.size(), 2u);
+  server->Shutdown();  // idempotent
+}
+
+// Acceptance: >= 4 reader threads + a live update stream; every answer is
+// bit-identical to a serial replay at its snapshot version.
+TEST(NetClusServer, ConcurrentServingMatchesSerialReplayAtEveryVersion) {
+  Engine engine = MakeEngine();
+  serve::ServerOptions options;
+  options.updates.max_batch = 16;
+  auto server = engine.Serve(options);
+
+  const std::vector<Engine::QuerySpec> specs = {
+      Spec(1, 500.0), Spec(3, 700.0), Spec(5, 900.0),
+      Spec(2, 1100.0), Spec(4, 600.0)};
+
+  constexpr int kReaders = 4;
+  constexpr int kQueriesPerReader = 30;
+  std::vector<std::vector<std::pair<size_t, serve::ServeResult>>> recorded(
+      kReaders);
+  std::atomic<bool> start{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int q = 0; q < kQueriesPerReader; ++q) {
+        const size_t spec_index = (r + q) % specs.size();
+        recorded[r].emplace_back(spec_index, server->Submit(specs[spec_index]));
+      }
+    });
+  }
+
+  // The writer: stream trajectory updates while the readers run.
+  start.store(true, std::memory_order_release);
+  util::Rng rng(77);
+  std::vector<traj::TrajId> added;
+  for (int batch = 0; batch < 8; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      const auto src = static_cast<graph::NodeId>(
+          rng.UniformInt(engine.network().num_nodes()));
+      const auto dst = static_cast<graph::NodeId>(
+          rng.UniformInt(engine.network().num_nodes()));
+      if (src == dst) continue;
+      auto path =
+          traj::RoutePerturbed(engine.network(), src, dst, 0.3, 9000 + batch * 10 + i);
+      if (path.size() < 2) continue;
+      const serve::UpdateTicket t = server->MutateAddTrajectory(std::move(path));
+      if (t.accepted) added.push_back(t.traj);
+    }
+    if (batch % 3 == 2 && !added.empty()) {
+      server->MutateRemoveTrajectory(added[added.size() / 2]);
+    }
+    server->Flush();
+  }
+  for (std::thread& t : readers) t.join();
+  server->Shutdown();
+
+  // Serial replay: every recorded answer must be bit-identical to a fresh
+  // serial computation on the snapshot version that served it.
+  uint64_t min_version = ~0ull, max_version = 0;
+  size_t total = 0;
+  for (int r = 0; r < kReaders; ++r) {
+    for (const auto& [spec_index, served] : recorded[r]) {
+      ExpectBitIdentical(Replay(served, specs[spec_index]), served.result);
+      min_version = std::min(min_version, served.snapshot_version);
+      max_version = std::max(max_version, served.snapshot_version);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kReaders) * kQueriesPerReader);
+  // The update stream published while reads were in flight, so readers
+  // must have observed more than one version on any realistic schedule;
+  // at minimum the final version exceeds the initial one.
+  EXPECT_GT(server->snapshot()->version(), 1u);
+  EXPECT_GE(max_version, min_version);
+
+  const serve::ServerStats stats = server->stats();
+  EXPECT_EQ(stats.queries_served, total);
+  EXPECT_EQ(stats.cache.hits + stats.cache.misses, total);
+  EXPECT_GT(stats.updates.batches_published, 0u);
+  EXPECT_EQ(stats.updates.ops_enqueued, stats.updates.ops_applied);
+}
+
+}  // namespace
+}  // namespace netclus

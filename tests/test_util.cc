@@ -4,6 +4,7 @@
 
 #include "gtest/gtest.h"
 #include "util/flags.h"
+#include "util/histogram.h"
 #include "util/logging.h"
 #include "util/memory.h"
 #include "util/rng.h"
@@ -278,6 +279,39 @@ TEST(Timer, ScopedAccumulator) {
     ScopedAccumulator acc(&sink);
   }
   EXPECT_GE(sink, 0.0);
+}
+
+TEST(LatencyHistogram, EmptyAndBasicStats) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.PercentileSeconds(0.5), 0.0);
+  EXPECT_EQ(h.MeanSeconds(), 0.0);
+
+  h.Record(1e-3);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_NEAR(h.MeanSeconds(), 1e-3, 1e-9);
+  // Geometric buckets: the percentile lands within the bucket holding the
+  // sample (relative error bounded by the ~24%/bucket growth factor).
+  EXPECT_NEAR(h.PercentileSeconds(0.5), 1e-3, 0.3e-3);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(LatencyHistogram, PercentilesSeparateFastAndSlow) {
+  LatencyHistogram h;
+  // 95 fast samples at ~1 ms, 5 slow ones at ~1 s.
+  for (int i = 0; i < 95; ++i) h.Record(1e-3);
+  for (int i = 0; i < 5; ++i) h.Record(1.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.PercentileSeconds(0.50), 1e-3, 0.3e-3);
+  EXPECT_NEAR(h.PercentileSeconds(0.95), 1e-3, 0.3e-3);
+  EXPECT_NEAR(h.PercentileSeconds(0.99), 1.0, 0.3);
+  EXPECT_GT(h.PercentileSeconds(0.99), h.PercentileSeconds(0.50));
+  // Clamping: absurd samples land in the extreme buckets, not UB.
+  h.Record(0.0);
+  h.Record(1e6);
+  EXPECT_EQ(h.count(), 102u);
 }
 
 }  // namespace

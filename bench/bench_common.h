@@ -16,6 +16,7 @@
 #include <string>
 
 #include "data/datasets.h"
+#include "graph/spf/distance_backend.h"
 #include "netclus/multi_index.h"
 #include "netclus/query.h"
 #include "tops/coverage.h"
@@ -97,12 +98,15 @@ struct ExactRun {
 inline ExactRun RunExactGreedy(const data::Dataset& dataset, uint32_t k,
                                double tau_m, const tops::PreferenceFunction& psi,
                                bool use_fm, uint32_t fm_copies = 30,
-                               uint64_t memory_budget_bytes = 0) {
+                               uint64_t memory_budget_bytes = 0,
+                               const graph::spf::DistanceBackend* backend =
+                                   nullptr) {
   ExactRun run;
   util::WallTimer timer;
   tops::CoverageConfig config;
   config.tau_m = tau_m;
   config.memory_budget_bytes = memory_budget_bytes;
+  config.backend = backend;
   const tops::CoverageIndex coverage =
       tops::CoverageIndex::Build(*dataset.store, dataset.sites, config);
   if (coverage.oom()) {

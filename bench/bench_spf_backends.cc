@@ -1,0 +1,193 @@
+// Shortest-path backend comparison: covering-set builds, batched
+// one-to-many searches, and point-to-point latency under each spf backend
+// (dijkstra / bidir / ch) on the synthetic datasets.
+//
+// The headline number is the covering-set build — the dominant cost of the
+// INCG baseline (Sec. 8.6) and of every τ sweep: CH answers each site's
+// round-trip ball with one small upward search plus a linear PHAST sweep,
+// so on large radii it beats the heap-driven Dijkstra ball by a growing
+// factor (>= 2x expected on the largest dataset at the default τ, plus a
+// one-off preprocessing cost amortized over all sites).
+//
+// Rows also land in BENCH_spf.json (override path with NETCLUS_BENCH_JSON)
+// so CI tracks the per-backend perf trajectory.
+#include <cmath>
+#include <fstream>
+
+#include "bench_common.h"
+
+#include "graph/generators.h"
+#include "graph/spf/distance_backend.h"
+#include "traj/trip_generator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace netclus;
+namespace spf = graph::spf;
+
+// The largest dataset: a network-heavy shape (big grid, moderate corpus)
+// matching the paper's full-size networks, where covering-set builds are
+// bound by the per-site searches rather than by posting-list scatter.
+// This is the regime the CH backend exists for and the row the >= 2x
+// acceptance bar reads.
+data::Dataset MakeBeijingXl(double base_scale) {
+  const double scale = base_scale * util::DatasetScale();
+  graph::GridCityConfig grid;
+  grid.rows = std::max<uint32_t>(
+      24, static_cast<uint32_t>(std::lround(84.0 * std::sqrt(scale))));
+  grid.cols = grid.rows;
+  grid.block_m = 150.0;
+  grid.one_way_fraction = 0.25;
+  grid.edge_drop_fraction = 0.05;
+  grid.seed = 1031;
+  data::Dataset d;
+  d.name = "beijing-xl";
+  d.network = std::make_unique<graph::RoadNetwork>(graph::GenerateGridCity(grid));
+  d.store = std::make_unique<traj::TrajectoryStore>(d.network.get());
+  traj::TripGeneratorConfig trips;
+  // Corpus scales with the grid SIDE, not the node count: route length in
+  // nodes grows with the side too, so posting density per node — the
+  // backend-independent share of a covering build — stays flat and the
+  // dataset keeps its search-bound shape at every NETCLUS_SCALE.
+  trips.num_trajectories = std::max<uint32_t>(
+      200, static_cast<uint32_t>(std::lround(1000.0 * std::sqrt(scale))));
+  trips.min_od_distance_m = 2000.0;
+  trips.seed = 1033;
+  traj::GenerateTrips(trips, d.store.get());
+  d.sites = tops::SiteSet::AllNodes(*d.network);
+  return d;
+}
+
+struct CellResult {
+  std::string dataset;
+  std::string backend;
+  double tau_m = 0.0;
+  double preprocess_s = 0.0;       // backend build (CH contraction)
+  uint64_t backend_bytes = 0;      // preprocessed structure footprint
+  double cover_build_s = 0.0;      // CoverageIndex::Build wall time
+  uint64_t cover_entries = 0;
+  double p2p_us = 0.0;             // mean point-to-point latency
+  double speedup_vs_dijkstra = 0.0;
+};
+
+double MeanPointToPointMicros(const spf::DistanceBackend& backend,
+                              const graph::RoadNetwork& net, size_t queries) {
+  const auto query = backend.MakeQuery();
+  util::Rng rng(4242);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  pairs.reserve(queries);
+  for (size_t i = 0; i < queries; ++i) {
+    pairs.emplace_back(
+        static_cast<graph::NodeId>(rng.UniformInt(net.num_nodes())),
+        static_cast<graph::NodeId>(rng.UniformInt(net.num_nodes())));
+  }
+  util::WallTimer timer;
+  double checksum = 0.0;
+  for (const auto& [s, t] : pairs) {
+    const double d = query->PointToPoint(s, t);
+    if (d != graph::kInfDistance) checksum += d;
+  }
+  const double micros = timer.Seconds() * 1e6 / static_cast<double>(queries);
+  // Keep the loop observable.
+  if (checksum < 0.0) std::printf("impossible checksum\n");
+  return micros;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "SPF backends", "Distance-backend comparison (dijkstra / bidir / ch)",
+      "CH covering-set builds >= 2x faster than plain Dijkstra on the "
+      "largest dataset; bidir/CH win point-to-point");
+
+  const double tau_m = util::GetEnvDouble("NETCLUS_SPF_TAU_M", 8000.0);
+  const size_t p2p_queries =
+      static_cast<size_t>(util::GetEnvInt("NETCLUS_SPF_P2P", 400));
+
+  // Ordered small to large; the acceptance criterion reads the last one.
+  const std::vector<std::pair<std::string, double>> dataset_specs = {
+      {"newyork", 0.15}, {"atlanta", 0.15}, {"beijing-lite", 0.30},
+      {"beijing-xl", 1.0}};
+
+  std::vector<CellResult> cells;
+  util::Table table({"dataset", "backend", "tau_km", "preprocess_s",
+                     "backend_mem", "cover_build_s", "cover_entries", "p2p_us",
+                     "speedup_vs_dijkstra"});
+  for (const auto& [name, base_scale] : dataset_specs) {
+    const data::Dataset d = name == "beijing-xl"
+                                ? MakeBeijingXl(base_scale)
+                                : bench::MakeDataset(name, base_scale);
+    std::printf("\n%s: %zu nodes, %zu trajectories, %zu sites\n",
+                name.c_str(), d.num_nodes(), d.num_trajectories(),
+                d.num_sites());
+    double dijkstra_cover_s = 0.0;
+    for (const spf::BackendKind kind :
+         {spf::BackendKind::kDijkstra, spf::BackendKind::kBidirectional,
+          spf::BackendKind::kContractionHierarchies}) {
+      CellResult cell;
+      cell.dataset = name;
+      cell.backend = spf::BackendName(kind);
+      cell.tau_m = tau_m;
+
+      util::WallTimer preprocess;
+      const std::shared_ptr<const spf::DistanceBackend> backend =
+          spf::MakeBackend(kind, d.network.get());
+      cell.preprocess_s = preprocess.Seconds();
+      cell.backend_bytes = backend->MemoryBytes();
+
+      tops::CoverageConfig config;
+      config.tau_m = tau_m;
+      config.backend = backend.get();
+      util::WallTimer cover_timer;
+      const tops::CoverageIndex coverage =
+          tops::CoverageIndex::Build(*d.store, d.sites, config);
+      cell.cover_build_s = cover_timer.Seconds();
+      cell.cover_entries = coverage.stats().cover_entries;
+
+      cell.p2p_us = MeanPointToPointMicros(*backend, *d.network, p2p_queries);
+
+      if (kind == spf::BackendKind::kDijkstra) {
+        dijkstra_cover_s = cell.cover_build_s;
+      }
+      cell.speedup_vs_dijkstra =
+          cell.cover_build_s > 0.0 ? dijkstra_cover_s / cell.cover_build_s
+                                   : 0.0;
+      cells.push_back(cell);
+      table.Row()
+          .Cell(cell.dataset)
+          .Cell(cell.backend)
+          .Cell(cell.tau_m / 1000.0, 1)
+          .Cell(cell.preprocess_s, 3)
+          .Cell(util::HumanBytes(cell.backend_bytes))
+          .Cell(cell.cover_build_s, 3)
+          .Cell(cell.cover_entries)
+          .Cell(cell.p2p_us, 2)
+          .Cell(util::StrFormat("%.2fx", cell.speedup_vs_dijkstra));
+    }
+  }
+  std::printf("\n");
+  table.PrintText(std::cout);
+
+  const std::string json_path =
+      util::GetEnvString("NETCLUS_BENCH_JSON", "BENCH_spf.json");
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"spf_backends\",\n  \"tau_m\": " << tau_m
+       << ",\n  \"rows\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    json << "    {\"dataset\": \"" << c.dataset << "\", \"backend\": \""
+         << c.backend << "\", \"tau_m\": " << c.tau_m
+         << ", \"preprocess_s\": " << c.preprocess_s
+         << ", \"backend_bytes\": " << c.backend_bytes
+         << ", \"cover_build_s\": " << c.cover_build_s
+         << ", \"cover_entries\": " << c.cover_entries
+         << ", \"p2p_us\": " << c.p2p_us
+         << ", \"speedup_vs_dijkstra\": " << c.speedup_vs_dijkstra << "}"
+         << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return json.good() ? 0 : 1;
+}

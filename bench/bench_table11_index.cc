@@ -5,6 +5,7 @@
 // practical with a U-shape at the extremes.
 #include "bench_common.h"
 
+#include "graph/spf/distance_backend.h"
 #include "netclus/cluster_index.h"
 
 int main() {
@@ -17,9 +18,15 @@ int main() {
   data::Dataset d = bench::MakeDataset("beijing-lite", 0.20);
   std::printf("network: %zu nodes, %zu trajectories\n\n", d.num_nodes(),
               d.num_trajectories());
+  // Per-backend column: the same instance rebuilt on a CH distance oracle
+  // (one contraction amortized over the whole radius sweep). The cluster
+  // structure is bit-identical; only build_s changes.
+  const std::shared_ptr<const graph::spf::DistanceBackend> ch =
+      graph::spf::MakeBackend(graph::spf::BackendKind::kContractionHierarchies,
+                              d.network.get());
 
   util::Table table({"R_km", "eta_clusters", "mean_Lambda", "mean_TL",
-                     "mean_CL", "build_s", "memory"});
+                     "mean_CL", "build_s", "build_s_ch", "memory"});
   double radius = util::GetEnvDouble("NETCLUS_T11_R0_M", 60.0);
   const int steps = static_cast<int>(util::GetEnvInt("NETCLUS_T11_STEPS", 9));
   for (int i = 0; i < steps; ++i, radius *= 1.75) {
@@ -28,6 +35,9 @@ int main() {
     config.gamma = 0.75;
     const index::ClusterIndex instance =
         index::ClusterIndex::Build(*d.store, d.sites, config);
+    const index::ClusterIndex instance_ch =
+        index::ClusterIndex::Build(*d.store, d.sites, config, ch.get());
+    NC_CHECK_EQ(instance_ch.num_clusters(), instance.num_clusters());
     table.Row()
         .Cell(radius / 1000.0, 4)
         .Cell(static_cast<uint64_t>(instance.num_clusters()))
@@ -35,6 +45,7 @@ int main() {
         .Cell(instance.stats().mean_tl_size, 2)
         .Cell(instance.stats().mean_cl_size, 2)
         .Cell(instance.stats().build_seconds, 2)
+        .Cell(instance_ch.stats().build_seconds, 2)
         .Cell(util::HumanBytes(instance.MemoryBytes()));
   }
   table.PrintText(std::cout);

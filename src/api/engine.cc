@@ -15,6 +15,15 @@ Engine::Engine(graph::RoadNetwork network, tops::SiteSet sites, Options options)
       store_(std::make_unique<traj::TrajectoryStore>(network_.get())),
       sites_(std::make_unique<tops::SiteSet>(std::move(sites))) {}
 
+const graph::spf::DistanceBackend* Engine::backend() const {
+  const std::lock_guard<std::mutex> lock(*spf_mu_);
+  if (spf_ == nullptr) {
+    spf_ = graph::spf::MakeBackend(options_.distance_backend, network_.get(),
+                                   options_.threads);
+  }
+  return spf_.get();
+}
+
 traj::TrajId Engine::AddTrajectory(std::vector<graph::NodeId> nodes) {
   const traj::TrajId id = store_->Add(std::move(nodes));
   if (index_ != nullptr) index_->AddTrajectory(*store_, id);
@@ -23,8 +32,8 @@ traj::TrajId Engine::AddTrajectory(std::vector<graph::NodeId> nodes) {
 
 std::optional<traj::TrajId> Engine::AddGpsTrace(const traj::GpsTrace& trace) {
   if (matcher_ == nullptr) {
-    matcher_ = std::make_unique<traj::MapMatcher>(network_.get(),
-                                                  options_.map_matcher);
+    matcher_ = std::make_unique<traj::MapMatcher>(
+        network_.get(), options_.map_matcher, backend());
   }
   traj::MatchResult match = matcher_->Match(trace);
   if (match.path.empty()) return std::nullopt;
@@ -67,21 +76,33 @@ void Engine::BuildIndex() {
   index::MultiIndexConfig config = options_.index;
   if (config.threads == 0) config.threads = options_.threads;
   index_ = std::make_unique<index::MultiIndex>(
-      index::MultiIndex::Build(*store_, *sites_, config));
+      index::MultiIndex::Build(*store_, *sites_, config, backend()));
   query_ = std::make_unique<index::QueryEngine>(index_.get(), store_.get(),
                                                 sites_.get());
 }
 
 bool Engine::SaveIndexToFile(const std::string& path, std::string* error) const {
   NC_CHECK(index_ != nullptr) << "call BuildIndex() first";
-  return index::SaveIndex(*index_, path, error);
+  return index::SaveIndex(*index_, backend(), path, error);
 }
 
 bool Engine::LoadIndexFromFile(const std::string& path, std::string* error) {
   auto loaded = std::make_unique<index::MultiIndex>();
+  std::shared_ptr<const graph::spf::DistanceBackend> loaded_backend;
   if (!index::LoadIndex(path, network_->num_nodes(), store_->total_count(),
-                        loaded.get(), error)) {
+                        loaded.get(), error, network_.get(),
+                        &loaded_backend)) {
     return false;
+  }
+  // The file records which backend built the index (and, for CH, the full
+  // preprocessed hierarchy), so the snapshot carries its backend across
+  // processes. Absent section = a pre-spf file: keep the configured one.
+  // The matcher holds raw query workspaces into the outgoing backend, so
+  // it must go before the backend does (it is rebuilt lazily).
+  if (loaded_backend != nullptr) {
+    matcher_.reset();
+    const std::lock_guard<std::mutex> lock(*spf_mu_);
+    spf_ = std::move(loaded_backend);
   }
   index_ = std::move(loaded);
   query_ = std::make_unique<index::QueryEngine>(index_.get(), store_.get(),
@@ -157,6 +178,7 @@ tops::CoverageIndex Engine::BuildCoverage(double tau_m,
   config.detour = options_.detour;
   config.memory_budget_bytes = memory_budget_bytes;
   config.threads = options_.threads;
+  config.backend = backend();
   return tops::CoverageIndex::Build(*store_, *sites_, config);
 }
 
@@ -182,8 +204,8 @@ tops::OptimalResult Engine::ExactOptimal(uint32_t k, double tau_m,
 double Engine::EvaluateExact(const std::vector<tops::SiteId>& selection,
                              double tau_m,
                              const tops::PreferenceFunction& psi) const {
-  return tops::CoverageIndex::EvaluateSelection(*store_, *sites_, selection,
-                                                tau_m, psi, options_.detour);
+  return tops::CoverageIndex::EvaluateSelection(
+      *store_, *sites_, selection, tau_m, psi, options_.detour, backend());
 }
 
 }  // namespace netclus

@@ -19,12 +19,14 @@
 #define NETCLUS_API_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "graph/road_network.h"
+#include "graph/spf/distance_backend.h"
 #include "netclus/multi_index.h"
 #include "netclus/query.h"
 #include "tops/coverage.h"
@@ -55,6 +57,20 @@ class Engine {
     /// itself defaults to 1 — the exact serial behavior). All results are
     /// bit-identical at any thread count; see docs/parallelism.md.
     uint32_t threads = 0;
+    /// Shortest-path backend for every network-distance computation: index
+    /// build, covering sets, map matching, τ estimation, exact detour
+    /// evaluation. kDefault resolves the NETCLUS_SPF environment variable
+    /// ("dijkstra" | "bidir" | "ch"; unset = dijkstra). Distances — and
+    /// with them everything distance-derived: indexes, covering sets,
+    /// rankings for a given corpus — are bit-identical under every
+    /// backend (see src/graph/spf/); only speed differs. The one
+    /// exception is route *geometry*: ShortestPath may return a
+    /// different equal-length route on ties, so a corpus ingested
+    /// through AddGpsTrace (whose map matcher expands routes) can hold
+    /// tie-equivalent but not node-identical trajectories across
+    /// backends. AddTrajectory corpora are unaffected. CH preprocessing
+    /// runs once, lazily, at the first distance use.
+    graph::spf::BackendKind distance_backend = graph::spf::BackendKind::kDefault;
   };
 
   /// One TOPS query of a batch (see TopKBatch) or of a serving request
@@ -114,11 +130,14 @@ class Engine {
   void BuildIndex();
   bool index_built() const { return index_ != nullptr; }
 
-  /// Persists the built index (the expensive offline artifact) to `path`.
+  /// Persists the built index (the expensive offline artifact) to `path`,
+  /// together with the distance backend (a CH hierarchy rides along, so a
+  /// load never re-contracts).
   bool SaveIndexToFile(const std::string& path, std::string* error) const;
 
   /// Loads a previously saved index instead of rebuilding; validates that
-  /// it matches the current network/corpus sizes.
+  /// it matches the current network/corpus sizes. A backend recorded in
+  /// the file replaces this engine's configured one.
   bool LoadIndexFromFile(const std::string& path, std::string* error);
 
   // --- online queries (NetClus) ---------------------------------------------
@@ -183,17 +202,30 @@ class Engine {
   // --- accessors -------------------------------------------------------------
 
   const graph::RoadNetwork& network() const { return *network_; }
+  /// The engine's distance backend: built lazily on first distance use
+  /// (so a load-then-serve deployment never contracts a hierarchy it is
+  /// about to replace), or adopted from a loaded index file.
+  const graph::spf::DistanceBackend& distance_backend() const {
+    return *backend();
+  }
   const traj::TrajectoryStore& store() const { return *store_; }
   const tops::SiteSet& sites() const { return *sites_; }
   const index::MultiIndex& index() const { return *index_; }
   const Options& options() const { return options_; }
 
  private:
+  /// Lazily builds (under spf_mu_, so concurrent const callers are safe)
+  /// and returns the distance backend.
+  const graph::spf::DistanceBackend* backend() const;
+
   Options options_;
   // Everything query_ points at lives behind a stable heap address (network,
   // store, sites), so the implicit move keeps a built Engine's query engine
-  // valid — Engine is safely movable after BuildIndex().
+  // valid — Engine is safely movable after BuildIndex(). The mutex lives
+  // behind a unique_ptr for the same reason (std::mutex is immovable).
   std::unique_ptr<graph::RoadNetwork> network_;
+  mutable std::unique_ptr<std::mutex> spf_mu_ = std::make_unique<std::mutex>();
+  mutable std::shared_ptr<const graph::spf::DistanceBackend> spf_;
   std::unique_ptr<traj::TrajectoryStore> store_;
   std::unique_ptr<tops::SiteSet> sites_;
   std::unique_ptr<traj::MapMatcher> matcher_;

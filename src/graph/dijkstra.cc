@@ -90,12 +90,16 @@ double DijkstraEngine::PointToPoint(NodeId s, NodeId t, double radius) {
     const auto [d, u] = heap_.top();
     heap_.pop();
     if (d > DistOf(u)) continue;
+    // Target early exit: once the heap minimum reaches dist(t), no
+    // remaining label can improve t (all relaxations from here add >= 0 to
+    // keys >= dist(t)), so stop without settling the tie-cost frontier.
+    const double target_d = DistOf(t);
+    if (target_d <= d) {
+      last_settled_ = settled;
+      return target_d;
+    }
     if (d > limit) break;
     ++settled;
-    if (u == t) {
-      last_settled_ = settled;
-      return d;
-    }
     for (const Arc& arc : net_->OutArcs(u)) {
       const double nd = d + arc.weight;
       if (nd <= limit && nd < DistOf(arc.to)) {
@@ -123,11 +127,13 @@ std::vector<NodeId> DijkstraEngine::ShortestPath(NodeId s, NodeId t,
     const auto [d, u] = heap_.top();
     heap_.pop();
     if (d > DistOf(u)) continue;
-    if (d > limit) break;
-    if (u == t) {
+    // Same target early exit as PointToPoint: dist(t) is final once the
+    // heap minimum reaches it, and the parent chain is already in place.
+    if (DistOf(t) <= d) {
       reached = true;
       break;
     }
+    if (d > limit) break;
     for (const Arc& arc : net_->OutArcs(u)) {
       const double nd = d + arc.weight;
       if (nd <= limit && nd < DistOf(arc.to)) {

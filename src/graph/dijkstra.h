@@ -8,73 +8,46 @@
 //    τ_min/τ_max estimation;
 //  * round-trip bounded search — nodes v with d(s,v) + d(v,s) ≤ r.
 //
-// DijkstraEngine owns reusable distance/stamp arrays so that running many
-// bounded searches (one per site, one per GDSP vertex) costs O(settled)
-// each instead of O(N) re-initialization.
+// DijkstraEngine is the reference implementation of the pluggable
+// spf::DistanceQuery interface (src/graph/spf/): it is the oracle every
+// other backend must match bit-for-bit. It owns reusable distance/stamp
+// arrays so that running many bounded searches (one per site, one per GDSP
+// vertex) costs O(settled) each instead of O(N) re-initialization.
 #ifndef NETCLUS_GRAPH_DIJKSTRA_H_
 #define NETCLUS_GRAPH_DIJKSTRA_H_
 
 #include <cstdint>
-#include <limits>
 #include <queue>
 #include <vector>
 
 #include "graph/road_network.h"
+#include "graph/spf/distance_backend.h"
 
 namespace netclus::graph {
 
-inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
-
-/// Search direction: forward follows arcs u -> v (distances d(source, v));
-/// reverse follows them backwards (distances d(v, source)).
-enum class Direction {
-  kForward,
-  kReverse,
-};
-
-/// A settled node with its distance from (or to) the source.
-struct Settled {
-  NodeId node;
-  double distance;
-};
-
-/// A node's forward and reverse distances from a source, i.e. the two legs
-/// of the round trip source -> node -> source.
-struct RoundTrip {
-  NodeId node;
-  double out_distance;   ///< d(source, node)
-  double back_distance;  ///< d(node, source)
-
-  double total() const { return out_distance + back_distance; }
-};
-
-class DijkstraEngine {
+class DijkstraEngine : public spf::DistanceQuery {
  public:
   explicit DijkstraEngine(const RoadNetwork* net);
 
-  /// All nodes with distance <= radius from `source` in the given direction,
-  /// in non-decreasing distance order (the source itself is included with
-  /// distance 0).
   std::vector<Settled> BoundedSearch(NodeId source, double radius,
-                                     Direction dir);
+                                     Direction dir) override;
 
-  /// One-to-all distances; unreachable nodes get kInfDistance.
-  std::vector<double> FullSearch(NodeId source, Direction dir);
+  std::vector<double> FullSearch(NodeId source, Direction dir) override;
 
-  /// Shortest-path distance from s to t, or kInfDistance. Early-exits when
-  /// t is settled. `radius` (if >= 0) truncates the search.
-  double PointToPoint(NodeId s, NodeId t, double radius = -1.0);
+  /// Early-exits as soon as the target's label is provably final: at each
+  /// pop with key d, any label ≥ d can no longer improve t, so when
+  /// dist(t) <= d the search stops without settling the remaining tie-cost
+  /// frontier (see DijkstraVisitedNodes regression test).
+  double PointToPoint(NodeId s, NodeId t, double radius = -1.0) override;
 
-  /// Nodes whose round trip source -> v -> source is at most `radius`,
-  /// with both legs. Sorted by node id.
-  std::vector<RoundTrip> BoundedRoundTrip(NodeId source, double radius);
+  std::vector<RoundTrip> BoundedRoundTrip(NodeId source,
+                                          double radius) override;
 
-  /// Shortest path from s to t as a node sequence (s first, t last). Empty
-  /// if unreachable within `radius` (negative radius = unbounded).
-  std::vector<NodeId> ShortestPath(NodeId s, NodeId t, double radius = -1.0);
+  std::vector<NodeId> ShortestPath(NodeId s, NodeId t,
+                                   double radius = -1.0) override;
 
   /// Number of nodes settled by the last search (for complexity reporting).
-  size_t last_settled_count() const { return last_settled_; }
+  size_t last_settled_count() const override { return last_settled_; }
 
   const RoadNetwork& network() const { return *net_; }
 

@@ -1,0 +1,112 @@
+#include "graph/spf/bidirectional_dijkstra.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace netclus::graph::spf {
+
+BidirectionalQuery::BidirectionalQuery(const RoadNetwork* net)
+    : net_(net), fallback_(net) {
+  NC_CHECK(net != nullptr);
+  for (int side = 0; side < 2; ++side) {
+    dist_[side].resize(net->num_nodes(), kInfDistance);
+    stamp_[side].resize(net->num_nodes(), 0);
+    parent_[side].resize(net->num_nodes(), kInvalidNode);
+  }
+}
+
+void BidirectionalQuery::NewEpoch() {
+  ++epoch_;
+  if (epoch_ == 0) {
+    std::fill(stamp_[0].begin(), stamp_[0].end(), 0u);
+    std::fill(stamp_[1].begin(), stamp_[1].end(), 0u);
+    epoch_ = 1;
+  }
+  for (int side = 0; side < 2; ++side) {
+    while (!heap_[side].empty()) heap_[side].pop();
+  }
+}
+
+double BidirectionalQuery::Meet(NodeId s, NodeId t, double limit,
+                                NodeId* meet) {
+  NewEpoch();
+  last_settled_ = 0;
+  SetDist(0, s, 0.0);
+  parent_[0][s] = kInvalidNode;
+  heap_[0].push({0.0, s});
+  SetDist(1, t, 0.0);
+  parent_[1][t] = kInvalidNode;
+  heap_[1].push({0.0, t});
+
+  double mu = kInfDistance;
+  *meet = kInvalidNode;
+  auto offer = [&](NodeId v, double total) {
+    if (total < mu) {
+      mu = total;
+      *meet = v;
+    }
+  };
+
+  while (!heap_[0].empty() || !heap_[1].empty()) {
+    const double top_f = heap_[0].empty() ? kInfDistance : heap_[0].top().first;
+    const double top_b = heap_[1].empty() ? kInfDistance : heap_[1].top().first;
+    // Termination: any undiscovered s-t path costs at least top_f + top_b.
+    if (top_f + top_b >= mu) break;
+    if (std::min(top_f, top_b) > limit) break;
+    const int side = top_f <= top_b ? 0 : 1;
+    const int other = 1 - side;
+    const auto [d, u] = heap_[side].top();
+    heap_[side].pop();
+    if (d > DistOf(side, u)) continue;  // stale entry
+    ++last_settled_;
+    if (DistOf(other, u) != kInfDistance) offer(u, d + DistOf(other, u));
+    const auto arcs =
+        side == 0 ? net_->OutArcs(u) : net_->InArcs(u);
+    for (const Arc& arc : arcs) {
+      const double nd = d + arc.weight;
+      if (nd <= limit && nd < DistOf(side, arc.to)) {
+        SetDist(side, arc.to, nd);
+        parent_[side][arc.to] = u;
+        heap_[side].push({nd, arc.to});
+        if (DistOf(other, arc.to) != kInfDistance) {
+          offer(arc.to, nd + DistOf(other, arc.to));
+        }
+      }
+    }
+  }
+  return mu <= limit ? mu : kInfDistance;
+}
+
+double BidirectionalQuery::PointToPoint(NodeId s, NodeId t, double radius) {
+  NC_CHECK_LT(s, net_->num_nodes());
+  NC_CHECK_LT(t, net_->num_nodes());
+  if (s == t) return 0.0;
+  const double limit = radius < 0.0 ? kInfDistance : radius;
+  NodeId meet = kInvalidNode;
+  return Meet(s, t, limit, &meet);
+}
+
+std::vector<NodeId> BidirectionalQuery::ShortestPath(NodeId s, NodeId t,
+                                                     double radius) {
+  NC_CHECK_LT(s, net_->num_nodes());
+  NC_CHECK_LT(t, net_->num_nodes());
+  if (s == t) return {s};
+  const double limit = radius < 0.0 ? kInfDistance : radius;
+  NodeId meet = kInvalidNode;
+  if (Meet(s, t, limit, &meet) == kInfDistance) return {};
+  // Stitch the two parent chains at the meeting node.
+  std::vector<NodeId> path;
+  for (NodeId v = meet; v != kInvalidNode; v = parent_[0][v]) {
+    path.push_back(v);
+    if (v == s) break;
+  }
+  std::reverse(path.begin(), path.end());
+  for (NodeId v = parent_[1][meet]; v != kInvalidNode; v = parent_[1][v]) {
+    path.push_back(v);
+    if (v == t) break;
+  }
+  return path;
+}
+
+}  // namespace netclus::graph::spf

@@ -1,0 +1,101 @@
+// Bidirectional Dijkstra backend.
+//
+// Point-to-point queries run two stamped Dijkstra searches — forward from
+// s and backward from t — alternating on the smaller frontier and stopping
+// when top_f + top_b >= μ (the best meeting-path length seen). On road
+// networks this settles roughly two balls of half the radius instead of
+// one full ball, a 2-4x node-count reduction.
+//
+// One-to-many primitives (BoundedSearch, FullSearch, BoundedRoundTrip) are
+// inherently unidirectional and delegate to the plain Dijkstra engine, so
+// this backend is a drop-in with identical results everywhere and wins on
+// the point-to-point-heavy paths (map matching, τ estimation).
+//
+// Distances are bit-identical to the Dijkstra oracle: both directions
+// accumulate float arc weights in doubles, every partial sum is exact (see
+// spf/distance_backend.h), so d_f(v) + d_b(v) equals the exact shortest
+// path length with no order dependence.
+#ifndef NETCLUS_GRAPH_SPF_BIDIRECTIONAL_DIJKSTRA_H_
+#define NETCLUS_GRAPH_SPF_BIDIRECTIONAL_DIJKSTRA_H_
+
+#include <queue>
+#include <vector>
+
+#include "graph/dijkstra.h"
+#include "graph/spf/distance_backend.h"
+
+namespace netclus::graph::spf {
+
+class BidirectionalQuery : public DistanceQuery {
+ public:
+  explicit BidirectionalQuery(const RoadNetwork* net);
+
+  std::vector<Settled> BoundedSearch(NodeId source, double radius,
+                                     Direction dir) override {
+    auto out = fallback_.BoundedSearch(source, radius, dir);
+    last_settled_ = fallback_.last_settled_count();
+    return out;
+  }
+  std::vector<double> FullSearch(NodeId source, Direction dir) override {
+    auto out = fallback_.FullSearch(source, dir);
+    last_settled_ = fallback_.last_settled_count();
+    return out;
+  }
+  std::vector<RoundTrip> BoundedRoundTrip(NodeId source,
+                                          double radius) override {
+    auto out = fallback_.BoundedRoundTrip(source, radius);
+    last_settled_ = fallback_.last_settled_count();
+    return out;
+  }
+
+  double PointToPoint(NodeId s, NodeId t, double radius = -1.0) override;
+  std::vector<NodeId> ShortestPath(NodeId s, NodeId t,
+                                   double radius = -1.0) override;
+
+  size_t last_settled_count() const override { return last_settled_; }
+
+ private:
+  // One direction's stamped label state (see DijkstraEngine for the
+  // stamping idiom). `side` is 0 = forward, 1 = backward.
+  double DistOf(int side, NodeId v) const {
+    return stamp_[side][v] == epoch_ ? dist_[side][v] : kInfDistance;
+  }
+  void SetDist(int side, NodeId v, double d) {
+    stamp_[side][v] = epoch_;
+    dist_[side][v] = d;
+  }
+  void NewEpoch();
+
+  /// Core meet-in-the-middle search. Returns μ (kInfDistance when s and t
+  /// are disconnected or μ > limit); fills `meet` with the meeting node.
+  double Meet(NodeId s, NodeId t, double limit, NodeId* meet);
+
+  const RoadNetwork* net_;
+  DijkstraEngine fallback_;
+  std::vector<double> dist_[2];
+  std::vector<uint32_t> stamp_[2];
+  std::vector<NodeId> parent_[2];  // valid under the same stamp as dist_
+  uint32_t epoch_ = 0;
+  size_t last_settled_ = 0;
+
+  using HeapEntry = std::pair<double, NodeId>;
+  using Heap =
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+  Heap heap_[2];
+};
+
+class BidirectionalBackend : public DistanceBackend {
+ public:
+  explicit BidirectionalBackend(const RoadNetwork* net)
+      : DistanceBackend(net) {}
+
+  BackendKind kind() const override { return BackendKind::kBidirectional; }
+  std::unique_ptr<DistanceQuery> MakeQuery() const override {
+    return std::make_unique<BidirectionalQuery>(net_);
+  }
+  uint64_t MemoryBytes() const override { return 0; }
+};
+
+}  // namespace netclus::graph::spf
+
+#endif  // NETCLUS_GRAPH_SPF_BIDIRECTIONAL_DIJKSTRA_H_

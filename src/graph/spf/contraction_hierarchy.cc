@@ -1,0 +1,714 @@
+#include "graph/spf/contraction_hierarchy.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace netclus::graph::spf {
+
+namespace {
+
+// Settled-node cap per witness search. Inconclusive searches insert the
+// shortcut conservatively, which can only slow queries, never corrupt
+// distances.
+constexpr size_t kWitnessSettleCap = 512;
+
+// Mutable adjacency during contraction: min-weight arc per (from, to) pair.
+struct BuildArc {
+  NodeId to;
+  NodeId middle;
+  double weight;
+};
+
+struct Shortcut {
+  NodeId from;
+  NodeId to;
+  NodeId middle;
+  double weight;
+};
+
+// Bounded Dijkstra over the shrinking build graph, skipping contracted
+// nodes and one excluded node (the contraction candidate). Stamped arrays
+// make repeated searches O(settled).
+class WitnessSearch {
+ public:
+  explicit WitnessSearch(size_t n) : dist_(n, 0.0), stamp_(n, 0) {}
+
+  /// Distances from `source` (excluding paths through `excluded`) to every
+  /// node within `limit`, capped at kWitnessSettleCap settled nodes.
+  void Run(const std::vector<std::vector<BuildArc>>& fwd,
+           const std::vector<uint8_t>& contracted, NodeId source,
+           NodeId excluded, double limit) {
+    ++epoch_;
+    if (epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+    while (!heap_.empty()) heap_.pop();
+    Set(source, 0.0);
+    heap_.push({0.0, source});
+    size_t settled = 0;
+    while (!heap_.empty() && settled < kWitnessSettleCap) {
+      const auto [d, u] = heap_.top();
+      heap_.pop();
+      if (d > Get(u)) continue;
+      ++settled;
+      for (const BuildArc& arc : fwd[u]) {
+        if (contracted[arc.to] || arc.to == excluded) continue;
+        const double nd = d + arc.weight;
+        if (nd <= limit && nd < Get(arc.to)) {
+          Set(arc.to, nd);
+          heap_.push({nd, arc.to});
+        }
+      }
+    }
+  }
+
+  double Get(NodeId v) const {
+    return stamp_[v] == epoch_ ? dist_[v] : kInfDistance;
+  }
+
+ private:
+  void Set(NodeId v, double d) {
+    stamp_[v] = epoch_;
+    dist_[v] = d;
+  }
+
+  std::vector<double> dist_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+  std::priority_queue<std::pair<double, NodeId>,
+                      std::vector<std::pair<double, NodeId>>, std::greater<>>
+      heap_;
+};
+
+// The whole mutable contraction state, so the simulation used for
+// priorities and the real contraction share one code path.
+struct Contractor {
+  std::vector<std::vector<BuildArc>> fwd;  // out-arcs among uncontracted
+  std::vector<std::vector<BuildArc>> rev;  // in-arcs (to = original tail)
+  std::vector<uint8_t> contracted;
+  std::vector<uint32_t> deleted_neighbors;
+
+  explicit Contractor(const RoadNetwork& net)
+      : fwd(net.num_nodes()),
+        rev(net.num_nodes()),
+        contracted(net.num_nodes(), 0),
+        deleted_neighbors(net.num_nodes(), 0) {
+    // Collapse parallel arcs to the min weight up front: search semantics
+    // already take the min, and unique (from, to) pairs keep the dedup
+    // insert below a simple scan.
+    for (NodeId u = 0; u < net.num_nodes(); ++u) {
+      for (const Arc& arc : net.OutArcs(u)) {
+        InsertOrLighten(u, arc.to, kInvalidNode,
+                        static_cast<double>(arc.weight));
+      }
+    }
+  }
+
+  // Adds arc (from, to) or lowers the existing weight; keeps (from, to)
+  // unique in both adjacency views.
+  void InsertOrLighten(NodeId from, NodeId to, NodeId middle, double weight) {
+    for (BuildArc& arc : fwd[from]) {
+      if (arc.to == to) {
+        if (weight < arc.weight) {
+          arc.weight = weight;
+          arc.middle = middle;
+          for (BuildArc& r : rev[to]) {
+            if (r.to == from) {
+              r.weight = weight;
+              r.middle = middle;
+              break;
+            }
+          }
+        }
+        return;
+      }
+    }
+    fwd[from].push_back({to, middle, weight});
+    rev[to].push_back({from, middle, weight});
+  }
+
+  /// Witness-searches the contraction of `v`. Returns the number of
+  /// shortcuts it would need; appends them to `out` when non-null.
+  int64_t Simulate(NodeId v, WitnessSearch& witness,
+                   std::vector<Shortcut>* out) const {
+    int64_t shortcuts = 0;
+    for (const BuildArc& in : rev[v]) {
+      const NodeId u = in.to;
+      if (contracted[u] || u == v) continue;
+      // One witness search from u covers every target x of v.
+      double max_via = 0.0;
+      bool any_target = false;
+      for (const BuildArc& outarc : fwd[v]) {
+        if (contracted[outarc.to] || outarc.to == u || outarc.to == v) continue;
+        any_target = true;
+        max_via = std::max(max_via, in.weight + outarc.weight);
+      }
+      if (!any_target) continue;
+      witness.Run(fwd, contracted, u, v, max_via);
+      for (const BuildArc& outarc : fwd[v]) {
+        const NodeId x = outarc.to;
+        if (contracted[x] || x == u || x == v) continue;
+        const double via = in.weight + outarc.weight;
+        if (witness.Get(x) <= via) continue;  // witness preserves distance
+        ++shortcuts;
+        if (out != nullptr) out->push_back({u, x, v, via});
+      }
+    }
+    return shortcuts;
+  }
+
+  int64_t LiveDegree(NodeId v) const {
+    int64_t degree = 0;
+    for (const BuildArc& arc : fwd[v]) degree += contracted[arc.to] ? 0 : 1;
+    for (const BuildArc& arc : rev[v]) degree += contracted[arc.to] ? 0 : 1;
+    return degree;
+  }
+
+  /// Edge difference + deleted-neighbors priority; smaller contracts first.
+  int64_t Priority(NodeId v, WitnessSearch& witness) const {
+    return 2 * (Simulate(v, witness, nullptr) - LiveDegree(v)) +
+           deleted_neighbors[v];
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ContractionHierarchy> ContractionHierarchy::Build(
+    const RoadNetwork* net, uint32_t threads) {
+  NC_CHECK(net != nullptr);
+  util::WallTimer timer;
+  const size_t n = net->num_nodes();
+  auto ch = std::unique_ptr<ContractionHierarchy>(
+      new ContractionHierarchy(net));
+  ch->rank_.assign(n, 0);
+  Contractor state(*net);
+
+  // Initial priorities: independent per node, so computed in parallel
+  // (coarse chunks — each carries an O(n) witness scratch). The values do
+  // not depend on the chunk layout, keeping the contraction order (and the
+  // hierarchy) bit-identical at any thread count.
+  std::vector<int64_t> priority(n, 0);
+  const unsigned t = util::ResolveThreads(threads);
+  util::ParallelFor(
+      t, n,
+      [&](size_t begin, size_t end) {
+        WitnessSearch witness(n);
+        for (size_t v = begin; v < end; ++v) {
+          priority[v] =
+              state.Priority(static_cast<NodeId>(v), witness);
+        }
+      },
+      util::CoarseGrain(t, n));
+
+  // Lazy-update contraction loop (serial: each step depends on the last).
+  // Ties break on node id via the pair ordering, so the order is total
+  // and deterministic.
+  using Entry = std::pair<int64_t, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  for (NodeId v = 0; v < n; ++v) queue.push({priority[v], v});
+
+  WitnessSearch witness(n);
+  std::vector<Shortcut> shortcuts;
+  uint32_t next_rank = 0;
+  while (!queue.empty()) {
+    const auto [stale, v] = queue.top();
+    queue.pop();
+    if (state.contracted[v]) continue;
+    shortcuts.clear();
+    const int64_t fresh =
+        2 * (state.Simulate(v, witness, &shortcuts) - state.LiveDegree(v)) +
+        state.deleted_neighbors[v];
+    // Lazy update: if the fresh priority no longer beats the next
+    // candidate's (possibly stale, but only ever too low) key, requeue.
+    if (!queue.empty() && fresh > queue.top().first) {
+      queue.push({fresh, v});
+      continue;
+    }
+    state.contracted[v] = 1;
+    ch->rank_[v] = next_rank++;
+    for (const Shortcut& s : shortcuts) {
+      state.InsertOrLighten(s.from, s.to, s.middle, s.weight);
+      ++ch->num_shortcuts_;
+    }
+    // Bump the deleted-neighbors counters; the heap keys go stale but the
+    // pop-time recompute corrects them (pure lazy updates — an eager
+    // neighborhood refresh costs a witness sweep per neighbor per
+    // contraction and buys little ordering quality on road networks).
+    for (const BuildArc& arc : state.fwd[v]) {
+      if (!state.contracted[arc.to]) ++state.deleted_neighbors[arc.to];
+    }
+    for (const BuildArc& arc : state.rev[v]) {
+      if (!state.contracted[arc.to]) ++state.deleted_neighbors[arc.to];
+    }
+  }
+  NC_CHECK_EQ(next_rank, n);
+
+  // Final CSRs: every arc ever present, split by which endpoint ranks
+  // higher. fwd[u] holds each (u, to) pair exactly once (min weight), so
+  // the hierarchy has no parallel arcs.
+  std::vector<uint32_t> up_count(n + 1, 0), down_count(n + 1, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const BuildArc& arc : state.fwd[u]) {
+      if (ch->rank_[arc.to] > ch->rank_[u]) {
+        ++up_count[u + 1];
+      } else {
+        ++down_count[arc.to + 1];
+      }
+    }
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    up_count[i] += up_count[i - 1];
+    down_count[i] += down_count[i - 1];
+  }
+  ch->up_.offsets = up_count;
+  ch->down_.offsets = down_count;
+  ch->up_.arcs.resize(up_count[n]);
+  ch->down_.arcs.resize(down_count[n]);
+  std::vector<uint32_t> up_pos(ch->up_.offsets.begin(),
+                               ch->up_.offsets.end() - 1);
+  std::vector<uint32_t> down_pos(ch->down_.offsets.begin(),
+                                 ch->down_.offsets.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const BuildArc& arc : state.fwd[u]) {
+      if (ch->rank_[arc.to] > ch->rank_[u]) {
+        ch->up_.arcs[up_pos[u]++] = {arc.to, arc.middle, arc.weight};
+      } else {
+        // Stored at the lower endpoint with `to` = the original tail u.
+        ch->down_.arcs[down_pos[arc.to]++] = {u, arc.middle, arc.weight};
+      }
+    }
+  }
+  ch->FinalizeDerived();
+  ch->build_seconds_ = timer.Seconds();
+  NC_LOG_INFO << "ContractionHierarchy: " << n << " nodes, "
+              << ch->num_shortcuts_ << " shortcuts, "
+              << util::StrFormat("%.2f", ch->build_seconds_) << " s";
+  return ch;
+}
+
+void ContractionHierarchy::FinalizeDerived() {
+  by_rank_desc_.resize(rank_.size());
+  for (NodeId v = 0; v < rank_.size(); ++v) {
+    by_rank_desc_[rank_.size() - 1 - rank_[v]] = v;
+  }
+  auto build_sweep = [this](const Csr& csr, Sweep* sweep) {
+    sweep->node.clear();
+    sweep->offsets.assign(1, 0);
+    sweep->to.clear();
+    sweep->weight.clear();
+    for (NodeId w : by_rank_desc_) {
+      const std::span<const ChArc> arcs = csr.at(w);
+      if (arcs.empty()) continue;
+      sweep->node.push_back(w);
+      for (const ChArc& arc : arcs) {
+        sweep->to.push_back(arc.to);
+        sweep->weight.push_back(arc.weight);
+      }
+      sweep->offsets.push_back(static_cast<uint32_t>(sweep->to.size()));
+    }
+  };
+  build_sweep(down_, &sweep_fwd_);
+  build_sweep(up_, &sweep_rev_);
+}
+
+std::unique_ptr<DistanceQuery> ContractionHierarchy::MakeQuery() const {
+  return std::make_unique<ChQuery>(this);
+}
+
+uint64_t ContractionHierarchy::MemoryBytes() const {
+  auto csr_bytes = [](const Csr& csr) {
+    return csr.offsets.capacity() * sizeof(uint32_t) +
+           csr.arcs.capacity() * sizeof(ChArc);
+  };
+  return rank_.capacity() * sizeof(uint32_t) +
+         by_rank_desc_.capacity() * sizeof(NodeId) + csr_bytes(up_) +
+         csr_bytes(down_);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+void ContractionHierarchy::WriteTo(std::ostream& os) const {
+  // max_digits10 so the double shortcut weights round-trip exactly — the
+  // whole point of the backend is bit-identical distances.
+  const auto saved_precision = os.precision();
+  os << std::setprecision(17);
+  os << "ch " << rank_.size() << " " << num_shortcuts_ << " "
+     << build_seconds_ << "\n";
+  os << "rank";
+  for (uint32_t r : rank_) os << " " << r;
+  os << "\n";
+  auto write_csr = [&os](const Csr& csr) {
+    os << csr.arcs.size();
+    for (size_t u = 0; u + 1 < csr.offsets.size(); ++u) {
+      for (size_t i = csr.offsets[u]; i < csr.offsets[u + 1]; ++i) {
+        const ChArc& arc = csr.arcs[i];
+        os << "\n" << u << " " << arc.to << " " << arc.middle << " "
+           << arc.weight;
+      }
+    }
+    os << "\n";
+  };
+  os << "up ";
+  write_csr(up_);
+  os << "down ";
+  write_csr(down_);
+  os << "end_ch\n";
+  os << std::setprecision(static_cast<int>(saved_precision));
+}
+
+bool ContractionHierarchy::ReadFrom(std::istream& is, const RoadNetwork* net,
+                                    std::unique_ptr<ContractionHierarchy>* out,
+                                    std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = "ch backend: " + message;
+    return false;
+  };
+  std::string token;
+  size_t n = 0;
+  auto ch = std::unique_ptr<ContractionHierarchy>(
+      new ContractionHierarchy(net));
+  if (!(is >> token) || token != "ch") return fail("missing header");
+  if (!(is >> n >> ch->num_shortcuts_ >> ch->build_seconds_)) {
+    return fail("bad header line");
+  }
+  if (n != net->num_nodes()) {
+    return fail("hierarchy over a different network size");
+  }
+  if (!(is >> token) || token != "rank") return fail("missing rank");
+  ch->rank_.resize(n);
+  std::vector<uint8_t> seen(n, 0);
+  for (auto& r : ch->rank_) {
+    if (!(is >> r) || r >= n || seen[r]) return fail("bad rank permutation");
+    seen[r] = 1;
+  }
+  auto read_csr = [&](const char* tag, Csr* csr) {
+    size_t arc_count = 0;
+    if (!(is >> token) || token != tag || !(is >> arc_count)) {
+      return fail(std::string("bad ") + tag + " header");
+    }
+    csr->offsets.assign(n + 1, 0);
+    csr->arcs.resize(arc_count);
+    size_t prev_u = 0;
+    for (size_t i = 0; i < arc_count; ++i) {
+      size_t u = 0;
+      ChArc& arc = csr->arcs[i];
+      if (!(is >> u >> arc.to >> arc.middle >> arc.weight)) {
+        return fail(std::string("truncated ") + tag + " arcs");
+      }
+      if (u >= n || u < prev_u || arc.to >= n ||
+          (arc.middle != kInvalidNode && arc.middle >= n) ||
+          !(arc.weight >= 0.0)) {
+        return fail(std::string("invalid ") + tag + " arc");
+      }
+      prev_u = u;
+      ++csr->offsets[u + 1];
+    }
+    for (size_t i = 1; i <= n; ++i) csr->offsets[i] += csr->offsets[i - 1];
+    return true;
+  };
+  if (!read_csr("up", &ch->up_)) return false;
+  if (!read_csr("down", &ch->down_)) return false;
+  if (!(is >> token) || token != "end_ch") return fail("missing end_ch");
+  ch->FinalizeDerived();
+  *out = std::move(ch);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ChQuery
+// ---------------------------------------------------------------------------
+
+ChQuery::ChQuery(const ContractionHierarchy* ch) : ch_(ch) {
+  const size_t n = ch->rank_.size();
+  for (int side = 0; side < 2; ++side) {
+    dist_[side].resize(n, kInfDistance);
+    stamp_[side].resize(n, 0);
+    parent_node_[side].resize(n, kInvalidNode);
+    parent_arc_[side].resize(n, 0);
+    om_dist_[side].resize(n, kInfDistance);
+  }
+}
+
+void ChQuery::SetDist(int side, NodeId v, double d) {
+  stamp_[side][v] = epoch_;
+  dist_[side][v] = d;
+}
+
+void ChQuery::NewEpoch() {
+  ++epoch_;
+  if (epoch_ == 0) {
+    for (int side = 0; side < 2; ++side) {
+      std::fill(stamp_[side].begin(), stamp_[side].end(), 0u);
+    }
+    epoch_ = 1;
+  }
+  for (int side = 0; side < 2; ++side) {
+    while (!heap_[side].empty()) heap_[side].pop();
+  }
+  last_settled_ = 0;
+}
+
+void ChQuery::ResetOneToMany(int side) {
+  for (NodeId v : om_touched_[side]) om_dist_[side][v] = kInfDistance;
+  om_touched_[side].clear();
+}
+
+void ChQuery::OneToMany(NodeId source, double limit, Direction dir,
+                        int side) {
+  ResetOneToMany(side);
+  // Meet() can return with leftover heap entries (a side deactivates when
+  // its top reaches mu); they would pass the staleness check against the
+  // freshly reset labels, so drain them.
+  while (!heap_[side].empty()) heap_[side].pop();
+  std::vector<double>& dist = om_dist_[side];
+  std::vector<NodeId>& touched = om_touched_[side];
+  auto label = [&](NodeId v, double d) {
+    if (dist[v] == kInfDistance) touched.push_back(v);
+    dist[v] = d;
+  };
+  // Upward phase: plain Dijkstra over the (small) upward graph. Labels
+  // here may overshoot the true distance; the sweep fixes them.
+  const ContractionHierarchy::Csr& up =
+      dir == Direction::kForward ? ch_->up_ : ch_->down_;
+  label(source, 0.0);
+  heap_[side].push({0.0, source});
+  while (!heap_[side].empty()) {
+    const auto [d, u] = heap_[side].top();
+    heap_[side].pop();
+    if (d > dist[u]) continue;
+    ++last_settled_;
+    for (const ChArc& arc : up.at(u)) {
+      const double nd = d + arc.weight;
+      if (nd <= limit && nd < dist[arc.to]) {
+        label(arc.to, nd);
+        heap_[side].push({nd, arc.to});
+      }
+    }
+  }
+  // Downward sweep (PHAST): the groups stream in descending rank order,
+  // so the relax source (always higher-ranked) is final before it is
+  // read. One linear pass, no heap.
+  const ContractionHierarchy::Sweep& sweep =
+      dir == Direction::kForward ? ch_->sweep_fwd_ : ch_->sweep_rev_;
+  for (size_t g = 0; g < sweep.node.size(); ++g) {
+    const NodeId w = sweep.node[g];
+    double best = dist[w];
+    // Branch-free relax: an unlabeled source is kInfDistance, and inf + w
+    // never wins the min; the radius filter moves after the loop (the
+    // min over candidates is <= limit iff any candidate is).
+    for (uint32_t i = sweep.offsets[g]; i < sweep.offsets[g + 1]; ++i) {
+      best = std::min(best, dist[sweep.to[i]] + sweep.weight[i]);
+    }
+    if (best < dist[w] && best <= limit) {
+      label(w, best);
+      ++last_settled_;
+    }
+  }
+}
+
+std::vector<Settled> ChQuery::BoundedSearch(NodeId source, double radius,
+                                            Direction dir) {
+  NC_CHECK_LT(source, ch_->rank_.size());
+  last_settled_ = 0;
+  OneToMany(source, radius, dir, 0);
+  std::vector<Settled> out;
+  out.reserve(om_touched_[0].size());
+  for (NodeId v : om_touched_[0]) {
+    const double d = om_dist_[0][v];
+    if (d <= radius) out.push_back({v, d});
+  }
+  // Dijkstra settles in non-decreasing (distance, node) order; match it.
+  std::sort(out.begin(), out.end(), [](const Settled& a, const Settled& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.node < b.node);
+  });
+  return out;
+}
+
+std::vector<double> ChQuery::FullSearch(NodeId source, Direction dir) {
+  NC_CHECK_LT(source, ch_->rank_.size());
+  last_settled_ = 0;
+  OneToMany(source, kInfDistance, dir, 0);
+  std::vector<double> out(ch_->rank_.size(), kInfDistance);
+  for (NodeId v : om_touched_[0]) out[v] = om_dist_[0][v];
+  return out;
+}
+
+std::vector<RoundTrip> ChQuery::BoundedRoundTrip(NodeId source,
+                                                 double radius) {
+  NC_CHECK_LT(source, ch_->rank_.size());
+  last_settled_ = 0;
+  OneToMany(source, radius, Direction::kForward, 0);
+  OneToMany(source, radius, Direction::kReverse, 1);
+  // Intersect the two label sets on node id (sorted, like the Dijkstra
+  // engine's merge). When the forward ball covers a sizable share of the
+  // graph — the regime this backend exists for — a sequential scan of the
+  // label array is cheaper than sorting the touched list.
+  const size_t n = ch_->rank_.size();
+  std::vector<RoundTrip> out;
+  if (om_touched_[0].size() >= n / 8) {
+    for (NodeId v = 0; v < n; ++v) {
+      const double fwd = om_dist_[0][v];
+      if (fwd > radius) continue;
+      const double rev = om_dist_[1][v];
+      if (rev > radius) continue;
+      if (fwd + rev <= radius) out.push_back({v, fwd, rev});
+    }
+    return out;
+  }
+  std::sort(om_touched_[0].begin(), om_touched_[0].end());
+  for (NodeId v : om_touched_[0]) {
+    const double fwd = om_dist_[0][v];
+    const double rev = om_dist_[1][v];
+    if (fwd > radius || rev > radius) continue;
+    if (fwd + rev <= radius) out.push_back({v, fwd, rev});
+  }
+  return out;
+}
+
+double ChQuery::Meet(NodeId s, NodeId t, double limit, bool track_parents,
+                     NodeId* meet) {
+  NewEpoch();
+  SetDist(0, s, 0.0);
+  parent_node_[0][s] = kInvalidNode;
+  heap_[0].push({0.0, s});
+  SetDist(1, t, 0.0);
+  parent_node_[1][t] = kInvalidNode;
+  heap_[1].push({0.0, t});
+
+  double mu = kInfDistance;
+  *meet = kInvalidNode;
+  auto offer = [&](NodeId v, double total) {
+    if (total < mu) {
+      mu = total;
+      *meet = v;
+    }
+  };
+  // Both searches run to exhaustion of keys below μ: upward labels may be
+  // non-minimal, but every up-down shortest path's apex is eventually
+  // offered from whichever side settles it second.
+  bool active[2] = {true, true};
+  while (active[0] || active[1]) {
+    int side = -1;
+    double best_top = kInfDistance;
+    for (int i = 0; i < 2; ++i) {
+      if (!active[i]) continue;
+      if (heap_[i].empty() || heap_[i].top().first >= mu ||
+          heap_[i].top().first > limit) {
+        active[i] = false;
+        continue;
+      }
+      if (heap_[i].top().first < best_top) {
+        best_top = heap_[i].top().first;
+        side = i;
+      }
+    }
+    if (side < 0) break;
+    const auto [d, u] = heap_[side].top();
+    heap_[side].pop();
+    if (d > DistOf(side, u)) continue;
+    ++last_settled_;
+    if (DistOf(1 - side, u) != kInfDistance) {
+      offer(u, d + DistOf(1 - side, u));
+    }
+    const ContractionHierarchy::Csr& up = side == 0 ? ch_->up_ : ch_->down_;
+    const std::span<const ChArc> arcs = up.at(u);
+    for (size_t i = 0; i < arcs.size(); ++i) {
+      const ChArc& arc = arcs[i];
+      const double nd = d + arc.weight;
+      if (nd <= limit && nd < DistOf(side, arc.to)) {
+        SetDist(side, arc.to, nd);
+        if (track_parents) {
+          parent_node_[side][arc.to] = u;
+          parent_arc_[side][arc.to] =
+              static_cast<uint32_t>(up.offsets[u] + i);
+        }
+        heap_[side].push({nd, arc.to});
+        if (DistOf(1 - side, arc.to) != kInfDistance) {
+          offer(arc.to, nd + DistOf(1 - side, arc.to));
+        }
+      }
+    }
+  }
+  return mu <= limit ? mu : kInfDistance;
+}
+
+double ChQuery::PointToPoint(NodeId s, NodeId t, double radius) {
+  NC_CHECK_LT(s, ch_->rank_.size());
+  NC_CHECK_LT(t, ch_->rank_.size());
+  if (s == t) return 0.0;
+  NodeId meet = kInvalidNode;
+  return Meet(s, t, radius < 0.0 ? kInfDistance : radius, false, &meet);
+}
+
+void ChQuery::ExpandArc(NodeId u, NodeId v, NodeId middle,
+                        std::vector<NodeId>* path) const {
+  if (middle == kInvalidNode) {
+    path->push_back(v);
+    return;
+  }
+  // The two halves rank above `middle` by construction, so (u, middle)
+  // lives in down_.at(middle) and (middle, v) in up_.at(middle). Pick the
+  // lightest match: it can only have been lightened since the shortcut was
+  // made, so the unpacked walk is never longer than the shortcut.
+  const ChArc* half = nullptr;
+  for (const ChArc& arc : ch_->down_.at(middle)) {
+    if (arc.to == u && (half == nullptr || arc.weight < half->weight)) {
+      half = &arc;
+    }
+  }
+  NC_CHECK(half != nullptr) << "CH unpack: missing arc into middle";
+  ExpandArc(u, middle, half->middle, path);
+  half = nullptr;
+  for (const ChArc& arc : ch_->up_.at(middle)) {
+    if (arc.to == v && (half == nullptr || arc.weight < half->weight)) {
+      half = &arc;
+    }
+  }
+  NC_CHECK(half != nullptr) << "CH unpack: missing arc out of middle";
+  ExpandArc(middle, v, half->middle, path);
+}
+
+std::vector<NodeId> ChQuery::ShortestPath(NodeId s, NodeId t, double radius) {
+  NC_CHECK_LT(s, ch_->rank_.size());
+  NC_CHECK_LT(t, ch_->rank_.size());
+  if (s == t) return {s};
+  NodeId meet = kInvalidNode;
+  if (Meet(s, t, radius < 0.0 ? kInfDistance : radius, true, &meet) ==
+      kInfDistance) {
+    return {};
+  }
+  // CH arcs on the two upward branches, apex first.
+  std::vector<uint32_t> fwd_arcs;
+  for (NodeId v = meet; parent_node_[0][v] != kInvalidNode;
+       v = parent_node_[0][v]) {
+    fwd_arcs.push_back(parent_arc_[0][v]);
+  }
+  std::vector<NodeId> path{s};
+  for (auto it = fwd_arcs.rbegin(); it != fwd_arcs.rend(); ++it) {
+    const ChArc& arc = ch_->up_.arcs[*it];
+    // Arc runs parent -> arc-target; the walk already ends at the parent.
+    ExpandArc(path.back(), arc.to, arc.middle, &path);
+  }
+  // Backward branch: each down_ arc (to=tail v, at node w) was traversed
+  // t-side, so the original direction is path.back() -> w.
+  for (NodeId v = meet; parent_node_[1][v] != kInvalidNode;) {
+    const NodeId w = parent_node_[1][v];
+    const ChArc& arc = ch_->down_.arcs[parent_arc_[1][v]];
+    ExpandArc(path.back(), w, arc.middle, &path);
+    v = w;
+  }
+  return path;
+}
+
+}  // namespace netclus::graph::spf

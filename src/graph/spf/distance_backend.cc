@@ -1,0 +1,90 @@
+#include "graph/spf/distance_backend.h"
+
+#include "graph/dijkstra.h"
+#include "graph/spf/bidirectional_dijkstra.h"
+#include "graph/spf/contraction_hierarchy.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace netclus::graph::spf {
+
+namespace {
+
+/// The stateless backend around the reference DijkstraEngine.
+class DijkstraBackend : public DistanceBackend {
+ public:
+  explicit DijkstraBackend(const RoadNetwork* net) : DistanceBackend(net) {}
+
+  BackendKind kind() const override { return BackendKind::kDijkstra; }
+  std::unique_ptr<DistanceQuery> MakeQuery() const override {
+    return std::make_unique<DijkstraEngine>(net_);
+  }
+  uint64_t MemoryBytes() const override { return 0; }
+};
+
+}  // namespace
+
+const char* BackendName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kDefault:
+      return "default";
+    case BackendKind::kDijkstra:
+      return "dijkstra";
+    case BackendKind::kBidirectional:
+      return "bidir";
+    case BackendKind::kContractionHierarchies:
+      return "ch";
+  }
+  return "unknown";
+}
+
+std::optional<BackendKind> ParseBackendName(std::string_view name) {
+  if (name == "dijkstra") return BackendKind::kDijkstra;
+  if (name == "bidir" || name == "bidirectional") {
+    return BackendKind::kBidirectional;
+  }
+  if (name == "ch" || name == "contraction") {
+    return BackendKind::kContractionHierarchies;
+  }
+  if (name == "default") return BackendKind::kDefault;
+  return std::nullopt;
+}
+
+BackendKind ResolveBackendKind(BackendKind kind) {
+  if (kind != BackendKind::kDefault) return kind;
+  const std::string env = util::GetEnvString("NETCLUS_SPF", "dijkstra");
+  const std::optional<BackendKind> parsed = ParseBackendName(env);
+  if (!parsed.has_value() || *parsed == BackendKind::kDefault) {
+    if (!parsed.has_value()) {
+      NC_LOG_WARNING << "NETCLUS_SPF=" << env
+                     << ": unknown backend, using dijkstra";
+    }
+    return BackendKind::kDijkstra;
+  }
+  return *parsed;
+}
+
+std::shared_ptr<const DistanceBackend> MakeBackend(BackendKind kind,
+                                                   const RoadNetwork* net,
+                                                   uint32_t threads) {
+  NC_CHECK(net != nullptr);
+  switch (ResolveBackendKind(kind)) {
+    case BackendKind::kBidirectional:
+      return std::make_shared<BidirectionalBackend>(net);
+    case BackendKind::kContractionHierarchies:
+      return std::shared_ptr<const DistanceBackend>(
+          ContractionHierarchy::Build(net, threads));
+    case BackendKind::kDefault:
+    case BackendKind::kDijkstra:
+      break;
+  }
+  return std::make_shared<DijkstraBackend>(net);
+}
+
+std::unique_ptr<DistanceQuery> MakeQueryOrDijkstra(
+    const DistanceBackend* backend, const RoadNetwork* net) {
+  if (backend != nullptr) return backend->MakeQuery();
+  return std::make_unique<DijkstraEngine>(net);
+}
+
+}  // namespace netclus::graph::spf

@@ -1,0 +1,164 @@
+// Pluggable shortest-path subsystem.
+//
+// All of NetClus's distance needs (covering sets, GDSP domination, cluster
+// neighbor lists, τ-range estimation, map-matcher transitions, query-time
+// detour checks) funnel through four search primitives. This header splits
+// them from the concrete Dijkstra implementation so the whole system can be
+// pointed at a different engine — today plain Dijkstra, bidirectional
+// Dijkstra, or Contraction Hierarchies — with one knob
+// (Engine::Options::distance_backend / the NETCLUS_SPF env var).
+//
+// Exactness contract: every backend returns *bit-identical* distances to
+// the unidirectional Dijkstra oracle. This is achievable without epsilons
+// because arc weights are floats accumulated in doubles: every partial sum
+// of meter-scale float weights is exactly representable in a double (a
+// float contributes 24 significand bits; path lengths stay far below the
+// 2^53 headroom), so addition never rounds and path sums are
+// order-independent. Backends that precompute combined weights (CH
+// shortcuts) must therefore store them as doubles, never narrowed back to
+// float. tests/test_spf.cc enforces the contract differentially.
+//
+// Concurrency model: a DistanceBackend is immutable once constructed and
+// may be shared by any number of threads; per-thread mutable search state
+// (distance labels, heaps) lives in DistanceQuery workspaces obtained from
+// MakeQuery(). This mirrors how DijkstraEngine was already used (one
+// engine per worker), so call sites keep their structure.
+#ifndef NETCLUS_GRAPH_SPF_DISTANCE_BACKEND_H_
+#define NETCLUS_GRAPH_SPF_DISTANCE_BACKEND_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace netclus::graph {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// Search direction: forward follows arcs u -> v (distances d(source, v));
+/// reverse follows them backwards (distances d(v, source)).
+enum class Direction {
+  kForward,
+  kReverse,
+};
+
+/// A settled node with its distance from (or to) the source.
+struct Settled {
+  NodeId node;
+  double distance;
+};
+
+/// A node's forward and reverse distances from a source, i.e. the two legs
+/// of the round trip source -> node -> source.
+struct RoundTrip {
+  NodeId node;
+  double out_distance;   ///< d(source, node)
+  double back_distance;  ///< d(node, source)
+
+  double total() const { return out_distance + back_distance; }
+};
+
+namespace spf {
+
+/// Selects the shortest-path implementation behind DistanceQuery.
+enum class BackendKind : uint8_t {
+  /// Resolve via the NETCLUS_SPF env var ("dijkstra", "bidir", "ch");
+  /// unset or unparseable means kDijkstra. Mirrors the `threads == 0`
+  /// convention of the parallel subsystem.
+  kDefault = 0,
+  kDijkstra,                ///< unidirectional Dijkstra (the oracle)
+  kBidirectional,           ///< bidirectional Dijkstra for point-to-point
+  kContractionHierarchies,  ///< CH: preprocessing-based distance oracle
+};
+
+/// Canonical lowercase name ("dijkstra", "bidir", "ch", "default").
+const char* BackendName(BackendKind kind);
+
+/// Inverse of BackendName; also accepts "bidirectional" and "contraction".
+std::optional<BackendKind> ParseBackendName(std::string_view name);
+
+/// kDefault -> the NETCLUS_SPF environment default (itself kDijkstra when
+/// unset); concrete kinds pass through.
+BackendKind ResolveBackendKind(BackendKind kind);
+
+/// A per-thread search workspace. Thread-compatible, not thread-safe:
+/// every method reuses internal label arrays, exactly like the original
+/// DijkstraEngine. Obtain one per worker via DistanceBackend::MakeQuery().
+class DistanceQuery {
+ public:
+  virtual ~DistanceQuery() = default;
+
+  /// All nodes with distance <= radius from `source` in the given
+  /// direction, in non-decreasing distance order (the source itself is
+  /// included with distance 0).
+  virtual std::vector<Settled> BoundedSearch(NodeId source, double radius,
+                                             Direction dir) = 0;
+
+  /// One-to-all distances; unreachable nodes get kInfDistance.
+  virtual std::vector<double> FullSearch(NodeId source, Direction dir) = 0;
+
+  /// Shortest-path distance from s to t, or kInfDistance. `radius` (if
+  /// >= 0) truncates the search.
+  virtual double PointToPoint(NodeId s, NodeId t, double radius = -1.0) = 0;
+
+  /// Nodes whose round trip source -> v -> source is at most `radius`,
+  /// with both legs. Sorted by node id.
+  virtual std::vector<RoundTrip> BoundedRoundTrip(NodeId source,
+                                                  double radius) = 0;
+
+  /// Shortest path from s to t as a node sequence (s first, t last). Empty
+  /// if unreachable within `radius` (negative radius = unbounded).
+  virtual std::vector<NodeId> ShortestPath(NodeId s, NodeId t,
+                                           double radius = -1.0) = 0;
+
+  /// Nodes settled (or swept, for CH's batched one-to-many) by the last
+  /// search, for complexity reporting.
+  virtual size_t last_settled_count() const = 0;
+};
+
+/// An immutable, shareable distance oracle over one RoadNetwork. Holds any
+/// preprocessed structure (CH hierarchy); hands out per-thread query
+/// workspaces. The network must outlive the backend.
+class DistanceBackend {
+ public:
+  virtual ~DistanceBackend() = default;
+
+  virtual BackendKind kind() const = 0;
+  virtual std::unique_ptr<DistanceQuery> MakeQuery() const = 0;
+
+  /// Analytic footprint of the preprocessed structure, bytes (0 when the
+  /// backend has none).
+  virtual uint64_t MemoryBytes() const = 0;
+
+  /// Preprocessing wall time, seconds (0 when there is none).
+  virtual double build_seconds() const { return 0.0; }
+
+  const RoadNetwork& network() const { return *net_; }
+
+ protected:
+  explicit DistanceBackend(const RoadNetwork* net) : net_(net) {}
+  const RoadNetwork* net_;
+};
+
+/// Builds a backend of the given kind (kDefault resolves NETCLUS_SPF).
+/// `threads` parallelizes CH preprocessing (0 = NETCLUS_THREADS default);
+/// the resulting structure is identical at any thread count.
+std::shared_ptr<const DistanceBackend> MakeBackend(BackendKind kind,
+                                                   const RoadNetwork* net,
+                                                   uint32_t threads = 0);
+
+/// Workspace from `backend`, or a plain Dijkstra workspace over `net` when
+/// `backend` is null. The fallback keeps call sites that predate the
+/// subsystem (standalone CoverageIndex::Build, ClusterIndex::Build without
+/// an Engine) byte-for-byte on their original code path.
+std::unique_ptr<DistanceQuery> MakeQueryOrDijkstra(
+    const DistanceBackend* backend, const RoadNetwork* net);
+
+}  // namespace spf
+}  // namespace netclus::graph
+
+#endif  // NETCLUS_GRAPH_SPF_DISTANCE_BACKEND_H_

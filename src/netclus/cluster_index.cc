@@ -54,7 +54,8 @@ TrajContribution ComputeContribution(const traj::Trajectory& trajectory,
 
 ClusterIndex ClusterIndex::Build(const traj::TrajectoryStore& store,
                                  const tops::SiteSet& sites,
-                                 const ClusterIndexConfig& config) {
+                                 const ClusterIndexConfig& config,
+                                 const graph::spf::DistanceBackend* backend) {
   util::WallTimer timer;
   ClusterIndex index;
   index.config_ = config;
@@ -65,7 +66,7 @@ ClusterIndex ClusterIndex::Build(const traj::TrajectoryStore& store,
   gdsp_config.radius_m = config.radius_m;
   gdsp_config.strategy = config.gdsp_strategy;
   gdsp_config.fm_copies = config.fm_copies;
-  GdspResult gdsp = GreedyGdsp(net, gdsp_config);
+  GdspResult gdsp = GreedyGdsp(net, gdsp_config, backend);
   index.stats_.gdsp_seconds = gdsp.build_seconds;
   index.stats_.mean_dominating_set_size = gdsp.mean_dominating_set_size;
 
@@ -137,10 +138,11 @@ ClusterIndex ClusterIndex::Build(const traj::TrajectoryStore& store,
   util::ParallelFor(
       threads, index.clusters_.size(),
       [&](size_t begin, size_t end) {
-        graph::DijkstraEngine engine(&net);
+        const std::unique_ptr<graph::spf::DistanceQuery> query =
+            graph::spf::MakeQueryOrDijkstra(backend, &net);
         for (size_t g = begin; g < end; ++g) {
           const std::vector<graph::RoundTrip> rts =
-              engine.BoundedRoundTrip(index.clusters_[g].center, horizon);
+              query->BoundedRoundTrip(index.clusters_[g].center, horizon);
           auto& cl = index.clusters_[g].cl;
           for (const graph::RoundTrip& rt : rts) {
             const uint32_t other = center_cluster[rt.node];

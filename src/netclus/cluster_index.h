@@ -77,10 +77,14 @@ struct ClusterIndexStats {
 
 class ClusterIndex {
  public:
-  /// Builds the instance over all live trajectories in `store`.
+  /// Builds the instance over all live trajectories in `store`. `backend`
+  /// (optional, not owned, build-time only) accelerates the GDSP and
+  /// neighbor-list searches; null = plain Dijkstra. The instance is
+  /// bit-identical under every backend.
   static ClusterIndex Build(const traj::TrajectoryStore& store,
                             const tops::SiteSet& sites,
-                            const ClusterIndexConfig& config);
+                            const ClusterIndexConfig& config,
+                            const graph::spf::DistanceBackend* backend = nullptr);
 
   double radius_m() const { return config_.radius_m; }
   size_t num_clusters() const { return clusters_.size(); }

@@ -28,16 +28,18 @@ struct DominationLists {
 };
 
 DominationLists BuildDomination(const graph::RoadNetwork& net, double radius_m,
+                                const graph::spf::DistanceBackend* backend,
                                 uint64_t* total_edges) {
   const size_t n = net.num_nodes();
-  graph::DijkstraEngine engine(&net);
+  const std::unique_ptr<graph::spf::DistanceQuery> query =
+      graph::spf::MakeQueryOrDijkstra(backend, &net);
   DominationLists out;
   out.offsets.assign(n + 1, 0);
   std::vector<std::vector<std::pair<NodeId, float>>> lists(n);
   uint64_t total = 0;
   for (NodeId v = 0; v < n; ++v) {
     const std::vector<graph::RoundTrip> rts =
-        engine.BoundedRoundTrip(v, 2.0 * radius_m);
+        query->BoundedRoundTrip(v, 2.0 * radius_m);
     auto& list = lists[v];
     list.reserve(rts.size());
     for (const graph::RoundTrip& r : rts) {
@@ -192,11 +194,13 @@ GdspResult RunFmSketch(const graph::RoadNetwork& net,
 
 }  // namespace
 
-GdspResult GreedyGdsp(const graph::RoadNetwork& net, const GdspConfig& config) {
+GdspResult GreedyGdsp(const graph::RoadNetwork& net, const GdspConfig& config,
+                      const graph::spf::DistanceBackend* backend) {
   NC_CHECK_GT(config.radius_m, 0.0);
   util::WallTimer timer;
   uint64_t total_edges = 0;
-  const DominationLists dom = BuildDomination(net, config.radius_m, &total_edges);
+  const DominationLists dom =
+      BuildDomination(net, config.radius_m, backend, &total_edges);
 
   GdspResult result = config.strategy == GdspStrategy::kLazyExact
                           ? RunLazyExact(net, dom)

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "graph/road_network.h"
+#include "graph/spf/distance_backend.h"
 
 namespace netclus::index {
 
@@ -48,7 +49,11 @@ struct GdspResult {
   uint64_t dominance_edges = 0;           ///< Σ |Λ(v)|
 };
 
-GdspResult GreedyGdsp(const graph::RoadNetwork& net, const GdspConfig& config);
+/// `backend` (optional, not owned) accelerates the Λ(v) round-trip
+/// searches; null = plain Dijkstra. The clustering is bit-identical under
+/// every backend (distances are — see src/graph/spf/).
+GdspResult GreedyGdsp(const graph::RoadNetwork& net, const GdspConfig& config,
+                      const graph::spf::DistanceBackend* backend = nullptr);
 
 }  // namespace netclus::index
 

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "graph/spf/contraction_hierarchy.h"
 #include "netclus/cluster_index.h"
 #include "util/strings.h"
 
@@ -175,6 +176,11 @@ bool ClusterIndex::ReadFrom(std::istream& is, ClusterIndex* out,
 // ---------------------------------------------------------------------------
 
 void WriteIndex(const MultiIndex& index, std::ostream& os) {
+  WriteIndex(index, nullptr, os);
+}
+
+void WriteIndex(const MultiIndex& index,
+                const graph::spf::DistanceBackend* backend, std::ostream& os) {
   os << std::setprecision(12);
   os << "netclus-index v1\n";
   os << "meta " << index.config_.gamma << " " << index.tau_min_ << " "
@@ -188,12 +194,27 @@ void WriteIndex(const MultiIndex& index, std::ostream& os) {
   }
   os << "corpus " << nodes << " " << trajs << "\n";
   for (const auto& instance : index.instances_) instance->WriteTo(os);
+  if (backend != nullptr) {
+    os << "backend " << graph::spf::BackendName(backend->kind()) << "\n";
+    if (backend->kind() == graph::spf::BackendKind::kContractionHierarchies) {
+      static_cast<const graph::spf::ContractionHierarchy*>(backend)->WriteTo(
+          os);
+    }
+  }
   os << "end\n";
 }
 
 bool ReadIndex(std::istream& is, size_t expected_nodes,
                size_t expected_trajectories, MultiIndex* index,
                std::string* error) {
+  return ReadIndex(is, expected_nodes, expected_trajectories, index, error,
+                   nullptr, nullptr);
+}
+
+bool ReadIndex(std::istream& is, size_t expected_nodes,
+               size_t expected_trajectories, MultiIndex* index,
+               std::string* error, const graph::RoadNetwork* net,
+               std::shared_ptr<const graph::spf::DistanceBackend>* backend) {
   std::string header;
   std::getline(is, header);
   if (util::Trim(header) != "netclus-index v1") {
@@ -225,25 +246,69 @@ bool ReadIndex(std::istream& is, size_t expected_nodes,
     if (!ClusterIndex::ReadFrom(is, instance.get(), error)) return false;
     loaded.instances_.push_back(std::move(instance));
   }
-  if (!Expect(is, "end", error)) return false;
+  std::string tail;
+  if (!(is >> tail)) return Fail(error, "truncated index (missing end)");
+  if (tail == "backend") {
+    std::string name;
+    if (!(is >> name)) return Fail(error, "truncated backend section");
+    const std::optional<graph::spf::BackendKind> kind =
+        graph::spf::ParseBackendName(name);
+    if (!kind.has_value()) return Fail(error, "unknown backend: " + name);
+    if (*kind == graph::spf::BackendKind::kContractionHierarchies) {
+      if (net == nullptr || backend == nullptr) {
+        // Caller has no network to validate against: skip reconstruction
+        // but still consume the payload so "end" parses.
+        std::string token;
+        while (is >> token && token != "end_ch") {
+        }
+        if (token != "end_ch") return Fail(error, "truncated ch payload");
+      } else {
+        std::unique_ptr<graph::spf::ContractionHierarchy> ch;
+        if (!graph::spf::ContractionHierarchy::ReadFrom(is, net, &ch, error)) {
+          return false;
+        }
+        *backend = std::move(ch);
+      }
+    } else if (net != nullptr && backend != nullptr) {
+      *backend = graph::spf::MakeBackend(*kind, net);
+    }
+    if (!Expect(is, "end", error)) return false;
+  } else if (tail != "end") {
+    return Fail(error, "expected 'end', got '" + tail + "'");
+  }
   *index = std::move(loaded);
   return true;
 }
 
 bool SaveIndex(const MultiIndex& index, const std::string& path,
                std::string* error) {
+  return SaveIndex(index, nullptr, path, error);
+}
+
+bool SaveIndex(const MultiIndex& index,
+               const graph::spf::DistanceBackend* backend,
+               const std::string& path, std::string* error) {
   std::ofstream out(path);
   if (!out) return Fail(error, "cannot open for write: " + path);
-  WriteIndex(index, out);
+  WriteIndex(index, backend, out);
   return static_cast<bool>(out);
 }
 
 bool LoadIndex(const std::string& path, size_t expected_nodes,
                size_t expected_trajectories, MultiIndex* index,
                std::string* error) {
+  return LoadIndex(path, expected_nodes, expected_trajectories, index, error,
+                   nullptr, nullptr);
+}
+
+bool LoadIndex(const std::string& path, size_t expected_nodes,
+               size_t expected_trajectories, MultiIndex* index,
+               std::string* error, const graph::RoadNetwork* net,
+               std::shared_ptr<const graph::spf::DistanceBackend>* backend) {
   std::ifstream in(path);
   if (!in) return Fail(error, "cannot open for read: " + path);
-  return ReadIndex(in, expected_nodes, expected_trajectories, index, error);
+  return ReadIndex(in, expected_nodes, expected_trajectories, index, error,
+                   net, backend);
 }
 
 }  // namespace netclus::index

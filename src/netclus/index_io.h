@@ -11,33 +11,59 @@
 // The road network and the trajectory store are NOT serialized here — they
 // are the inputs (persist them with graph::SaveGraph and your trajectory
 // source of truth); loading validates that node/trajectory counts match.
+//
+// The distance backend that built the index can ride along in an optional
+// trailing `backend` section: the kind is always recorded, and a
+// Contraction Hierarchies backend serializes its full preprocessed
+// hierarchy, so a deployment that ships index snapshots never re-contracts
+// on load. Files without the section (pre-spf) still load.
 #ifndef NETCLUS_NETCLUS_INDEX_IO_H_
 #define NETCLUS_NETCLUS_INDEX_IO_H_
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 
+#include "graph/spf/distance_backend.h"
 #include "netclus/multi_index.h"
 
 namespace netclus::index {
 
-/// Writes the full multi-resolution index to the stream.
+/// Writes the full multi-resolution index to the stream; `backend` (may be
+/// null) is recorded in the trailing backend section.
 void WriteIndex(const MultiIndex& index, std::ostream& os);
+void WriteIndex(const MultiIndex& index,
+                const graph::spf::DistanceBackend* backend, std::ostream& os);
 
 /// Reads an index previously written by WriteIndex. `expected_nodes` and
 /// `expected_trajectories` guard against loading an index built over a
 /// different network/corpus (pass the live counts). Returns false with a
 /// message in `error` on any mismatch or malformed input.
+///
+/// When `net` and `backend` are given, a backend section in the file is
+/// reconstructed over `net` into `*backend` (left null when the file has
+/// none — pre-spf files load unchanged).
 bool ReadIndex(std::istream& is, size_t expected_nodes,
                size_t expected_trajectories, MultiIndex* index,
                std::string* error);
+bool ReadIndex(std::istream& is, size_t expected_nodes,
+               size_t expected_trajectories, MultiIndex* index,
+               std::string* error, const graph::RoadNetwork* net,
+               std::shared_ptr<const graph::spf::DistanceBackend>* backend);
 
 /// File convenience wrappers.
 bool SaveIndex(const MultiIndex& index, const std::string& path,
                std::string* error);
+bool SaveIndex(const MultiIndex& index,
+               const graph::spf::DistanceBackend* backend,
+               const std::string& path, std::string* error);
 bool LoadIndex(const std::string& path, size_t expected_nodes,
                size_t expected_trajectories, MultiIndex* index,
                std::string* error);
+bool LoadIndex(const std::string& path, size_t expected_nodes,
+               size_t expected_trajectories, MultiIndex* index,
+               std::string* error, const graph::RoadNetwork* net,
+               std::shared_ptr<const graph::spf::DistanceBackend>* backend);
 
 }  // namespace netclus::index
 

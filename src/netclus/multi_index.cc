@@ -14,10 +14,12 @@ namespace netclus::index {
 
 void MultiIndex::EstimateTauRange(const traj::TrajectoryStore& store,
                                   const tops::SiteSet& sites, uint64_t seed,
-                                  double* tau_min_m, double* tau_max_m) {
+                                  double* tau_min_m, double* tau_max_m,
+                                  const graph::spf::DistanceBackend* backend) {
   NC_CHECK_GT(sites.size(), 1u);
   const graph::RoadNetwork& net = store.network();
-  graph::DijkstraEngine engine(&net);
+  const std::unique_ptr<graph::spf::DistanceQuery> query =
+      graph::spf::MakeQueryOrDijkstra(backend, &net);
   util::Rng rng(seed);
 
   // τ_min: the smallest site-to-site round trip. For each sampled site,
@@ -31,7 +33,7 @@ void MultiIndex::EstimateTauRange(const traj::TrajectoryStore& store,
     double radius = 100.0;
     for (int attempt = 0; attempt < 12; ++attempt) {
       const std::vector<graph::RoundTrip> rts =
-          engine.BoundedRoundTrip(node, radius);
+          query->BoundedRoundTrip(node, radius);
       double best = graph::kInfDistance;
       for (const graph::RoundTrip& rt : rts) {
         if (rt.node == node) continue;
@@ -56,9 +58,9 @@ void MultiIndex::EstimateTauRange(const traj::TrajectoryStore& store,
         rng.UniformInt(static_cast<uint64_t>(sites.size())));
     const graph::NodeId node = sites.node(s);
     const std::vector<double> fwd =
-        engine.FullSearch(node, graph::Direction::kForward);
+        query->FullSearch(node, graph::Direction::kForward);
     const std::vector<double> rev =
-        engine.FullSearch(node, graph::Direction::kReverse);
+        query->FullSearch(node, graph::Direction::kReverse);
     for (tops::SiteId other = 0; other < sites.size(); ++other) {
       const graph::NodeId v = sites.node(other);
       if (fwd[v] == graph::kInfDistance || rev[v] == graph::kInfDistance) continue;
@@ -72,7 +74,8 @@ void MultiIndex::EstimateTauRange(const traj::TrajectoryStore& store,
 
 MultiIndex MultiIndex::Build(const traj::TrajectoryStore& store,
                              const tops::SiteSet& sites,
-                             const MultiIndexConfig& config) {
+                             const MultiIndexConfig& config,
+                             const graph::spf::DistanceBackend* backend) {
   NC_CHECK_GT(config.gamma, 0.0);
   util::WallTimer timer;
   MultiIndex index;
@@ -82,7 +85,7 @@ MultiIndex MultiIndex::Build(const traj::TrajectoryStore& store,
   double tau_max = config.tau_max_m;
   if (tau_min <= 0.0 || tau_max <= 0.0) {
     double est_min = 0.0, est_max = 0.0;
-    EstimateTauRange(store, sites, config.seed, &est_min, &est_max);
+    EstimateTauRange(store, sites, config.seed, &est_min, &est_max, backend);
     if (tau_min <= 0.0) tau_min = est_min;
     if (tau_max <= 0.0) tau_max = est_max;
   }
@@ -118,7 +121,7 @@ MultiIndex MultiIndex::Build(const traj::TrajectoryStore& store,
     instance_config.representative_rule = config.representative_rule;
     instance_config.threads = instance_threads;
     index.instances_[p] = std::make_unique<ClusterIndex>(
-        ClusterIndex::Build(store, sites, instance_config));
+        ClusterIndex::Build(store, sites, instance_config, backend));
   };
   if (t >= threads) {
     util::ParallelFor(

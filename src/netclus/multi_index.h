@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "graph/spf/distance_backend.h"
 #include "netclus/cluster_index.h"
 #include "tops/site_set.h"
 #include "traj/trajectory_store.h"
@@ -45,10 +46,14 @@ struct MultiIndexConfig {
 class MultiIndex {
  public:
   /// Offline build (Sec. 4): clusters every instance and indexes all live
-  /// trajectories and sites.
+  /// trajectories and sites. `backend` (optional, not owned, build-time
+  /// only) accelerates every distance computation of the build — τ-range
+  /// estimation, GDSP domination, neighbor lists; null = plain Dijkstra.
+  /// The index is bit-identical under every backend.
   static MultiIndex Build(const traj::TrajectoryStore& store,
                           const tops::SiteSet& sites,
-                          const MultiIndexConfig& config);
+                          const MultiIndexConfig& config,
+                          const graph::spf::DistanceBackend* backend = nullptr);
 
   /// Deep copy of the whole index (every instance). This is the
   /// copy-on-write primitive behind snapshot isolation in src/serve: the
@@ -87,15 +92,20 @@ class MultiIndex {
 
   /// Estimates the [τ_min, τ_max] range from site-pair round trips by
   /// sampling (exposed for tests and benches).
-  static void EstimateTauRange(const traj::TrajectoryStore& store,
-                               const tops::SiteSet& sites, uint64_t seed,
-                               double* tau_min_m, double* tau_max_m);
+  static void EstimateTauRange(
+      const traj::TrajectoryStore& store, const tops::SiteSet& sites,
+      uint64_t seed, double* tau_min_m, double* tau_max_m,
+      const graph::spf::DistanceBackend* backend = nullptr);
 
  private:
-  friend void WriteIndex(const MultiIndex& index, std::ostream& os);
+  friend void WriteIndex(const MultiIndex& index,
+                         const graph::spf::DistanceBackend* backend,
+                         std::ostream& os);
   friend bool ReadIndex(std::istream& is, size_t expected_nodes,
                         size_t expected_trajectories, MultiIndex* index,
-                        std::string* error);
+                        std::string* error, const graph::RoadNetwork* net,
+                        std::shared_ptr<const graph::spf::DistanceBackend>*
+                            backend);
   MultiIndexConfig config_;
   double tau_min_ = 0.0;
   double tau_max_ = 0.0;

@@ -58,11 +58,14 @@ struct PairwiseLegs {
 
 // Per-worker scratch for the site loop: every site's covering set is
 // computed with private state, so sites can be processed in any order (and
-// concurrently) with identical results.
+// concurrently) with identical results. The search workspace comes from
+// the configured backend (plain Dijkstra when there is none).
 struct SiteScratch {
-  explicit SiteScratch(const graph::RoadNetwork* net, size_t num_trajs)
-      : engine(net), detour(num_trajs) {}
-  graph::DijkstraEngine engine;
+  SiteScratch(const graph::spf::DistanceBackend* backend,
+              const graph::RoadNetwork* net, size_t num_trajs)
+      : query(graph::spf::MakeQueryOrDijkstra(backend, net)),
+        detour(num_trajs) {}
+  std::unique_ptr<graph::spf::DistanceQuery> query;
   MinDetourScratch detour;
   std::unordered_map<TrajId, PairwiseLegs> legs;
 };
@@ -79,8 +82,8 @@ uint64_t ComputeSiteCover(const traj::TrajectoryStore& store,
 
   if (config.detour == DetourMode::kSinglePoint) {
     const std::vector<graph::RoundTrip> rts =
-        scratch.engine.BoundedRoundTrip(site_node, config.tau_m);
-    settled += scratch.engine.last_settled_count();
+        scratch.query->BoundedRoundTrip(site_node, config.tau_m);
+    settled += scratch.query->last_settled_count();
     for (const graph::RoundTrip& rt : rts) {
       for (const traj::Posting& posting : store.postings(rt.node)) {
         if (!store.is_alive(posting.traj)) continue;
@@ -90,12 +93,12 @@ uint64_t ComputeSiteCover(const traj::TrajectoryStore& store,
   } else {
     // Pairwise: both legs must individually fit in τ.
     scratch.legs.clear();
-    const std::vector<graph::Settled> fwd = scratch.engine.BoundedSearch(
+    const std::vector<graph::Settled> fwd = scratch.query->BoundedSearch(
         site_node, config.tau_m, graph::Direction::kForward);
-    settled += scratch.engine.last_settled_count();
-    const std::vector<graph::Settled> rev = scratch.engine.BoundedSearch(
+    settled += scratch.query->last_settled_count();
+    const std::vector<graph::Settled> rev = scratch.query->BoundedSearch(
         site_node, config.tau_m, graph::Direction::kReverse);
-    settled += scratch.engine.last_settled_count();
+    settled += scratch.query->last_settled_count();
     for (const graph::Settled& st : rev) {
       // rev search distance = d(node, site): the "leave" leg.
       for (const traj::Posting& p : store.postings(st.node)) {
@@ -171,7 +174,7 @@ CoverageIndex CoverageIndex::Build(const traj::TrajectoryStore& store,
       config.memory_budget_bytes > 0 ? 1 : util::ResolveThreads(config.threads);
 
   if (threads <= 1) {
-    SiteScratch scratch(&net, num_trajs);
+    SiteScratch scratch(config.backend, &net, num_trajs);
     for (SiteId s = 0; s < sites.size(); ++s) {
       index.stats_.settled_nodes +=
           ComputeSiteCover(store, sites, config, scratch, s, index.tc_[s]);
@@ -196,7 +199,7 @@ CoverageIndex CoverageIndex::Build(const traj::TrajectoryStore& store,
     util::ParallelFor(
         threads, sites.size(),
         [&](size_t begin, size_t end) {
-          SiteScratch scratch(&net, num_trajs);
+          SiteScratch scratch(config.backend, &net, num_trajs);
           uint64_t local_settled = 0;
           for (size_t s = begin; s < end; ++s) {
             local_settled += ComputeSiteCover(store, sites, config, scratch,
@@ -261,7 +264,7 @@ double CoverageIndex::SiteWeight(SiteId s, const PreferenceFunction& psi) const 
 }
 
 double CoverageIndex::DetourDistance(const traj::TrajectoryStore& store,
-                                     graph::DijkstraEngine* engine,
+                                     graph::spf::DistanceQuery* query,
                                      traj::TrajId t, graph::NodeId site_node,
                                      double tau_m, DetourMode mode) {
   const traj::Trajectory& trajectory = store.trajectory(t);
@@ -269,11 +272,11 @@ double CoverageIndex::DetourDistance(const traj::TrajectoryStore& store,
     // d(v, s) for all trajectory nodes via one reverse bounded search, then
     // d(s, v) via one forward bounded search; combine per node.
     const std::vector<graph::Settled> rev =
-        engine->BoundedSearch(site_node, tau_m, graph::Direction::kReverse);
+        query->BoundedSearch(site_node, tau_m, graph::Direction::kReverse);
     std::unordered_map<NodeId, double> to_site;
     for (const graph::Settled& st : rev) to_site[st.node] = st.distance;
     const std::vector<graph::Settled> fwd =
-        engine->BoundedSearch(site_node, tau_m, graph::Direction::kForward);
+        query->BoundedSearch(site_node, tau_m, graph::Direction::kForward);
     std::unordered_map<NodeId, double> from_site;
     for (const graph::Settled& st : fwd) from_site[st.node] = st.distance;
     double best = graph::kInfDistance;
@@ -288,11 +291,11 @@ double CoverageIndex::DetourDistance(const traj::TrajectoryStore& store,
   }
   // Pairwise mode.
   const std::vector<graph::Settled> rev =
-      engine->BoundedSearch(site_node, tau_m, graph::Direction::kReverse);
+      query->BoundedSearch(site_node, tau_m, graph::Direction::kReverse);
   std::unordered_map<NodeId, double> to_site;
   for (const graph::Settled& st : rev) to_site[st.node] = st.distance;
   const std::vector<graph::Settled> fwd =
-      engine->BoundedSearch(site_node, tau_m, graph::Direction::kForward);
+      query->BoundedSearch(site_node, tau_m, graph::Direction::kForward);
   std::unordered_map<NodeId, double> from_site;
   for (const graph::Settled& st : fwd) from_site[st.node] = st.distance;
   double best = graph::kInfDistance;
@@ -318,9 +321,11 @@ double CoverageIndex::EvaluateSelection(const traj::TrajectoryStore& store,
                                         const std::vector<SiteId>& selection,
                                         double tau_m,
                                         const PreferenceFunction& psi,
-                                        DetourMode mode) {
+                                        DetourMode mode,
+                                        const graph::spf::DistanceBackend* backend) {
   const graph::RoadNetwork& net = store.network();
-  graph::DijkstraEngine engine(&net);
+  const std::unique_ptr<graph::spf::DistanceQuery> query =
+      graph::spf::MakeQueryOrDijkstra(backend, &net);
   // Per-trajectory best score across the selected sites; reuse the covering
   // inversion: bounded searches from each selected site only.
   std::vector<double> best_score(store.total_count(), 0.0);
@@ -328,7 +333,7 @@ double CoverageIndex::EvaluateSelection(const traj::TrajectoryStore& store,
     const NodeId site_node = sites.node(s);
     if (mode == DetourMode::kSinglePoint) {
       const std::vector<graph::RoundTrip> rts =
-          engine.BoundedRoundTrip(site_node, tau_m);
+          query->BoundedRoundTrip(site_node, tau_m);
       // Min detour per trajectory for this site.
       std::unordered_map<TrajId, double> best_dr;
       for (const graph::RoundTrip& rt : rts) {
@@ -344,7 +349,7 @@ double CoverageIndex::EvaluateSelection(const traj::TrajectoryStore& store,
     } else {
       // Pairwise: reuse DetourDistance per touched trajectory.
       const std::vector<graph::Settled> probe =
-          engine.BoundedSearch(site_node, tau_m, graph::Direction::kReverse);
+          query->BoundedSearch(site_node, tau_m, graph::Direction::kReverse);
       std::vector<TrajId> touched;
       for (const graph::Settled& st : probe) {
         for (const traj::Posting& p : store.postings(st.node)) {
@@ -355,7 +360,7 @@ double CoverageIndex::EvaluateSelection(const traj::TrajectoryStore& store,
       touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
       for (TrajId t : touched) {
         const double dr =
-            DetourDistance(store, &engine, t, site_node, tau_m, mode);
+            DetourDistance(store, query.get(), t, site_node, tau_m, mode);
         if (dr != graph::kInfDistance) {
           best_score[t] = std::max(best_score[t], psi.Score(dr, tau_m));
         }

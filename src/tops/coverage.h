@@ -27,6 +27,7 @@
 
 #include "graph/dijkstra.h"
 #include "graph/road_network.h"
+#include "graph/spf/distance_backend.h"
 #include "tops/preference.h"
 #include "tops/site_set.h"
 #include "traj/trajectory_store.h"
@@ -50,6 +51,11 @@ struct CoverageConfig {
   /// identical at any thread count. A nonzero memory budget forces the
   /// serial path: the budget cutoff is defined by sequential site order.
   uint32_t threads = 0;
+  /// Shortest-path backend for the per-site searches (not owned; must
+  /// outlive the build). Null = per-worker plain Dijkstra, the
+  /// pre-subsystem behavior. Distances — and therefore the covering
+  /// sets — are bit-identical under every backend; see src/graph/spf/.
+  const graph::spf::DistanceBackend* backend = nullptr;
 };
 
 /// One covering entry: trajectory (or site, in the inverse view) + d_r.
@@ -110,20 +116,21 @@ class CoverageIndex {
 
   /// Exact d_r(T, s) for an arbitrary (trajectory, site) pair, computed on
   /// demand with bounded searches (used to evaluate solution quality
-  /// without a full index). kInfDistance if above `tau_m`.
+  /// without a full index). kInfDistance if above `tau_m`. `query` is any
+  /// spf workspace (a plain DijkstraEngine still works).
   static double DetourDistance(const traj::TrajectoryStore& store,
-                               graph::DijkstraEngine* engine,
+                               graph::spf::DistanceQuery* query,
                                traj::TrajId t, graph::NodeId site_node,
                                double tau_m, DetourMode mode);
 
   /// Exact utility of a concrete site selection, evaluated from scratch
   /// with k bounded searches (cheap: used to score NetClus answers against
   /// Inc-Greedy answers without building a full CoverageIndex).
-  static double EvaluateSelection(const traj::TrajectoryStore& store,
-                                  const SiteSet& sites,
-                                  const std::vector<SiteId>& selection,
-                                  double tau_m, const PreferenceFunction& psi,
-                                  DetourMode mode = DetourMode::kSinglePoint);
+  static double EvaluateSelection(
+      const traj::TrajectoryStore& store, const SiteSet& sites,
+      const std::vector<SiteId>& selection, double tau_m,
+      const PreferenceFunction& psi, DetourMode mode = DetourMode::kSinglePoint,
+      const graph::spf::DistanceBackend* backend = nullptr);
 
   const CoverageStats& stats() const { return stats_; }
 

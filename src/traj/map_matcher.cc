@@ -15,9 +15,10 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 }  // namespace
 
 MapMatcher::MapMatcher(const graph::RoadNetwork* net,
-                       const MapMatcherConfig& config)
+                       const MapMatcherConfig& config,
+                       const graph::spf::DistanceBackend* backend)
     : net_(net), config_(config), node_grid_(config.candidate_radius_m),
-      dijkstra_(net) {
+      spf_(graph::spf::MakeQueryOrDijkstra(backend, net)) {
   NC_CHECK(net != nullptr);
   node_grid_.Build(net->positions());
 }
@@ -85,7 +86,7 @@ MatchResult MapMatcher::Match(const GpsTrace& trace) {
       for (size_t a = 0; a < prev.candidates.size(); ++a) {
         if (score[i - 1][a] == kNegInf) continue;
         const uint32_t na = prev.candidates[a];
-        const double route_d = dijkstra_.PointToPoint(na, nb, route_cap);
+        const double route_d = spf_->PointToPoint(na, nb, route_cap);
         if (route_d == graph::kInfDistance) continue;
         const double transition_logp =
             -std::abs(route_d - line_d) / config_.transition_beta_m;
@@ -151,9 +152,9 @@ MatchResult MapMatcher::Match(const GpsTrace& trace) {
     const double cap =
         config_.route_slack_factor * line_d + config_.route_slack_const_m;
     std::vector<graph::NodeId> leg =
-        dijkstra_.ShortestPath(path.back(), matched[i], cap);
+        spf_->ShortestPath(path.back(), matched[i], cap);
     if (leg.empty()) {
-      leg = dijkstra_.ShortestPath(path.back(), matched[i]);
+      leg = spf_->ShortestPath(path.back(), matched[i]);
     }
     if (leg.empty()) {
       // Disconnected (shouldn't happen on SCC-restricted networks): jump.

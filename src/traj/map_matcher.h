@@ -18,9 +18,11 @@
 #include <cstdint>
 #include <vector>
 
+#include <memory>
+
 #include "geo/spatial_grid.h"
-#include "graph/dijkstra.h"
 #include "graph/road_network.h"
+#include "graph/spf/distance_backend.h"
 #include "traj/trace.h"
 
 namespace netclus::traj {
@@ -44,11 +46,16 @@ struct MatchResult {
 
 class MapMatcher {
  public:
+  /// `backend` (optional, not owned, must outlive the matcher) selects the
+  /// shortest-path implementation for transition probabilities and route
+  /// expansion; null = plain Dijkstra. Point-to-point-heavy, so the
+  /// bidirectional and CH backends speed matching up directly.
   explicit MapMatcher(const graph::RoadNetwork* net,
-                      const MapMatcherConfig& config = {});
+                      const MapMatcherConfig& config = {},
+                      const graph::spf::DistanceBackend* backend = nullptr);
 
   /// Matches one trace. Thread-compatible (not thread-safe: reuses a
-  /// Dijkstra workspace).
+  /// shortest-path workspace).
   MatchResult Match(const GpsTrace& trace);
 
  private:
@@ -57,7 +64,7 @@ class MapMatcher {
   const graph::RoadNetwork* net_;
   MapMatcherConfig config_;
   geo::PointGrid node_grid_;
-  graph::DijkstraEngine dijkstra_;
+  std::unique_ptr<graph::spf::DistanceQuery> spf_;
 };
 
 }  // namespace netclus::traj

@@ -139,6 +139,58 @@ TEST_P(DijkstraProperty, BoundedSearchIsPrefixOfFullSearch) {
   }
 }
 
+// Regression: the point-to-point early exit must not settle the tie-cost
+// frontier. A star of many leaves at exactly the target's distance used to
+// be scanned leaf by leaf (heap tie-break pops lower ids first) before the
+// target itself popped; the fix returns as soon as the heap minimum
+// reaches the target's final label. Pins visited-node counts so the
+// behavior cannot silently regress.
+TEST(Dijkstra, PointToPointEarlyExitSkipsTieCostFrontier) {
+  RoadNetworkBuilder builder;
+  const NodeId s = builder.AddNode({0.0, 0.0});
+  // 50 decoy leaves, ids below the target so ties pop before it.
+  for (int i = 0; i < 50; ++i) {
+    const NodeId leaf =
+        builder.AddNode({100.0 * std::cos(i), 100.0 * std::sin(i)});
+    builder.AddEdge(s, leaf, 100.0);
+  }
+  const NodeId t = builder.AddNode({100.0, 0.0});
+  builder.AddEdge(s, t, 100.0);
+  RoadNetwork net = std::move(builder).Build();
+
+  DijkstraEngine engine(&net);
+  EXPECT_EQ(engine.PointToPoint(s, t), 100.0);
+  // Only the source settles: every leaf ties with t at 100 and must be
+  // skipped by the early exit (pre-fix this was the whole star, 51).
+  EXPECT_LE(engine.last_settled_count(), 2u);
+
+  // Same guarantee for the path variant.
+  const std::vector<NodeId> path = engine.ShortestPath(s, t);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path.front(), s);
+  EXPECT_EQ(path.back(), t);
+
+  // A target beyond the frontier still settles the whole tie layer —
+  // the exit only fires once the target's label is provably final.
+  RoadNetworkBuilder far_builder;
+  const NodeId fs = far_builder.AddNode({0.0, 0.0});
+  std::vector<NodeId> leaves;
+  for (int i = 0; i < 20; ++i) {
+    const NodeId leaf =
+        far_builder.AddNode({100.0 * std::cos(i), 100.0 * std::sin(i)});
+    far_builder.AddEdge(fs, leaf, 100.0);
+    leaves.push_back(leaf);
+  }
+  const NodeId ft = far_builder.AddNode({300.0, 0.0});
+  far_builder.AddEdge(leaves.back(), ft, 100.0);
+  RoadNetwork far_net = std::move(far_builder).Build();
+  DijkstraEngine far_engine(&far_net);
+  EXPECT_EQ(far_engine.PointToPoint(fs, ft), 200.0);
+  // Source + all 20 tie-cost leaves settle before the target's label
+  // becomes provably final.
+  EXPECT_EQ(far_engine.last_settled_count(), 21u);
+}
+
 TEST_P(DijkstraProperty, PointToPointMatchesFullSearch) {
   RoadNetwork net = test::MakeRandomNetwork(50, GetParam() + 300);
   DijkstraEngine engine(&net);

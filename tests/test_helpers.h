@@ -1,14 +1,21 @@
-// Shared fixtures and reference implementations for the test suite.
+// Shared fixtures and reference implementations for the test suite,
+// including the seeded property/fuzz harness (see docs/testing.md for the
+// seed-replay convention).
 #ifndef NETCLUS_TESTS_TEST_HELPERS_H_
 #define NETCLUS_TESTS_TEST_HELPERS_H_
 
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "graph/generators.h"
 #include "graph/road_network.h"
 #include "tops/coverage.h"
 #include "tops/site_set.h"
 #include "traj/trajectory_store.h"
+#include "util/flags.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace netclus::test {
 
@@ -124,6 +131,126 @@ inline double BrutePairwiseDetour(const graph::RoadNetwork& net,
     }
   }
   return best;
+}
+
+// ---------------------------------------------------------------------------
+// Seeded property/fuzz harness (docs/testing.md)
+//
+// Property tests iterate `FuzzRounds(n)` rounds; round i derives its seed
+// with `FuzzSeed(base, i)`. Both respect env overrides so a CI failure
+// replays locally with a single variable:
+//   NETCLUS_TEST_SEED=<seed>  pin every round to one seed
+//   NETCLUS_TEST_ROUNDS=<n>   shrink/grow the round count
+// Wrap each round in SCOPED_TRACE(SeedTrace(seed)) so failures print the
+// exact replay command.
+// ---------------------------------------------------------------------------
+
+/// Number of rounds a property test should run (env-overridable). When a
+/// seed is pinned via NETCLUS_TEST_SEED, one round is enough.
+inline size_t FuzzRounds(size_t default_rounds) {
+  if (util::GetEnvInt("NETCLUS_TEST_SEED", -1) >= 0) return 1;
+  return static_cast<size_t>(util::GetEnvInt(
+      "NETCLUS_TEST_ROUNDS", static_cast<int64_t>(default_rounds)));
+}
+
+/// Seed for round `round` of a property test (env-overridable).
+inline uint64_t FuzzSeed(uint64_t base, size_t round) {
+  const int64_t pinned = util::GetEnvInt("NETCLUS_TEST_SEED", -1);
+  if (pinned >= 0) return static_cast<uint64_t>(pinned);
+  // SplitMix-style spread so adjacent rounds land far apart. Masked to 63
+  // bits: the replay env var parses through GetEnvInt (int64), so a seed
+  // with the top bit set would not round-trip.
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * (round + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return (z ^ (z >> 31)) & 0x7fffffffffffffffULL;
+}
+
+/// SCOPED_TRACE message carrying the replay command for a failed round.
+inline std::string SeedTrace(uint64_t seed) {
+  return util::StrFormat(
+      "fuzz seed %llu (replay: NETCLUS_TEST_SEED=%llu ctest -R <test>)",
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(seed));
+}
+
+/// Random directed graph family for the distance-oracle differential
+/// suite. Three sub-families by seed so the suite always exercises:
+///  * strongly connected city networks from graph/generators (the shapes
+///    the index actually sees);
+///  * ring + chord graphs with ~6% zero-weight edges (tie-heavy);
+///  * two disconnected islands (unreachable pairs) with zero-weight edges.
+inline graph::RoadNetwork MakeSpfTestGraph(uint64_t seed) {
+  util::Rng rng(seed ^ 0x5fbful);
+  switch (seed % 3) {
+    case 0: {
+      graph::RandomCityConfig config;
+      config.num_nodes = 120 + static_cast<uint32_t>(seed % 5) * 40;
+      config.neighbors = 2 + static_cast<uint32_t>(seed % 2);
+      config.one_way_fraction = 0.3;
+      config.seed = seed;
+      return GenerateRandomCity(config);
+    }
+    case 1: {
+      // Ring (strongly connected) + chords, some of them zero-weight.
+      const uint32_t n = 80 + static_cast<uint32_t>(seed % 7) * 20;
+      graph::RoadNetworkBuilder builder;
+      for (uint32_t i = 0; i < n; ++i) {
+        builder.AddNode({rng.Uniform(0.0, 4000.0), rng.Uniform(0.0, 4000.0)});
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        builder.AddEdge(i, (i + 1) % n, rng.Uniform(40.0, 300.0));
+      }
+      for (uint32_t c = 0; c < n * 2; ++c) {
+        const auto u = static_cast<graph::NodeId>(rng.UniformInt(n));
+        const auto v = static_cast<graph::NodeId>(rng.UniformInt(n));
+        if (u == v) continue;
+        const double w =
+            rng.Uniform(0.0, 1.0) < 0.06 ? 0.0 : rng.Uniform(40.0, 500.0);
+        builder.AddEdge(u, v, w);
+      }
+      return std::move(builder).Build();
+    }
+    default: {
+      // Two islands, only internally connected: every cross pair is
+      // unreachable, so backends must agree on kInfDistance too.
+      const uint32_t half = 50 + static_cast<uint32_t>(seed % 5) * 15;
+      graph::RoadNetworkBuilder builder;
+      for (uint32_t i = 0; i < 2 * half; ++i) {
+        builder.AddNode({rng.Uniform(0.0, 4000.0), rng.Uniform(0.0, 4000.0)});
+      }
+      for (uint32_t island = 0; island < 2; ++island) {
+        const uint32_t base = island * half;
+        for (uint32_t i = 0; i < half; ++i) {
+          builder.AddEdge(base + i, base + (i + 1) % half,
+                          rng.Uniform(40.0, 300.0));
+        }
+        for (uint32_t c = 0; c < half; ++c) {
+          const auto u = base + static_cast<graph::NodeId>(rng.UniformInt(half));
+          const auto v = base + static_cast<graph::NodeId>(rng.UniformInt(half));
+          if (u == v) continue;
+          const double w =
+              rng.Uniform(0.0, 1.0) < 0.08 ? 0.0 : rng.Uniform(40.0, 400.0);
+          builder.AddEdge(u, v, w);
+        }
+      }
+      return std::move(builder).Build();
+    }
+  }
+}
+
+/// `count` random (s, t) query pairs over `net`, seed-deterministic.
+inline std::vector<std::pair<graph::NodeId, graph::NodeId>> MakeQueryPairs(
+    const graph::RoadNetwork& net, size_t count, uint64_t seed) {
+  util::Rng rng(seed ^ 0xbeefULL);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(
+        static_cast<graph::NodeId>(rng.UniformInt(net.num_nodes())),
+        static_cast<graph::NodeId>(rng.UniformInt(net.num_nodes())));
+  }
+  return pairs;
 }
 
 /// Fills `store` with random-walk trajectories over its network.

@@ -3,10 +3,14 @@
 // dominating-set size |Λ| and mean trajectory-list size |TL| grow, mean
 // neighbor-list size |CL| first rises then falls, and build times stay
 // practical with a U-shape at the extremes.
+#include <cstdio>
+#include <fstream>
+
 #include "bench_common.h"
 
 #include "graph/spf/distance_backend.h"
 #include "netclus/cluster_index.h"
+#include "netclus/index_io.h"
 
 int main() {
   using namespace netclus;
@@ -49,5 +53,76 @@ int main() {
         .Cell(util::HumanBytes(instance.MemoryBytes()));
   }
   table.PrintText(std::cout);
+
+  // --- index persistence: v1 text vs v2 binary (copy / mmap) ---------------
+  // The startup-latency leg of the v2 format work: Engine::Load boils down
+  // to LoadIndex, so this times the full multi-resolution index through
+  // the text parser, the binary heap-copy loader, and the zero-copy mmap
+  // loader. Acceptance: mmap load >= 5x faster than text on this (the
+  // largest Table 11) dataset.
+  std::printf("\nindex persistence (full multi-resolution index):\n");
+  const index::MultiIndex full = bench::BuildIndex(d);
+  const std::string text_path = "/tmp/netclus_bench_t11_v1.idx";
+  const std::string bin_path = "/tmp/netclus_bench_t11_v2.idx";
+  std::string error;
+  NC_CHECK(index::SaveIndex(full, text_path, &error,
+                            index::IndexFileFormat::kTextV1))
+      << error;
+  NC_CHECK(index::SaveIndex(full, bin_path, &error,
+                            index::IndexFileFormat::kBinaryV2))
+      << error;
+  const size_t nodes = d.num_nodes();
+  const size_t trajs = d.store->total_count();
+
+  auto time_load = [&](const std::string& path, index::IndexLoadMode mode) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      index::MultiIndex loaded;
+      util::WallTimer timer;
+      NC_CHECK(index::LoadIndex(path, nodes, trajs, &loaded, &error, nullptr,
+                                nullptr, mode))
+          << error;
+      best = std::min(best, timer.Seconds());
+    }
+    return best;
+  };
+  const double text_s = time_load(text_path, index::IndexLoadMode::kAuto);
+  const double copy_s = time_load(bin_path, index::IndexLoadMode::kCopy);
+  const double mmap_s = time_load(bin_path, index::IndexLoadMode::kMmap);
+  const double speedup = mmap_s > 0.0 ? text_s / mmap_s : 0.0;
+
+  auto file_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    return static_cast<uint64_t>(in.tellg());
+  };
+  util::Table io_table({"format", "file_bytes", "load_s"});
+  io_table.Row()
+      .Cell(std::string("v1 text"))
+      .Cell(util::HumanBytes(file_bytes(text_path)))
+      .Cell(text_s, 4);
+  io_table.Row()
+      .Cell(std::string("v2 binary (copy)"))
+      .Cell(util::HumanBytes(file_bytes(bin_path)))
+      .Cell(copy_s, 4);
+  io_table.Row()
+      .Cell(std::string("v2 binary (mmap)"))
+      .Cell(util::HumanBytes(file_bytes(bin_path)))
+      .Cell(mmap_s, 4);
+  io_table.PrintText(std::cout);
+  std::printf("mmap load speedup over v1 text: %.1fx\n", speedup);
+
+  const std::string json_path =
+      util::GetEnvString("NETCLUS_BENCH_JSON", "BENCH_table11.json");
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"table11_index\",\n"
+       << "  \"v1_text_bytes\": " << file_bytes(text_path) << ",\n"
+       << "  \"v2_binary_bytes\": " << file_bytes(bin_path) << ",\n"
+       << "  \"load_v1_text_s\": " << text_s << ",\n"
+       << "  \"load_v2_copy_s\": " << copy_s << ",\n"
+       << "  \"load_v2_mmap_s\": " << mmap_s << ",\n"
+       << "  \"mmap_speedup_over_text\": " << speedup << "\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
   return 0;
 }

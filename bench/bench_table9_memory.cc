@@ -2,6 +2,14 @@
 // Paper: INCG/FMG footprints (covering sets) grow sharply with τ and blow
 // past the budget beyond τ = 1.2 km; NetClus/FMNetClus footprints stay
 // small and *shrink* for large τ because coarser instances compress more.
+//
+// Besides the paper's table, this bench reports the compact-storage
+// numbers of the v2 index work: raw vs compressed posting bytes (index
+// TL/CC arenas and covering sets) plus whole-process resident bytes, and
+// writes them to BENCH_table9.json (override with NETCLUS_BENCH_JSON) so
+// CI tracks the compression ratio across PRs.
+#include <fstream>
+
 #include "bench_common.h"
 
 int main() {
@@ -46,7 +54,53 @@ int main() {
         .Cell(static_cast<uint64_t>(netclus.instance_used));
   }
   table.PrintText(std::cout);
+
+  // --- compact posting storage (v2 index format) ---------------------------
+  // Index postings: what the TL/CC lists cost as delta-varint arenas vs
+  // the vector-of-vectors representation they replaced.
+  const uint64_t raw_bytes = index.PostingsBytesRaw();
+  const uint64_t packed_bytes = index.PostingsBytesCompressed();
+  const double ratio = packed_bytes == 0
+                           ? 0.0
+                           : static_cast<double>(raw_bytes) /
+                                 static_cast<double>(packed_bytes);
+  std::printf("\nindex postings (all instances): raw %s, compressed %s, "
+              "ratio %.2fx\n",
+              util::HumanBytes(raw_bytes).c_str(),
+              util::HumanBytes(packed_bytes).c_str(), ratio);
+
+  // Covering sets: the same arena codec applied to TC/SC at a mid τ.
+  tops::CoverageConfig cov_config;
+  cov_config.tau_m = 800.0;
+  tops::CoverageIndex coverage =
+      tops::CoverageIndex::Build(*d.store, d.sites, cov_config);
+  const uint64_t cov_raw = coverage.MemoryBytes();
+  coverage.Compress();
+  const uint64_t cov_packed = coverage.MemoryBytes();
+  const double cov_ratio = cov_packed == 0
+                               ? 0.0
+                               : static_cast<double>(cov_raw) /
+                                     static_cast<double>(cov_packed);
+  std::printf("covering sets (tau = 0.8 km): raw %s, compressed %s, "
+              "ratio %.2fx\n",
+              util::HumanBytes(cov_raw).c_str(),
+              util::HumanBytes(cov_packed).c_str(), cov_ratio);
+
+  const uint64_t vmrss = util::ReadVmRssBytes();
   std::printf("whole-process VmRSS at exit: %s\n",
-              util::HumanBytes(util::ReadVmRssBytes()).c_str());
+              util::HumanBytes(vmrss).c_str());
+
+  const std::string json_path =
+      util::GetEnvString("NETCLUS_BENCH_JSON", "BENCH_table9.json");
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"table9_memory\",\n"
+       << "  \"index_postings_raw_bytes\": " << raw_bytes << ",\n"
+       << "  \"index_postings_compressed_bytes\": " << packed_bytes << ",\n"
+       << "  \"index_postings_compression_ratio\": " << ratio << ",\n"
+       << "  \"coverage_raw_bytes\": " << cov_raw << ",\n"
+       << "  \"coverage_compressed_bytes\": " << cov_packed << ",\n"
+       << "  \"coverage_compression_ratio\": " << cov_ratio << ",\n"
+       << "  \"vmrss_bytes\": " << vmrss << "\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
   return 0;
 }

@@ -90,8 +90,8 @@ bool Engine::LoadIndexFromFile(const std::string& path, std::string* error) {
   auto loaded = std::make_unique<index::MultiIndex>();
   std::shared_ptr<const graph::spf::DistanceBackend> loaded_backend;
   if (!index::LoadIndex(path, network_->num_nodes(), store_->total_count(),
-                        loaded.get(), error, network_.get(),
-                        &loaded_backend)) {
+                        loaded.get(), error, network_.get(), &loaded_backend,
+                        options_.index_load_mode)) {
     return false;
   }
   // The file records which backend built the index (and, for CH, the full

@@ -27,6 +27,7 @@
 
 #include "graph/road_network.h"
 #include "graph/spf/distance_backend.h"
+#include "netclus/index_io.h"
 #include "netclus/multi_index.h"
 #include "netclus/query.h"
 #include "tops/coverage.h"
@@ -71,6 +72,11 @@ class Engine {
     /// backends. AddTrajectory corpora are unaffected. CH preprocessing
     /// runs once, lazily, at the first distance use.
     graph::spf::BackendKind distance_backend = graph::spf::BackendKind::kDefault;
+    /// How LoadIndexFromFile materializes a v2 binary index file. kAuto
+    /// memory-maps it (zero-copy posting arenas; override with
+    /// NETCLUS_INDEX_MMAP=0); kCopy forces a heap read; kMmap requires
+    /// the mapping to succeed. v1 text files always stream-parse.
+    index::IndexLoadMode index_load_mode = index::IndexLoadMode::kAuto;
   };
 
   /// One TOPS query of a batch (see TopKBatch) or of a serving request
@@ -130,14 +136,18 @@ class Engine {
   void BuildIndex();
   bool index_built() const { return index_ != nullptr; }
 
-  /// Persists the built index (the expensive offline artifact) to `path`,
-  /// together with the distance backend (a CH hierarchy rides along, so a
-  /// load never re-contracts).
+  /// Persists the built index (the expensive offline artifact) to `path`
+  /// in the v2 binary format (delta-varint postings, checksummed
+  /// sections; docs/index_format.md), together with the distance backend
+  /// (a CH hierarchy rides along, so a load never re-contracts).
   bool SaveIndexToFile(const std::string& path, std::string* error) const;
 
   /// Loads a previously saved index instead of rebuilding; validates that
-  /// it matches the current network/corpus sizes. A backend recorded in
-  /// the file replaces this engine's configured one.
+  /// it matches the current network/corpus sizes. Both file formats load
+  /// (the magic is sniffed); v2 files are mmap'ed by default so the
+  /// posting arenas alias the file zero-copy — see
+  /// Options::index_load_mode. A backend recorded in the file replaces
+  /// this engine's configured one.
   bool LoadIndexFromFile(const std::string& path, std::string* error);
 
   // --- online queries (NetClus) ---------------------------------------------

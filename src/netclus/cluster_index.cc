@@ -100,9 +100,12 @@ ClusterIndex ClusterIndex::Build(const traj::TrajectoryStore& store,
   // the lists are identical to a serial build. Contributions are produced
   // and committed in fixed windows so the transient footprint stays bounded
   // instead of holding a private copy of every trajectory's lists at once.
+  // Lists accumulate in plain vectors and are frozen into the compressed
+  // arenas in one pass at the end.
   constexpr size_t kCommitWindow = 8192;
   const size_t total = store.total_count();
-  index.cluster_seq_.resize(total);
+  std::vector<std::vector<uint32_t>> seqs(total);
+  std::vector<std::vector<TlEntry>> tls(index.clusters_.size());
   for (size_t base = 0; base < total; base += kCommitWindow) {
     const size_t count = std::min(kCommitWindow, total - base);
     std::vector<TrajContribution> contributions =
@@ -118,10 +121,11 @@ ClusterIndex ClusterIndex::Build(const traj::TrajectoryStore& store,
       TrajContribution& c = contributions[i];
       index.stats_.raw_postings += c.raw_postings;
       index.stats_.compressed_postings += c.seq.size();
-      index.cluster_seq_[t] = std::move(c.seq);
-      for (const auto& [g, dr] : c.best) index.clusters_[g].tl.push_back({t, dr});
+      seqs[t] = std::move(c.seq);
+      for (const auto& [g, dr] : c.best) tls[g].push_back({t, dr});
     }
   }
+  index.FreezePostings(tls, seqs);
 
   // 4. Neighbor lists CL: centers within round trip 4 R (1 + γ). Each
   // cluster's bounded search is independent; chunks carry their own engine.
@@ -205,41 +209,57 @@ void ClusterIndex::ElectRepresentative(const traj::TrajectoryStore& store,
   }
 }
 
-const std::vector<uint32_t>& ClusterIndex::cluster_sequence(TrajId t) const {
-  static const std::vector<uint32_t> kEmpty;
-  return t < cluster_seq_.size() ? cluster_seq_[t] : kEmpty;
+void ClusterIndex::FreezePostings(const std::vector<std::vector<TlEntry>>& tls,
+                                  const std::vector<std::vector<uint32_t>>& seqs) {
+  store::PostingArenaBuilder tl_builder;
+  for (const auto& list : tls) tl_builder.AddPairList(list);
+  tl_arena_ = tl_builder.Finish();
+  for (uint32_t g = 0; g < clusters_.size(); ++g) {
+    clusters_[g].tl.Freeze(tl_arena_.PairList<TlEntry>(g));
+  }
+  store::PostingArenaBuilder cc_builder;
+  for (const auto& seq : seqs) cc_builder.AddU32List(seq);
+  cc_arena_ = cc_builder.Finish();
+  cc_count_ = seqs.size();
+  cc_overlay_.clear();
+  cc_removed_.clear();
+}
+
+store::PostingListView ClusterIndex::cluster_sequence_view(TrajId t) const {
+  if (t >= cc_count_ || cc_removed_.count(t) != 0) return {};
+  const auto it = cc_overlay_.find(t);
+  if (it != cc_overlay_.end()) {
+    return store::PostingListView::Raw(it->second.data(), it->second.size());
+  }
+  if (t < cc_arena_.num_lists()) return cc_arena_.U32List(t);
+  return {};
 }
 
 void ClusterIndex::AddTrajectory(const traj::TrajectoryStore& store, TrajId t) {
-  if (cluster_seq_.size() <= t) cluster_seq_.resize(t + 1);
   TrajContribution c =
       ComputeContribution(store.trajectory(t), node_cluster_, node_rt_);
   stats_.raw_postings += c.raw_postings;
   stats_.compressed_postings += c.seq.size();
-  cluster_seq_[t] = std::move(c.seq);
+  cc_removed_.erase(t);
+  cc_overlay_[t] = std::move(c.seq);
+  if (t >= cc_count_) cc_count_ = t + 1;
   for (const auto& [g, dr] : c.best) {
-    clusters_[g].tl.push_back({t, dr});
+    clusters_[g].tl.Append({t, dr});
   }
 }
 
 void ClusterIndex::RemoveTrajectory(TrajId t) {
-  if (t >= cluster_seq_.size()) return;
-  // Distinct clusters of the sequence.
-  std::vector<uint32_t> distinct = cluster_seq_[t];
+  if (t >= cc_count_) return;
+  // Distinct clusters of the sequence (materialized before the tombstone
+  // lands below).
+  std::vector<uint32_t> distinct = cluster_sequence(t);
   std::sort(distinct.begin(), distinct.end());
   distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
   for (uint32_t g : distinct) {
-    auto& tl = clusters_[g].tl;
-    for (size_t i = 0; i < tl.size(); ++i) {
-      if (tl[i].traj == t) {
-        tl[i] = tl.back();
-        tl.pop_back();
-        break;
-      }
-    }
+    clusters_[g].tl.Remove(t);
   }
-  cluster_seq_[t].clear();
-  cluster_seq_[t].shrink_to_fit();
+  cc_overlay_.erase(t);
+  if (t < cc_arena_.num_lists()) cc_removed_.insert(t);
 }
 
 void ClusterIndex::AddSite(const traj::TrajectoryStore& store,
@@ -290,12 +310,36 @@ uint64_t ClusterIndex::MemoryBytes() const {
   uint64_t total = 0;
   for (const Cluster& c : clusters_) {
     total += sizeof(Cluster);
-    total += util::VectorBytes(c.sites) + util::VectorBytes(c.tl) +
-             util::VectorBytes(c.cl);
+    total += util::VectorBytes(c.sites) + util::VectorBytes(c.cl);
   }
   total += util::VectorBytes(node_cluster_) + util::VectorBytes(node_rt_);
-  total += util::NestedVectorBytes(cluster_seq_);
+  total += PostingsBytesCompressed();
   total += site_removed_.capacity() / 8;
+  return total;
+}
+
+uint64_t ClusterIndex::PostingsBytesCompressed() const {
+  uint64_t total = tl_arena_.bytes() + cc_arena_.bytes();
+  for (const Cluster& c : clusters_) total += c.tl.OverlayBytes();
+  for (const auto& [t, seq] : cc_overlay_) {
+    total += sizeof(t) + sizeof(seq) + util::VectorBytes(seq);
+  }
+  total += cc_removed_.size() * sizeof(traj::TrajId);
+  return total;
+}
+
+uint64_t ClusterIndex::PostingsBytesRaw() const {
+  // The pre-compression representation: one std::vector per CC sequence
+  // and per TL list, full-width entries. Sizes come from the O(1) count
+  // prefixes, so this never decodes entry payloads.
+  uint64_t total =
+      static_cast<uint64_t>(cc_count_) * sizeof(std::vector<uint32_t>);
+  for (traj::TrajId t = 0; t < cc_count_; ++t) {
+    total += cluster_sequence_view(t).size() * sizeof(uint32_t);
+  }
+  for (const Cluster& c : clusters_) {
+    total += sizeof(std::vector<TlEntry>) + c.tl.size() * sizeof(TlEntry);
+  }
   return total;
 }
 

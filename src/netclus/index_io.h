@@ -3,20 +3,31 @@
 // The offline phase (multi-resolution clustering) is the expensive part of
 // the system — hours on the paper's full Beijing dataset (Table 11) — while
 // the online phase is interactive. A deployment therefore builds the index
-// once and serves queries from a loaded copy; these routines serialize a
-// MultiIndex (all instances, cluster metadata, trajectory cluster
-// sequences) to a line-oriented text format, versioned and validated on
-// load.
+// once and serves queries from a loaded copy. Two file formats:
+//
+//  * v1 — the original line-oriented text format, still written on request
+//    and always readable (backward compatibility).
+//  * v2 — a versioned little-endian binary layout (magic "NCIXBIN2",
+//    section table, per-section FNV-1a checksums) whose posting arenas are
+//    stored verbatim. Loading either copies the file once into a heap
+//    block or mmaps it; in both cases the compressed TL/CC arenas alias
+//    the backing block zero-copy, so Engine::LoadIndexFromFile and the
+//    serving layer's snapshots share one set of immutable posting bytes.
+//    See docs/index_format.md for the byte-level layout.
 //
 // The road network and the trajectory store are NOT serialized here — they
 // are the inputs (persist them with graph::SaveGraph and your trajectory
 // source of truth); loading validates that node/trajectory counts match.
 //
 // The distance backend that built the index can ride along in an optional
-// trailing `backend` section: the kind is always recorded, and a
-// Contraction Hierarchies backend serializes its full preprocessed
-// hierarchy, so a deployment that ships index snapshots never re-contracts
-// on load. Files without the section (pre-spf) still load.
+// backend section: the kind is always recorded, and a Contraction
+// Hierarchies backend serializes its full preprocessed hierarchy, so a
+// deployment that ships index snapshots never re-contracts on load. Files
+// without the section (pre-spf) still load.
+//
+// Malformed input — truncated files, corrupt counts, checksum mismatches —
+// fails loudly with a message in `error` and never yields a
+// partially-initialized index.
 #ifndef NETCLUS_NETCLUS_INDEX_IO_H_
 #define NETCLUS_NETCLUS_INDEX_IO_H_
 
@@ -26,19 +37,51 @@
 
 #include "graph/spf/distance_backend.h"
 #include "netclus/multi_index.h"
+#include "store/arena.h"
 
 namespace netclus::index {
 
-/// Writes the full multi-resolution index to the stream; `backend` (may be
-/// null) is recorded in the trailing backend section.
+/// On-disk format selector for SaveIndex.
+enum class IndexFileFormat {
+  kTextV1,    ///< line-oriented text (original format)
+  kBinaryV2,  ///< sectioned binary with checksums + zero-copy arenas
+};
+
+/// How LoadIndex materializes a v2 file (v1 text always streams).
+enum class IndexLoadMode {
+  kAuto,  ///< mmap when available unless NETCLUS_INDEX_MMAP=0; else copy
+  kCopy,  ///< read the file into one heap block
+  kMmap,  ///< map the file; posting arenas alias the mapping (zero copy)
+};
+
+/// Writes the full multi-resolution index to the stream in v1 text;
+/// `backend` (may be null) is recorded in the trailing backend section.
 void WriteIndex(const MultiIndex& index, std::ostream& os);
 void WriteIndex(const MultiIndex& index,
                 const graph::spf::DistanceBackend* backend, std::ostream& os);
 
-/// Reads an index previously written by WriteIndex. `expected_nodes` and
-/// `expected_trajectories` guard against loading an index built over a
-/// different network/corpus (pass the live counts). Returns false with a
-/// message in `error` on any mismatch or malformed input.
+/// Streams the index (and optional backend) to `os` in the v2 binary
+/// format, one section at a time — peak transient memory is one
+/// serialized section, not the whole image. Requires a seekable stream
+/// (the header and section table are patched at the end). The image is
+/// self-contained relative to the stream position at entry: all recorded
+/// offsets count from the image's first byte, so an image embedded after
+/// a preamble must later be handed to ReadIndexV2 as a block starting at
+/// that position (LoadIndex expects the image at file offset 0).
+void WriteIndexV2(const MultiIndex& index,
+                  const graph::spf::DistanceBackend* backend,
+                  std::ostream& os);
+
+/// Serializes the index (and optional backend) into a v2 binary image
+/// held in memory (tests and small indexes; SaveIndex streams instead).
+std::vector<uint8_t> EncodeIndexV2(const MultiIndex& index,
+                                   const graph::spf::DistanceBackend* backend);
+
+/// Reads an index previously written by WriteIndex (v1 text stream).
+/// `expected_nodes` and `expected_trajectories` guard against loading an
+/// index built over a different network/corpus (pass the live counts).
+/// Returns false with a message in `error` on any mismatch or malformed
+/// input.
 ///
 /// When `net` and `backend` are given, a backend section in the file is
 /// reconstructed over `net` into `*backend` (left null when the file has
@@ -51,19 +94,34 @@ bool ReadIndex(std::istream& is, size_t expected_nodes,
                std::string* error, const graph::RoadNetwork* net,
                std::shared_ptr<const graph::spf::DistanceBackend>* backend);
 
-/// File convenience wrappers.
+/// Parses a v2 binary image. The block may alias an mmap'ed file or a
+/// heap read; the loaded index's posting arenas alias it either way (and
+/// keep it alive). Checksums are verified before anything is trusted.
+bool ReadIndexV2(store::ByteBlock block, size_t expected_nodes,
+                 size_t expected_trajectories, MultiIndex* index,
+                 std::string* error, const graph::RoadNetwork* net,
+                 std::shared_ptr<const graph::spf::DistanceBackend>* backend);
+
+/// True when `block` starts with the v2 magic.
+bool IsV2IndexImage(const uint8_t* data, size_t size);
+
+/// File convenience wrappers. SaveIndex defaults to the v2 binary format;
+/// LoadIndex sniffs the magic, so it reads both formats transparently.
 bool SaveIndex(const MultiIndex& index, const std::string& path,
-               std::string* error);
+               std::string* error,
+               IndexFileFormat format = IndexFileFormat::kBinaryV2);
 bool SaveIndex(const MultiIndex& index,
                const graph::spf::DistanceBackend* backend,
-               const std::string& path, std::string* error);
+               const std::string& path, std::string* error,
+               IndexFileFormat format = IndexFileFormat::kBinaryV2);
 bool LoadIndex(const std::string& path, size_t expected_nodes,
                size_t expected_trajectories, MultiIndex* index,
                std::string* error);
 bool LoadIndex(const std::string& path, size_t expected_nodes,
                size_t expected_trajectories, MultiIndex* index,
                std::string* error, const graph::RoadNetwork* net,
-               std::shared_ptr<const graph::spf::DistanceBackend>* backend);
+               std::shared_ptr<const graph::spf::DistanceBackend>* backend,
+               IndexLoadMode mode = IndexLoadMode::kAuto);
 
 }  // namespace netclus::index
 

@@ -175,6 +175,20 @@ uint64_t MultiIndex::MemoryBytes() const {
   return total;
 }
 
+uint64_t MultiIndex::PostingsBytesCompressed() const {
+  uint64_t total = 0;
+  for (const auto& instance : instances_) {
+    total += instance->PostingsBytesCompressed();
+  }
+  return total;
+}
+
+uint64_t MultiIndex::PostingsBytesRaw() const {
+  uint64_t total = 0;
+  for (const auto& instance : instances_) total += instance->PostingsBytesRaw();
+  return total;
+}
+
 void MultiIndex::AddTrajectory(const traj::TrajectoryStore& store,
                                traj::TrajId t) {
   for (auto& instance : instances_) instance->AddTrajectory(store, t);

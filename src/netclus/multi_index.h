@@ -78,6 +78,12 @@ class MultiIndex {
   /// Analytic memory footprint across all instances, bytes (Table 7).
   uint64_t MemoryBytes() const;
 
+  /// Actual bytes behind all posting storage (TL + CC arenas + dynamic
+  /// overlays), and what the same postings would cost as plain vectors —
+  /// the raw-vs-compressed pair Table 9 reports.
+  uint64_t PostingsBytesCompressed() const;
+  uint64_t PostingsBytesRaw() const;
+
   // --- dynamic updates (Sec. 6), fanned out to every instance -------------
 
   void AddTrajectory(const traj::TrajectoryStore& store, traj::TrajId t);
@@ -106,6 +112,11 @@ class MultiIndex {
                         std::string* error, const graph::RoadNetwork* net,
                         std::shared_ptr<const graph::spf::DistanceBackend>*
                             backend);
+  friend bool ReadIndexV2(store::ByteBlock block, size_t expected_nodes,
+                          size_t expected_trajectories, MultiIndex* index,
+                          std::string* error, const graph::RoadNetwork* net,
+                          std::shared_ptr<const graph::spf::DistanceBackend>*
+                              backend);
   MultiIndexConfig config_;
   double tau_min_ = 0.0;
   double tau_max_ = 0.0;

@@ -1,0 +1,71 @@
+#include "store/arena.h"
+
+#include "util/strings.h"
+
+namespace netclus::store {
+
+bool PostingArena::FromBlocks(ByteBlock data, ByteBlock offsets,
+                              size_t num_lists, ListKind kind,
+                              PostingArena* out, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  const size_t expected_offset_bytes = (num_lists + 1) * sizeof(uint64_t);
+  if (offsets.size() != expected_offset_bytes) {
+    return fail(util::StrFormat("arena offset table: %zu bytes, want %zu",
+                                offsets.size(), expected_offset_bytes));
+  }
+  PostingArena arena;
+  arena.data_ = std::move(data);
+  arena.offsets_ = std::move(offsets);
+  arena.num_lists_ = num_lists;
+
+  uint64_t prev = arena.offset(0);
+  if (prev != 0) return fail("arena offsets must start at 0");
+  for (size_t i = 1; i <= num_lists; ++i) {
+    const uint64_t off = arena.offset(i);
+    if (off < prev || off > arena.data_.size()) {
+      return fail(util::StrFormat("arena offset %zu out of order/bounds", i));
+    }
+    prev = off;
+  }
+  if (prev != arena.data_.size()) {
+    return fail("arena offsets do not cover the data block");
+  }
+
+  // Walk every list once: each varint must terminate inside its list and
+  // the advertised entry count must match the stream. After this pass the
+  // lazy views can never run off the end of a list.
+  uint64_t entries = 0;
+  for (size_t i = 0; i < num_lists; ++i) {
+    const auto [p0, end] = arena.ListBytes(i);
+    uint64_t count = 0;
+    const uint8_t* p = GetVarint64(p0, end, &count);
+    if (p == nullptr) return fail(util::StrFormat("arena list %zu: bad count", i));
+    const unsigned varints_per_entry = kind == ListKind::kU32 ? 1 : 2;
+    // Every varint is at least one byte, so a count the remaining bytes
+    // cannot possibly hold is rejected up front — this also keeps the
+    // `count * varints_per_entry` loop bound below from overflowing on a
+    // crafted count near 2^64.
+    if (count > static_cast<uint64_t>(end - p) / varints_per_entry) {
+      return fail(util::StrFormat("arena list %zu: implausible count", i));
+    }
+    for (uint64_t e = 0; e < count * varints_per_entry; ++e) {
+      uint64_t unused = 0;
+      p = GetVarint64(p, end, &unused);
+      if (p == nullptr) {
+        return fail(util::StrFormat("arena list %zu: truncated entries", i));
+      }
+    }
+    if (p != end) {
+      return fail(util::StrFormat("arena list %zu: trailing bytes", i));
+    }
+    entries += count;
+  }
+  arena.total_entries_ = entries;
+  *out = std::move(arena);
+  return true;
+}
+
+}  // namespace netclus::store

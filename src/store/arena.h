@@ -1,0 +1,466 @@
+// Compressed posting storage: flat varint arenas + zero-copy views.
+//
+// NetClus's footprint argument (PAPER.md Sec. 5, Table 9) rests on posting
+// lists — cluster covering sequences CC(T), per-cluster trajectory lists
+// TL, covering sets TC/SC — whose vector-of-vectors representation spends
+// more on headers, capacity slack, and full-width ints than on payload. An
+// arena packs all lists of one family into a single immutable byte buffer:
+//
+//   data:    list_0 | list_1 | ... | list_{n-1}
+//   offsets: uint64 little-endian array, n+1 entries, offsets[i] = byte
+//            offset of list_i in `data` (offsets[n] = data size)
+//
+// Each list is `varint(count)` followed by `count` entries, delta+zigzag
+// varint coded (see varint.h). Two list kinds share the framing:
+//   * u32 lists  — one varint per entry (CC sequences);
+//   * pair lists — (u32 id, float) entries, two varints per entry: the id
+//     delta and the delta of the float's bit pattern (TL / TC / SC, whose
+//     distance-sorted floats have slowly-growing bit patterns).
+//
+// Both buffers live in refcounted ByteBlocks, so
+//   * copying an index (MultiIndex::Clone, the serving layer's
+//     copy-on-write snapshots) shares the frozen bytes instead of
+//     duplicating them, and
+//   * the v2 index file stores arenas verbatim — loading can alias the
+//     bytes of an mmap'ed file (zero copy) or of a single heap read.
+//
+// Views decode lazily: PostingListView / PairListView are forward ranges
+// that yield entries straight off the compressed stream, so the greedy
+// solvers and the query engine traverse postings without materializing
+// vectors. The same view types also wrap raw (uncompressed) element
+// arrays, which lets call sites be agnostic about the storage mode.
+#ifndef NETCLUS_STORE_ARENA_H_
+#define NETCLUS_STORE_ARENA_H_
+
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "store/varint.h"
+
+namespace netclus::store {
+
+/// Immutable refcounted byte buffer. Either owns its bytes (built from a
+/// vector) or aliases a range inside another owner (an mmap'ed file, a
+/// whole-file heap read) that it keeps alive.
+class ByteBlock {
+ public:
+  ByteBlock() = default;
+
+  static ByteBlock FromVector(std::vector<uint8_t> bytes) {
+    auto owned = std::make_shared<std::vector<uint8_t>>(std::move(bytes));
+    ByteBlock block;
+    block.data_ = owned->data();
+    block.size_ = owned->size();
+    block.owner_ = std::move(owned);
+    return block;
+  }
+
+  /// Aliases [data, data + size) inside `owner`, which stays alive for the
+  /// lifetime of this block (and of anything copied from it).
+  static ByteBlock Alias(std::shared_ptr<const void> owner,
+                         const uint8_t* data, size_t size) {
+    ByteBlock block;
+    block.owner_ = std::move(owner);
+    block.data_ = data;
+    block.size_ = size;
+    return block;
+  }
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Sub-range view sharing this block's owner. `offset + size` must be
+  /// within bounds (checked by callers against the section table).
+  ByteBlock Slice(size_t offset, size_t size) const {
+    return Alias(owner_, data_ + offset, size);
+  }
+
+  /// Identity of the backing bytes — equal pointers mean shared storage
+  /// (used by tests to pin the copy-on-write sharing behavior).
+  const void* id() const { return data_; }
+
+ private:
+  std::shared_ptr<const void> owner_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Forward range over a u32 list: either a raw array or a compressed
+/// arena list. Iteration decodes in place; no allocation.
+class PostingListView {
+ public:
+  PostingListView() = default;
+
+  static PostingListView Raw(const uint32_t* data, size_t count) {
+    PostingListView view;
+    view.raw_ = data;
+    view.count_ = count;
+    return view;
+  }
+
+  /// `begin` points at the list's count varint; decoding never reads at or
+  /// past `end`. A malformed stream yields a truncated (possibly empty)
+  /// view rather than out-of-bounds reads; arena construction validates
+  /// streams up front so this only matters for defense in depth.
+  static PostingListView Packed(const uint8_t* begin, const uint8_t* end) {
+    PostingListView view;
+    uint64_t count = 0;
+    const uint8_t* p = GetVarint64(begin, end, &count);
+    if (p == nullptr) return view;
+    view.packed_ = p;
+    view.packed_end_ = end;
+    view.count_ = static_cast<size_t>(count);
+    return view;
+  }
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const uint32_t*;
+    using reference = const uint32_t&;
+
+    const_iterator() = default;
+
+    reference operator*() const { return current_; }
+    pointer operator->() const { return &current_; }
+
+    const_iterator& operator++() {
+      --remaining_;
+      if (remaining_ > 0) Decode();
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+
+    bool operator==(const const_iterator& other) const {
+      return remaining_ == other.remaining_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return !(*this == other);
+    }
+
+   private:
+    friend class PostingListView;
+    void Decode() {
+      if (raw_ != nullptr) {
+        current_ = *raw_++;
+        return;
+      }
+      uint32_t value = 0;
+      const uint8_t* next = GetU32Delta(p_, end_, current_, &value);
+      if (next == nullptr) {  // malformed stream: become end()
+        remaining_ = 0;
+        return;
+      }
+      p_ = next;
+      current_ = value;
+    }
+
+    const uint32_t* raw_ = nullptr;
+    const uint8_t* p_ = nullptr;
+    const uint8_t* end_ = nullptr;
+    uint32_t current_ = 0;
+    size_t remaining_ = 0;  // entries left including current_
+  };
+
+  const_iterator begin() const {
+    const_iterator it;
+    it.remaining_ = count_;
+    it.raw_ = raw_;
+    it.p_ = packed_;
+    it.end_ = packed_end_;
+    if (count_ > 0) it.Decode();
+    return it;
+  }
+  const_iterator end() const { return const_iterator(); }
+
+  /// O(1) for raw lists, O(i) for packed — for tests and cold paths.
+  uint32_t operator[](size_t i) const {
+    auto it = begin();
+    for (size_t k = 0; k < i; ++k) ++it;
+    return *it;
+  }
+
+  std::vector<uint32_t> Materialize() const {
+    std::vector<uint32_t> out;
+    out.reserve(count_);
+    for (const uint32_t v : *this) out.push_back(v);
+    return out;
+  }
+
+ private:
+  const uint32_t* raw_ = nullptr;
+  const uint8_t* packed_ = nullptr;
+  const uint8_t* packed_end_ = nullptr;
+  size_t count_ = 0;
+};
+
+/// Forward range over an (id, weight) list — TlEntry, CoverEntry, and any
+/// other {uint32, float} POD — raw or compressed.
+template <typename Entry>
+class PairListView {
+  static_assert(std::is_trivially_copyable_v<Entry> && sizeof(Entry) == 8,
+                "pair lists require {uint32 id, float weight} PODs");
+
+ public:
+  PairListView() = default;
+
+  static PairListView Raw(const Entry* data, size_t count) {
+    PairListView view;
+    view.raw_ = data;
+    view.count_ = count;
+    return view;
+  }
+
+  static PairListView Packed(const uint8_t* begin, const uint8_t* end) {
+    PairListView view;
+    uint64_t count = 0;
+    const uint8_t* p = GetVarint64(begin, end, &count);
+    if (p == nullptr) return view;
+    view.packed_ = p;
+    view.packed_end_ = end;
+    view.count_ = static_cast<size_t>(count);
+    return view;
+  }
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Entry;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Entry*;
+    using reference = const Entry&;
+
+    const_iterator() = default;
+
+    reference operator*() const { return current_; }
+    pointer operator->() const { return &current_; }
+
+    const_iterator& operator++() {
+      --remaining_;
+      if (remaining_ > 0) Decode();
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+
+    bool operator==(const const_iterator& other) const {
+      return remaining_ == other.remaining_;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return !(*this == other);
+    }
+
+   private:
+    friend class PairListView;
+    void Decode() {
+      if (raw_ != nullptr) {
+        std::memcpy(&current_, raw_++, sizeof(Entry));
+        return;
+      }
+      uint32_t id = 0, bits = 0;
+      const uint8_t* next = GetU32Delta(p_, end_, prev_id_, &id);
+      if (next != nullptr) next = GetU32Delta(next, end_, prev_bits_, &bits);
+      if (next == nullptr) {  // malformed stream: become end()
+        remaining_ = 0;
+        return;
+      }
+      p_ = next;
+      prev_id_ = id;
+      prev_bits_ = bits;
+      std::memcpy(&current_, &id, sizeof(uint32_t));
+      std::memcpy(reinterpret_cast<uint8_t*>(&current_) + sizeof(uint32_t),
+                  &bits, sizeof(uint32_t));
+    }
+
+    const Entry* raw_ = nullptr;
+    const uint8_t* p_ = nullptr;
+    const uint8_t* end_ = nullptr;
+    uint32_t prev_id_ = 0;
+    uint32_t prev_bits_ = 0;
+    Entry current_{};
+    size_t remaining_ = 0;
+  };
+
+  const_iterator begin() const {
+    const_iterator it;
+    it.remaining_ = count_;
+    it.raw_ = raw_;
+    it.p_ = packed_;
+    it.end_ = packed_end_;
+    if (count_ > 0) it.Decode();
+    return it;
+  }
+  const_iterator end() const { return const_iterator(); }
+
+  Entry operator[](size_t i) const {
+    auto it = begin();
+    for (size_t k = 0; k < i; ++k) ++it;
+    return *it;
+  }
+
+  std::vector<Entry> Materialize() const {
+    std::vector<Entry> out;
+    out.reserve(count_);
+    for (const Entry& e : *this) out.push_back(e);
+    return out;
+  }
+
+ private:
+  const Entry* raw_ = nullptr;
+  const uint8_t* packed_ = nullptr;
+  const uint8_t* packed_end_ = nullptr;
+  size_t count_ = 0;
+};
+
+/// What a list family contains — drives the validation walk.
+enum class ListKind {
+  kU32,   ///< one varint per entry
+  kPair,  ///< two varints per entry (id delta, float-bits delta)
+};
+
+/// One immutable family of compressed lists: data + offsets ByteBlocks.
+class PostingArena {
+ public:
+  PostingArena() = default;
+
+  size_t num_lists() const { return num_lists_; }
+  uint64_t total_entries() const { return total_entries_; }
+
+  /// Actually-resident compressed bytes (data + offset table).
+  uint64_t bytes() const {
+    return static_cast<uint64_t>(data_.size()) + offsets_.size();
+  }
+
+  const ByteBlock& data_block() const { return data_; }
+  const ByteBlock& offsets_block() const { return offsets_; }
+
+  PostingListView U32List(size_t i) const {
+    const auto [begin, end] = ListBytes(i);
+    return PostingListView::Packed(begin, end);
+  }
+
+  template <typename Entry>
+  PairListView<Entry> PairList(size_t i) const {
+    const auto [begin, end] = ListBytes(i);
+    return PairListView<Entry>::Packed(begin, end);
+  }
+
+  /// Wraps loaded blocks, validating the offset table (monotonic, in
+  /// bounds) and walking every list to check each varint stream
+  /// terminates in bounds with the advertised entry count. Rejecting
+  /// malformed input here means views never see broken streams.
+  static bool FromBlocks(ByteBlock data, ByteBlock offsets, size_t num_lists,
+                         ListKind kind, PostingArena* out, std::string* error);
+
+ private:
+  friend class PostingArenaBuilder;
+
+  uint64_t offset(size_t i) const {
+    uint64_t v = 0;
+    std::memcpy(&v, offsets_.data() + i * sizeof(uint64_t), sizeof(uint64_t));
+    return v;
+  }
+
+  std::pair<const uint8_t*, const uint8_t*> ListBytes(size_t i) const {
+    const uint8_t* base = data_.data();
+    return {base + offset(i), base + offset(i + 1)};
+  }
+
+  ByteBlock data_;
+  ByteBlock offsets_;
+  size_t num_lists_ = 0;
+  uint64_t total_entries_ = 0;
+};
+
+/// Accumulates lists into a fresh arena. Encoding is deterministic: the
+/// same lists in the same order produce byte-identical arenas.
+class PostingArenaBuilder {
+ public:
+  void AddU32List(const uint32_t* data, size_t count) {
+    PutVarint64(bytes_, count);
+    uint32_t prev = 0;
+    for (size_t i = 0; i < count; ++i) {
+      PutU32Delta(bytes_, data[i], prev);
+      prev = data[i];
+    }
+    CloseList(count);
+  }
+  void AddU32List(const std::vector<uint32_t>& list) {
+    AddU32List(list.data(), list.size());
+  }
+
+  template <typename Entry>
+  void AddPairList(const Entry* data, size_t count) {
+    static_assert(std::is_trivially_copyable_v<Entry> && sizeof(Entry) == 8);
+    PutVarint64(bytes_, count);
+    uint32_t prev_id = 0, prev_bits = 0;
+    for (size_t i = 0; i < count; ++i) {
+      uint32_t id = 0, bits = 0;
+      std::memcpy(&id, &data[i], sizeof(uint32_t));
+      std::memcpy(&bits,
+                  reinterpret_cast<const uint8_t*>(&data[i]) + sizeof(uint32_t),
+                  sizeof(uint32_t));
+      PutU32Delta(bytes_, id, prev_id);
+      PutU32Delta(bytes_, bits, prev_bits);
+      prev_id = id;
+      prev_bits = bits;
+    }
+    CloseList(count);
+  }
+  template <typename Entry>
+  void AddPairList(const std::vector<Entry>& list) {
+    AddPairList(list.data(), list.size());
+  }
+
+  PostingArena Finish() {
+    PostingArena arena;
+    arena.num_lists_ = ends_.size();
+    arena.total_entries_ = total_entries_;
+    std::vector<uint8_t> offset_bytes((ends_.size() + 1) * sizeof(uint64_t));
+    uint64_t running = 0;
+    std::memcpy(offset_bytes.data(), &running, sizeof(uint64_t));
+    for (size_t i = 0; i < ends_.size(); ++i) {
+      running = ends_[i];
+      std::memcpy(offset_bytes.data() + (i + 1) * sizeof(uint64_t), &running,
+                  sizeof(uint64_t));
+    }
+    arena.offsets_ = ByteBlock::FromVector(std::move(offset_bytes));
+    arena.data_ = ByteBlock::FromVector(std::move(bytes_));
+    return arena;
+  }
+
+ private:
+  void CloseList(size_t count) {
+    ends_.push_back(bytes_.size());
+    total_entries_ += count;
+  }
+
+  std::vector<uint8_t> bytes_;
+  std::vector<uint64_t> ends_;  // byte offset past each list
+  uint64_t total_entries_ = 0;
+};
+
+}  // namespace netclus::store
+
+#endif  // NETCLUS_STORE_ARENA_H_

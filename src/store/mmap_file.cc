@@ -1,0 +1,95 @@
+#include "store/mmap_file.h"
+
+#include <cstdio>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NETCLUS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace netclus::store {
+
+namespace {
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+#if defined(NETCLUS_HAVE_MMAP)
+
+std::shared_ptr<MappedFile> MappedFile::Open(const std::string& path,
+                                             std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    SetError(error, "cannot open for mmap: " + path);
+    return nullptr;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    SetError(error, "cannot stat (or empty file): " + path);
+    return nullptr;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (mapping == MAP_FAILED) {
+    SetError(error, "mmap failed: " + path);
+    return nullptr;
+  }
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->data_ = static_cast<const uint8_t*>(mapping);
+  file->size_ = size;
+  return file;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+#else  // !NETCLUS_HAVE_MMAP
+
+std::shared_ptr<MappedFile> MappedFile::Open(const std::string& path,
+                                             std::string* error) {
+  SetError(error, "mmap unsupported on this platform (file: " + path + ")");
+  return nullptr;
+}
+
+MappedFile::~MappedFile() = default;
+
+#endif  // NETCLUS_HAVE_MMAP
+
+ByteBlock ReadFileBlock(const std::string& path, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    SetError(error, "cannot open for read: " + path);
+    return ByteBlock();
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    SetError(error, "cannot size: " + path);
+    return ByteBlock();
+  }
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  const size_t read =
+      bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) {
+    SetError(error, "short read: " + path);
+    return ByteBlock();
+  }
+  return ByteBlock::FromVector(std::move(bytes));
+}
+
+}  // namespace netclus::store

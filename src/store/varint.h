@@ -1,0 +1,81 @@
+// LEB128 varints and zigzag mapping — the codec under the compressed
+// posting arenas (src/store/arena.h).
+//
+// Postings are stored as deltas between consecutive values: cluster ids in
+// a CC(T) sequence move between neighboring clusters, trajectory ids in a
+// TL list are near-sorted, and the float bit patterns of distance-sorted
+// covers are non-decreasing — all small deltas, all 1-2 bytes instead of
+// 4. Deltas can be negative (sequences are not sorted), so they pass
+// through zigzag first.
+//
+// Decoding is bounds-checked against an explicit `end`: the arenas may be
+// backed by an untrusted index file (possibly mmap'ed), and a malformed
+// varint must surface as a null return, never as a read past the mapping.
+#ifndef NETCLUS_STORE_VARINT_H_
+#define NETCLUS_STORE_VARINT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace netclus::store {
+
+/// Appends `v` to `out` as a little-endian base-128 varint (1-10 bytes).
+inline void PutVarint64(std::vector<uint8_t>& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+/// Decodes a varint from [p, end). Returns the byte past the varint, or
+/// nullptr when the input is truncated or longer than 10 bytes.
+inline const uint8_t* GetVarint64(const uint8_t* p, const uint8_t* end,
+                                  uint64_t* v) {
+  uint64_t result = 0;
+  for (unsigned shift = 0; shift < 64 && p < end; shift += 7) {
+    const uint8_t byte = *p++;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return p;
+    }
+  }
+  return nullptr;  // truncated, or a 10+ byte varint
+}
+
+/// Zigzag: maps signed deltas to unsigned so small magnitudes of either
+/// sign encode in few varint bytes.
+inline uint64_t ZigZag64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t UnZigZag64(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Delta helpers over uint32 streams: the encoder tracks the previous
+/// value, the decoder reverses it. Deltas are computed in 64-bit so the
+/// full uint32 range round-trips.
+inline void PutU32Delta(std::vector<uint8_t>& out, uint32_t value,
+                        uint32_t prev) {
+  PutVarint64(out, ZigZag64(static_cast<int64_t>(value) -
+                            static_cast<int64_t>(prev)));
+}
+
+inline const uint8_t* GetU32Delta(const uint8_t* p, const uint8_t* end,
+                                  uint32_t prev, uint32_t* value) {
+  uint64_t raw = 0;
+  p = GetVarint64(p, end, &raw);
+  if (p == nullptr) return nullptr;
+  // Unsigned addition: wraparound is the intended mod-2^32 inverse of the
+  // encoder's delta, and — unlike int64 arithmetic — stays defined when a
+  // hostile stream carries a delta near INT64_MAX.
+  *value = static_cast<uint32_t>(static_cast<uint64_t>(prev) +
+                                 static_cast<uint64_t>(UnZigZag64(raw)));
+  return p;
+}
+
+}  // namespace netclus::store
+
+#endif  // NETCLUS_STORE_VARINT_H_

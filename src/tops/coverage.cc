@@ -228,8 +228,24 @@ CoverageIndex CoverageIndex::Build(const traj::TrajectoryStore& store,
                 });
     }
   });
+  if (config.compress_postings) index.Compress();
   index.stats_.build_seconds = timer.Seconds();
   return index;
+}
+
+void CoverageIndex::Compress() {
+  if (compressed_) return;
+  store::PostingArenaBuilder tc_builder;
+  for (const auto& list : tc_) tc_builder.AddPairList(list);
+  tc_arena_ = tc_builder.Finish();
+  store::PostingArenaBuilder sc_builder;
+  for (const auto& list : sc_) sc_builder.AddPairList(list);
+  sc_arena_ = sc_builder.Finish();
+  tc_.clear();
+  tc_.shrink_to_fit();
+  sc_.clear();
+  sc_.shrink_to_fit();
+  compressed_ = true;
 }
 
 CoverageIndex CoverageIndex::FromCovers(
@@ -259,7 +275,7 @@ CoverageIndex CoverageIndex::FromCovers(
 
 double CoverageIndex::SiteWeight(SiteId s, const PreferenceFunction& psi) const {
   double w = 0.0;
-  for (const CoverEntry& e : tc_[s]) w += psi.Score(e.dr_m, config_.tau_m);
+  for (const CoverEntry& e : TC(s)) w += psi.Score(e.dr_m, config_.tau_m);
   return w;
 }
 
@@ -375,6 +391,7 @@ double CoverageIndex::EvaluateSelection(const traj::TrajectoryStore& store,
 }
 
 uint64_t CoverageIndex::MemoryBytes() const {
+  if (compressed_) return tc_arena_.bytes() + sc_arena_.bytes();
   return util::NestedVectorBytes(tc_) + util::NestedVectorBytes(sc_);
 }
 

@@ -22,12 +22,12 @@
 #define NETCLUS_TOPS_COVERAGE_H_
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "graph/dijkstra.h"
 #include "graph/road_network.h"
 #include "graph/spf/distance_backend.h"
+#include "store/arena.h"
 #include "tops/preference.h"
 #include "tops/site_set.h"
 #include "traj/trajectory_store.h"
@@ -56,6 +56,13 @@ struct CoverageConfig {
   /// pre-subsystem behavior. Distances — and therefore the covering
   /// sets — are bit-identical under every backend; see src/graph/spf/.
   const graph::spf::DistanceBackend* backend = nullptr;
+  /// Pack TC/SC into delta-varint arenas after the build (src/store).
+  /// The sets are identical — TC()/SC() views decode lazily — but the
+  /// resident footprint drops well below the vector representation.
+  /// Off by default: the per-query approximate covers of the NetClus
+  /// path stay raw for latency; the long-lived exact baselines (Table 9)
+  /// and memory-bound deployments turn it on.
+  bool compress_postings = false;
 };
 
 /// One covering entry: trajectory (or site, in the inverse view) + d_r.
@@ -63,6 +70,12 @@ struct CoverEntry {
   uint32_t id;  ///< TrajId in TC, SiteId in SC
   float dr_m;
 };
+
+/// Lazy range over one covering set: raw vector storage or compressed
+/// arena storage behind one iterator type, so the solver family
+/// (Inc-Greedy, FM-greedy, Jaccard, variants) traverses either without
+/// materializing vectors.
+using CoverList = store::PairListView<CoverEntry>;
 
 /// Build statistics, reported by the benches.
 struct CoverageStats {
@@ -93,8 +106,10 @@ class CoverageIndex {
 
   double tau_m() const { return config_.tau_m; }
   const CoverageConfig& config() const { return config_; }
-  size_t num_sites() const { return tc_.size(); }
-  size_t num_trajectories() const { return sc_.size(); }
+  size_t num_sites() const { return compressed_ ? tc_arena_.num_lists() : tc_.size(); }
+  size_t num_trajectories() const {
+    return compressed_ ? sc_arena_.num_lists() : sc_.size();
+  }
 
   /// Live (non-deleted) trajectories in the store at build time; the
   /// denominator for utility percentages.
@@ -102,14 +117,23 @@ class CoverageIndex {
 
   /// TC(s): covered trajectories sorted by ascending d_r (paper keeps the
   /// sets distance-sorted).
-  std::span<const CoverEntry> TC(SiteId s) const {
-    return {tc_[s].data(), tc_[s].size()};
+  CoverList TC(SiteId s) const {
+    if (compressed_) return tc_arena_.PairList<CoverEntry>(s);
+    return CoverList::Raw(tc_[s].data(), tc_[s].size());
   }
 
   /// SC(T): covering sites sorted by ascending d_r.
-  std::span<const CoverEntry> SC(traj::TrajId t) const {
-    return {sc_[t].data(), sc_[t].size()};
+  CoverList SC(traj::TrajId t) const {
+    if (compressed_) return sc_arena_.PairList<CoverEntry>(t);
+    return CoverList::Raw(sc_[t].data(), sc_[t].size());
   }
+
+  /// Packs TC/SC into compressed arenas and drops the vectors. Idempotent;
+  /// views from TC()/SC() decode the same entries in the same order.
+  void Compress();
+
+  /// True once Compress() ran (or the build was configured to).
+  bool compressed() const { return compressed_; }
 
   /// Site weight w_i under preference ψ: Σ_{T in TC(s)} ψ(T, s).
   double SiteWeight(SiteId s, const PreferenceFunction& psi) const;
@@ -141,6 +165,9 @@ class CoverageIndex {
   CoverageConfig config_;
   std::vector<std::vector<CoverEntry>> tc_;
   std::vector<std::vector<CoverEntry>> sc_;
+  store::PostingArena tc_arena_;  ///< packed TC (when compressed_)
+  store::PostingArena sc_arena_;  ///< packed SC (when compressed_)
+  bool compressed_ = false;
   CoverageStats stats_;
   size_t num_live_ = 0;
   bool oom_ = false;

@@ -69,7 +69,9 @@ double LatencyHistogram::PercentileSeconds(double p) const {
     total += counts[i];
   }
   if (total == 0) return 0.0;
-  if (p < 0.0) p = 0.0;
+  // Clamp negated so NaN lands at 0 instead of flowing into the uint64
+  // cast below (unrepresentable-value casts are UB).
+  if (!(p >= 0.0)) p = 0.0;
   if (p > 1.0) p = 1.0;
   // Rank of the requested sample (1-based), then walk buckets.
   const uint64_t rank = static_cast<uint64_t>(std::ceil(

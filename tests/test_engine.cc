@@ -222,5 +222,87 @@ TEST(Engine, CoverageRespectsMemoryBudget) {
   EXPECT_TRUE(cov.oom());
 }
 
+// Same corpus as MakeEngine, caller-controlled options (backend, threads,
+// load mode) for the persistence differential below.
+Engine MakeEngineWith(Engine::Options options, uint32_t dim = 12,
+                      uint64_t seed = 91) {
+  graph::RoadNetwork net = test::MakeGridNetwork(dim, dim, 100.0);
+  tops::SiteSet sites = tops::SiteSet::AllNodes(net);
+  options.index.gamma = 0.75;
+  options.index.tau_min_m = 300.0;
+  options.index.tau_max_m = 3000.0;
+  Engine engine(std::move(net), std::move(sites), options);
+  util::Rng rng(seed);
+  for (int i = 0; i < 80; ++i) {
+    const auto src =
+        static_cast<graph::NodeId>(rng.UniformInt(engine.network().num_nodes()));
+    const auto dst =
+        static_cast<graph::NodeId>(rng.UniformInt(engine.network().num_nodes()));
+    if (src == dst) continue;
+    auto path = traj::RoutePerturbed(engine.network(), src, dst, 0.3, seed + i);
+    if (path.size() >= 2) engine.AddTrajectory(std::move(path));
+  }
+  return engine;
+}
+
+// The Table 9 / Table 11 acceptance property of the v2 format: an index
+// saved to the binary file and loaded back — by heap copy or zero-copy
+// mmap, at 1 or 4 worker threads, under every distance backend — answers
+// TopK and TopKBatch bit-identically to the in-memory index it came from.
+TEST(Engine, SaveLoadV2BitIdenticalAcrossBackendsThreadsAndModes) {
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  std::vector<Engine::QuerySpec> specs;
+  for (uint32_t i = 0; i < 6; ++i) {
+    Engine::QuerySpec spec;
+    spec.k = 3 + i % 3;
+    spec.tau_m = 500.0 + 200.0 * i;
+    spec.use_fm = i % 2 == 1;
+    specs.push_back(spec);
+  }
+  const std::string path = "/tmp/netclus_engine_v2_diff.idx";
+  for (const auto backend : {graph::spf::BackendKind::kDijkstra,
+                             graph::spf::BackendKind::kBidirectional,
+                             graph::spf::BackendKind::kContractionHierarchies}) {
+    SCOPED_TRACE(static_cast<int>(backend));
+    Engine::Options base;
+    base.distance_backend = backend;
+    Engine built = MakeEngineWith(base);
+    built.BuildIndex();
+    const auto ref_single = built.TopK(5, 700.0, psi);
+    const auto ref_batch = built.TopKBatch(specs);
+    std::string error;
+    ASSERT_TRUE(built.SaveIndexToFile(path, &error)) << error;
+
+    for (const auto mode :
+         {index::IndexLoadMode::kCopy, index::IndexLoadMode::kMmap}) {
+      for (const uint32_t threads : {1u, 4u}) {
+        SCOPED_TRACE(static_cast<int>(mode) * 10 + static_cast<int>(threads));
+        Engine::Options options = base;
+        options.threads = threads;
+        options.index_load_mode = mode;
+        Engine fresh = MakeEngineWith(options);
+        ASSERT_TRUE(fresh.LoadIndexFromFile(path, &error)) << error;
+
+        const auto single = fresh.TopK(5, 700.0, psi);
+        EXPECT_EQ(single.selection.sites, ref_single.selection.sites);
+        EXPECT_EQ(single.selection.utility, ref_single.selection.utility);
+        EXPECT_EQ(single.selection.marginal_gains,
+                  ref_single.selection.marginal_gains);
+
+        const auto batch = fresh.TopKBatch(specs);
+        ASSERT_EQ(batch.size(), ref_batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+          EXPECT_EQ(batch[i].selection.sites, ref_batch[i].selection.sites)
+              << "spec " << i;
+          EXPECT_EQ(batch[i].selection.utility, ref_batch[i].selection.utility);
+          EXPECT_EQ(batch[i].selection.marginal_gains,
+                    ref_batch[i].selection.marginal_gains);
+        }
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace netclus

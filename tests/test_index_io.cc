@@ -1,3 +1,5 @@
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "gtest/gtest.h"
@@ -189,6 +191,300 @@ TEST(IndexIo, FileRoundTrip) {
                         &loaded, &error))
       << error;
   EXPECT_EQ(loaded.num_instances(), f.index->num_instances());
+  std::remove(path.c_str());
+}
+
+// --- v1 hardening ----------------------------------------------------------
+
+// A file cut off mid-stream must fail with an error, never yield a
+// partially-initialized index (the old reader's silent stream failure) or
+// crash.
+TEST(IndexIo, TruncatedV1FailsCleanly) {
+  Fixture f;
+  std::stringstream ss;
+  WriteIndex(*f.index, ss);
+  const std::string full = ss.str();
+  for (const double fraction : {0.1, 0.25, 0.5, 0.75, 0.95}) {
+    const size_t cut = static_cast<size_t>(full.size() * fraction);
+    std::stringstream truncated(full.substr(0, cut));
+    MultiIndex loaded;
+    std::string error;
+    EXPECT_FALSE(ReadIndex(truncated, f.net.num_nodes(),
+                           f.store->total_count(), &loaded, &error))
+        << "cut at " << cut;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+// A corrupt length field must fail fast instead of driving a huge
+// allocation (resize bomb) before the stream runs dry.
+TEST(IndexIo, AbsurdCountsV1Fail) {
+  Fixture f;
+  std::stringstream ss;
+  WriteIndex(*f.index, ss);
+  std::string text = ss.str();
+  const size_t pos = text.find("node_cluster ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("node_cluster 100").size(),
+               "node_cluster 99999999999999");
+  std::stringstream corrupt(text);
+  MultiIndex loaded;
+  std::string error;
+  EXPECT_FALSE(ReadIndex(corrupt, f.net.num_nodes(), f.store->total_count(),
+                         &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// Ids planted out of range in a structurally-valid file must be rejected
+// at load, not fault at query time: a CL entry referencing a nonexistent
+// cluster is the query engine's unchecked `instance.cluster(nb.cluster)`.
+TEST(IndexIo, OutOfRangeClClusterIdFails) {
+  Fixture f;
+  std::stringstream ss;
+  WriteIndex(*f.index, ss);
+  std::string text = ss.str();
+  // Find a non-empty cl list and corrupt its first cluster id.
+  size_t pos = 0;
+  size_t edit = std::string::npos;
+  while ((pos = text.find("\n cl ", pos)) != std::string::npos) {
+    const size_t count_begin = pos + 5;
+    const size_t count_end = text.find_first_of(" \n", count_begin);
+    ASSERT_NE(count_end, std::string::npos);
+    if (text[count_end] == ' ' &&
+        text.substr(count_begin, count_end - count_begin) != "0") {
+      edit = count_end + 1;  // first cl entry's cluster id
+      break;
+    }
+    pos = count_begin;
+  }
+  ASSERT_NE(edit, std::string::npos) << "no non-empty cl list in fixture";
+  const size_t id_end = text.find(' ', edit);
+  text.replace(edit, id_end - edit, "999999");
+  std::stringstream corrupt(text);
+  MultiIndex loaded;
+  std::string error;
+  EXPECT_FALSE(ReadIndex(corrupt, f.net.num_nodes(), f.store->total_count(),
+                         &loaded, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
+// Duplicate trajectory ids inside one TL list would corrupt TlList's
+// live-entry accounting after a RemoveTrajectory (tombstones hide every
+// occurrence but are counted once) — the loader must reject them.
+TEST(IndexIo, DuplicateTlEntryFails) {
+  Fixture f;
+  std::stringstream ss;
+  WriteIndex(*f.index, ss);
+  std::string text = ss.str();
+  // Find a non-empty tl list, duplicate its first entry, bump the count.
+  size_t pos = 0;
+  size_t count_begin = std::string::npos, count_end = std::string::npos;
+  while ((pos = text.find("\n tl ", pos)) != std::string::npos) {
+    count_begin = pos + 5;
+    count_end = text.find_first_of(" \n", count_begin);
+    ASSERT_NE(count_end, std::string::npos);
+    if (text[count_end] == ' ' &&
+        text.substr(count_begin, count_end - count_begin) != "0") {
+      break;
+    }
+    pos = count_begin;
+    count_begin = std::string::npos;
+  }
+  ASSERT_NE(count_begin, std::string::npos) << "no non-empty tl in fixture";
+  const size_t traj_end = text.find(' ', count_end + 1);
+  const size_t dr_end = text.find_first_of(" \n", traj_end + 1);
+  const std::string entry = text.substr(count_end, dr_end - count_end);
+  text.insert(dr_end, entry);  // " traj dr" duplicated
+  const unsigned long count =
+      std::stoul(text.substr(count_begin, count_end - count_begin));
+  text.replace(count_begin, count_end - count_begin,
+               std::to_string(count + 1));
+
+  std::stringstream corrupt(text);
+  MultiIndex loaded;
+  std::string error;
+  EXPECT_FALSE(ReadIndex(corrupt, f.net.num_nodes(), f.store->total_count(),
+                         &loaded, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
+// --- v2 binary format ------------------------------------------------------
+
+void ExpectIndexesEquivalent(const MultiIndex& a, const MultiIndex& b) {
+  ASSERT_EQ(a.num_instances(), b.num_instances());
+  EXPECT_EQ(a.tau_min_m(), b.tau_min_m());
+  EXPECT_EQ(a.tau_max_m(), b.tau_max_m());
+  for (size_t p = 0; p < a.num_instances(); ++p) {
+    const ClusterIndex& x = a.instance(p);
+    const ClusterIndex& y = b.instance(p);
+    ASSERT_EQ(x.num_clusters(), y.num_clusters()) << "instance " << p;
+    ASSERT_EQ(x.num_nodes(), y.num_nodes());
+    ASSERT_EQ(x.num_sequences(), y.num_sequences());
+    EXPECT_EQ(x.radius_m(), y.radius_m());
+    for (uint32_t g = 0; g < x.num_clusters(); ++g) {
+      EXPECT_EQ(x.cluster(g).center, y.cluster(g).center);
+      EXPECT_EQ(x.cluster(g).representative, y.cluster(g).representative);
+      EXPECT_EQ(x.cluster(g).rep_rt_m, y.cluster(g).rep_rt_m);
+      EXPECT_EQ(x.cluster(g).sites, y.cluster(g).sites);
+      ASSERT_EQ(x.cluster(g).tl.size(), y.cluster(g).tl.size());
+      auto yi = y.cluster(g).tl.begin();
+      for (const TlEntry& e : x.cluster(g).tl) {
+        EXPECT_EQ(e.traj, yi->traj);
+        EXPECT_EQ(e.dr_m, yi->dr_m);
+        ++yi;
+      }
+      ASSERT_EQ(x.cluster(g).cl.size(), y.cluster(g).cl.size());
+      for (size_t i = 0; i < x.cluster(g).cl.size(); ++i) {
+        EXPECT_EQ(x.cluster(g).cl[i].cluster, y.cluster(g).cl[i].cluster);
+        EXPECT_EQ(x.cluster(g).cl[i].dr_m, y.cluster(g).cl[i].dr_m);
+      }
+    }
+    for (graph::NodeId v = 0; v < x.num_nodes(); ++v) {
+      EXPECT_EQ(x.cluster_of(v), y.cluster_of(v));
+      EXPECT_EQ(x.node_rt_m(v), y.node_rt_m(v));
+    }
+    for (traj::TrajId t = 0; t < x.num_sequences(); ++t) {
+      EXPECT_EQ(x.cluster_sequence(t), y.cluster_sequence(t));
+    }
+  }
+}
+
+// v1 -> v2 -> v1: the binary format is lossless, so re-serializing the
+// reloaded index to text reproduces the original text byte for byte.
+TEST(IndexIoV2, V1ToV2ToV1IsLossless) {
+  Fixture f;
+  std::stringstream v1_text;
+  WriteIndex(*f.index, v1_text);
+
+  const std::string path = "/tmp/netclus_index_v2_roundtrip.idx";
+  std::string error;
+  ASSERT_TRUE(SaveIndex(*f.index, path, &error, IndexFileFormat::kBinaryV2))
+      << error;
+  MultiIndex reloaded;
+  ASSERT_TRUE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                        &reloaded, &error))
+      << error;
+  ExpectIndexesEquivalent(*f.index, reloaded);
+
+  std::stringstream v1_again;
+  WriteIndex(reloaded, v1_again);
+  EXPECT_EQ(v1_text.str(), v1_again.str());
+  std::remove(path.c_str());
+}
+
+// mmap and copy loads must produce indexes that answer bit-identically
+// (and identically to the in-memory index they came from).
+TEST(IndexIoV2, MmapAndCopyLoadsAnswerIdentically) {
+  Fixture f;
+  const std::string path = "/tmp/netclus_index_v2_mmap.idx";
+  std::string error;
+  ASSERT_TRUE(SaveIndex(*f.index, path, &error)) << error;
+
+  MultiIndex copy_loaded, mmap_loaded;
+  ASSERT_TRUE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                        &copy_loaded, &error, nullptr, nullptr,
+                        IndexLoadMode::kCopy))
+      << error;
+  ASSERT_TRUE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                        &mmap_loaded, &error, nullptr, nullptr,
+                        IndexLoadMode::kMmap))
+      << error;
+  ExpectIndexesEquivalent(copy_loaded, mmap_loaded);
+
+  const QueryEngine original(f.index.get(), f.store.get(), &f.sites);
+  const QueryEngine via_copy(&copy_loaded, f.store.get(), &f.sites);
+  const QueryEngine via_mmap(&mmap_loaded, f.store.get(), &f.sites);
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  for (const double tau : {400.0, 800.0, 1600.0}) {
+    QueryConfig config;
+    config.k = 4;
+    config.tau_m = tau;
+    const QueryResult a = original.Tops(psi, config);
+    const QueryResult b = via_copy.Tops(psi, config);
+    const QueryResult c = via_mmap.Tops(psi, config);
+    EXPECT_EQ(a.selection.sites, b.selection.sites) << "tau " << tau;
+    EXPECT_EQ(a.selection.sites, c.selection.sites) << "tau " << tau;
+    EXPECT_EQ(a.selection.utility, b.selection.utility);
+    EXPECT_EQ(a.selection.utility, c.selection.utility);
+    EXPECT_EQ(a.selection.marginal_gains, c.selection.marginal_gains);
+  }
+  std::remove(path.c_str());
+}
+
+// A v2 index that absorbed dynamic updates saves its live state
+// (overlays + tombstones folded in) and keeps answering identically.
+TEST(IndexIoV2, RoundTripAfterDynamicUpdates) {
+  Fixture f;
+  for (int i = 0; i < 6; ++i) {
+    const traj::TrajId t = f.store->Add({0, 1, 2, 12, 22});
+    f.index->AddTrajectory(*f.store, t);
+    if (i % 2 == 0) {
+      f.index->RemoveTrajectory(t);
+      f.store->Remove(t);
+    }
+  }
+  f.index->RemoveTrajectory(7);
+  f.store->Remove(7);
+
+  const std::string path = "/tmp/netclus_index_v2_updates.idx";
+  std::string error;
+  ASSERT_TRUE(SaveIndex(*f.index, path, &error)) << error;
+  MultiIndex loaded;
+  ASSERT_TRUE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                        &loaded, &error))
+      << error;
+  ExpectIndexesEquivalent(*f.index, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoV2, TruncatedFileFails) {
+  Fixture f;
+  const std::vector<uint8_t> image = EncodeIndexV2(*f.index, nullptr);
+  const std::string path = "/tmp/netclus_index_v2_trunc.idx";
+  for (const double fraction : {0.05, 0.3, 0.6, 0.9, 0.999}) {
+    const size_t cut = static_cast<size_t>(image.size() * fraction);
+    {
+      std::ofstream out(path, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(image.data()),
+                static_cast<std::streamsize>(cut));
+    }
+    MultiIndex loaded;
+    std::string error;
+    EXPECT_FALSE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                           &loaded, &error))
+        << "cut at " << cut;
+    EXPECT_FALSE(error.empty());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoV2, CorruptPayloadFailsChecksum) {
+  Fixture f;
+  std::vector<uint8_t> image = EncodeIndexV2(*f.index, nullptr);
+  image[image.size() / 2] ^= 0x40;  // flip one bit mid-file
+  const std::string path = "/tmp/netclus_index_v2_corrupt.idx";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+  }
+  MultiIndex loaded;
+  std::string error;
+  EXPECT_FALSE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                         &loaded, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoV2, RejectsCorpusMismatch) {
+  Fixture f;
+  const std::string path = "/tmp/netclus_index_v2_mismatch.idx";
+  std::string error;
+  ASSERT_TRUE(SaveIndex(*f.index, path, &error)) << error;
+  MultiIndex loaded;
+  EXPECT_FALSE(LoadIndex(path, f.net.num_nodes() + 3, f.store->total_count(),
+                         &loaded, &error));
+  EXPECT_NE(error.find("nodes"), std::string::npos);
   std::remove(path.c_str());
 }
 

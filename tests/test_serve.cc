@@ -292,6 +292,41 @@ TEST(QueryCache, CanonicalizationAndLru) {
   EXPECT_EQ(stats.entries, 2u);
 }
 
+// Satellite regression (index-format PR): a shard count of zero (config
+// typo, zeroed struct) must not divide-by-zero in ShardFor — the
+// constructor clamps shards to >= 1 and the cache stays functional.
+TEST(QueryCache, ZeroShardsClampsInsteadOfCrashing) {
+  serve::QueryCache::Options options;
+  options.capacity = 8;
+  options.shards = 0;
+  serve::QueryCache cache(options);
+  EXPECT_TRUE(cache.enabled());
+
+  Engine::QuerySpec spec = Spec(4, 700.0);
+  const serve::QueryKey key = serve::CanonicalQueryKey(1, spec);
+  index::QueryResult r;
+  r.selection.utility = 7.0;
+  EXPECT_FALSE(cache.Lookup(key).has_value());  // exercises ShardFor
+  cache.Insert(key, r);
+  ASSERT_TRUE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.Lookup(key)->selection.utility, 7.0);
+}
+
+// More shards than capacity: per-shard budgets must not round every shard
+// up to one entry and overshoot the total.
+TEST(QueryCache, ShardCountShrinksToCapacity) {
+  serve::QueryCache::Options options;
+  options.capacity = 2;
+  options.shards = 64;
+  serve::QueryCache cache(options);
+  Engine::QuerySpec spec = Spec(4, 700.0);
+  index::QueryResult r;
+  for (uint64_t version = 1; version <= 16; ++version) {
+    cache.Insert(serve::CanonicalQueryKey(version, spec), r);
+  }
+  EXPECT_LE(cache.stats().entries, 2u);
+}
+
 TEST(NetClusServer, ServerAndRetainedSnapshotsOutliveTheEngine) {
   auto engine = std::make_unique<Engine>(MakeEngine());
   auto server = engine->Serve();

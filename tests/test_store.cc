@@ -1,0 +1,366 @@
+// The compressed posting subsystem (src/store): varint/zigzag codecs,
+// arena round-trips, lazy views, and the differential guarantees the
+// index relies on — compressed traversal must yield exactly what the raw
+// vector representation yields, entry for entry, and copies must share
+// frozen arena blocks instead of duplicating them.
+#include <cstring>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "netclus/cluster_index.h"
+#include "netclus/jaccard.h"
+#include "store/arena.h"
+#include "store/binary_io.h"
+#include "test_helpers.h"
+#include "tops/coverage.h"
+#include "tops/fm_greedy.h"
+#include "tops/inc_greedy.h"
+
+namespace netclus::store {
+namespace {
+
+TEST(Varint, RoundTripsEdgeValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 31) - 1,
+                             1ull << 31,
+                             (1ull << 32) - 1,
+                             1ull << 63,
+                             ~0ull};
+  for (const uint64_t v : values) {
+    std::vector<uint8_t> bytes;
+    PutVarint64(bytes, v);
+    uint64_t decoded = 0;
+    const uint8_t* end =
+        GetVarint64(bytes.data(), bytes.data() + bytes.size(), &decoded);
+    ASSERT_NE(end, nullptr) << v;
+    EXPECT_EQ(end, bytes.data() + bytes.size());
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(Varint, RejectsTruncatedInput) {
+  std::vector<uint8_t> bytes;
+  PutVarint64(bytes, ~0ull);
+  uint64_t decoded = 0;
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_EQ(GetVarint64(bytes.data(), bytes.data() + cut, &decoded), nullptr)
+        << "cut " << cut;
+  }
+}
+
+TEST(Varint, ZigZagRoundTripsSigns) {
+  const int64_t values[] = {0, 1, -1, 63, -64, 1ll << 40, -(1ll << 40),
+                            std::numeric_limits<int64_t>::max(),
+                            std::numeric_limits<int64_t>::min()};
+  for (const int64_t v : values) EXPECT_EQ(UnZigZag64(ZigZag64(v)), v) << v;
+}
+
+TEST(PostingArena, U32ListsRoundTripFuzz) {
+  for (size_t round = 0; round < test::FuzzRounds(12); ++round) {
+    const uint64_t seed = test::FuzzSeed(0xa12e, round);
+    SCOPED_TRACE(test::SeedTrace(seed));
+    util::Rng rng(seed);
+    std::vector<std::vector<uint32_t>> lists(rng.UniformInt(1, 40));
+    for (auto& list : lists) {
+      const size_t len = rng.UniformInt(static_cast<uint64_t>(30));
+      for (size_t i = 0; i < len; ++i) {
+        // Mixed magnitudes so deltas of both signs and widths occur.
+        list.push_back(static_cast<uint32_t>(
+            rng.UniformInt(rng.UniformInt(2) == 0 ? 100ull : ~0u)));
+      }
+    }
+    PostingArenaBuilder builder;
+    for (const auto& list : lists) builder.AddU32List(list);
+    const PostingArena arena = builder.Finish();
+    ASSERT_EQ(arena.num_lists(), lists.size());
+    uint64_t entries = 0;
+    for (size_t i = 0; i < lists.size(); ++i) {
+      const PostingListView view = arena.U32List(i);
+      EXPECT_EQ(view.Materialize(), lists[i]) << "list " << i;
+      if (!lists[i].empty()) {
+        EXPECT_EQ(view[lists[i].size() - 1], lists[i].back());
+      }
+      entries += lists[i].size();
+    }
+    EXPECT_EQ(arena.total_entries(), entries);
+  }
+}
+
+TEST(PostingArena, PairListsRoundTripFuzz) {
+  using Entry = netclus::tops::CoverEntry;
+  for (size_t round = 0; round < test::FuzzRounds(12); ++round) {
+    const uint64_t seed = test::FuzzSeed(0xb34f, round);
+    SCOPED_TRACE(test::SeedTrace(seed));
+    util::Rng rng(seed);
+    std::vector<std::vector<Entry>> lists(rng.UniformInt(1, 30));
+    for (auto& list : lists) {
+      const size_t len = rng.UniformInt(static_cast<uint64_t>(25));
+      for (size_t i = 0; i < len; ++i) {
+        Entry e;
+        e.id = static_cast<uint32_t>(rng.UniformInt(~0u));
+        // Arbitrary float bit patterns must round-trip exactly, including
+        // zero, denormals, infinities, and NaN payloads.
+        const uint32_t bits = static_cast<uint32_t>(rng.UniformInt(~0u));
+        std::memcpy(&e.dr_m, &bits, sizeof(bits));
+        list.push_back(e);
+      }
+    }
+    PostingArenaBuilder builder;
+    for (const auto& list : lists) builder.AddPairList(list);
+    const PostingArena arena = builder.Finish();
+    for (size_t i = 0; i < lists.size(); ++i) {
+      const auto view = arena.PairList<Entry>(i);
+      ASSERT_EQ(view.size(), lists[i].size());
+      size_t k = 0;
+      for (const Entry& e : view) {
+        EXPECT_EQ(e.id, lists[i][k].id);
+        EXPECT_EQ(std::memcmp(&e.dr_m, &lists[i][k].dr_m, sizeof(float)), 0);
+        ++k;
+      }
+    }
+  }
+}
+
+TEST(PostingArena, FromBlocksValidatesMalformedInput) {
+  PostingArenaBuilder builder;
+  builder.AddU32List({1, 5, 3});
+  builder.AddU32List({});
+  PostingArena arena = builder.Finish();
+
+  // A valid round-trip through FromBlocks.
+  PostingArena reloaded;
+  std::string error;
+  ASSERT_TRUE(PostingArena::FromBlocks(arena.data_block(),
+                                       arena.offsets_block(), 2,
+                                       ListKind::kU32, &reloaded, &error))
+      << error;
+  EXPECT_EQ(reloaded.U32List(0).Materialize(),
+            (std::vector<uint32_t>{1, 5, 3}));
+
+  // Wrong list count -> offset table size mismatch.
+  EXPECT_FALSE(PostingArena::FromBlocks(arena.data_block(),
+                                        arena.offsets_block(), 3,
+                                        ListKind::kU32, &reloaded, &error));
+  // Truncated data block -> offsets no longer cover it.
+  std::vector<uint8_t> short_data(arena.data_block().data(),
+                                  arena.data_block().data() +
+                                      arena.data_block().size() - 1);
+  EXPECT_FALSE(PostingArena::FromBlocks(ByteBlock::FromVector(short_data),
+                                        arena.offsets_block(), 2,
+                                        ListKind::kU32, &reloaded, &error));
+  // Pair walk over a u32 stream -> entry count cannot match.
+  EXPECT_FALSE(PostingArena::FromBlocks(arena.data_block(),
+                                        arena.offsets_block(), 2,
+                                        ListKind::kPair, &reloaded, &error));
+
+  // A crafted count near 2^64 must be rejected up front, not overflow the
+  // validation walk's loop bound into accepting a list that claims 2^63
+  // entries (which would later drive iterators off the end).
+  std::vector<uint8_t> huge_count;
+  PutVarint64(huge_count, 1ull << 63);
+  std::vector<uint8_t> huge_offsets(16, 0);
+  const uint64_t huge_end = huge_count.size();
+  std::memcpy(huge_offsets.data() + 8, &huge_end, sizeof(huge_end));
+  for (const ListKind kind : {ListKind::kU32, ListKind::kPair}) {
+    EXPECT_FALSE(PostingArena::FromBlocks(
+        ByteBlock::FromVector(huge_count), ByteBlock::FromVector(huge_offsets),
+        1, kind, &reloaded, &error))
+        << static_cast<int>(kind);
+    EXPECT_NE(error.find("implausible"), std::string::npos) << error;
+  }
+}
+
+TEST(ByteReader, SticksAtFailureInsteadOfOverreading) {
+  ByteWriter w;
+  w.U32(7);
+  w.U64(9);
+  ByteReader r(ByteBlock::FromVector(w.TakeBytes()));
+  EXPECT_EQ(r.U32(), 7u);
+  EXPECT_EQ(r.U64(), 9u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.U32(), 0u);  // past the end: zero + sticky failure
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.U64(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace netclus::store
+
+namespace netclus::tops {
+namespace {
+
+struct CoverageFixture {
+  graph::RoadNetwork net;
+  std::unique_ptr<traj::TrajectoryStore> store;
+  SiteSet sites;
+
+  explicit CoverageFixture(uint64_t seed) {
+    net = test::MakeGridNetwork(8, 8, 100.0);
+    store = std::make_unique<traj::TrajectoryStore>(&net);
+    test::FillRandomWalks(store.get(), 30, 4, 10, seed);
+    sites = SiteSet::SampleNodes(net, 24, seed ^ 0x5);
+  }
+};
+
+// The compressed coverage index must be indistinguishable from the raw
+// one: same sets through the views, same solver outputs bit for bit.
+TEST(CoverageCompression, DifferentialAgainstRawFuzz) {
+  for (size_t round = 0; round < test::FuzzRounds(6); ++round) {
+    const uint64_t seed = test::FuzzSeed(0xc0ffee, round);
+    SCOPED_TRACE(test::SeedTrace(seed));
+    CoverageFixture f(seed);
+    CoverageConfig config;
+    config.tau_m = 700.0;
+    const CoverageIndex raw = CoverageIndex::Build(*f.store, f.sites, config);
+    config.compress_postings = true;
+    const CoverageIndex packed =
+        CoverageIndex::Build(*f.store, f.sites, config);
+    ASSERT_TRUE(packed.compressed());
+    ASSERT_FALSE(raw.compressed());
+    ASSERT_EQ(raw.num_sites(), packed.num_sites());
+    ASSERT_EQ(raw.num_trajectories(), packed.num_trajectories());
+
+    for (SiteId s = 0; s < raw.num_sites(); ++s) {
+      const auto a = raw.TC(s);
+      const auto b = packed.TC(s);
+      ASSERT_EQ(a.size(), b.size()) << "site " << s;
+      auto bi = b.begin();
+      for (const CoverEntry& e : a) {
+        EXPECT_EQ(e.id, bi->id);
+        EXPECT_EQ(e.dr_m, bi->dr_m);
+        ++bi;
+      }
+    }
+    for (traj::TrajId t = 0; t < raw.num_trajectories(); ++t) {
+      const auto a = raw.SC(t);
+      const auto b = packed.SC(t);
+      ASSERT_EQ(a.size(), b.size()) << "traj " << t;
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_EQ(a[i].dr_m, b[i].dr_m);
+      }
+    }
+
+    // Compression reduces the resident footprint.
+    EXPECT_LT(packed.MemoryBytes(), raw.MemoryBytes());
+
+    // Solvers traverse the compressed postings and produce bit-identical
+    // selections and utilities.
+    const PreferenceFunction psi = PreferenceFunction::Binary();
+    GreedyConfig gc;
+    gc.k = 4;
+    const Selection ga = IncGreedy(raw, psi, gc);
+    const Selection gb = IncGreedy(packed, psi, gc);
+    EXPECT_EQ(ga.sites, gb.sites);
+    EXPECT_EQ(ga.utility, gb.utility);
+    EXPECT_EQ(ga.marginal_gains, gb.marginal_gains);
+
+    FmGreedyConfig fmc;
+    fmc.k = 4;
+    const FmGreedyResult fa = FmGreedy(raw, fmc);
+    const FmGreedyResult fb = FmGreedy(packed, fmc);
+    EXPECT_EQ(fa.selection.sites, fb.selection.sites);
+    EXPECT_EQ(fa.estimated_utility, fb.estimated_utility);
+
+    index::JaccardConfig jc;
+    const index::JaccardResult ja = JaccardCluster(raw, jc);
+    const index::JaccardResult jb = JaccardCluster(packed, jc);
+    EXPECT_EQ(ja.num_clusters, jb.num_clusters);
+    EXPECT_EQ(ja.site_cluster, jb.site_cluster);
+  }
+}
+
+}  // namespace
+}  // namespace netclus::tops
+
+namespace netclus::index {
+namespace {
+
+struct InstanceFixture {
+  graph::RoadNetwork net;
+  std::unique_ptr<traj::TrajectoryStore> store;
+  tops::SiteSet sites;
+
+  explicit InstanceFixture(uint64_t seed = 77) {
+    net = test::MakeGridNetwork(9, 9, 100.0);
+    store = std::make_unique<traj::TrajectoryStore>(&net);
+    test::FillRandomWalks(store.get(), 35, 4, 12, seed);
+    sites = tops::SiteSet::AllNodes(net);
+  }
+};
+
+// TL lists behind the compressed arena must behave exactly like the old
+// vector lists across Sec. 6 updates: adds land, removes disappear,
+// re-adds resurrect, sizes stay consistent.
+TEST(TlOverlay, DynamicUpdatesMatchVectorSemantics) {
+  InstanceFixture f;
+  ClusterIndexConfig config;
+  config.radius_m = 200.0;
+  ClusterIndex index = ClusterIndex::Build(*f.store, f.sites, config);
+
+  auto tl_trajs = [&](uint32_t g) {
+    std::set<traj::TrajId> out;
+    for (const TlEntry& e : index.cluster(g).tl) out.insert(e.traj);
+    return out;
+  };
+
+  // Remove a frozen trajectory: it vanishes from every TL it was in.
+  const traj::TrajId victim = 3;
+  std::vector<uint32_t> crossed = index.cluster_sequence(victim);
+  std::sort(crossed.begin(), crossed.end());
+  crossed.erase(std::unique(crossed.begin(), crossed.end()), crossed.end());
+  ASSERT_FALSE(crossed.empty());
+  const uint32_t g0 = crossed[0];
+  const size_t before = index.cluster(g0).tl.size();
+  ASSERT_TRUE(tl_trajs(g0).count(victim));
+  index.RemoveTrajectory(victim);
+  EXPECT_EQ(index.cluster(g0).tl.size(), before - 1);
+  EXPECT_FALSE(tl_trajs(g0).count(victim));
+  EXPECT_TRUE(index.cluster_sequence(victim).empty());
+  // Double remove: no-op.
+  index.RemoveTrajectory(victim);
+  EXPECT_EQ(index.cluster(g0).tl.size(), before - 1);
+
+  // Re-add the same id: overlay entry becomes live again.
+  index.AddTrajectory(*f.store, victim);
+  EXPECT_EQ(index.cluster(g0).tl.size(), before);
+  EXPECT_TRUE(tl_trajs(g0).count(victim));
+  EXPECT_FALSE(index.cluster_sequence(victim).empty());
+
+  // And removing it again tombstones the overlay copy too.
+  index.RemoveTrajectory(victim);
+  EXPECT_FALSE(tl_trajs(g0).count(victim));
+
+  // A brand-new trajectory lands in extra and iterates.
+  const traj::TrajId fresh = f.store->Add({0, 1, 2, 11, 20});
+  index.AddTrajectory(*f.store, fresh);
+  const uint32_t gf = index.cluster_of(0);
+  EXPECT_TRUE(tl_trajs(gf).count(fresh));
+}
+
+// Copies of an instance (the serving layer's snapshot clones) must share
+// the frozen arena bytes — copy-on-write, not deep copy.
+TEST(ArenaSharing, CopiesShareFrozenBlocks) {
+  InstanceFixture f;
+  ClusterIndexConfig config;
+  config.radius_m = 250.0;
+  const ClusterIndex index = ClusterIndex::Build(*f.store, f.sites, config);
+  ClusterIndex copy = index;  // what MultiIndex::Clone does per instance
+  EXPECT_EQ(index.cc_arena_id(), copy.cc_arena_id());
+
+  // Divergent updates stay private to the copy...
+  copy.RemoveTrajectory(0);
+  EXPECT_TRUE(copy.cluster_sequence(0).empty());
+  EXPECT_FALSE(index.cluster_sequence(0).empty());
+  // ...and do not unshare the frozen bytes.
+  EXPECT_EQ(index.cc_arena_id(), copy.cc_arena_id());
+}
+
+}  // namespace
+}  // namespace netclus::index

@@ -314,5 +314,30 @@ TEST(LatencyHistogram, PercentilesSeparateFastAndSlow) {
   EXPECT_EQ(h.count(), 102u);
 }
 
+// Satellite regression (index-format PR): percentile edge cases must
+// clamp/return 0 instead of walking past the buckets or feeding
+// unrepresentable values into integer casts.
+TEST(LatencyHistogram, PercentileEdgeCases) {
+  LatencyHistogram h;
+  // Empty histogram: every p — including out-of-range and NaN — is 0.
+  EXPECT_EQ(h.PercentileSeconds(0.0), 0.0);
+  EXPECT_EQ(h.PercentileSeconds(1.0), 0.0);
+  EXPECT_EQ(h.PercentileSeconds(-3.0), 0.0);
+  EXPECT_EQ(h.PercentileSeconds(7.0), 0.0);
+  EXPECT_EQ(h.PercentileSeconds(std::numeric_limits<double>::quiet_NaN()), 0.0);
+
+  h.Record(1e-3);
+  h.Record(1.0);
+  // p0 resolves to the first non-empty bucket, p100 to the last.
+  EXPECT_NEAR(h.PercentileSeconds(0.0), 1e-3, 0.3e-3);
+  EXPECT_NEAR(h.PercentileSeconds(1.0), 1.0, 0.3);
+  // Out-of-range p clamps to [0, 1] rather than reading past the walk.
+  EXPECT_EQ(h.PercentileSeconds(-1.0), h.PercentileSeconds(0.0));
+  EXPECT_EQ(h.PercentileSeconds(2.0), h.PercentileSeconds(1.0));
+  // NaN p behaves like p = 0 (the clamp is written NaN-safe).
+  EXPECT_EQ(h.PercentileSeconds(std::numeric_limits<double>::quiet_NaN()),
+            h.PercentileSeconds(0.0));
+}
+
 }  // namespace
 }  // namespace netclus::util

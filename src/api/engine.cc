@@ -1,5 +1,7 @@
 #include "api/engine.h"
 
+#include "exec/executor.h"
+#include "exec/planner.h"
 #include "netclus/index_io.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -127,27 +129,30 @@ index::QueryResult Engine::TopK(uint32_t k, double tau_m,
 std::vector<index::QueryResult> Engine::TopKBatch(
     std::span<const QuerySpec> specs) const {
   NC_CHECK(index_ != nullptr) << "call BuildIndex() first";
-  // Two regimes, mirroring MultiIndex::Build: with at least one query per
-  // worker, queries are the unit of concurrency (inner solvers serial);
-  // with a batch smaller than the thread budget, queries run one after
-  // another with their inner parallel loops fanned across all threads.
-  // Either way every query is deterministic, so the answers are identical
-  // in both regimes and to sequential TopK calls.
-  const unsigned threads = util::ResolveThreads(options_.threads);
-  const uint32_t per_query_threads =
-      specs.size() >= threads ? 1 : options_.threads;
-  auto answer = [&](size_t i) {
-    const QuerySpec& spec = specs[i];
-    return query_->Tops(spec.psi, spec.ToConfig(per_query_threads));
-  };
-  if (per_query_threads != 1) {
-    std::vector<index::QueryResult> results;
-    results.reserve(specs.size());
-    for (size_t i = 0; i < specs.size(); ++i) results.push_back(answer(i));
-    return results;
+  // Plan every spec (the planner's batch-aware allocation reproduces the
+  // historical two regimes: with at least one query per worker, queries
+  // are the unit of concurrency; otherwise each query fans its inner
+  // loops across all threads), then hand the batch to the executor, which
+  // groups plans by (instance, τ) and builds each T̂C once. Every stage is
+  // deterministic, so the answers are identical in both regimes and to
+  // sequential TopK calls.
+  exec::ExecContext* ctx = query_->exec_context();
+  const exec::Planner planner(ctx);
+  std::vector<exec::QueryPlan> plans;
+  plans.reserve(specs.size());
+  for (const QuerySpec& spec : specs) {
+    plans.push_back(planner.Plan(
+        exec::RequestFromConfig(exec::QueryVariant::kTops, spec.psi,
+                                spec.ToConfig(options_.threads)),
+        *index_, specs.size()));
   }
-  return util::ParallelMap<index::QueryResult>(options_.threads, specs.size(),
-                                               answer, /*grain=*/1);
+  return exec::Executor(index_.get(), store_.get(), sites_.get(), ctx)
+      .ExecuteBatch(plans, options_.threads);
+}
+
+exec::StatsRegistry::Snapshot Engine::ExecStats() const {
+  if (query_ == nullptr) return {};
+  return query_->exec_context()->stats.snapshot();
 }
 
 index::QueryResult Engine::TopKWithBudget(

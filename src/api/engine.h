@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/stats.h"
 #include "graph/road_network.h"
 #include "graph/spf/distance_backend.h"
 #include "netclus/index_io.h"
@@ -173,8 +174,20 @@ class Engine {
   /// input order and identical — query by query — to issuing each spec
   /// through TopK sequentially. This is the serving entry point: one built
   /// index, many concurrent (k, τ, ψ) requests.
+  ///
+  /// Specs are planned through the exec layer and grouped by
+  /// (instance, τ): each distinct approximate cover T̂C is built once and
+  /// shared by every query of its group (identical results — the cover
+  /// does not depend on k, ψ, FM, or ES; see docs/query_planning.md).
+  /// Sharers report amortized cover_build_seconds/transient_bytes and
+  /// cover_shared = true.
   std::vector<index::QueryResult> TopKBatch(
       std::span<const QuerySpec> specs) const;
+
+  /// Planner/executor statistics for this engine's online queries (stage
+  /// EWMA latencies, per-instance cover builds, sharing counters). Empty
+  /// before BuildIndex; reset when the index is rebuilt or reloaded.
+  exec::StatsRegistry::Snapshot ExecStats() const;
 
   // --- concurrent serving (src/serve) ---------------------------------------
 

@@ -1,0 +1,74 @@
+#include "exec/planner.h"
+
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace netclus::exec {
+
+PlanRequest RequestFromConfig(QueryVariant variant,
+                              const tops::PreferenceFunction& psi,
+                              const index::QueryConfig& config) {
+  PlanRequest request;
+  request.variant = variant;
+  request.k = config.k;
+  request.tau_m = config.tau_m;
+  request.psi = psi;
+  request.use_fm = config.use_fm_sketch;
+  request.fm_copies = config.fm_copies;
+  request.existing_services = config.existing_services;
+  request.threads = config.threads;
+  return request;
+}
+
+QueryPlan Planner::Plan(const PlanRequest& request,
+                        const index::MultiIndex& index,
+                        size_t batch_size) const {
+  util::WallTimer timer;
+  QueryPlan plan;
+  plan.variant = request.variant;
+  plan.k = request.k;
+  plan.tau_m = request.tau_m;
+  plan.psi = NormalizePsi(request.psi);
+  plan.use_fm = request.use_fm;
+  plan.fm_copies = request.fm_copies;
+  plan.existing_services = request.existing_services;
+  plan.site_costs = request.site_costs;
+  plan.budget = request.budget;
+  plan.site_capacities = request.site_capacities;
+  plan.instance = index.InstanceFor(request.tau_m);
+
+  // Solver selection. The FM path requires a binary ψ and no existing
+  // services; ES forces the Inc-Greedy fallback so ES is respected (the
+  // executor re-checks against the *mapped* clustered-space ES, which can
+  // turn out empty, and logs the fallback once per engine).
+  switch (request.variant) {
+    case QueryVariant::kTops:
+      if (request.use_fm && plan.psi.is_binary()) {
+        plan.fm_fallback = !request.existing_services.empty();
+        plan.solver = plan.fm_fallback ? SolverKind::kIncGreedy
+                                       : SolverKind::kFmGreedy;
+      } else {
+        plan.solver = SolverKind::kIncGreedy;
+      }
+      plan.cacheable = true;
+      break;
+    case QueryVariant::kTopsCost:
+      plan.solver = SolverKind::kCostGreedy;
+      break;
+    case QueryVariant::kTopsCapacity:
+      plan.solver = SolverKind::kCapacityGreedy;
+      break;
+  }
+
+  // Batch-aware thread allocation (the legacy TopKBatch rule): with at
+  // least one query per worker the queries themselves are the
+  // parallelism; otherwise each plan keeps the caller's full budget.
+  const unsigned resolved = util::ResolveThreads(request.threads);
+  plan.threads = batch_size >= resolved ? 1 : request.threads;
+
+  plan.key = CanonicalPlanKey(request, plan.instance);
+  if (ctx_ != nullptr) ctx_->stats.RecordPlan(timer.Seconds());
+  return plan;
+}
+
+}  // namespace netclus::exec

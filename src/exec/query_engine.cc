@@ -1,0 +1,67 @@
+// The legacy QueryEngine surface, reimplemented as thin shims over the
+// planner/executor layer. Lives in exec (not netclus) so the netclus
+// library does not depend back on exec — the same arrangement as
+// Engine::Serve() living in src/serve/server.cc.
+#include "netclus/query.h"
+
+#include <utility>
+
+#include "exec/cover_build.h"
+#include "exec/executor.h"
+#include "exec/planner.h"
+#include "exec/stats.h"
+
+namespace netclus::index {
+
+QueryEngine::QueryEngine(const MultiIndex* index,
+                         const traj::TrajectoryStore* store,
+                         const tops::SiteSet* sites)
+    : index_(index),
+      store_(store),
+      sites_(sites),
+      ctx_(std::make_shared<exec::ExecContext>()) {}
+
+QueryResult QueryEngine::Tops(const tops::PreferenceFunction& psi,
+                              const QueryConfig& config) const {
+  const exec::Planner planner(ctx_.get());
+  const exec::QueryPlan plan = planner.Plan(
+      exec::RequestFromConfig(exec::QueryVariant::kTops, psi, config), *index_,
+      /*batch_size=*/1);
+  return exec::Executor(index_, store_, sites_, ctx_.get()).Execute(plan);
+}
+
+QueryResult QueryEngine::TopsCost(const tops::PreferenceFunction& psi,
+                                  const QueryConfig& config,
+                                  const std::vector<double>& site_costs,
+                                  double budget) const {
+  exec::PlanRequest request =
+      exec::RequestFromConfig(exec::QueryVariant::kTopsCost, psi, config);
+  request.site_costs = site_costs;
+  request.budget = budget;
+  const exec::Planner planner(ctx_.get());
+  const exec::QueryPlan plan = planner.Plan(request, *index_, /*batch_size=*/1);
+  return exec::Executor(index_, store_, sites_, ctx_.get()).Execute(plan);
+}
+
+QueryResult QueryEngine::TopsCapacity(
+    const tops::PreferenceFunction& psi, const QueryConfig& config,
+    const std::vector<double>& site_capacities) const {
+  exec::PlanRequest request =
+      exec::RequestFromConfig(exec::QueryVariant::kTopsCapacity, psi, config);
+  request.site_capacities = site_capacities;
+  const exec::Planner planner(ctx_.get());
+  const exec::QueryPlan plan = planner.Plan(request, *index_, /*batch_size=*/1);
+  return exec::Executor(index_, store_, sites_, ctx_.get()).Execute(plan);
+}
+
+tops::CoverageIndex QueryEngine::BuildApproxCoverage(
+    double tau_m, size_t instance, std::vector<tops::SiteId>* rep_sites,
+    double* build_seconds, uint32_t threads) const {
+  exec::BuiltCover cover =
+      exec::BuildCover(*index_, *store_, tau_m, instance, threads);
+  if (rep_sites != nullptr) *rep_sites = std::move(cover.rep_sites);
+  if (build_seconds != nullptr) *build_seconds = cover.build_seconds;
+  return std::move(cover.approx);
+}
+
+}  // namespace netclus::index

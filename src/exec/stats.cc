@@ -1,0 +1,76 @@
+#include "exec/stats.h"
+
+namespace netclus::exec {
+
+namespace {
+constexpr double kEwmaAlpha = 0.2;
+}  // namespace
+
+void StatsRegistry::StageSlot::Bump(double seconds) {
+  const std::lock_guard<std::mutex> lock(mu);
+  stats.ewma_seconds = stats.count == 0
+                           ? seconds
+                           : kEwmaAlpha * seconds +
+                                 (1.0 - kEwmaAlpha) * stats.ewma_seconds;
+  ++stats.count;
+  stats.total_seconds += seconds;
+}
+
+void StatsRegistry::RecordPlan(double seconds) { plan_.Bump(seconds); }
+
+void StatsRegistry::RecordCoverBuild(size_t instance, double seconds,
+                                     uint64_t bytes) {
+  cover_build_.Bump(seconds);
+  covers_built_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(instances_mu_);
+  if (instance >= instances_.size()) instances_.resize(instance + 1);
+  InstanceStats& per = instances_[instance];
+  per.ewma_build_seconds =
+      per.cover_builds == 0
+          ? seconds
+          : kEwmaAlpha * seconds + (1.0 - kEwmaAlpha) * per.ewma_build_seconds;
+  ++per.cover_builds;
+  per.last_cover_bytes = bytes;
+}
+
+void StatsRegistry::RecordCoverShared() {
+  covers_shared_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatsRegistry::RecordSolve(double seconds) { solve_.Bump(seconds); }
+
+void StatsRegistry::RecordAssemble(double seconds) { assemble_.Bump(seconds); }
+
+void StatsRegistry::RecordFmFallback() {
+  fm_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+StatsRegistry::Snapshot StatsRegistry::snapshot() const {
+  Snapshot out;
+  {
+    const std::lock_guard<std::mutex> lock(plan_.mu);
+    out.plan = plan_.stats;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(cover_build_.mu);
+    out.cover_build = cover_build_.stats;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(solve_.mu);
+    out.solve = solve_.stats;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(assemble_.mu);
+    out.assemble = assemble_.stats;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(instances_mu_);
+    out.instances = instances_;
+  }
+  out.covers_built = covers_built_.load(std::memory_order_relaxed);
+  out.covers_shared = covers_shared_.load(std::memory_order_relaxed);
+  out.fm_fallbacks = fm_fallbacks_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace netclus::exec

@@ -10,10 +10,20 @@
 // FM-greedy, cost / capacity / market-share greedy — on the representatives
 // by wrapping T̂C in a tops::CoverageIndex. d̂_r ≥ d_r, so T̂C ⊆ TC and the
 // Theorem 7 bounds hold.
+//
+// Since the planner/executor refactor, QueryEngine is a thin compatibility
+// facade: every method plans the request with exec::Planner and runs it
+// through exec::Executor's CoverBuild → Solve → Assemble stages (see
+// src/exec/ and docs/query_planning.md). The methods are defined in
+// src/exec/query_engine.cc — link netclus_exec (any target linking
+// netclus_api or netclus_serve already does). Results are bit-identical
+// to the pre-refactor monolithic path at every thread count and distance
+// backend; tests/test_exec.cc pins this differentially.
 #ifndef NETCLUS_NETCLUS_QUERY_H_
 #define NETCLUS_NETCLUS_QUERY_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "netclus/multi_index.h"
@@ -22,6 +32,10 @@
 #include "tops/inc_greedy.h"
 #include "tops/variants.h"
 
+namespace netclus::exec {
+struct ExecContext;
+}  // namespace netclus::exec
+
 namespace netclus::index {
 
 struct QueryConfig {
@@ -29,7 +43,8 @@ struct QueryConfig {
   double tau_m = 800.0;
   /// FMNETCLUS: FM-greedy on representatives (binary ψ only). FM-greedy has
   /// no existing-services support, so a query with both falls back to
-  /// Inc-Greedy (with a warning) rather than silently ignoring ES.
+  /// Inc-Greedy (with a warning, logged once per engine) rather than
+  /// silently ignoring ES.
   bool use_fm_sketch = false;
   uint32_t fm_copies = 30;
   /// Existing services (Sec. 7.3), as site ids; each is mapped to its
@@ -45,16 +60,27 @@ struct QueryResult {
   tops::Selection selection;     ///< sites = real SiteIds (representatives)
   size_t instance_used = 0;
   size_t clusters_considered = 0;   ///< representatives entering the greedy
-  double cover_build_seconds = 0.0; ///< T̂C construction
+  /// T̂C construction cost attributed to this query. When the cover was
+  /// shared by g queries of a batch each reports build/g; a cover served
+  /// from the serving layer's CoverCache reports 0 (the building query
+  /// already paid). `cover_shared` distinguishes the cases.
+  double cover_build_seconds = 0.0;
   double total_seconds = 0.0;
-  uint64_t transient_bytes = 0;     ///< Σ |T̂C| working memory
+  /// Σ |T̂C| working memory attributed to this query (amortized the same
+  /// way as cover_build_seconds when the cover is shared).
+  uint64_t transient_bytes = 0;
+  /// True when this query's T̂C was reused rather than built privately
+  /// (batch grouping or a CoverCache hit).
+  bool cover_shared = false;
 };
 
 class QueryEngine {
  public:
+  /// Defined in src/exec/query_engine.cc (allocates the per-engine
+  /// execution context: stats registry + warn-once state). Copies of a
+  /// QueryEngine share that context.
   QueryEngine(const MultiIndex* index, const traj::TrajectoryStore* store,
-              const tops::SiteSet* sites)
-      : index_(index), store_(store), sites_(sites) {}
+              const tops::SiteSet* sites);
 
   /// Plain TOPS (k, τ, ψ).
   QueryResult Tops(const tops::PreferenceFunction& psi,
@@ -76,16 +102,22 @@ class QueryEngine {
   /// Exposed for tests; `rep_sites` receives the representative SiteId per
   /// clustered-space index. Each representative's cover is computed
   /// independently, so `threads` (0 = NETCLUS_THREADS default, like every
-  /// other knob) never changes the result.
+  /// other knob) never changes the result. Shim over exec::BuildCover.
   tops::CoverageIndex BuildApproxCoverage(double tau_m, size_t instance,
                                           std::vector<tops::SiteId>* rep_sites,
                                           double* build_seconds,
                                           uint32_t threads = 0) const;
 
+  /// The per-engine execution context (stats + warn-once state), for the
+  /// layers that drive the planner/executor directly over this engine's
+  /// parts (src/api, src/serve).
+  exec::ExecContext* exec_context() const { return ctx_.get(); }
+
  private:
   const MultiIndex* index_;
   const traj::TrajectoryStore* store_;
   const tops::SiteSet* sites_;
+  std::shared_ptr<exec::ExecContext> ctx_;
 };
 
 }  // namespace netclus::index

@@ -1,0 +1,138 @@
+#include "serve/cover_cache.h"
+
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace netclus::serve {
+
+size_t CoverCache::KeyHash::operator()(const Key& key) const {
+  uint64_t h = util::SplitMix64(key.version);
+  h = util::SplitMix64(h ^ exec::CoverKeyHash()(key.cover));
+  return static_cast<size_t>(h);
+}
+
+CoverCache::CoverCache(Options options) : options_(options) {
+  if (options_.respect_env &&
+      !util::GetEnvBool("NETCLUS_COVER_CACHE", true)) {
+    options_.capacity = 0;
+  }
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.capacity > 0 && options_.shards > options_.capacity) {
+    options_.shards = options_.capacity;
+  }
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_capacity_ =
+      options_.capacity == 0 ? 0 : options_.capacity / options_.shards;
+}
+
+CoverCache::Shard& CoverCache::ShardFor(const Key& key) {
+  return *shards_[KeyHash()(key) % shards_.size()];
+}
+
+void CoverCache::EvictLocked(Shard& shard) {
+  while (shard.lru.size() > per_shard_capacity_) {
+    const Entry& tail = shard.lru.back().second;
+    resident_bytes_.fetch_sub(tail.bytes, std::memory_order_relaxed);
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+exec::CoverPtr CoverCache::GetOrBuild(
+    uint64_t version, const exec::CoverKey& cover_key,
+    const std::function<exec::CoverPtr()>& build, bool* reused) {
+  if (!enabled()) {
+    *reused = false;
+    return build();
+  }
+  const Key key{version, cover_key};
+  Shard& shard = ShardFor(key);
+  std::promise<exec::CoverPtr> promise;
+  std::shared_future<exec::CoverPtr> future;
+  bool builder = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      future = it->second->second.future;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      builder = true;
+      Entry entry;
+      entry.future = promise.get_future().share();
+      future = entry.future;
+      shard.lru.emplace_front(key, std::move(entry));
+      shard.map.emplace(key, shard.lru.begin());
+      entries_.fetch_add(1, std::memory_order_relaxed);
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      EvictLocked(shard);
+    }
+  }
+  if (!builder) {
+    // Rendezvous on the (possibly in-flight) build; a hit on an entry
+    // still building blocks here instead of duplicating the work.
+    *reused = true;
+    return future.get();
+  }
+  // Build outside the shard lock — other keys stay fully concurrent.
+  exec::CoverPtr cover;
+  try {
+    cover = build();
+  } catch (...) {
+    // Drop the dead entry so the key is rebuilt next time (a transient
+    // failure must not poison (version, instance, τ) until eviction),
+    // and hand waiters the exception instead of a broken promise.
+    {
+      const std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(key);
+      if (it != shard.map.end() && it->second->second.bytes == 0) {
+        shard.lru.erase(it->second);
+        shard.map.erase(it);
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  promise.set_value(cover);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end() && it->second->second.bytes == 0) {
+      it->second->second.bytes = cover->bytes;
+      resident_bytes_.fetch_add(cover->bytes, std::memory_order_relaxed);
+    }
+  }
+  *reused = false;
+  return cover;
+}
+
+void CoverCache::Clear() {
+  for (auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [key, entry] : shard->lru) {
+      resident_bytes_.fetch_sub(entry.bytes, std::memory_order_relaxed);
+    }
+    entries_.fetch_sub(shard->lru.size(), std::memory_order_relaxed);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+CoverCache::Stats CoverCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  s.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace netclus::serve

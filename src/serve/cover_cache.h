@@ -1,0 +1,122 @@
+// Snapshot-versioned cache of built approximate trajectory covers.
+//
+// A cover (exec::BuiltCover) depends only on (snapshot version, instance,
+// τ) — not on k, ψ, FM, or existing services — so concurrent serving
+// traffic whose specs differ in everything *except* (instance, τ) still
+// reuses one T̂C build. Because the version is part of the key, a snapshot
+// publish implicitly invalidates every cached cover; stale versions age
+// out of the LRU lists.
+//
+// GetOrBuild has build-once semantics: concurrent callers for the same
+// key rendezvous on one shared build (a std::shared_future per entry), so
+// a thundering herd of identical-τ requests costs a single cover build —
+// the property bench_exec_plans measures. Covers are immutable and
+// refcounted, so an evicted entry stays valid for every query still
+// holding it.
+//
+// The NETCLUS_COVER_CACHE environment knob (default on) disables the
+// cache at construction time when set to 0 — the CI matrix runs the test
+// suite both ways; results are bit-identical because BuildCover is
+// deterministic.
+#ifndef NETCLUS_SERVE_COVER_CACHE_H_
+#define NETCLUS_SERVE_COVER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/cover_build.h"
+#include "exec/executor.h"
+#include "exec/plan.h"
+
+namespace netclus::serve {
+
+class CoverCache {
+ public:
+  struct Options {
+    /// Total resident covers across shards. 0 disables. Covers are large
+    /// (Σ |T̂C| per instance), so the default stays small — distinct
+    /// (instance, τ) pairs in live traffic are few.
+    size_t capacity = 32;
+    size_t shards = 8;
+    /// When true (the default), NETCLUS_COVER_CACHE=0 in the environment
+    /// disables the cache regardless of `capacity`.
+    bool respect_env = true;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;    ///< served an existing (possibly in-flight) build
+    uint64_t misses = 0;  ///< this call built the cover
+    uint64_t evictions = 0;
+    uint64_t entries = 0;
+    uint64_t resident_bytes = 0;  ///< Σ bytes of completed resident covers
+  };
+
+  explicit CoverCache(Options options);
+
+  CoverCache(const CoverCache&) = delete;
+  CoverCache& operator=(const CoverCache&) = delete;
+
+  /// False when capacity is 0 (or NETCLUS_COVER_CACHE=0): GetOrBuild
+  /// degenerates to calling `build` without counting.
+  bool enabled() const { return per_shard_capacity_ != 0; }
+
+  /// Returns the cover for (version, key), building it via `build` (at
+  /// most once across all concurrent callers of this key) on a miss.
+  /// *reused is set to true when the returned cover was built by another
+  /// call. Thread-safe.
+  exec::CoverPtr GetOrBuild(uint64_t version, const exec::CoverKey& key,
+                            const std::function<exec::CoverPtr()>& build,
+                            bool* reused);
+
+  /// Drops every entry (counters are kept). In-flight builds complete
+  /// normally; their waiters are unaffected.
+  void Clear();
+
+  Stats stats() const;
+
+ private:
+  struct Key {
+    uint64_t version = 0;
+    exec::CoverKey cover;
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+  struct Entry {
+    std::shared_future<exec::CoverPtr> future;
+    uint64_t bytes = 0;  ///< 0 until the build completes
+  };
+  struct Shard {
+    std::mutex mu;
+    /// Most-recent first; pairs of (key, entry).
+    std::list<std::pair<Key, Entry>> lru;
+    std::unordered_map<Key, decltype(lru)::iterator, KeyHash> map;
+  };
+
+  Shard& ShardFor(const Key& key);
+  /// Evicts past-capacity tail entries; caller holds the shard lock.
+  void EvictLocked(Shard& shard);
+
+  Options options_;
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> entries_{0};
+  std::atomic<uint64_t> resident_bytes_{0};
+};
+
+}  // namespace netclus::serve
+
+#endif  // NETCLUS_SERVE_COVER_CACHE_H_

@@ -1,42 +1,17 @@
 #include "serve/query_cache.h"
 
 #include <algorithm>
-#include <bit>
 #include <memory>
 
+#include "exec/planner.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
 namespace netclus::serve {
 
-namespace {
-
-uint64_t Combine(uint64_t seed, uint64_t value) {
-  return util::SplitMix64(
-      seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
-}
-
-uint64_t DoubleBits(double d) { return std::bit_cast<uint64_t>(d); }
-
-}  // namespace
-
-bool QueryKey::operator==(const QueryKey& other) const {
-  return version == other.version && k == other.k && use_fm == other.use_fm &&
-         psi_kind == other.psi_kind &&
-         DoubleBits(tau_m) == DoubleBits(other.tau_m) &&
-         DoubleBits(psi_param) == DoubleBits(other.psi_param) &&
-         existing == other.existing;
-}
-
 size_t QueryKeyHash::operator()(const QueryKey& key) const {
-  uint64_t h = util::SplitMix64(key.version);
-  h = Combine(h, key.k);
-  h = Combine(h, DoubleBits(key.tau_m));
-  h = Combine(h, key.use_fm ? 1 : 0);
-  h = Combine(h, static_cast<uint64_t>(key.psi_kind));
-  h = Combine(h, DoubleBits(key.psi_param));
-  for (tops::SiteId s : key.existing) h = Combine(h, s);
-  return static_cast<size_t>(h);
+  return static_cast<size_t>(
+      util::SplitMix64(util::SplitMix64(key.version) ^ key.plan.Fingerprint()));
 }
 
 Engine::QuerySpec CanonicalizeSpec(const Engine::QuerySpec& spec) {
@@ -49,21 +24,16 @@ Engine::QuerySpec CanonicalizeSpec(const Engine::QuerySpec& spec) {
   return canon;
 }
 
-QueryKey CanonicalQueryKey(uint64_t version, const Engine::QuerySpec& spec) {
+QueryKey CanonicalQueryKey(uint64_t version, const Engine::QuerySpec& spec,
+                           size_t instance) {
   QueryKey key;
   key.version = version;
-  key.k = spec.k;
-  key.tau_m = spec.tau_m;
-  key.use_fm = spec.use_fm;
-  key.psi_kind = static_cast<int>(spec.psi.kind());
-  key.psi_param = spec.psi.param();
-  // Canonicalize in place on the key's own copy — no full QuerySpec copy,
-  // and an idempotent no-op for the already-canonical spec the server
-  // passes on its hot path.
-  key.existing = spec.existing_services;
-  std::sort(key.existing.begin(), key.existing.end());
-  key.existing.erase(std::unique(key.existing.begin(), key.existing.end()),
-                     key.existing.end());
+  // Derive through the same spec → config → request chain the execution
+  // path uses, so key and execution cannot diverge on a field.
+  key.plan = exec::CanonicalPlanKey(
+      exec::RequestFromConfig(exec::QueryVariant::kTops, spec.psi,
+                              spec.ToConfig(/*threads=*/0)),
+      instance);
   return key;
 }
 

@@ -1,11 +1,17 @@
 // Sharded LRU cache for TOPS query results.
 //
-// Keyed by the *canonicalized* query (k, τ, ψ kind+param, fm flag, sorted
-// deduped existing services) plus the snapshot version it was answered
-// at. Because queries over one snapshot are deterministic, a hit is
+// Keyed by the snapshot version plus the query plan's canonical
+// fingerprint (exec::PlanKey: sorted/deduped existing services,
+// normalized ψ, τ by bit pattern, the resolved resolution instance).
+// Because queries over one snapshot are deterministic, a hit is
 // bit-identical to recomputation; because the version is part of the key,
 // a snapshot publish implicitly invalidates every cached entry — stale
 // versions simply stop being requested and age out of the LRU lists.
+//
+// Canonicalization means equivalent specs share one entry: permuted or
+// duplicated existing-services lists, and ψ spellings that are bit-exact
+// equivalent (e.g. ConvexProbability(1) vs Linear — see
+// exec::NormalizePsi), all hit the same slot.
 //
 // Sharding: the key hash picks a shard; each shard is an independent
 // mutex + LRU list + map, so concurrent readers on different shards never
@@ -23,27 +29,22 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "exec/plan.h"
 #include "netclus/query.h"
 #include "tops/site_set.h"
 
 namespace netclus::serve {
 
-/// Canonical cache key. Two QuerySpecs that answer identically on the
-/// same snapshot produce equal keys (existing services are sorted and
-/// deduplicated; ψ collapses to its (kind, param) value). Doubles are
-/// compared by bit pattern — the same representation the hash uses — so
-/// equality and hashing always agree (0.0 vs -0.0, NaN) as the shard
-/// maps require.
+/// Canonical cache key: the snapshot version a result was answered at
+/// plus the plan fingerprint. Two QuerySpecs that answer identically on
+/// the same snapshot produce equal keys; doubles are carried by bit
+/// pattern inside the PlanKey, so equality and hashing always agree
+/// (0.0 vs -0.0, NaN) as the shard maps require.
 struct QueryKey {
   uint64_t version = 0;
-  uint32_t k = 0;
-  double tau_m = 0.0;
-  bool use_fm = false;
-  int psi_kind = 0;
-  double psi_param = 0.0;
-  std::vector<tops::SiteId> existing;  // sorted, deduped
+  exec::PlanKey plan;
 
-  bool operator==(const QueryKey& other) const;
+  bool operator==(const QueryKey&) const = default;
 };
 
 struct QueryKeyHash {
@@ -62,8 +63,11 @@ Engine::QuerySpec CanonicalizeSpec(const Engine::QuerySpec& spec);
 /// the whole spec (not individual fields) so the key and QuerySpec::
 /// ToConfig derive from the same field list: a new result-affecting spec
 /// field added to one but not the other is a single obvious edit site,
-/// not a silent cache collision.
-QueryKey CanonicalQueryKey(uint64_t version, const Engine::QuerySpec& spec);
+/// not a silent cache collision. `instance` is the resolved resolution
+/// instance (the server takes it from the plan; key-only unit tests may
+/// pass 0).
+QueryKey CanonicalQueryKey(uint64_t version, const Engine::QuerySpec& spec,
+                           size_t instance = 0);
 
 class QueryCache {
  public:

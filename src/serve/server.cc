@@ -2,13 +2,18 @@
 
 #include <utility>
 
+#include "exec/executor.h"
+#include "exec/planner.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
 namespace netclus::serve {
 
 NetClusServer::NetClusServer(const Engine& engine, const ServerOptions& options)
-    : options_(options), cache_(options.cache) {
+    : options_(options),
+      cache_(options.cache),
+      cover_cache_(options.cover_cache),
+      ctx_(std::make_shared<exec::ExecContext>()) {
   NC_CHECK(engine.index_built()) << "call Engine::BuildIndex() before Serve()";
   // Snapshots are fully self-contained: the network is copied once here
   // (and shared by every subsequent version), the mutable parts are
@@ -38,22 +43,41 @@ ServeResult NetClusServer::Answer(const Engine::QuerySpec& spec,
   ServeResult out;
   out.snapshot = snap;
   out.snapshot_version = snap->version();
-  // Execute the same canonical form the cache keys on, so permuted
-  // existing-services lists are one query with one bit-exact answer.
+  // Plan the same canonical form the cache keys on, so permuted
+  // existing-services lists (and bit-equivalent ψ spellings) are one
+  // query with one bit-exact answer.
   const Engine::QuerySpec canon = CanonicalizeSpec(spec);
+  const exec::Planner planner(ctx_.get());
+  const exec::QueryPlan plan = planner.Plan(
+      exec::RequestFromConfig(exec::QueryVariant::kTops, canon.psi,
+                              canon.ToConfig(options_.query_threads)),
+      snap->index(), /*batch_size=*/1);
   QueryKey key;
-  if (cache_.enabled()) {
-    key = CanonicalQueryKey(snap->version(), canon);
+  const bool result_cacheable = cache_.enabled() && plan.cacheable;
+  if (result_cacheable) {
+    key.version = snap->version();
+    key.plan = plan.key;
   }
   std::optional<index::QueryResult> cached =
-      cache_.enabled() ? cache_.Lookup(key) : std::nullopt;
+      result_cacheable ? cache_.Lookup(key) : std::nullopt;
   if (cached.has_value()) {
     out.result = std::move(*cached);
     out.cache_hit = true;
   } else {
-    out.result =
-        snap->query().Tops(canon.psi, canon.ToConfig(options_.query_threads));
-    if (cache_.enabled()) cache_.Insert(key, out.result);
+    exec::CoverHooks hooks;
+    if (cover_cache_.enabled()) {
+      const uint64_t version = snap->version();
+      hooks.acquire = [this, version](
+                          const exec::CoverKey& cover_key,
+                          const std::function<exec::CoverPtr()>& build,
+                          bool* reused) {
+        return cover_cache_.GetOrBuild(version, cover_key, build, reused);
+      };
+    }
+    const exec::Executor executor(&snap->index(), &snap->store(),
+                                  &snap->sites(), ctx_.get(), hooks);
+    out.result = executor.Execute(plan);
+    if (result_cacheable) cache_.Insert(key, out.result);
   }
   out.latency_seconds = timer.Seconds();
   latency_.Record(out.latency_seconds);
@@ -108,6 +132,8 @@ ServerStats NetClusServer::stats() const {
   s.latency_p99_ms = latency_.PercentileSeconds(0.99) * 1e3;
   s.latency_mean_ms = latency_.MeanSeconds() * 1e3;
   s.cache = cache_.stats();
+  s.cover_cache = cover_cache_.stats();
+  s.exec = ctx_->stats.snapshot();
   s.updates = pipeline_->stats();
   s.snapshot_version = registry_.current_version();
   return s;

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "exec/stats.h"
+#include "serve/cover_cache.h"
 #include "serve/query_cache.h"
 #include "serve/snapshot.h"
 #include "serve/update_pipeline.h"
@@ -45,6 +47,10 @@ struct ServerOptions {
   /// thread-pool helpers.
   uint32_t batch_threads = 0;
   QueryCache::Options cache;
+  /// Cross-query T̂C sharing (docs/query_planning.md): queries with the
+  /// same (snapshot, instance, τ) reuse one cover build even when k, ψ,
+  /// or ES differ. NETCLUS_COVER_CACHE=0 disables it.
+  CoverCache::Options cover_cache;
   UpdatePipeline::Options updates;
 };
 
@@ -67,6 +73,10 @@ struct ServerStats {
   double latency_p99_ms = 0.0;
   double latency_mean_ms = 0.0;
   QueryCache::Stats cache;
+  CoverCache::Stats cover_cache;
+  /// Planner/executor stage latencies (EWMA) and per-instance cover-build
+  /// stats, from this server's exec::StatsRegistry.
+  exec::StatsRegistry::Snapshot exec;
   UpdatePipeline::Stats updates;
   uint64_t snapshot_version = 0;
   double uptime_seconds = 0.0;
@@ -125,6 +135,10 @@ class NetClusServer {
   ServerOptions options_;
   SnapshotRegistry registry_;
   QueryCache cache_;
+  CoverCache cover_cache_;
+  /// Per-server execution context: stats registry + warn-once state,
+  /// shared by every query's planner/executor run.
+  std::shared_ptr<exec::ExecContext> ctx_;
   std::unique_ptr<UpdatePipeline> pipeline_;
   util::LatencyHistogram latency_;
   std::atomic<uint64_t> queries_served_{0};

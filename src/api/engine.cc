@@ -112,18 +112,41 @@ bool Engine::LoadIndexFromFile(const std::string& path, std::string* error) {
   return true;
 }
 
+exec::PlanRequest Engine::QuerySpec::ToRequest(uint32_t threads) const {
+  exec::PlanRequest request =
+      exec::RequestFromConfig(variant, psi, ToConfig(threads));
+  if (variant == exec::QueryVariant::kTopsCost) {
+    request.site_costs = site_costs;
+    request.budget = budget;
+  }
+  if (variant == exec::QueryVariant::kTopsCapacity) {
+    request.site_capacities = site_capacities;
+  }
+  return request;
+}
+
+index::QueryResult Engine::Run(const QuerySpec& spec) const {
+  NC_CHECK(index_ != nullptr) << "call BuildIndex() first";
+  exec::ExecContext* ctx = query_->exec_context();
+  const exec::Planner planner(ctx);
+  const exec::QueryPlan plan =
+      planner.Plan(spec.ToRequest(options_.threads), *index_,
+                   /*batch_size=*/1);
+  return exec::Executor(index_.get(), store_.get(), sites_.get(), ctx)
+      .Execute(plan);
+}
+
 index::QueryResult Engine::TopK(uint32_t k, double tau_m,
                                 const tops::PreferenceFunction& psi,
                                 bool use_fm,
                                 const std::vector<tops::SiteId>& existing) const {
-  NC_CHECK(index_ != nullptr) << "call BuildIndex() first";
-  index::QueryConfig config;
-  config.k = k;
-  config.tau_m = tau_m;
-  config.use_fm_sketch = use_fm;
-  config.existing_services = existing;
-  config.threads = options_.threads;
-  return query_->Tops(psi, config);
+  QuerySpec spec;
+  spec.k = k;
+  spec.tau_m = tau_m;
+  spec.psi = psi;
+  spec.use_fm = use_fm;
+  spec.existing_services = existing;
+  return Run(spec);
 }
 
 std::vector<index::QueryResult> Engine::TopKBatch(
@@ -158,22 +181,25 @@ exec::StatsRegistry::Snapshot Engine::ExecStats() const {
 index::QueryResult Engine::TopKWithBudget(
     double budget, double tau_m, const tops::PreferenceFunction& psi,
     const std::vector<double>& site_costs) const {
-  NC_CHECK(index_ != nullptr) << "call BuildIndex() first";
-  index::QueryConfig config;
-  config.tau_m = tau_m;
-  config.threads = options_.threads;
-  return query_->TopsCost(psi, config, site_costs, budget);
+  QuerySpec spec;
+  spec.variant = exec::QueryVariant::kTopsCost;
+  spec.tau_m = tau_m;
+  spec.psi = psi;
+  spec.site_costs = site_costs;
+  spec.budget = budget;
+  return Run(spec);
 }
 
 index::QueryResult Engine::TopKWithCapacity(
     uint32_t k, double tau_m, const tops::PreferenceFunction& psi,
     const std::vector<double>& site_capacities) const {
-  NC_CHECK(index_ != nullptr) << "call BuildIndex() first";
-  index::QueryConfig config;
-  config.k = k;
-  config.tau_m = tau_m;
-  config.threads = options_.threads;
-  return query_->TopsCapacity(psi, config, site_capacities);
+  QuerySpec spec;
+  spec.variant = exec::QueryVariant::kTopsCapacity;
+  spec.k = k;
+  spec.tau_m = tau_m;
+  spec.psi = psi;
+  spec.site_capacities = site_capacities;
+  return Run(spec);
 }
 
 tops::CoverageIndex Engine::BuildCoverage(double tau_m,

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/plan.h"
 #include "exec/stats.h"
 #include "graph/road_network.h"
 #include "graph/spf/distance_backend.h"
@@ -80,19 +81,28 @@ class Engine {
     index::IndexLoadMode index_load_mode = index::IndexLoadMode::kAuto;
   };
 
-  /// One TOPS query of a batch (see TopKBatch) or of a serving request
-  /// (see serve::NetClusServer).
+  /// One query: the single-shot entry (Run), the batch entry (TopKBatch),
+  /// and the serving layer (serve::NetClusServer) all consume this one
+  /// struct. `variant` selects the problem; the cost / capacity payload
+  /// fields are only read for their variant.
   struct QuerySpec {
+    exec::QueryVariant variant = exec::QueryVariant::kTops;
     uint32_t k = 5;
     double tau_m = 800.0;
     tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
     bool use_fm = false;
     std::vector<tops::SiteId> existing_services;
+    /// TOPS-COST payload: site-indexed costs + budget
+    /// (variant == kTopsCost only).
+    std::vector<double> site_costs;
+    double budget = 0.0;
+    /// TOPS-CAPACITY payload: site-indexed capacities
+    /// (variant == kTopsCapacity only).
+    std::vector<double> site_capacities;
 
-    /// The QueryConfig this spec denotes, with the caller's thread
-    /// budget. The single mapping point — TopKBatch, the serving layer,
-    /// and the replay tests all go through it, so a new spec field
-    /// cannot be silently dropped by one of them.
+    /// The QueryConfig this spec denotes (kTops fields only), with the
+    /// caller's thread budget. Kept as the replay-test surface; new
+    /// callers go through ToRequest.
     index::QueryConfig ToConfig(uint32_t threads) const {
       index::QueryConfig config;
       config.k = k;
@@ -102,6 +112,12 @@ class Engine {
       config.threads = threads;
       return config;
     }
+
+    /// The PlanRequest this spec denotes — the single spec → planner
+    /// mapping point, so a new spec field cannot be silently dropped by
+    /// one of the consumers. The request's cost / capacity spans borrow
+    /// this spec's vectors: the spec must outlive the plan's execution.
+    exec::PlanRequest ToRequest(uint32_t threads) const;
   };
 
   /// Takes ownership of the network and candidate sites.
@@ -153,18 +169,27 @@ class Engine {
 
   // --- online queries (NetClus) ---------------------------------------------
 
-  /// TOPS(k, τ, ψ) via NetClus. `use_fm` selects FMNETCLUS (binary ψ only).
+  /// The one online entry point: plans `spec` (any variant) through the
+  /// exec layer and runs CoverBuild → Solve → Assemble. TopK /
+  /// TopKWithBudget / TopKWithCapacity, TopKBatch, and the serving layer
+  /// are all shims over this same path, so their answers are identical
+  /// spec for spec. Throws std::invalid_argument on malformed payloads
+  /// (cost / capacity vectors must be site-indexed).
+  index::QueryResult Run(const QuerySpec& spec) const;
+
+  /// TOPS(k, τ, ψ) via NetClus. `use_fm` selects FMNETCLUS (binary ψ
+  /// only). Shim over Run.
   index::QueryResult TopK(uint32_t k, double tau_m,
                           const tops::PreferenceFunction& psi,
                           bool use_fm = false,
                           const std::vector<tops::SiteId>& existing = {}) const;
 
-  /// TOPS-COST via NetClus.
+  /// TOPS-COST via NetClus. Shim over Run (variant = kTopsCost).
   index::QueryResult TopKWithBudget(double budget, double tau_m,
                                     const tops::PreferenceFunction& psi,
                                     const std::vector<double>& site_costs) const;
 
-  /// TOPS-CAPACITY via NetClus.
+  /// TOPS-CAPACITY via NetClus. Shim over Run (variant = kTopsCapacity).
   index::QueryResult TopKWithCapacity(
       uint32_t k, double tau_m, const tops::PreferenceFunction& psi,
       const std::vector<double>& site_capacities) const;

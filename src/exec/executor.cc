@@ -1,5 +1,7 @@
 #include "exec/executor.h"
 
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -27,11 +29,19 @@ Executor::Executor(const index::MultiIndex* index,
       hooks_(std::move(hooks)) {}
 
 void Executor::ValidatePlan(const QueryPlan& plan) const {
-  if (plan.variant == QueryVariant::kTopsCost) {
-    NC_CHECK_EQ(plan.site_costs.size(), sites_->size());
+  if (plan.variant == QueryVariant::kTopsCost &&
+      plan.site_costs.size() != sites_->size()) {
+    throw std::invalid_argument(
+        "Tops: site_costs must have one entry per site (got " +
+        std::to_string(plan.site_costs.size()) + ", want " +
+        std::to_string(sites_->size()) + ")");
   }
-  if (plan.variant == QueryVariant::kTopsCapacity) {
-    NC_CHECK_EQ(plan.site_capacities.size(), sites_->size());
+  if (plan.variant == QueryVariant::kTopsCapacity &&
+      plan.site_capacities.size() != sites_->size()) {
+    throw std::invalid_argument(
+        "Tops: site_capacities must have one entry per site (got " +
+        std::to_string(plan.site_capacities.size()) + ", want " +
+        std::to_string(sites_->size()) + ")");
   }
 }
 
@@ -157,17 +167,26 @@ index::QueryResult Executor::Assemble(const QueryPlan& plan,
   return out;
 }
 
+index::QueryResult Executor::ExecuteOnCover(const QueryPlan& plan,
+                                            const CoverPtr& cover,
+                                            bool cover_reused) const {
+  util::WallTimer total;
+  double solve_seconds = 0.0;
+  tops::Selection clustered = SolveStage(plan, *cover, &solve_seconds);
+  index::QueryResult out =
+      Assemble(plan, *cover, std::move(clustered),
+               cover_reused ? 0.0 : cover->build_seconds,
+               cover_reused ? 0 : cover->bytes, cover_reused);
+  out.total_seconds = total.Seconds();
+  return out;
+}
+
 index::QueryResult Executor::Execute(const QueryPlan& plan) const {
   util::WallTimer total;
   ValidatePlan(plan);
   bool reused = false;
   const CoverPtr cover = ObtainCover(plan, plan.threads, &reused);
-  double solve_seconds = 0.0;
-  tops::Selection clustered = SolveStage(plan, *cover, &solve_seconds);
-  index::QueryResult out =
-      Assemble(plan, *cover, std::move(clustered),
-               reused ? 0.0 : cover->build_seconds,
-               reused ? 0 : cover->bytes, reused);
+  index::QueryResult out = ExecuteOnCover(plan, cover, reused);
   out.total_seconds = total.Seconds();
   return out;
 }

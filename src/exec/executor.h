@@ -66,6 +66,27 @@ class Executor {
   /// Executes one plan through the three stages.
   index::QueryResult Execute(const QueryPlan& plan) const;
 
+  /// Throws std::invalid_argument on malformed payloads (cost / capacity
+  /// vectors must be site-indexed). Execute/ExecuteBatch call this; the
+  /// serving layer calls it eagerly at admission so a bad spec surfaces
+  /// as kInvalidSpec instead of a worker-thread exception.
+  void ValidatePlan(const QueryPlan& plan) const;
+
+  /// Stage 1 alone: builds (or acquires through the hooks) the plan's
+  /// cover. `*reused` is set when the cover was not built by this call.
+  /// Lets the async serving layer run CoverBuild as its own scheduler
+  /// task, separately from ExecuteOnCover.
+  CoverPtr ObtainCover(const QueryPlan& plan, uint32_t build_threads,
+                       bool* reused) const;
+
+  /// Stages 2+3 on an already-obtained cover (which must match the plan's
+  /// cover key). `cover_reused` selects Execute()'s cost attribution:
+  /// reused covers report zero build cost. Execute(plan) is exactly
+  /// ObtainCover + ExecuteOnCover; results are bit-identical.
+  index::QueryResult ExecuteOnCover(const QueryPlan& plan,
+                                    const CoverPtr& cover,
+                                    bool cover_reused) const;
+
   /// Executes a batch: plans are grouped by CoverKey, each distinct cover
   /// is built once (the groups build concurrently under `threads`, the
   /// same two-regime rule as the solve fan-out), then every plan solves
@@ -75,11 +96,6 @@ class Executor {
                                                uint32_t threads) const;
 
  private:
-  /// Aborts on malformed payloads (the legacy entry checks): cost /
-  /// capacity vectors must be site-indexed.
-  void ValidatePlan(const QueryPlan& plan) const;
-  CoverPtr ObtainCover(const QueryPlan& plan, uint32_t build_threads,
-                       bool* reused) const;
   tops::Selection SolveStage(const QueryPlan& plan, const BuiltCover& cover,
                              double* stage_seconds) const;
   index::QueryResult Assemble(const QueryPlan& plan, const BuiltCover& cover,

@@ -18,6 +18,10 @@ void StatsRegistry::StageSlot::Bump(double seconds) {
 
 void StatsRegistry::RecordPlan(double seconds) { plan_.Bump(seconds); }
 
+void StatsRegistry::RecordQueueWait(double seconds) {
+  queue_wait_.Bump(seconds);
+}
+
 void StatsRegistry::RecordCoverBuild(size_t instance, double seconds,
                                      uint64_t bytes) {
   cover_build_.Bump(seconds);
@@ -45,11 +49,27 @@ void StatsRegistry::RecordFmFallback() {
   fm_fallbacks_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void StatsRegistry::RecordShedOverload() {
+  shed_overload_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatsRegistry::RecordShedDeadline() {
+  shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatsRegistry::RecordStaleServed() {
+  stale_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
 StatsRegistry::Snapshot StatsRegistry::snapshot() const {
   Snapshot out;
   {
     const std::lock_guard<std::mutex> lock(plan_.mu);
     out.plan = plan_.stats;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(queue_wait_.mu);
+    out.queue_wait = queue_wait_.stats;
   }
   {
     const std::lock_guard<std::mutex> lock(cover_build_.mu);
@@ -70,6 +90,9 @@ StatsRegistry::Snapshot StatsRegistry::snapshot() const {
   out.covers_built = covers_built_.load(std::memory_order_relaxed);
   out.covers_shared = covers_shared_.load(std::memory_order_relaxed);
   out.fm_fallbacks = fm_fallbacks_.load(std::memory_order_relaxed);
+  out.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  out.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  out.stale_served = stale_served_.load(std::memory_order_relaxed);
   return out;
 }
 

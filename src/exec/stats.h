@@ -42,6 +42,7 @@ class StatsRegistry {
 
   struct Snapshot {
     StageStats plan;
+    StageStats queue_wait;  ///< admission-to-first-stage wait (async serving)
     StageStats cover_build;
     StageStats solve;
     StageStats assemble;
@@ -50,6 +51,10 @@ class StatsRegistry {
     uint64_t covers_built = 0;
     uint64_t covers_shared = 0;  ///< solves served by a reused cover
     uint64_t fm_fallbacks = 0;
+    // Load-shedding accounts for the async serving layer.
+    uint64_t shed_overload = 0;  ///< rejected at admission (queues full)
+    uint64_t shed_deadline = 0;  ///< dropped after the soft deadline passed
+    uint64_t stale_served = 0;   ///< answered from an older snapshot version
   };
 
   StatsRegistry() = default;
@@ -57,11 +62,15 @@ class StatsRegistry {
   StatsRegistry& operator=(const StatsRegistry&) = delete;
 
   void RecordPlan(double seconds);
+  void RecordQueueWait(double seconds);
   void RecordCoverBuild(size_t instance, double seconds, uint64_t bytes);
   void RecordCoverShared();
   void RecordSolve(double seconds);
   void RecordAssemble(double seconds);
   void RecordFmFallback();
+  void RecordShedOverload();
+  void RecordShedDeadline();
+  void RecordStaleServed();
 
   Snapshot snapshot() const;
 
@@ -77,6 +86,7 @@ class StatsRegistry {
   };
 
   StageSlot plan_;
+  StageSlot queue_wait_;
   StageSlot cover_build_;
   StageSlot solve_;
   StageSlot assemble_;
@@ -85,6 +95,9 @@ class StatsRegistry {
   std::atomic<uint64_t> covers_built_{0};
   std::atomic<uint64_t> covers_shared_{0};
   std::atomic<uint64_t> fm_fallbacks_{0};
+  std::atomic<uint64_t> shed_overload_{0};
+  std::atomic<uint64_t> shed_deadline_{0};
+  std::atomic<uint64_t> stale_served_{0};
 };
 
 /// Per-engine execution context: the stats registry plus warn-once state.

@@ -113,6 +113,40 @@ exec::CoverPtr CoverCache::GetOrBuild(
   return cover;
 }
 
+exec::CoverPtr CoverCache::TryGet(uint64_t version,
+                                  const exec::CoverKey& cover_key) {
+  if (!enabled()) return nullptr;
+  const Key key{version, cover_key};
+  Shard& shard = ShardFor(key);
+  std::shared_future<exec::CoverPtr> future;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return nullptr;
+    // bytes != 0 marks a completed build; an in-flight entry would make
+    // future.get() block, which this probe must never do.
+    if (it->second->second.bytes == 0) return nullptr;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    future = it->second->second.future;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return future.get();  // ready: completed builds resolve immediately
+}
+
+exec::CoverPtr CoverCache::TryGetStale(uint64_t version,
+                                       const exec::CoverKey& cover_key,
+                                       uint64_t max_lag,
+                                       uint64_t* served_version) {
+  for (uint64_t lag = 0; lag <= max_lag && version >= lag + 1; ++lag) {
+    exec::CoverPtr cover = TryGet(version - lag, cover_key);
+    if (cover != nullptr) {
+      if (served_version != nullptr) *served_version = version - lag;
+      return cover;
+    }
+  }
+  return nullptr;
+}
+
 void CoverCache::Clear() {
   for (auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mu);

@@ -76,6 +76,18 @@ class CoverCache {
                             const std::function<exec::CoverPtr()>& build,
                             bool* reused);
 
+  /// Non-blocking probe: the cover for (version, key) if its build has
+  /// already completed, else null — never waits on an in-flight build and
+  /// never builds. Success counts a hit; failure counts nothing (no build
+  /// happened, so it is not a miss). The async serving path uses this to
+  /// answer without queueing behind a build.
+  exec::CoverPtr TryGet(uint64_t version, const exec::CoverKey& key);
+
+  /// TryGet over `version` and up to `max_lag` preceding versions, newest
+  /// first; sets *served_version on success. Non-blocking.
+  exec::CoverPtr TryGetStale(uint64_t version, const exec::CoverKey& key,
+                             uint64_t max_lag, uint64_t* served_version);
+
   /// Drops every entry (counters are kept). In-flight builds complete
   /// normally; their waiters are unaffected.
   void Clear();

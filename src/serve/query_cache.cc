@@ -71,6 +71,27 @@ std::optional<index::QueryResult> QueryCache::Lookup(const QueryKey& key) {
   return it->second->second;
 }
 
+std::optional<index::QueryResult> QueryCache::LookupStale(
+    const QueryKey& key, uint64_t max_lag, uint64_t* served_version) {
+  if (!enabled()) return std::nullopt;
+  QueryKey probe = key;
+  for (uint64_t lag = 0; lag <= max_lag && probe.version >= 1; ++lag) {
+    Shard& shard = ShardFor(probe);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(probe);
+      if (it != shard.map.end()) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        stale_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (served_version != nullptr) *served_version = probe.version;
+        return it->second->second;
+      }
+    }
+    --probe.version;
+  }
+  return std::nullopt;
+}
+
 void QueryCache::Insert(const QueryKey& key, const index::QueryResult& result) {
   if (!enabled()) return;
   Shard& shard = ShardFor(key);
@@ -107,6 +128,7 @@ QueryCache::Stats QueryCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.entries = entries_.load(std::memory_order_relaxed);
+  s.stale_hits = stale_hits_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -81,6 +81,11 @@ class QueryCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t entries = 0;  ///< current resident entries
+    /// Successful LookupStale probes. Deliberately not folded into
+    /// hits/misses: the fresh-path invariant hits + misses == lookups
+    /// (which the serving tests assert) must not be disturbed by
+    /// backpressure probing.
+    uint64_t stale_hits = 0;
   };
 
   explicit QueryCache(Options options);
@@ -94,6 +99,14 @@ class QueryCache {
 
   /// Looks the key up, refreshing its LRU position. Thread-safe.
   std::optional<index::QueryResult> Lookup(const QueryKey& key);
+
+  /// Backpressure probe: looks for the same plan at key.version or any of
+  /// the `max_lag` preceding versions, newest first. On success sets
+  /// *served_version to the version found. Does not touch the hit/miss
+  /// counters (see Stats::stale_hits); failures are silent. Thread-safe.
+  std::optional<index::QueryResult> LookupStale(const QueryKey& key,
+                                                uint64_t max_lag,
+                                                uint64_t* served_version);
 
   /// Inserts (or refreshes) an entry, evicting the shard's LRU tail when
   /// over budget. Thread-safe.
@@ -121,6 +134,7 @@ class QueryCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> entries_{0};
+  std::atomic<uint64_t> stale_hits_{0};
 };
 
 }  // namespace netclus::serve

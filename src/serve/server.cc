@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <exception>
 #include <utility>
 
 #include "exec/executor.h"
@@ -8,6 +9,54 @@
 #include "util/parallel.h"
 
 namespace netclus::serve {
+
+namespace {
+
+using Lane = util::StagedScheduler::Lane;
+
+size_t SlotOf(Priority priority) { return static_cast<size_t>(priority); }
+
+// Request stages are cheap (plan + cache probes + solve-on-ready-cover);
+// only cover builds are heavy. Interactive traffic gets the front lane.
+Lane LaneOf(Priority priority) {
+  return priority == Priority::kInteractive ? Lane::kFast : Lane::kNormal;
+}
+
+}  // namespace
+
+const char* StatusName(StatusCode status) {
+  switch (status) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kOverloaded: return "OVERLOADED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kShutdown: return "SHUTDOWN";
+    case StatusCode::kInvalidSpec: return "INVALID_SPEC";
+  }
+  return "UNKNOWN";
+}
+
+/// Everything one async request carries across its stages. The canonical
+/// spec is stored here (not just the plan) because cost/capacity plans
+/// borrow spans into the spec's vectors — the state outlives execution by
+/// construction, since every stage holds the shared_ptr.
+struct NetClusServer::AsyncState {
+  Request request;
+  Engine::QuerySpec canon;
+  std::promise<Response> promise;
+  std::function<void(Response)> callback;
+  util::WallTimer timer;  ///< starts at SubmitAsync
+  exec::QueryPlan plan;
+  QueryKey key;
+  bool cacheable = false;
+  bool holds_slot = false;
+  SnapshotPtr snap;  ///< the version current at admission
+  Response response;
+
+  bool DeadlineExpired() const {
+    return request.soft_deadline_seconds > 0.0 &&
+           timer.Seconds() > request.soft_deadline_seconds;
+  }
+};
 
 NetClusServer::NetClusServer(const Engine& engine, const ServerOptions& options)
     : options_(options),
@@ -25,45 +74,169 @@ NetClusServer::NetClusServer(const Engine& engine, const ServerOptions& options)
       std::make_shared<traj::TrajectoryStore>(engine.store(), network.get());
   auto sites = std::make_shared<tops::SiteSet>(engine.sites());
   auto index = std::make_shared<index::MultiIndex>(engine.index().Clone());
+  registry_.set_history_limit(options.snapshot_history);
   registry_.Publish(std::make_shared<IndexSnapshot>(
       /*version=*/1, std::move(network), std::move(store), std::move(sites),
       std::move(index)));
   pipeline_ = std::make_unique<UpdatePipeline>(&registry_, options.updates);
+  util::StagedScheduler::Options sched;
+  sched.workers = options.scheduler_workers;
+  scheduler_ = std::make_unique<util::StagedScheduler>(sched);
   NC_LOG_INFO << "NetClusServer: serving snapshot v1 ("
               << registry_.Acquire()->store().live_count()
               << " live trajectories, "
-              << registry_.Acquire()->sites().size() << " sites)";
+              << registry_.Acquire()->sites().size() << " sites, "
+              << scheduler_->workers() << " scheduler workers)";
 }
 
 NetClusServer::~NetClusServer() { Shutdown(); }
 
-ServeResult NetClusServer::Answer(const Engine::QuerySpec& spec,
-                                  const SnapshotPtr& snap) {
-  util::WallTimer timer;
-  ServeResult out;
-  out.snapshot = snap;
-  out.snapshot_version = snap->version();
+// --- async path --------------------------------------------------------------
+
+std::future<Response> NetClusServer::SubmitAsync(Request request) {
+  auto state = std::make_shared<AsyncState>();
+  state->request = std::move(request);
+  std::future<Response> future = state->promise.get_future();
+  Enqueue(std::move(state));
+  return future;
+}
+
+void NetClusServer::SubmitAsync(Request request,
+                                std::function<void(Response)> done) {
+  auto state = std::make_shared<AsyncState>();
+  state->request = std::move(request);
+  state->callback = std::move(done);
+  Enqueue(std::move(state));
+}
+
+void NetClusServer::Enqueue(std::shared_ptr<AsyncState> state) {
+  if (scheduler_->stopping()) {
+    Complete(state, StatusCode::kShutdown);
+    return;
+  }
+  const size_t slot = SlotOf(state->request.priority);
+  // Admission control: one bounded in-flight budget per priority,
+  // released at completion. fetch_add-then-check keeps the reject path
+  // lock-free; the momentary overshoot is undone before returning.
+  if (admitted_[slot].fetch_add(1, std::memory_order_acq_rel) >=
+      options_.admission_capacity[slot]) {
+    admitted_[slot].fetch_sub(1, std::memory_order_acq_rel);
+    ctx_->stats.RecordShedOverload();
+    state->response.shed = true;
+    Complete(state, StatusCode::kOverloaded);
+    return;
+  }
+  state->holds_slot = true;
+  const Lane lane = LaneOf(state->request.priority);
+  if (!scheduler_->Submit(lane, [this, state] { StageAdmit(state); })) {
+    Complete(state, StatusCode::kShutdown);
+  }
+}
+
+void NetClusServer::StageAdmit(const std::shared_ptr<AsyncState>& state) {
+  Response& r = state->response;
+  r.queue_seconds = state->timer.Seconds();
+  ctx_->stats.RecordQueueWait(r.queue_seconds);
+  if (state->DeadlineExpired()) {
+    ctx_->stats.RecordShedDeadline();
+    r.shed = true;
+    Complete(state, StatusCode::kDeadlineExceeded);
+    return;
+  }
+  state->snap = registry_.Acquire();
+  const uint64_t version = state->snap->version();
   // Plan the same canonical form the cache keys on, so permuted
   // existing-services lists (and bit-equivalent ψ spellings) are one
   // query with one bit-exact answer.
-  const Engine::QuerySpec canon = CanonicalizeSpec(spec);
-  const exec::Planner planner(ctx_.get());
-  const exec::QueryPlan plan = planner.Plan(
-      exec::RequestFromConfig(exec::QueryVariant::kTops, canon.psi,
-                              canon.ToConfig(options_.query_threads)),
-      snap->index(), /*batch_size=*/1);
-  QueryKey key;
-  const bool result_cacheable = cache_.enabled() && plan.cacheable;
-  if (result_cacheable) {
-    key.version = snap->version();
-    key.plan = plan.key;
+  state->canon = CanonicalizeSpec(state->request.spec);
+  try {
+    const exec::Planner planner(ctx_.get());
+    state->plan =
+        planner.Plan(state->canon.ToRequest(options_.query_threads),
+                     state->snap->index(), /*batch_size=*/1);
+    exec::Executor(&state->snap->index(), &state->snap->store(),
+                   &state->snap->sites(), ctx_.get())
+        .ValidatePlan(state->plan);
+  } catch (const std::exception& e) {
+    NC_LOG_WARNING << "serve: invalid spec: " << e.what();
+    Complete(state, StatusCode::kInvalidSpec);
+    return;
   }
-  std::optional<index::QueryResult> cached =
-      result_cacheable ? cache_.Lookup(key) : std::nullopt;
-  if (cached.has_value()) {
-    out.result = std::move(*cached);
-    out.cache_hit = true;
-  } else {
+  state->cacheable = cache_.enabled() && state->plan.cacheable;
+  if (state->cacheable) {
+    state->key.version = version;
+    state->key.plan = state->plan.key;
+    if (std::optional<index::QueryResult> cached = cache_.Lookup(state->key)) {
+      r.result = std::move(*cached);
+      r.cache_hit = true;
+      r.snapshot = state->snap;
+      r.snapshot_version = version;
+      Complete(state, StatusCode::kOk);
+      return;
+    }
+  }
+  const exec::CoverKey cover_key = state->plan.cover_key();
+  if (cover_cache_.enabled()) {
+    // A cover already built for this version means no heavy stage: solve
+    // right here on the fast lane. This is what keeps cache-warm queries
+    // from ever waiting behind queued builds.
+    if (exec::CoverPtr cover = cover_cache_.TryGet(version, cover_key)) {
+      ctx_->stats.RecordCoverShared();
+      FinishOnCover(state, state->snap, cover, /*cover_reused=*/true,
+                    /*stale=*/false);
+      return;
+    }
+    // Backpressure: a fresh answer needs a build. If builds are backed up
+    // and the policy tolerates lag, answer from a previous version — the
+    // shed work is the *build*, never a cheap hit, and the response is
+    // explicitly flagged stale + shed with the version it came from.
+    const uint64_t max_lag = state->request.staleness.max_version_lag;
+    if (max_lag > 0 &&
+        scheduler_->QueueDepth(Lane::kHeavy) >= options_.shed_builds_over) {
+      if (state->cacheable) {
+        uint64_t served_version = 0;
+        if (std::optional<index::QueryResult> staler =
+                cache_.LookupStale(state->key, max_lag, &served_version)) {
+          r.result = std::move(*staler);
+          r.cache_hit = true;
+          r.shed = true;
+          r.stale = served_version != version;
+          r.snapshot_version = served_version;
+          r.snapshot = registry_.AcquireVersion(served_version);
+          if (r.stale) ctx_->stats.RecordStaleServed();
+          Complete(state, StatusCode::kOk);
+          return;
+        }
+      }
+      uint64_t cover_version = 0;
+      if (exec::CoverPtr cover = cover_cache_.TryGetStale(
+              version, cover_key, max_lag, &cover_version)) {
+        if (SnapshotPtr old_snap = registry_.AcquireVersion(cover_version)) {
+          ctx_->stats.RecordCoverShared();
+          r.shed = true;
+          FinishOnCover(state, old_snap, cover, /*cover_reused=*/true,
+                        /*stale=*/cover_version != version);
+          return;
+        }
+      }
+      // Nothing stale to serve — fall through and pay for the build.
+    }
+  }
+  if (!scheduler_->Submit(Lane::kHeavy,
+                          [this, state] { StageBuild(state); })) {
+    Complete(state, StatusCode::kShutdown);
+  }
+}
+
+void NetClusServer::StageBuild(const std::shared_ptr<AsyncState>& state) {
+  if (state->DeadlineExpired()) {
+    ctx_->stats.RecordShedDeadline();
+    state->response.shed = true;
+    Complete(state, StatusCode::kDeadlineExceeded);
+    return;
+  }
+  const SnapshotPtr& snap = state->snap;
+  try {
     exec::CoverHooks hooks;
     if (cover_cache_.enabled()) {
       const uint64_t version = snap->version();
@@ -76,8 +249,107 @@ ServeResult NetClusServer::Answer(const Engine::QuerySpec& spec,
     }
     const exec::Executor executor(&snap->index(), &snap->store(),
                                   &snap->sites(), ctx_.get(), hooks);
-    out.result = executor.Execute(plan);
-    if (result_cacheable) cache_.Insert(key, out.result);
+    bool reused = false;
+    const exec::CoverPtr cover =
+        executor.ObtainCover(state->plan, state->plan.threads, &reused);
+    FinishOnCover(state, snap, cover, reused, /*stale=*/false);
+  } catch (const std::exception& e) {
+    // The serving boundary returns statuses, not exceptions; a failed
+    // build is indistinguishable from a plan the executor refuses.
+    NC_LOG_ERROR << "serve: cover build failed: " << e.what();
+    Complete(state, StatusCode::kInvalidSpec);
+  }
+}
+
+void NetClusServer::FinishOnCover(const std::shared_ptr<AsyncState>& state,
+                                  const SnapshotPtr& snap,
+                                  const exec::CoverPtr& cover,
+                                  bool cover_reused, bool stale) {
+  Response& r = state->response;
+  const exec::Executor executor(&snap->index(), &snap->store(), &snap->sites(),
+                                ctx_.get());
+  r.result = executor.ExecuteOnCover(state->plan, cover, cover_reused);
+  r.snapshot = snap;
+  r.snapshot_version = snap->version();
+  r.stale = stale;
+  if (stale) ctx_->stats.RecordStaleServed();
+  if (state->cacheable) {
+    QueryKey key = state->key;
+    key.version = snap->version();  // a stale answer caches at its version
+    cache_.Insert(key, r.result);
+  }
+  Complete(state, StatusCode::kOk);
+}
+
+void NetClusServer::Complete(const std::shared_ptr<AsyncState>& state,
+                             StatusCode status) {
+  Response& r = state->response;
+  r.status = status;
+  r.latency_seconds = state->timer.Seconds();
+  if (state->holds_slot) {
+    admitted_[SlotOf(state->request.priority)].fetch_sub(
+        1, std::memory_order_acq_rel);
+    state->holds_slot = false;
+  }
+  if (status == StatusCode::kOk) {
+    latency_.Record(r.latency_seconds);
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (state->callback) {
+    state->callback(std::move(r));
+  } else {
+    state->promise.set_value(std::move(r));
+  }
+}
+
+// --- blocking v1 shims --------------------------------------------------------
+
+ServeResult NetClusServer::AnswerInline(const Engine::QuerySpec& spec,
+                                        const SnapshotPtr& snap) {
+  util::WallTimer timer;
+  ServeResult out;
+  out.snapshot = snap;
+  out.snapshot_version = snap->version();
+  const Engine::QuerySpec canon = CanonicalizeSpec(spec);
+  try {
+    const exec::Planner planner(ctx_.get());
+    const exec::QueryPlan plan =
+        planner.Plan(canon.ToRequest(options_.query_threads), snap->index(),
+                     /*batch_size=*/1);
+    QueryKey key;
+    const bool result_cacheable = cache_.enabled() && plan.cacheable;
+    if (result_cacheable) {
+      key.version = snap->version();
+      key.plan = plan.key;
+    }
+    std::optional<index::QueryResult> cached =
+        result_cacheable ? cache_.Lookup(key) : std::nullopt;
+    if (cached.has_value()) {
+      out.result = std::move(*cached);
+      out.cache_hit = true;
+    } else {
+      exec::CoverHooks hooks;
+      if (cover_cache_.enabled()) {
+        const uint64_t version = snap->version();
+        hooks.acquire = [this, version](
+                            const exec::CoverKey& cover_key,
+                            const std::function<exec::CoverPtr()>& build,
+                            bool* reused) {
+          return cover_cache_.GetOrBuild(version, cover_key, build, reused);
+        };
+      }
+      const exec::Executor executor(&snap->index(), &snap->store(),
+                                    &snap->sites(), ctx_.get(), hooks);
+      out.result = executor.Execute(plan);
+      if (result_cacheable) cache_.Insert(key, out.result);
+    }
+  } catch (const std::exception& e) {
+    NC_LOG_WARNING << "serve: invalid spec: " << e.what();
+    out.snapshot = nullptr;
+    out.snapshot_version = 0;
+    out.status = StatusCode::kInvalidSpec;
+    out.latency_seconds = timer.Seconds();
+    return out;
   }
   out.latency_seconds = timer.Seconds();
   latency_.Record(out.latency_seconds);
@@ -86,18 +358,30 @@ ServeResult NetClusServer::Answer(const Engine::QuerySpec& spec,
 }
 
 ServeResult NetClusServer::Submit(const Engine::QuerySpec& spec) {
-  return Answer(spec, registry_.Acquire());
+  if (!scheduler_->stopping()) {
+    Request request;
+    request.spec = spec;
+    ServeResult r = SubmitAsync(std::move(request)).get();
+    // A shutdown racing this call falls through to the inline path, so
+    // blocking reads keep their v1 guarantee: they work for the life of
+    // the server object.
+    if (r.status != StatusCode::kShutdown) return r;
+  }
+  return AnswerInline(spec, registry_.Acquire());
 }
 
 std::vector<ServeResult> NetClusServer::SubmitBatch(
     std::span<const Engine::QuerySpec> specs) {
   // One snapshot for the whole batch: every answer reflects the same
-  // version even if the pipeline publishes mid-batch.
+  // version even if the pipeline publishes mid-batch. The caller already
+  // batched, so this path bypasses admission and runs inline.
   const SnapshotPtr snap = registry_.Acquire();
   return util::ParallelMap<ServeResult>(
       options_.batch_threads, specs.size(),
-      [&](size_t i) { return Answer(specs[i], snap); }, /*grain=*/1);
+      [&](size_t i) { return AnswerInline(specs[i], snap); }, /*grain=*/1);
 }
+
+// --- writes / lifecycle -------------------------------------------------------
 
 UpdateTicket NetClusServer::Mutate(UpdateOp op) {
   return pipeline_->Enqueue(std::move(op));
@@ -118,7 +402,12 @@ UpdateTicket NetClusServer::MutateAddSite(graph::NodeId node) {
 
 void NetClusServer::Flush() { pipeline_->Flush(); }
 
-void NetClusServer::Shutdown() { pipeline_->Shutdown(); }
+void NetClusServer::Shutdown() {
+  // Drain the async readers first (their stages may still acquire
+  // snapshots), then the writer.
+  scheduler_->Shutdown();
+  pipeline_->Shutdown();
+}
 
 ServerStats NetClusServer::stats() const {
   ServerStats s;
@@ -130,11 +419,14 @@ ServerStats NetClusServer::stats() const {
   s.latency_p50_ms = latency_.PercentileSeconds(0.50) * 1e3;
   s.latency_p95_ms = latency_.PercentileSeconds(0.95) * 1e3;
   s.latency_p99_ms = latency_.PercentileSeconds(0.99) * 1e3;
+  s.latency_p999_ms = latency_.PercentileSeconds(0.999) * 1e3;
   s.latency_mean_ms = latency_.MeanSeconds() * 1e3;
+  s.latency_overflow = latency_.overflow_count();
   s.cache = cache_.stats();
   s.cover_cache = cover_cache_.stats();
   s.exec = ctx_->stats.snapshot();
   s.updates = pipeline_->stats();
+  s.scheduler = scheduler_->stats();
   s.snapshot_version = registry_.current_version();
   return s;
 }

@@ -1,28 +1,51 @@
 // NetClusServer — the long-lived concurrent serving facade over Engine.
 //
 // Composition of the serve/ pieces:
-//   SnapshotRegistry  — current immutable (store, sites, index) version;
+//   SnapshotRegistry  — current immutable (store, sites, index) version,
+//                       plus a bounded history window for stale serving;
 //   UpdatePipeline    — single writer applying Sec. 6 incremental updates
 //                       in batches, publishing a new snapshot per batch;
 //   QueryCache        — sharded LRU over (canonical query, version);
-//   LatencyHistogram  — per-query latency percentiles (p50/p95/p99).
+//   CoverCache        — snapshot-versioned cover sharing across queries;
+//   StagedScheduler   — work-stealing pool running the async request
+//                       stages (admit/solve on the fast lanes, cover
+//                       builds on the heavy lane);
+//   LatencyHistogram  — per-query latency percentiles (p50..p999).
 //
-// Thread model: any number of client threads may call Submit /
-// SubmitBatch / Mutate concurrently. A query acquires one snapshot,
-// answers on it (possibly via the cache), and records its latency;
-// results are bit-identical to a serial replay of the same spec on the
-// same snapshot version because the query engine is deterministic.
-// Mutations are asynchronous: Mutate returns a ticket, Flush() (or
-// UpdatePipeline::WaitFor) barriers on publication.
+// Serving API v2 is asynchronous: SubmitAsync(Request) enqueues onto a
+// bounded per-priority admission queue and returns a future (or invokes a
+// completion callback); the request's stages then run as stealable
+// scheduler tasks. Admission control rejects at enqueue (kOverloaded)
+// when the priority's queue is full. Backpressure sheds cover *builds*
+// first: when the heavy lane is backed up and the request's staleness
+// policy permits, the server answers from a previous snapshot version via
+// the result/cover caches (flagged `stale` + `shed`) instead of queueing
+// a fresh build; cheap cache hits are never shed.
 //
-// Shutdown() is a graceful drain: new mutations are rejected, queued ones
-// are applied and published, and reads keep working against the final
-// snapshot (an in-process facade has no sockets to close).
+// The blocking Submit/SubmitBatch surface remains as thin shims (v1
+// compatibility): Submit is SubmitAsync(...).get() with a synchronous
+// inline fallback once the scheduler has shut down, and SubmitBatch
+// answers inline over one pinned snapshot (a consistent view, bypassing
+// admission — the caller already batched).
+//
+// Determinism: every kOk fresh response is bit-identical to a serial
+// replay of the canonical spec on the snapshot version that served it,
+// regardless of which worker ran which stage; stale responses are
+// bit-identical to the same replay at their (older) served version and
+// are always flagged — never silently wrong.
+//
+// Shutdown() is a graceful drain: in-flight async requests complete, new
+// SubmitAsync calls complete with kShutdown, new mutations are rejected,
+// queued mutations are applied and published, and blocking reads keep
+// working inline against the final snapshot.
 #ifndef NETCLUS_SERVE_SERVER_H_
 #define NETCLUS_SERVE_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <memory>
 #include <span>
 #include <vector>
@@ -34,9 +57,79 @@
 #include "serve/snapshot.h"
 #include "serve/update_pipeline.h"
 #include "util/histogram.h"
+#include "util/scheduler.h"
 #include "util/timer.h"
 
 namespace netclus::serve {
+
+/// How a request ended. No exception escapes the serving boundary: spec
+/// validation failures arrive as kInvalidSpec, overload as kOverloaded.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kOverloaded = 1,        ///< rejected at admission: priority queue full
+  kDeadlineExceeded = 2,  ///< soft deadline passed before the answer
+  kShutdown = 3,          ///< server shut down before/while processing
+  kInvalidSpec = 4,       ///< malformed spec (site-indexed payload sizes)
+};
+
+const char* StatusName(StatusCode status);
+
+/// Admission class. Each priority has its own bounded queue; the two
+/// interactive classes map to the scheduler's faster lanes.
+enum class Priority : uint8_t {
+  kInteractive = 0,  ///< latency-sensitive, fast lane
+  kNormal = 1,       ///< default
+  kBestEffort = 2,   ///< first to feel backpressure
+};
+inline constexpr size_t kNumPriorities = 3;
+
+/// How stale an answer the caller tolerates, in snapshot versions.
+struct StalenessPolicy {
+  /// 0 = only the version current at admission (fresh). n = any of the n
+  /// preceding versions is acceptable under backpressure.
+  uint64_t max_version_lag = 0;
+
+  static StalenessPolicy Fresh() { return {}; }
+  static StalenessPolicy AllowStaleVersion(uint64_t lag) { return {lag}; }
+};
+
+/// One asynchronous serving request.
+struct Request {
+  Engine::QuerySpec spec;
+  Priority priority = Priority::kNormal;
+  /// Soft deadline in seconds from SubmitAsync; 0 = none. Checked at
+  /// stage boundaries (not preemptive): an expired request completes
+  /// with kDeadlineExceeded instead of starting its next stage.
+  double soft_deadline_seconds = 0.0;
+  StalenessPolicy staleness;
+};
+
+/// One answered (or refused) query, with its serving metadata. This is
+/// both the async Response and the blocking-shim result type.
+struct ServeResult {
+  /// Meaningful only when status == kOk.
+  index::QueryResult result;
+  /// The snapshot the query was answered on — retained so callers (and
+  /// tests) can replay the query serially against the exact same
+  /// version. May be null for a stale answer whose version aged out of
+  /// the registry history (the version number still identifies it), and
+  /// is null for non-kOk responses.
+  SnapshotPtr snapshot;
+  uint64_t snapshot_version = 0;
+  StatusCode status = StatusCode::kOk;
+  bool cache_hit = false;
+  /// Answered from an older snapshot than the one current at admission
+  /// (only ever true when the request's staleness policy permitted it).
+  bool stale = false;
+  /// The backpressure/admission path refused to do the full fresh work
+  /// (kOverloaded / kDeadlineExceeded, or a stale kOk under load).
+  bool shed = false;
+  /// Admission-to-first-stage wait (async path; 0 for inline shims).
+  double queue_seconds = 0.0;
+  double latency_seconds = 0.0;
+};
+
+using Response = ServeResult;
 
 struct ServerOptions {
   /// Worker threads per individual query (QueryConfig::threads; 0 =
@@ -52,32 +145,42 @@ struct ServerOptions {
   /// or ES differ. NETCLUS_COVER_CACHE=0 disables it.
   CoverCache::Options cover_cache;
   UpdatePipeline::Options updates;
-};
-
-/// One answered query, with its serving metadata.
-struct ServeResult {
-  index::QueryResult result;
-  /// The snapshot the query was answered on — retained so callers (and
-  /// tests) can replay the query serially against the exact same version.
-  SnapshotPtr snapshot;
-  uint64_t snapshot_version = 0;
-  bool cache_hit = false;
-  double latency_seconds = 0.0;
+  /// Scheduler pool size (0 = NETCLUS_SCHED_WORKERS, else
+  /// min(hardware_concurrency, 8), at least 2).
+  uint32_t scheduler_workers = 0;
+  /// Bounded admission queue per priority (in-flight requests admitted
+  /// and not yet completed); a full queue rejects with kOverloaded.
+  /// 0 rejects everything of that priority — useful in tests.
+  std::array<size_t, kNumPriorities> admission_capacity = {4096, 4096, 4096};
+  /// Backpressure threshold: when the heavy lane has at least this many
+  /// queued cover builds, requests whose staleness policy permits are
+  /// answered stale instead of enqueueing another build. 0 = always
+  /// prefer a stale answer over a new build when the policy allows it.
+  size_t shed_builds_over = 8;
+  /// Superseded snapshot versions kept acquirable for stale serving
+  /// (SnapshotRegistry::set_history_limit).
+  size_t snapshot_history = 4;
 };
 
 struct ServerStats {
-  uint64_t queries_served = 0;
-  double qps = 0.0;  ///< queries_served / uptime
+  uint64_t queries_served = 0;  ///< kOk completions (fresh or stale)
+  double qps = 0.0;             ///< queries_served / uptime
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
   double latency_p99_ms = 0.0;
+  double latency_p999_ms = 0.0;
   double latency_mean_ms = 0.0;
+  /// Samples beyond the histogram range (> 100 s); nonzero means the
+  /// tail percentiles above are range-clamped.
+  uint64_t latency_overflow = 0;
   QueryCache::Stats cache;
   CoverCache::Stats cover_cache;
-  /// Planner/executor stage latencies (EWMA) and per-instance cover-build
-  /// stats, from this server's exec::StatsRegistry.
+  /// Planner/executor stage latencies (EWMA), queue waits, per-instance
+  /// cover-build stats, and the shed/stale counters, from this server's
+  /// exec::StatsRegistry.
   exec::StatsRegistry::Snapshot exec;
   UpdatePipeline::Stats updates;
+  util::StagedScheduler::Stats scheduler;
   uint64_t snapshot_version = 0;
   double uptime_seconds = 0.0;
 };
@@ -96,13 +199,28 @@ class NetClusServer {
   NetClusServer(const NetClusServer&) = delete;
   NetClusServer& operator=(const NetClusServer&) = delete;
 
-  // --- reads ---------------------------------------------------------------
+  // --- reads (async v2) ----------------------------------------------------
 
-  /// Answers one TOPS query on the current snapshot. Thread-safe.
+  /// Enqueues one request; the returned future resolves when its stages
+  /// complete (or it is refused — the Response::status tells). Thread-
+  /// safe; never throws for spec errors (kInvalidSpec) and never blocks
+  /// beyond the admission check.
+  std::future<Response> SubmitAsync(Request request);
+
+  /// Callback flavor: `done` is invoked exactly once, from a scheduler
+  /// worker (or inline when refused at admission). The callback must not
+  /// block for long — it runs on the serving pool.
+  void SubmitAsync(Request request, std::function<void(Response)> done);
+
+  // --- reads (blocking v1 shims) -------------------------------------------
+
+  /// Answers one TOPS query on the current snapshot: SubmitAsync + get,
+  /// with a synchronous inline fallback once the scheduler has shut
+  /// down, so reads outlive Shutdown() exactly as in v1. Thread-safe.
   ServeResult Submit(const Engine::QuerySpec& spec);
 
   /// Answers a batch concurrently over ONE snapshot (a consistent view for
-  /// the whole batch), in input order. Thread-safe.
+  /// the whole batch), in input order, bypassing admission. Thread-safe.
   std::vector<ServeResult> SubmitBatch(std::span<const Engine::QuerySpec> specs);
 
   // --- writes --------------------------------------------------------------
@@ -120,8 +238,9 @@ class NetClusServer {
 
   // --- lifecycle / introspection -------------------------------------------
 
-  /// Graceful drain: rejects new mutations, applies queued ones, joins the
-  /// writer. Reads keep working. Idempotent.
+  /// Graceful drain: in-flight async requests complete, the scheduler
+  /// joins, new mutations are rejected, queued ones are applied and
+  /// published. Blocking reads keep working (inline). Idempotent.
   void Shutdown();
 
   /// The current snapshot (never null).
@@ -130,7 +249,32 @@ class NetClusServer {
   ServerStats stats() const;
 
  private:
-  ServeResult Answer(const Engine::QuerySpec& spec, const SnapshotPtr& snap);
+  struct AsyncState;
+
+  /// Admission control + first enqueue; completes the state immediately
+  /// on refusal.
+  void Enqueue(std::shared_ptr<AsyncState> state);
+  /// Stage 1 (fast/normal lane): queue-wait accounting, deadline check,
+  /// canonicalize + plan + validate, result-cache lookup, ready-cover
+  /// solve, backpressure stale-serve, or hand-off to StageBuild.
+  void StageAdmit(const std::shared_ptr<AsyncState>& state);
+  /// Stage 2 (heavy lane): cover build (rendezvoused through the cover
+  /// cache), then solve + assemble.
+  void StageBuild(const std::shared_ptr<AsyncState>& state);
+  /// Solve + assemble on a ready cover against `snap`, cache the result,
+  /// complete kOk.
+  void FinishOnCover(const std::shared_ptr<AsyncState>& state,
+                     const SnapshotPtr& snap, const exec::CoverPtr& cover,
+                     bool cover_reused, bool stale);
+  /// Fulfills promise/callback, releases the admission slot, and records
+  /// kOk completions into the latency histogram.
+  void Complete(const std::shared_ptr<AsyncState>& state, StatusCode status);
+
+  /// The v1 synchronous path (SubmitBatch and post-shutdown Submit):
+  /// plan, cache, execute inline on `snap`. Maps validation throws to
+  /// kInvalidSpec.
+  ServeResult AnswerInline(const Engine::QuerySpec& spec,
+                           const SnapshotPtr& snap);
 
   ServerOptions options_;
   SnapshotRegistry registry_;
@@ -140,6 +284,10 @@ class NetClusServer {
   /// shared by every query's planner/executor run.
   std::shared_ptr<exec::ExecContext> ctx_;
   std::unique_ptr<UpdatePipeline> pipeline_;
+  std::unique_ptr<util::StagedScheduler> scheduler_;
+  /// In-flight admitted requests per priority, against
+  /// ServerOptions::admission_capacity.
+  std::array<std::atomic<size_t>, kNumPriorities> admitted_{};
   util::LatencyHistogram latency_;
   std::atomic<uint64_t> queries_served_{0};
   util::WallTimer uptime_;

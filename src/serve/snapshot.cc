@@ -33,6 +33,15 @@ SnapshotPtr SnapshotRegistry::Acquire() const {
   return current_;
 }
 
+SnapshotPtr SnapshotRegistry::AcquireVersion(uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ != nullptr && current_->version() == version) return current_;
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if ((*it)->version() == version) return *it;
+  }
+  return nullptr;
+}
+
 uint64_t SnapshotRegistry::current_version() const {
   std::lock_guard<std::mutex> lock(mu_);
   return current_ == nullptr ? 0 : current_->version();
@@ -44,8 +53,16 @@ void SnapshotRegistry::Publish(SnapshotPtr next) {
   if (current_ != nullptr) {
     NC_CHECK_GT(next->version(), current_->version())
         << "snapshot versions must be monotonic";
+    history_.push_back(std::move(current_));
+    while (history_.size() > history_limit_) history_.pop_front();
   }
   current_ = std::move(next);
+}
+
+void SnapshotRegistry::set_history_limit(size_t limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  history_limit_ = limit;
+  while (history_.size() > history_limit_) history_.pop_front();
 }
 
 }  // namespace netclus::serve

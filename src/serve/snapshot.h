@@ -21,6 +21,7 @@
 #define NETCLUS_SERVE_SNAPSHOT_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 
@@ -98,6 +99,11 @@ class SnapshotRegistry {
   /// The current snapshot (null before the first Publish).
   SnapshotPtr Acquire() const;
 
+  /// A specific retained version, or null when it is not the current one
+  /// and has aged out of the history window. Stale-serving uses this to
+  /// tag responses with the exact version they were answered from.
+  SnapshotPtr AcquireVersion(uint64_t version) const;
+
   /// Version of the current snapshot (0 before the first Publish).
   uint64_t current_version() const;
 
@@ -105,9 +111,19 @@ class SnapshotRegistry {
   /// and its version must exceed the current one.
   void Publish(SnapshotPtr next);
 
+  /// Caps how many superseded versions AcquireVersion can still find
+  /// (the current snapshot is always retained). Default 4; 0 disables
+  /// history. Takes effect on the next Publish.
+  void set_history_limit(size_t limit);
+
  private:
   mutable std::mutex mu_;
   SnapshotPtr current_;
+  /// Most-recent-last superseded versions, bounded by history_limit_.
+  /// Retention here is on top of reader refcounts: a version in the
+  /// history stays acquirable even with no in-flight reader.
+  std::deque<SnapshotPtr> history_;
+  size_t history_limit_ = 4;
 };
 
 }  // namespace netclus::serve

@@ -27,6 +27,7 @@ LatencyHistogram::LatencyHistogram() { Reset(); }
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
+  overflow_.store(0, std::memory_order_relaxed);
   total_ns_.store(0, std::memory_order_relaxed);
 }
 
@@ -38,7 +39,13 @@ size_t LatencyHistogram::BucketFor(double seconds) const {
 }
 
 void LatencyHistogram::Record(double seconds) {
-  buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+  if (seconds > kMaxSeconds) {
+    // Past the last bucket edge: tracked separately instead of clamped so
+    // the tail percentiles stay honest (see PercentileSeconds).
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   // Saturate before the cast: a double above uint64 range (or NaN, which
   // fails the > 0 test) must clamp, not hit an unrepresentable-value cast
@@ -63,11 +70,12 @@ double LatencyHistogram::PercentileSeconds(double p) const {
   // of the bucket increments under concurrent Record() calls. The rank
   // can then never exceed what the walk below can see.
   std::array<uint64_t, kBuckets> counts;
-  uint64_t total = 0;
+  uint64_t in_range = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
+    in_range += counts[i];
   }
+  const uint64_t total = in_range + overflow_.load(std::memory_order_relaxed);
   if (total == 0) return 0.0;
   // Clamp negated so NaN lands at 0 instead of flowing into the uint64
   // cast below (unrepresentable-value casts are UB).
@@ -85,7 +93,9 @@ double LatencyHistogram::PercentileSeconds(double p) const {
              std::exp((static_cast<double>(i) + 0.5) * LogGrowth());
     }
   }
-  return kMaxSeconds;  // unreachable: rank <= total
+  // Rank lands among the overflow samples (> kMaxSeconds); report the
+  // range ceiling rather than some in-range bucket midpoint.
+  return kMaxSeconds;
 }
 
 }  // namespace netclus::util

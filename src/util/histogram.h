@@ -32,8 +32,16 @@ class LatencyHistogram {
   /// Records one sample. Lock-free; callable from any thread.
   void Record(double seconds);
 
-  /// Number of samples recorded.
+  /// Number of samples recorded (including overflow samples).
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Samples that exceeded kMaxSeconds. These sit past every bucket: a
+  /// percentile whose rank lands among them reports kMaxSeconds, so p999
+  /// cannot be silently dragged *down* by a clamp into the last bucket's
+  /// midpoint.
+  uint64_t overflow_count() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
 
   /// Mean of all samples, seconds (0 when empty).
   double MeanSeconds() const;
@@ -49,6 +57,7 @@ class LatencyHistogram {
 
   std::array<std::atomic<uint64_t>, kBuckets> buckets_;
   std::atomic<uint64_t> count_;
+  std::atomic<uint64_t> overflow_;
   std::atomic<uint64_t> total_ns_;
 };
 

@@ -1,0 +1,203 @@
+#include "util/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace netclus::util {
+
+namespace {
+
+// Identifies the owning scheduler (and worker slot) of the calling
+// thread, so Submit can route continuations to the caller's own deque.
+struct WorkerIdentity {
+  const StagedScheduler* scheduler = nullptr;
+  size_t index = 0;
+};
+thread_local WorkerIdentity tl_worker;
+
+uint32_t ResolveWorkers(uint32_t workers) {
+  if (workers == 0) {
+    const int64_t env = GetEnvInt("NETCLUS_SCHED_WORKERS", 0);
+    if (env > 0) {
+      workers = static_cast<uint32_t>(env);
+    } else {
+      const unsigned hw = std::thread::hardware_concurrency();
+      workers = std::max(2u, std::min(hw == 0 ? 2u : hw, 8u));
+    }
+  }
+  return std::clamp(workers, 1u, kMaxThreads);
+}
+
+}  // namespace
+
+StagedScheduler::StagedScheduler(const Options& options) {
+  const uint32_t n = ResolveWorkers(options.workers);
+  worker_state_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    worker_state_.push_back(std::make_unique<WorkerState>());
+  }
+  workers_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+StagedScheduler::~StagedScheduler() { Shutdown(); }
+
+bool StagedScheduler::OnWorker() const {
+  return tl_worker.scheduler == this;
+}
+
+bool StagedScheduler::Submit(Lane lane, std::function<void()> task) {
+  const bool on_worker = OnWorker();
+  if (on_worker && lane == Lane::kFast) {
+    // A fast continuation from a running stage: LIFO onto the worker's
+    // own deque for locality. Allowed even mid-drain — the drain
+    // guarantee is precisely that running chains may keep extending
+    // themselves.
+    WorkerState& ws = *worker_state_[tl_worker.index];
+    {
+      const std::lock_guard<std::mutex> lock(ws.mu);
+      ws.deque.push_back(std::move(task));
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++outstanding_;
+      ++work_epoch_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+  // Normal/heavy work always goes through the lane injectors — even from
+  // a worker. Otherwise a heavy continuation lands on the local deque,
+  // where it is claimed LIFO ahead of queued fast work (inverting the
+  // lane priority) and is invisible to QueueDepth, which the serving
+  // layer's backpressure reads to decide when to shed cover builds.
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    // Only *external* submits are refused once stopping; worker-side
+    // submits stay allowed during the drain.
+    if (!on_worker && stop_.load(std::memory_order_relaxed)) return false;
+    injector_[static_cast<size_t>(lane)].push_back(std::move(task));
+    ++outstanding_;
+    ++work_epoch_;
+  }
+  injected_[static_cast<size_t>(lane)].fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_one();
+  return true;
+}
+
+size_t StagedScheduler::QueueDepth(Lane lane) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return injector_[static_cast<size_t>(lane)].size();
+}
+
+bool StagedScheduler::TryClaim(size_t self, std::function<void()>* task,
+                               bool* stolen) {
+  *stolen = false;
+  {
+    WorkerState& ws = *worker_state_[self];
+    const std::lock_guard<std::mutex> lock(ws.mu);
+    if (!ws.deque.empty()) {
+      *task = std::move(ws.deque.back());
+      ws.deque.pop_back();
+      return true;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    // Lane order is the priority rule: fast work is claimed before any
+    // queued heavy work, every time a worker frees up.
+    for (auto& lane : injector_) {
+      if (!lane.empty()) {
+        *task = std::move(lane.front());
+        lane.pop_front();
+        return true;
+      }
+    }
+  }
+  // Steal the *oldest* task of a sibling (FIFO end): the victim keeps
+  // its cache-warm recent continuations, the thief takes the stalest.
+  for (size_t off = 1; off < worker_state_.size(); ++off) {
+    WorkerState& victim = *worker_state_[(self + off) % worker_state_.size()];
+    const std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.deque.empty()) {
+      *task = std::move(victim.deque.front());
+      victim.deque.pop_front();
+      *stolen = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void StagedScheduler::WorkerLoop(size_t self) {
+  tl_worker = WorkerIdentity{this, self};
+  for (;;) {
+    uint64_t epoch;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      epoch = work_epoch_;
+    }
+    std::function<void()> task;
+    bool stolen = false;
+    if (TryClaim(self, &task, &stolen)) {
+      if (stolen) stolen_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        task();
+      } catch (const std::exception& e) {
+        // A stage must complete its own request; an escaped exception is
+        // a bug, but killing the worker (std::terminate) would take the
+        // whole service with it.
+        NC_LOG_ERROR << "StagedScheduler: task threw: " << e.what();
+      } catch (...) {
+        NC_LOG_ERROR << "StagedScheduler: task threw a non-std exception";
+      }
+      task = nullptr;  // drop captured state before signaling completion
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        --outstanding_;
+        if (outstanding_ == 0 && stop_.load(std::memory_order_relaxed)) {
+          cv_.notify_all();
+        }
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return work_epoch_ != epoch ||
+             (stop_.load(std::memory_order_relaxed) && outstanding_ == 0);
+    });
+    if (stop_.load(std::memory_order_relaxed) && outstanding_ == 0) return;
+  }
+}
+
+void StagedScheduler::Shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_release);
+    ++work_epoch_;  // wake sleepers so they observe the stop
+  }
+  cv_.notify_all();
+  // Joining is single-owner territory (the server's Shutdown/destructor);
+  // joinable() keeps the second call a no-op.
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+StagedScheduler::Stats StagedScheduler::stats() const {
+  Stats s;
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.stolen = stolen_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kLanes; ++i) {
+    s.injected[i] = injected_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace netclus::util

@@ -1,0 +1,119 @@
+// Work-stealing staged scheduler for the async serving path.
+//
+// Three priority lanes feed a fixed pool of workers:
+//   kFast   — interactive request stages and anything cache-hit cheap;
+//   kNormal — standard request admission stages;
+//   kHeavy  — expensive stages (cover builds) that must never delay the
+//             two lanes above.
+// Every worker owns a private deque. Tasks submitted from a worker thread
+// (stage continuations) push onto that worker's deque — LIFO, for
+// locality; tasks submitted from outside land in the per-lane injector
+// queues. An idle worker drains its own deque first, then the injectors
+// in lane order (fast before heavy — this is what keeps cheap cache-hit
+// queries from waiting behind cover builds), and finally steals the
+// oldest task from another worker's deque. Stealing keeps the pool busy
+// when one worker's continuation chain fans out faster than the others.
+//
+// Scheduling order is not deterministic and does not need to be: the
+// serving stages it runs are deterministic functions of (snapshot, plan),
+// so *results* never depend on which worker ran what (test_serve pins
+// this bit-identically). Shutdown() drains: every task already submitted
+// — and every task those tasks transitively submit — runs before the
+// workers join, so in-flight request chains always complete.
+#ifndef NETCLUS_UTIL_SCHEDULER_H_
+#define NETCLUS_UTIL_SCHEDULER_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netclus::util {
+
+class StagedScheduler {
+ public:
+  enum class Lane : uint8_t { kFast = 0, kNormal = 1, kHeavy = 2 };
+  static constexpr size_t kLanes = 3;
+
+  struct Options {
+    /// Worker threads. 0 resolves NETCLUS_SCHED_WORKERS, else
+    /// min(hardware_concurrency, 8), at least 2 — the serving pool wants
+    /// real concurrency even when NETCLUS_THREADS pins queries serial.
+    uint32_t workers = 0;
+  };
+
+  struct Stats {
+    uint64_t executed = 0;  ///< tasks run to completion
+    uint64_t stolen = 0;    ///< tasks taken from another worker's deque
+    std::array<uint64_t, kLanes> injected{};  ///< external submits per lane
+  };
+
+  explicit StagedScheduler(const Options& options);
+  ~StagedScheduler();
+
+  StagedScheduler(const StagedScheduler&) = delete;
+  StagedScheduler& operator=(const StagedScheduler&) = delete;
+
+  /// Enqueues a task. Returns false (without running it) once Shutdown
+  /// has begun and the caller is not a pool worker; worker threads may
+  /// keep submitting during the drain so continuation chains finish.
+  bool Submit(Lane lane, std::function<void()> task);
+
+  /// Tasks submitted to `lane`'s injector queue and not yet claimed — the
+  /// backpressure signal the serving layer sheds cover builds on.
+  size_t QueueDepth(Lane lane) const;
+
+  /// Drains every submitted task (and their transitive submissions), then
+  /// joins the workers. Idempotent; safe to call with tasks in flight.
+  void Shutdown();
+
+  /// True once Shutdown has begun (external submits are rejected).
+  bool stopping() const { return stop_.load(std::memory_order_acquire); }
+
+  uint32_t workers() const { return static_cast<uint32_t>(workers_.size()); }
+
+  Stats stats() const;
+
+  /// True when the calling thread is one of this scheduler's workers.
+  bool OnWorker() const;
+
+ private:
+  struct WorkerState {
+    std::mutex mu;
+    std::deque<std::function<void()>> deque;
+  };
+
+  void WorkerLoop(size_t self);
+  bool TryClaim(size_t self, std::function<void()>* task, bool* stolen);
+
+  // Injector queues + lifecycle live behind one mutex; per-worker deques
+  // have their own. Lock order: injector mutex is never held while taking
+  // a worker mutex holder runs a task, so there is no ordering cycle.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::array<std::deque<std::function<void()>>, kLanes> injector_;
+  /// Submitted-but-not-finished task count; workers exit when it reaches
+  /// zero with stop_ set, which is exactly the drain guarantee.
+  size_t outstanding_ = 0;
+  /// Bumped on every submit so sleeping workers re-scan (a task parked in
+  /// another worker's deque is invisible to the injector queues).
+  uint64_t work_epoch_ = 0;
+  std::atomic<bool> stop_{false};
+
+  std::vector<std::unique_ptr<WorkerState>> worker_state_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> stolen_{0};
+  std::array<std::atomic<uint64_t>, kLanes> injected_{};
+};
+
+}  // namespace netclus::util
+
+#endif  // NETCLUS_UTIL_SCHEDULER_H_

@@ -8,6 +8,7 @@
 // spec on the snapshot version that served it. The whole file must also
 // be TSan-clean (the CI tsan job runs it under -fsanitize=thread).
 #include <atomic>
+#include <future>
 #include <limits>
 #include <thread>
 #include <vector>
@@ -440,6 +441,237 @@ TEST(NetClusServer, ConcurrentServingMatchesSerialReplayAtEveryVersion) {
   EXPECT_EQ(stats.cache.hits + stats.cache.misses, total);
   EXPECT_GT(stats.updates.batches_published, 0u);
   EXPECT_EQ(stats.updates.ops_enqueued, stats.updates.ops_applied);
+}
+
+// --- serving API v2 (async) --------------------------------------------------
+
+TEST(NetClusServerAsync, SubmitAsyncMatchesSerialReplay) {
+  Engine engine = MakeEngine();
+  auto server = engine.Serve();
+  const Engine::QuerySpec spec = Spec(4, 800.0);
+
+  serve::Request request;
+  request.spec = spec;
+  const serve::Response first = server->SubmitAsync(request).get();
+  ASSERT_EQ(first.status, serve::StatusCode::kOk);
+  EXPECT_FALSE(first.stale);
+  EXPECT_FALSE(first.shed);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.snapshot_version, 1u);
+  EXPECT_GE(first.queue_seconds, 0.0);
+  ASSERT_NE(first.snapshot, nullptr);
+  ExpectBitIdentical(Replay(first, spec), first.result);
+
+  // Callback flavor; the repeated canonical spec hits the result cache.
+  serve::Request again;
+  again.spec = spec;
+  again.priority = serve::Priority::kInteractive;
+  std::promise<serve::Response> done;
+  server->SubmitAsync(std::move(again), [&done](serve::Response response) {
+    done.set_value(std::move(response));
+  });
+  const serve::Response second = done.get_future().get();
+  ASSERT_EQ(second.status, serve::StatusCode::kOk);
+  EXPECT_TRUE(second.cache_hit);
+  ExpectBitIdentical(first.result, second.result);
+  EXPECT_EQ(server->stats().queries_served, 2u);
+}
+
+TEST(NetClusServerAsync, DeadlineExpiredRequestsAreShedNotAnswered) {
+  Engine engine = MakeEngine();
+  serve::ServerOptions options;
+  options.scheduler_workers = 1;
+  auto server = engine.Serve(options);
+
+  serve::Request late;
+  late.spec = Spec(3, 700.0);
+  // Expires before the first stage can possibly start (scheduling alone
+  // takes longer), so the check at the stage boundary always sheds it.
+  late.soft_deadline_seconds = 1e-9;
+  const serve::Response shed = server->SubmitAsync(std::move(late)).get();
+  EXPECT_EQ(shed.status, serve::StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(shed.shed);
+  EXPECT_EQ(shed.snapshot, nullptr);
+  EXPECT_GE(server->stats().exec.shed_deadline, 1u);
+
+  // A generous deadline answers normally — and is never counted served
+  // twice.
+  serve::Request fine;
+  fine.spec = Spec(3, 700.0);
+  fine.soft_deadline_seconds = 60.0;
+  const serve::Response ok = server->SubmitAsync(std::move(fine)).get();
+  ASSERT_EQ(ok.status, serve::StatusCode::kOk);
+  ExpectBitIdentical(Replay(ok, Spec(3, 700.0)), ok.result);
+  EXPECT_EQ(server->stats().queries_served, 1u);
+}
+
+TEST(NetClusServerAsync, AdmissionControlRejectsWhenQueueFull) {
+  Engine engine = MakeEngine();
+  {
+    // Capacity 0: every request of that priority is refused at enqueue,
+    // deterministically, before any stage runs.
+    serve::ServerOptions options;
+    options.admission_capacity = {0, 0, 0};
+    auto server = engine.Serve(options);
+    serve::Request request;
+    request.spec = Spec(2, 600.0);
+    const serve::Response r = server->SubmitAsync(std::move(request)).get();
+    EXPECT_EQ(r.status, serve::StatusCode::kOverloaded);
+    EXPECT_TRUE(r.shed);
+    EXPECT_EQ(server->stats().exec.shed_overload, 1u);
+    EXPECT_EQ(server->stats().queries_served, 0u);
+  }
+  {
+    // Saturating burst against a one-deep queue and one worker: the
+    // first request holds the only admission slot until it completes
+    // (its fresh answer needs a cover build), so the burst behind it is
+    // rejected. Every response is either kOk (and replay-identical) or
+    // kOverloaded with shed set — never silently wrong.
+    serve::ServerOptions options;
+    options.scheduler_workers = 1;
+    options.admission_capacity = {1, 1, 1};
+    auto server = engine.Serve(options);
+    constexpr int kBurst = 16;
+    std::vector<std::future<serve::Response>> pending;
+    pending.reserve(kBurst);
+    for (int i = 0; i < kBurst; ++i) {
+      serve::Request request;
+      request.spec = Spec(3, 1200.0);
+      pending.push_back(server->SubmitAsync(std::move(request)));
+    }
+    int ok = 0, rejected = 0;
+    for (auto& f : pending) {
+      const serve::Response r = f.get();
+      if (r.status == serve::StatusCode::kOk) {
+        EXPECT_FALSE(r.shed);
+        ExpectBitIdentical(Replay(r, Spec(3, 1200.0)), r.result);
+        ++ok;
+      } else {
+        EXPECT_EQ(r.status, serve::StatusCode::kOverloaded);
+        EXPECT_TRUE(r.shed);
+        ++rejected;
+      }
+    }
+    EXPECT_EQ(ok + rejected, kBurst);
+    EXPECT_GE(ok, 1);
+    EXPECT_GE(rejected, 1);
+    EXPECT_EQ(server->stats().exec.shed_overload,
+              static_cast<uint64_t>(rejected));
+  }
+}
+
+TEST(NetClusServerAsync, StaleServeFlagsVersionCorrectly) {
+  Engine engine = MakeEngine();
+  serve::ServerOptions options;
+  options.shed_builds_over = 0;  // always prefer stale over a new build
+  auto server = engine.Serve(options);
+  const Engine::QuerySpec spec = Spec(4, 900.0);
+
+  // Warm version 1 (fills the result and cover caches).
+  serve::Request warm;
+  warm.spec = spec;
+  const serve::Response v1 = server->SubmitAsync(std::move(warm)).get();
+  ASSERT_EQ(v1.status, serve::StatusCode::kOk);
+  EXPECT_FALSE(v1.stale);
+  ASSERT_EQ(v1.snapshot_version, 1u);
+
+  server->MutateAddTrajectory({0, 1, 2, 12, 22});
+  server->Flush();
+  ASSERT_GE(server->snapshot()->version(), 2u);
+  const uint64_t current = server->snapshot()->version();
+
+  // A lag-tolerant request is served from version 1 under backpressure:
+  // flagged stale + shed, versioned, and bit-identical to the version-1
+  // answer it repeats — never a silently wrong "fresh" result.
+  serve::Request lax;
+  lax.spec = spec;
+  lax.staleness = serve::StalenessPolicy::AllowStaleVersion(4);
+  const serve::Response stale = server->SubmitAsync(std::move(lax)).get();
+  ASSERT_EQ(stale.status, serve::StatusCode::kOk);
+  EXPECT_TRUE(stale.stale);
+  EXPECT_TRUE(stale.shed);
+  EXPECT_TRUE(stale.cache_hit);
+  EXPECT_EQ(stale.snapshot_version, 1u);
+  ExpectBitIdentical(v1.result, stale.result);
+  ASSERT_NE(stale.snapshot, nullptr);  // v1 retained by the history window
+  ExpectBitIdentical(Replay(stale, spec), stale.result);
+  EXPECT_EQ(server->stats().exec.stale_served, 1u);
+  EXPECT_GE(server->stats().cache.stale_hits, 1u);
+
+  // A fresh-policy request is never stale-served: it pays the build and
+  // answers at the current version.
+  serve::Request fresh;
+  fresh.spec = spec;
+  const serve::Response now = server->SubmitAsync(std::move(fresh)).get();
+  ASSERT_EQ(now.status, serve::StatusCode::kOk);
+  EXPECT_FALSE(now.stale);
+  EXPECT_FALSE(now.shed);
+  EXPECT_EQ(now.snapshot_version, current);
+  ExpectBitIdentical(Replay(now, spec), now.result);
+}
+
+TEST(NetClusServerAsync, ShutdownCompletesInFlightRequests) {
+  Engine engine = MakeEngine();
+  auto server = engine.Serve();
+  const std::vector<Engine::QuerySpec> specs = {
+      Spec(1, 500.0), Spec(3, 700.0), Spec(5, 900.0),
+      Spec(2, 1100.0), Spec(4, 600.0)};
+  constexpr int kInFlight = 24;
+  std::vector<std::future<serve::Response>> pending;
+  pending.reserve(kInFlight);
+  for (int i = 0; i < kInFlight; ++i) {
+    serve::Request request;
+    request.spec = specs[i % specs.size()];
+    pending.push_back(server->SubmitAsync(std::move(request)));
+  }
+  // Shutdown drains: every request admitted above must complete kOk and
+  // stay replay-identical; none may be dropped or left hanging.
+  server->Shutdown();
+  for (int i = 0; i < kInFlight; ++i) {
+    const serve::Response r = pending[i].get();
+    ASSERT_EQ(r.status, serve::StatusCode::kOk);
+    ExpectBitIdentical(Replay(r, specs[i % specs.size()]), r.result);
+  }
+  // After shutdown the async surface refuses, the blocking shim answers
+  // inline (v1 behavior).
+  serve::Request late;
+  late.spec = specs[0];
+  EXPECT_EQ(server->SubmitAsync(std::move(late)).get().status,
+            serve::StatusCode::kShutdown);
+  const serve::ServeResult inline_read = server->Submit(specs[0]);
+  EXPECT_EQ(inline_read.status, serve::StatusCode::kOk);
+  EXPECT_EQ(inline_read.result.selection.sites.size(), 1u);
+}
+
+TEST(NetClusServerAsync, InvalidSpecMapsToStatusNotException) {
+  Engine engine = MakeEngine();
+  auto server = engine.Serve();
+
+  serve::Request bad;
+  bad.spec.variant = exec::QueryVariant::kTopsCost;
+  bad.spec.site_costs = {1.0, 2.0};  // not site-indexed
+  bad.spec.budget = 10.0;
+  const serve::Response r = server->SubmitAsync(std::move(bad)).get();
+  EXPECT_EQ(r.status, serve::StatusCode::kInvalidSpec);
+  EXPECT_EQ(r.snapshot, nullptr);
+
+  // The blocking shim maps the same validation failure to a status too.
+  Engine::QuerySpec bad_capacity;
+  bad_capacity.variant = exec::QueryVariant::kTopsCapacity;
+  bad_capacity.site_capacities = {3.0};
+  EXPECT_EQ(server->Submit(bad_capacity).status,
+            serve::StatusCode::kInvalidSpec);
+  EXPECT_EQ(server->stats().queries_served, 0u);
+
+  // A well-formed cost spec flows through the same unified path.
+  serve::Request cost;
+  cost.spec.variant = exec::QueryVariant::kTopsCost;
+  cost.spec.tau_m = 800.0;
+  cost.spec.site_costs.assign(engine.sites().size(), 1.0);
+  cost.spec.budget = 3.0;
+  const serve::Response priced = server->SubmitAsync(std::move(cost)).get();
+  ASSERT_EQ(priced.status, serve::StatusCode::kOk);
+  EXPECT_FALSE(priced.result.selection.sites.empty());
 }
 
 }  // namespace

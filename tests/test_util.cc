@@ -339,5 +339,35 @@ TEST(LatencyHistogram, PercentileEdgeCases) {
             h.PercentileSeconds(0.0));
 }
 
+// Serving-scale tails (async serving PR): p999 must resolve the 1-in-1000
+// sample, and samples beyond the bucket range are tracked as an explicit
+// overflow count instead of being clamped into the last bucket (which
+// would silently drag the reported tail *down* to 100 s).
+TEST(LatencyHistogram, P999AndOverflowCount) {
+  LatencyHistogram h;
+  for (int i = 0; i < 997; ++i) h.Record(1e-3);
+  for (int i = 0; i < 3; ++i) h.Record(5.0);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+  // p99 is still in the fast mass; the nearest-rank p999 (sample 999 of
+  // 1000) reaches the slow tail.
+  EXPECT_NEAR(h.PercentileSeconds(0.99), 1e-3, 0.3e-3);
+  EXPECT_NEAR(h.PercentileSeconds(0.999), 5.0, 1.5);
+  EXPECT_GT(h.PercentileSeconds(0.999), h.PercentileSeconds(0.99));
+
+  // Overflow: > kMaxSeconds samples are counted but kept out of the
+  // buckets; a percentile whose rank lands among them reports the range
+  // ceiling, and mid percentiles are unaffected.
+  h.Record(1e6);
+  h.Record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 1002u);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_NEAR(h.PercentileSeconds(0.5), 1e-3, 0.3e-3);
+  EXPECT_EQ(h.PercentileSeconds(1.0), LatencyHistogram::kMaxSeconds);
+
+  h.Reset();
+  EXPECT_EQ(h.overflow_count(), 0u);
+}
+
 }  // namespace
 }  // namespace netclus::util

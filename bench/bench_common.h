@@ -174,6 +174,32 @@ inline double Percent(double utility, size_t live_count) {
   return live_count == 0 ? 0.0 : 100.0 * utility / static_cast<double>(live_count);
 }
 
+/// Where a bench should write its BENCH_*.json artifact. Resolution order:
+/// a `--out=PATH` argument > the NETCLUS_BENCH_JSON env var > the repo
+/// root (NETCLUS_REPO_ROOT compile definition) + `default_name` > the
+/// current directory + `default_name`. Benches historically wrote to their
+/// cwd, which scattered artifacts under build/ and left the collected perf
+/// trajectory empty — this pins them to one predictable place.
+inline std::string JsonOutPath(int argc, char** argv,
+                               const std::string& default_name) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) return arg.substr(6);
+    if (arg == "--out" && i + 1 < argc) return argv[i + 1];
+  }
+  const std::string env = util::GetEnvString("NETCLUS_BENCH_JSON", "");
+  if (!env.empty()) {
+    // A directory-looking value gets the default file name appended.
+    if (env.back() == '/') return env + default_name;
+    return env;
+  }
+#ifdef NETCLUS_REPO_ROOT
+  return std::string(NETCLUS_REPO_ROOT) + "/" + default_name;
+#else
+  return default_name;
+#endif
+}
+
 }  // namespace netclus::bench
 
 #endif  // NETCLUS_BENCH_BENCH_COMMON_H_

@@ -53,7 +53,7 @@ double BestOf(int reps, const std::function<double()>& run) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netclus;
   bench::PrintHeader(
       "Exec", "Query planning & cross-query cover sharing (src/exec)",
@@ -201,8 +201,7 @@ int main() {
               ctx.stats.snapshot().cover_build.ewma_seconds * 1e3,
               ctx.stats.snapshot().solve.ewma_seconds * 1e3);
 
-  const std::string json_path =
-      util::GetEnvString("NETCLUS_BENCH_JSON", "BENCH_exec.json");
+  const std::string json_path = bench::JsonOutPath(argc, argv, "BENCH_exec.json");
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"exec_plans\",\n  \"rows\": [\n"
        << "    {\"queries\": " << specs.size()

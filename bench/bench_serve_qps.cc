@@ -123,7 +123,7 @@ CellResult RunCell(const Engine& engine,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netclus;
   bench::PrintHeader(
       "Serve", "Sustained mixed read/write serving throughput (src/serve)",
@@ -193,8 +193,7 @@ int main() {
   table.PrintText(std::cout);
 
   // JSON for the perf trajectory (one object per cell).
-  const std::string json_path =
-      util::GetEnvString("NETCLUS_BENCH_JSON", "BENCH_serve.json");
+  const std::string json_path = bench::JsonOutPath(argc, argv, "BENCH_serve.json");
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"serve_qps\",\n  \"rows\": [\n";
   for (size_t i = 0; i < cells.size(); ++i) {

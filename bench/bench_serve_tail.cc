@@ -236,7 +236,7 @@ CellResult RunCell(const Engine& engine,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netclus;
   bench::PrintHeader(
       "ServeTail",
@@ -331,8 +331,7 @@ int main() {
                 async_qps / blocking_qps);
   }
 
-  const std::string json_path =
-      util::GetEnvString("NETCLUS_BENCH_JSON", "BENCH_serve_tail.json");
+  const std::string json_path = bench::JsonOutPath(argc, argv, "BENCH_serve_tail.json");
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"serve_tail\",\n  \"rows\": [\n";
   for (size_t i = 0; i < cells.size(); ++i) {

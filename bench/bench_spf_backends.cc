@@ -96,7 +96,7 @@ double MeanPointToPointMicros(const spf::DistanceBackend& backend,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "SPF backends", "Distance-backend comparison (dijkstra / bidir / ch)",
       "CH covering-set builds >= 2x faster than plain Dijkstra on the "
@@ -170,8 +170,7 @@ int main() {
   std::printf("\n");
   table.PrintText(std::cout);
 
-  const std::string json_path =
-      util::GetEnvString("NETCLUS_BENCH_JSON", "BENCH_spf.json");
+  const std::string json_path = bench::JsonOutPath(argc, argv, "BENCH_spf.json");
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"spf_backends\",\n  \"tau_m\": " << tau_m
        << ",\n  \"rows\": [\n";

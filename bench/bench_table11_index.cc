@@ -12,7 +12,7 @@
 #include "netclus/cluster_index.h"
 #include "netclus/index_io.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netclus;
   bench::PrintHeader(
       "Table 11", "Indexing details per cluster radius (gamma = 0.75)",
@@ -111,8 +111,7 @@ int main() {
   io_table.PrintText(std::cout);
   std::printf("mmap load speedup over v1 text: %.1fx\n", speedup);
 
-  const std::string json_path =
-      util::GetEnvString("NETCLUS_BENCH_JSON", "BENCH_table11.json");
+  const std::string json_path = bench::JsonOutPath(argc, argv, "BENCH_table11.json");
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"table11_index\",\n"
        << "  \"v1_text_bytes\": " << file_bytes(text_path) << ",\n"

@@ -12,7 +12,7 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netclus;
   bench::PrintHeader(
       "Table 9", "Memory footprint of different algorithms vs tau",
@@ -90,8 +90,7 @@ int main() {
   std::printf("whole-process VmRSS at exit: %s\n",
               util::HumanBytes(vmrss).c_str());
 
-  const std::string json_path =
-      util::GetEnvString("NETCLUS_BENCH_JSON", "BENCH_table9.json");
+  const std::string json_path = bench::JsonOutPath(argc, argv, "BENCH_table9.json");
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"table9_memory\",\n"
        << "  \"index_postings_raw_bytes\": " << raw_bytes << ",\n"

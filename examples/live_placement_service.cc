@@ -13,8 +13,17 @@
 //     answers show up as hits, and the server reports its latency
 //     percentiles, QPS, and cache stats.
 //
-// Run: ./build/examples/live_placement_service
+// The observability layer rides along: a metrics snapshot (the serving
+// and scheduler families) prints after each phase, and on exit the full
+// Prometheus dump plus the Chrome trace land in NETCLUS_OBS_OUT
+// (default: the current directory) as live_placement_metrics.prom and
+// live_placement_trace.json — load the latter in Perfetto.
+//
+// Run: NETCLUS_TRACE_SAMPLE=1.0 ./build/examples/live_placement_service
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,7 +31,33 @@
 #include "graph/generators.h"
 #include "serve/server.h"
 #include "traj/trip_generator.h"
+#include "util/flags.h"
 #include "util/rng.h"
+
+namespace {
+
+// Prints the serving-level metric families (skipping histogram bucket
+// noise) so each phase's snapshot stays a handful of lines.
+void PrintMetricsSnapshot(const netclus::serve::NetClusServer& server,
+                          const char* phase) {
+  std::printf("\n-- metrics snapshot (%s) --\n", phase);
+  std::istringstream in(
+      server.DumpMetrics(netclus::obs::ExportFormat::kPrometheusText));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.find("_bucket{") != std::string::npos) continue;
+    if (line.rfind("netclus_serve_", 0) == 0 ||
+        line.rfind("netclus_sched_", 0) == 0 ||
+        line.rfind("netclus_query_cache_", 0) == 0 ||
+        line.rfind("netclus_snapshot_", 0) == 0 ||
+        line.rfind("netclus_trace_", 0) == 0) {
+      std::printf("  %s\n", line.c_str());
+    }
+  }
+}
+
+}  // namespace
 
 int main() {
   using namespace netclus;
@@ -74,6 +109,7 @@ int main() {
   std::printf("  (utility %.0f, cache_hit=%s)\n",
               morning.result.selection.utility,
               morning.cache_hit ? "yes" : "no");
+  PrintMetricsSnapshot(*server, "morning");
 
   // 2. Midday: a burst of trips along one corridor streams in. Mutations
   // are asynchronous; Flush() barriers on the publish.
@@ -114,6 +150,21 @@ int main() {
               static_cast<unsigned long long>(stats.cache.evictions),
               static_cast<unsigned long long>(stats.updates.ops_applied),
               static_cast<unsigned long long>(stats.updates.batches_published));
+  PrintMetricsSnapshot(*server, "afternoon");
+
+  // Exit artifacts: the full Prometheus dump and the Chrome trace.
+  const std::string out_dir = util::GetEnvString("NETCLUS_OBS_OUT", ".");
+  const std::string metrics_path = out_dir + "/live_placement_metrics.prom";
+  const std::string trace_path = out_dir + "/live_placement_trace.json";
+  {
+    std::ofstream metrics(metrics_path);
+    metrics << server->DumpMetrics();
+    std::ofstream trace(trace_path);
+    trace << server->DumpTraces();
+  }
+  std::printf("\nwrote %s and %s (load the trace in Perfetto)\n",
+              metrics_path.c_str(), trace_path.c_str());
+
   server->Shutdown();
   std::printf("drained and shut down.\n");
   return 0;

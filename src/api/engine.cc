@@ -178,6 +178,13 @@ exec::StatsRegistry::Snapshot Engine::ExecStats() const {
   return query_->exec_context()->stats.snapshot();
 }
 
+std::string Engine::DumpMetrics(obs::ExportFormat format) const {
+  if (query_ == nullptr) {
+    return obs::MetricsRegistry().Export(format);
+  }
+  return query_->exec_context()->metrics.Export(format);
+}
+
 index::QueryResult Engine::TopKWithBudget(
     double budget, double tau_m, const tops::PreferenceFunction& psi,
     const std::vector<double>& site_costs) const {

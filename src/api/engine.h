@@ -29,6 +29,7 @@
 #include "exec/stats.h"
 #include "graph/road_network.h"
 #include "graph/spf/distance_backend.h"
+#include "obs/metrics.h"
 #include "netclus/index_io.h"
 #include "netclus/multi_index.h"
 #include "netclus/query.h"
@@ -213,6 +214,13 @@ class Engine {
   /// EWMA latencies, per-instance cover builds, sharing counters). Empty
   /// before BuildIndex; reset when the index is rebuilt or reloaded.
   exec::StatsRegistry::Snapshot ExecStats() const;
+
+  /// Exports this engine's metrics registry (stage latency histograms,
+  /// cover sharing/shedding counters) as Prometheus text or JSON. Empty
+  /// export before BuildIndex. A server created via Serve() has its own
+  /// registry — use NetClusServer::DumpMetrics there.
+  std::string DumpMetrics(
+      obs::ExportFormat format = obs::ExportFormat::kPrometheusText) const;
 
   // --- concurrent serving (src/serve) ---------------------------------------
 

@@ -101,10 +101,13 @@ tops::Selection Executor::SolveStage(const QueryPlan& plan,
         if (plan.use_fm && plan.psi.is_binary()) {
           ctx_->stats.RecordFmFallback();
           if (!ctx_->fm_fallback_warned.exchange(true)) {
-            NC_LOG_WARNING
-                << "Tops: FM-greedy has no existing-services support; "
-                   "falling back to Inc-Greedy so ES is respected "
-                   "(further fallbacks on this engine are silent)";
+            // Once per engine (not per call site): the flag lives in the
+            // shared ExecContext, so NC_LOG_WARNING_ONCE would be wrong —
+            // it is once per *process*.
+            NC_SLOG_WARNING("fm_fallback")
+                .Kv("reason", "FM-greedy has no existing-services support")
+                .Kv("action", "falling back to Inc-Greedy so ES is respected")
+                .Kv("note", "further fallbacks on this engine are silent");
           }
         }
         tops::GreedyConfig greedy_config;

@@ -1,5 +1,6 @@
 #include "exec/planner.h"
 
+#include "util/logging.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -68,6 +69,19 @@ QueryPlan Planner::Plan(const PlanRequest& request,
 
   plan.key = CanonicalPlanKey(request, plan.instance);
   if (ctx_ != nullptr) ctx_->stats.RecordPlan(timer.Seconds());
+  // Level pre-check keeps the hot path free of the message construction
+  // (NC_SLOG builds its line unconditionally).
+  if (util::GetLogLevel() <= util::LogLevel::kTrace) {
+    NC_SLOG_TRACE("plan")
+        .Kv("fingerprint", plan.key.Fingerprint())
+        .Kv("k", plan.k)
+        .Kv("tau_m", plan.tau_m)
+        .Kv("instance", plan.instance)
+        .Kv("solver", static_cast<int>(plan.solver))
+        .Kv("fm_fallback", plan.fm_fallback)
+        .Kv("cacheable", plan.cacheable)
+        .Kv("threads", plan.threads);
+  }
   return plan;
 }
 

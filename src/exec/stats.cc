@@ -7,13 +7,53 @@ constexpr double kEwmaAlpha = 0.2;
 }  // namespace
 
 void StatsRegistry::StageSlot::Bump(double seconds) {
-  const std::lock_guard<std::mutex> lock(mu);
-  stats.ewma_seconds = stats.count == 0
-                           ? seconds
-                           : kEwmaAlpha * seconds +
-                                 (1.0 - kEwmaAlpha) * stats.ewma_seconds;
-  ++stats.count;
-  stats.total_seconds += seconds;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    stats.ewma_seconds = stats.count == 0
+                             ? seconds
+                             : kEwmaAlpha * seconds +
+                                   (1.0 - kEwmaAlpha) * stats.ewma_seconds;
+    ++stats.count;
+    stats.total_seconds += seconds;
+  }
+  if (obs::Histogram* h = hist.load(std::memory_order_acquire)) {
+    h->Observe(seconds);
+  }
+}
+
+void StatsRegistry::BindMetrics(obs::MetricsRegistry* metrics) {
+  const auto bind_stage = [&](StageSlot* slot, const char* stage) {
+    obs::Histogram* h = metrics->GetHistogram(
+        "netclus_exec_stage_seconds", {{"stage", stage}},
+        "Executor stage latency by stage");
+    slot->hist.store(h, std::memory_order_release);
+  };
+  bind_stage(&plan_, "plan");
+  bind_stage(&queue_wait_, "queue_wait");
+  bind_stage(&cover_build_, "cover_build");
+  bind_stage(&solve_, "solve");
+  bind_stage(&assemble_, "assemble");
+
+  const auto bind_count = [&](const char* name, const char* help,
+                              const std::atomic<uint64_t>* value) {
+    metrics->RegisterProvider(
+        name, {}, help, /*counter=*/true, [value]() {
+          return static_cast<double>(value->load(std::memory_order_relaxed));
+        });
+  };
+  bind_count("netclus_exec_covers_built_total",
+             "Approximate covering sets constructed", &covers_built_);
+  bind_count("netclus_exec_covers_shared_total",
+             "Solves served by a reused cover", &covers_shared_);
+  bind_count("netclus_exec_fm_fallbacks_total",
+             "FM + existing-services exact fallbacks", &fm_fallbacks_);
+  bind_count("netclus_serve_shed_overload_total",
+             "Requests rejected at admission (queues full)", &shed_overload_);
+  bind_count("netclus_serve_shed_deadline_total",
+             "Requests dropped past their soft deadline", &shed_deadline_);
+  bind_count("netclus_serve_stale_served_total",
+             "Requests answered from an older snapshot version",
+             &stale_served_);
 }
 
 void StatsRegistry::RecordPlan(double seconds) { plan_.Bump(seconds); }

@@ -21,6 +21,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace netclus::exec {
 
 class StatsRegistry {
@@ -74,6 +76,12 @@ class StatsRegistry {
 
   Snapshot snapshot() const;
 
+  /// Publishes this registry's accounts into `metrics`: real histogram
+  /// instruments for the per-stage latencies (Record* observes into them
+  /// from then on) and polled counter providers over the sharing/shedding
+  /// atomics. Call before concurrent use (ExecContext's constructor does).
+  void BindMetrics(obs::MetricsRegistry* metrics);
+
  private:
   /// One stage's account behind its own lock, so concurrent queries in
   /// different stages never contend (and the sharing counters below are
@@ -81,6 +89,9 @@ class StatsRegistry {
   struct StageSlot {
     mutable std::mutex mu;
     StageStats stats;
+    /// Optional registry instrument mirroring this stage; set once by
+    /// BindMetrics (atomic so a late bind can't race recorders).
+    std::atomic<obs::Histogram*> hist{nullptr};
 
     void Bump(double seconds);
   };
@@ -100,12 +111,18 @@ class StatsRegistry {
   std::atomic<uint64_t> stale_served_{0};
 };
 
-/// Per-engine execution context: the stats registry plus warn-once state.
-/// Shared (via shared_ptr) between the planner and executor instances an
-/// engine creates, and across copies of a QueryEngine.
+/// Per-engine execution context: the stats registry, the engine's metrics
+/// registry (exported by Engine::DumpMetrics / NetClusServer::DumpMetrics),
+/// and warn-once state. Shared (via shared_ptr) between the planner and
+/// executor instances an engine creates, and across copies of a
+/// QueryEngine.
 struct ExecContext {
+  // Declared before `stats` so it outlives the bound instruments.
+  obs::MetricsRegistry metrics;
   StatsRegistry stats;
   std::atomic<bool> fm_fallback_warned{false};
+
+  ExecContext() { stats.BindMetrics(&metrics); }
 };
 
 }  // namespace netclus::exec

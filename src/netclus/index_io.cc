@@ -14,6 +14,7 @@
 #include "store/binary_io.h"
 #include "store/mmap_file.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace netclus::index {
@@ -30,6 +31,10 @@ constexpr uint64_t kMaxInstances = 4096;
 
 bool Fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
+  // Structured log in addition to the out-param: callers historically
+  // swallow the error string, and a corrupt index file should be visible
+  // in the service log either way.
+  NC_SLOG_WARNING("index_io_error").Kv("what", message);
   return false;
 }
 

@@ -1,0 +1,326 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace netclus::obs {
+
+namespace {
+
+// Shortest round-trippable representation; Prometheus and JSON both accept
+// scientific notation.
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the short form when it round-trips.
+  char short_buf[64];
+  std::snprintf(short_buf, sizeof(short_buf), "%.10g", v);
+  double back = 0.0;
+  std::sscanf(short_buf, "%lf", &back);
+  return back == v ? std::string(short_buf) : std::string(buf);
+}
+
+std::string JsonDouble(double v) {
+  // JSON has no Inf/NaN literals.
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  return FormatDouble(v);
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+std::string PromLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    AppendEscaped(&out, v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Labels with one extra pair appended (for histogram le= buckets).
+std::string PromLabelsPlus(const Labels& labels, const std::string& key,
+                           const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return PromLabels(extended);
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendEscaped(&out, k);
+    out += "\":\"";
+    AppendEscaped(&out, v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void AppendPromHistogram(std::string* out, const std::string& name,
+                         const Labels& labels,
+                         const util::LatencyHistogram& hist) {
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < util::LatencyHistogram::kBuckets; ++i) {
+    const uint64_t in_bucket = hist.bucket_count(i);
+    if (in_bucket == 0) continue;  // only materialize populated edges
+    cumulative += in_bucket;
+    *out += name + "_bucket" +
+            PromLabelsPlus(
+                labels, "le",
+                FormatDouble(util::LatencyHistogram::BucketUpperSeconds(i))) +
+            " " + std::to_string(cumulative) + "\n";
+  }
+  const uint64_t total = hist.count();
+  *out += name + "_bucket" + PromLabelsPlus(labels, "le", "+Inf") + " " +
+          std::to_string(total) + "\n";
+  *out += name + "_sum" + PromLabels(labels) + " " +
+          FormatDouble(hist.total_seconds()) + "\n";
+  *out += name + "_count" + PromLabels(labels) + " " + std::to_string(total) +
+          "\n";
+}
+
+void AppendJsonHistogram(std::string* out,
+                         const util::LatencyHistogram& hist) {
+  *out += "\"count\":" + std::to_string(hist.count());
+  *out += ",\"sum\":" + JsonDouble(hist.total_seconds());
+  *out += ",\"mean\":" + JsonDouble(hist.MeanSeconds());
+  *out += ",\"p50\":" + JsonDouble(hist.PercentileSeconds(0.50));
+  *out += ",\"p90\":" + JsonDouble(hist.PercentileSeconds(0.90));
+  *out += ",\"p99\":" + JsonDouble(hist.PercentileSeconds(0.99));
+  *out += ",\"p999\":" + JsonDouble(hist.PercentileSeconds(0.999));
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrNull(const std::string& name,
+                                                    const Labels& labels) {
+  for (auto& e : entries_) {
+    if (e->name == name && e->labels == labels) return e.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, Labels labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindOrNull(name, labels)) return e->counter.get();
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = std::move(labels);
+  entry->help = help;
+  entry->kind = Kind::kCounter;
+  entry->counter = std::make_unique<Counter>();
+  Counter* out = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Labels labels,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindOrNull(name, labels)) return e->gauge.get();
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = std::move(labels);
+  entry->help = help;
+  entry->kind = Kind::kGauge;
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge* out = entry->gauge.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         Labels labels,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindOrNull(name, labels)) return e->histogram.get();
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = std::move(labels);
+  entry->help = help;
+  entry->kind = Kind::kHistogram;
+  entry->histogram = std::make_unique<Histogram>();
+  Histogram* out = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+void MetricsRegistry::RegisterProvider(const std::string& name, Labels labels,
+                                       const std::string& help, bool counter,
+                                       std::function<double()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindOrNull(name, labels)) {
+    e->kind = Kind::kProvider;
+    e->provider_is_counter = counter;
+    e->provider = std::move(fn);
+    return;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = std::move(labels);
+  entry->help = help;
+  entry->kind = Kind::kProvider;
+  entry->provider_is_counter = counter;
+  entry->provider = std::move(fn);
+  entries_.push_back(std::move(entry));
+}
+
+void MetricsRegistry::RegisterHistogramView(
+    const std::string& name, Labels labels, const std::string& help,
+    const util::LatencyHistogram* hist) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindOrNull(name, labels)) {
+    e->kind = Kind::kHistogramView;
+    e->hist_view = hist;
+    return;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = std::move(labels);
+  entry->help = help;
+  entry->kind = Kind::kHistogramView;
+  entry->hist_view = hist;
+  entries_.push_back(std::move(entry));
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::Export(ExportFormat format) const {
+  // Snapshot the entry pointers sorted by (name, labels); the entries
+  // themselves are never destroyed while the registry lives, and their
+  // values are atomics / polled providers, so we can read them unlocked.
+  std::vector<const Entry*> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted.reserve(entries_.size());
+    for (const auto& e : entries_) sorted.push_back(e.get());
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) {
+              if (a->name != b->name) return a->name < b->name;
+              return a->labels < b->labels;
+            });
+
+  std::string out;
+  if (format == ExportFormat::kPrometheusText) {
+    const std::string* last_family = nullptr;
+    for (const Entry* e : sorted) {
+      const bool histo =
+          e->kind == Kind::kHistogram || e->kind == Kind::kHistogramView;
+      if (last_family == nullptr || *last_family != e->name) {
+        if (!e->help.empty()) {
+          out += "# HELP " + e->name + " " + e->help + "\n";
+        }
+        const char* type = "gauge";
+        if (histo) {
+          type = "histogram";
+        } else if (e->kind == Kind::kCounter ||
+                   (e->kind == Kind::kProvider && e->provider_is_counter)) {
+          type = "counter";
+        }
+        out += "# TYPE " + e->name + " " + type + "\n";
+        last_family = &e->name;
+      }
+      switch (e->kind) {
+        case Kind::kCounter:
+          out += e->name + PromLabels(e->labels) + " " +
+                 std::to_string(e->counter->Value()) + "\n";
+          break;
+        case Kind::kGauge:
+          out += e->name + PromLabels(e->labels) + " " +
+                 FormatDouble(e->gauge->Value()) + "\n";
+          break;
+        case Kind::kProvider:
+          out += e->name + PromLabels(e->labels) + " " +
+                 FormatDouble(e->provider ? e->provider() : 0.0) + "\n";
+          break;
+        case Kind::kHistogram:
+          AppendPromHistogram(&out, e->name, e->labels,
+                              e->histogram->view());
+          break;
+        case Kind::kHistogramView:
+          AppendPromHistogram(&out, e->name, e->labels, *e->hist_view);
+          break;
+      }
+    }
+    return out;
+  }
+
+  out += "{\"metrics\":[";
+  bool first = true;
+  for (const Entry* e : sorted) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(&out, e->name);
+    out += "\",\"labels\":" + JsonLabels(e->labels) + ",";
+    switch (e->kind) {
+      case Kind::kCounter:
+        out += "\"type\":\"counter\",\"value\":" +
+               std::to_string(e->counter->Value());
+        break;
+      case Kind::kGauge:
+        out += "\"type\":\"gauge\",\"value\":" + JsonDouble(e->gauge->Value());
+        break;
+      case Kind::kProvider:
+        out += std::string("\"type\":\"") +
+               (e->provider_is_counter ? "counter" : "gauge") +
+               "\",\"value\":" + JsonDouble(e->provider ? e->provider() : 0.0);
+        break;
+      case Kind::kHistogram:
+        out += "\"type\":\"histogram\",";
+        AppendJsonHistogram(&out, e->histogram->view());
+        break;
+      case Kind::kHistogramView:
+        out += "\"type\":\"histogram\",";
+        AppendJsonHistogram(&out, *e->hist_view);
+        break;
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace netclus::obs

@@ -1,0 +1,148 @@
+// Metrics registry: named Counter / Gauge / Histogram instruments with an
+// export path (Prometheus text exposition + JSON).
+//
+// Two ways to get a value into the registry:
+//
+//  1. Owned instruments — `GetCounter`/`GetGauge`/`GetHistogram` return a
+//     stable pointer to an instrument the registry owns; hot paths bump it
+//     directly (relaxed atomics, no locks).
+//  2. Providers — `RegisterProvider` / `RegisterHistogramView` attach a
+//     callback (or an existing util::LatencyHistogram) that is *polled at
+//     export time*. This is how the serving structs (caches, scheduler,
+//     admission counters) publish without changing their hot paths: the
+//     counters they already keep become the source of truth and the
+//     registry reads them when someone asks.
+//
+// Registration is idempotent on (name, labels): asking again returns the
+// same instrument. Export output is sorted by name then labels so golden
+// tests are stable.
+//
+// Naming convention (see docs/observability.md): netclus_<subsystem>_<what>
+// with Prometheus-style suffixes (_total for counters, _seconds for
+// latency histograms).
+#ifndef NETCLUS_OBS_METRICS_H_
+#define NETCLUS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace netclus::obs {
+
+/// Label set attached to an instrument, e.g. {{"lane", "heavy"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. Relaxed atomic; safe from any thread.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time value. Set/Add are lock-free; Add uses a CAS loop because
+/// fetch_add on atomic<double> needs C++20.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency histogram instrument; thin wrapper over util::LatencyHistogram
+/// so exporters can reuse its geometric bucket layout.
+class Histogram {
+ public:
+  void Observe(double seconds) { hist_.Record(seconds); }
+  const util::LatencyHistogram& view() const { return hist_; }
+
+ private:
+  util::LatencyHistogram hist_;
+};
+
+enum class ExportFormat { kPrometheusText, kJson };
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry for code with no engine/server context.
+  static MetricsRegistry& Global();
+
+  /// Returns the instrument registered under (name, labels), creating it on
+  /// first use. Pointers stay valid for the registry's lifetime.
+  Counter* GetCounter(const std::string& name, Labels labels = {},
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, Labels labels = {},
+                  const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name, Labels labels = {},
+                          const std::string& help = "");
+
+  /// Registers a polled value: `fn` runs at export time on the exporting
+  /// thread. `counter` selects the Prometheus type (counter vs gauge).
+  /// Re-registering the same (name, labels) replaces the callback.
+  void RegisterProvider(const std::string& name, Labels labels,
+                        const std::string& help, bool counter,
+                        std::function<double()> fn);
+
+  /// Exports an existing LatencyHistogram (owned elsewhere, must outlive
+  /// the registry entry) as a histogram family without copying samples.
+  void RegisterHistogramView(const std::string& name, Labels labels,
+                             const std::string& help,
+                             const util::LatencyHistogram* hist);
+
+  std::string Export(ExportFormat format) const;
+  std::string ExportPrometheus() const {
+    return Export(ExportFormat::kPrometheusText);
+  }
+  std::string ExportJson() const { return Export(ExportFormat::kJson); }
+
+  /// Number of registered instruments (all kinds).
+  size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram, kProvider, kHistogramView };
+
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::string help;
+    Kind kind;
+    bool provider_is_counter = false;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> provider;
+    const util::LatencyHistogram* hist_view = nullptr;
+  };
+
+  Entry* FindOrNull(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace netclus::obs
+
+#endif  // NETCLUS_OBS_METRICS_H_

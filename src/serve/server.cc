@@ -5,6 +5,7 @@
 
 #include "exec/executor.h"
 #include "exec/planner.h"
+#include "util/flags.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -21,6 +22,11 @@ size_t SlotOf(Priority priority) { return static_cast<size_t>(priority); }
 Lane LaneOf(Priority priority) {
   return priority == Priority::kInteractive ? Lane::kFast : Lane::kNormal;
 }
+
+uint8_t LaneIdx(Lane lane) { return static_cast<uint8_t>(lane); }
+
+const char* kLaneNames[] = {"fast", "normal", "heavy"};
+const char* kPriorityNames[] = {"interactive", "normal", "best_effort"};
 
 }  // namespace
 
@@ -51,6 +57,11 @@ struct NetClusServer::AsyncState {
   bool holds_slot = false;
   SnapshotPtr snap;  ///< the version current at admission
   Response response;
+  /// Span collector for this request. Stages run sequentially (scheduler
+  /// hand-offs provide happens-before), so it needs no lock.
+  obs::TraceContext trace;
+  uint64_t queue_end_ns = 0;  ///< when StageAdmit started (tail-kept spans)
+  uint8_t lane = 1;           ///< lane of the most recent stage
 
   bool DeadlineExpired() const {
     return request.soft_deadline_seconds > 0.0 &&
@@ -82,6 +93,23 @@ NetClusServer::NetClusServer(const Engine& engine, const ServerOptions& options)
   util::StagedScheduler::Options sched;
   sched.workers = options.scheduler_workers;
   scheduler_ = std::make_unique<util::StagedScheduler>(sched);
+  const double sample =
+      options.trace_sample >= 0.0
+          ? options.trace_sample
+          : util::GetEnvDouble("NETCLUS_TRACE_SAMPLE", 0.01);
+  const uint64_t seed =
+      options.trace_seed >= 0
+          ? static_cast<uint64_t>(options.trace_seed)
+          : static_cast<uint64_t>(util::GetEnvInt("NETCLUS_TRACE_SEED", 0));
+  tracer_ = std::make_unique<obs::Tracer>(
+      sample, seed,
+      static_cast<size_t>(util::GetEnvInt("NETCLUS_TRACE_RING", 8192)));
+  slow_query_seconds_ =
+      (options.slow_query_ms >= 0.0
+           ? options.slow_query_ms
+           : util::GetEnvDouble("NETCLUS_SLOW_QUERY_MS", 0.0)) /
+      1e3;
+  RegisterMetrics();
   NC_LOG_INFO << "NetClusServer: serving snapshot v1 ("
               << registry_.Acquire()->store().live_count()
               << " live trajectories, "
@@ -110,6 +138,11 @@ void NetClusServer::SubmitAsync(Request request,
 }
 
 void NetClusServer::Enqueue(std::shared_ptr<AsyncState> state) {
+  const uint64_t trace_id = state->request.trace_id != 0
+                                ? state->request.trace_id
+                                : tracer_->NextTraceId();
+  state->trace.Start(tracer_.get(), trace_id, tracer_->Sampled(trace_id));
+  state->lane = LaneIdx(LaneOf(state->request.priority));
   if (scheduler_->stopping()) {
     Complete(state, StatusCode::kShutdown);
     return;
@@ -135,16 +168,26 @@ void NetClusServer::Enqueue(std::shared_ptr<AsyncState> state) {
 
 void NetClusServer::StageAdmit(const std::shared_ptr<AsyncState>& state) {
   Response& r = state->response;
+  const uint64_t admit_start = obs::TraceNowNs();
+  state->queue_end_ns = admit_start;
+  state->trace.AddSpan(obs::SpanName::kQueue, state->lane,
+                       state->trace.start_ns(), admit_start);
+  const auto end_admit_span = [&] {
+    state->trace.AddSpan(obs::SpanName::kAdmit, state->lane, admit_start,
+                         obs::TraceNowNs());
+  };
   r.queue_seconds = state->timer.Seconds();
   ctx_->stats.RecordQueueWait(r.queue_seconds);
   if (state->DeadlineExpired()) {
     ctx_->stats.RecordShedDeadline();
     r.shed = true;
+    end_admit_span();
     Complete(state, StatusCode::kDeadlineExceeded);
     return;
   }
   state->snap = registry_.Acquire();
   const uint64_t version = state->snap->version();
+  state->trace.set_snapshot_version(version);
   // Plan the same canonical form the cache keys on, so permuted
   // existing-services lists (and bit-equivalent ψ spellings) are one
   // query with one bit-exact answer.
@@ -158,10 +201,12 @@ void NetClusServer::StageAdmit(const std::shared_ptr<AsyncState>& state) {
                    &state->snap->sites(), ctx_.get())
         .ValidatePlan(state->plan);
   } catch (const std::exception& e) {
-    NC_LOG_WARNING << "serve: invalid spec: " << e.what();
+    NC_SLOG_WARNING("invalid_spec").Kv("what", e.what());
+    end_admit_span();
     Complete(state, StatusCode::kInvalidSpec);
     return;
   }
+  state->trace.set_plan_fingerprint(state->plan.key.Fingerprint());
   state->cacheable = cache_.enabled() && state->plan.cacheable;
   if (state->cacheable) {
     state->key.version = version;
@@ -171,6 +216,7 @@ void NetClusServer::StageAdmit(const std::shared_ptr<AsyncState>& state) {
       r.cache_hit = true;
       r.snapshot = state->snap;
       r.snapshot_version = version;
+      end_admit_span();
       Complete(state, StatusCode::kOk);
       return;
     }
@@ -182,6 +228,8 @@ void NetClusServer::StageAdmit(const std::shared_ptr<AsyncState>& state) {
     // from ever waiting behind queued builds.
     if (exec::CoverPtr cover = cover_cache_.TryGet(version, cover_key)) {
       ctx_->stats.RecordCoverShared();
+      state->trace.AddFlags(obs::kFlagCoverShared);
+      end_admit_span();
       FinishOnCover(state, state->snap, cover, /*cover_reused=*/true,
                     /*stale=*/false);
       return;
@@ -204,6 +252,7 @@ void NetClusServer::StageAdmit(const std::shared_ptr<AsyncState>& state) {
           r.snapshot_version = served_version;
           r.snapshot = registry_.AcquireVersion(served_version);
           if (r.stale) ctx_->stats.RecordStaleServed();
+          end_admit_span();
           Complete(state, StatusCode::kOk);
           return;
         }
@@ -213,7 +262,9 @@ void NetClusServer::StageAdmit(const std::shared_ptr<AsyncState>& state) {
               version, cover_key, max_lag, &cover_version)) {
         if (SnapshotPtr old_snap = registry_.AcquireVersion(cover_version)) {
           ctx_->stats.RecordCoverShared();
+          state->trace.AddFlags(obs::kFlagCoverShared);
           r.shed = true;
+          end_admit_span();
           FinishOnCover(state, old_snap, cover, /*cover_reused=*/true,
                         /*stale=*/cover_version != version);
           return;
@@ -222,6 +273,7 @@ void NetClusServer::StageAdmit(const std::shared_ptr<AsyncState>& state) {
       // Nothing stale to serve — fall through and pay for the build.
     }
   }
+  end_admit_span();
   if (!scheduler_->Submit(Lane::kHeavy,
                           [this, state] { StageBuild(state); })) {
     Complete(state, StatusCode::kShutdown);
@@ -229,12 +281,14 @@ void NetClusServer::StageAdmit(const std::shared_ptr<AsyncState>& state) {
 }
 
 void NetClusServer::StageBuild(const std::shared_ptr<AsyncState>& state) {
+  state->lane = LaneIdx(Lane::kHeavy);
   if (state->DeadlineExpired()) {
     ctx_->stats.RecordShedDeadline();
     state->response.shed = true;
     Complete(state, StatusCode::kDeadlineExceeded);
     return;
   }
+  const uint64_t build_start = obs::TraceNowNs();
   const SnapshotPtr& snap = state->snap;
   try {
     exec::CoverHooks hooks;
@@ -252,11 +306,14 @@ void NetClusServer::StageBuild(const std::shared_ptr<AsyncState>& state) {
     bool reused = false;
     const exec::CoverPtr cover =
         executor.ObtainCover(state->plan, state->plan.threads, &reused);
+    if (reused) state->trace.AddFlags(obs::kFlagCoverShared);
+    state->trace.AddSpan(obs::SpanName::kCoverBuild, state->lane, build_start,
+                         obs::TraceNowNs());
     FinishOnCover(state, snap, cover, reused, /*stale=*/false);
   } catch (const std::exception& e) {
     // The serving boundary returns statuses, not exceptions; a failed
     // build is indistinguishable from a plan the executor refuses.
-    NC_LOG_ERROR << "serve: cover build failed: " << e.what();
+    NC_SLOG_ERROR("cover_build_failed").Kv("what", e.what());
     Complete(state, StatusCode::kInvalidSpec);
   }
 }
@@ -266,9 +323,23 @@ void NetClusServer::FinishOnCover(const std::shared_ptr<AsyncState>& state,
                                   const exec::CoverPtr& cover,
                                   bool cover_reused, bool stale) {
   Response& r = state->response;
+  const uint64_t exec_start = obs::TraceNowNs();
   const exec::Executor executor(&snap->index(), &snap->store(), &snap->sites(),
                                 ctx_.get());
   r.result = executor.ExecuteOnCover(state->plan, cover, cover_reused);
+  const uint64_t exec_end = obs::TraceNowNs();
+  if (state->trace.sampled()) {
+    // The executor times its solve phase internally; carve the execute
+    // window into Solve + Assemble from that measurement so both stages
+    // show up without instrumenting executor internals.
+    uint64_t solve_ns = static_cast<uint64_t>(
+        r.result.selection.solve_seconds * 1e9);
+    if (exec_start + solve_ns > exec_end) solve_ns = exec_end - exec_start;
+    state->trace.AddSpan(obs::SpanName::kSolve, state->lane, exec_start,
+                         exec_start + solve_ns);
+    state->trace.AddSpan(obs::SpanName::kAssemble, state->lane,
+                         exec_start + solve_ns, exec_end);
+  }
   r.snapshot = snap;
   r.snapshot_version = snap->version();
   r.stale = stale;
@@ -278,6 +349,8 @@ void NetClusServer::FinishOnCover(const std::shared_ptr<AsyncState>& state,
     key.version = snap->version();  // a stale answer caches at its version
     cache_.Insert(key, r.result);
   }
+  state->trace.AddSpan(obs::SpanName::kFinish, state->lane, exec_end,
+                       obs::TraceNowNs());
   Complete(state, StatusCode::kOk);
 }
 
@@ -294,6 +367,31 @@ void NetClusServer::Complete(const std::shared_ptr<AsyncState>& state,
   if (status == StatusCode::kOk) {
     latency_.Record(r.latency_seconds);
     queries_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (r.cache_hit) state->trace.AddFlags(obs::kFlagCacheHit);
+  if (r.stale) state->trace.AddFlags(obs::kFlagStale);
+  if (r.shed) state->trace.AddFlags(obs::kFlagShed);
+  if (status != StatusCode::kOk) state->trace.AddFlags(obs::kFlagError);
+  const bool slow =
+      slow_query_seconds_ > 0.0 && r.latency_seconds >= slow_query_seconds_;
+  // Tail keep: slow, shed, or errored requests always leave spans, even
+  // when head sampling skipped them.
+  state->trace.Finish(state->lane,
+                      slow || r.shed || status != StatusCode::kOk,
+                      state->queue_end_ns);
+  if (slow) {
+    if (slow_queries_ != nullptr) slow_queries_->Increment();
+    NC_SLOG_WARNING("slow_query")
+        .Kv("trace_id", state->trace.trace_id())
+        .Kv("latency_ms", r.latency_seconds * 1e3)
+        .Kv("queue_ms", r.queue_seconds * 1e3)
+        .Kv("status", StatusName(status))
+        .Kv("priority", kPriorityNames[SlotOf(state->request.priority)])
+        .Kv("snapshot", r.snapshot_version)
+        .Kv("plan", state->plan.key.Fingerprint())
+        .Kv("cache_hit", r.cache_hit)
+        .Kv("stale", r.stale)
+        .Kv("shed", r.shed);
   }
   if (state->callback) {
     state->callback(std::move(r));
@@ -344,7 +442,7 @@ ServeResult NetClusServer::AnswerInline(const Engine::QuerySpec& spec,
       if (result_cacheable) cache_.Insert(key, out.result);
     }
   } catch (const std::exception& e) {
-    NC_LOG_WARNING << "serve: invalid spec: " << e.what();
+    NC_SLOG_WARNING("invalid_spec").Kv("what", e.what());
     out.snapshot = nullptr;
     out.snapshot_version = 0;
     out.status = StatusCode::kInvalidSpec;
@@ -407,6 +505,144 @@ void NetClusServer::Shutdown() {
   // snapshots), then the writer.
   scheduler_->Shutdown();
   pipeline_->Shutdown();
+}
+
+void NetClusServer::RegisterMetrics() {
+  obs::MetricsRegistry& m = ctx_->metrics;
+  // Stage histograms and the exec/shed counters were bound by
+  // ExecContext's constructor (StatsRegistry::BindMetrics); everything
+  // below is the serving layer's own surface. Providers capture `this`,
+  // which outlives ctx_->metrics by ownership.
+  for (size_t i = 0; i < util::StagedScheduler::kLanes; ++i) {
+    const Lane lane = static_cast<Lane>(i);
+    m.RegisterProvider("netclus_sched_queue_depth",
+                       {{"lane", kLaneNames[i]}},
+                       "Tasks waiting in the lane's injector queue",
+                       /*counter=*/false, [this, lane]() {
+                         return static_cast<double>(
+                             scheduler_->QueueDepth(lane));
+                       });
+    m.RegisterProvider("netclus_sched_executed_total",
+                       {{"lane", kLaneNames[i]}},
+                       "Tasks run to completion by claim lane",
+                       /*counter=*/true, [this, i]() {
+                         return static_cast<double>(
+                             scheduler_->stats().executed_lane[i]);
+                       });
+    m.RegisterProvider("netclus_sched_injected_total",
+                       {{"lane", kLaneNames[i]}},
+                       "External submits per lane", /*counter=*/true,
+                       [this, i]() {
+                         return static_cast<double>(
+                             scheduler_->stats().injected[i]);
+                       });
+  }
+  m.RegisterProvider("netclus_sched_stolen_total", {},
+                     "Tasks stolen from another worker's deque",
+                     /*counter=*/true, [this]() {
+                       return static_cast<double>(scheduler_->stats().stolen);
+                     });
+  m.RegisterProvider("netclus_sched_utilization", {},
+                     "Mean fraction of the pool running a task",
+                     /*counter=*/false, [this]() {
+                       return scheduler_->stats().utilization;
+                     });
+  m.RegisterProvider("netclus_sched_workers", {}, "Scheduler pool size",
+                     /*counter=*/false, [this]() {
+                       return static_cast<double>(scheduler_->workers());
+                     });
+
+  const auto cache_stat = [this](uint64_t QueryCache::Stats::*field) {
+    return [this, field]() {
+      return static_cast<double>(cache_.stats().*field);
+    };
+  };
+  m.RegisterProvider("netclus_query_cache_hits_total", {},
+                     "Result-cache hits", true,
+                     cache_stat(&QueryCache::Stats::hits));
+  m.RegisterProvider("netclus_query_cache_misses_total", {},
+                     "Result-cache misses", true,
+                     cache_stat(&QueryCache::Stats::misses));
+  m.RegisterProvider("netclus_query_cache_evictions_total", {},
+                     "Result-cache LRU evictions", true,
+                     cache_stat(&QueryCache::Stats::evictions));
+  m.RegisterProvider("netclus_query_cache_stale_hits_total", {},
+                     "Successful stale-version probes", true,
+                     cache_stat(&QueryCache::Stats::stale_hits));
+  m.RegisterProvider("netclus_query_cache_entries", {},
+                     "Resident result-cache entries", false,
+                     cache_stat(&QueryCache::Stats::entries));
+
+  const auto cover_stat = [this](uint64_t CoverCache::Stats::*field) {
+    return [this, field]() {
+      return static_cast<double>(cover_cache_.stats().*field);
+    };
+  };
+  m.RegisterProvider("netclus_cover_cache_hits_total", {},
+                     "Cover-cache hits (existing or in-flight builds)", true,
+                     cover_stat(&CoverCache::Stats::hits));
+  m.RegisterProvider("netclus_cover_cache_misses_total", {},
+                     "Cover-cache misses (built here)", true,
+                     cover_stat(&CoverCache::Stats::misses));
+  m.RegisterProvider("netclus_cover_cache_evictions_total", {},
+                     "Cover-cache LRU evictions", true,
+                     cover_stat(&CoverCache::Stats::evictions));
+  m.RegisterProvider("netclus_cover_cache_entries", {},
+                     "Resident covers", false,
+                     cover_stat(&CoverCache::Stats::entries));
+  m.RegisterProvider("netclus_cover_cache_resident_bytes", {},
+                     "Bytes of completed resident covers", false,
+                     cover_stat(&CoverCache::Stats::resident_bytes));
+
+  m.RegisterProvider("netclus_update_queue_depth", {},
+                     "Mutations accepted but not yet applied", false,
+                     [this]() {
+                       return static_cast<double>(pipeline_->QueueDepth());
+                     });
+  const auto update_stat = [this](uint64_t UpdatePipeline::Stats::*field) {
+    return [this, field]() {
+      return static_cast<double>(pipeline_->stats().*field);
+    };
+  };
+  m.RegisterProvider("netclus_update_ops_enqueued_total", {},
+                     "Mutations accepted at Enqueue", true,
+                     update_stat(&UpdatePipeline::Stats::ops_enqueued));
+  m.RegisterProvider("netclus_update_ops_applied_total", {},
+                     "Mutations applied and published", true,
+                     update_stat(&UpdatePipeline::Stats::ops_applied));
+  m.RegisterProvider("netclus_update_ops_rejected_total", {},
+                     "Mutations rejected at Enqueue", true,
+                     update_stat(&UpdatePipeline::Stats::ops_rejected));
+  m.RegisterProvider("netclus_update_batches_published_total", {},
+                     "Snapshot versions published by the writer", true,
+                     update_stat(&UpdatePipeline::Stats::batches_published));
+
+  m.RegisterProvider("netclus_snapshot_version", {},
+                     "Currently published snapshot version", false, [this]() {
+                       return static_cast<double>(registry_.current_version());
+                     });
+  m.RegisterProvider("netclus_serve_queries_total", {},
+                     "kOk completions (fresh or stale)", true, [this]() {
+                       return static_cast<double>(
+                           queries_served_.load(std::memory_order_relaxed));
+                     });
+  for (size_t p = 0; p < kNumPriorities; ++p) {
+    m.RegisterProvider("netclus_serve_admitted",
+                       {{"priority", kPriorityNames[p]}},
+                       "In-flight admitted requests", false, [this, p]() {
+                         return static_cast<double>(
+                             admitted_[p].load(std::memory_order_relaxed));
+                       });
+  }
+  m.RegisterHistogramView("netclus_serve_latency_seconds", {},
+                          "End-to-end kOk serving latency", &latency_);
+  m.RegisterProvider("netclus_trace_spans_total", {},
+                     "Spans pushed into the trace ring", true, [this]() {
+                       return static_cast<double>(tracer_->recorded());
+                     });
+  slow_queries_ = m.GetCounter(
+      "netclus_serve_slow_queries_total", {},
+      "Completions at or above the slow-query threshold");
 }
 
 ServerStats NetClusServer::stats() const {

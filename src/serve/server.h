@@ -52,6 +52,8 @@
 
 #include "api/engine.h"
 #include "exec/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/cover_cache.h"
 #include "serve/query_cache.h"
 #include "serve/snapshot.h"
@@ -102,6 +104,10 @@ struct Request {
   /// with kDeadlineExceeded instead of starting its next stage.
   double soft_deadline_seconds = 0.0;
   StalenessPolicy staleness;
+  /// Trace id linking this request's spans. 0 (default) lets the server
+  /// assign one; set it to propagate an upstream request id into traces
+  /// and the slow-query log.
+  uint64_t trace_id = 0;
 };
 
 /// One answered (or refused) query, with its serving metadata. This is
@@ -160,6 +166,17 @@ struct ServerOptions {
   /// Superseded snapshot versions kept acquirable for stale serving
   /// (SnapshotRegistry::set_history_limit).
   size_t snapshot_history = 4;
+  /// Head-sampling fraction for request tracing, in [0, 1]. Negative
+  /// (default) resolves NETCLUS_TRACE_SAMPLE (default 0.01). Slow, shed,
+  /// and errored requests are tail-kept regardless of sampling.
+  double trace_sample = -1.0;
+  /// Seed for the deterministic sampling hash. Negative (default)
+  /// resolves NETCLUS_TRACE_SEED (default 0).
+  int64_t trace_seed = -1;
+  /// Slow-query log threshold in milliseconds: completions at or above it
+  /// emit a structured `slow_query` WARNING line. Negative (default)
+  /// resolves NETCLUS_SLOW_QUERY_MS; 0 disables the log.
+  double slow_query_ms = -1.0;
 };
 
 struct ServerStats {
@@ -248,6 +265,24 @@ class NetClusServer {
 
   ServerStats stats() const;
 
+  /// Exports every registered instrument — scheduler lanes, caches,
+  /// admission/shedding counters, stage and end-to-end latency histograms
+  /// — as Prometheus text (default) or JSON.
+  std::string DumpMetrics(
+      obs::ExportFormat format = obs::ExportFormat::kPrometheusText) const {
+    return ctx_->metrics.Export(format);
+  }
+
+  /// Chrome trace_event JSON of the span ring (sampled + tail-kept
+  /// requests); loads directly in chrome://tracing / Perfetto.
+  std::string DumpTraces() const { return tracer_->DumpChromeTrace(); }
+
+  /// This server's metrics registry (instruments may be added by callers).
+  obs::MetricsRegistry& metrics() const { return ctx_->metrics; }
+
+  /// This server's tracer (sampling knobs, raw span access).
+  obs::Tracer& tracer() const { return *tracer_; }
+
  private:
   struct AsyncState;
 
@@ -276,6 +311,11 @@ class NetClusServer {
   ServeResult AnswerInline(const Engine::QuerySpec& spec,
                            const SnapshotPtr& snap);
 
+  /// Registers the serving-layer providers (scheduler lanes, caches,
+  /// update pipeline, snapshot version, latency view) into ctx_->metrics.
+  /// Called once from the constructor; providers capture `this`.
+  void RegisterMetrics();
+
   ServerOptions options_;
   SnapshotRegistry registry_;
   QueryCache cache_;
@@ -291,6 +331,10 @@ class NetClusServer {
   util::LatencyHistogram latency_;
   std::atomic<uint64_t> queries_served_{0};
   util::WallTimer uptime_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  /// Resolved slow-query threshold in seconds; <= 0 disables the log.
+  double slow_query_seconds_ = 0.0;
+  obs::Counter* slow_queries_ = nullptr;  ///< owned by ctx_->metrics
 };
 
 }  // namespace netclus::serve

@@ -103,6 +103,12 @@ class UpdatePipeline {
 
   Stats stats() const;
 
+  /// Ops accepted but not yet applied — the pipeline's backlog gauge.
+  size_t QueueDepth() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
  private:
   void WriterLoop();
   void ApplyBatch(std::vector<UpdateOp> batch);

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "util/logging.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define NETCLUS_HAVE_MMAP 1
 #include <fcntl.h>
@@ -17,6 +19,10 @@ namespace {
 
 void SetError(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
+  // Debug, not warning: a failed mmap probe is a normal fallback path
+  // (the loader retries with a buffered read); real load failures warn
+  // at the index_io layer.
+  NC_SLOG_DEBUG("store_io_error").Kv("what", message);
 }
 
 }  // namespace

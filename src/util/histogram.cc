@@ -24,6 +24,10 @@ double LogGrowth() {
 
 LatencyHistogram::LatencyHistogram() { Reset(); }
 
+double LatencyHistogram::BucketUpperSeconds(size_t i) {
+  return kMinSeconds * std::exp(static_cast<double>(i + 1) * LogGrowth());
+}
+
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -49,6 +49,21 @@ class LatencyHistogram {
   /// Approximate p-th percentile (p in [0, 1]), seconds. 0 when empty.
   double PercentileSeconds(double p) const;
 
+  /// Raw count in bucket i (for exporters that need the full shape, e.g.
+  /// Prometheus cumulative-bucket output).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper edge of bucket i in seconds: kMinSeconds * r^(i+1).
+  static double BucketUpperSeconds(size_t i);
+
+  /// Sum of all recorded samples, seconds.
+  double total_seconds() const {
+    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) /
+           1e9;
+  }
+
   /// Resets all buckets to empty.
   void Reset();
 

@@ -5,16 +5,68 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <utility>
 
 namespace netclus::util {
 
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+// Sentinel meaning "not yet resolved from NETCLUS_LOG".
+constexpr int kLevelUnset = -100;
 
-const char* LevelName(LogLevel level) {
+std::atomic<int> g_log_level{kLevelUnset};
+std::mutex g_log_mutex;
+LogSink g_log_sink;  // guarded by g_log_mutex; empty = stderr default
+
+double ElapsedSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+int64_t MonotonicNs() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  int level = g_log_level.load(std::memory_order_relaxed);
+  if (level == kLevelUnset) {
+    const char* env = std::getenv("NETCLUS_LOG");
+    const LogLevel parsed =
+        env != nullptr ? ParseLogLevel(env) : LogLevel::kInfo;
+    level = static_cast<int>(parsed);
+    // A racing SetLogLevel wins; re-resolving the env is idempotent.
+    int expected = kLevelUnset;
+    g_log_level.compare_exchange_strong(expected, level,
+                                        std::memory_order_relaxed);
+    level = g_log_level.load(std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+LogLevel ParseLogLevel(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warning" || name == "warn") return LogLevel::kWarning;
+  if (name == "error") return LogLevel::kError;
+  if (name == "fatal") return LogLevel::kFatal;
+  return LogLevel::kInfo;
+}
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
+    case LogLevel::kTrace:
+      return "T";
     case LogLevel::kDebug:
       return "D";
     case LogLevel::kInfo:
@@ -29,32 +81,27 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-double ElapsedSeconds() {
-  using Clock = std::chrono::steady_clock;
-  static const Clock::time_point start = Clock::now();
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
-
-void SetLogLevel(LogLevel level) {
-  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
-}
-
-LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
-}
-
-LogLevel ParseLogLevel(const std::string& name) {
-  if (name == "debug") return LogLevel::kDebug;
-  if (name == "info") return LogLevel::kInfo;
-  if (name == "warning" || name == "warn") return LogLevel::kWarning;
-  if (name == "error") return LogLevel::kError;
-  if (name == "fatal") return LogLevel::kFatal;
-  return LogLevel::kInfo;
+void SetLogSink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_log_sink = std::move(sink);
 }
 
 namespace internal {
+
+bool RateLimitedShouldLog(std::atomic<int64_t>* last_ns, double seconds) {
+  int64_t last = last_ns->load(std::memory_order_relaxed);
+  const int64_t now = MonotonicNs();
+  for (;;) {
+    if (last >= 0) {
+      if (seconds <= 0.0) return false;  // once-ever and already fired
+      if (static_cast<double>(now - last) < seconds * 1e9) return false;
+    }
+    if (last_ns->compare_exchange_weak(last, now, std::memory_order_relaxed)) {
+      return true;
+    }
+    // `last` was reloaded by the failed CAS; re-evaluate the window.
+  }
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
@@ -63,20 +110,51 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     if (*p == '/') basename = p + 1;
   }
   char prefix[128];
-  std::snprintf(prefix, sizeof(prefix), "[%s %9.3f %s:%d] ", LevelName(level),
-                ElapsedSeconds(), basename, line);
+  std::snprintf(prefix, sizeof(prefix), "[%s %9.3f %s:%d] ",
+                LogLevelName(level), ElapsedSeconds(), basename, line);
   stream_ << prefix;
 }
 
 LogMessage::~LogMessage() {
-  {
+  // The NC_LOG macros pre-filter, but StructuredMessage constructs the
+  // message unconditionally — the level gate lives here so both agree.
+  if (level_ >= GetLogLevel()) {
     std::lock_guard<std::mutex> lock(g_log_mutex);
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-    std::fflush(stderr);
+    if (g_log_sink) {
+      g_log_sink(level_, stream_.str());
+    } else {
+      std::fprintf(stderr, "%s\n", stream_.str().c_str());
+      std::fflush(stderr);
+    }
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();
   }
+}
+
+StructuredMessage::StructuredMessage(LogLevel level, const char* file,
+                                     int line, const char* event)
+    : message_(level, file, line) {
+  message_.stream() << event;
+}
+
+void StructuredMessage::AppendString(const std::string& value) {
+  const bool needs_quotes =
+      value.find_first_of(" =\"\n\t") != std::string::npos || value.empty();
+  if (!needs_quotes) {
+    message_.stream() << value;
+    return;
+  }
+  message_.stream() << '"';
+  for (const char c : value) {
+    if (c == '"' || c == '\\') message_.stream() << '\\';
+    if (c == '\n') {
+      message_.stream() << "\\n";
+    } else {
+      message_.stream() << c;
+    }
+  }
+  message_.stream() << '"';
 }
 
 }  // namespace internal

@@ -1,20 +1,37 @@
-// Lightweight leveled logging for the NetClus library.
+// Leveled, structured logging for the NetClus library.
 //
-// Usage:
+// Free-form lines:
 //   NC_LOG_INFO << "built index with " << n << " clusters";
-//   util::SetLogLevel(util::LogLevel::kWarning);   // silence info logs
 //
-// Log lines are written to stderr with a monotonic timestamp so that
-// interleaving with benchmark output on stdout stays readable.
+// Structured key=value lines (the observability layer's slow-query log
+// and the serving warn paths use these; one event name, then fields):
+//   NC_SLOG_WARNING("slow_query").Kv("latency_ms", 84.2).Kv("status", "OK");
+//   -> [W 12.345 server.cc:101] slow_query latency_ms=84.2 status=OK
+//
+// Level control: SetLogLevel() wins; before the first SetLogLevel the
+// level comes from the NETCLUS_LOG environment variable
+// ("trace"|"debug"|"info"|"warning"|"error"|"fatal", default info).
+//
+// Rate limiting: NC_LOG_WARNING_ONCE logs its line the first time the
+// call site is reached (per process); NC_LOG_WARNING_EVERY_SECONDS(s)
+// logs at most once per `s` seconds per call site. Both swallow the
+// streamed expression when suppressed.
+//
+// The sink is thread-safe and replaceable (SetLogSink) so tests can
+// capture lines; the default writes to stderr with a monotonic timestamp
+// so interleaving with benchmark output on stdout stays readable.
 #ifndef NETCLUS_UTIL_LOGGING_H_
 #define NETCLUS_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace netclus::util {
 
 enum class LogLevel : int {
+  kTrace = -1,
   kDebug = 0,
   kInfo = 1,
   kWarning = 2,
@@ -23,14 +40,24 @@ enum class LogLevel : int {
 };
 
 /// Sets the global minimum level below which log lines are dropped.
+/// Overrides the NETCLUS_LOG environment default.
 void SetLogLevel(LogLevel level);
 
-/// Returns the current global minimum log level.
+/// Returns the current global minimum log level (NETCLUS_LOG-seeded).
 LogLevel GetLogLevel();
 
-/// Parses a level name ("debug", "info", "warning", "error", "fatal").
-/// Unknown names return kInfo.
+/// Parses a level name ("trace", "debug", "info", "warning", "error",
+/// "fatal"). Unknown names return kInfo.
 LogLevel ParseLogLevel(const std::string& name);
+
+/// Short level tag ("T", "D", "I", "W", "E", "F").
+const char* LogLevelName(LogLevel level);
+
+/// Replaceable log sink: receives every emitted line (without trailing
+/// newline). Pass nullptr to restore the default stderr sink. The sink is
+/// invoked under the logging mutex — it must not log recursively.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+void SetLogSink(LogSink sink);
 
 namespace internal {
 
@@ -50,10 +77,42 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+// Structured key=value message: an event name followed by Kv fields, in
+// call order. Values are streamed; string values containing spaces or '='
+// are double-quoted so the line stays machine-parseable.
+class StructuredMessage {
+ public:
+  StructuredMessage(LogLevel level, const char* file, int line,
+                    const char* event);
+
+  template <typename V>
+  StructuredMessage& Kv(const char* key, const V& value) {
+    message_.stream() << ' ' << key << '=';
+    AppendValue(value);
+    return *this;
+  }
+
+ private:
+  template <typename V>
+  void AppendValue(const V& value) {
+    message_.stream() << value;
+  }
+  void AppendValue(const std::string& value) { AppendString(value); }
+  void AppendValue(const char* value) { AppendString(value); }
+  void AppendValue(bool value) { message_.stream() << (value ? 1 : 0); }
+  void AppendString(const std::string& value);
+
+  LogMessage message_;
+};
+
 // Swallows the streamed expression when the line is below the active level.
 struct LogMessageVoidify {
   void operator&(std::ostream&) {}
 };
+
+/// True at most once per `seconds` per state object (a static at the call
+/// site); `seconds` <= 0 means exactly once ever.
+bool RateLimitedShouldLog(std::atomic<int64_t>* last_ns, double seconds);
 
 }  // namespace internal
 
@@ -67,11 +126,47 @@ struct LogMessageVoidify {
                                                   __LINE__)               \
                 .stream()
 
+#define NC_LOG_TRACE NC_LOG_AT_LEVEL(::netclus::util::LogLevel::kTrace)
 #define NC_LOG_DEBUG NC_LOG_AT_LEVEL(::netclus::util::LogLevel::kDebug)
 #define NC_LOG_INFO NC_LOG_AT_LEVEL(::netclus::util::LogLevel::kInfo)
 #define NC_LOG_WARNING NC_LOG_AT_LEVEL(::netclus::util::LogLevel::kWarning)
 #define NC_LOG_ERROR NC_LOG_AT_LEVEL(::netclus::util::LogLevel::kError)
 #define NC_LOG_FATAL NC_LOG_AT_LEVEL(::netclus::util::LogLevel::kFatal)
+
+// Structured logging: NC_SLOG_WARNING("event").Kv("k", v)... Note the
+// level check happens in the LogMessage sink (the fields are still
+// evaluated); use for warn/error paths, not per-query hot paths.
+#define NC_SLOG_AT_LEVEL(level, event)                                     \
+  ::netclus::util::internal::StructuredMessage((level), __FILE__,          \
+                                               __LINE__, (event))
+#define NC_SLOG_TRACE(event) \
+  NC_SLOG_AT_LEVEL(::netclus::util::LogLevel::kTrace, (event))
+#define NC_SLOG_DEBUG(event) \
+  NC_SLOG_AT_LEVEL(::netclus::util::LogLevel::kDebug, (event))
+#define NC_SLOG_INFO(event) \
+  NC_SLOG_AT_LEVEL(::netclus::util::LogLevel::kInfo, (event))
+#define NC_SLOG_WARNING(event) \
+  NC_SLOG_AT_LEVEL(::netclus::util::LogLevel::kWarning, (event))
+#define NC_SLOG_ERROR(event) \
+  NC_SLOG_AT_LEVEL(::netclus::util::LogLevel::kError, (event))
+
+// Rate-limited variants: one line per call site, ever (ONCE) or per
+// window (EVERY_SECONDS). Suppressed occurrences swallow the expression.
+// Expands to two statements — wrap in braces inside unbraced if/else.
+#define NC_LOG_CONCAT_INNER(a, b) a##b
+#define NC_LOG_CONCAT(a, b) NC_LOG_CONCAT_INNER(a, b)
+#define NC_LOG_RATELIMITED_AT(level, seconds)                             \
+  static ::std::atomic<int64_t> NC_LOG_CONCAT(nc_log_last_ns_,            \
+                                              __LINE__){-1};              \
+  !::netclus::util::internal::RateLimitedShouldLog(                       \
+      &NC_LOG_CONCAT(nc_log_last_ns_, __LINE__), (seconds))               \
+      ? (void)0                                                           \
+      : NC_LOG_AT_LEVEL(level)
+
+#define NC_LOG_WARNING_ONCE \
+  NC_LOG_RATELIMITED_AT(::netclus::util::LogLevel::kWarning, 0.0)
+#define NC_LOG_WARNING_EVERY_SECONDS(seconds) \
+  NC_LOG_RATELIMITED_AT(::netclus::util::LogLevel::kWarning, (seconds))
 
 // Check macros: always-on invariant checks that log and abort on failure.
 #define NC_CHECK(cond)                                            \

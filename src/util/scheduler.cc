@@ -33,7 +33,8 @@ uint32_t ResolveWorkers(uint32_t workers) {
 
 }  // namespace
 
-StagedScheduler::StagedScheduler(const Options& options) {
+StagedScheduler::StagedScheduler(const Options& options)
+    : start_(std::chrono::steady_clock::now()) {
   const uint32_t n = ResolveWorkers(options.workers);
   worker_state_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -96,8 +97,9 @@ size_t StagedScheduler::QueueDepth(Lane lane) const {
 }
 
 bool StagedScheduler::TryClaim(size_t self, std::function<void()>* task,
-                               bool* stolen) {
+                               bool* stolen, size_t* lane_idx) {
   *stolen = false;
+  *lane_idx = 0;  // deque/steal claims are always fast continuations
   {
     WorkerState& ws = *worker_state_[self];
     const std::lock_guard<std::mutex> lock(ws.mu);
@@ -111,10 +113,12 @@ bool StagedScheduler::TryClaim(size_t self, std::function<void()>* task,
     const std::lock_guard<std::mutex> lock(mu_);
     // Lane order is the priority rule: fast work is claimed before any
     // queued heavy work, every time a worker frees up.
-    for (auto& lane : injector_) {
+    for (size_t i = 0; i < kLanes; ++i) {
+      auto& lane = injector_[i];
       if (!lane.empty()) {
         *task = std::move(lane.front());
         lane.pop_front();
+        *lane_idx = i;
         return true;
       }
     }
@@ -144,8 +148,10 @@ void StagedScheduler::WorkerLoop(size_t self) {
     }
     std::function<void()> task;
     bool stolen = false;
-    if (TryClaim(self, &task, &stolen)) {
+    size_t lane_idx = 0;
+    if (TryClaim(self, &task, &stolen, &lane_idx)) {
       if (stolen) stolen_.fetch_add(1, std::memory_order_relaxed);
+      const auto task_start = std::chrono::steady_clock::now();
       try {
         task();
       } catch (const std::exception& e) {
@@ -157,6 +163,13 @@ void StagedScheduler::WorkerLoop(size_t self) {
         NC_LOG_ERROR << "StagedScheduler: task threw a non-std exception";
       }
       task = nullptr;  // drop captured state before signaling completion
+      busy_ns_.fetch_add(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - task_start)
+                  .count()),
+          std::memory_order_relaxed);
+      executed_lane_[lane_idx].fetch_add(1, std::memory_order_relaxed);
       executed_.fetch_add(1, std::memory_order_relaxed);
       {
         const std::lock_guard<std::mutex> lock(mu_);
@@ -196,7 +209,16 @@ StagedScheduler::Stats StagedScheduler::stats() const {
   s.stolen = stolen_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < kLanes; ++i) {
     s.injected[i] = injected_[i].load(std::memory_order_relaxed);
+    s.executed_lane[i] = executed_lane_[i].load(std::memory_order_relaxed);
   }
+  s.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  s.uptime_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+  const double capacity =
+      s.uptime_seconds * static_cast<double>(workers_.size());
+  s.utilization =
+      capacity > 0.0 ? (static_cast<double>(s.busy_ns) / 1e9) / capacity : 0.0;
   return s;
 }
 

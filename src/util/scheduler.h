@@ -25,6 +25,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -52,6 +53,14 @@ class StagedScheduler {
     uint64_t executed = 0;  ///< tasks run to completion
     uint64_t stolen = 0;    ///< tasks taken from another worker's deque
     std::array<uint64_t, kLanes> injected{};  ///< external submits per lane
+    /// Tasks completed per claim lane. Local-deque and stolen tasks count
+    /// as kFast — only fast continuations ever land on worker deques.
+    std::array<uint64_t, kLanes> executed_lane{};
+    uint64_t busy_ns = 0;        ///< summed wall time inside task bodies
+    double uptime_seconds = 0;   ///< since construction
+    /// busy_ns / (workers * uptime) — mean fraction of the pool that was
+    /// running a task. In [0, 1] modulo clock skew.
+    double utilization = 0;
   };
 
   explicit StagedScheduler(const Options& options);
@@ -90,7 +99,8 @@ class StagedScheduler {
   };
 
   void WorkerLoop(size_t self);
-  bool TryClaim(size_t self, std::function<void()>* task, bool* stolen);
+  bool TryClaim(size_t self, std::function<void()>* task, bool* stolen,
+                size_t* lane_idx);
 
   // Injector queues + lifecycle live behind one mutex; per-worker deques
   // have their own. Lock order: injector mutex is never held while taking
@@ -112,6 +122,9 @@ class StagedScheduler {
   std::atomic<uint64_t> executed_{0};
   std::atomic<uint64_t> stolen_{0};
   std::array<std::atomic<uint64_t>, kLanes> injected_{};
+  std::array<std::atomic<uint64_t>, kLanes> executed_lane_{};
+  std::atomic<uint64_t> busy_ns_{0};
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace netclus::util

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Lints a Prometheus text-exposition file (version 0.0.4).
+
+Checks the subset of the spec our exporter emits plus the repo's own
+naming conventions (docs/observability.md):
+
+  * every line is a comment (# HELP / # TYPE), blank, or a sample;
+  * metric and label names match the spec grammar;
+  * # TYPE appears at most once per family, before its samples, and
+    samples of one family are contiguous;
+  * sample values parse as Go-style floats (including +Inf/-Inf/NaN);
+  * histogram families have _bucket/_sum/_count series, bucket counts are
+    cumulative (non-decreasing with le) and end at le="+Inf";
+  * repo conventions: families start with netclus_, counters end in
+    _total, histograms in _seconds.
+
+Usage: python3 tools/promtext_lint.py FILE [FILE...]
+Exit status 0 if every file is clean, 1 otherwise.
+
+stdlib only — CI runs this on DumpMetrics() output with no pip installs.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value [timestamp] — labels part matched non-greedily, the
+# label blob is split by a dedicated scanner below to honor escapes.
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<ts>-?\d+))?$"
+)
+LABEL_PAIR = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)  # raises ValueError on garbage
+
+
+def split_labels(blob, err):
+    """Parses 'k="v",k2="v2"' into a dict; calls err() on malformed input."""
+    labels = {}
+    pos = 0
+    while pos < len(blob):
+        m = LABEL_PAIR.match(blob, pos)
+        if m is None:
+            err("malformed label pair at %r" % blob[pos:])
+            return labels
+        key = m.group("key")
+        if key in labels:
+            err("duplicate label %r" % key)
+        labels[key] = m.group("val")
+        pos = m.end()
+    return labels
+
+
+def family_of(name):
+    """Strips histogram/summary series suffixes back to the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint_file(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().split("\n")
+    except OSError as e:
+        return ["%s: cannot read: %s" % (path, e)]
+
+    types = {}          # family -> declared TYPE
+    helps = set()       # families with a HELP line
+    seen_samples = {}   # family -> first sample line number
+    closed = set()      # families whose sample block has ended
+    buckets = {}        # family -> list of (le, cumulative_count)
+    last_family = None
+
+    def err(lineno, message):
+        errors.append("%s:%d: %s" % (path, lineno, message))
+
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                    err(lineno, "malformed %s line: %r" % (parts[1], line))
+                    continue
+                family = parts[2]
+                if parts[1] == "HELP":
+                    if family in helps:
+                        err(lineno, "duplicate HELP for %s" % family)
+                    helps.add(family)
+                else:
+                    kind = parts[3] if len(parts) == 4 else ""
+                    if kind not in ("counter", "gauge", "histogram",
+                                    "summary", "untyped"):
+                        err(lineno, "unknown TYPE %r for %s" % (kind, family))
+                    if family in types:
+                        err(lineno, "duplicate TYPE for %s" % family)
+                    if family in seen_samples:
+                        err(lineno, "TYPE for %s after its samples" % family)
+                    types[family] = kind
+            # Other comments are legal and ignored.
+            continue
+
+        m = SAMPLE.match(line)
+        if m is None:
+            err(lineno, "unparseable sample line: %r" % line)
+            continue
+        name = m.group("name")
+        family = family_of(name) if family_of(name) in types else name
+        labels = split_labels(m.group("labels") or "",
+                              lambda msg: err(lineno, msg))
+        for key in labels:
+            if not LABEL_NAME.match(key):
+                err(lineno, "bad label name %r" % key)
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            err(lineno, "bad sample value %r" % m.group("value"))
+            continue
+
+        if family in closed:
+            err(lineno, "samples of %s are not contiguous" % family)
+        if last_family is not None and family != last_family:
+            closed.add(last_family)
+        last_family = family
+        seen_samples.setdefault(family, lineno)
+
+        kind = types.get(family)
+        if kind == "histogram":
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    err(lineno, "histogram bucket without le: %s" % name)
+                else:
+                    key = tuple(sorted(
+                        (k, v) for k, v in labels.items() if k != "le"))
+                    buckets.setdefault((family, key), []).append(
+                        (labels["le"], value, lineno))
+            elif not (name.endswith("_sum") or name.endswith("_count")):
+                err(lineno, "histogram family %s has plain sample %s"
+                    % (family, name))
+        elif kind == "counter":
+            if value < 0:
+                err(lineno, "counter %s is negative (%s)" % (name, value))
+
+        # Repo conventions (docs/observability.md).
+        if not family.startswith("netclus_"):
+            err(lineno, "family %s missing netclus_ prefix" % family)
+        if kind == "counter" and not family.endswith("_total"):
+            err(lineno, "counter %s should end in _total" % family)
+        if kind == "histogram" and not family.endswith("_seconds"):
+            err(lineno, "histogram %s should end in _seconds" % family)
+
+    for (family, key), series in buckets.items():
+        prev = -1.0
+        for le, count, lineno in series:
+            if count < prev:
+                err(lineno, "histogram %s%r buckets not cumulative"
+                    % (family, dict(key)))
+            prev = count
+        if series[-1][0] != "+Inf":
+            errors.append("%s: histogram %s%r missing le=\"+Inf\" bucket"
+                          % (path, family, dict(key)))
+
+    for family in types:
+        if family not in seen_samples:
+            errors.append("%s: TYPE %s declared but no samples"
+                          % (path, family))
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().split("\n")[0])
+        print("usage: promtext_lint.py FILE [FILE...]")
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        all_errors.extend(lint_file(path))
+    for e in all_errors:
+        print(e)
+    if not all_errors:
+        print("promtext_lint: %d file(s) clean" % (len(argv) - 1))
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

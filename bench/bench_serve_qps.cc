@@ -1,23 +1,37 @@
 // Serving throughput: sustained mixed read/write workload against
 // NetClusServer (src/serve).
 //
-// Sweeps client (reader) threads × update stream intensity. Each cell
-// boots a fresh server from the same built engine, splits a fixed query
-// budget across the reader threads, and — in the mixed cells — streams
-// trajectory add/remove batches through the update pipeline while the
-// readers run. Reported per cell: wall time, QPS, latency percentiles,
-// cache hit rate, and snapshots published.
+// Sweeps client (reader) threads × update stream kind × delta-aware
+// cache carryover. Each cell boots a fresh server from the same built
+// engine, splits a fixed query budget across the reader threads, and —
+// in the mixed cells — streams updates through the pipeline while the
+// readers run:
+//  * none — read-only baseline;
+//  * traj — trajectory add/remove batches: every publish dirties every
+//    index instance, so carryover has (correctly) nothing to carry;
+//  * site — paced AddSite stream: a site add leaves most (instance, τ)
+//    partitions untouched, so with carryover on the caches stay warm
+//    across publishes (cache_hit > 0 and `carried` grows) while with it
+//    off every publish resets them to cold (cache_hit ~ 0).
+// Reported per cell: wall time, QPS, latency percentiles, cache hit
+// rate, entries carried across publishes, and snapshots published.
 //
 // paper_shape: read throughput scales with reader threads (flat on a
 // 1-core container) and degrades only mildly when updates stream in,
-// because readers never block on the writer (snapshot isolation).
+// because readers never block on the writer (snapshot isolation);
+// carryover keeps the hit rate nonzero under a site-update stream.
 //
-// Besides the stdout table, rows are written as JSON to BENCH_serve.json
-// (override with NETCLUS_BENCH_JSON) so CI can track the perf trajectory.
+// NETCLUS_CARRYOVER=0|1 restricts the carryover sweep to one setting
+// (the CI serve leg runs both and uploads distinct JSONs); unset sweeps
+// both. Besides the stdout table, rows are written as JSON to
+// BENCH_serve.json (override with NETCLUS_BENCH_JSON) so CI can track
+// the perf trajectory.
 #include "bench_common.h"
 
 #include <atomic>
+#include <chrono>
 #include <fstream>
+#include <string>
 #include <thread>
 
 #include "api/engine.h"
@@ -30,22 +44,35 @@ using namespace netclus;
 
 struct CellResult {
   uint32_t readers = 0;
+  std::string update_kind;  // none | traj | site
+  int carryover = 1;
   uint32_t update_batch = 0;  // ops per streamed batch (0 = read-only)
   size_t queries = 0;
   double wall_s = 0.0;
   double qps = 0.0;
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
   double cache_hit_rate = 0.0;
+  uint64_t carried = 0;  // query+cover cache entries re-keyed across publishes
   uint64_t snapshots = 0;
   uint64_t updates_applied = 0;
 };
 
 CellResult RunCell(const Engine& engine,
                    const std::vector<std::vector<graph::NodeId>>& update_pool,
-                   uint32_t readers, uint32_t update_batch, size_t queries) {
+                   const std::vector<graph::NodeId>& site_pool,
+                   uint32_t readers, const std::string& update_kind,
+                   int carryover, size_t queries) {
   serve::ServerOptions options;
   options.updates.max_batch = 64;
+  options.carryover = carryover;
   auto server = engine.Serve(options);
+
+  // One site per publish: a site add dirties only the instances whose
+  // cluster representative it displaces, so single-site publishes leave
+  // most partitions clean — the carryover case. Batching several sites
+  // per publish would union their dirt and mostly erase it.
+  const uint32_t update_batch =
+      update_kind == "traj" ? 16u : (update_kind == "site" ? 1u : 0u);
 
   // Spec for the q-th query of reader r. Spread over 40 τ values × 5 k
   // values so the read-scaling cells measure query execution, not just
@@ -63,10 +90,10 @@ CellResult RunCell(const Engine& engine,
   std::atomic<bool> readers_done{false};
   util::WallTimer timer;
 
-  // The update stream: batches of adds (and a trailing remove per batch)
-  // as long as any reader is still querying.
+  // The update stream, paced by Flush: trajectory batches (adds plus a
+  // trailing remove) or site adds, as long as any reader is querying.
   std::thread writer;
-  if (update_batch > 0) {
+  if (update_kind == "traj") {
     writer = std::thread([&] {
       size_t cursor = 0;
       while (!readers_done.load(std::memory_order_acquire)) {
@@ -78,6 +105,24 @@ CellResult RunCell(const Engine& engine,
         }
         if (!added.empty()) server->MutateRemoveTrajectory(added.front());
         server->Flush();
+      }
+    });
+  } else if (update_kind == "site") {
+    writer = std::thread([&] {
+      size_t cursor = 0;
+      while (!readers_done.load(std::memory_order_acquire) &&
+             cursor < site_pool.size()) {
+        for (uint32_t i = 0; i < update_batch && cursor < site_pool.size();
+             ++i) {
+          server->MutateAddSite(site_pool[cursor++]);
+        }
+        server->Flush();
+        // Pace the publishes: sites arrive far less often than queries.
+        // The pace must also exceed typical query latency — carryover
+        // re-keys entries from the superseded version only, so results
+        // inserted for an already-buried version can never carry (or
+        // hit) no matter what the delta says.
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
       }
     });
   }
@@ -106,6 +151,8 @@ CellResult RunCell(const Engine& engine,
   const serve::ServerStats stats = server->stats();
   CellResult cell;
   cell.readers = readers;
+  cell.update_kind = update_kind;
+  cell.carryover = carryover;
   cell.update_batch = update_batch;
   cell.queries = stats.queries_served;
   cell.wall_s = wall;
@@ -116,6 +163,7 @@ CellResult RunCell(const Engine& engine,
   const uint64_t lookups = stats.cache.hits + stats.cache.misses;
   cell.cache_hit_rate =
       lookups > 0 ? static_cast<double>(stats.cache.hits) / lookups : 0.0;
+  cell.carried = stats.cache.carried + stats.cover_cache.carried;
   cell.snapshots = stats.updates.batches_published;  // publishes during the run
   cell.updates_applied = stats.updates.ops_applied;
   return cell;
@@ -128,7 +176,8 @@ int main(int argc, char** argv) {
   bench::PrintHeader(
       "Serve", "Sustained mixed read/write serving throughput (src/serve)",
       "read QPS scales with reader threads and survives a live update "
-      "stream; snapshot isolation keeps readers off the writer's path");
+      "stream; snapshot isolation keeps readers off the writer's path, and "
+      "delta-aware carryover keeps the caches warm across site publishes");
 
   data::Dataset d = bench::MakeDataset("beijing-lite", 0.15);
 
@@ -136,7 +185,11 @@ int main(int argc, char** argv) {
   // network is copied (not moved): d.store keeps reading its own network
   // while the trajectories are transferred below.
   graph::RoadNetwork network = *d.network;
-  tops::SiteSet sites = d.sites;
+  // Sample ~70% of nodes as the initial candidate pool (the dataset's
+  // default is all-nodes, which would leave the site update stream no
+  // site-less node to claim).
+  tops::SiteSet sites =
+      tops::SiteSet::SampleNodes(network, (network.num_nodes() * 7) / 10, 42);
   Engine::Options engine_options;
   engine_options.index.tau_min_m = 400.0;
   engine_options.index.tau_max_m = 6000.0;
@@ -151,7 +204,7 @@ int main(int argc, char** argv) {
               engine.store().live_count(), engine.sites().size(),
               engine.index().num_instances());
 
-  // Pre-generate the update stream (excluded from timings).
+  // Pre-generate the trajectory update stream (excluded from timings).
   std::vector<std::vector<graph::NodeId>> update_pool;
   {
     util::Rng rng(515);
@@ -166,31 +219,74 @@ int main(int argc, char** argv) {
       if (path.size() >= 2) update_pool.push_back(std::move(path));
     }
   }
+  // Site-less nodes the site stream can claim (each AddSite consumes one).
+  std::vector<graph::NodeId> site_pool;
+  for (graph::NodeId node = 0;
+       node < static_cast<graph::NodeId>(engine.network().num_nodes());
+       ++node) {
+    if (engine.sites().SiteAtNode(node) == tops::kInvalidSite) {
+      site_pool.push_back(node);
+    }
+  }
 
   const size_t queries = static_cast<size_t>(
       util::GetEnvInt("NETCLUS_SERVE_QUERIES", 256));
+  // NETCLUS_CARRYOVER set → bench only that setting (the CI serve leg
+  // runs the bench once per value); unset → sweep off and on.
+  const int carryover_env = static_cast<int>(
+      util::GetEnvInt("NETCLUS_CARRYOVER", -1));
+  const std::vector<int> carryover_sweep =
+      carryover_env < 0 ? std::vector<int>{0, 1}
+                        : std::vector<int>{carryover_env != 0 ? 1 : 0};
+
   std::vector<CellResult> cells;
-  util::Table table({"readers", "update_batch", "queries", "wall_s", "qps",
-                     "p50_ms", "p95_ms", "p99_ms", "cache_hit", "snapshots"});
-  for (const uint32_t update_batch : {0u, 16u}) {
-    for (const uint32_t readers : {1u, 2u, 4u, 8u}) {
-      const CellResult cell =
-          RunCell(engine, update_pool, readers, update_batch, queries);
-      cells.push_back(cell);
-      table.Row()
-          .Cell(static_cast<uint64_t>(cell.readers))
-          .Cell(static_cast<uint64_t>(cell.update_batch))
-          .Cell(static_cast<uint64_t>(cell.queries))
-          .Cell(cell.wall_s, 3)
-          .Cell(cell.qps, 1)
-          .Cell(cell.p50_ms, 2)
-          .Cell(cell.p95_ms, 2)
-          .Cell(cell.p99_ms, 2)
-          .Cell(cell.cache_hit_rate, 2)
-          .Cell(cell.snapshots);
+  util::Table table({"readers", "upd_kind", "carryover", "queries", "wall_s",
+                     "qps", "p50_ms", "p95_ms", "p99_ms", "cache_hit",
+                     "carried", "snapshots"});
+  const auto run_row = [&](uint32_t readers, const std::string& kind,
+                           int carryover) {
+    const CellResult cell = RunCell(engine, update_pool, site_pool, readers,
+                                    kind, carryover, queries);
+    cells.push_back(cell);
+    table.Row()
+        .Cell(static_cast<uint64_t>(cell.readers))
+        .Cell(cell.update_kind)
+        .Cell(static_cast<uint64_t>(cell.carryover))
+        .Cell(static_cast<uint64_t>(cell.queries))
+        .Cell(cell.wall_s, 3)
+        .Cell(cell.qps, 1)
+        .Cell(cell.p50_ms, 2)
+        .Cell(cell.p95_ms, 2)
+        .Cell(cell.p99_ms, 2)
+        .Cell(cell.cache_hit_rate, 2)
+        .Cell(cell.carried)
+        .Cell(cell.snapshots);
+  };
+  for (const uint32_t readers : {1u, 2u, 4u, 8u}) {
+    // Read-only baseline: carryover has no publishes to act on.
+    run_row(readers, "none", 1);
+  }
+  for (const std::string kind : {"traj", "site"}) {
+    for (const int carryover : carryover_sweep) {
+      for (const uint32_t readers : {1u, 2u, 4u, 8u}) {
+        run_row(readers, kind, carryover);
+      }
     }
   }
   table.PrintText(std::cout);
+
+  // Headline: the carryover effect at the widest site-update cell.
+  double site_hit_on = -1.0, site_hit_off = -1.0;
+  for (const CellResult& c : cells) {
+    if (c.update_kind != "site" || c.readers != 8) continue;
+    (c.carryover ? site_hit_on : site_hit_off) = c.cache_hit_rate;
+  }
+  if (site_hit_on >= 0.0 && site_hit_off >= 0.0) {
+    std::printf(
+        "\ncache hit rate under the site-update stream at 8 readers: "
+        "%.2f with carryover vs %.2f without\n",
+        site_hit_on, site_hit_off);
+  }
 
   // JSON for the perf trajectory (one object per cell).
   const std::string json_path = bench::JsonOutPath(argc, argv, "BENCH_serve.json");
@@ -199,12 +295,15 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < cells.size(); ++i) {
     const CellResult& c = cells[i];
     json << "    {\"readers\": " << c.readers
+         << ", \"update_kind\": \"" << c.update_kind << "\""
+         << ", \"carryover\": " << c.carryover
          << ", \"update_batch\": " << c.update_batch
          << ", \"queries\": " << c.queries
          << ", \"wall_s\": " << c.wall_s << ", \"qps\": " << c.qps
          << ", \"p50_ms\": " << c.p50_ms << ", \"p95_ms\": " << c.p95_ms
          << ", \"p99_ms\": " << c.p99_ms
          << ", \"cache_hit_rate\": " << c.cache_hit_rate
+         << ", \"carried\": " << c.carried
          << ", \"snapshots\": " << c.snapshots
          << ", \"updates_applied\": " << c.updates_applied << "}"
          << (i + 1 < cells.size() ? "," : "") << "\n";

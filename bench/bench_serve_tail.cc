@@ -21,9 +21,13 @@
 // instead of re-paying a cover build after every snapshot publish; shed
 // and stale responses are always flagged, never silently wrong.
 //
-// Besides the stdout table, rows are written as JSON to
-// BENCH_serve_tail.json (override with NETCLUS_BENCH_JSON) so CI can
-// track the tail-latency trajectory.
+// Knobs: NETCLUS_SERVE_UPDATE_KIND=traj|site picks what the update
+// stream mutates (site publishes leave most partitions clean, so
+// delta-aware carryover keeps the caches warm); NETCLUS_CARRYOVER=0|1
+// pins carryover off/on (the CI serve leg runs both values). Besides the
+// stdout table, rows are written as JSON to BENCH_serve_tail.json
+// (override with NETCLUS_BENCH_JSON) so CI can track the tail-latency
+// trajectory.
 #include "bench_common.h"
 
 #include <algorithm>
@@ -104,6 +108,7 @@ struct CellResult {
   std::string mode;
   uint32_t readers = 0;
   uint32_t update_batch = 0;
+  int carryover = 1;
   uint64_t ok = 0;
   uint64_t stale = 0;
   uint64_t shed = 0;  // kOverloaded + kDeadlineExceeded + stale-served
@@ -112,15 +117,20 @@ struct CellResult {
   double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, p999_ms = 0.0;
   double stale_rate = 0.0;
   double shed_rate = 0.0;
+  double cache_hit_rate = 0.0;
+  uint64_t carried = 0;  // cache entries re-keyed across publishes
   uint64_t snapshots = 0;
 };
 
 CellResult RunCell(const Engine& engine,
                    const std::vector<std::vector<graph::NodeId>>& update_pool,
-                   bool async, uint32_t readers, uint32_t update_batch,
-                   size_t queries, uint32_t publish_ms, uint64_t stale_lag) {
+                   const std::vector<graph::NodeId>& site_pool,
+                   const std::string& update_kind, bool async,
+                   uint32_t readers, uint32_t update_batch, size_t queries,
+                   uint32_t publish_ms, uint64_t stale_lag, int carryover) {
   serve::ServerOptions options;
   options.updates.max_batch = 64;
+  options.carryover = carryover;
   auto server = engine.Serve(options);
 
   // 64 distinct specs, zipf-ranked: rank r maps to a fixed (k, τ) pair so
@@ -139,7 +149,7 @@ CellResult RunCell(const Engine& engine,
   util::WallTimer timer;
 
   std::thread writer;
-  if (update_batch > 0) {
+  if (update_batch > 0 && update_kind == "traj") {
     writer = std::thread([&] {
       size_t cursor = 0;
       while (!readers_done.load(std::memory_order_acquire)) {
@@ -153,6 +163,22 @@ CellResult RunCell(const Engine& engine,
         server->Flush();  // publish: fresh answers now need new covers
         // Bounded publish rate: an unpaced Flush loop on a small box is
         // a version-churn microbenchmark, not a serving workload.
+        std::this_thread::sleep_for(std::chrono::milliseconds(publish_ms));
+      }
+    });
+  } else if (update_batch > 0 && update_kind == "site") {
+    // Site-add publishes leave most (instance, τ) partitions untouched:
+    // the cell where delta-aware carryover keeps stale-serving traffic on
+    // warm caches instead of cold-starting at every publish.
+    writer = std::thread([&] {
+      size_t cursor = 0;
+      while (!readers_done.load(std::memory_order_acquire) &&
+             cursor < site_pool.size()) {
+        for (uint32_t i = 0; i < update_batch && cursor < site_pool.size();
+             ++i) {
+          server->MutateAddSite(site_pool[cursor++]);
+        }
+        server->Flush();
         std::this_thread::sleep_for(std::chrono::milliseconds(publish_ms));
       }
     });
@@ -214,6 +240,7 @@ CellResult RunCell(const Engine& engine,
   cell.mode = async ? "async" : "blocking";
   cell.readers = readers;
   cell.update_batch = update_batch;
+  cell.carryover = carryover;
   cell.ok = ok.load();
   cell.stale = stale.load();
   cell.shed = shed.load();
@@ -230,6 +257,10 @@ CellResult RunCell(const Engine& engine,
   cell.shed_rate = queries > 0 ? static_cast<double>(cell.shed) /
                                      static_cast<double>(queries)
                                : 0.0;
+  const uint64_t lookups = stats.cache.hits + stats.cache.misses;
+  cell.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(stats.cache.hits) / lookups : 0.0;
+  cell.carried = stats.cache.carried + stats.cover_cache.carried;
   cell.snapshots = stats.updates.batches_published;
   return cell;
 }
@@ -249,7 +280,11 @@ int main(int argc, char** argv) {
   data::Dataset d = bench::MakeDataset("beijing-lite", 0.15);
 
   graph::RoadNetwork network = *d.network;
-  tops::SiteSet sites = d.sites;
+  // Sample ~70% of nodes as the initial candidate pool (the dataset's
+  // default is all-nodes, which would leave the site update stream no
+  // site-less node to claim).
+  tops::SiteSet sites =
+      tops::SiteSet::SampleNodes(network, (network.num_nodes() * 7) / 10, 42);
   Engine::Options engine_options;
   engine_options.index.tau_min_m = 400.0;
   engine_options.index.tau_max_m = 6000.0;
@@ -279,6 +314,15 @@ int main(int argc, char** argv) {
       if (path.size() >= 2) update_pool.push_back(std::move(path));
     }
   }
+  // Site-less nodes the site update stream can claim (one per AddSite).
+  std::vector<graph::NodeId> site_pool;
+  for (graph::NodeId node = 0;
+       node < static_cast<graph::NodeId>(engine.network().num_nodes());
+       ++node) {
+    if (engine.sites().SiteAtNode(node) == tops::kInvalidSite) {
+      site_pool.push_back(node);
+    }
+  }
 
   const size_t queries = static_cast<size_t>(
       util::GetEnvInt("NETCLUS_SERVE_QUERIES", 512));
@@ -290,21 +334,33 @@ int main(int argc, char** argv) {
   // paced publish rate this is a window of a few seconds of staleness.
   const uint64_t stale_lag = static_cast<uint64_t>(
       util::GetEnvInt("NETCLUS_SERVE_STALE_LAG", 64));
+  // What the update stream mutates: "traj" (default — every publish
+  // dirties everything) or "site" (most partitions stay clean, the
+  // carryover showcase).
+  const std::string update_kind =
+      util::GetEnvString("NETCLUS_SERVE_UPDATE_KIND", "traj");
+  // Delta-aware cache carryover: NETCLUS_CARRYOVER=0|1 pins it (the CI
+  // serve leg runs both values); unset keeps the server default (on).
+  const int carryover = static_cast<int>(
+      util::GetEnvInt("NETCLUS_CARRYOVER", -1));
+  const int carryover_effective = carryover < 0 ? 1 : (carryover != 0);
 
   std::vector<CellResult> cells;
-  util::Table table({"mode", "readers", "upd_batch", "ok", "stale", "shed",
-                     "wall_s", "qps", "p50_ms", "p95_ms", "p99_ms", "p999_ms",
-                     "shed_rate", "snapshots"});
+  util::Table table({"mode", "readers", "upd_kind", "carryover", "ok",
+                     "stale", "shed", "wall_s", "qps", "p50_ms", "p95_ms",
+                     "p99_ms", "p999_ms", "shed_rate", "cache_hit", "carried",
+                     "snapshots"});
   for (const uint32_t readers : {2u, 8u}) {
     for (const bool async : {false, true}) {
-      const CellResult cell = RunCell(engine, update_pool, async, readers,
-                                      update_batch, queries, publish_ms,
-                                      stale_lag);
+      const CellResult cell =
+          RunCell(engine, update_pool, site_pool, update_kind, async, readers,
+                  update_batch, queries, publish_ms, stale_lag, carryover);
       cells.push_back(cell);
       table.Row()
           .Cell(cell.mode)
           .Cell(static_cast<uint64_t>(cell.readers))
-          .Cell(static_cast<uint64_t>(cell.update_batch))
+          .Cell(update_kind)
+          .Cell(static_cast<uint64_t>(carryover_effective))
           .Cell(cell.ok)
           .Cell(cell.stale)
           .Cell(cell.shed)
@@ -315,6 +371,8 @@ int main(int argc, char** argv) {
           .Cell(cell.p99_ms, 2)
           .Cell(cell.p999_ms, 2)
           .Cell(cell.shed_rate, 2)
+          .Cell(cell.cache_hit_rate, 2)
+          .Cell(cell.carried)
           .Cell(cell.snapshots);
     }
   }
@@ -337,6 +395,8 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < cells.size(); ++i) {
     const CellResult& c = cells[i];
     json << "    {\"mode\": \"" << c.mode << "\", \"readers\": " << c.readers
+         << ", \"update_kind\": \"" << update_kind << "\""
+         << ", \"carryover\": " << carryover_effective
          << ", \"update_batch\": " << c.update_batch << ", \"ok\": " << c.ok
          << ", \"stale\": " << c.stale << ", \"shed\": " << c.shed
          << ", \"wall_s\": " << c.wall_s << ", \"qps\": " << c.qps
@@ -344,6 +404,8 @@ int main(int argc, char** argv) {
          << ", \"p99_ms\": " << c.p99_ms << ", \"p999_ms\": " << c.p999_ms
          << ", \"stale_rate\": " << c.stale_rate
          << ", \"shed_rate\": " << c.shed_rate
+         << ", \"cache_hit_rate\": " << c.cache_hit_rate
+         << ", \"carried\": " << c.carried
          << ", \"snapshots\": " << c.snapshots << "}"
          << (i + 1 < cells.size() ? "," : "") << "\n";
   }

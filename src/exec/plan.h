@@ -18,6 +18,7 @@
 #ifndef NETCLUS_EXEC_PLAN_H_
 #define NETCLUS_EXEC_PLAN_H_
 
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -78,6 +79,11 @@ struct CoverKey {
   uint64_t tau_bits = 0;
 
   bool operator==(const CoverKey&) const = default;
+
+  /// τ in meters, recovered from the bit pattern. The serving layer's
+  /// delta-aware carryover reads (instance, τ) off cached keys to decide
+  /// whether a publish touched the partition a cover belongs to.
+  double tau_m() const { return std::bit_cast<double>(tau_bits); }
 };
 
 struct CoverKeyHash {
@@ -110,6 +116,13 @@ struct PlanKey {
 
   /// 64-bit stable hash over every field (SplitMix64 chain).
   uint64_t Fingerprint() const;
+
+  /// τ in meters, recovered from the bit pattern (see CoverKey::tau_m).
+  double tau_m() const { return std::bit_cast<double>(tau_bits); }
+
+  /// The cover-build identity this plan resolves to — the (instance, τ)
+  /// partition delta-aware carryover reasons about.
+  CoverKey cover_key() const { return CoverKey{instance, tau_bits}; }
 };
 
 /// The canonical executable plan. Produced by the Planner; consumed by the

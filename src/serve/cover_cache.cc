@@ -29,17 +29,32 @@ CoverCache::CoverCache(Options options) : options_(options) {
 }
 
 CoverCache::Shard& CoverCache::ShardFor(const Key& key) {
-  return *shards_[KeyHash()(key) % shards_.size()];
+  // Shard on the cover key only, never the version: CarryForward re-keys
+  // entries to the next version in place, which must not move them to a
+  // different shard (the map hash still covers the full key).
+  return *shards_[exec::CoverKeyHash()(key.cover) % shards_.size()];
 }
 
 void CoverCache::EvictLocked(Shard& shard) {
-  while (shard.lru.size() > per_shard_capacity_) {
-    const Entry& tail = shard.lru.back().second;
-    resident_bytes_.fetch_sub(tail.bytes, std::memory_order_relaxed);
-    shard.map.erase(shard.lru.back().first);
-    shard.lru.pop_back();
+  // Walk from the LRU tail, evicting completed entries only. Evicting an
+  // in-flight entry would silently break the build-once rendezvous: the
+  // next GetOrBuild for its key would miss and start a duplicate build
+  // while the first is still running. When every entry is in flight
+  // (capacity smaller than concurrent builds), leave the overshoot in
+  // place — completions and later inserts re-run this and shrink it.
+  size_t over = shard.lru.size() > per_shard_capacity_
+                    ? shard.lru.size() - per_shard_capacity_
+                    : 0;
+  auto it = shard.lru.end();
+  while (over > 0 && it != shard.lru.begin()) {
+    --it;
+    if (!it->second.completed) continue;
+    resident_bytes_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    shard.map.erase(it->first);
+    it = shard.lru.erase(it);
     evictions_.fetch_add(1, std::memory_order_relaxed);
     entries_.fetch_sub(1, std::memory_order_relaxed);
+    --over;
   }
 }
 
@@ -55,6 +70,8 @@ exec::CoverPtr CoverCache::GetOrBuild(
   std::promise<exec::CoverPtr> promise;
   std::shared_future<exec::CoverPtr> future;
   bool builder = false;
+  const uint64_t build_id =
+      next_build_id_.fetch_add(1, std::memory_order_relaxed);
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
@@ -66,6 +83,7 @@ exec::CoverPtr CoverCache::GetOrBuild(
       builder = true;
       Entry entry;
       entry.future = promise.get_future().share();
+      entry.build_id = build_id;
       future = entry.future;
       shard.lru.emplace_front(key, std::move(entry));
       shard.map.emplace(key, shard.lru.begin());
@@ -87,11 +105,14 @@ exec::CoverPtr CoverCache::GetOrBuild(
   } catch (...) {
     // Drop the dead entry so the key is rebuilt next time (a transient
     // failure must not poison (version, instance, τ) until eviction),
-    // and hand waiters the exception instead of a broken promise.
+    // and hand waiters the exception instead of a broken promise. Only
+    // the entry carrying OUR build_id is ours to drop: if this entry was
+    // cleared away and another builder re-inserted the key meanwhile,
+    // erasing by key alone would kill that healthy in-flight build.
     {
       const std::lock_guard<std::mutex> lock(shard.mu);
       auto it = shard.map.find(key);
-      if (it != shard.map.end() && it->second->second.bytes == 0) {
+      if (it != shard.map.end() && it->second->second.build_id == build_id) {
         shard.lru.erase(it->second);
         shard.map.erase(it);
         entries_.fetch_sub(1, std::memory_order_relaxed);
@@ -104,9 +125,17 @@ exec::CoverPtr CoverCache::GetOrBuild(
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
-    if (it != shard.map.end() && it->second->second.bytes == 0) {
+    // Same identity check as the cleanup path: complete only our own
+    // entry, never a successor's re-inserted build for the same key.
+    if (it != shard.map.end() && it->second->second.build_id == build_id &&
+        !it->second->second.completed) {
       it->second->second.bytes = cover->bytes;
+      it->second->second.completed = true;
       resident_bytes_.fetch_add(cover->bytes, std::memory_order_relaxed);
+      // The shard may be over capacity with nothing evictable from when
+      // every resident entry was in flight; now that one completed,
+      // shrink back.
+      EvictLocked(shard);
     }
   }
   *reused = false;
@@ -123,9 +152,9 @@ exec::CoverPtr CoverCache::TryGet(uint64_t version,
     const std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) return nullptr;
-    // bytes != 0 marks a completed build; an in-flight entry would make
-    // future.get() block, which this probe must never do.
-    if (it->second->second.bytes == 0) return nullptr;
+    // An in-flight entry would make future.get() block, which this probe
+    // must never do.
+    if (!it->second->second.completed) return nullptr;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     future = it->second->second.future;
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -147,6 +176,36 @@ exec::CoverPtr CoverCache::TryGetStale(uint64_t version,
   return nullptr;
 }
 
+size_t CoverCache::CarryForward(uint64_t old_version, uint64_t new_version,
+                                const DeltaSummary& delta) {
+  if (!enabled() || new_version <= old_version) return 0;
+  size_t carried = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
+      if (it->first.version != old_version) continue;
+      // In-flight builds stay at the old key: their builder resolves the
+      // entry by that key on completion, and a re-keyed in-flight entry
+      // would stay "building" forever.
+      if (!it->second.completed) continue;
+      if (delta.IsDirty(static_cast<size_t>(it->first.cover.instance))) {
+        continue;
+      }
+      const Key fresh{new_version, it->first.cover};
+      // Someone already built (or started building) this partition at the
+      // new version — their entry wins; ours ages out.
+      if (shard.map.find(fresh) != shard.map.end()) continue;
+      shard.map.erase(it->first);
+      it->first.version = new_version;
+      shard.map.emplace(fresh, it);
+      ++carried;
+    }
+  }
+  carried_.fetch_add(carried, std::memory_order_relaxed);
+  return carried;
+}
+
 void CoverCache::Clear() {
   for (auto& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard->mu);
@@ -166,6 +225,7 @@ CoverCache::Stats CoverCache::stats() const {
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.entries = entries_.load(std::memory_order_relaxed);
   s.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+  s.carried = carried_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -5,7 +5,10 @@
 // traffic whose specs differ in everything *except* (instance, τ) still
 // reuses one T̂C build. Because the version is part of the key, a snapshot
 // publish implicitly invalidates every cached cover; stale versions age
-// out of the LRU lists.
+// out of the LRU lists. Delta-aware carryover (CarryForward) re-keys
+// covers whose instance a publish provably did not touch — an untouched
+// partition's cover is byte-equal at both versions (see delta.h) — so an
+// update stream no longer resets the cache to cold on every batch.
 //
 // GetOrBuild has build-once semantics: concurrent callers for the same
 // key rendezvous on one shared build (a std::shared_future per entry), so
@@ -35,6 +38,7 @@
 #include "exec/cover_build.h"
 #include "exec/executor.h"
 #include "exec/plan.h"
+#include "serve/delta.h"
 
 namespace netclus::serve {
 
@@ -57,6 +61,7 @@ class CoverCache {
     uint64_t evictions = 0;
     uint64_t entries = 0;
     uint64_t resident_bytes = 0;  ///< Σ bytes of completed resident covers
+    uint64_t carried = 0;  ///< entries re-keyed across publishes (CarryForward)
   };
 
   explicit CoverCache(Options options);
@@ -88,6 +93,18 @@ class CoverCache {
   exec::CoverPtr TryGetStale(uint64_t version, const exec::CoverKey& key,
                              uint64_t max_lag, uint64_t* served_version);
 
+  /// Delta-aware carryover: re-keys every completed entry at
+  /// `old_version` whose (instance, τ) partition the publish left
+  /// untouched (see delta.h) to `new_version`, so the next snapshot
+  /// starts warm instead of rebuilding byte-equal covers. Entries whose
+  /// instance is dirty, in-flight builds (their builder resolves the old
+  /// key on completion), and keys already present at `new_version` are
+  /// left alone. Returns the number of entries carried. Thread-safe;
+  /// called by the serving layer from the update pipeline's on_publish
+  /// hook.
+  size_t CarryForward(uint64_t old_version, uint64_t new_version,
+                      const DeltaSummary& delta);
+
   /// Drops every entry (counters are kept). In-flight builds complete
   /// normally; their waiters are unaffected.
   void Clear();
@@ -106,7 +123,13 @@ class CoverCache {
   };
   struct Entry {
     std::shared_future<exec::CoverPtr> future;
-    uint64_t bytes = 0;  ///< 0 until the build completes
+    uint64_t bytes = 0;      ///< cover size; meaningful once completed
+    bool completed = false;  ///< false while the build is in flight
+    /// Which GetOrBuild call owns this entry's build. The builder's
+    /// completion / exception cleanup acts only on the entry carrying its
+    /// own id — an entry re-inserted for the same key after an eviction
+    /// belongs to a different builder and must not be touched.
+    uint64_t build_id = 0;
   };
   struct Shard {
     std::mutex mu;
@@ -116,17 +139,23 @@ class CoverCache {
   };
 
   Shard& ShardFor(const Key& key);
-  /// Evicts past-capacity tail entries; caller holds the shard lock.
+  /// Evicts past-capacity *completed* tail entries; caller holds the
+  /// shard lock. In-flight entries are never evicted (evicting one would
+  /// break the build-once rendezvous and duplicate an expensive build),
+  /// so a shard may transiently overshoot capacity while every resident
+  /// entry is still building; the next completion or insert shrinks it.
   void EvictLocked(Shard& shard);
 
   Options options_;
   size_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_build_id_{1};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> entries_{0};
   std::atomic<uint64_t> resident_bytes_{0};
+  std::atomic<uint64_t> carried_{0};
 };
 
 }  // namespace netclus::serve

@@ -1,0 +1,82 @@
+// Per-publish dirtiness summary for delta-aware cache carryover.
+//
+// A publish replaces the whole snapshot, but Sec. 6's incremental update
+// routines touch far less than the whole index. A cover (exec::BuiltCover)
+// for (instance p, τ) is a pure function of instance p's cluster records:
+// the TL entries d(T, c), the CL entries d(c, c), each cluster's
+// representative r_i and d(c_i, r_i). So a publish leaves a partition's
+// cover byte-equal exactly when it leaves instance p's records untouched:
+//
+//  * AddTrajectory appends TL postings to every instance (the new
+//    trajectory's crossed clusters exist at every resolution), so a
+//    trajectory add dirties ALL instances. No τ-level refinement helps:
+//    a crossed cluster's d(T, c) ≤ 4R_p < τ for every τ instance p
+//    serves, so the new trajectory enters every cover at that instance.
+//  * RemoveTrajectory of a live id tombstones TL postings in every
+//    instance — all dirty. Removing an id that is not alive is a
+//    documented store/index no-op — nothing dirty.
+//  * AddSite touches exactly one cluster per instance (the cluster of the
+//    hosting node) and changes that instance's covers only when the
+//    cluster's representative election changes: covers record only
+//    (representative, rep_rt_m) per cluster, never the member-site list.
+//    The pipeline compares (representative, rep_rt_m) before/after the
+//    apply and dirties just the instances where they moved.
+//
+// Query results inherit the same guarantee: the solver's candidate set is
+// the cover's representative list, existing services map through
+// cluster_of (unchanged when the instance is clean), and a strictly
+// larger SiteSet only relaxes validation. An untouched instance therefore
+// answers bit-identically at both versions — which is what lets the
+// caches re-key entries instead of rebuilding them (CarryForward), and
+// what the differential test in test_serve pins.
+#ifndef NETCLUS_SERVE_DELTA_H_
+#define NETCLUS_SERVE_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace netclus::serve {
+
+/// What one published batch touched, per NetClus resolution instance.
+/// Instance p owns the τ-partition [4R_p, 4R_p(1+γ)); "instance dirty"
+/// and "τ-partition touched" are the same statement.
+struct DeltaSummary {
+  /// dirty[p] == true → instance p's cluster records changed; covers and
+  /// cached results for any τ resolving to p must not carry forward.
+  std::vector<bool> dirty;
+
+  // Batch composition, for metrics and the slow-path explanation.
+  uint64_t traj_adds = 0;
+  uint64_t traj_removes = 0;  ///< effective removes (id was alive)
+  uint64_t noop_removes = 0;  ///< removes of dead/unknown ids (no effect)
+  uint64_t site_adds = 0;
+  uint64_t rep_changes = 0;  ///< (instance, cluster) representative moves
+
+  explicit DeltaSummary(size_t num_instances = 0) : dirty(num_instances) {}
+
+  void MarkAllDirty() { dirty.assign(dirty.size(), true); }
+  void MarkInstanceDirty(size_t p) {
+    if (p < dirty.size()) dirty[p] = true;
+  }
+
+  /// Conservative: an instance outside the tracked range reads dirty, so
+  /// a summary sized for an older index never carries a newer partition.
+  bool IsDirty(size_t p) const { return p >= dirty.size() || dirty[p]; }
+
+  bool AllClean() const {
+    for (bool d : dirty) {
+      if (d) return false;
+    }
+    return true;
+  }
+
+  size_t DirtyCount() const {
+    size_t n = 0;
+    for (bool d : dirty) n += d ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace netclus::serve
+
+#endif  // NETCLUS_SERVE_DELTA_H_

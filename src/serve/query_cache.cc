@@ -54,7 +54,11 @@ QueryCache::QueryCache(Options options) : options_(options) {
 }
 
 QueryCache::Shard& QueryCache::ShardFor(const QueryKey& key) {
-  return *shards_[QueryKeyHash()(key) % shards_.size()];
+  // Shard on the plan fingerprint only, never the version: CarryForward
+  // re-keys entries to the next version in place, which must not move
+  // them across shards (the map hash still covers the full key).
+  return *shards_[static_cast<size_t>(key.plan.Fingerprint()) %
+                  shards_.size()];
 }
 
 std::optional<index::QueryResult> QueryCache::Lookup(const QueryKey& key) {
@@ -82,13 +86,24 @@ std::optional<index::QueryResult> QueryCache::LookupStale(
       auto it = shard.map.find(probe);
       if (it != shard.map.end()) {
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-        stale_hits_.fetch_add(1, std::memory_order_relaxed);
+        // A find at lag 0 served the FRESH version — it is an ordinary
+        // hit, not a stale serve; counting it as stale would inflate
+        // netclus_query_cache_stale_hits_total on every backpressure
+        // probe that happened to be cache-warm.
+        if (lag == 0) {
+          hits_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          stale_hits_.fetch_add(1, std::memory_order_relaxed);
+        }
         if (served_version != nullptr) *served_version = probe.version;
         return it->second->second;
       }
     }
     --probe.version;
   }
+  // The whole ladder failed: one miss for the one resolved probe (these
+  // used to be invisible, understating miss pressure under backpressure).
+  misses_.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
 
@@ -113,6 +128,30 @@ void QueryCache::Insert(const QueryKey& key, const index::QueryResult& result) {
   }
 }
 
+size_t QueryCache::CarryForward(uint64_t old_version, uint64_t new_version,
+                                const DeltaSummary& delta) {
+  if (!enabled() || new_version <= old_version) return 0;
+  size_t carried = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
+      if (it->first.version != old_version) continue;
+      if (delta.IsDirty(static_cast<size_t>(it->first.plan.instance))) {
+        continue;
+      }
+      const QueryKey fresh{new_version, it->first.plan};
+      if (shard.map.find(fresh) != shard.map.end()) continue;
+      shard.map.erase(it->first);
+      it->first.version = new_version;
+      shard.map.emplace(fresh, it);
+      ++carried;
+    }
+  }
+  carried_.fetch_add(carried, std::memory_order_relaxed);
+  return carried;
+}
+
 void QueryCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
@@ -129,6 +168,7 @@ QueryCache::Stats QueryCache::stats() const {
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.entries = entries_.load(std::memory_order_relaxed);
   s.stale_hits = stale_hits_.load(std::memory_order_relaxed);
+  s.carried = carried_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -7,6 +7,10 @@
 // bit-identical to recomputation; because the version is part of the key,
 // a snapshot publish implicitly invalidates every cached entry — stale
 // versions simply stop being requested and age out of the LRU lists.
+// Delta-aware carryover (CarryForward, driven by the update pipeline's
+// per-publish DeltaSummary) re-keys entries whose resolution instance the
+// publish provably did not touch, so those survive the version bump
+// instead of aging out; see delta.h for the dirtiness argument.
 //
 // Canonicalization means equivalent specs share one entry: permuted or
 // duplicated existing-services lists, and ψ spellings that are bit-exact
@@ -31,6 +35,7 @@
 #include "api/engine.h"
 #include "exec/plan.h"
 #include "netclus/query.h"
+#include "serve/delta.h"
 #include "tops/site_set.h"
 
 namespace netclus::serve {
@@ -81,11 +86,17 @@ class QueryCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t entries = 0;  ///< current resident entries
-    /// Successful LookupStale probes. Deliberately not folded into
-    /// hits/misses: the fresh-path invariant hits + misses == lookups
-    /// (which the serving tests assert) must not be disturbed by
-    /// backpressure probing.
+    /// LookupStale probes that hit at a *lagged* version (lag > 0) — the
+    /// answers served stale under backpressure. A LookupStale that finds
+    /// the entry at lag 0 served the fresh version and counts as an
+    /// ordinary `hits`; a probe whose whole ladder fails counts one
+    /// `misses`. So hits + misses == Lookup calls + resolved LookupStale
+    /// ladders, and stale_hits is exactly the stale-served count (it used
+    /// to also absorb lag-0 fresh hits, inflating the stale-serving
+    /// metric).
     uint64_t stale_hits = 0;
+    /// Entries re-keyed across publishes by CarryForward.
+    uint64_t carried = 0;
   };
 
   explicit QueryCache(Options options);
@@ -102,11 +113,21 @@ class QueryCache {
 
   /// Backpressure probe: looks for the same plan at key.version or any of
   /// the `max_lag` preceding versions, newest first. On success sets
-  /// *served_version to the version found. Does not touch the hit/miss
-  /// counters (see Stats::stale_hits); failures are silent. Thread-safe.
+  /// *served_version to the version found. Counting: a lag-0 find is a
+  /// fresh `hits`, a lagged find is a `stale_hits`, a fully failed ladder
+  /// is one `misses` (see Stats::stale_hits). Thread-safe.
   std::optional<index::QueryResult> LookupStale(const QueryKey& key,
                                                 uint64_t max_lag,
                                                 uint64_t* served_version);
+
+  /// Delta-aware carryover: re-keys entries at `old_version` whose
+  /// resolution instance the publish left untouched (see delta.h) to
+  /// `new_version` — their answers are bit-identical at both versions, so
+  /// the next snapshot starts warm. Keys already present at the new
+  /// version win; dirty-instance entries age out. Returns the number
+  /// carried. Thread-safe.
+  size_t CarryForward(uint64_t old_version, uint64_t new_version,
+                      const DeltaSummary& delta);
 
   /// Inserts (or refreshes) an entry, evicting the shard's LRU tail when
   /// over budget. Thread-safe.
@@ -135,6 +156,7 @@ class QueryCache {
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> entries_{0};
   std::atomic<uint64_t> stale_hits_{0};
+  std::atomic<uint64_t> carried_{0};
 };
 
 }  // namespace netclus::serve

@@ -89,7 +89,20 @@ NetClusServer::NetClusServer(const Engine& engine, const ServerOptions& options)
   registry_.Publish(std::make_shared<IndexSnapshot>(
       /*version=*/1, std::move(network), std::move(store), std::move(sites),
       std::move(index)));
-  pipeline_ = std::make_unique<UpdatePipeline>(&registry_, options.updates);
+  carryover_enabled_ = options.carryover >= 0
+                           ? options.carryover != 0
+                           : util::GetEnvBool("NETCLUS_CARRYOVER", true);
+  // Chain the server's publish hook (cache carryover + standing queries)
+  // in front of any caller-supplied one; both run on the writer thread.
+  UpdatePipeline::Options updates = options.updates;
+  const auto user_hook = updates.on_publish;
+  updates.on_publish = [this, user_hook](uint64_t old_version,
+                                         uint64_t new_version,
+                                         const DeltaSummary& delta) {
+    OnPublish(old_version, new_version, delta);
+    if (user_hook) user_hook(old_version, new_version, delta);
+  };
+  pipeline_ = std::make_unique<UpdatePipeline>(&registry_, updates);
   util::StagedScheduler::Options sched;
   sched.workers = options.scheduler_workers;
   scheduler_ = std::make_unique<util::StagedScheduler>(sched);
@@ -234,44 +247,47 @@ void NetClusServer::StageAdmit(const std::shared_ptr<AsyncState>& state) {
                     /*stale=*/false);
       return;
     }
-    // Backpressure: a fresh answer needs a build. If builds are backed up
-    // and the policy tolerates lag, answer from a previous version — the
-    // shed work is the *build*, never a cheap hit, and the response is
-    // explicitly flagged stale + shed with the version it came from.
-    const uint64_t max_lag = state->request.staleness.max_version_lag;
-    if (max_lag > 0 &&
-        scheduler_->QueueDepth(Lane::kHeavy) >= options_.shed_builds_over) {
-      if (state->cacheable) {
-        uint64_t served_version = 0;
-        if (std::optional<index::QueryResult> staler =
-                cache_.LookupStale(state->key, max_lag, &served_version)) {
-          r.result = std::move(*staler);
-          r.cache_hit = true;
-          r.shed = true;
-          r.stale = served_version != version;
-          r.snapshot_version = served_version;
-          r.snapshot = registry_.AcquireVersion(served_version);
-          if (r.stale) ctx_->stats.RecordStaleServed();
-          end_admit_span();
-          Complete(state, StatusCode::kOk);
-          return;
-        }
+  }
+  // Backpressure: a fresh answer needs a build. If builds are backed up
+  // and the policy tolerates lag, answer from a previous version — the
+  // shed work is the *build*, never a cheap hit, and the response is
+  // explicitly flagged stale + shed with the version it came from. This
+  // runs even with the cover cache disabled: the *result* cache can
+  // still serve a previous version's answer (NETCLUS_COVER_CACHE=0 used
+  // to silently disable stale serving too).
+  const uint64_t max_lag = state->request.staleness.max_version_lag;
+  if (max_lag > 0 &&
+      scheduler_->QueueDepth(Lane::kHeavy) >= options_.shed_builds_over) {
+    if (state->cacheable) {
+      uint64_t served_version = 0;
+      if (std::optional<index::QueryResult> staler =
+              cache_.LookupStale(state->key, max_lag, &served_version)) {
+        r.result = std::move(*staler);
+        r.cache_hit = true;
+        r.shed = true;
+        r.stale = served_version != version;
+        r.snapshot_version = served_version;
+        r.snapshot = registry_.AcquireVersion(served_version);
+        if (r.stale) ctx_->stats.RecordStaleServed();
+        end_admit_span();
+        Complete(state, StatusCode::kOk);
+        return;
       }
-      uint64_t cover_version = 0;
-      if (exec::CoverPtr cover = cover_cache_.TryGetStale(
-              version, cover_key, max_lag, &cover_version)) {
-        if (SnapshotPtr old_snap = registry_.AcquireVersion(cover_version)) {
-          ctx_->stats.RecordCoverShared();
-          state->trace.AddFlags(obs::kFlagCoverShared);
-          r.shed = true;
-          end_admit_span();
-          FinishOnCover(state, old_snap, cover, /*cover_reused=*/true,
-                        /*stale=*/cover_version != version);
-          return;
-        }
-      }
-      // Nothing stale to serve — fall through and pay for the build.
     }
+    uint64_t cover_version = 0;
+    if (exec::CoverPtr cover = cover_cache_.TryGetStale(
+            version, cover_key, max_lag, &cover_version)) {
+      if (SnapshotPtr old_snap = registry_.AcquireVersion(cover_version)) {
+        ctx_->stats.RecordCoverShared();
+        state->trace.AddFlags(obs::kFlagCoverShared);
+        r.shed = true;
+        end_admit_span();
+        FinishOnCover(state, old_snap, cover, /*cover_reused=*/true,
+                      /*stale=*/cover_version != version);
+        return;
+      }
+    }
+    // Nothing stale to serve — fall through and pay for the build.
   }
   end_admit_span();
   if (!scheduler_->Submit(Lane::kHeavy,
@@ -500,6 +516,53 @@ UpdateTicket NetClusServer::MutateAddSite(graph::NodeId node) {
 
 void NetClusServer::Flush() { pipeline_->Flush(); }
 
+void NetClusServer::OnPublish(uint64_t old_version, uint64_t new_version,
+                              const DeltaSummary& delta) {
+  if (carryover_enabled_) {
+    carryover_publishes_.fetch_add(1, std::memory_order_relaxed);
+    carryover_clean_partitions_.fetch_add(
+        delta.dirty.size() - delta.DirtyCount(), std::memory_order_relaxed);
+    // Covers first: a carried query-cache entry implies its partition is
+    // clean, so its cover carries too — keeping both warm means a
+    // standing-query re-evaluation below is a lookup, not a build.
+    cover_cache_.CarryForward(old_version, new_version, delta);
+    cache_.CarryForward(old_version, new_version, delta);
+  }
+  standing_.OnPublish(new_version, delta,
+                      [this](const Engine::QuerySpec& spec) {
+                        return AnswerInline(spec, registry_.Acquire()).result;
+                      });
+}
+
+uint64_t NetClusServer::RegisterStanding(const Engine::QuerySpec& spec,
+                                         StalenessPolicy staleness,
+                                         StandingCallback callback) {
+  const SnapshotPtr snap = registry_.Acquire();
+  Engine::QuerySpec canon = CanonicalizeSpec(spec);
+  exec::QueryPlan plan;
+  try {
+    const exec::Planner planner(ctx_.get());
+    plan = planner.Plan(canon.ToRequest(options_.query_threads),
+                        snap->index(), /*batch_size=*/1);
+    exec::Executor(&snap->index(), &snap->store(), &snap->sites(), ctx_.get())
+        .ValidatePlan(plan);
+  } catch (const std::exception& e) {
+    NC_SLOG_WARNING("standing_invalid_spec").Kv("what", e.what());
+    return 0;
+  }
+  return standing_.Register(std::move(canon), plan.instance,
+                            staleness.max_version_lag, std::move(callback),
+                            snap->version(),
+                            [this](const Engine::QuerySpec& s) {
+                              return AnswerInline(s, registry_.Acquire())
+                                  .result;
+                            });
+}
+
+bool NetClusServer::UnregisterStanding(uint64_t id) {
+  return standing_.Unregister(id);
+}
+
 void NetClusServer::Shutdown() {
   // Drain the async readers first (their stages may still acquire
   // snapshots), then the writer.
@@ -572,6 +635,9 @@ void NetClusServer::RegisterMetrics() {
   m.RegisterProvider("netclus_query_cache_entries", {},
                      "Resident result-cache entries", false,
                      cache_stat(&QueryCache::Stats::entries));
+  m.RegisterProvider("netclus_query_cache_carried_total", {},
+                     "Result-cache entries re-keyed across publishes", true,
+                     cache_stat(&QueryCache::Stats::carried));
 
   const auto cover_stat = [this](uint64_t CoverCache::Stats::*field) {
     return [this, field]() {
@@ -593,6 +659,49 @@ void NetClusServer::RegisterMetrics() {
   m.RegisterProvider("netclus_cover_cache_resident_bytes", {},
                      "Bytes of completed resident covers", false,
                      cover_stat(&CoverCache::Stats::resident_bytes));
+  m.RegisterProvider("netclus_cover_cache_carried_total", {},
+                     "Covers re-keyed across publishes", true,
+                     cover_stat(&CoverCache::Stats::carried));
+
+  m.RegisterProvider("netclus_carryover_publishes_total", {},
+                     "Publishes processed by delta-aware cache carryover",
+                     true, [this]() {
+                       return static_cast<double>(carryover_publishes_.load(
+                           std::memory_order_relaxed));
+                     });
+  m.RegisterProvider("netclus_carryover_clean_partitions_total", {},
+                     "Untouched instance partitions across those publishes",
+                     true, [this]() {
+                       return static_cast<double>(
+                           carryover_clean_partitions_.load(
+                               std::memory_order_relaxed));
+                     });
+
+  const auto standing_stat =
+      [this](uint64_t StandingQueryRegistry::Stats::*field) {
+        return [this, field]() {
+          return static_cast<double>(standing_.stats().*field);
+        };
+      };
+  m.RegisterProvider("netclus_standing_active", {},
+                     "Currently registered standing queries", false,
+                     standing_stat(&StandingQueryRegistry::Stats::active));
+  m.RegisterProvider(
+      "netclus_standing_evaluations_total", {},
+      "Standing-query evaluations run (incl. initial)", true,
+      standing_stat(&StandingQueryRegistry::Stats::evaluations));
+  m.RegisterProvider("netclus_standing_pushes_total", {},
+                     "Standing-query callbacks invoked (changed results)",
+                     true,
+                     standing_stat(&StandingQueryRegistry::Stats::pushes));
+  m.RegisterProvider(
+      "netclus_standing_skipped_clean_total", {},
+      "Publishes skipped because the entry's instance was untouched", true,
+      standing_stat(&StandingQueryRegistry::Stats::skipped_clean));
+  m.RegisterProvider("netclus_standing_deferred_total", {},
+                     "Dirty publishes coalesced within the staleness budget",
+                     true,
+                     standing_stat(&StandingQueryRegistry::Stats::deferred));
 
   m.RegisterProvider("netclus_update_queue_depth", {},
                      "Mutations accepted but not yet applied", false,
@@ -663,6 +772,11 @@ ServerStats NetClusServer::stats() const {
   s.exec = ctx_->stats.snapshot();
   s.updates = pipeline_->stats();
   s.scheduler = scheduler_->stats();
+  s.standing = standing_.stats();
+  s.carryover_publishes =
+      carryover_publishes_.load(std::memory_order_relaxed);
+  s.carryover_clean_partitions =
+      carryover_clean_partitions_.load(std::memory_order_relaxed);
   s.snapshot_version = registry_.current_version();
   return s;
 }

@@ -55,8 +55,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/cover_cache.h"
+#include "serve/delta.h"
 #include "serve/query_cache.h"
 #include "serve/snapshot.h"
+#include "serve/standing.h"
 #include "serve/update_pipeline.h"
 #include "util/histogram.h"
 #include "util/scheduler.h"
@@ -177,6 +179,13 @@ struct ServerOptions {
   /// emit a structured `slow_query` WARNING line. Negative (default)
   /// resolves NETCLUS_SLOW_QUERY_MS; 0 disables the log.
   double slow_query_ms = -1.0;
+  /// Delta-aware cache carryover across snapshot publishes: re-key
+  /// query/cover cache entries whose (instance, τ) partition a publish
+  /// provably did not touch (see delta.h) instead of letting every
+  /// publish reset the caches to cold. Results are bit-identical either
+  /// way. Negative (default) resolves NETCLUS_CARRYOVER (default on);
+  /// 0 disables, positive enables.
+  int carryover = -1;
 };
 
 struct ServerStats {
@@ -198,6 +207,12 @@ struct ServerStats {
   exec::StatsRegistry::Snapshot exec;
   UpdatePipeline::Stats updates;
   util::StagedScheduler::Stats scheduler;
+  StandingQueryRegistry::Stats standing;
+  /// Publishes processed by the carryover hook (0 when disabled).
+  uint64_t carryover_publishes = 0;
+  /// Σ untouched (instance) partitions across those publishes — the
+  /// opportunity the caches carried entries within.
+  uint64_t carryover_clean_partitions = 0;
   uint64_t snapshot_version = 0;
   double uptime_seconds = 0.0;
 };
@@ -252,6 +267,26 @@ class NetClusServer {
 
   /// Blocks until every mutation accepted so far is published.
   void Flush();
+
+  // --- standing queries ----------------------------------------------------
+
+  /// Registers a continuous TOPS query: `callback` is invoked immediately
+  /// with the current answer (first = true), then again after any publish
+  /// that may have changed it — with the top-k membership diff — subject
+  /// to the delta gating and the staleness budget (see standing.h;
+  /// `staleness.max_version_lag` is the number of dirty publishes the
+  /// entry may coalesce before re-evaluating). Callbacks after the first
+  /// run on the update pipeline's writer thread and must not block or
+  /// call Flush/Mutate-and-wait. Returns the id for UnregisterStanding,
+  /// or 0 when the spec fails validation. Thread-safe.
+  uint64_t RegisterStanding(const Engine::QuerySpec& spec,
+                            StalenessPolicy staleness,
+                            StandingCallback callback);
+
+  /// Removes a standing query; after it returns the callback will not be
+  /// invoked again. Safe from within the entry's own callback. Returns
+  /// false for an unknown id. Thread-safe.
+  bool UnregisterStanding(uint64_t id);
 
   // --- lifecycle / introspection -------------------------------------------
 
@@ -311,6 +346,12 @@ class NetClusServer {
   ServeResult AnswerInline(const Engine::QuerySpec& spec,
                            const SnapshotPtr& snap);
 
+  /// Update-pipeline publish hook (writer thread): carry the caches
+  /// forward under the delta, then delta-gate standing-query
+  /// re-evaluation.
+  void OnPublish(uint64_t old_version, uint64_t new_version,
+                 const DeltaSummary& delta);
+
   /// Registers the serving-layer providers (scheduler lanes, caches,
   /// update pipeline, snapshot version, latency view) into ctx_->metrics.
   /// Called once from the constructor; providers capture `this`.
@@ -320,6 +361,10 @@ class NetClusServer {
   SnapshotRegistry registry_;
   QueryCache cache_;
   CoverCache cover_cache_;
+  StandingQueryRegistry standing_;
+  bool carryover_enabled_ = true;
+  std::atomic<uint64_t> carryover_publishes_{0};
+  std::atomic<uint64_t> carryover_clean_partitions_{0};
   /// Per-server execution context: stats registry + warn-once state,
   /// shared by every query's planner/executor run.
   std::shared_ptr<exec::ExecContext> ctx_;

@@ -182,30 +182,82 @@ void UpdatePipeline::ApplyBatch(std::vector<UpdateOp> batch) {
   auto sites = std::make_shared<tops::SiteSet>(base->sites());
   auto index = std::make_shared<index::MultiIndex>(base->index().Clone());
 
+  // Dirtiness is decided per op while applying (see delta.h for why each
+  // op kind dirties what it does); `rep_before` is scratch for the
+  // AddSite before/after representative comparison.
+  DeltaSummary delta(index->num_instances());
+  std::vector<std::pair<uint32_t, std::pair<tops::SiteId, float>>> rep_before;
+
   for (UpdateOp& op : batch) {
     switch (op.kind) {
       case UpdateOp::Kind::kAddTrajectory: {
         const traj::TrajId id = store->Add(std::move(op.nodes));
         index->AddTrajectory(*store, id);
+        // The new trajectory's TL postings land in every instance.
+        delta.MarkAllDirty();
+        ++delta.traj_adds;
         break;
       }
-      case UpdateOp::Kind::kRemoveTrajectory:
+      case UpdateOp::Kind::kRemoveTrajectory: {
+        // An id that is not alive (unknown, or already removed) is a
+        // documented no-op in both the store and the index — it dirties
+        // nothing and must not invalidate carryover.
+        const bool effective = op.traj < store->total_count() &&
+                               store->is_alive(op.traj);
         store->Remove(op.traj);
         index->RemoveTrajectory(op.traj);
+        if (effective) {
+          delta.MarkAllDirty();
+          ++delta.traj_removes;
+        } else {
+          ++delta.noop_removes;
+        }
         break;
+      }
       case UpdateOp::Kind::kAddSite: {
         // Node validity was checked at Enqueue against the shared network.
+        // Covers see a new site only through a representative election,
+        // so snapshot each instance's affected cluster (representative,
+        // rep_rt_m) and dirty exactly the instances where it moved.
+        rep_before.clear();
+        for (size_t p = 0; p < index->num_instances(); ++p) {
+          const index::ClusterIndex& inst = index->instance(p);
+          const uint32_t g = inst.cluster_of(op.node);
+          const index::Cluster& c = inst.cluster(g);
+          rep_before.emplace_back(
+              g, std::make_pair(c.representative, c.rep_rt_m));
+        }
         const tops::SiteId s = sites->Add(op.node);
         index->AddSite(*store, *sites, s);
+        for (size_t p = 0; p < index->num_instances(); ++p) {
+          const index::Cluster& c =
+              index->instance(p).cluster(rep_before[p].first);
+          if (c.representative != rep_before[p].second.first ||
+              c.rep_rt_m != rep_before[p].second.second) {
+            delta.MarkInstanceDirty(p);
+            ++delta.rep_changes;
+          }
+        }
+        ++delta.site_adds;
         break;
       }
     }
   }
 
+  const uint64_t old_version = base->version();
+  const uint64_t new_version = old_version + 1;
   auto next = std::make_shared<IndexSnapshot>(
-      base->version() + 1, base->network_ptr(), std::move(store),
-      std::move(sites), std::move(index));
+      new_version, base->network_ptr(), std::move(store), std::move(sites),
+      std::move(index));
   registry_->Publish(std::move(next));
+
+  // The hook runs after Publish (the new version is live) but before the
+  // applied_sequence_ bump, so a client blocked in Flush()/WaitFor() for
+  // this batch observes carried-forward caches and standing-query pushes
+  // as already done when it wakes.
+  if (options_.on_publish) {
+    options_.on_publish(old_version, new_version, delta);
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   stats_.ops_applied += batch.size();

@@ -19,10 +19,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "serve/delta.h"
 #include "serve/snapshot.h"
 
 namespace netclus::serve {
@@ -68,6 +70,15 @@ class UpdatePipeline {
     /// an unbounded queue would let a fast client outrun the writer and
     /// grow memory without limit.
     size_t max_queue = 65536;
+    /// Invoked on the writer thread immediately after each Publish, with
+    /// the superseded and new version numbers and the batch's dirtiness
+    /// summary (see delta.h). The new version is already visible to
+    /// readers when this runs; the hook must not call back into the
+    /// pipeline (it runs on the writer, so Flush would deadlock). The
+    /// serving layer uses it for cache carryover and standing queries.
+    std::function<void(uint64_t old_version, uint64_t new_version,
+                       const DeltaSummary& delta)>
+        on_publish;
   };
 
   struct Stats {

@@ -7,20 +7,30 @@
 // versions, every answer is bit-identical to a serial replay of the same
 // spec on the snapshot version that served it. The whole file must also
 // be TSan-clean (the CI tsan job runs it under -fsanitize=thread).
+#include <array>
 #include <atomic>
+#include <bit>
+#include <chrono>
 #include <future>
 #include <limits>
+#include <map>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "api/engine.h"
+#include "exec/cover_build.h"
 #include "gtest/gtest.h"
+#include "serve/cover_cache.h"
+#include "serve/delta.h"
 #include "serve/query_cache.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
+#include "serve/standing.h"
 #include "serve/update_pipeline.h"
 #include "test_helpers.h"
 #include "traj/trip_generator.h"
+#include "util/flags.h"
 
 namespace netclus {
 namespace {
@@ -672,6 +682,573 @@ TEST(NetClusServerAsync, InvalidSpecMapsToStatusNotException) {
   const serve::Response priced = server->SubmitAsync(std::move(cost)).get();
   ASSERT_EQ(priced.status, serve::StatusCode::kOk);
   EXPECT_FALSE(priced.result.selection.sites.empty());
+}
+
+// --- delta-aware carryover, standing queries, cache accounting --------------
+
+// Satellite regression: LookupStale's counters must partition exactly.
+// A lag-0 find is an ordinary fresh hit, a lagged find is a stale hit,
+// and a fully failed ladder is one miss (it used to count lag-0 finds as
+// stale — inflating the stale-serving metric — and failed ladders as
+// nothing at all).
+TEST(QueryCache, LookupStaleCountsFreshStaleAndMissExactly) {
+  serve::QueryCache::Options options;
+  options.capacity = 64;
+  options.shards = 4;
+  serve::QueryCache cache(options);
+  const Engine::QuerySpec spec = Spec(3, 700.0);
+  index::QueryResult result;
+  result.selection.utility = 5.0;
+  cache.Insert(serve::CanonicalQueryKey(3, spec), result);
+
+  // Found at lag 0: the fresh version answered — hits, not stale_hits.
+  uint64_t served = 0;
+  ASSERT_TRUE(cache.LookupStale(serve::CanonicalQueryKey(3, spec), 4, &served)
+                  .has_value());
+  EXPECT_EQ(served, 3u);
+  serve::QueryCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.stale_hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+
+  // Found at lag 2: a genuine stale serve.
+  ASSERT_TRUE(cache.LookupStale(serve::CanonicalQueryKey(5, spec), 2, &served)
+                  .has_value());
+  EXPECT_EQ(served, 3u);
+  s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.stale_hits, 1u);
+  EXPECT_EQ(s.misses, 0u);
+
+  // Whole ladder fails (versions 9, 8, 7 all absent): exactly one miss.
+  EXPECT_FALSE(cache.LookupStale(serve::CanonicalQueryKey(9, spec), 2, &served)
+                   .has_value());
+  s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.stale_hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+exec::CoverPtr FakeCover(uint64_t bytes) {
+  auto cover = std::make_shared<exec::BuiltCover>();
+  cover->bytes = bytes;
+  return cover;
+}
+
+exec::CoverKey TauKey(double tau_m) {
+  exec::CoverKey key;
+  key.instance = 0;
+  key.tau_bits = std::bit_cast<uint64_t>(tau_m);
+  return key;
+}
+
+// Satellite regression: eviction must never evict an in-flight build.
+// Evicting one breaks the build-once rendezvous — a second caller for the
+// same key would miss and start a duplicate build. Hammer one single-slot
+// shard with more distinct keys than capacity from several threads and
+// assert no key ever had two builders at once, and that the byte ledger
+// balances when the dust settles. Run under TSan by the CI tsan job.
+TEST(CoverCache, EvictionNeverBreaksBuildOnceRendezvous) {
+  serve::CoverCache::Options options;
+  options.capacity = 1;  // four keys fight over one completed slot
+  options.shards = 1;
+  options.respect_env = false;  // the CI matrix sets NETCLUS_COVER_CACHE=0
+  serve::CoverCache cache(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 4;
+  constexpr int kIters = 25;
+  std::array<std::atomic<int>, kKeys> building{};
+  std::atomic<bool> concurrent_build{false};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const int key_index = (t + i) % kKeys;
+        bool reused = false;
+        cache.GetOrBuild(
+            1, TauKey(100.0 * (1 + key_index)),
+            [&building, &concurrent_build, key_index] {
+              if (building[key_index].fetch_add(1) != 0) {
+                concurrent_build.store(true);
+              }
+              std::this_thread::sleep_for(std::chrono::microseconds(200));
+              building[key_index].fetch_sub(1);
+              return FakeCover(64 + key_index);
+            },
+            &reused);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_FALSE(concurrent_build.load());  // rendezvous held throughout
+  serve::CoverCache::Stats s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);   // the capacity fight really happened
+  EXPECT_LE(s.entries, 1u);     // capacity enforced once builds completed
+  cache.Clear();
+  s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.resident_bytes, 0u);  // nothing leaked or double-subtracted
+}
+
+// Satellite regression: a failing builder's cleanup must erase only its
+// OWN entry. Interleaving: builder A's entry vanishes underneath it
+// (Clear — the one way left now that eviction skips in-flight builds),
+// builder B re-inserts the same key, then A throws. A's cleanup used to
+// erase any in-flight-looking entry for the key — killing B's build
+// rendezvous; with the build-id check it leaves B alone.
+TEST(CoverCache, FailedBuilderOnlyCleansUpItsOwnEntry) {
+  serve::CoverCache::Options options;
+  options.capacity = 4;
+  options.shards = 1;
+  options.respect_env = false;
+  serve::CoverCache cache(options);
+  const exec::CoverKey key = TauKey(500.0);
+
+  std::promise<void> gate_a, gate_b;
+  std::shared_future<void> wait_a = gate_a.get_future().share();
+  std::shared_future<void> wait_b = gate_b.get_future().share();
+  std::atomic<bool> a_started{false}, b_started{false};
+  std::atomic<bool> a_threw{false};
+  exec::CoverPtr b_cover;
+  bool b_reused = true;
+
+  std::thread a([&] {
+    bool reused = false;
+    try {
+      cache.GetOrBuild(
+          1, key,
+          [&]() -> exec::CoverPtr {
+            a_started.store(true);
+            wait_a.wait();
+            throw std::runtime_error("transient build failure");
+          },
+          &reused);
+    } catch (const std::runtime_error&) {
+      a_threw.store(true);
+    }
+  });
+  while (!a_started.load()) std::this_thread::yield();
+
+  cache.Clear();  // A's entry is gone; the key slot is free again
+  std::thread b([&] {
+    b_cover = cache.GetOrBuild(
+        1, key,
+        [&] {
+          b_started.store(true);
+          wait_b.wait();
+          return FakeCover(77);
+        },
+        &b_reused);
+  });
+  while (!b_started.load()) std::this_thread::yield();
+
+  gate_a.set_value();  // A fails while B's entry for the key is in flight
+  a.join();
+  gate_b.set_value();
+  b.join();
+
+  EXPECT_TRUE(a_threw.load());  // the failure still propagated to A's caller
+  ASSERT_NE(b_cover, nullptr);
+  EXPECT_FALSE(b_reused);
+  EXPECT_EQ(b_cover->bytes, 77u);
+  // B's entry survived A's cleanup: resident, counted, servable.
+  EXPECT_NE(cache.TryGet(1, key), nullptr);
+  const serve::CoverCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.resident_bytes, 77u);
+}
+
+// A grid engine over a sampled (not all-nodes) site pool, with a fixed
+// deterministic corpus: trajectory ids 0..29 are guaranteed live, and
+// site-less nodes exist for AddSite. Two calls build bit-identical twins.
+Engine MakeSampledEngine() {
+  graph::RoadNetwork net = test::MakeGridNetwork(10, 10, 100.0);
+  tops::SiteSet sites = tops::SiteSet::SampleNodes(net, 30, 9);
+  Engine::Options options;
+  options.index.gamma = 0.75;
+  options.index.tau_min_m = 300.0;
+  options.index.tau_max_m = 2000.0;
+  Engine engine(std::move(net), std::move(sites), options);
+  for (int i = 0; i < 30; ++i) {
+    const auto c = static_cast<graph::NodeId>(i % 9);
+    engine.AddTrajectory({c, static_cast<graph::NodeId>(c + 10),
+                          static_cast<graph::NodeId>(c + 11),
+                          static_cast<graph::NodeId>(c + 21)});
+  }
+  engine.BuildIndex();
+  return engine;
+}
+
+// The writer publishes one DeltaSummary per batch classifying each op:
+// trajectory adds and effective removes dirty every instance (their TL
+// postings land in all of them), no-op removes dirty nothing, and a site
+// add dirties exactly the instances whose cluster representative moved.
+TEST(UpdatePipeline, DeltaSummaryClassifiesOps) {
+  Engine engine = MakeSampledEngine();
+  graph::NodeId fresh_node = 0;
+  while (engine.sites().SiteAtNode(fresh_node) != tops::kInvalidSite) {
+    ++fresh_node;
+  }
+
+  serve::ServerOptions options;
+  std::mutex mu;
+  std::vector<serve::DeltaSummary> deltas;
+  options.updates.on_publish = [&](uint64_t, uint64_t,
+                                   const serve::DeltaSummary& delta) {
+    const std::lock_guard<std::mutex> lock(mu);
+    deltas.push_back(delta);
+  };
+  auto server = engine.Serve(options);
+  const size_t instances = server->snapshot()->index().num_instances();
+
+  server->MutateRemoveTrajectory(999999);  // unknown id: provable no-op
+  server->Flush();
+  const serve::UpdateTicket added = server->MutateAddTrajectory({0, 1, 2, 12});
+  server->Flush();
+  server->MutateRemoveTrajectory(added.traj);  // effective remove
+  server->Flush();
+  server->MutateAddSite(fresh_node);
+  server->Flush();
+
+  const std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(deltas.size(), 4u);
+  for (const serve::DeltaSummary& d : deltas) {
+    EXPECT_EQ(d.dirty.size(), instances);
+  }
+  // No-op remove: clean everywhere — the publish changed nothing.
+  EXPECT_TRUE(deltas[0].AllClean());
+  EXPECT_EQ(deltas[0].noop_removes, 1u);
+  // Trajectory add / effective remove: every instance dirty.
+  EXPECT_EQ(deltas[1].DirtyCount(), instances);
+  EXPECT_EQ(deltas[1].traj_adds, 1u);
+  EXPECT_EQ(deltas[2].DirtyCount(), instances);
+  EXPECT_EQ(deltas[2].traj_removes, 1u);
+  // Site add: dirty exactly where a cluster representative changed.
+  EXPECT_EQ(deltas[3].site_adds, 1u);
+  EXPECT_EQ(deltas[3].DirtyCount(), deltas[3].rep_changes);
+}
+
+// Tentpole invariant underlying carryover: a publish that leaves an
+// instance untouched leaves its covers byte-equal — rebuildable from the
+// new snapshot with identical contents at any thread count.
+TEST(NetClusServer, CleanPublishKeepsCoversByteEqual) {
+  Engine engine = MakeEngine();
+  auto server = engine.Serve();
+  const serve::SnapshotPtr before = server->snapshot();
+  server->MutateRemoveTrajectory(424242);  // no-op: every instance clean
+  server->Flush();
+  const serve::SnapshotPtr after = server->snapshot();
+  ASSERT_GT(after->version(), before->version());
+
+  for (size_t p = 0; p < before->index().num_instances(); ++p) {
+    const double tau_m = 400.0 + 150.0 * static_cast<double>(p);
+    const exec::BuiltCover old_cover =
+        exec::BuildCover(before->index(), before->store(), tau_m, p, 1);
+    const exec::BuiltCover new_cover =
+        exec::BuildCover(after->index(), after->store(), tau_m, p, 4);
+    ASSERT_EQ(old_cover.rep_sites, new_cover.rep_sites);
+    ASSERT_EQ(old_cover.approx.num_sites(), new_cover.approx.num_sites());
+    for (size_t s = 0; s < old_cover.approx.num_sites(); ++s) {
+      const auto old_list = old_cover.approx.TC(static_cast<tops::SiteId>(s));
+      const auto new_list = new_cover.approx.TC(static_cast<tops::SiteId>(s));
+      ASSERT_EQ(old_list.size(), new_list.size());
+      auto old_it = old_list.begin();
+      auto new_it = new_list.begin();
+      for (size_t i = 0; i < old_list.size(); ++i, ++old_it, ++new_it) {
+        ASSERT_EQ((*old_it).id, (*new_it).id);
+        ASSERT_EQ((*old_it).dr_m, (*new_it).dr_m);
+      }
+    }
+  }
+}
+
+// Tentpole: a clean publish carries both caches forward — the next query
+// at the new version is a (non-stale) cache hit, bit-identical to a
+// from-scratch replay there; a dirty publish carries nothing and the next
+// query recomputes.
+TEST(NetClusServer, CarryoverKeepsCachesWarmAcrossCleanPublishes) {
+  Engine engine = MakeEngine();
+  serve::ServerOptions options;
+  options.carryover = 1;
+  auto server = engine.Serve(options);
+  const Engine::QuerySpec spec = Spec(4, 800.0);
+
+  const serve::ServeResult v1 = server->Submit(spec);  // warms both caches
+  ASSERT_EQ(v1.snapshot_version, 1u);
+  ASSERT_FALSE(v1.cache_hit);
+
+  server->MutateRemoveTrajectory(999999);  // clean publish: version 2
+  server->Flush();
+  ASSERT_EQ(server->snapshot()->version(), 2u);
+
+  const serve::ServeResult v2 = server->Submit(spec);
+  EXPECT_EQ(v2.snapshot_version, 2u);
+  EXPECT_TRUE(v2.cache_hit);  // carried entry answered at the NEW version
+  EXPECT_FALSE(v2.stale);     // a carry is not a stale serve
+  ExpectBitIdentical(v1.result, v2.result);
+  ExpectBitIdentical(Replay(v2, spec), v2.result);  // == from-scratch at v2
+
+  serve::ServerStats stats = server->stats();
+  EXPECT_GE(stats.cache.carried, 1u);
+  // The cover cache may be disabled for the whole suite run
+  // (NETCLUS_COVER_CACHE=0 in the CI exec matrix) — no covers to carry.
+  if (netclus::util::GetEnvBool("NETCLUS_COVER_CACHE", true)) {
+    EXPECT_GE(stats.cover_cache.carried, 1u);
+  }
+  EXPECT_EQ(stats.cache.stale_hits, 0u);
+  EXPECT_GE(stats.carryover_publishes, 1u);
+  EXPECT_GE(stats.carryover_clean_partitions,
+            server->snapshot()->index().num_instances());
+
+  // A trajectory add dirties every instance: nothing carries, and the
+  // next submit pays a fresh compute that still matches replay.
+  server->MutateAddTrajectory({0, 1, 2, 12});
+  server->Flush();
+  const uint64_t carried_before = server->stats().cache.carried;
+  const serve::ServeResult v3 = server->Submit(spec);
+  EXPECT_EQ(v3.snapshot_version, 3u);
+  EXPECT_FALSE(v3.cache_hit);
+  ExpectBitIdentical(Replay(v3, spec), v3.result);
+  EXPECT_EQ(server->stats().cache.carried, carried_before);
+}
+
+// Acceptance: twin servers over bit-identical engines, carryover on vs
+// off, fed the same mirrored update stream (one op per publish, so
+// version numbers mean the same state on both) while 1 then 4 reader
+// threads submit. Every answer must be bit-identical to a from-scratch
+// serial replay at its served version; answers the two servers produce
+// for the same (spec, version) must match each other; and only the
+// carryover server carries entries.
+TEST(NetClusServer, CarryoverDifferentialUnderLiveUpdates) {
+  for (const int readers : {1, 4}) {
+    Engine engine_on = MakeSampledEngine();
+    Engine engine_off = MakeSampledEngine();
+    std::vector<graph::NodeId> fresh_nodes;
+    for (graph::NodeId node = 0; fresh_nodes.size() < 2; ++node) {
+      if (engine_on.sites().SiteAtNode(node) == tops::kInvalidSite) {
+        fresh_nodes.push_back(node);
+      }
+    }
+    serve::ServerOptions on_options, off_options;
+    on_options.carryover = 1;
+    off_options.carryover = 0;
+    auto server_on = engine_on.Serve(on_options);
+    auto server_off = engine_off.Serve(off_options);
+
+    const std::vector<Engine::QuerySpec> specs = {
+        Spec(2, 500.0), Spec(4, 800.0), Spec(3, 1200.0)};
+    for (const Engine::QuerySpec& spec : specs) {  // warm both caches at v1
+      server_on->Submit(spec);
+      server_off->Submit(spec);
+    }
+
+    constexpr int kQueriesPerReader = 45;
+    std::vector<std::vector<std::pair<size_t, serve::ServeResult>>> rec_on(
+        readers),
+        rec_off(readers);
+    std::vector<std::thread> threads;
+    threads.reserve(readers);
+    for (int r = 0; r < readers; ++r) {
+      threads.emplace_back([&, r] {
+        for (int q = 0; q < kQueriesPerReader; ++q) {
+          const size_t spec_index = (r + q) % specs.size();
+          rec_on[r].emplace_back(spec_index,
+                                 server_on->Submit(specs[spec_index]));
+          rec_off[r].emplace_back(spec_index,
+                                  server_off->Submit(specs[spec_index]));
+        }
+      });
+    }
+
+    // Mirrored stream, one op per publish: no-op removes (clean — full
+    // carry), site adds (partially clean), trajectory adds and effective
+    // removes (all instances dirty — nothing carries).
+    const auto mirror = [&](const std::function<void(serve::NetClusServer&)>&
+                                op) {
+      op(*server_on);
+      op(*server_off);
+      server_on->Flush();
+      server_off->Flush();
+    };
+    mirror([](serve::NetClusServer& s) { s.MutateRemoveTrajectory(777777); });
+    mirror([](serve::NetClusServer& s) {
+      s.MutateAddTrajectory({5, 15, 25, 35});
+    });
+    mirror([&](serve::NetClusServer& s) { s.MutateAddSite(fresh_nodes[0]); });
+    mirror([](serve::NetClusServer& s) { s.MutateRemoveTrajectory(0); });
+    mirror([](serve::NetClusServer& s) { s.MutateRemoveTrajectory(888888); });
+    mirror([](serve::NetClusServer& s) {
+      s.MutateAddTrajectory({40, 50, 51, 61});
+    });
+    mirror([&](serve::NetClusServer& s) { s.MutateAddSite(fresh_nodes[1]); });
+    mirror([](serve::NetClusServer& s) { s.MutateRemoveTrajectory(666666); });
+    for (std::thread& t : threads) t.join();
+
+    // Both servers applied the identical op sequence one op per publish,
+    // so equal version numbers denote equal corpus states.
+    ASSERT_EQ(server_on->snapshot()->version(),
+              server_off->snapshot()->version());
+
+    // Oracle 1: every recorded answer, both servers, replays bit-identically
+    // from scratch on the exact snapshot that served it.
+    std::map<std::pair<size_t, uint64_t>, index::QueryResult> on_answers;
+    for (int r = 0; r < readers; ++r) {
+      for (const auto& [spec_index, served] : rec_on[r]) {
+        ExpectBitIdentical(Replay(served, specs[spec_index]), served.result);
+        on_answers.emplace(std::make_pair(spec_index, served.snapshot_version),
+                           served.result);
+      }
+      for (const auto& [spec_index, served] : rec_off[r]) {
+        ExpectBitIdentical(Replay(served, specs[spec_index]), served.result);
+        // Oracle 2: where the carryover server answered the same spec at
+        // the same version, the two answers are bit-identical.
+        const auto match =
+            on_answers.find({spec_index, served.snapshot_version});
+        if (match != on_answers.end()) {
+          ExpectBitIdentical(match->second, served.result);
+        }
+      }
+    }
+    // Oracle 3: at the common final version, the servers agree exactly.
+    for (const Engine::QuerySpec& spec : specs) {
+      ExpectBitIdentical(server_on->Submit(spec).result,
+                         server_off->Submit(spec).result);
+    }
+
+    // The clean publishes really carried entries — and only where enabled.
+    const serve::ServerStats on_stats = server_on->stats();
+    const serve::ServerStats off_stats = server_off->stats();
+    EXPECT_GE(on_stats.cache.carried, 1u);
+    if (netclus::util::GetEnvBool("NETCLUS_COVER_CACHE", true)) {
+      EXPECT_GE(on_stats.cover_cache.carried, 1u);
+    }
+    EXPECT_GT(on_stats.carryover_publishes, 0u);
+    EXPECT_EQ(off_stats.cache.carried, 0u);
+    EXPECT_EQ(off_stats.cover_cache.carried, 0u);
+    EXPECT_EQ(off_stats.carryover_publishes, 0u);
+  }
+}
+
+TEST(StandingQueries, InitialPushThenDeltaGatedReevaluation) {
+  Engine engine = MakeEngine();
+  serve::ServerOptions options;
+  options.carryover = 1;
+  auto server = engine.Serve(options);
+  const Engine::QuerySpec spec = Spec(3, 700.0);
+
+  std::mutex mu;
+  std::vector<serve::StandingUpdate> log;
+  const auto snapshot_log = [&] {
+    const std::lock_guard<std::mutex> lock(mu);
+    return log;
+  };
+  const uint64_t id = server->RegisterStanding(
+      spec, serve::StalenessPolicy::Fresh(),
+      [&](const serve::StandingUpdate& update) {
+        const std::lock_guard<std::mutex> lock(mu);
+        log.push_back(update);
+      });
+  ASSERT_NE(id, 0u);
+
+  // The initial result arrives synchronously, diff-empty, at version 1,
+  // and matches a direct submit bit-identically.
+  std::vector<serve::StandingUpdate> seen = snapshot_log();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_TRUE(seen[0].first);
+  EXPECT_EQ(seen[0].version, 1u);
+  EXPECT_TRUE(seen[0].added.empty());
+  EXPECT_TRUE(seen[0].removed.empty());
+  ExpectBitIdentical(server->Submit(spec).result, seen[0].result);
+
+  // Clean publish: skipped without evaluating — no push.
+  server->MutateRemoveTrajectory(999999);
+  server->Flush();
+  EXPECT_EQ(snapshot_log().size(), 1u);
+  EXPECT_GE(server->stats().standing.skipped_clean, 1u);
+  EXPECT_EQ(server->stats().standing.evaluations, 1u);
+
+  // Dirty publish under a zero staleness budget: re-evaluated; a push
+  // arrives iff the top-k membership changed, and any push matches a
+  // direct submit at the (unchanged-since) current version.
+  for (int i = 0; i < 40; ++i) {
+    server->MutateAddTrajectory({0, 1, 2, 12, 22});
+  }
+  server->Flush();
+  EXPECT_GE(server->stats().standing.evaluations, 2u);
+  seen = snapshot_log();
+  if (seen.size() > 1) {
+    EXPECT_FALSE(seen.back().first);
+    EXPECT_FALSE(seen.back().added.empty() && seen.back().removed.empty());
+    ExpectBitIdentical(server->Submit(spec).result, seen.back().result);
+  }
+
+  // Unregister stops deliveries; the id is single-use.
+  EXPECT_TRUE(server->UnregisterStanding(id));
+  EXPECT_FALSE(server->UnregisterStanding(id));
+  const size_t deliveries = snapshot_log().size();
+  server->MutateAddTrajectory({5, 6, 7});
+  server->Flush();
+  EXPECT_EQ(snapshot_log().size(), deliveries);
+  EXPECT_EQ(server->stats().standing.active, 0u);
+
+  // An invalid spec is refused with id 0, not an exception.
+  Engine::QuerySpec bad;
+  bad.variant = exec::QueryVariant::kTopsCost;
+  bad.site_costs = {1.0};  // not site-indexed
+  bad.budget = 5.0;
+  EXPECT_EQ(server->RegisterStanding(bad, serve::StalenessPolicy::Fresh(),
+                                     [](const serve::StandingUpdate&) {}),
+            0u);
+}
+
+TEST(StandingQueries, StalenessBudgetCoalescesDirtyPublishes) {
+  Engine engine = MakeEngine();
+  auto server = engine.Serve();
+  std::atomic<uint64_t> deliveries{0};
+  const uint64_t id = server->RegisterStanding(
+      Spec(3, 700.0), serve::StalenessPolicy::AllowStaleVersion(2),
+      [&](const serve::StandingUpdate&) { ++deliveries; });
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(deliveries.load(), 1u);  // the initial push
+  EXPECT_EQ(server->stats().standing.evaluations, 1u);
+
+  // Three dirty publishes against a budget of 2: the first two defer
+  // (coalesce), the third exceeds the budget and re-evaluates.
+  for (int i = 0; i < 3; ++i) {
+    server->MutateAddTrajectory({0, 1, 2, 12});
+    server->Flush();
+  }
+  const serve::StandingQueryRegistry::Stats stats = server->stats().standing;
+  EXPECT_EQ(stats.deferred, 2u);
+  EXPECT_EQ(stats.evaluations, 2u);
+  EXPECT_EQ(stats.skipped_clean, 0u);
+  server->UnregisterStanding(id);
+}
+
+TEST(StandingQueries, CallbackCanUnregisterItself) {
+  Engine engine = MakeEngine();
+  auto server = engine.Serve();
+  std::atomic<uint64_t> deliveries{0};
+  // The callback unregisters its own query reentrantly — from the very
+  // first (synchronous, in-Register) push.
+  const uint64_t id = server->RegisterStanding(
+      Spec(2, 600.0), serve::StalenessPolicy::Fresh(),
+      [&](const serve::StandingUpdate& update) {
+        ++deliveries;
+        EXPECT_TRUE(server->UnregisterStanding(update.query_id));
+      });
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(deliveries.load(), 1u);
+  EXPECT_EQ(server->stats().standing.active, 0u);
+  EXPECT_FALSE(server->UnregisterStanding(id));  // already gone
+
+  // Publishes after the self-unregister deliver nothing.
+  server->MutateAddTrajectory({0, 1, 2, 12});
+  server->Flush();
+  EXPECT_EQ(deliveries.load(), 1u);
 }
 
 }  // namespace

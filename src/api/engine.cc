@@ -18,7 +18,7 @@ Engine::Engine(graph::RoadNetwork network, tops::SiteSet sites, Options options)
       sites_(std::make_unique<tops::SiteSet>(std::move(sites))) {}
 
 const graph::spf::DistanceBackend* Engine::backend() const {
-  const std::lock_guard<std::mutex> lock(*spf_mu_);
+  const nc::MutexLock lock(*spf_mu_);
   if (spf_ == nullptr) {
     spf_ = graph::spf::MakeBackend(options_.distance_backend, network_.get(),
                                    options_.threads);
@@ -103,7 +103,7 @@ bool Engine::LoadIndexFromFile(const std::string& path, std::string* error) {
   // it must go before the backend does (it is rebuilt lazily).
   if (loaded_backend != nullptr) {
     matcher_.reset();
-    const std::lock_guard<std::mutex> lock(*spf_mu_);
+    const nc::MutexLock lock(*spf_mu_);
     spf_ = std::move(loaded_backend);
   }
   index_ = std::move(loaded);

@@ -19,7 +19,6 @@
 #define NETCLUS_API_ENGINE_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -31,6 +30,7 @@
 #include "graph/spf/distance_backend.h"
 #include "obs/metrics.h"
 #include "netclus/index_io.h"
+#include "util/thread_annotations.h"
 #include "netclus/multi_index.h"
 #include "netclus/query.h"
 #include "tops/coverage.h"
@@ -272,16 +272,17 @@ class Engine {
  private:
   /// Lazily builds (under spf_mu_, so concurrent const callers are safe)
   /// and returns the distance backend.
-  const graph::spf::DistanceBackend* backend() const;
+  const graph::spf::DistanceBackend* backend() const EXCLUDES(spf_mu_);
 
   Options options_;
   // Everything query_ points at lives behind a stable heap address (network,
   // store, sites), so the implicit move keeps a built Engine's query engine
   // valid — Engine is safely movable after BuildIndex(). The mutex lives
-  // behind a unique_ptr for the same reason (std::mutex is immovable).
+  // behind a unique_ptr for the same reason (a mutex is immovable).
   std::unique_ptr<graph::RoadNetwork> network_;
-  mutable std::unique_ptr<std::mutex> spf_mu_ = std::make_unique<std::mutex>();
-  mutable std::shared_ptr<const graph::spf::DistanceBackend> spf_;
+  mutable std::unique_ptr<nc::Mutex> spf_mu_ = std::make_unique<nc::Mutex>();
+  mutable std::shared_ptr<const graph::spf::DistanceBackend> spf_
+      GUARDED_BY(spf_mu_);
   std::unique_ptr<traj::TrajectoryStore> store_;
   std::unique_ptr<tops::SiteSet> sites_;
   std::unique_ptr<traj::MapMatcher> matcher_;

@@ -8,7 +8,7 @@ constexpr double kEwmaAlpha = 0.2;
 
 void StatsRegistry::StageSlot::Bump(double seconds) {
   {
-    const std::lock_guard<std::mutex> lock(mu);
+    const nc::MutexLock lock(mu);
     stats.ewma_seconds = stats.count == 0
                              ? seconds
                              : kEwmaAlpha * seconds +
@@ -66,7 +66,7 @@ void StatsRegistry::RecordCoverBuild(size_t instance, double seconds,
                                      uint64_t bytes) {
   cover_build_.Bump(seconds);
   covers_built_.fetch_add(1, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(instances_mu_);
+  const nc::MutexLock lock(instances_mu_);
   if (instance >= instances_.size()) instances_.resize(instance + 1);
   InstanceStats& per = instances_[instance];
   per.ewma_build_seconds =
@@ -104,27 +104,27 @@ void StatsRegistry::RecordStaleServed() {
 StatsRegistry::Snapshot StatsRegistry::snapshot() const {
   Snapshot out;
   {
-    const std::lock_guard<std::mutex> lock(plan_.mu);
+    const nc::MutexLock lock(plan_.mu);
     out.plan = plan_.stats;
   }
   {
-    const std::lock_guard<std::mutex> lock(queue_wait_.mu);
+    const nc::MutexLock lock(queue_wait_.mu);
     out.queue_wait = queue_wait_.stats;
   }
   {
-    const std::lock_guard<std::mutex> lock(cover_build_.mu);
+    const nc::MutexLock lock(cover_build_.mu);
     out.cover_build = cover_build_.stats;
   }
   {
-    const std::lock_guard<std::mutex> lock(solve_.mu);
+    const nc::MutexLock lock(solve_.mu);
     out.solve = solve_.stats;
   }
   {
-    const std::lock_guard<std::mutex> lock(assemble_.mu);
+    const nc::MutexLock lock(assemble_.mu);
     out.assemble = assemble_.stats;
   }
   {
-    const std::lock_guard<std::mutex> lock(instances_mu_);
+    const nc::MutexLock lock(instances_mu_);
     out.instances = instances_;
   }
   out.covers_built = covers_built_.load(std::memory_order_relaxed);

@@ -18,10 +18,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace netclus::exec {
 
@@ -87,13 +87,13 @@ class StatsRegistry {
   /// different stages never contend (and the sharing counters below are
   /// plain atomics) — the hot serving path takes no registry-wide lock.
   struct StageSlot {
-    mutable std::mutex mu;
-    StageStats stats;
+    mutable nc::Mutex mu;
+    StageStats stats GUARDED_BY(mu);
     /// Optional registry instrument mirroring this stage; set once by
     /// BindMetrics (atomic so a late bind can't race recorders).
     std::atomic<obs::Histogram*> hist{nullptr};
 
-    void Bump(double seconds);
+    void Bump(double seconds) EXCLUDES(mu);
   };
 
   StageSlot plan_;
@@ -101,8 +101,8 @@ class StatsRegistry {
   StageSlot cover_build_;
   StageSlot solve_;
   StageSlot assemble_;
-  mutable std::mutex instances_mu_;
-  std::vector<InstanceStats> instances_;
+  mutable nc::Mutex instances_mu_;
+  std::vector<InstanceStats> instances_ GUARDED_BY(instances_mu_);
   std::atomic<uint64_t> covers_built_{0};
   std::atomic<uint64_t> covers_shared_{0};
   std::atomic<uint64_t> fm_fallbacks_{0};

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "util/float_bits.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -530,7 +531,7 @@ std::vector<Settled> ChQuery::BoundedSearch(NodeId source, double radius,
   // Dijkstra settles in non-decreasing (distance, node) order; match it.
   std::sort(out.begin(), out.end(), [](const Settled& a, const Settled& b) {
     return a.distance < b.distance ||
-           (a.distance == b.distance && a.node < b.node);
+           (util::BitEqual(a.distance, b.distance) && a.node < b.node);
   });
   return out;
 }

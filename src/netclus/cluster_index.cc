@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/dijkstra.h"
+#include "util/float_bits.h"
 #include "util/logging.h"
 #include "util/memory.h"
 #include "util/parallel.h"
@@ -159,7 +160,8 @@ ClusterIndex ClusterIndex::Build(const traj::TrajectoryStore& store,
           std::sort(cl.begin(), cl.end(),
                     [](const ClEntry& a, const ClEntry& b) {
                       return a.dr_m < b.dr_m ||
-                             (a.dr_m == b.dr_m && a.cluster < b.cluster);
+                             (util::BitEqual(a.dr_m, b.dr_m) &&
+                              a.cluster < b.cluster);
                     });
         }
       },

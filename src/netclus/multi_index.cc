@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/dijkstra.h"
+#include "util/float_bits.h"
 #include "util/logging.h"
 #include "util/memory.h"
 #include "util/parallel.h"
@@ -47,7 +48,7 @@ void MultiIndex::EstimateTauRange(const traj::TrajectoryStore& store,
       radius *= 2.0;
     }
   }
-  if (tau_min == graph::kInfDistance) tau_min = 100.0;
+  if (util::BitEqual(tau_min, graph::kInfDistance)) tau_min = 100.0;
 
   // τ_max: the largest site-to-site round trip, lower-bounded by sampling
   // full searches from a handful of sites.

@@ -139,7 +139,7 @@ MetricsRegistry::Entry* MetricsRegistry::FindOrNull(const std::string& name,
 
 Counter* MetricsRegistry::GetCounter(const std::string& name, Labels labels,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   if (Entry* e = FindOrNull(name, labels)) return e->counter.get();
   auto entry = std::make_unique<Entry>();
   entry->name = name;
@@ -154,7 +154,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name, Labels labels,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name, Labels labels,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   if (Entry* e = FindOrNull(name, labels)) return e->gauge.get();
   auto entry = std::make_unique<Entry>();
   entry->name = name;
@@ -170,7 +170,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name, Labels labels,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          Labels labels,
                                          const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   if (Entry* e = FindOrNull(name, labels)) return e->histogram.get();
   auto entry = std::make_unique<Entry>();
   entry->name = name;
@@ -186,7 +186,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 void MetricsRegistry::RegisterProvider(const std::string& name, Labels labels,
                                        const std::string& help, bool counter,
                                        std::function<double()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   if (Entry* e = FindOrNull(name, labels)) {
     e->kind = Kind::kProvider;
     e->provider_is_counter = counter;
@@ -206,7 +206,7 @@ void MetricsRegistry::RegisterProvider(const std::string& name, Labels labels,
 void MetricsRegistry::RegisterHistogramView(
     const std::string& name, Labels labels, const std::string& help,
     const util::LatencyHistogram* hist) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   if (Entry* e = FindOrNull(name, labels)) {
     e->kind = Kind::kHistogramView;
     e->hist_view = hist;
@@ -222,32 +222,45 @@ void MetricsRegistry::RegisterHistogramView(
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   return entries_.size();
 }
 
 std::string MetricsRegistry::Export(ExportFormat format) const {
-  // Snapshot the entry pointers sorted by (name, labels); the entries
-  // themselves are never destroyed while the registry lives, and their
-  // values are atomics / polled providers, so we can read them unlocked.
-  std::vector<const Entry*> sorted;
+  // Snapshot each entry under the lock. Entries are never destroyed while
+  // the registry lives and the owned instruments are immutable atomics,
+  // but kind/provider/hist_view can be *replaced* by a concurrent
+  // re-registration — copy them here and only invoke the provider copies
+  // after the lock is dropped (a provider may take other locks or even
+  // touch this registry).
+  struct Snap {
+    const Entry* entry;  // stable fields: name, labels, help, instruments
+    Kind kind;
+    bool provider_is_counter;
+    std::function<double()> provider;
+    const util::LatencyHistogram* hist_view;
+  };
+  std::vector<Snap> sorted;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const nc::MutexLock lock(mu_);
     sorted.reserve(entries_.size());
-    for (const auto& e : entries_) sorted.push_back(e.get());
+    for (const auto& e : entries_) {
+      sorted.push_back(Snap{e.get(), e->kind, e->provider_is_counter,
+                            e->provider, e->hist_view});
+    }
   }
-  std::sort(sorted.begin(), sorted.end(),
-            [](const Entry* a, const Entry* b) {
-              if (a->name != b->name) return a->name < b->name;
-              return a->labels < b->labels;
-            });
+  std::sort(sorted.begin(), sorted.end(), [](const Snap& a, const Snap& b) {
+    if (a.entry->name != b.entry->name) return a.entry->name < b.entry->name;
+    return a.entry->labels < b.entry->labels;
+  });
 
   std::string out;
   if (format == ExportFormat::kPrometheusText) {
     const std::string* last_family = nullptr;
-    for (const Entry* e : sorted) {
+    for (const Snap& s : sorted) {
+      const Entry* e = s.entry;
       const bool histo =
-          e->kind == Kind::kHistogram || e->kind == Kind::kHistogramView;
+          s.kind == Kind::kHistogram || s.kind == Kind::kHistogramView;
       if (last_family == nullptr || *last_family != e->name) {
         if (!e->help.empty()) {
           out += "# HELP " + e->name + " " + e->help + "\n";
@@ -255,14 +268,14 @@ std::string MetricsRegistry::Export(ExportFormat format) const {
         const char* type = "gauge";
         if (histo) {
           type = "histogram";
-        } else if (e->kind == Kind::kCounter ||
-                   (e->kind == Kind::kProvider && e->provider_is_counter)) {
+        } else if (s.kind == Kind::kCounter ||
+                   (s.kind == Kind::kProvider && s.provider_is_counter)) {
           type = "counter";
         }
         out += "# TYPE " + e->name + " " + type + "\n";
         last_family = &e->name;
       }
-      switch (e->kind) {
+      switch (s.kind) {
         case Kind::kCounter:
           out += e->name + PromLabels(e->labels) + " " +
                  std::to_string(e->counter->Value()) + "\n";
@@ -273,14 +286,14 @@ std::string MetricsRegistry::Export(ExportFormat format) const {
           break;
         case Kind::kProvider:
           out += e->name + PromLabels(e->labels) + " " +
-                 FormatDouble(e->provider ? e->provider() : 0.0) + "\n";
+                 FormatDouble(s.provider ? s.provider() : 0.0) + "\n";
           break;
         case Kind::kHistogram:
           AppendPromHistogram(&out, e->name, e->labels,
                               e->histogram->view());
           break;
         case Kind::kHistogramView:
-          AppendPromHistogram(&out, e->name, e->labels, *e->hist_view);
+          AppendPromHistogram(&out, e->name, e->labels, *s.hist_view);
           break;
       }
     }
@@ -289,13 +302,14 @@ std::string MetricsRegistry::Export(ExportFormat format) const {
 
   out += "{\"metrics\":[";
   bool first = true;
-  for (const Entry* e : sorted) {
+  for (const Snap& s : sorted) {
+    const Entry* e = s.entry;
     if (!first) out += ",";
     first = false;
     out += "{\"name\":\"";
     AppendEscaped(&out, e->name);
     out += "\",\"labels\":" + JsonLabels(e->labels) + ",";
-    switch (e->kind) {
+    switch (s.kind) {
       case Kind::kCounter:
         out += "\"type\":\"counter\",\"value\":" +
                std::to_string(e->counter->Value());
@@ -305,8 +319,8 @@ std::string MetricsRegistry::Export(ExportFormat format) const {
         break;
       case Kind::kProvider:
         out += std::string("\"type\":\"") +
-               (e->provider_is_counter ? "counter" : "gauge") +
-               "\",\"value\":" + JsonDouble(e->provider ? e->provider() : 0.0);
+               (s.provider_is_counter ? "counter" : "gauge") +
+               "\",\"value\":" + JsonDouble(s.provider ? s.provider() : 0.0);
         break;
       case Kind::kHistogram:
         out += "\"type\":\"histogram\",";
@@ -314,7 +328,7 @@ std::string MetricsRegistry::Export(ExportFormat format) const {
         break;
       case Kind::kHistogramView:
         out += "\"type\":\"histogram\",";
-        AppendJsonHistogram(&out, *e->hist_view);
+        AppendJsonHistogram(&out, *s.hist_view);
         break;
     }
     out += "}";

@@ -27,12 +27,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "util/histogram.h"
+#include "util/thread_annotations.h"
 
 namespace netclus::obs {
 
@@ -93,37 +93,42 @@ class MetricsRegistry {
   /// Returns the instrument registered under (name, labels), creating it on
   /// first use. Pointers stay valid for the registry's lifetime.
   Counter* GetCounter(const std::string& name, Labels labels = {},
-                      const std::string& help = "");
+                      const std::string& help = "") EXCLUDES(mu_);
   Gauge* GetGauge(const std::string& name, Labels labels = {},
-                  const std::string& help = "");
+                  const std::string& help = "") EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name, Labels labels = {},
-                          const std::string& help = "");
+                          const std::string& help = "") EXCLUDES(mu_);
 
   /// Registers a polled value: `fn` runs at export time on the exporting
   /// thread. `counter` selects the Prometheus type (counter vs gauge).
   /// Re-registering the same (name, labels) replaces the callback.
   void RegisterProvider(const std::string& name, Labels labels,
                         const std::string& help, bool counter,
-                        std::function<double()> fn);
+                        std::function<double()> fn) EXCLUDES(mu_);
 
   /// Exports an existing LatencyHistogram (owned elsewhere, must outlive
   /// the registry entry) as a histogram family without copying samples.
   void RegisterHistogramView(const std::string& name, Labels labels,
                              const std::string& help,
-                             const util::LatencyHistogram* hist);
+                             const util::LatencyHistogram* hist)
+      EXCLUDES(mu_);
 
-  std::string Export(ExportFormat format) const;
+  std::string Export(ExportFormat format) const EXCLUDES(mu_);
   std::string ExportPrometheus() const {
     return Export(ExportFormat::kPrometheusText);
   }
   std::string ExportJson() const { return Export(ExportFormat::kJson); }
 
   /// Number of registered instruments (all kinds).
-  size_t size() const;
+  size_t size() const EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram, kProvider, kHistogramView };
 
+  // name/labels/help and the owned instruments are immutable once the
+  // entry is created; kind, provider_is_counter, provider and hist_view
+  // can be *replaced* by re-registration and must only be read under mu_
+  // (Export copies them into a snapshot before invoking anything).
   struct Entry {
     std::string name;
     Labels labels;
@@ -137,10 +142,11 @@ class MetricsRegistry {
     const util::LatencyHistogram* hist_view = nullptr;
   };
 
-  Entry* FindOrNull(const std::string& name, const Labels& labels);
+  Entry* FindOrNull(const std::string& name, const Labels& labels)
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Entry>> entries_;
+  mutable nc::Mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace netclus::obs

@@ -90,10 +90,18 @@ class SpanRing {
  private:
   // 8 words: seq + 7 payload (span packs into 7).
   static constexpr size_t kWords = 7;
+  // Deliberately unguarded seqlock slots: a reader may race a writer, but
+  // every word is an individually atomic load/store, and Snapshot()
+  // validates `seq` before and after copying a slot's words, dropping any
+  // slot whose copy could be torn. Reads are therefore torn-tolerant by
+  // protocol, not by luck — do not replace the seq dance with a mutex
+  // (Push is on the request hot path and must stay wait-free).
   struct Slot {
     std::atomic<uint64_t> seq{0};  // 0 = never written; odd = in progress
     std::array<std::atomic<uint64_t>, kWords> words;
   };
+  static_assert(std::atomic<uint64_t>::is_always_lock_free,
+                "SpanRing's seqlock assumes lock-free 64-bit atomics");
 
   std::unique_ptr<Slot[]> slots_;
   size_t mask_;
@@ -141,8 +149,13 @@ class Tracer {
  private:
   SpanRing ring_;
   std::atomic<uint64_t> next_id_{0};
+  // Torn-tolerant knobs: SetSampleRate/SetSeed may race Sampled(), which
+  // then uses either the old or the new value for that one decision —
+  // harmless, since sampling is best-effort by definition.
   std::atomic<double> sample_rate_;
   std::atomic<uint64_t> seed_;
+  static_assert(std::atomic<double>::is_always_lock_free,
+                "Tracer assumes lock-free atomic<double> sampling knobs");
 };
 
 /// Per-request span collector, carried on the request's async state. The

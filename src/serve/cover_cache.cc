@@ -73,7 +73,7 @@ exec::CoverPtr CoverCache::GetOrBuild(
   const uint64_t build_id =
       next_build_id_.fetch_add(1, std::memory_order_relaxed);
   {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const nc::MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -110,7 +110,7 @@ exec::CoverPtr CoverCache::GetOrBuild(
     // cleared away and another builder re-inserted the key meanwhile,
     // erasing by key alone would kill that healthy in-flight build.
     {
-      const std::lock_guard<std::mutex> lock(shard.mu);
+      const nc::MutexLock lock(shard.mu);
       auto it = shard.map.find(key);
       if (it != shard.map.end() && it->second->second.build_id == build_id) {
         shard.lru.erase(it->second);
@@ -123,7 +123,7 @@ exec::CoverPtr CoverCache::GetOrBuild(
   }
   promise.set_value(cover);
   {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const nc::MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     // Same identity check as the cleanup path: complete only our own
     // entry, never a successor's re-inserted build for the same key.
@@ -149,7 +149,7 @@ exec::CoverPtr CoverCache::TryGet(uint64_t version,
   Shard& shard = ShardFor(key);
   std::shared_future<exec::CoverPtr> future;
   {
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const nc::MutexLock lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) return nullptr;
     // An in-flight entry would make future.get() block, which this probe
@@ -182,7 +182,7 @@ size_t CoverCache::CarryForward(uint64_t old_version, uint64_t new_version,
   size_t carried = 0;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    const std::lock_guard<std::mutex> lock(shard.mu);
+    const nc::MutexLock lock(shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
       if (it->first.version != old_version) continue;
       // In-flight builds stay at the old key: their builder resolves the
@@ -208,7 +208,7 @@ size_t CoverCache::CarryForward(uint64_t old_version, uint64_t new_version,
 
 void CoverCache::Clear() {
   for (auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const nc::MutexLock lock(shard->mu);
     for (const auto& [key, entry] : shard->lru) {
       resident_bytes_.fetch_sub(entry.bytes, std::memory_order_relaxed);
     }

@@ -30,7 +30,6 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -39,6 +38,7 @@
 #include "exec/executor.h"
 #include "exec/plan.h"
 #include "serve/delta.h"
+#include "util/thread_annotations.h"
 
 namespace netclus::serve {
 
@@ -132,10 +132,12 @@ class CoverCache {
     uint64_t build_id = 0;
   };
   struct Shard {
-    std::mutex mu;
+    nc::Mutex mu;
     /// Most-recent first; pairs of (key, entry).
-    std::list<std::pair<Key, Entry>> lru;
-    std::unordered_map<Key, decltype(lru)::iterator, KeyHash> map;
+    std::list<std::pair<Key, Entry>> lru GUARDED_BY(mu);
+    std::unordered_map<Key, std::list<std::pair<Key, Entry>>::iterator,
+                       KeyHash>
+        map GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const Key& key);
@@ -144,7 +146,7 @@ class CoverCache {
   /// break the build-once rendezvous and duplicate an expensive build),
   /// so a shard may transiently overshoot capacity while every resident
   /// entry is still building; the next completion or insert shrinks it.
-  void EvictLocked(Shard& shard);
+  void EvictLocked(Shard& shard) REQUIRES(shard.mu);
 
   Options options_;
   size_t per_shard_capacity_ = 0;

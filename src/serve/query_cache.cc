@@ -64,7 +64,7 @@ QueryCache::Shard& QueryCache::ShardFor(const QueryKey& key) {
 std::optional<index::QueryResult> QueryCache::Lookup(const QueryKey& key) {
   if (!enabled()) return std::nullopt;  // no phantom miss counts
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const nc::MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -82,7 +82,7 @@ std::optional<index::QueryResult> QueryCache::LookupStale(
   for (uint64_t lag = 0; lag <= max_lag && probe.version >= 1; ++lag) {
     Shard& shard = ShardFor(probe);
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      const nc::MutexLock lock(shard.mu);
       auto it = shard.map.find(probe);
       if (it != shard.map.end()) {
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -110,7 +110,7 @@ std::optional<index::QueryResult> QueryCache::LookupStale(
 void QueryCache::Insert(const QueryKey& key, const index::QueryResult& result) {
   if (!enabled()) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  const nc::MutexLock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     it->second->second = result;
@@ -134,7 +134,7 @@ size_t QueryCache::CarryForward(uint64_t old_version, uint64_t new_version,
   size_t carried = 0;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    const nc::MutexLock lock(shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end(); ++it) {
       if (it->first.version != old_version) continue;
       if (delta.IsDirty(static_cast<size_t>(it->first.plan.instance))) {
@@ -154,7 +154,7 @@ size_t QueryCache::CarryForward(uint64_t old_version, uint64_t new_version,
 
 void QueryCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    const nc::MutexLock lock(shard->mu);
     entries_.fetch_sub(shard->lru.size(), std::memory_order_relaxed);
     shard->map.clear();
     shard->lru.clear();

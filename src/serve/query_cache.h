@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +36,7 @@
 #include "netclus/query.h"
 #include "serve/delta.h"
 #include "tops/site_set.h"
+#include "util/thread_annotations.h"
 
 namespace netclus::serve {
 
@@ -140,10 +140,14 @@ class QueryCache {
 
  private:
   struct Shard {
-    std::mutex mu;
+    nc::Mutex mu;
     /// Most-recent first; pairs of (key, result).
-    std::list<std::pair<QueryKey, index::QueryResult>> lru;
-    std::unordered_map<QueryKey, decltype(lru)::iterator, QueryKeyHash> map;
+    std::list<std::pair<QueryKey, index::QueryResult>> lru GUARDED_BY(mu);
+    std::unordered_map<QueryKey,
+                       std::list<std::pair<QueryKey,
+                                           index::QueryResult>>::iterator,
+                       QueryKeyHash>
+        map GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const QueryKey& key);

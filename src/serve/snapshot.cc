@@ -29,12 +29,12 @@ SnapshotRegistry::SnapshotRegistry(SnapshotPtr initial) {
 }
 
 SnapshotPtr SnapshotRegistry::Acquire() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   return current_;
 }
 
 SnapshotPtr SnapshotRegistry::AcquireVersion(uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   if (current_ != nullptr && current_->version() == version) return current_;
   for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
     if ((*it)->version() == version) return *it;
@@ -43,13 +43,13 @@ SnapshotPtr SnapshotRegistry::AcquireVersion(uint64_t version) const {
 }
 
 uint64_t SnapshotRegistry::current_version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   return current_ == nullptr ? 0 : current_->version();
 }
 
 void SnapshotRegistry::Publish(SnapshotPtr next) {
   NC_CHECK(next != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   if (current_ != nullptr) {
     NC_CHECK_GT(next->version(), current_->version())
         << "snapshot versions must be monotonic";
@@ -60,7 +60,7 @@ void SnapshotRegistry::Publish(SnapshotPtr next) {
 }
 
 void SnapshotRegistry::set_history_limit(size_t limit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   history_limit_ = limit;
   while (history_.size() > history_limit_) history_.pop_front();
 }

@@ -23,13 +23,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 
 #include "graph/road_network.h"
 #include "netclus/multi_index.h"
 #include "netclus/query.h"
 #include "tops/site_set.h"
 #include "traj/trajectory_store.h"
+#include "util/thread_annotations.h"
 
 namespace netclus::serve {
 
@@ -97,33 +97,33 @@ class SnapshotRegistry {
   SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
 
   /// The current snapshot (null before the first Publish).
-  SnapshotPtr Acquire() const;
+  SnapshotPtr Acquire() const EXCLUDES(mu_);
 
   /// A specific retained version, or null when it is not the current one
   /// and has aged out of the history window. Stale-serving uses this to
   /// tag responses with the exact version they were answered from.
-  SnapshotPtr AcquireVersion(uint64_t version) const;
+  SnapshotPtr AcquireVersion(uint64_t version) const EXCLUDES(mu_);
 
   /// Version of the current snapshot (0 before the first Publish).
-  uint64_t current_version() const;
+  uint64_t current_version() const EXCLUDES(mu_);
 
   /// Atomically replaces the current snapshot. `next` must be non-null
   /// and its version must exceed the current one.
-  void Publish(SnapshotPtr next);
+  void Publish(SnapshotPtr next) EXCLUDES(mu_);
 
   /// Caps how many superseded versions AcquireVersion can still find
   /// (the current snapshot is always retained). Default 4; 0 disables
   /// history. Takes effect on the next Publish.
-  void set_history_limit(size_t limit);
+  void set_history_limit(size_t limit) EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  SnapshotPtr current_;
+  mutable nc::Mutex mu_;
+  SnapshotPtr current_ GUARDED_BY(mu_);
   /// Most-recent-last superseded versions, bounded by history_limit_.
   /// Retention here is on top of reader refcounts: a version in the
   /// history stays acquirable even with no in-flight reader.
-  std::deque<SnapshotPtr> history_;
-  size_t history_limit_ = 4;
+  std::deque<SnapshotPtr> history_ GUARDED_BY(mu_);
+  size_t history_limit_ GUARDED_BY(mu_) = 4;
 };
 
 }  // namespace netclus::serve

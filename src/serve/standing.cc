@@ -35,7 +35,7 @@ uint64_t StandingQueryRegistry::Register(Engine::QuerySpec spec,
                                          StandingCallback callback,
                                          uint64_t version,
                                          const Evaluator& evaluate) {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const nc::RecursiveMutexLock lock(mu_);
   const uint64_t id = next_id_++;
   Entry& entry = entries_[id];
   entry.spec = std::move(spec);
@@ -50,14 +50,14 @@ uint64_t StandingQueryRegistry::Register(Engine::QuerySpec spec,
 }
 
 bool StandingQueryRegistry::Unregister(uint64_t id) {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const nc::RecursiveMutexLock lock(mu_);
   return entries_.erase(id) != 0;
 }
 
 void StandingQueryRegistry::OnPublish(uint64_t new_version,
                                       const DeltaSummary& delta,
                                       const Evaluator& evaluate) {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const nc::RecursiveMutexLock lock(mu_);
   // Snapshot the ids first: a callback may Unregister itself (or register
   // a new query, which must not be evaluated as part of this publish).
   std::vector<uint64_t> ids;
@@ -116,12 +116,12 @@ void StandingQueryRegistry::EvaluateLocked(uint64_t id, Entry& entry,
 }
 
 size_t StandingQueryRegistry::size() const {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const nc::RecursiveMutexLock lock(mu_);
   return entries_.size();
 }
 
 StandingQueryRegistry::Stats StandingQueryRegistry::stats() const {
-  const std::lock_guard<std::recursive_mutex> lock(mu_);
+  const nc::RecursiveMutexLock lock(mu_);
   Stats s;
   s.registered_total = registered_total_;
   s.active = entries_.size();

@@ -31,7 +31,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +38,7 @@
 #include "netclus/query.h"
 #include "serve/delta.h"
 #include "tops/site_set.h"
+#include "util/thread_annotations.h"
 
 namespace netclus::serve {
 
@@ -86,21 +86,22 @@ class StandingQueryRegistry {
   /// dirty publish).
   uint64_t Register(Engine::QuerySpec spec, size_t instance,
                     uint64_t max_version_lag, StandingCallback callback,
-                    uint64_t version, const Evaluator& evaluate);
+                    uint64_t version, const Evaluator& evaluate)
+      EXCLUDES(mu_);
 
   /// Removes a standing query. Blocks while a publish evaluation is in
   /// progress (so after it returns, the callback will not fire again);
   /// reentrant from the entry's own callback. Returns false for an
   /// unknown id.
-  bool Unregister(uint64_t id);
+  bool Unregister(uint64_t id) EXCLUDES(mu_);
 
   /// Publish hook: applies the delta-gating above to every entry at
   /// `new_version`. Runs evaluations (and callbacks) inline.
   void OnPublish(uint64_t new_version, const DeltaSummary& delta,
-                 const Evaluator& evaluate);
+                 const Evaluator& evaluate) EXCLUDES(mu_);
 
-  size_t size() const;
-  Stats stats() const;
+  size_t size() const EXCLUDES(mu_);
+  Stats stats() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -115,19 +116,21 @@ class StandingQueryRegistry {
   };
 
   /// Evaluates one entry at `version` and pushes when changed (or
-  /// `first`). Caller holds mu_.
+  /// `first`). Caller holds mu_. (Reentrant acquisitions from callbacks
+  /// are invisible to the static analysis, which only tracks the
+  /// outermost hold — safe because the mutex is recursive.)
   void EvaluateLocked(uint64_t id, Entry& entry, uint64_t version, bool first,
-                      const Evaluator& evaluate);
+                      const Evaluator& evaluate) REQUIRES(mu_);
 
   /// Recursive: callbacks run under the lock and may Unregister/Register.
-  mutable std::recursive_mutex mu_;
-  std::unordered_map<uint64_t, Entry> entries_;
-  uint64_t next_id_ = 1;
-  uint64_t registered_total_ = 0;
-  uint64_t evaluations_ = 0;
-  uint64_t pushes_ = 0;
-  uint64_t skipped_clean_ = 0;
-  uint64_t deferred_ = 0;
+  mutable nc::RecursiveMutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_ GUARDED_BY(mu_);
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  uint64_t registered_total_ GUARDED_BY(mu_) = 0;
+  uint64_t evaluations_ GUARDED_BY(mu_) = 0;
+  uint64_t pushes_ GUARDED_BY(mu_) = 0;
+  uint64_t skipped_clean_ GUARDED_BY(mu_) = 0;
+  uint64_t deferred_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace netclus::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/float_bits.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -83,7 +84,7 @@ UpdateTicket UpdatePipeline::Enqueue(UpdateOp op) {
       break;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   if (stopping_) {
     ++stats_.ops_rejected;
     NC_LOG_WARNING << "UpdatePipeline: op enqueued after Shutdown; dropped";
@@ -106,20 +107,20 @@ UpdateTicket UpdatePipeline::Enqueue(UpdateOp op) {
   ticket.sequence = next_sequence_++;
   ++stats_.ops_enqueued;
   queue_.push_back(std::move(op));
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   return ticket;
 }
 
 void UpdatePipeline::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  nc::MutexLock lock(mu_);
   const uint64_t target = next_sequence_ - 1;
-  applied_cv_.wait(lock, [&] { return applied_sequence_ >= target; });
+  while (applied_sequence_ < target) applied_cv_.Wait(lock);
 }
 
 void UpdatePipeline::WaitFor(const UpdateTicket& ticket) {
   if (!ticket.accepted) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  applied_cv_.wait(lock, [&] { return applied_sequence_ >= ticket.sequence; });
+  nc::MutexLock lock(mu_);
+  while (applied_sequence_ < ticket.sequence) applied_cv_.Wait(lock);
 }
 
 void UpdatePipeline::Shutdown() {
@@ -130,24 +131,24 @@ void UpdatePipeline::Shutdown() {
   // the writer is still using.
   std::thread claimed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const nc::MutexLock lock(mu_);
     stopping_ = true;
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
     claimed = std::move(writer_);
   }
   if (claimed.joinable()) {
     claimed.join();
-    std::lock_guard<std::mutex> lock(mu_);
+    const nc::MutexLock lock(mu_);
     drained_ = true;
-    applied_cv_.notify_all();
+    applied_cv_.NotifyAll();
   } else {
-    std::unique_lock<std::mutex> lock(mu_);
-    applied_cv_.wait(lock, [&] { return drained_; });
+    nc::MutexLock lock(mu_);
+    while (!drained_) applied_cv_.Wait(lock);
   }
 }
 
 UpdatePipeline::Stats UpdatePipeline::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   return stats_;
 }
 
@@ -155,8 +156,8 @@ void UpdatePipeline::WriterLoop() {
   for (;;) {
     std::vector<UpdateOp> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      nc::MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(lock);
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -233,7 +234,7 @@ void UpdatePipeline::ApplyBatch(std::vector<UpdateOp> batch) {
           const index::Cluster& c =
               index->instance(p).cluster(rep_before[p].first);
           if (c.representative != rep_before[p].second.first ||
-              c.rep_rt_m != rep_before[p].second.second) {
+              !util::BitEqual(c.rep_rt_m, rep_before[p].second.second)) {
             delta.MarkInstanceDirty(p);
             ++delta.rep_changes;
           }
@@ -259,12 +260,12 @@ void UpdatePipeline::ApplyBatch(std::vector<UpdateOp> batch) {
     options_.on_publish(old_version, new_version, delta);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   stats_.ops_applied += batch.size();
   ++stats_.batches_published;
   stats_.apply_seconds += timer.Seconds();
   applied_sequence_ += batch.size();
-  applied_cv_.notify_all();
+  applied_cv_.NotifyAll();
 }
 
 }  // namespace netclus::serve

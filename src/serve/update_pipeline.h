@@ -16,16 +16,15 @@
 #ifndef NETCLUS_SERVE_UPDATE_PIPELINE_H_
 #define NETCLUS_SERVE_UPDATE_PIPELINE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "serve/delta.h"
 #include "serve/snapshot.h"
+#include "util/thread_annotations.h"
 
 namespace netclus::serve {
 
@@ -98,31 +97,31 @@ class UpdatePipeline {
   UpdatePipeline& operator=(const UpdatePipeline&) = delete;
 
   /// Queues an op; returns immediately. Thread-safe.
-  UpdateTicket Enqueue(UpdateOp op);
+  UpdateTicket Enqueue(UpdateOp op) EXCLUDES(mu_);
 
   /// Blocks until every op accepted before the call has been applied and
   /// its snapshot published.
-  void Flush();
+  void Flush() EXCLUDES(mu_);
 
   /// Blocks until the op with the given ticket has been published (no-op
   /// for rejected tickets).
-  void WaitFor(const UpdateTicket& ticket);
+  void WaitFor(const UpdateTicket& ticket) EXCLUDES(mu_);
 
   /// Drains the queue, publishes the final snapshot, and joins the writer
   /// thread. Ops enqueued after Shutdown are rejected. Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
   /// Ops accepted but not yet applied — the pipeline's backlog gauge.
-  size_t QueueDepth() const {
-    const std::lock_guard<std::mutex> lock(mu_);
+  size_t QueueDepth() const EXCLUDES(mu_) {
+    const nc::MutexLock lock(mu_);
     return queue_.size();
   }
 
  private:
-  void WriterLoop();
-  void ApplyBatch(std::vector<UpdateOp> batch);
+  void WriterLoop() EXCLUDES(mu_);
+  void ApplyBatch(std::vector<UpdateOp> batch) EXCLUDES(mu_);
 
   SnapshotRegistry* registry_;
   Options options_;
@@ -130,18 +129,22 @@ class UpdatePipeline {
   /// against it so a client-supplied id can never abort the writer.
   const graph::RoadNetwork* network_;
 
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;     ///< writer waits for work
-  std::condition_variable applied_cv_;   ///< Flush/WaitFor wait for progress
-  std::deque<UpdateOp> queue_;
-  bool stopping_ = false;
-  bool drained_ = false;  ///< writer joined; Shutdown's completion signal
-  uint64_t next_sequence_ = 1;     ///< sequence for the next accepted op
-  uint64_t applied_sequence_ = 0;  ///< highest sequence published
-  traj::TrajId next_traj_id_ = 0;  ///< id the next AddTrajectory will get
-  Stats stats_;
+  mutable nc::Mutex mu_;
+  nc::CondVar queue_cv_;    ///< writer waits for work
+  nc::CondVar applied_cv_;  ///< Flush/WaitFor wait for progress
+  std::deque<UpdateOp> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// Writer joined; Shutdown's completion signal.
+  bool drained_ GUARDED_BY(mu_) = false;
+  /// Sequence for the next accepted op.
+  uint64_t next_sequence_ GUARDED_BY(mu_) = 1;
+  /// Highest sequence published.
+  uint64_t applied_sequence_ GUARDED_BY(mu_) = 0;
+  /// Id the next AddTrajectory will get.
+  traj::TrajId next_traj_id_ GUARDED_BY(mu_) = 0;
+  Stats stats_ GUARDED_BY(mu_);
 
-  std::thread writer_;
+  std::thread writer_ GUARDED_BY(mu_);
 };
 
 }  // namespace netclus::serve

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <unordered_map>
 
+#include "util/float_bits.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -147,7 +148,7 @@ uint64_t ComputeSiteCover(const traj::TrajectoryStore& store,
     if (dr <= config.tau_m) tc.push_back({t, dr});
   }
   std::sort(tc.begin(), tc.end(), [](const CoverEntry& a, const CoverEntry& b) {
-    return a.dr_m < b.dr_m || (a.dr_m == b.dr_m && a.id < b.id);
+    return a.dr_m < b.dr_m || (util::BitEqual(a.dr_m, b.dr_m) && a.id < b.id);
   });
   return settled;
 }
@@ -224,7 +225,8 @@ CoverageIndex CoverageIndex::Build(const traj::TrajectoryStore& store,
     for (size_t t = begin; t < end; ++t) {
       std::sort(index.sc_[t].begin(), index.sc_[t].end(),
                 [](const CoverEntry& a, const CoverEntry& b) {
-                  return a.dr_m < b.dr_m || (a.dr_m == b.dr_m && a.id < b.id);
+                  return a.dr_m < b.dr_m ||
+                         (util::BitEqual(a.dr_m, b.dr_m) && a.id < b.id);
                 });
     }
   });
@@ -257,7 +259,7 @@ CoverageIndex CoverageIndex::FromCovers(
   index.tc_ = std::move(tc);
   index.sc_.resize(num_trajectories);
   auto by_distance = [](const CoverEntry& a, const CoverEntry& b) {
-    return a.dr_m < b.dr_m || (a.dr_m == b.dr_m && a.id < b.id);
+    return a.dr_m < b.dr_m || (util::BitEqual(a.dr_m, b.dr_m) && a.id < b.id);
   };
   for (auto& cover : index.tc_) {
     std::sort(cover.begin(), cover.end(), by_distance);

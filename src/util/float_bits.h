@@ -1,0 +1,36 @@
+// Bit-pattern equality for floating-point distance values.
+//
+// The repo's determinism guarantee is bit-identical results across thread
+// counts, SPF backends, index formats, and cache modes — so wherever two
+// distances are compared for *identity* (tie-breaks in strict-weak
+// orderings, before/after change detection), the comparison is exact by
+// design, never tolerance-based. tools/netclus_lint.py rejects a raw
+// `==`/`!=` between distance-typed expressions; these helpers are the
+// sanctioned spelling, making every such site greppable and its intent
+// explicit.
+//
+// BitEqual compares the object representation: NaN == NaN, and -0.0 !=
+// 0.0. Distances in this codebase are sums/mins of nonnegative finite
+// values (or exactly graph::kInfDistance), so neither NaN nor -0.0
+// arises and BitEqual agrees with `==` on every value actually compared;
+// the bit form is used because it states the contract (same computation
+// ⇒ same bits) rather than accidentally depending on IEEE edge cases.
+#ifndef NETCLUS_UTIL_FLOAT_BITS_H_
+#define NETCLUS_UTIL_FLOAT_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace netclus::util {
+
+inline uint64_t DoubleBits(double d) { return std::bit_cast<uint64_t>(d); }
+inline uint32_t FloatBits(float f) { return std::bit_cast<uint32_t>(f); }
+
+inline bool BitEqual(double a, double b) {
+  return DoubleBits(a) == DoubleBits(b);
+}
+inline bool BitEqual(float a, float b) { return FloatBits(a) == FloatBits(b); }
+
+}  // namespace netclus::util
+
+#endif  // NETCLUS_UTIL_FLOAT_BITS_H_

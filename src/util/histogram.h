@@ -70,10 +70,23 @@ class LatencyHistogram {
  private:
   size_t BucketFor(double seconds) const;
 
+  // Deliberately unguarded: reads are torn-tolerant. A reader overlapping
+  // a burst of Record() calls may see bucket counts from different
+  // instants (count_ bumped but the bucket not yet, or vice versa); every
+  // individual word is still atomic, so the result is an approximate
+  // percentile over *some* recent prefix — exactly the documented
+  // contract above — never undefined behavior. Do not "fix" this with a
+  // mutex; Record() is on the per-query hot path.
   std::array<std::atomic<uint64_t>, kBuckets> buckets_;
   std::atomic<uint64_t> count_;
   std::atomic<uint64_t> overflow_;
   std::atomic<uint64_t> total_ns_;
+
+  // The lock-free contract above is only real if the hardware backs it;
+  // on a platform where uint64_t atomics take a hidden lock, Record()
+  // would silently stop being safe from signal-handler-like contexts.
+  static_assert(std::atomic<uint64_t>::is_always_lock_free,
+                "LatencyHistogram assumes lock-free 64-bit atomics");
 };
 
 }  // namespace netclus::util

@@ -4,8 +4,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <utility>
+
+#include "util/thread_annotations.h"
 
 namespace netclus::util {
 
@@ -15,8 +16,8 @@ namespace {
 constexpr int kLevelUnset = -100;
 
 std::atomic<int> g_log_level{kLevelUnset};
-std::mutex g_log_mutex;
-LogSink g_log_sink;  // guarded by g_log_mutex; empty = stderr default
+nc::Mutex g_log_mutex;
+LogSink g_log_sink GUARDED_BY(g_log_mutex);  // empty = stderr default
 
 double ElapsedSeconds() {
   using Clock = std::chrono::steady_clock;
@@ -82,7 +83,7 @@ const char* LogLevelName(LogLevel level) {
 }
 
 void SetLogSink(LogSink sink) {
-  const std::lock_guard<std::mutex> lock(g_log_mutex);
+  const nc::MutexLock lock(g_log_mutex);
   g_log_sink = std::move(sink);
 }
 
@@ -119,7 +120,7 @@ LogMessage::~LogMessage() {
   // The NC_LOG macros pre-filter, but StructuredMessage constructs the
   // message unconditionally — the level gate lives here so both agree.
   if (level_ >= GetLogLevel()) {
-    std::lock_guard<std::mutex> lock(g_log_mutex);
+    const nc::MutexLock lock(g_log_mutex);
     if (g_log_sink) {
       g_log_sink(level_, stream_.str());
     } else {

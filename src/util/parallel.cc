@@ -27,20 +27,20 @@ ThreadPool::ThreadPool(unsigned num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const nc::MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const nc::MutexLock lock(mu_);
     NC_CHECK(!stop_) << "Submit on a stopped ThreadPool";
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -48,8 +48,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      nc::MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(lock);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -96,26 +96,32 @@ namespace {
 // joining busy workers. New pools are sized to the next power of two (up to
 // kMaxThreads), so even a pathological sequence of growing requests retires
 // only O(log kMaxThreads) pools; all are joined at static destruction.
+struct PoolRegistry {
+  nc::Mutex mu;
+  std::vector<std::unique_ptr<ThreadPool>> pools GUARDED_BY(mu);
+};
+
 ThreadPool* SharedPool(unsigned min_size) {
-  static std::mutex mu;
-  static std::vector<std::unique_ptr<ThreadPool>> pools;
-  std::lock_guard<std::mutex> lock(mu);
-  if (pools.empty() || pools.back()->size() < min_size) {
+  // Function-local static so the pools are joined at static destruction in
+  // reverse construction order, after every user of the helpers has exited.
+  static PoolRegistry registry;
+  const nc::MutexLock lock(registry.mu);
+  if (registry.pools.empty() || registry.pools.back()->size() < min_size) {
     const unsigned size = std::min(
         kMaxThreads, std::bit_ceil(std::max(min_size, DefaultThreads())));
-    pools.push_back(std::make_unique<ThreadPool>(size));
+    registry.pools.push_back(std::make_unique<ThreadPool>(size));
   }
-  return pools.back().get();
+  return registry.pools.back().get();
 }
 
 struct ForState {
   std::atomic<size_t> next_chunk{0};
   std::atomic<bool> failed{false};
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t pending_tasks = 0;
-  std::exception_ptr error;
-  size_t error_chunk = static_cast<size_t>(-1);
+  nc::Mutex mu;
+  nc::CondVar done_cv;
+  size_t pending_tasks GUARDED_BY(mu) = 0;
+  std::exception_ptr error GUARDED_BY(mu);
+  size_t error_chunk GUARDED_BY(mu) = static_cast<size_t>(-1);
 };
 
 }  // namespace
@@ -148,7 +154,7 @@ void ParallelFor(unsigned threads, size_t n,
         body(c * g, std::min(n, (c + 1) * g));
       } catch (...) {
         state.failed.store(true, std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(state.mu);
+        const nc::MutexLock lock(state.mu);
         if (c < state.error_chunk) {
           state.error_chunk = c;
           state.error = std::current_exception();
@@ -163,22 +169,24 @@ void ParallelFor(unsigned threads, size_t n,
   ThreadPool* pool = SharedPool(resolved);
   const unsigned helpers = t - 1;  // the caller is the t-th executor
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    const nc::MutexLock lock(state.mu);
     state.pending_tasks = helpers;
   }
   for (unsigned i = 0; i < helpers; ++i) {
     pool->Submit([&state, &run_chunks] {
       run_chunks();
-      std::lock_guard<std::mutex> lock(state.mu);
-      if (--state.pending_tasks == 0) state.done_cv.notify_one();
+      const nc::MutexLock lock(state.mu);
+      if (--state.pending_tasks == 0) state.done_cv.NotifyOne();
     });
   }
   run_chunks();
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(state.mu);
-    state.done_cv.wait(lock, [&state] { return state.pending_tasks == 0; });
+    nc::MutexLock lock(state.mu);
+    while (state.pending_tasks != 0) state.done_cv.Wait(lock);
+    error = state.error;
   }
-  if (state.error) std::rethrow_exception(state.error);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace netclus::util

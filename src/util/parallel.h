@@ -26,14 +26,14 @@
 #ifndef NETCLUS_UTIL_PARALLEL_H_
 #define NETCLUS_UTIL_PARALLEL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace netclus::util {
 
@@ -52,19 +52,19 @@ class ThreadPool {
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Enqueues a task. Must not be called during/after destruction.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// True when the calling thread is a worker of *any* ThreadPool. The
   /// parallel helpers use this to run inline instead of re-entering a pool.
   static bool OnWorkerThread();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  nc::Mutex mu_;
+  nc::CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -59,17 +59,24 @@ bool StagedScheduler::Submit(Lane lane, std::function<void()> task) {
     // own deque for locality. Allowed even mid-drain — the drain
     // guarantee is precisely that running chains may keep extending
     // themselves.
+    //
+    // outstanding_ must be bumped *before* the task becomes claimable:
+    // a sibling that steals and finishes the task would otherwise
+    // decrement outstanding_ ahead of our increment, underflowing the
+    // size_t drain counter. Holding ws.mu across the mu_ bump keeps the
+    // task unpublished until the count covers it (lock order ws.mu ->
+    // mu_; no path takes them in the reverse order).
     WorkerState& ws = *worker_state_[tl_worker.index];
     {
-      const std::lock_guard<std::mutex> lock(ws.mu);
+      const nc::MutexLock ws_lock(ws.mu);
+      {
+        const nc::MutexLock lock(mu_);
+        ++outstanding_;
+        ++work_epoch_;
+      }
       ws.deque.push_back(std::move(task));
     }
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      ++outstanding_;
-      ++work_epoch_;
-    }
-    cv_.notify_one();
+    cv_.NotifyOne();
     return true;
   }
   // Normal/heavy work always goes through the lane injectors — even from
@@ -78,7 +85,7 @@ bool StagedScheduler::Submit(Lane lane, std::function<void()> task) {
   // lane priority) and is invisible to QueueDepth, which the serving
   // layer's backpressure reads to decide when to shed cover builds.
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const nc::MutexLock lock(mu_);
     // Only *external* submits are refused once stopping; worker-side
     // submits stay allowed during the drain.
     if (!on_worker && stop_.load(std::memory_order_relaxed)) return false;
@@ -87,12 +94,12 @@ bool StagedScheduler::Submit(Lane lane, std::function<void()> task) {
     ++work_epoch_;
   }
   injected_[static_cast<size_t>(lane)].fetch_add(1, std::memory_order_relaxed);
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 size_t StagedScheduler::QueueDepth(Lane lane) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const nc::MutexLock lock(mu_);
   return injector_[static_cast<size_t>(lane)].size();
 }
 
@@ -102,7 +109,7 @@ bool StagedScheduler::TryClaim(size_t self, std::function<void()>* task,
   *lane_idx = 0;  // deque/steal claims are always fast continuations
   {
     WorkerState& ws = *worker_state_[self];
-    const std::lock_guard<std::mutex> lock(ws.mu);
+    const nc::MutexLock lock(ws.mu);
     if (!ws.deque.empty()) {
       *task = std::move(ws.deque.back());
       ws.deque.pop_back();
@@ -110,7 +117,7 @@ bool StagedScheduler::TryClaim(size_t self, std::function<void()>* task,
     }
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const nc::MutexLock lock(mu_);
     // Lane order is the priority rule: fast work is claimed before any
     // queued heavy work, every time a worker frees up.
     for (size_t i = 0; i < kLanes; ++i) {
@@ -127,7 +134,7 @@ bool StagedScheduler::TryClaim(size_t self, std::function<void()>* task,
   // its cache-warm recent continuations, the thief takes the stalest.
   for (size_t off = 1; off < worker_state_.size(); ++off) {
     WorkerState& victim = *worker_state_[(self + off) % worker_state_.size()];
-    const std::lock_guard<std::mutex> lock(victim.mu);
+    const nc::MutexLock lock(victim.mu);
     if (!victim.deque.empty()) {
       *task = std::move(victim.deque.front());
       victim.deque.pop_front();
@@ -143,7 +150,7 @@ void StagedScheduler::WorkerLoop(size_t self) {
   for (;;) {
     uint64_t epoch;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const nc::MutexLock lock(mu_);
       epoch = work_epoch_;
     }
     std::function<void()> task;
@@ -172,30 +179,30 @@ void StagedScheduler::WorkerLoop(size_t self) {
       executed_lane_[lane_idx].fetch_add(1, std::memory_order_relaxed);
       executed_.fetch_add(1, std::memory_order_relaxed);
       {
-        const std::lock_guard<std::mutex> lock(mu_);
+        const nc::MutexLock lock(mu_);
         --outstanding_;
         if (outstanding_ == 0 && stop_.load(std::memory_order_relaxed)) {
-          cv_.notify_all();
+          cv_.NotifyAll();
         }
       }
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] {
-      return work_epoch_ != epoch ||
-             (stop_.load(std::memory_order_relaxed) && outstanding_ == 0);
-    });
+    nc::MutexLock lock(mu_);
+    while (work_epoch_ == epoch &&
+           !(stop_.load(std::memory_order_relaxed) && outstanding_ == 0)) {
+      cv_.Wait(lock);
+    }
     if (stop_.load(std::memory_order_relaxed) && outstanding_ == 0) return;
   }
 }
 
 void StagedScheduler::Shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const nc::MutexLock lock(mu_);
     stop_.store(true, std::memory_order_release);
     ++work_epoch_;  // wake sleepers so they observe the stop
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   // Joining is single-owner territory (the server's Shutdown/destructor);
   // joinable() keeps the second call a no-op.
   for (std::thread& t : workers_) {

@@ -26,14 +26,14 @@
 #include <array>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace netclus::util {
 
@@ -72,11 +72,11 @@ class StagedScheduler {
   /// Enqueues a task. Returns false (without running it) once Shutdown
   /// has begun and the caller is not a pool worker; worker threads may
   /// keep submitting during the drain so continuation chains finish.
-  bool Submit(Lane lane, std::function<void()> task);
+  bool Submit(Lane lane, std::function<void()> task) EXCLUDES(mu_);
 
   /// Tasks submitted to `lane`'s injector queue and not yet claimed — the
   /// backpressure signal the serving layer sheds cover builds on.
-  size_t QueueDepth(Lane lane) const;
+  size_t QueueDepth(Lane lane) const EXCLUDES(mu_);
 
   /// Drains every submitted task (and their transitive submissions), then
   /// joins the workers. Idempotent; safe to call with tasks in flight.
@@ -94,26 +94,28 @@ class StagedScheduler {
 
  private:
   struct WorkerState {
-    std::mutex mu;
-    std::deque<std::function<void()>> deque;
+    nc::Mutex mu;
+    std::deque<std::function<void()>> deque GUARDED_BY(mu);
   };
 
-  void WorkerLoop(size_t self);
+  void WorkerLoop(size_t self) EXCLUDES(mu_);
   bool TryClaim(size_t self, std::function<void()>* task, bool* stolen,
-                size_t* lane_idx);
+                size_t* lane_idx) EXCLUDES(mu_);
 
   // Injector queues + lifecycle live behind one mutex; per-worker deques
-  // have their own. Lock order: injector mutex is never held while taking
-  // a worker mutex holder runs a task, so there is no ordering cycle.
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::array<std::deque<std::function<void()>>, kLanes> injector_;
+  // have their own. Lock order: a worker mutex may be held while taking
+  // the injector mutex (Submit's fast path publishes the task only after
+  // bumping outstanding_), but never the reverse, so there is no cycle.
+  mutable nc::Mutex mu_;
+  nc::CondVar cv_;
+  std::array<std::deque<std::function<void()>>, kLanes> injector_
+      GUARDED_BY(mu_);
   /// Submitted-but-not-finished task count; workers exit when it reaches
   /// zero with stop_ set, which is exactly the drain guarantee.
-  size_t outstanding_ = 0;
+  size_t outstanding_ GUARDED_BY(mu_) = 0;
   /// Bumped on every submit so sleeping workers re-scan (a task parked in
   /// another worker's deque is invisible to the injector queues).
-  uint64_t work_epoch_ = 0;
+  uint64_t work_epoch_ GUARDED_BY(mu_) = 0;
   std::atomic<bool> stop_{false};
 
   std::vector<std::unique_ptr<WorkerState>> worker_state_;

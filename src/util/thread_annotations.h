@@ -1,0 +1,174 @@
+// Clang Thread Safety Analysis macros + annotated mutex wrappers.
+//
+// Every mutex in src/ is an nc::Mutex (or nc::RecursiveMutex), every
+// scoped lock an nc::MutexLock, and every condition variable an
+// nc::CondVar, so that `clang++ -Wthread-safety -Werror` proves the
+// repo's lock discipline at compile time (docs/static_analysis.md):
+//
+//   * fields annotated GUARDED_BY(mu_) can only be touched with mu_ held;
+//   * `*Locked()` helpers annotated REQUIRES(mu_) can only be called with
+//     mu_ held — the class of bug PRs 6-8 fixed reactively (in-flight
+//     eviction breaking the cover rendezvous, stale-serve nested in the
+//     wrong guard) becomes a compile error;
+//   * public entry points annotated EXCLUDES(mu_) self-deadlock-check.
+//
+// Under GCC (which has no thread-safety analysis) every macro expands to
+// nothing and the wrappers compile down to the std primitives they hold —
+// zero cost in Release, no behavior change anywhere. tools/netclus_lint.py
+// enforces that no raw std::mutex appears outside this header.
+//
+// Condition-variable waits: write the loop out explicitly so the analysis
+// sees the guarded reads under the held capability —
+//
+//   nc::MutexLock lock(mu_);
+//   while (!done_) cv_.Wait(lock);   // NOT cv_.wait(lock, [&]{...});
+//
+// (a predicate lambda is analyzed as its own function, where the
+// capability is not visibly held).
+#ifndef NETCLUS_UTIL_THREAD_ANNOTATIONS_H_
+#define NETCLUS_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// --- Clang TSA attribute macros (no-ops under GCC/MSVC) ---------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#define NC_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define NC_THREAD_ANNOTATION__(x)  // not supported by this compiler
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define CAPABILITY(x) NC_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SCOPED_CAPABILITY NC_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be read/written while holding the given capability.
+#define GUARDED_BY(x) NC_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by the given capability.
+#define PT_GUARDED_BY(x) NC_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (…and still on exit) —
+/// the annotation for `*Locked()` helpers.
+#define REQUIRES(...) \
+  NC_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  NC_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability.
+#define ACQUIRE(...) NC_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  NC_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) NC_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  NC_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define TRY_ACQUIRE(b, ...) \
+  NC_THREAD_ANNOTATION__(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (self-deadlock guard on public
+/// entry points that lock internally).
+#define EXCLUDES(...) NC_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime-checked assertion that the capability is held.
+#define ASSERT_CAPABILITY(x) NC_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) NC_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch; every use needs a rationale comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  NC_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+// --- annotated wrappers ------------------------------------------------------
+
+namespace nc {
+
+/// std::mutex with capability annotations. Immovable, like std::mutex.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// std::recursive_mutex with capability annotations. Used where callbacks
+/// legitimately re-enter the owning registry (serve/standing.h). The
+/// analysis treats each function's acquire/release locally, so reentrant
+/// acquisition across call frames is permitted exactly as at runtime.
+class CAPABILITY("mutex") RecursiveMutex {
+ public:
+  RecursiveMutex() = default;
+  RecursiveMutex(const RecursiveMutex&) = delete;
+  RecursiveMutex& operator=(const RecursiveMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class RecursiveMutexLock;
+  std::recursive_mutex mu_;
+};
+
+/// Scoped lock over nc::Mutex (the lock_guard / unique_lock of this
+/// codebase). Holds a std::unique_lock so nc::CondVar can wait on it.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() {}  // unique_lock's destructor unlocks
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Scoped lock over nc::RecursiveMutex.
+class SCOPED_CAPABILITY RecursiveMutexLock {
+ public:
+  explicit RecursiveMutexLock(RecursiveMutex& mu) ACQUIRE(mu)
+      : lock_(mu.mu_) {}
+  RecursiveMutexLock(const RecursiveMutexLock&) = delete;
+  RecursiveMutexLock& operator=(const RecursiveMutexLock&) = delete;
+  ~RecursiveMutexLock() RELEASE() {}
+
+ private:
+  std::lock_guard<std::recursive_mutex> lock_;
+};
+
+/// Condition variable paired with nc::Mutex / nc::MutexLock. Wait()
+/// atomically releases and reacquires the lock at the std level; to the
+/// analysis the capability is held throughout (the same model Abseil
+/// uses), which is sound because the caller re-checks its predicate in a
+/// loop under the reacquired lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace nc
+
+#endif  // NETCLUS_UTIL_THREAD_ANNOTATIONS_H_

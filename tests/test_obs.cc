@@ -136,6 +136,39 @@ TEST(MetricsRegistry, LabelValuesAreEscaped) {
 
 // --- sampling ---------------------------------------------------------------
 
+TEST(MetricsRegistry, ProviderReRegistrationRacesWithExport) {
+  // Regression: Export used to read Entry::provider (a std::function)
+  // without mu_ while RegisterProvider replaced it in place — a data
+  // race the TSan CI leg now pins. Export snapshots the mutable entry
+  // fields under the lock and only then invokes the callbacks.
+  obs::MetricsRegistry reg;
+  reg.RegisterProvider("netclus_test_live", {}, "polled", false,
+                       [] { return 0.0; });
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    double v = 1.0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      reg.RegisterProvider("netclus_test_live", {}, "polled", false,
+                           [v] { return v; });
+      v += 1.0;
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    const std::string out = reg.ExportPrometheus();
+    EXPECT_NE(out.find("netclus_test_live"), std::string::npos);
+  }
+  stop.store(true);
+  writer.join();
+
+  // Replacement is visible: the latest callback feeds the next export,
+  // and the entry count did not grow with re-registration.
+  reg.RegisterProvider("netclus_test_live", {}, "polled", false,
+                       [] { return 42.0; });
+  EXPECT_NE(reg.ExportPrometheus().find("netclus_test_live 42"),
+            std::string::npos);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
 TEST(Tracer, HeadSamplingIsDeterministicInSeedAndRate) {
   obs::Tracer a(0.5, 1234, 64);
   obs::Tracer b(0.5, 1234, 64);

@@ -96,6 +96,33 @@ TEST(StagedScheduler, ShutdownDrainsTransitiveSubmissions) {
   EXPECT_EQ(ran.load(), kRoots * (1 + kChildren));
 }
 
+TEST(StagedScheduler, WorkerSideSubmitRacesWithStealingSibling) {
+  // Regression: Submit()'s worker fast path used to push the task onto
+  // the worker's own deque *before* bumping the injector-side
+  // outstanding count. A sibling could steal and finish the task in
+  // that window, decrementing the count first — size_t underflow — and
+  // the shutdown drain then saw "outstanding work" forever or exited
+  // with tasks unrun. Tiny leaf tasks, several stealing siblings and
+  // many rounds maximize the window; the count must balance exactly.
+  constexpr int kRounds = 20, kRoots = 8, kLeaves = 64;
+  for (int round = 0; round < kRounds; ++round) {
+    StagedScheduler sched(Workers(4));
+    std::atomic<int> ran{0};
+    for (int r = 0; r < kRoots; ++r) {
+      ASSERT_TRUE(sched.Submit(Lane::kNormal, [&] {
+        for (int i = 0; i < kLeaves; ++i) {
+          EXPECT_TRUE(sched.Submit(Lane::kFast, [&] { ran.fetch_add(1); }));
+        }
+        ran.fetch_add(1);
+      }));
+    }
+    sched.Shutdown();  // must drain exactly, not hang and not drop
+    ASSERT_EQ(ran.load(), kRoots * (1 + kLeaves));
+    ASSERT_EQ(sched.stats().executed,
+              static_cast<uint64_t>(kRoots * (1 + kLeaves)));
+  }
+}
+
 TEST(StagedScheduler, RejectsExternalSubmitsAfterShutdown) {
   StagedScheduler sched(Workers(2));
   std::atomic<int> ran{0};

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""One entry point for the repo's linters.
+
+Sub-linters (each also runs standalone, this driver just unifies them):
+
+  cpp   netclus_lint.py  — repo invariant rules over src/, bench/,
+                           tests/, examples/ (raw-mutex, nondeterminism,
+                           bench-json-out, float-eq, include-guard)
+  prom  promtext_lint.py — Prometheus text-exposition (*.prom) files
+
+Usage:
+  python3 tools/lint.py --all               # everything discoverable
+  python3 tools/lint.py --cpp [FILE...]     # C++ rules (tree or files)
+  python3 tools/lint.py --prom FILE [...]   # named .prom files
+  python3 tools/lint.py --selftest          # linter self-test suite
+
+--all runs the C++ rules over the whole tree plus the prom linter over
+every *.prom found under the repo (including build/ exports, which is
+where examples/live_placement_service writes its dump). Flags combine;
+with no flags, --all is assumed. Exit 0 when clean, 1 on findings.
+
+stdlib only — CI runs this with no pip installs.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, TOOLS_DIR)
+
+import netclus_lint   # noqa: E402
+import promtext_lint  # noqa: E402
+
+REPO_ROOT = os.path.dirname(TOOLS_DIR)
+
+
+def find_prom_files(root):
+    """Every *.prom under the repo; build/ exports included on purpose —
+    a stale dump that stops parsing is exactly what we want to hear about."""
+    hits = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        # lint_fixtures holds deliberately-bad inputs for the self-tests.
+        dirnames[:] = [d for d in dirnames
+                       if d not in (".git", "_deps", "lint_fixtures")]
+        for name in sorted(filenames):
+            if name.endswith(".prom"):
+                hits.append(os.path.join(dirpath, name))
+    return hits
+
+
+def run_cpp(files, root):
+    argv = ["netclus_lint", "--root", root] + list(files)
+    return netclus_lint.main(argv)
+
+
+def run_prom(files):
+    if not files:
+        print("lint: no .prom files found (nothing exported yet) — skipped")
+        return 0
+    return promtext_lint.main(["promtext_lint"] + list(files))
+
+
+def run_selftest():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(TOOLS_DIR, "test_lint.py")],
+        cwd=REPO_ROOT)
+    return proc.returncode
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--all", action="store_true",
+                        help="run every linter over everything discoverable")
+    parser.add_argument("--cpp", action="store_true",
+                        help="run the C++ invariant rules")
+    parser.add_argument("--prom", action="store_true",
+                        help="run the Prometheus text linter on FILE args")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the linter self-tests (tools/test_lint.py)")
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repo root (default: the repo of this script)")
+    parser.add_argument("files", nargs="*",
+                        help="explicit files for --cpp / --prom")
+    args = parser.parse_args(argv[1:])
+
+    if not (args.all or args.cpp or args.prom or args.selftest):
+        args.all = True
+
+    root = os.path.abspath(args.root)
+    rc = 0
+    if args.cpp or args.all:
+        cpp_files = [f for f in args.files if not f.endswith(".prom")]
+        rc |= run_cpp(cpp_files, root)
+    if args.prom or args.all:
+        prom_files = [f for f in args.files if f.endswith(".prom")]
+        if args.all and not prom_files:
+            prom_files = find_prom_files(root)
+        rc |= run_prom(prom_files)
+    if args.selftest:
+        rc |= run_selftest()
+    return 1 if rc else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,8 @@
+// Fixture: a bench writing a hard-coded path without JsonOutPath (R3).
+#include <fstream>
+
+int main() {
+  std::ofstream json("/tmp/results.json");  // BAD: no JsonOutPath
+  json << "{}\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fixture: distance-valued float equality R4 must flag — except the
+// kInfDistance sentinel carve-out and an explicit allow marker.
+namespace netclus {
+
+struct Entry {
+  double dr_m;
+  double rt_m;
+  int id;
+};
+
+constexpr double kInfDistance = 1e18;
+
+bool BadCompare(const Entry& a, const Entry& b, double dist, double tau_m) {
+  if (a.dr_m == b.dr_m) return a.id < b.id;  // BAD: == on dr_m
+  if (a.rt_m != b.rt_m) return false;        // BAD: != on rt_m
+  if (dist == tau_m) return true;            // BAD: == on dist/tau
+  if (dist == kInfDistance) return false;    // OK: sentinel carve-out
+  // NETCLUS_LINT_ALLOW(float-eq): fixture demonstrating suppression
+  return a.dr_m == 0.0;
+}
+
+}  // namespace netclus

@@ -1,0 +1,9 @@
+// Fixture: wrong include-guard spelling for its path (R5).
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+
+namespace netclus {
+inline int Nothing() { return 0; }
+}  // namespace netclus
+
+#endif  // WRONG_GUARD_H

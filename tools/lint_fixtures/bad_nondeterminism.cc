@@ -1,0 +1,17 @@
+// Fixture: every nondeterminism source R2 must flag.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace netclus {
+
+int BadSeeds() {
+  srand(42);                        // BAD: srand
+  int a = rand();                   // BAD: rand
+  std::random_device rd;            // BAD: random_device
+  unsigned long t = std::time(nullptr);  // BAD: std::time
+  unsigned long u = time(NULL);     // BAD: time(NULL)
+  return a + static_cast<int>(rd() + t + u);
+}
+
+}  // namespace netclus

@@ -1,0 +1,6 @@
+// Fixture: #pragma once instead of the repo's include guard (R5).
+#pragma once
+
+namespace netclus {
+inline int Nothing() { return 0; }
+}  // namespace netclus

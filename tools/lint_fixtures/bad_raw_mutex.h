@@ -1,0 +1,30 @@
+// Fixture: every raw synchronization primitive R1 must flag.
+#ifndef NETCLUS_BAD_RAW_MUTEX_H_
+#define NETCLUS_BAD_RAW_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace netclus {
+
+class BadLocking {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu_);  // BAD: raw lock_guard
+    ++value_;
+  }
+  void WaitReady() {
+    std::unique_lock<std::mutex> lock(mu_);  // BAD: raw unique_lock
+    cv_.wait(lock);
+  }
+
+ private:
+  std::mutex mu_;                 // BAD: raw std::mutex
+  std::recursive_mutex rmu_;      // BAD: raw std::recursive_mutex
+  std::condition_variable cv_;    // BAD: raw condition_variable
+  int value_ = 0;
+};
+
+}  // namespace netclus
+
+#endif  // NETCLUS_BAD_RAW_MUTEX_H_

@@ -1,0 +1,338 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant linter for the NetClus codebase.
+
+Enforces conventions that the compiler cannot (or that only clang can,
+and CI must not depend on which toolchain a contributor has):
+
+  R1 raw-mutex       src/ code must use the annotated nc::Mutex /
+                     nc::MutexLock / nc::CondVar wrappers from
+                     util/thread_annotations.h, never raw std::mutex &
+                     friends — otherwise the thread-safety analysis the
+                     CI gate runs is silently blind to that lock.
+  R2 nondeterminism  src/ must not call rand()/srand(), read
+                     std::random_device, or seed anything from time():
+                     results are bit-identical across runs by contract
+                     (util/rng.h is the seeded source of randomness).
+  R3 bench-json-out  benches that write files must route the path
+                     through bench::JsonOutPath so --out= and the
+                     BENCH_* naming convention keep working.
+  R4 float-eq        no == / != on distance-valued floats (dist/dr_m/
+                     rt_m/tau names) outside the bit-pattern helpers;
+                     use util::BitEqual. Comparisons against the
+                     kInfDistance sentinel are allowed — it is a single
+                     bit pattern produced only by initialization, so ==
+                     agrees with BitEqual there.
+  R5 include-guard   headers use the NETCLUS_<PATH>_H_ guard derived
+                     from their repo path; #pragma once is not used.
+
+A finding can be suppressed by putting NETCLUS_LINT_ALLOW(<rule>) in a
+comment on the same line or the line directly above, e.g.
+    // NETCLUS_LINT_ALLOW(float-eq): comparing against a literal probe
+Suppressions should say why.
+
+Usage: python3 tools/netclus_lint.py [--root DIR] [FILE...]
+With no FILE arguments, lints the whole tree under --root (default: the
+repo containing this script). Exit status 0 when clean, 1 otherwise.
+
+stdlib only — CI runs this with no pip installs.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ALLOW = re.compile(r"NETCLUS_LINT_ALLOW\(([a-z0-9-]+)\)")
+
+# R1 — raw synchronization primitives (the annotated wrappers hold the
+# only std::mutex in the tree).
+RAW_MUTEX = re.compile(
+    r"\bstd::(?:recursive_|shared_|timed_)?mutex\b"
+    r"|\bstd::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+)
+RAW_MUTEX_EXEMPT = {"src/util/thread_annotations.h"}
+
+# R2 — nondeterminism sources. util::Rng wraps a seeded SplitMix64 /
+# xoshiro; nothing else may generate randomness, and wall-clock time
+# must never feed a seed or a result.
+NONDET = re.compile(
+    r"(?<![\w:])rand\s*\("          # rand( / but not strand(, util::Rand(
+    r"|(?<![\w:])srand\s*\("
+    r"|\bstd::random_device\b"
+    r"|\bstd::time\s*\("
+    r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+)
+
+# R3 — file-writing primitives a bench may only use with JsonOutPath.
+BENCH_WRITE = re.compile(r"\bstd::ofstream\b|\bstd::fopen\b|(?<![\w:])fopen\s*\(")
+
+# R4 — == / != where either operand looks distance-valued. Identifiers
+# ending in _bits carry bit patterns (already exact); *seconds* are
+# durations, not distances, and never feed the determinism contract.
+EQ_OP = re.compile(r"(?<![!<>=])==(?!=)|!=")
+DISTISH = re.compile(r"dist|^dr_m$|^rt_m$|^rep_rt_m$|^tau(?:_m|_min|_max)?$|_tau$")
+FLOAT_EQ_NAME_VETO = re.compile(r"_bits$|seconds|_idx$|_count$")
+FLOAT_EQ_EXEMPT = {"src/util/float_bits.h"}
+
+# An identifier path like `a.dr_m`, `rep_before[p].second`, `c->rt_m`:
+# a leading identifier followed by member/index/call suffixes. Written
+# without ambiguous alternation so matching never backtracks badly.
+_PATH = r"[A-Za-z_]\w*(?:(?:\.|->|::)[A-Za-z_]\w*|\[[^\]]*\]|\(\))*"
+_PATH_TAIL = re.compile(r"({p})\s*$".format(p=_PATH))
+_PATH_HEAD = re.compile(r"\s*[!(]*({p})".format(p=_PATH))
+
+
+def _distance_operand(fragment, trailing):
+    """True when the operand adjacent to the operator is distance-named:
+    the last identifier path before it (trailing=True) or the first one
+    after it. Only the final name component decides."""
+    m = (_PATH_TAIL.search(fragment) if trailing
+         else _PATH_HEAD.match(fragment))
+    if not m:
+        return False
+    name = re.split(r"\.|->|::", m.group(1))[-1]
+    name = re.sub(r"\[[^\]]*\]|\(\)", "", name)
+    if not name or FLOAT_EQ_NAME_VETO.search(name):
+        return False
+    return bool(DISTISH.search(name))
+
+# R5 — include guards.
+GUARD_IFNDEF = re.compile(r"^#ifndef\s+(NETCLUS_[A-Z0-9_]+_H_)\s*$", re.M)
+PRAGMA_ONCE = re.compile(r"^#pragma\s+once", re.M)
+
+
+class Finding:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule, self.message)
+
+
+def _allowed(rule, lines, idx):
+    """True when line idx (0-based) carries or follows an allow marker."""
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = ALLOW.search(lines[probe])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def expected_guard(rel_path):
+    """src/util/scheduler.h -> NETCLUS_UTIL_SCHEDULER_H_ (src/ stripped)."""
+    stem = rel_path
+    if stem.startswith("src/"):
+        stem = stem[len("src/"):]
+    stem = re.sub(r"\.h$", "", stem)
+    return "NETCLUS_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def strip_comments_keep_lines(text):
+    """Blanks out // and /* */ comment bodies (and string literals) so
+    rules do not fire on prose; line numbers are preserved."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(c)
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state == "str":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+            out.append(c if c in ('"', "\n") else " ")
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+            out.append(c if c in ("'", "\n") else " ")
+        i += 1
+    return "".join(out)
+
+
+def lint_file(rel_path, text):
+    findings = []
+    raw_lines = text.splitlines()
+    code = strip_comments_keep_lines(text)
+    code_lines = code.splitlines()
+    in_src = rel_path.startswith("src/")
+    in_bench = rel_path.startswith("bench/")
+    is_header = rel_path.endswith(".h")
+
+    def scan(rule, pattern, message, veto=None):
+        for i, line in enumerate(code_lines):
+            m = pattern.search(line)
+            if not m:
+                continue
+            if veto is not None and veto.search(line):
+                continue
+            if _allowed(rule, raw_lines, i):
+                continue
+            findings.append(Finding(rule, rel_path, i + 1, message))
+
+    if in_src and rel_path not in RAW_MUTEX_EXEMPT:
+        scan(
+            "raw-mutex", RAW_MUTEX,
+            "raw std::mutex/lock/condition_variable; use the annotated "
+            "nc:: wrappers from util/thread_annotations.h",
+        )
+
+    if in_src:
+        scan(
+            "nondeterminism", NONDET,
+            "nondeterministic source (rand/time/random_device); use the "
+            "seeded util::Rng",
+        )
+
+    if in_bench and rel_path.endswith(".cc"):
+        if BENCH_WRITE.search(code) and "JsonOutPath" not in code:
+            for i, line in enumerate(code_lines):
+                if BENCH_WRITE.search(line) and not _allowed(
+                        "bench-json-out", raw_lines, i):
+                    findings.append(Finding(
+                        "bench-json-out", rel_path, i + 1,
+                        "bench writes a file without routing the path "
+                        "through bench::JsonOutPath"))
+
+    if in_src and rel_path not in FLOAT_EQ_EXEMPT:
+        for i, line in enumerate(code_lines):
+            if "kInfDistance" in line:  # sentinel bit pattern: == is exact
+                continue
+            if "BitEqual" in line:
+                continue
+            hit = any(
+                _distance_operand(line[:m.start()], trailing=True) or
+                _distance_operand(line[m.end():], trailing=False)
+                for m in EQ_OP.finditer(line))
+            if not hit:
+                continue
+            if _allowed("float-eq", raw_lines, i):
+                continue
+            findings.append(Finding(
+                "float-eq", rel_path, i + 1,
+                "== / != on a distance-valued float; use util::BitEqual "
+                "(kInfDistance sentinel comparisons are exempt)"))
+
+    if in_src and is_header:
+        if PRAGMA_ONCE.search(code):
+            findings.append(Finding(
+                "include-guard", rel_path, 1,
+                "#pragma once; use the NETCLUS_<PATH>_H_ guard"))
+        else:
+            want = expected_guard(rel_path)
+            m = GUARD_IFNDEF.search(code)
+            if m is None:
+                findings.append(Finding(
+                    "include-guard", rel_path, 1,
+                    "missing include guard (expected %s)" % want))
+            elif m.group(1) != want:
+                findings.append(Finding(
+                    "include-guard", rel_path,
+                    code[:m.start()].count("\n") + 1,
+                    "guard %s does not match path (expected %s)"
+                    % (m.group(1), want)))
+            elif ("#define " + want) not in code:
+                findings.append(Finding(
+                    "include-guard", rel_path, 1,
+                    "guard %s has no matching #define" % want))
+
+    return findings
+
+
+def iter_repo_files(root):
+    for sub in ("src", "bench", "tests", "examples"):
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if name.endswith((".h", ".cc")):
+                    yield os.path.join(dirpath, name)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=REPO_ROOT,
+                        help="repo root for tree-wide runs and guard paths")
+    parser.add_argument("files", nargs="*",
+                        help="specific files to lint (default: whole tree)")
+    args = parser.parse_args(argv[1:])
+
+    root = os.path.abspath(args.root)
+    paths = [os.path.abspath(f) for f in args.files] or list(
+        iter_repo_files(root))
+
+    findings = []
+    checked = 0
+    for path in paths:
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print("netclus_lint: cannot read %s: %s" % (path, e),
+                  file=sys.stderr)
+            return 1
+        findings.extend(lint_file(rel, text))
+        checked += 1
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print("netclus_lint: %d finding(s) in %d file(s) checked"
+              % (len(findings), checked))
+        return 1
+    print("netclus_lint: %d file(s) clean" % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over the repo's own translation units.
+
+Reads build/compile_commands.json (CMake writes it — the top-level
+CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS), keeps only TUs that live
+in this repo's src/, tests/, bench/ and examples/ trees (never _deps or
+anything fetched), and runs clang-tidy on each with the checks from the
+top-level .clang-tidy. Any diagnostic fails the run — the baseline is
+zero warnings, kept that way by the CI static-analysis job.
+
+Usage:
+  python3 tools/run_clang_tidy.py [--build-dir build] [--jobs N]
+                                  [--clang-tidy BIN] [FILTER...]
+
+FILTER arguments are substrings; when given, only TUs whose repo-relative
+path contains one of them run (e.g. `src/serve` to iterate on a dir).
+Exit 0 clean, 1 diagnostics, 2 setup problems (no binary / no database).
+
+stdlib only — CI runs this with no pip installs.
+"""
+
+import argparse
+import json
+import multiprocessing.pool
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OWNED_PREFIXES = ("src/", "tests/", "bench/", "examples/")
+
+
+def owned_tus(database_path, filters):
+    """Repo-relative source paths from the compilation database, deduped
+    and restricted to code we own."""
+    with open(database_path, "r", encoding="utf-8") as f:
+        database = json.load(f)
+    seen = []
+    for entry in database:
+        path = entry["file"]
+        if not os.path.isabs(path):
+            path = os.path.normpath(os.path.join(entry["directory"], path))
+        rel = os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+        if rel.startswith(".."):
+            continue
+        if not rel.startswith(OWNED_PREFIXES) or "_deps" in rel:
+            continue
+        if filters and not any(f in rel for f in filters):
+            continue
+        if rel not in seen:
+            seen.append(rel)
+    return seen
+
+
+def run_one(args):
+    binary, build_dir, rel = args
+    proc = subprocess.run(
+        [binary, "-p", build_dir, "--quiet", rel],
+        cwd=REPO_ROOT, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True)
+    # clang-tidy prints harmless noise ("N warnings generated" for
+    # suppressed ones) on stderr; diagnostics land on stdout.
+    return rel, proc.returncode, proc.stdout.strip()
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default=os.path.join(REPO_ROOT, "build"),
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: first of "
+                             "clang-tidy, clang-tidy-18..14 on PATH)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--list", action="store_true",
+                        help="print the TUs that would run, then exit")
+    parser.add_argument("filters", nargs="*",
+                        help="substring filters on repo-relative TU paths")
+    args = parser.parse_args(argv[1:])
+
+    database = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.exists(database):
+        print("run_clang_tidy: %s not found — configure first: "
+              "cmake -B %s -S %s" % (database, args.build_dir, REPO_ROOT),
+              file=sys.stderr)
+        return 2
+
+    tus = owned_tus(database, args.filters)
+    if args.list:
+        for rel in tus:
+            print(rel)
+        return 0
+    if not tus:
+        print("run_clang_tidy: no matching translation units", file=sys.stderr)
+        return 2
+
+    binary = args.clang_tidy
+    if binary is None:
+        candidates = ["clang-tidy"] + [
+            "clang-tidy-%d" % v for v in range(18, 13, -1)]
+        binary = next((c for c in candidates if shutil.which(c)), None)
+    if binary is None or not shutil.which(binary):
+        print("run_clang_tidy: no clang-tidy on PATH (CI installs it; "
+              "locally: apt-get install clang-tidy)", file=sys.stderr)
+        return 2
+
+    print("run_clang_tidy: %d TU(s), %d job(s), %s"
+          % (len(tus), args.jobs, binary))
+    failures = 0
+    with multiprocessing.pool.ThreadPool(min(args.jobs, len(tus))) as pool:
+        work = [(binary, args.build_dir, rel) for rel in tus]
+        for rel, code, out in pool.imap_unordered(run_one, work):
+            if code != 0 or out:
+                failures += 1
+                print("--- %s" % rel)
+                if out:
+                    print(out)
+                if code != 0 and not out:
+                    print("clang-tidy exited %d with no output" % code)
+            else:
+                print("ok  %s" % rel)
+    if failures:
+        print("run_clang_tidy: %d of %d TU(s) with diagnostics"
+              % (failures, len(tus)))
+        return 1
+    print("run_clang_tidy: %d TU(s) clean" % len(tus))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:  # e.g. --list | head
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Self-tests for netclus_lint: every rule must fire on its golden bad
+fixture and stay quiet on the clean cases. Runs under unittest or pytest:
+
+    python3 tools/test_lint.py
+    python3 -m pytest tools/test_lint.py
+"""
+
+import contextlib
+import io
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import lint           # noqa: E402
+import netclus_lint   # noqa: E402
+import promtext_lint  # noqa: E402
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "lint_fixtures")
+
+
+def run_fixture(fixture, pretend_path):
+    """Lints a fixture file as if it lived at pretend_path in the repo."""
+    with open(os.path.join(FIXTURES, fixture), "r", encoding="utf-8") as f:
+        text = f.read()
+    return netclus_lint.lint_file(pretend_path, text)
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class RawMutexRule(unittest.TestCase):
+    def test_fires_on_every_primitive(self):
+        findings = run_fixture("bad_raw_mutex.h", "src/util/bad_raw_mutex.h")
+        raw = [f for f in findings if f.rule == "raw-mutex"]
+        # mutex field, recursive_mutex field, condition_variable field,
+        # lock_guard, unique_lock — the two #includes carry no std:: name.
+        self.assertEqual(len(raw), 5, msg="\n".join(map(str, findings)))
+
+    def test_exempt_in_thread_annotations(self):
+        findings = run_fixture("bad_raw_mutex.h",
+                               "src/util/thread_annotations.h")
+        self.assertNotIn("raw-mutex", rules(findings))
+
+    def test_not_applied_outside_src(self):
+        findings = run_fixture("bad_raw_mutex.h", "tests/bad_raw_mutex.h")
+        self.assertNotIn("raw-mutex", rules(findings))
+
+
+class NondeterminismRule(unittest.TestCase):
+    def test_fires_on_each_source(self):
+        findings = run_fixture("bad_nondeterminism.cc",
+                               "src/util/bad_nondeterminism.cc")
+        nondet = [f for f in findings if f.rule == "nondeterminism"]
+        self.assertEqual(len(nondet), 5, msg="\n".join(map(str, findings)))
+
+    def test_seeded_rng_is_clean(self):
+        findings = netclus_lint.lint_file(
+            "src/util/ok.cc",
+            "#include \"util/rng.h\"\n"
+            "double Draw(netclus::util::Rng& rng) {"
+            " return rng.UniformDouble(); }\n")
+        self.assertEqual(findings, [])
+
+
+class BenchJsonOutRule(unittest.TestCase):
+    def test_fires_on_raw_ofstream(self):
+        findings = run_fixture("bad_bench_out.cc", "bench/bad_bench_out.cc")
+        self.assertIn("bench-json-out", rules(findings))
+
+    def test_quiet_when_routed_through_json_out_path(self):
+        findings = netclus_lint.lint_file(
+            "bench/ok_bench.cc",
+            "#include <fstream>\n"
+            "#include \"bench_common.h\"\n"
+            "int main(int argc, char** argv) {\n"
+            "  const std::string p ="
+            " bench::JsonOutPath(argc, argv, \"BENCH_x.json\");\n"
+            "  std::ofstream json(p);\n"
+            "  return 0;\n"
+            "}\n")
+        self.assertEqual(findings, [])
+
+    def test_not_applied_to_src(self):
+        findings = run_fixture("bad_bench_out.cc", "src/bad_bench_out.cc")
+        self.assertNotIn("bench-json-out", rules(findings))
+
+
+class FloatEqRule(unittest.TestCase):
+    def test_fires_thrice_and_respects_carveouts(self):
+        findings = run_fixture("bad_float_eq.cc", "src/tops/bad_float_eq.cc")
+        float_eq = [f for f in findings if f.rule == "float-eq"]
+        # Three bad comparisons; the kInfDistance line and the
+        # NETCLUS_LINT_ALLOW-marked line stay quiet.
+        self.assertEqual(len(float_eq), 3, msg="\n".join(map(str, findings)))
+
+    def test_bit_equal_call_is_clean(self):
+        findings = netclus_lint.lint_file(
+            "src/tops/ok.cc",
+            "bool Same(double a_dr_m, double b_dr_m) {"
+            " return netclus::util::BitEqual(a_dr_m, b_dr_m); }\n")
+        self.assertEqual(findings, [])
+
+    def test_bits_suffix_is_exempt(self):
+        findings = netclus_lint.lint_file(
+            "src/exec/ok.cc",
+            "bool Same(unsigned long tau_bits, unsigned long o_tau_bits) {"
+            " return tau_bits == o_tau_bits; }\n")
+        self.assertEqual(findings, [])
+
+
+class IncludeGuardRule(unittest.TestCase):
+    def test_wrong_guard(self):
+        findings = run_fixture("bad_guard.h", "src/util/bad_guard.h")
+        guard = [f for f in findings if f.rule == "include-guard"]
+        self.assertEqual(len(guard), 1)
+        self.assertIn("NETCLUS_UTIL_BAD_GUARD_H_", guard[0].message)
+
+    def test_pragma_once(self):
+        findings = run_fixture("bad_pragma_once.h",
+                               "src/util/bad_pragma_once.h")
+        self.assertIn("include-guard", rules(findings))
+
+    def test_correct_guard_is_clean(self):
+        findings = netclus_lint.lint_file(
+            "src/util/ok.h",
+            "#ifndef NETCLUS_UTIL_OK_H_\n"
+            "#define NETCLUS_UTIL_OK_H_\n"
+            "#endif  // NETCLUS_UTIL_OK_H_\n")
+        self.assertEqual(findings, [])
+
+
+class CommentStripping(unittest.TestCase):
+    def test_rules_ignore_comments_and_strings(self):
+        findings = netclus_lint.lint_file(
+            "src/util/ok.cc",
+            "// std::mutex in prose is fine; so is rand() here.\n"
+            "/* std::condition_variable */\n"
+            "const char* kDoc = \"call rand() then std::mutex\";\n")
+        self.assertEqual(findings, [])
+
+
+class ExpectedGuard(unittest.TestCase):
+    def test_derivation(self):
+        self.assertEqual(netclus_lint.expected_guard("src/util/scheduler.h"),
+                         "NETCLUS_UTIL_SCHEDULER_H_")
+        self.assertEqual(
+            netclus_lint.expected_guard("src/graph/spf/dijkstra.h"),
+            "NETCLUS_GRAPH_SPF_DIJKSTRA_H_")
+
+
+class PromtextLint(unittest.TestCase):
+    def test_flags_every_violation_in_bad_fixture(self):
+        errors = promtext_lint.lint_file(
+            os.path.join(FIXTURES, "bad_metrics.prom"))
+        text = "\n".join(errors)
+        self.assertIn("missing netclus_ prefix", text)
+        self.assertIn("should end in _total", text)
+        self.assertIn("not cumulative", text)
+        self.assertIn("bad sample value", text)
+
+    def test_minimal_clean_exposition(self):
+        body = (
+            "# HELP netclus_requests_total Requests served.\n"
+            "# TYPE netclus_requests_total counter\n"
+            "netclus_requests_total{lane=\"fast\"} 12\n")
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".prom", delete=False) as f:
+            f.write(body)
+            path = f.name
+        try:
+            self.assertEqual(promtext_lint.lint_file(path), [])
+        finally:
+            os.unlink(path)
+
+
+class LintDriver(unittest.TestCase):
+    """tools/lint.py routes to the right sub-linter and merges exit codes."""
+
+    def _run(self, argv):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            rc = lint.main(["lint"] + argv)
+        return rc, out.getvalue()
+
+    def test_cpp_over_clean_fixture_free_tree(self):
+        rc, out = self._run(
+            ["--cpp", os.path.join(netclus_lint.REPO_ROOT,
+                                   "src", "util", "thread_annotations.h")])
+        self.assertEqual(rc, 0)
+        self.assertIn("clean", out)
+
+    def test_prom_failure_propagates(self):
+        rc, out = self._run(
+            ["--prom", os.path.join(FIXTURES, "bad_metrics.prom")])
+        self.assertEqual(rc, 1)
+        self.assertIn("netclus_ prefix", out)
+
+    def test_cpp_failure_propagates(self):
+        # Stage the fixture under a src/ dir so the path-scoped rules apply.
+        with open(os.path.join(FIXTURES, "bad_raw_mutex.h"),
+                  encoding="utf-8") as f:
+            body = f.read()
+        with tempfile.TemporaryDirectory() as root:
+            os.mkdir(os.path.join(root, "src"))
+            staged = os.path.join(root, "src", "bad_raw_mutex.h")
+            with open(staged, "w", encoding="utf-8") as f:
+                f.write(body)
+            rc, out = self._run(["--cpp", "--root", root, staged])
+        self.assertEqual(rc, 1)
+        self.assertIn("raw-mutex", out)
+
+
+class WholeTreeIsClean(unittest.TestCase):
+    def test_repo_has_no_findings(self):
+        root = netclus_lint.REPO_ROOT
+        findings = []
+        for path in netclus_lint.iter_repo_files(root):
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            with open(path, "r", encoding="utf-8") as f:
+                findings.extend(netclus_lint.lint_file(rel, f.read()))
+        self.assertEqual([str(f) for f in findings], [])
+
+
+if __name__ == "__main__":
+    unittest.main()

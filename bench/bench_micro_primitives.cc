@@ -9,6 +9,8 @@
 #include "netclus/multi_index.h"
 #include "netclus/query.h"
 #include "sketch/fm_sketch.h"
+#include "store/arena.h"
+#include "store/simd/bulk_varint.h"
 #include "tops/coverage.h"
 #include "tops/inc_greedy.h"
 #include "util/rng.h"
@@ -121,6 +123,90 @@ void BM_IncGreedySolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IncGreedySolve)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
+// --- blocked-postings primitives (v3 index format) -------------------------
+
+// Scalar vs SIMD bulk varint decode: the inner loop of every blocked
+// list traversal. range(0) selects the kernel, range(1) the run length
+// (one posting block is 128 entries; larger runs amortize dispatch),
+// range(2) the stream shape: 0 = dense (all 1-byte varints, the shape of
+// sorted-id delta streams, where the all-single-byte widening fast path
+// runs), 1 = mixed (10% wide varints, which break up the fast windows).
+// items_per_second is decoded entries/sec — the Table 11 column that
+// motivates the SIMD kernels.
+void BM_BulkVarintDecode(benchmark::State& state) {
+  const auto kernel = static_cast<store::simd::Kernel>(state.range(0));
+  if (!store::simd::Supports(kernel)) {
+    state.SkipWithError("kernel unsupported on this host");
+    return;
+  }
+  const size_t count = static_cast<size_t>(state.range(1));
+  const bool mixed = state.range(2) != 0;
+  util::Rng rng(7);
+  std::vector<uint8_t> enc;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t v = mixed && rng.UniformInt(10ull) == 0
+                           ? rng.UniformInt(1ull << 28)
+                           : rng.UniformInt(128ull);
+    store::PutVarint64(enc, v);
+  }
+  std::vector<uint32_t> out(count);
+  const auto fn = kernel == store::simd::Kernel::kScalar
+                      ? store::simd::BulkDecodeVarint32Scalar
+                      : kernel == store::simd::Kernel::kSse4
+                            ? store::simd::BulkDecodeVarint32Sse4
+                            : store::simd::BulkDecodeVarint32Avx2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fn(enc.data(), enc.data() + enc.size(), out.data(), count));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count));
+  state.SetLabel(std::string(store::simd::KernelName(kernel)) +
+                 (mixed ? "/mixed" : "/dense"));
+}
+BENCHMARK(BM_BulkVarintDecode)
+    ->ArgNames({"kernel", "entries", "mixed"})
+    ->Args({0, 128, 0})
+    ->Args({0, 16384, 0})
+    ->Args({0, 16384, 1})
+    ->Args({1, 128, 0})
+    ->Args({1, 16384, 0})
+    ->Args({1, 16384, 1})
+    ->Args({2, 128, 0})
+    ->Args({2, 16384, 0})
+    ->Args({2, 16384, 1});
+
+// Full list traversal through the arena views: flat iterator decode vs
+// blocked ForEach (skip headers + SIMD bulk decode). range(0) selects
+// the layout, range(1) the list length.
+void BM_PostingListForEach(benchmark::State& state) {
+  const auto layout = state.range(0) == 0 ? store::ListLayout::kFlat
+                                          : store::ListLayout::kBlocked;
+  const size_t len = static_cast<size_t>(state.range(1));
+  util::Rng rng(11);
+  std::vector<uint32_t> values(len);
+  for (auto& v : values) {
+    v = static_cast<uint32_t>(rng.UniformInt(1u << 24));
+  }
+  store::PostingArenaBuilder builder(layout);
+  builder.AddU32List(values);
+  const store::PostingArena arena = builder.Finish();
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    arena.U32List(0).ForEach([&](uint32_t v) { sum += v; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+  state.SetLabel(layout == store::ListLayout::kFlat ? "flat" : "blocked");
+}
+BENCHMARK(BM_PostingListForEach)
+    ->ArgNames({"layout", "entries"})
+    ->Args({0, 1024})
+    ->Args({0, 65536})
+    ->Args({1, 1024})
+    ->Args({1, 65536});
 
 void BM_NetClusQuery(benchmark::State& state) {
   const data::Dataset& d = SharedDataset();

@@ -12,6 +12,9 @@
 
 #include "bench_common.h"
 
+#include "netclus/index_io.h"
+#include "store/arena.h"
+
 int main(int argc, char** argv) {
   using namespace netclus;
   bench::PrintHeader(
@@ -86,6 +89,40 @@ int main(int argc, char** argv) {
               util::HumanBytes(cov_raw).c_str(),
               util::HumanBytes(cov_packed).c_str(), cov_ratio);
 
+  // --- v3 blocked format: file sizes and Elias-Fano offset tables ----------
+  // File-level comparison: flat varints + plain u64 offsets (v2) against
+  // 128-entry blocks with skip headers + EF offsets (v3).
+  const std::vector<uint8_t> v2_image = index::EncodeIndexV2(index, nullptr);
+  const std::vector<uint8_t> v3_image = index::EncodeIndexV3(index, nullptr);
+  std::printf("\nindex image: v2 (flat) %s, v3 (blocked+EF) %s\n",
+              util::HumanBytes(v2_image.size()).c_str(),
+              util::HumanBytes(v3_image.size()).c_str());
+
+  // Offset tables in isolation: rebuild instance-0's TL lists into flat
+  // and blocked arenas; the flat offsets block is the plain u64 table,
+  // the blocked one is its Elias-Fano replacement.
+  const index::ClusterIndex& inst0 = index.instance(0);
+  store::PostingArenaBuilder flat_tl(store::ListLayout::kFlat);
+  store::PostingArenaBuilder blocked_tl(store::ListLayout::kBlocked);
+  for (uint32_t g = 0; g < inst0.num_clusters(); ++g) {
+    std::vector<index::TlEntry> list;
+    inst0.cluster(g).tl.ForEach(
+        [&](const index::TlEntry& e) { list.push_back(e); });
+    flat_tl.AddPairList(list);
+    blocked_tl.AddPairList(list);
+  }
+  const uint64_t plain_offset_bytes = flat_tl.Finish().offsets_block().size();
+  const uint64_t ef_offset_bytes = blocked_tl.Finish().offsets_block().size();
+  const double ef_ratio =
+      ef_offset_bytes == 0 ? 0.0
+                           : static_cast<double>(plain_offset_bytes) /
+                                 static_cast<double>(ef_offset_bytes);
+  std::printf("TL offset table (instance 0, %u lists): plain u64 %s, "
+              "Elias-Fano %s, ratio %.2fx\n",
+              inst0.num_clusters(),
+              util::HumanBytes(plain_offset_bytes).c_str(),
+              util::HumanBytes(ef_offset_bytes).c_str(), ef_ratio);
+
   const uint64_t vmrss = util::ReadVmRssBytes();
   std::printf("whole-process VmRSS at exit: %s\n",
               util::HumanBytes(vmrss).c_str());
@@ -99,6 +136,11 @@ int main(int argc, char** argv) {
        << "  \"coverage_raw_bytes\": " << cov_raw << ",\n"
        << "  \"coverage_compressed_bytes\": " << cov_packed << ",\n"
        << "  \"coverage_compression_ratio\": " << cov_ratio << ",\n"
+       << "  \"index_file_v2_bytes\": " << v2_image.size() << ",\n"
+       << "  \"index_file_v3_bytes\": " << v3_image.size() << ",\n"
+       << "  \"tl_offsets_plain_bytes\": " << plain_offset_bytes << ",\n"
+       << "  \"tl_offsets_ef_bytes\": " << ef_offset_bytes << ",\n"
+       << "  \"tl_offsets_ef_ratio\": " << ef_ratio << ",\n"
        << "  \"vmrss_bytes\": " << vmrss << "\n}\n";
   std::printf("wrote %s\n", json_path.c_str());
   return 0;

@@ -78,19 +78,17 @@ BuiltCover BuildCover(const index::MultiIndex& index,
           };
 
           // Home cluster: d̂_r = d_r(T, c_i) + d_r(c_i, r_i).
-          for (const TlEntry& e : home.tl) {
-            if (!store.is_alive(e.traj)) continue;
-            offer(e, home.rep_rt_m);
-          }
+          home.tl.ForEach([&](const TlEntry& e) {
+            if (store.is_alive(e.traj)) offer(e, home.rep_rt_m);
+          });
           // Neighbor clusters:
           // d̂_r = d_r(T, c_j) + d_r(c_j, c_i) + d_r(c_i, r_i).
           for (const ClEntry& nb : home.cl) {
             const float base = nb.dr_m + home.rep_rt_m;
             if (base > tau_m) break;  // CL is distance-sorted: rest are worse
-            for (const TlEntry& e : instance.cluster(nb.cluster).tl) {
-              if (!store.is_alive(e.traj)) continue;
-              offer(e, base);
-            }
+            instance.cluster(nb.cluster).tl.ForEach([&](const TlEntry& e) {
+              if (store.is_alive(e.traj)) offer(e, base);
+            });
           }
 
           auto& cover = covers[r];

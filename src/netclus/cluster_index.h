@@ -153,6 +153,23 @@ class TlList {
   }
   const_iterator end() const { return const_iterator(); }
 
+  /// Bulk traversal of the live entries — same sequence as iteration, but
+  /// the frozen core decodes through the arena view's block/SIMD fast
+  /// path instead of one entry per iterator step.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (removed_.empty()) {
+      frozen_.ForEach(fn);
+    } else {
+      frozen_.ForEach([&](const TlEntry& e) {
+        if (!std::binary_search(removed_.begin(), removed_.end(), e.traj)) {
+          fn(e);
+        }
+      });
+    }
+    for (const TlEntry& e : extra_) fn(e);
+  }
+
   /// O(i) — tests and cold paths only.
   TlEntry operator[](size_t i) const {
     auto it = begin();
@@ -316,15 +333,17 @@ class ClusterIndex {
   /// Deserializes an instance written by WriteTo.
   static bool ReadFrom(std::istream& is, ClusterIndex* out, std::string* error);
 
-  /// Appends this instance as a v2 binary blob (canonicalized: overlays
-  /// and tombstones are folded into fresh arenas).
-  void WriteBinary(store::ByteWriter& out) const;
+  /// Appends this instance as a binary blob (canonicalized: overlays
+  /// and tombstones are folded into fresh arenas). `layout` selects the
+  /// posting-arena wire format: kFlat for v2 files, kBlocked for v3.
+  /// Arenas whose in-memory layout differs from the target are re-encoded.
+  void WriteBinary(store::ByteWriter& out, store::ListLayout layout) const;
 
-  /// Parses a v2 instance blob. Arena byte ranges alias `in`'s backing
-  /// block — the mmap'ed file or the whole-file heap read — so postings
-  /// are not copied.
-  static bool ReadBinary(store::ByteReader& in, ClusterIndex* out,
-                         std::string* error);
+  /// Parses a v2/v3 instance blob whose arenas use `layout`. Arena byte
+  /// ranges alias `in`'s backing block — the mmap'ed file or the
+  /// whole-file heap read — so postings are not copied.
+  static bool ReadBinary(store::ByteReader& in, store::ListLayout layout,
+                         ClusterIndex* out, std::string* error);
 
  private:
   void ElectRepresentative(const traj::TrajectoryStore& store,

@@ -12,6 +12,7 @@
 #include "graph/spf/contraction_hierarchy.h"
 #include "netclus/cluster_index.h"
 #include "store/binary_io.h"
+#include "store/buffer_pool.h"
 #include "store/mmap_file.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -299,10 +300,10 @@ enum InstanceArray : size_t {
   kArrSitesData,        // u32[total sites]
   kArrClOffsets,        // u64[num_clusters + 1]
   kArrClData,           // ClEntry[total cl]
-  kArrTlOffsets,        // u64[num_clusters + 1] (arena offsets)
-  kArrTlData,           // varint arena bytes
-  kArrCcOffsets,        // u64[num_seqs + 1] (arena offsets)
-  kArrCcData,           // varint arena bytes
+  kArrTlOffsets,        // v2: u64[num_clusters + 1]; v3: Elias–Fano bytes
+  kArrTlData,           // varint arena bytes (v2 flat / v3 blocked)
+  kArrCcOffsets,        // v2: u64[num_seqs + 1]; v3: Elias–Fano bytes
+  kArrCcData,           // varint arena bytes (v2 flat / v3 blocked)
   kArrSiteRemoved,      // u8[ceil(num_site_flags / 8)]
   kNumArrays,
 };
@@ -327,26 +328,31 @@ bool CopyArray(const store::ByteBlock& block, size_t expected_count,
 
 }  // namespace
 
-void ClusterIndex::WriteBinary(store::ByteWriter& out) const {
+void ClusterIndex::WriteBinary(store::ByteWriter& out,
+                               store::ListLayout layout) const {
   // Pristine instances (no Sec. 6 updates since freeze — the common
-  // snapshot-shipping path) emit their frozen arena blocks verbatim.
-  // Otherwise canonicalize: fold overlays/tombstones into fresh arenas so
-  // the file holds exactly the live postings. Encoding is deterministic,
-  // so both paths produce identical bytes for identical live postings.
+  // snapshot-shipping path) whose in-memory arenas already use the target
+  // layout emit their frozen arena blocks verbatim. Otherwise
+  // canonicalize: fold overlays/tombstones into fresh arenas in the
+  // target layout, so the file holds exactly the live postings (this also
+  // covers cross-version conversion, e.g. a v2-loaded flat index written
+  // as v3 blocked). Encoding is deterministic, so both paths produce
+  // identical bytes for identical live postings and layout.
   const bool pristine =
       cc_overlay_.empty() && cc_removed_.empty() &&
       cc_count_ == cc_arena_.num_lists() &&
+      tl_arena_.layout() == layout && cc_arena_.layout() == layout &&
       std::all_of(clusters_.begin(), clusters_.end(),
                   [](const Cluster& c) { return !c.tl.has_overlay(); });
   store::PostingArena tl = tl_arena_;
   store::PostingArena cc = cc_arena_;
   if (!pristine) {
-    store::PostingArenaBuilder tl_builder;
+    store::PostingArenaBuilder tl_builder(layout);
     for (const Cluster& c : clusters_) {
       tl_builder.AddPairList(c.tl.Materialize());
     }
     tl = tl_builder.Finish();
-    store::PostingArenaBuilder cc_builder;
+    store::PostingArenaBuilder cc_builder(layout);
     for (traj::TrajId t = 0; t < cc_count_; ++t) {
       cc_builder.AddU32List(cluster_sequence(t));
     }
@@ -420,8 +426,8 @@ void ClusterIndex::WriteBinary(store::ByteWriter& out) const {
   put_array(removed_bits.data(), removed_bits.size());
 }
 
-bool ClusterIndex::ReadBinary(store::ByteReader& in, ClusterIndex* out,
-                              std::string* error) {
+bool ClusterIndex::ReadBinary(store::ByteReader& in, store::ListLayout layout,
+                              ClusterIndex* out, std::string* error) {
   ClusterIndex index;
   index.config_.radius_m = in.F64();
   index.config_.gamma = in.F64();
@@ -507,10 +513,10 @@ bool ClusterIndex::ReadBinary(store::ByteReader& in, ClusterIndex* out,
   // every varint stream before anything trusts them.
   if (!store::PostingArena::FromBlocks(
           arrays[kArrTlData], arrays[kArrTlOffsets], num_clusters,
-          store::ListKind::kPair, &index.tl_arena_, error) ||
+          store::ListKind::kPair, layout, &index.tl_arena_, error) ||
       !store::PostingArena::FromBlocks(
           arrays[kArrCcData], arrays[kArrCcOffsets], num_seqs,
-          store::ListKind::kU32, &index.cc_arena_, error)) {
+          store::ListKind::kU32, layout, &index.cc_arena_, error)) {
     return false;
   }
   index.cc_count_ = num_seqs;
@@ -686,8 +692,18 @@ bool ReadIndex(std::istream& is, size_t expected_nodes,
 namespace {
 
 constexpr char kV2Magic[8] = {'N', 'C', 'I', 'X', 'B', 'I', 'N', '2'};
+constexpr char kV3Magic[8] = {'N', 'C', 'I', 'X', 'B', 'I', 'N', '3'};
 constexpr uint32_t kEndianProbe = 0x01020304;
 constexpr uint32_t kV2Version = 2;
+constexpr uint32_t kV3Version = 3;
+
+// The arena wire layout is the only difference between the v2 and v3
+// containers: v2 files hold flat varint streams with plain u64 offset
+// tables, v3 files hold 128-entry blocked streams with Elias–Fano offsets.
+store::ListLayout LayoutForVersion(uint32_t version) {
+  return version >= kV3Version ? store::ListLayout::kBlocked
+                               : store::ListLayout::kFlat;
+}
 
 enum SectionKind : uint32_t {
   kSectionMeta = 1,
@@ -709,6 +725,12 @@ bool IsV2IndexImage(const uint8_t* data, size_t size) {
          std::memcmp(data, kV2Magic, sizeof(kV2Magic)) == 0;
 }
 
+bool IsBinaryIndexImage(const uint8_t* data, size_t size) {
+  return IsV2IndexImage(data, size) ||
+         (size >= sizeof(kV3Magic) &&
+          std::memcmp(data, kV3Magic, sizeof(kV3Magic)) == 0);
+}
+
 namespace {
 
 // Produces the v2 sections one at a time through `emit(kind, payload)`,
@@ -718,7 +740,7 @@ namespace {
 template <typename Emit>
 void ForEachV2Section(const MultiIndex& index,
                       const graph::spf::DistanceBackend* backend,
-                      Emit&& emit) {
+                      store::ListLayout layout, Emit&& emit) {
   {
     store::ByteWriter meta;
     meta.F64(index.gamma());
@@ -737,7 +759,7 @@ void ForEachV2Section(const MultiIndex& index,
   }
   for (size_t p = 0; p < index.num_instances(); ++p) {
     store::ByteWriter blob;
-    index.instance(p).WriteBinary(blob);
+    index.instance(p).WriteBinary(blob, layout);
     emit(kSectionInstance, blob.TakeBytes());
   }
   if (backend != nullptr) {
@@ -760,18 +782,20 @@ void ForEachV2Section(const MultiIndex& index,
 
 }  // namespace
 
-void WriteIndexV2(const MultiIndex& index,
-                  const graph::spf::DistanceBackend* backend,
-                  std::ostream& os) {
+namespace {
+
+void WriteIndexBinary(const MultiIndex& index,
+                      const graph::spf::DistanceBackend* backend,
+                      uint32_t version, std::ostream& os) {
   auto put_u32 = [&os](uint32_t v) {
     os.write(reinterpret_cast<const char*>(&v), sizeof(v));
   };
   auto put_u64 = [&os](uint64_t v) {
     os.write(reinterpret_cast<const char*>(&v), sizeof(v));
   };
-  os.write(kV2Magic, sizeof(kV2Magic));
+  os.write(version >= kV3Version ? kV3Magic : kV2Magic, sizeof(kV2Magic));
   put_u32(kEndianProbe);
-  put_u32(kV2Version);
+  put_u32(version);
   const std::streampos file_size_pos = os.tellp();
   put_u64(0);  // file size, patched below
   const std::streampos table_offset_pos = os.tellp();
@@ -789,7 +813,7 @@ void WriteIndexV2(const MultiIndex& index,
       ++pos;
     }
   };
-  ForEachV2Section(index, backend,
+  ForEachV2Section(index, backend, LayoutForVersion(version),
                    [&](uint32_t kind, std::vector<uint8_t> payload) {
                      align8();
                      Section s;
@@ -821,10 +845,32 @@ void WriteIndexV2(const MultiIndex& index,
   os.seekp(0, std::ios::end);
 }
 
+}  // namespace
+
+void WriteIndexV2(const MultiIndex& index,
+                  const graph::spf::DistanceBackend* backend,
+                  std::ostream& os) {
+  WriteIndexBinary(index, backend, kV2Version, os);
+}
+
+void WriteIndexV3(const MultiIndex& index,
+                  const graph::spf::DistanceBackend* backend,
+                  std::ostream& os) {
+  WriteIndexBinary(index, backend, kV3Version, os);
+}
+
 std::vector<uint8_t> EncodeIndexV2(const MultiIndex& index,
                                    const graph::spf::DistanceBackend* backend) {
   std::ostringstream buffer;
   WriteIndexV2(index, backend, buffer);
+  const std::string bytes = std::move(buffer).str();
+  return std::vector<uint8_t>(bytes.begin(), bytes.end());
+}
+
+std::vector<uint8_t> EncodeIndexV3(const MultiIndex& index,
+                                   const graph::spf::DistanceBackend* backend) {
+  std::ostringstream buffer;
+  WriteIndexV3(index, backend, buffer);
   const std::string bytes = std::move(buffer).str();
   return std::vector<uint8_t>(bytes.begin(), bytes.end());
 }
@@ -836,15 +882,22 @@ bool ReadIndexV2(store::ByteBlock block, size_t expected_nodes,
   store::ByteReader header(block);
   char magic[sizeof(kV2Magic)] = {};
   if (!header.Bytes(magic, sizeof(magic)) ||
-      std::memcmp(magic, kV2Magic, sizeof(magic)) != 0) {
-    return Fail(error, "missing/unknown v2 magic");
+      !IsBinaryIndexImage(reinterpret_cast<const uint8_t*>(magic),
+                          sizeof(magic))) {
+    return Fail(error, "missing/unknown binary index magic");
   }
+  const uint32_t magic_version =
+      std::memcmp(magic, kV3Magic, sizeof(magic)) == 0 ? kV3Version
+                                                       : kV2Version;
   if (header.U32() != kEndianProbe) {
     return Fail(error, "endianness mismatch or corrupt header");
   }
-  if (header.U32() != kV2Version) {
+  // The version field must agree with the magic — a mismatch means a
+  // corrupt or hand-edited header, not a future format.
+  if (header.U32() != magic_version) {
     return Fail(error, "unsupported index format version");
   }
+  const store::ListLayout layout = LayoutForVersion(magic_version);
   const uint64_t file_size = header.U64();
   const uint64_t table_offset = header.U64();
   const uint32_t section_count = header.U32();
@@ -913,7 +966,9 @@ bool ReadIndexV2(store::ByteBlock block, size_t expected_nodes,
       }
       case kSectionInstance: {
         auto instance = std::make_unique<ClusterIndex>();
-        if (!ClusterIndex::ReadBinary(r, instance.get(), error)) return false;
+        if (!ClusterIndex::ReadBinary(r, layout, instance.get(), error)) {
+          return false;
+        }
         // Cross-check the blob's self-declared id spaces against the live
         // corpus (not just the meta section): ids validated only against
         // file-controlled sizes would still index live-sized arrays out
@@ -989,8 +1044,10 @@ bool SaveIndex(const MultiIndex& index,
   if (!out) return Fail(error, "cannot open for write: " + path);
   if (format == IndexFileFormat::kTextV1) {
     WriteIndex(index, backend, out);
-  } else {
+  } else if (format == IndexFileFormat::kBinaryV2) {
     WriteIndexV2(index, backend, out);  // streams section by section
+  } else {
+    WriteIndexV3(index, backend, out);  // streams section by section
   }
   if (!out) return Fail(error, "write failed: " + path);
   return true;
@@ -1008,15 +1065,15 @@ bool LoadIndex(const std::string& path, size_t expected_nodes,
                std::string* error, const graph::RoadNetwork* net,
                std::shared_ptr<const graph::spf::DistanceBackend>* backend,
                IndexLoadMode mode) {
-  // Sniff the magic so both formats load through one entry point.
+  // Sniff the magic so all formats load through one entry point.
   char magic[sizeof(kV2Magic)] = {};
   {
     std::ifstream probe(path, std::ios::binary);
     if (!probe) return Fail(error, "cannot open for read: " + path);
     probe.read(magic, sizeof(magic));
     if (probe.gcount() < static_cast<std::streamsize>(sizeof(magic)) ||
-        !IsV2IndexImage(reinterpret_cast<const uint8_t*>(magic),
-                        sizeof(magic))) {
+        !IsBinaryIndexImage(reinterpret_cast<const uint8_t*>(magic),
+                            sizeof(magic))) {
       std::ifstream in(path);
       if (!in) return Fail(error, "cannot open for read: " + path);
       return ReadIndex(in, expected_nodes, expected_trajectories, index, error,
@@ -1029,9 +1086,14 @@ bool LoadIndex(const std::string& path, size_t expected_nodes,
     use_mmap = util::GetEnvInt("NETCLUS_INDEX_MMAP", 1) != 0;
   }
   store::ByteBlock block;
+  store::BufferPool* pool = nullptr;
   if (use_mmap) {
     std::string mmap_error;
-    if (auto mapped = store::MappedFile::Open(path, &mmap_error)) {
+    // NETCLUS_PAGE_BUDGET caps mapping residency (buffer_pool.h); the
+    // pool is owned by the MappedFile, which the arenas keep alive.
+    if (auto mapped = store::MappedFile::Open(
+            path, &mmap_error, store::BufferPool::BudgetFromEnv())) {
+      pool = mapped->pool();
       block = store::MappedFile::Block(std::move(mapped));
     } else if (mode == IndexLoadMode::kMmap) {
       return Fail(error, mmap_error);
@@ -1041,8 +1103,15 @@ bool LoadIndex(const std::string& path, size_t expected_nodes,
     block = store::ReadFileBlock(path, error);
     if (block.empty()) return false;
   }
-  return ReadIndexV2(std::move(block), expected_nodes, expected_trajectories,
-                     index, error, net, backend);
+  if (!ReadIndexV2(std::move(block), expected_nodes, expected_trajectories,
+                   index, error, net, backend)) {
+    return false;
+  }
+  // Load-time validation touched (and its page faults made resident) the
+  // whole mapping; evict back to a cold state so serving starts within
+  // the page budget rather than at whatever validation left resident.
+  if (pool != nullptr) pool->DropAll();
+  return true;
 }
 
 }  // namespace netclus::index

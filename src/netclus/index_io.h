@@ -9,11 +9,19 @@
 //    and always readable (backward compatibility).
 //  * v2 — a versioned little-endian binary layout (magic "NCIXBIN2",
 //    section table, per-section FNV-1a checksums) whose posting arenas are
-//    stored verbatim. Loading either copies the file once into a heap
-//    block or mmaps it; in both cases the compressed TL/CC arenas alias
-//    the backing block zero-copy, so Engine::LoadIndexFromFile and the
-//    serving layer's snapshots share one set of immutable posting bytes.
-//    See docs/index_format.md for the byte-level layout.
+//    stored verbatim as flat varint streams with plain u64 offset tables.
+//  * v3 — the same container (magic "NCIXBIN3") with block-structured
+//    posting arenas: 128-entry blocks with per-block skip headers (SIMD
+//    bulk decode, O(blocks) skipping) and Elias–Fano compressed offset
+//    tables. The default write format; v2 and v1 stay readable forever.
+//
+// Loading a binary file either copies it once into a heap block or mmaps
+// it; in both cases the compressed TL/CC arenas alias the backing block
+// zero-copy, so Engine::LoadIndexFromFile and the serving layer's
+// snapshots share one set of immutable posting bytes. On the mmap path a
+// nonzero NETCLUS_PAGE_BUDGET attaches a store::BufferPool that caps how
+// much of the mapping stays resident — larger-than-RAM indexes serve
+// within a fixed budget. See docs/index_format.md for the byte layout.
 //
 // The road network and the trajectory store are NOT serialized here — they
 // are the inputs (persist them with graph::SaveGraph and your trajectory
@@ -44,7 +52,8 @@ namespace netclus::index {
 /// On-disk format selector for SaveIndex.
 enum class IndexFileFormat {
   kTextV1,    ///< line-oriented text (original format)
-  kBinaryV2,  ///< sectioned binary with checksums + zero-copy arenas
+  kBinaryV2,  ///< sectioned binary with checksums + flat zero-copy arenas
+  kBinaryV3,  ///< v2 container with blocked arenas + Elias–Fano offsets
 };
 
 /// How LoadIndex materializes a v2 file (v1 text always streams).
@@ -72,9 +81,17 @@ void WriteIndexV2(const MultiIndex& index,
                   const graph::spf::DistanceBackend* backend,
                   std::ostream& os);
 
-/// Serializes the index (and optional backend) into a v2 binary image
+/// Same container as WriteIndexV2 but magic "NCIXBIN3" and blocked
+/// posting arenas with Elias–Fano offsets (the SaveIndex default).
+void WriteIndexV3(const MultiIndex& index,
+                  const graph::spf::DistanceBackend* backend,
+                  std::ostream& os);
+
+/// Serializes the index (and optional backend) into a v2/v3 binary image
 /// held in memory (tests and small indexes; SaveIndex streams instead).
 std::vector<uint8_t> EncodeIndexV2(const MultiIndex& index,
+                                   const graph::spf::DistanceBackend* backend);
+std::vector<uint8_t> EncodeIndexV3(const MultiIndex& index,
                                    const graph::spf::DistanceBackend* backend);
 
 /// Reads an index previously written by WriteIndex (v1 text stream).
@@ -94,26 +111,30 @@ bool ReadIndex(std::istream& is, size_t expected_nodes,
                std::string* error, const graph::RoadNetwork* net,
                std::shared_ptr<const graph::spf::DistanceBackend>* backend);
 
-/// Parses a v2 binary image. The block may alias an mmap'ed file or a
-/// heap read; the loaded index's posting arenas alias it either way (and
-/// keep it alive). Checksums are verified before anything is trusted.
+/// Parses a v2 or v3 binary image (the magic selects the arena layout).
+/// The block may alias an mmap'ed file or a heap read; the loaded index's
+/// posting arenas alias it either way (and keep it alive). Checksums are
+/// verified before anything is trusted.
 bool ReadIndexV2(store::ByteBlock block, size_t expected_nodes,
                  size_t expected_trajectories, MultiIndex* index,
                  std::string* error, const graph::RoadNetwork* net,
                  std::shared_ptr<const graph::spf::DistanceBackend>* backend);
 
-/// True when `block` starts with the v2 magic.
+/// True when `block` starts with the v2 magic (exactly "NCIXBIN2").
 bool IsV2IndexImage(const uint8_t* data, size_t size);
 
-/// File convenience wrappers. SaveIndex defaults to the v2 binary format;
-/// LoadIndex sniffs the magic, so it reads both formats transparently.
+/// True when `block` starts with any supported binary magic (v2 or v3).
+bool IsBinaryIndexImage(const uint8_t* data, size_t size);
+
+/// File convenience wrappers. SaveIndex defaults to the v3 binary format;
+/// LoadIndex sniffs the magic, so it reads all formats transparently.
 bool SaveIndex(const MultiIndex& index, const std::string& path,
                std::string* error,
-               IndexFileFormat format = IndexFileFormat::kBinaryV2);
+               IndexFileFormat format = IndexFileFormat::kBinaryV3);
 bool SaveIndex(const MultiIndex& index,
                const graph::spf::DistanceBackend* backend,
                const std::string& path, std::string* error,
-               IndexFileFormat format = IndexFileFormat::kBinaryV2);
+               IndexFileFormat format = IndexFileFormat::kBinaryV3);
 bool LoadIndex(const std::string& path, size_t expected_nodes,
                size_t expected_trajectories, MultiIndex* index,
                std::string* error);

@@ -58,13 +58,13 @@ JaccardResult JaccardCluster(const tops::CoverageIndex& coverage,
 
     touched.clear();
     const auto seed_tc = coverage.TC(seed);
-    for (const tops::CoverEntry& e : seed_tc) {
-      for (const tops::CoverEntry& cover : coverage.SC(e.id)) {
-        if (result.site_cluster[cover.id] != kUnclustered) continue;
+    seed_tc.ForEach([&](const tops::CoverEntry& e) {
+      coverage.SC(e.id).ForEach([&](const tops::CoverEntry& cover) {
+        if (result.site_cluster[cover.id] != kUnclustered) return;
         if (overlap[cover.id] == 0) touched.push_back(cover.id);
         ++overlap[cover.id];
-      }
-    }
+      });
+    });
     // Working-set charge: pair lists materialized during the scan. This is
     // the term that blows up as τ (and hence |TC| · |SC|) grows.
     if (!budget.Charge(touched.size() * (sizeof(tops::SiteId) + sizeof(uint32_t)) +

@@ -1,22 +1,88 @@
 #include "store/arena.h"
 
+#include "store/buffer_pool.h"
 #include "util/strings.h"
 
 namespace netclus::store {
 
+namespace {
+
+/// Validates one kBlocked list: skip headers in bounds, payload lengths
+/// truthful, every payload varint 32-bit bounded, block structure
+/// consistent with the advertised count. Uses the scalar kernel so
+/// validation is identical regardless of SIMD dispatch.
+bool ValidateBlockedList(const uint8_t* p, const uint8_t* end, uint64_t count,
+                         unsigned varints_per_entry, std::string* why) {
+  uint32_t scratch[2 * kBlockEntries];
+  uint32_t chain[2] = {0, 0};
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    const uint64_t in_block =
+        remaining < kBlockEntries ? remaining : kBlockEntries;
+    for (unsigned c = 0; c < varints_per_entry; ++c) {
+      p = GetU32Delta32(p, end, chain[c], &chain[c]);
+      if (p == nullptr) {
+        *why = "truncated skip header";
+        return false;
+      }
+    }
+    uint64_t payload = 0;
+    p = GetVarint64(p, end, &payload);
+    if (p == nullptr || payload > static_cast<uint64_t>(end - p)) {
+      *why = "lying payload length";
+      return false;
+    }
+    const uint8_t* payload_end = p + payload;
+    const size_t varints =
+        static_cast<size_t>(in_block - 1) * varints_per_entry;
+    if (simd::BulkDecodeVarint32Scalar(p, payload_end, scratch, varints) !=
+        payload_end) {
+      *why = "malformed block payload";
+      return false;
+    }
+    p = payload_end;
+    remaining -= in_block;
+  }
+  if (p != end) {
+    *why = "trailing bytes";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void PostingArena::TouchPool(const uint8_t* p, size_t len) const {
+  pool_->Touch(p, len);
+}
+
 bool PostingArena::FromBlocks(ByteBlock data, ByteBlock offsets,
                               size_t num_lists, ListKind kind,
-                              PostingArena* out, std::string* error) {
+                              ListLayout layout, PostingArena* out,
+                              std::string* error) {
   auto fail = [error](const std::string& message) {
     if (error != nullptr) *error = message;
     return false;
   };
-  const size_t expected_offset_bytes = (num_lists + 1) * sizeof(uint64_t);
-  if (offsets.size() != expected_offset_bytes) {
-    return fail(util::StrFormat("arena offset table: %zu bytes, want %zu",
-                                offsets.size(), expected_offset_bytes));
-  }
   PostingArena arena;
+  arena.layout_ = layout;
+  if (layout == ListLayout::kFlat) {
+    const size_t expected_offset_bytes = (num_lists + 1) * sizeof(uint64_t);
+    if (offsets.size() != expected_offset_bytes) {
+      return fail(util::StrFormat("arena offset table: %zu bytes, want %zu",
+                                  offsets.size(), expected_offset_bytes));
+    }
+  } else {
+    std::string ef_error;
+    if (!EliasFanoView::Parse(offsets.data(), offsets.size(),
+                              &arena.ef_offsets_, &ef_error)) {
+      return fail("arena offset table: " + ef_error);
+    }
+    if (arena.ef_offsets_.size() != num_lists + 1) {
+      return fail(util::StrFormat("arena offset table: %zu values, want %zu",
+                                  arena.ef_offsets_.size(), num_lists + 1));
+    }
+  }
   arena.data_ = std::move(data);
   arena.offsets_ = std::move(offsets);
   arena.num_lists_ = num_lists;
@@ -37,33 +103,56 @@ bool PostingArena::FromBlocks(ByteBlock data, ByteBlock offsets,
   // Walk every list once: each varint must terminate inside its list and
   // the advertised entry count must match the stream. After this pass the
   // lazy views can never run off the end of a list.
+  const unsigned varints_per_entry = kind == ListKind::kU32 ? 1 : 2;
   uint64_t entries = 0;
   for (size_t i = 0; i < num_lists; ++i) {
-    const auto [p0, end] = arena.ListBytes(i);
+    const uint8_t* base = arena.data_.data();
+    const uint8_t* p0 = base + arena.offset(i);
+    const uint8_t* end = base + arena.offset(i + 1);
     uint64_t count = 0;
     const uint8_t* p = GetVarint64(p0, end, &count);
     if (p == nullptr) return fail(util::StrFormat("arena list %zu: bad count", i));
-    const unsigned varints_per_entry = kind == ListKind::kU32 ? 1 : 2;
     // Every varint is at least one byte, so a count the remaining bytes
     // cannot possibly hold is rejected up front — this also keeps the
-    // `count * varints_per_entry` loop bound below from overflowing on a
-    // crafted count near 2^64.
-    if (count > static_cast<uint64_t>(end - p) / varints_per_entry) {
+    // loop bounds below from overflowing on a crafted count near 2^64.
+    // (Blocked lists spend >= 1 byte per entry too: payload deltas for
+    // all but each block's first entry, and >= 2 header bytes per block.)
+    const uint64_t max_entries =
+        layout == ListLayout::kBlocked
+            ? static_cast<uint64_t>(end - p)
+            : static_cast<uint64_t>(end - p) / varints_per_entry;
+    if (count > max_entries) {
       return fail(util::StrFormat("arena list %zu: implausible count", i));
     }
-    for (uint64_t e = 0; e < count * varints_per_entry; ++e) {
-      uint64_t unused = 0;
-      p = GetVarint64(p, end, &unused);
-      if (p == nullptr) {
-        return fail(util::StrFormat("arena list %zu: truncated entries", i));
+    if (layout == ListLayout::kBlocked) {
+      std::string why;
+      if (!ValidateBlockedList(p, end, count, varints_per_entry, &why)) {
+        return fail(util::StrFormat("arena list %zu: ", i) + why);
       }
-    }
-    if (p != end) {
-      return fail(util::StrFormat("arena list %zu: trailing bytes", i));
+    } else {
+      for (uint64_t e = 0; e < count * varints_per_entry; ++e) {
+        uint64_t unused = 0;
+        p = GetVarint64(p, end, &unused);
+        if (p == nullptr) {
+          return fail(util::StrFormat("arena list %zu: truncated entries", i));
+        }
+      }
+      if (p != end) {
+        return fail(util::StrFormat("arena list %zu: trailing bytes", i));
+      }
     }
     entries += count;
   }
   arena.total_entries_ = entries;
+  // When the arena bytes live inside a pooled mapping, every ListBytes
+  // call reports its range so residency stays under the page budget.
+  arena.pool_ = arena.data_.empty() ? nullptr
+                                    : BufferPool::Find(arena.data_.data());
+  if (arena.pool_ != nullptr) {
+    // The offset table is consulted on every list access; pin it so
+    // extent lookups never re-fault.
+    arena.pool_->Pin(arena.offsets_.data(), arena.offsets_.size());
+  }
   *out = std::move(arena);
   return true;
 }

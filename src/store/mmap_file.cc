@@ -30,7 +30,8 @@ void SetError(std::string* error, const std::string& message) {
 #if defined(NETCLUS_HAVE_MMAP)
 
 std::shared_ptr<MappedFile> MappedFile::Open(const std::string& path,
-                                             std::string* error) {
+                                             std::string* error,
+                                             uint64_t page_budget_bytes) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     SetError(error, "cannot open for mmap: " + path);
@@ -52,6 +53,11 @@ std::shared_ptr<MappedFile> MappedFile::Open(const std::string& path,
   auto file = std::shared_ptr<MappedFile>(new MappedFile());
   file->data_ = static_cast<const uint8_t*>(mapping);
   file->size_ = size;
+  if (page_budget_bytes > 0) {
+    BufferPool::Options options;
+    options.budget_bytes = page_budget_bytes;
+    file->pool_ = std::make_unique<BufferPool>(file->data_, size, options);
+  }
   return file;
 }
 
@@ -64,7 +70,8 @@ MappedFile::~MappedFile() {
 #else  // !NETCLUS_HAVE_MMAP
 
 std::shared_ptr<MappedFile> MappedFile::Open(const std::string& path,
-                                             std::string* error) {
+                                             std::string* error,
+                                             uint64_t /*page_budget_bytes*/) {
   SetError(error, "mmap unsupported on this platform (file: " + path + ")");
   return nullptr;
 }

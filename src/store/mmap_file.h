@@ -18,6 +18,7 @@
 #include <string>
 
 #include "store/arena.h"
+#include "store/buffer_pool.h"
 
 namespace netclus::store {
 
@@ -25,9 +26,12 @@ class MappedFile {
  public:
   /// Maps `path` read-only. Returns null with a message in `error` when
   /// the file cannot be opened/mapped (including: empty file, or a
-  /// platform without mmap support).
+  /// platform without mmap support). A nonzero `page_budget_bytes`
+  /// attaches a BufferPool that caps how much of the mapping stays
+  /// resident (see buffer_pool.h); 0 leaves residency to the OS.
   static std::shared_ptr<MappedFile> Open(const std::string& path,
-                                          std::string* error);
+                                          std::string* error,
+                                          uint64_t page_budget_bytes = 0);
 
   ~MappedFile();
   MappedFile(const MappedFile&) = delete;
@@ -35,6 +39,9 @@ class MappedFile {
 
   const uint8_t* data() const { return data_; }
   size_t size() const { return size_; }
+
+  /// The residency pool, or null when no budget was set.
+  BufferPool* pool() const { return pool_.get(); }
 
   /// A ByteBlock aliasing the whole mapping; keeps the mapping alive.
   static ByteBlock Block(std::shared_ptr<MappedFile> file) {
@@ -48,6 +55,7 @@ class MappedFile {
 
   const uint8_t* data_ = nullptr;
   size_t size_ = 0;
+  std::unique_ptr<BufferPool> pool_;
 };
 
 /// Reads the whole file into an owned ByteBlock (the copy-mode loader and

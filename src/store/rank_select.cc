@@ -1,0 +1,195 @@
+#include "store/rank_select.h"
+
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace netclus::store {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 4 * sizeof(uint64_t);
+
+unsigned ChooseLowBits(uint64_t universe, size_t n) {
+  if (n == 0 || universe / n == 0) return 0;
+  const uint64_t ratio = universe / n;
+  // floor(log2(ratio)): ratio >= 1 here, so 2^l <= ratio < 2^(l+1).
+  unsigned l = 0;
+  while ((ratio >> (l + 1)) != 0) ++l;
+  return l;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+}  // namespace
+
+void EliasFanoView::Encode(const std::vector<uint64_t>& values,
+                           std::vector<uint8_t>* out) {
+  const size_t n = values.size();
+  const uint64_t universe = n == 0 ? 0 : values.back();
+  const unsigned l = ChooseLowBits(universe, n);
+  const size_t low_words = (n * l + 63) / 64;
+  const size_t high_bits = n + (n == 0 ? 0 : (universe >> l)) + 1;
+  const size_t high_words = (high_bits + 63) / 64;
+
+  std::vector<uint64_t> low(low_words, 0);
+  std::vector<uint64_t> high(high_words, 0);
+  const uint64_t low_mask = l == 0 ? 0 : ((l == 64) ? ~uint64_t{0}
+                                                    : (uint64_t{1} << l) - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t v = values[i];
+    if (l > 0) {
+      const size_t bitpos = i * l;
+      const size_t word = bitpos >> 6;
+      const unsigned shift = bitpos & 63;
+      low[word] |= (v & low_mask) << shift;
+      if (shift + l > 64) low[word + 1] |= (v & low_mask) >> (64 - shift);
+    }
+    const uint64_t hb = (v >> l) + i;
+    high[hb >> 6] |= uint64_t{1} << (hb & 63);
+  }
+
+  AppendU64(out, n);
+  AppendU64(out, universe);
+  AppendU64(out, l);
+  AppendU64(out, 0);  // reserved
+  for (const uint64_t w : low) AppendU64(out, w);
+  for (const uint64_t w : high) AppendU64(out, w);
+}
+
+bool EliasFanoView::Parse(const uint8_t* data, size_t size, EliasFanoView* out,
+                          std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (size < kHeaderBytes) return fail("elias-fano: short header");
+  const uint64_t n = ReadU64(data);
+  const uint64_t universe = ReadU64(data + 8);
+  const uint64_t l = ReadU64(data + 16);
+  if (l > 63) return fail("elias-fano: implausible low-bit width");
+  // Sizes are recomputed from the header and must match exactly; a lying
+  // header is rejected before any array access.
+  const uint64_t max_vals = (size - kHeaderBytes) * 8;  // >= 1 bit per value
+  if (n > max_vals + 1) return fail("elias-fano: implausible value count");
+  const uint64_t low_words = (n * l + 63) / 64;
+  const uint64_t high_bits = n + (n == 0 ? 0 : (universe >> l)) + 1;
+  const uint64_t high_words = (high_bits + 63) / 64;
+  if (high_bits > 0xffffffffull) return fail("elias-fano: sequence too large");
+  const uint64_t want = kHeaderBytes + (low_words + high_words) * 8;
+  if (want != size) {
+    return fail(util::StrFormat("elias-fano: %zu bytes, want %llu", size,
+                                static_cast<unsigned long long>(want)));
+  }
+
+  EliasFanoView view;
+  view.low_ = data + kHeaderBytes;
+  view.high_ = data + kHeaderBytes + low_words * 8;
+  view.n_ = static_cast<size_t>(n);
+  view.universe_ = universe;
+  view.l_ = static_cast<unsigned>(l);
+  view.high_words_ = static_cast<size_t>(high_words);
+  view.serialized_bytes_ = size;
+
+  // One pass over the high words: the set-bit count must equal n (so
+  // Select(i) is total for i < n), no set bit may land past high_bits
+  // (stray bits would desynchronize select), and every kSelectSample-th
+  // set bit's position is sampled for Select.
+  uint64_t ones = 0;
+  view.samples_.reserve(static_cast<size_t>(n / kSelectSample) + 1);
+  for (size_t w = 0; w < high_words; ++w) {
+    uint64_t word = view.HighWord(w);
+    if (w + 1 == high_words && (high_bits & 63) != 0) {
+      const uint64_t valid = (uint64_t{1} << (high_bits & 63)) - 1;
+      if ((word & ~valid) != 0) {
+        return fail("elias-fano: set bits past the sequence end");
+      }
+    }
+    while (word != 0) {
+      const unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+      if (ones % kSelectSample == 0) {
+        view.samples_.push_back(static_cast<uint32_t>(w * 64 + bit));
+      }
+      ++ones;
+      word &= word - 1;
+    }
+  }
+  if (ones != n) {
+    return fail(util::StrFormat("elias-fano: %llu high bits set, want %llu",
+                                static_cast<unsigned long long>(ones),
+                                static_cast<unsigned long long>(n)));
+  }
+  *out = std::move(view);
+  return true;
+}
+
+uint64_t EliasFanoView::LowWord(size_t w) const {
+  uint64_t v = 0;
+  std::memcpy(&v, low_ + w * 8, sizeof(v));
+  return v;
+}
+
+uint64_t EliasFanoView::HighWord(size_t w) const {
+  uint64_t v = 0;
+  std::memcpy(&v, high_ + w * 8, sizeof(v));
+  return v;
+}
+
+uint64_t EliasFanoView::LowBits(size_t i) const {
+  if (l_ == 0) return 0;
+  const size_t bitpos = i * l_;
+  const size_t word = bitpos >> 6;
+  const unsigned shift = bitpos & 63;
+  uint64_t v = LowWord(word) >> shift;
+  if (shift + l_ > 64) v |= LowWord(word + 1) << (64 - shift);
+  return v & ((uint64_t{1} << l_) - 1);
+}
+
+uint64_t EliasFanoView::Select(size_t i) const {
+  const size_t sample = i / kSelectSample;
+  uint64_t pos = samples_[sample];
+  size_t need = i - sample * kSelectSample;
+  size_t w = pos >> 6;
+  uint64_t word = HighWord(w) & (~uint64_t{0} << (pos & 63));
+  for (;;) {
+    const size_t c = static_cast<size_t>(__builtin_popcountll(word));
+    if (need < c) {
+      while (need-- > 0) word &= word - 1;
+      return w * 64 + static_cast<unsigned>(__builtin_ctzll(word));
+    }
+    need -= c;
+    ++w;
+    word = HighWord(w);
+  }
+}
+
+uint64_t EliasFanoView::Get(size_t i) const {
+  return ((Select(i) - i) << l_) | LowBits(i);
+}
+
+void EliasFanoView::GetPair(size_t i, uint64_t* a, uint64_t* b) const {
+  const uint64_t pos = Select(i);
+  *a = ((pos - i) << l_) | LowBits(i);
+  // The next value's high bit is the next set bit after pos.
+  size_t w = pos >> 6;
+  uint64_t word = HighWord(w) & (~uint64_t{0} << (pos & 63));
+  word &= word - 1;  // clear the i-th bit itself
+  while (word == 0) {
+    ++w;
+    word = HighWord(w);
+  }
+  const uint64_t next = w * 64 + static_cast<unsigned>(__builtin_ctzll(word));
+  *b = ((next - (i + 1)) << l_) | LowBits(i + 1);
+}
+
+}  // namespace netclus::store

@@ -1,0 +1,104 @@
+// Scalar kernel + runtime dispatch for bulk varint decoding.
+
+#include "store/simd/bulk_varint.h"
+
+#include <atomic>
+
+#include "store/simd/bulk_varint_inl.h"
+#include "util/flags.h"
+
+namespace netclus::store::simd {
+
+namespace internal {
+// Defined in the variant translation units (which know whether their
+// kernel was compiled in): true when the kernel exists AND the host CPU
+// executes it.
+bool HostRunsSse4();
+bool HostRunsAvx2();
+}  // namespace internal
+
+namespace {
+
+Kernel ResolveFromEnv() {
+  const std::string want = util::GetEnvString("NETCLUS_SIMD", "auto");
+  if (want == "scalar") return Kernel::kScalar;
+  if (want == "sse4") {
+    return Supports(Kernel::kSse4) ? Kernel::kSse4 : Kernel::kScalar;
+  }
+  if (want == "avx2") {
+    return Supports(Kernel::kAvx2) ? Kernel::kAvx2 : Kernel::kScalar;
+  }
+  // auto (and any unrecognized value): widest kernel the host runs.
+  if (Supports(Kernel::kAvx2)) return Kernel::kAvx2;
+  if (Supports(Kernel::kSse4)) return Kernel::kSse4;
+  return Kernel::kScalar;
+}
+
+// -1 = unresolved; otherwise a Kernel value. Resolution is idempotent
+// (same env, same CPU), so the benign first-call race needs no lock.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+const uint8_t* BulkDecodeVarint32Scalar(const uint8_t* p, const uint8_t* end,
+                                        uint32_t* out, size_t count) {
+  return internal::DecodeRunScalar(p, end, out, count);
+}
+
+bool Supports(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return true;
+    case Kernel::kSse4:
+      return internal::HostRunsSse4();
+    case Kernel::kAvx2:
+      return internal::HostRunsAvx2();
+  }
+  return false;
+}
+
+Kernel ActiveKernel() {
+  int k = g_active.load(std::memory_order_relaxed);
+  if (k < 0) {
+    k = static_cast<int>(ResolveFromEnv());
+    g_active.store(k, std::memory_order_relaxed);
+  }
+  return static_cast<Kernel>(k);
+}
+
+const char* KernelName(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kSse4:
+      return "sse4";
+    case Kernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ForceKernel(Kernel k) {
+  if (!Supports(k)) return false;
+  g_active.store(static_cast<int>(k), std::memory_order_relaxed);
+  return true;
+}
+
+void ResetKernelFromEnv() {
+  g_active.store(-1, std::memory_order_relaxed);
+}
+
+const uint8_t* BulkDecodeVarint32(const uint8_t* p, const uint8_t* end,
+                                  uint32_t* out, size_t count) {
+  switch (ActiveKernel()) {
+    case Kernel::kAvx2:
+      return BulkDecodeVarint32Avx2(p, end, out, count);
+    case Kernel::kSse4:
+      return BulkDecodeVarint32Sse4(p, end, out, count);
+    case Kernel::kScalar:
+      break;
+  }
+  return internal::DecodeRunScalar(p, end, out, count);
+}
+
+}  // namespace netclus::store::simd

@@ -1,0 +1,82 @@
+// Bulk LEB128 varint decoding with runtime-dispatched SIMD kernels.
+//
+// The blocked posting codec (store/arena.h, v3 index format) frames lists
+// as 128-entry blocks whose payloads are runs of 32-bit-bounded varints
+// (store/varint.h, ZigZag32 transform: at most 5 bytes each, final byte
+// <= 0x0f). Decoding such a run is the inner loop of every cover
+// traversal, so it gets a dedicated kernel family:
+//
+//   * scalar   — portable reference, also the validation decoder;
+//   * SSE4.1   — 16-byte windows, movemask on continuation bits, widening
+//                shuffle fast path when a window is all 1-byte varints;
+//   * AVX2     — the same idea over 32-byte windows.
+//
+// Selection happens once at runtime: CPUID (via __builtin_cpu_supports)
+// picks the widest kernel the host executes, and the NETCLUS_SIMD env var
+// ({auto, scalar, sse4, avx2}, default auto) can pin it — `scalar` is the
+// differential-testing and bisection knob. All kernels decode the exact
+// same varint grammar, so results are bit-identical by construction; the
+// differential fuzz suite in tests/test_store.cc pins that.
+//
+// Bounds discipline: kernels never read at or past `end`, even
+// speculatively — the input may sit at the tail of an mmap'ed index file
+// where the next page is unmapped. Wide loads are only issued when the
+// full window is in bounds; the remainder falls back to the scalar tail.
+//
+// This header is the runtime-dispatch entry point required by the
+// simd-intrinsics lint rule (tools/netclus_lint.py): raw _mm_* intrinsics
+// may only appear in src/store/simd/ translation units that implement
+// kernels declared here.
+#ifndef NETCLUS_STORE_SIMD_BULK_VARINT_H_
+#define NETCLUS_STORE_SIMD_BULK_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace netclus::store::simd {
+
+enum class Kernel {
+  kScalar = 0,
+  kSse4 = 1,
+  kAvx2 = 2,
+};
+
+/// Decodes exactly `count` varints from [p, end) into out[0..count).
+/// Every varint must fit in 32 bits (<= 5 bytes, final byte <= 0x0f);
+/// values are raw — still zigzagged — and the caller applies the delta
+/// chain. Returns the byte past the last varint, or nullptr when the
+/// input is truncated, overlong, or exceeds 32 bits. Dispatches to the
+/// active kernel.
+const uint8_t* BulkDecodeVarint32(const uint8_t* p, const uint8_t* end,
+                                  uint32_t* out, size_t count);
+
+/// Per-kernel entry points for differential tests and benches. The SSE4
+/// and AVX2 variants must only be called when Supports() says so; on
+/// non-x86 builds they return nullptr unconditionally.
+const uint8_t* BulkDecodeVarint32Scalar(const uint8_t* p, const uint8_t* end,
+                                        uint32_t* out, size_t count);
+const uint8_t* BulkDecodeVarint32Sse4(const uint8_t* p, const uint8_t* end,
+                                      uint32_t* out, size_t count);
+const uint8_t* BulkDecodeVarint32Avx2(const uint8_t* p, const uint8_t* end,
+                                      uint32_t* out, size_t count);
+
+/// True when `k` is both compiled in and executable on this CPU.
+bool Supports(Kernel k);
+
+/// The kernel BulkDecodeVarint32 dispatches to, after resolving
+/// NETCLUS_SIMD (first call) or a ForceKernel override.
+Kernel ActiveKernel();
+
+/// "scalar" / "sse4" / "avx2".
+const char* KernelName(Kernel k);
+
+/// Pins the dispatch (tests, benches). Returns false — and changes
+/// nothing — when `k` is unsupported on this host.
+bool ForceKernel(Kernel k);
+
+/// Drops any override and re-reads NETCLUS_SIMD on the next dispatch.
+void ResetKernelFromEnv();
+
+}  // namespace netclus::store::simd
+
+#endif  // NETCLUS_STORE_SIMD_BULK_VARINT_H_

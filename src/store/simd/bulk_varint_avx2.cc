@@ -1,0 +1,81 @@
+// AVX2 bulk-varint kernel: 32-byte windows.
+//
+// Same structure as the SSE4.1 kernel (see bulk_varint_sse4.cc), twice
+// the window: one vpmovmskb gathers 32 continuation bits, an all-clear
+// mask widens 32 single-byte varints with four vpmovzxbd, and a mixed
+// window vectorizes its 1-byte prefix before handing the straddling
+// varint to the shared strict scalar decoder.
+//
+// Compiled with -mavx2 only for this translation unit (see
+// CMakeLists.txt); NETCLUS_SIMD_KERNEL_AVX2 gates the body so non-x86
+// builds fall back to a null stub and dispatch never selects it.
+
+#include "store/simd/bulk_varint.h"
+
+#include "store/simd/bulk_varint_inl.h"
+
+#if defined(NETCLUS_SIMD_KERNEL_AVX2)
+
+#include <immintrin.h>
+
+namespace netclus::store::simd {
+
+namespace internal {
+bool HostRunsAvx2() { return __builtin_cpu_supports("avx2") != 0; }
+}  // namespace internal
+
+const uint8_t* BulkDecodeVarint32Avx2(const uint8_t* p, const uint8_t* end,
+                                      uint32_t* out, size_t count) {
+  size_t i = 0;
+  // Window discipline as in the SSE4 kernel: full 32-byte load in bounds
+  // (no speculative reads past `end` — the input may end at an mmap
+  // boundary) and 32 writable output lanes, since a mixed window stores
+  // all 32 widened lanes but advances only past its verified prefix.
+  while (i < count) {
+    if (static_cast<size_t>(end - p) < 32 || count - i < 32) break;
+    const __m256i window =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    const uint32_t mask = static_cast<uint32_t>(_mm256_movemask_epi8(window));
+    const unsigned singles =
+        mask == 0 ? 32u : static_cast<unsigned>(__builtin_ctz(mask));
+    if (singles > 0) {
+      const __m128i lo = _mm256_castsi256_si128(window);
+      const __m128i hi = _mm256_extracti128_si256(window, 1);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                          _mm256_cvtepu8_epi32(lo));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 8),
+                          _mm256_cvtepu8_epi32(_mm_srli_si128(lo, 8)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 16),
+                          _mm256_cvtepu8_epi32(hi));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 24),
+                          _mm256_cvtepu8_epi32(_mm_srli_si128(hi, 8)));
+      p += singles;
+      i += singles;
+      if (mask == 0) continue;
+    }
+    // One multi-byte varint straddling the window boundary.
+    p = internal::DecodeOneVarint32(p, end, &out[i]);
+    if (p == nullptr) return nullptr;
+    ++i;
+  }
+  return internal::DecodeRunScalar(p, end, out + i, count - i);
+}
+
+}  // namespace netclus::store::simd
+
+#else  // !NETCLUS_SIMD_KERNEL_AVX2
+
+namespace netclus::store::simd {
+
+namespace internal {
+bool HostRunsAvx2() { return false; }
+}  // namespace internal
+
+const uint8_t* BulkDecodeVarint32Avx2(const uint8_t*, const uint8_t*,
+                                      uint32_t*, size_t) {
+  return nullptr;
+}
+
+}  // namespace netclus::store::simd
+
+#endif  // NETCLUS_SIMD_KERNEL_AVX2

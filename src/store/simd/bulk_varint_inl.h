@@ -1,0 +1,49 @@
+// Shared scalar pieces of the bulk-varint kernels: the strict one-varint
+// decoder and the scalar run loop. Included by every kernel translation
+// unit in src/store/simd/ so all three kernels agree byte-for-byte on the
+// accepted grammar (<= 5 bytes, value fits uint32, final byte <= 0x0f).
+#ifndef NETCLUS_STORE_SIMD_BULK_VARINT_INL_H_
+#define NETCLUS_STORE_SIMD_BULK_VARINT_INL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace netclus::store::simd::internal {
+
+/// Decodes one 32-bit-bounded varint from [p, end). Returns the byte past
+/// it, or nullptr on truncation / overlong encoding / 33+ bit value.
+inline const uint8_t* DecodeOneVarint32(const uint8_t* p, const uint8_t* end,
+                                        uint32_t* value) {
+  if (p >= end) return nullptr;
+  uint32_t b = *p++;
+  uint32_t v = b & 0x7fu;
+  unsigned shift = 7;
+  while ((b & 0x80u) != 0) {
+    if (p >= end) return nullptr;
+    b = *p++;
+    if (shift == 28) {
+      // Fifth byte: only 4 value bits left in a uint32, and a set
+      // continuation bit (0x80 > 0x0f) would make a 6th byte.
+      if (b > 0x0fu) return nullptr;
+    }
+    v |= (b & 0x7fu) << shift;
+    shift += 7;
+  }
+  *value = v;
+  return p;
+}
+
+/// Scalar run: `count` varints back to back. The reference decoder and
+/// every kernel's tail path.
+inline const uint8_t* DecodeRunScalar(const uint8_t* p, const uint8_t* end,
+                                      uint32_t* out, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    p = DecodeOneVarint32(p, end, &out[i]);
+    if (p == nullptr) return nullptr;
+  }
+  return p;
+}
+
+}  // namespace netclus::store::simd::internal
+
+#endif  // NETCLUS_STORE_SIMD_BULK_VARINT_INL_H_

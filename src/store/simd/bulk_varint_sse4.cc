@@ -1,0 +1,82 @@
+// SSE4.1 bulk-varint kernel: 16-byte windows.
+//
+// _mm_movemask_epi8 over a window collects the continuation bits of all
+// 16 bytes at once. A zero mask means 16 consecutive 1-byte varints —
+// the common case for the small deltas the blocked codec produces — and
+// they widen to uint32 lanes with two pmovzxbd pairs. A nonzero mask
+// still vectorizes its 1-byte prefix (tzcnt of the mask counts it), then
+// decodes the one multi-byte varint at the boundary with the shared
+// strict scalar decoder and re-enters the loop.
+//
+// Compiled with -msse4.1 only for this translation unit (see
+// CMakeLists.txt); NETCLUS_SIMD_KERNEL_SSE4 gates the body so non-x86
+// builds fall back to a null stub and dispatch never selects it.
+
+#include "store/simd/bulk_varint.h"
+
+#include "store/simd/bulk_varint_inl.h"
+
+#if defined(NETCLUS_SIMD_KERNEL_SSE4)
+
+#include <smmintrin.h>
+
+namespace netclus::store::simd {
+
+namespace internal {
+bool HostRunsSse4() { return __builtin_cpu_supports("sse4.1") != 0; }
+}  // namespace internal
+
+const uint8_t* BulkDecodeVarint32Sse4(const uint8_t* p, const uint8_t* end,
+                                      uint32_t* out, size_t count) {
+  size_t i = 0;
+  // The vector path needs a full 16-byte load in bounds (never touch
+  // bytes at or past `end`) and 16 writable output lanes: the 1-byte
+  // prefix of a mixed window is stored as a full 16-lane widen and the
+  // cursor advanced only past the verified prefix, so the overwritten
+  // lanes are rewritten by later iterations.
+  while (i < count) {
+    if (static_cast<size_t>(end - p) < 16 || count - i < 16) break;
+    const __m128i window = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    const unsigned mask = static_cast<unsigned>(_mm_movemask_epi8(window));
+    const unsigned singles =
+        mask == 0 ? 16u : static_cast<unsigned>(__builtin_ctz(mask));
+    if (singles > 0) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                       _mm_cvtepu8_epi32(window));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 4),
+                       _mm_cvtepu8_epi32(_mm_srli_si128(window, 4)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 8),
+                       _mm_cvtepu8_epi32(_mm_srli_si128(window, 8)));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i + 12),
+                       _mm_cvtepu8_epi32(_mm_srli_si128(window, 12)));
+      p += singles;
+      i += singles;
+      if (mask == 0) continue;
+      if (i >= count) break;  // prefix filled the request; re-check tail
+    }
+    // One multi-byte varint straddling the window boundary.
+    p = internal::DecodeOneVarint32(p, end, &out[i]);
+    if (p == nullptr) return nullptr;
+    ++i;
+  }
+  return internal::DecodeRunScalar(p, end, out + i, count - i);
+}
+
+}  // namespace netclus::store::simd
+
+#else  // !NETCLUS_SIMD_KERNEL_SSE4
+
+namespace netclus::store::simd {
+
+namespace internal {
+bool HostRunsSse4() { return false; }
+}  // namespace internal
+
+const uint8_t* BulkDecodeVarint32Sse4(const uint8_t*, const uint8_t*,
+                                      uint32_t*, size_t) {
+  return nullptr;
+}
+
+}  // namespace netclus::store::simd
+
+#endif  // NETCLUS_SIMD_KERNEL_SSE4

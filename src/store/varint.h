@@ -76,6 +76,36 @@ inline const uint8_t* GetU32Delta(const uint8_t* p, const uint8_t* end,
   return p;
 }
 
+/// 32-bit wrapped zigzag — the delta transform of the blocked (v3) list
+/// codec. Deltas are taken mod 2^32 and zigzagged as int32, so every
+/// encoded value fits in 32 bits (at most 5 varint bytes, final byte
+/// <= 0x0f). That bound is what lets the SIMD bulk kernel
+/// (store/simd/bulk_varint.h) decode raw varints straight into uint32
+/// lanes; the flat (v2) codec above keeps its 64-bit transform for
+/// format compatibility.
+inline uint32_t ZigZag32(int32_t v) {
+  return (static_cast<uint32_t>(v) << 1) ^
+         static_cast<uint32_t>(static_cast<int32_t>(v) >> 31);
+}
+
+inline uint32_t UnZigZag32(uint32_t v) {
+  return (v >> 1) ^ (0u - (v & 1u));
+}
+
+inline void PutU32Delta32(std::vector<uint8_t>& out, uint32_t value,
+                          uint32_t prev) {
+  PutVarint64(out, ZigZag32(static_cast<int32_t>(value - prev)));
+}
+
+inline const uint8_t* GetU32Delta32(const uint8_t* p, const uint8_t* end,
+                                    uint32_t prev, uint32_t* value) {
+  uint64_t raw = 0;
+  p = GetVarint64(p, end, &raw);
+  if (p == nullptr || raw > 0xffffffffull) return nullptr;
+  *value = prev + UnZigZag32(static_cast<uint32_t>(raw));
+  return p;
+}
+
 }  // namespace netclus::store
 
 #endif  // NETCLUS_STORE_VARINT_H_

@@ -277,7 +277,8 @@ CoverageIndex CoverageIndex::FromCovers(
 
 double CoverageIndex::SiteWeight(SiteId s, const PreferenceFunction& psi) const {
   double w = 0.0;
-  for (const CoverEntry& e : TC(s)) w += psi.Score(e.dr_m, config_.tau_m);
+  TC(s).ForEach(
+      [&](const CoverEntry& e) { w += psi.Score(e.dr_m, config_.tau_m); });
   return w;
 }
 

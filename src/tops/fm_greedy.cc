@@ -21,7 +21,7 @@ FmGreedyResult FmGreedy(const CoverageIndex& coverage,
   sketches.reserve(n);
   for (SiteId s = 0; s < n; ++s) {
     sketch::FmSketch sk(config.num_sketches, config.sketch_seed);
-    for (const CoverEntry& e : coverage.TC(s)) sk.Add(e.id);
+    coverage.TC(s).ForEach([&](const CoverEntry& e) { sk.Add(e.id); });
     sketches.push_back(std::move(sk));
   }
   result.sketch_build_seconds = build_timer.Seconds();

@@ -40,21 +40,21 @@ class GreedyState {
   double Select(SiteId s) {
     selected_[s] = true;
     double gain = 0.0;
-    for (const CoverEntry& e : coverage_.TC(s)) {
+    coverage_.TC(s).ForEach([&](const CoverEntry& e) {
       const double score = psi_.Score(e.dr_m, tau_);
       const double old_u = utility_[e.id];
-      if (score <= old_u) continue;
+      if (score <= old_u) return;
       gain += score - old_u;
       // U_j increases: discount every covering site's marginal.
-      for (const CoverEntry& cover : coverage_.SC(e.id)) {
-        if (selected_[cover.id]) continue;
+      coverage_.SC(e.id).ForEach([&](const CoverEntry& cover) {
+        if (selected_[cover.id]) return;
         const double other_score = psi_.Score(cover.dr_m, tau_);
         const double before = std::max(0.0, other_score - old_u);
         const double after = std::max(0.0, other_score - score);
         marginal_[cover.id] -= before - after;
-      }
+      });
       utility_[e.id] = score;
-    }
+    });
     marginal_[s] = 0.0;
     total_utility_ += gain;
     return gain;
@@ -153,9 +153,9 @@ double UtilityOf(const CoverageIndex& coverage, const PreferenceFunction& psi,
   std::vector<double> utility(coverage.num_trajectories(), 0.0);
   const double tau = coverage.tau_m();
   for (SiteId s : selection) {
-    for (const CoverEntry& e : coverage.TC(s)) {
+    coverage.TC(s).ForEach([&](const CoverEntry& e) {
       utility[e.id] = std::max(utility[e.id], psi.Score(e.dr_m, tau));
-    }
+    });
   }
   double total = 0.0;
   for (double u : utility) total += u;

@@ -18,10 +18,10 @@ struct UtilityState {
                     SiteId s) const {
     double gain = 0.0;
     const double tau = coverage.tau_m();
-    for (const CoverEntry& e : coverage.TC(s)) {
+    coverage.TC(s).ForEach([&](const CoverEntry& e) {
       const double score = psi.Score(e.dr_m, tau);
       if (score > utility[e.id]) gain += score - utility[e.id];
-    }
+    });
     return gain;
   }
 
@@ -29,13 +29,13 @@ struct UtilityState {
                SiteId s) {
     double gain = 0.0;
     const double tau = coverage.tau_m();
-    for (const CoverEntry& e : coverage.TC(s)) {
+    coverage.TC(s).ForEach([&](const CoverEntry& e) {
       const double score = psi.Score(e.dr_m, tau);
       if (score > utility[e.id]) {
         gain += score - utility[e.id];
         utility[e.id] = score;
       }
-    }
+    });
     return gain;
   }
 
@@ -212,10 +212,12 @@ CostResult CostCapacityGreedy(const CoverageIndex& coverage,
     const size_t cap = static_cast<size_t>(
         std::max(0.0, std::floor(config.site_capacities[s])));
     gains.clear();
-    for (const CoverEntry& e : coverage.TC(s)) {
+    coverage.TC(s).ForEach([&](const CoverEntry& e) {
       const double score = psi.Score(e.dr_m, tau);
-      if (score > state.utility[e.id]) gains.push_back(score - state.utility[e.id]);
-    }
+      if (score > state.utility[e.id]) {
+        gains.push_back(score - state.utility[e.id]);
+      }
+    });
     double marginal = 0.0;
     if (gains.size() <= cap) {
       for (double g : gains) marginal += g;
@@ -250,12 +252,12 @@ CostResult CostCapacityGreedy(const CoverageIndex& coverage,
     const size_t cap = static_cast<size_t>(
         std::max(0.0, std::floor(config.site_capacities[best])));
     std::vector<std::pair<double, uint32_t>> ranked;
-    for (const CoverEntry& e : coverage.TC(best)) {
+    coverage.TC(best).ForEach([&](const CoverEntry& e) {
       const double score = psi.Score(e.dr_m, tau);
       if (score > state.utility[e.id]) {
         ranked.emplace_back(score - state.utility[e.id], e.id);
       }
-    }
+    });
     std::sort(ranked.begin(), ranked.end(), std::greater<>());
     if (ranked.size() > cap) ranked.resize(cap);
     double gain = 0.0;
@@ -279,9 +281,8 @@ CostResult CostCapacityGreedy(const CoverageIndex& coverage,
   for (SiteId s = 0; s < n; ++s) {
     if (config.site_costs[s] > config.budget) continue;
     gains.clear();
-    for (const CoverEntry& e : coverage.TC(s)) {
-      gains.push_back(psi.Score(e.dr_m, tau));
-    }
+    coverage.TC(s).ForEach(
+        [&](const CoverEntry& e) { gains.push_back(psi.Score(e.dr_m, tau)); });
     const size_t cap = static_cast<size_t>(
         std::max(0.0, std::floor(config.site_capacities[s])));
     double utility = 0.0;

@@ -2,9 +2,11 @@
 // (Fig. 2) from raw GPS traces through map-matching, offline index
 // construction, online queries, and dynamic updates.
 #include <algorithm>
+#include <cstdlib>
 
 #include "api/engine.h"
 #include "gtest/gtest.h"
+#include "store/simd/bulk_varint.h"
 #include "test_helpers.h"
 #include "traj/trace_synthesizer.h"
 #include "traj/trip_generator.h"
@@ -301,6 +303,78 @@ TEST(Engine, SaveLoadV2BitIdenticalAcrossBackendsThreadsAndModes) {
       }
     }
   }
+  std::remove(path.c_str());
+}
+
+// The v3 acceptance property: TopK answers are bit-identical across
+// every SIMD kernel the host supports, with and without a page budget
+// smaller than the index file, in both load modes. The kernels decode
+// the same grammar and the pool only changes residency, so any
+// divergence here is a codec or eviction bug.
+TEST(Engine, SaveLoadV3BitIdenticalAcrossSimdKernelsAndPageBudget) {
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  std::vector<Engine::QuerySpec> specs;
+  for (uint32_t i = 0; i < 4; ++i) {
+    Engine::QuerySpec spec;
+    spec.k = 3 + i % 3;
+    spec.tau_m = 500.0 + 250.0 * i;
+    spec.use_fm = i % 2 == 1;
+    specs.push_back(spec);
+  }
+  const std::string path = "/tmp/netclus_engine_v3_diff.idx";
+  Engine built = MakeEngineWith(Engine::Options());
+  built.BuildIndex();
+  const auto ref_single = built.TopK(5, 700.0, psi);
+  const auto ref_batch = built.TopKBatch(specs);
+  std::string error;
+  ASSERT_TRUE(built.SaveIndexToFile(path, &error)) << error;
+
+  std::vector<store::simd::Kernel> kernels;
+  for (const auto k :
+       {store::simd::Kernel::kScalar, store::simd::Kernel::kSse4,
+        store::simd::Kernel::kAvx2}) {
+    if (store::simd::Supports(k)) kernels.push_back(k);
+  }
+  ASSERT_GE(kernels.size(), 1u);
+
+  for (const store::simd::Kernel kernel : kernels) {
+    ASSERT_TRUE(store::simd::ForceKernel(kernel));
+    for (const char* budget : {"", "16MiB"}) {
+      if (budget[0] != '\0') {
+        setenv("NETCLUS_PAGE_BUDGET", budget, 1);
+      } else {
+        unsetenv("NETCLUS_PAGE_BUDGET");
+      }
+      for (const auto mode :
+           {index::IndexLoadMode::kCopy, index::IndexLoadMode::kMmap}) {
+        SCOPED_TRACE(std::string(store::simd::KernelName(kernel)) + "/" +
+                     (budget[0] ? budget : "unlimited") + "/mode" +
+                     std::to_string(static_cast<int>(mode)));
+        Engine::Options options;
+        options.index_load_mode = mode;
+        Engine fresh = MakeEngineWith(options);
+        ASSERT_TRUE(fresh.LoadIndexFromFile(path, &error)) << error;
+
+        const auto single = fresh.TopK(5, 700.0, psi);
+        EXPECT_EQ(single.selection.sites, ref_single.selection.sites);
+        EXPECT_EQ(single.selection.utility, ref_single.selection.utility);
+        EXPECT_EQ(single.selection.marginal_gains,
+                  ref_single.selection.marginal_gains);
+
+        const auto batch = fresh.TopKBatch(specs);
+        ASSERT_EQ(batch.size(), ref_batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+          EXPECT_EQ(batch[i].selection.sites, ref_batch[i].selection.sites)
+              << "spec " << i;
+          EXPECT_EQ(batch[i].selection.utility, ref_batch[i].selection.utility);
+          EXPECT_EQ(batch[i].selection.marginal_gains,
+                    ref_batch[i].selection.marginal_gains);
+        }
+      }
+    }
+  }
+  store::simd::ResetKernelFromEnv();
+  unsetenv("NETCLUS_PAGE_BUDGET");
   std::remove(path.c_str());
 }
 

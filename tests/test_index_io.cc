@@ -1,4 +1,6 @@
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -485,6 +487,197 @@ TEST(IndexIoV2, RejectsCorpusMismatch) {
   EXPECT_FALSE(LoadIndex(path, f.net.num_nodes() + 3, f.store->total_count(),
                          &loaded, &error));
   EXPECT_NE(error.find("nodes"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- v3 binary format (blocked postings + Elias-Fano offsets) --------------
+
+// SaveIndex defaults to v3 and stamps the v3 magic; both binary magics
+// sniff as binary images.
+TEST(IndexIoV3, DefaultFormatIsV3) {
+  Fixture f;
+  const std::string path = "/tmp/netclus_index_v3_default.idx";
+  std::string error;
+  ASSERT_TRUE(SaveIndex(*f.index, path, &error)) << error;
+  std::ifstream in(path, std::ios::binary);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  EXPECT_EQ(std::string(magic, 8), "NCIXBIN3");
+  EXPECT_TRUE(IsBinaryIndexImage(reinterpret_cast<const uint8_t*>(magic), 8));
+
+  const std::vector<uint8_t> v2 = EncodeIndexV2(*f.index, nullptr);
+  EXPECT_TRUE(IsBinaryIndexImage(v2.data(), v2.size()));
+  EXPECT_EQ(std::memcmp(v2.data(), "NCIXBIN2", 8), 0);
+  std::remove(path.c_str());
+}
+
+// v2 -> load -> v3 -> load: both containers carry identical logical
+// state, so a chain through both formats lands back on the original
+// text serialization byte for byte.
+TEST(IndexIoV3, V2ToV3RoundTripIsLossless) {
+  Fixture f;
+  std::stringstream v1_text;
+  WriteIndex(*f.index, v1_text);
+
+  const std::string v2_path = "/tmp/netclus_index_v3_chain_a.idx";
+  const std::string v3_path = "/tmp/netclus_index_v3_chain_b.idx";
+  std::string error;
+  ASSERT_TRUE(SaveIndex(*f.index, v2_path, &error, IndexFileFormat::kBinaryV2))
+      << error;
+  MultiIndex via_v2;
+  ASSERT_TRUE(LoadIndex(v2_path, f.net.num_nodes(), f.store->total_count(),
+                        &via_v2, &error))
+      << error;
+  ASSERT_TRUE(SaveIndex(via_v2, v3_path, &error, IndexFileFormat::kBinaryV3))
+      << error;
+  MultiIndex via_v3;
+  ASSERT_TRUE(LoadIndex(v3_path, f.net.num_nodes(), f.store->total_count(),
+                        &via_v3, &error))
+      << error;
+  ExpectIndexesEquivalent(*f.index, via_v3);
+
+  std::stringstream v1_again;
+  WriteIndex(via_v3, v1_again);
+  EXPECT_EQ(v1_text.str(), v1_again.str());
+
+  // And back down: a v3-loaded index re-saves as v2 losslessly (the
+  // writer re-encodes blocked arenas into flat ones).
+  ASSERT_TRUE(SaveIndex(via_v3, v2_path, &error, IndexFileFormat::kBinaryV2))
+      << error;
+  MultiIndex down;
+  ASSERT_TRUE(LoadIndex(v2_path, f.net.num_nodes(), f.store->total_count(),
+                        &down, &error))
+      << error;
+  ExpectIndexesEquivalent(*f.index, down);
+  std::remove(v2_path.c_str());
+  std::remove(v3_path.c_str());
+}
+
+// copy load, mmap load, and mmap load under a page budget smaller than
+// the index file must all answer bit-identically.
+TEST(IndexIoV3, MmapCopyAndPageBudgetAnswerIdentically) {
+  Fixture f;
+  const std::string path = "/tmp/netclus_index_v3_mmap.idx";
+  std::string error;
+  ASSERT_TRUE(SaveIndex(*f.index, path, &error, IndexFileFormat::kBinaryV3))
+      << error;
+
+  MultiIndex copy_loaded, mmap_loaded, budget_loaded;
+  ASSERT_TRUE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                        &copy_loaded, &error, nullptr, nullptr,
+                        IndexLoadMode::kCopy))
+      << error;
+  ASSERT_TRUE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                        &mmap_loaded, &error, nullptr, nullptr,
+                        IndexLoadMode::kMmap))
+      << error;
+  setenv("NETCLUS_PAGE_BUDGET", "64k", 1);
+  ASSERT_TRUE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                        &budget_loaded, &error, nullptr, nullptr,
+                        IndexLoadMode::kMmap))
+      << error;
+  unsetenv("NETCLUS_PAGE_BUDGET");
+  ExpectIndexesEquivalent(copy_loaded, mmap_loaded);
+  ExpectIndexesEquivalent(copy_loaded, budget_loaded);
+
+  const QueryEngine original(f.index.get(), f.store.get(), &f.sites);
+  const QueryEngine via_mmap(&mmap_loaded, f.store.get(), &f.sites);
+  const QueryEngine via_budget(&budget_loaded, f.store.get(), &f.sites);
+  const tops::PreferenceFunction psi = tops::PreferenceFunction::Binary();
+  for (const double tau : {400.0, 800.0, 1600.0}) {
+    QueryConfig config;
+    config.k = 4;
+    config.tau_m = tau;
+    const QueryResult a = original.Tops(psi, config);
+    const QueryResult b = via_mmap.Tops(psi, config);
+    const QueryResult c = via_budget.Tops(psi, config);
+    EXPECT_EQ(a.selection.sites, b.selection.sites) << "tau " << tau;
+    EXPECT_EQ(a.selection.sites, c.selection.sites) << "tau " << tau;
+    EXPECT_EQ(a.selection.utility, b.selection.utility);
+    EXPECT_EQ(a.selection.utility, c.selection.utility);
+    EXPECT_EQ(a.selection.marginal_gains, c.selection.marginal_gains);
+  }
+  std::remove(path.c_str());
+}
+
+// A v3 index that absorbed dynamic updates saves its live state and
+// reloads identically (the writer re-freezes overlays into blocks).
+TEST(IndexIoV3, RoundTripAfterDynamicUpdates) {
+  Fixture f;
+  for (int i = 0; i < 6; ++i) {
+    const traj::TrajId t = f.store->Add({0, 1, 2, 12, 22});
+    f.index->AddTrajectory(*f.store, t);
+    if (i % 2 == 0) {
+      f.index->RemoveTrajectory(t);
+      f.store->Remove(t);
+    }
+  }
+  f.index->RemoveTrajectory(7);
+  f.store->Remove(7);
+
+  const std::string path = "/tmp/netclus_index_v3_updates.idx";
+  std::string error;
+  ASSERT_TRUE(SaveIndex(*f.index, path, &error, IndexFileFormat::kBinaryV3))
+      << error;
+  MultiIndex loaded;
+  ASSERT_TRUE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                        &loaded, &error))
+      << error;
+  ExpectIndexesEquivalent(*f.index, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoV3, TruncatedAndCorruptFilesFail) {
+  Fixture f;
+  std::vector<uint8_t> image = EncodeIndexV3(*f.index, nullptr);
+  const std::string path = "/tmp/netclus_index_v3_corrupt.idx";
+  for (const double fraction : {0.05, 0.3, 0.6, 0.9, 0.999}) {
+    const size_t cut = static_cast<size_t>(image.size() * fraction);
+    {
+      std::ofstream out(path, std::ios::binary);
+      out.write(reinterpret_cast<const char*>(image.data()),
+                static_cast<std::streamsize>(cut));
+    }
+    MultiIndex loaded;
+    std::string error;
+    EXPECT_FALSE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                           &loaded, &error))
+        << "cut at " << cut;
+    EXPECT_FALSE(error.empty());
+  }
+  {
+    std::vector<uint8_t> flipped = image;
+    flipped[flipped.size() / 2] ^= 0x40;
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(flipped.data()),
+              static_cast<std::streamsize>(flipped.size()));
+  }
+  MultiIndex loaded;
+  std::string error;
+  EXPECT_FALSE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                         &loaded, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+// A header whose version field disagrees with its magic is corrupt, not
+// a future format: v3 magic + version 2 must be rejected up front.
+TEST(IndexIoV3, MagicVersionMismatchFails) {
+  Fixture f;
+  std::vector<uint8_t> image = EncodeIndexV3(*f.index, nullptr);
+  const uint32_t v2 = 2;
+  std::memcpy(image.data() + 12, &v2, sizeof(v2));  // magic(8) + endian(4)
+  const std::string path = "/tmp/netclus_index_v3_vmismatch.idx";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+  }
+  MultiIndex loaded;
+  std::string error;
+  EXPECT_FALSE(LoadIndex(path, f.net.num_nodes(), f.store->total_count(),
+                         &loaded, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,25 @@
+// Golden bad fixture for the simd-intrinsics rule: raw intrinsics in a
+// file that is not under src/store/simd/ (or that sits there without
+// including the runtime-dispatch entry point). Every intrinsic call
+// line and the intrinsic-header include must fire; the commented
+// _mm_add_epi32 mention below must not.
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace netclus::tops {
+
+uint32_t HorizontalSum(const uint32_t* p) {
+  __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  v = _mm_add_epi32(v, _mm_srli_si128(v, 8));
+  v = _mm_add_epi32(v, _mm_srli_si128(v, 4));
+  return static_cast<uint32_t>(_mm_cvtsi128_si32(v));
+}
+
+uint64_t WideSum(const uint32_t* p) {
+  __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  const __m128i lo = _mm256_castsi256_si128(v);
+  return static_cast<uint32_t>(_mm_cvtsi128_si32(lo));
+}
+
+}  // namespace netclus::tops

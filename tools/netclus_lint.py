@@ -24,6 +24,14 @@ and CI must not depend on which toolchain a contributor has):
                      agrees with BitEqual there.
   R5 include-guard   headers use the NETCLUS_<PATH>_H_ guard derived
                      from their repo path; #pragma once is not used.
+  R6 simd-intrinsics raw SIMD intrinsics (_mm_* / _mm256_* calls and
+                     <*intrin.h> includes) live only under
+                     src/store/simd/, and every kernel file there must
+                     pair with the runtime-dispatch entry point by
+                     including store/simd/bulk_varint.h — callers always
+                     go through the dispatched BulkDecodeVarint32 so the
+                     scalar fallback and NETCLUS_SIMD pinning keep
+                     working on every host.
 
 A finding can be suppressed by putting NETCLUS_LINT_ALLOW(<rule>) in a
 comment on the same line or the line directly above, e.g.
@@ -102,6 +110,23 @@ def _distance_operand(fragment, trailing):
 # R5 — include guards.
 GUARD_IFNDEF = re.compile(r"^#ifndef\s+(NETCLUS_[A-Z0-9_]+_H_)\s*$", re.M)
 PRAGMA_ONCE = re.compile(r"^#pragma\s+once", re.M)
+
+# R6 — raw SIMD intrinsics are quarantined in src/store/simd/. An
+# intrinsic call (_mm_*, _mm256_*, _mm512_*) or an intrinsic header
+# include anywhere else bypasses the runtime dispatch and breaks the
+# scalar-fallback contract; inside the quarantine, every file that uses
+# intrinsics must include the dispatch entry point so the kernel it
+# implements is reachable through Supports()/ActiveKernel().
+SIMD_INTRINSIC = re.compile(
+    r"\b_mm(?:256|512)?_[a-z0-9_]+\s*\("
+    r"|#\s*include\s*[<\"][a-z0-9_]*intrin\.h[>\"]"
+)
+SIMD_DIR = "src/store/simd/"
+SIMD_DISPATCH_HEADER = "src/store/simd/bulk_varint.h"
+# Matched against the raw text: the comment/string stripper blanks the
+# quoted include path, so the stripped code cannot see it.
+SIMD_DISPATCH_INCLUDE = re.compile(
+    r'#\s*include\s*"store/simd/bulk_varint\.h"')
 
 
 class Finding:
@@ -283,6 +308,23 @@ def lint_file(rel_path, text):
                 findings.append(Finding(
                     "include-guard", rel_path, 1,
                     "guard %s has no matching #define" % want))
+
+    if in_src:
+        if not rel_path.startswith(SIMD_DIR):
+            scan(
+                "simd-intrinsics", SIMD_INTRINSIC,
+                "raw SIMD intrinsic outside src/store/simd/; implement a "
+                "kernel there behind the runtime dispatch in "
+                "store/simd/bulk_varint.h",
+            )
+        elif (rel_path != SIMD_DISPATCH_HEADER
+              and SIMD_INTRINSIC.search(code)
+              and not SIMD_DISPATCH_INCLUDE.search(text)):
+            scan(
+                "simd-intrinsics", SIMD_INTRINSIC,
+                "SIMD kernel file does not include the runtime-dispatch "
+                "entry point store/simd/bulk_varint.h",
+            )
 
     return findings
 

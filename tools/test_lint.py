@@ -135,6 +135,59 @@ class IncludeGuardRule(unittest.TestCase):
         self.assertEqual(findings, [])
 
 
+class SimdIntrinsicsRule(unittest.TestCase):
+    PAIRED_KERNEL = (
+        "#include \"store/simd/bulk_varint.h\"\n"
+        "#include <smmintrin.h>\n"
+        "int Mask(const void* p) {"
+        " return _mm_movemask_epi8(_mm_loadu_si128("
+        "static_cast<const __m128i*>(p))); }\n")
+
+    def test_fires_on_every_intrinsic_line_outside_quarantine(self):
+        findings = run_fixture("bad_simd.cc", "src/tops/bad_simd.cc")
+        simd = [f for f in findings if f.rule == "simd-intrinsics"]
+        # The <immintrin.h> include plus seven intrinsic-call lines; the
+        # commented _mm_add_epi32 mention stays quiet.
+        self.assertEqual(len(simd), 8, msg="\n".join(map(str, findings)))
+        self.assertIn("outside src/store/simd/", simd[0].message)
+
+    def test_unpaired_kernel_file_inside_quarantine_fires(self):
+        findings = run_fixture("bad_simd.cc", "src/store/simd/bad_simd.cc")
+        simd = [f for f in findings if f.rule == "simd-intrinsics"]
+        self.assertEqual(len(simd), 8, msg="\n".join(map(str, findings)))
+        self.assertIn("runtime-dispatch", simd[0].message)
+
+    def test_paired_kernel_file_is_clean(self):
+        findings = netclus_lint.lint_file(
+            "src/store/simd/ok_kernel.cc", self.PAIRED_KERNEL)
+        self.assertEqual(findings, [])
+
+    def test_pairing_not_required_without_intrinsics(self):
+        findings = netclus_lint.lint_file(
+            "src/store/simd/helpers.h",
+            "#ifndef NETCLUS_STORE_SIMD_HELPERS_H_\n"
+            "#define NETCLUS_STORE_SIMD_HELPERS_H_\n"
+            "int ScalarOnly(int x);\n"
+            "#endif  // NETCLUS_STORE_SIMD_HELPERS_H_\n")
+        self.assertEqual(findings, [])
+
+    def test_dispatch_include_alone_does_not_excuse_location(self):
+        findings = netclus_lint.lint_file(
+            "src/tops/bad_location.cc", self.PAIRED_KERNEL)
+        self.assertIn("simd-intrinsics", rules(findings))
+
+    def test_allow_marker_suppresses(self):
+        findings = netclus_lint.lint_file(
+            "src/util/probe.cc",
+            "// NETCLUS_LINT_ALLOW(simd-intrinsics): cpuid probe only\n"
+            "int Probe() { return _mm_crc32_u8(0, 0); }\n")
+        self.assertNotIn("simd-intrinsics", rules(findings))
+
+    def test_not_applied_outside_src(self):
+        findings = run_fixture("bad_simd.cc", "tests/bad_simd.cc")
+        self.assertNotIn("simd-intrinsics", rules(findings))
+
+
 class CommentStripping(unittest.TestCase):
     def test_rules_ignore_comments_and_strings(self):
         findings = netclus_lint.lint_file(
